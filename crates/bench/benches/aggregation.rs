@@ -1,0 +1,136 @@
+//! Micro-benchmarks of the aggregation layer: the four algorithm
+//! variants, the closed-form GCLR evaluation, the weight law, and the
+//! EigenTrust baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dg_core::algorithms::{alg1, alg3};
+use dg_core::reputation::{trust_from_qualities, ReputationSystem};
+use dg_gossip::GossipConfig;
+use dg_graph::pa::{preferential_attachment, PaConfig};
+use dg_graph::{Graph, NodeId};
+use dg_sim::baselines::{eigentrust, EigenTrustConfig};
+use dg_trust::{TrustValue, WeightParams};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn setup(n: usize) -> (Graph, Vec<f64>) {
+    let mut rng = ChaCha8Rng::seed_from_u64(42);
+    let graph =
+        preferential_attachment(PaConfig { nodes: n, m: 2 }, &mut rng).expect("valid config");
+    let qualities: Vec<f64> = (0..n).map(|i| 0.1 + 0.8 * ((i % 9) as f64 / 8.0)).collect();
+    (graph, qualities)
+}
+
+fn bench_alg1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alg1_single_subject");
+    group.sample_size(10);
+    for &n in &[500usize, 2000] {
+        let (graph, q) = setup(n);
+        let trust = trust_from_qualities(&graph, &q);
+        let system =
+            ReputationSystem::new(&graph, trust, WeightParams::default()).expect("system");
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut rng = ChaCha8Rng::seed_from_u64(7);
+                black_box(
+                    alg1::run(
+                        &system,
+                        NodeId(0),
+                        GossipConfig::differential(1e-4).expect("config"),
+                        &mut rng,
+                    )
+                    .expect("run"),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_alg3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alg3_all_subjects");
+    group.sample_size(10);
+    for &n in &[200usize, 500] {
+        let (graph, q) = setup(n);
+        let trust = trust_from_qualities(&graph, &q);
+        let system =
+            ReputationSystem::new(&graph, trust, WeightParams::default()).expect("system");
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut rng = ChaCha8Rng::seed_from_u64(7);
+                black_box(
+                    alg3::run(
+                        &system,
+                        GossipConfig::differential(1e-3).expect("config"),
+                        &mut rng,
+                    )
+                    .expect("run"),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_closed_form_gclr(c: &mut Criterion) {
+    let (graph, q) = setup(2000);
+    let trust = trust_from_qualities(&graph, &q);
+    let system = ReputationSystem::new(&graph, trust, WeightParams::default()).expect("system");
+    c.bench_function("closed_form_gclr_2000_pairs", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..2000u32 {
+                acc += system
+                    .gclr(NodeId(i), NodeId(i.wrapping_mul(7) % 2000))
+                    .unwrap_or(0.0);
+            }
+            black_box(acc)
+        });
+    });
+}
+
+fn bench_weight_law(c: &mut Criterion) {
+    let w = WeightParams::new(2.0, 2.0).expect("params");
+    let ts: Vec<TrustValue> = (0..1000)
+        .map(|i| TrustValue::new(i as f64 / 999.0).expect("in range"))
+        .collect();
+    c.bench_function("weight_law_1000_evals", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &t in &ts {
+                acc += w.weight(t);
+            }
+            black_box(acc)
+        });
+    });
+}
+
+fn bench_eigentrust(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eigentrust");
+    group.sample_size(10);
+    for &n in &[1000usize, 5000] {
+        let (graph, q) = setup(n);
+        let trust = trust_from_qualities(&graph, &q);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                black_box(eigentrust(
+                    &trust,
+                    &[NodeId(0), NodeId(1)],
+                    &EigenTrustConfig::default(),
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_alg1,
+    bench_alg3,
+    bench_closed_form_gclr,
+    bench_weight_law,
+    bench_eigentrust
+);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Micro-benchmarks of the gossip engines: per-step cost and full-run
+//! cost, differential vs normal push (the engine-level view of Fig. 3 /
+//! Table 2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dg_gossip::{FanoutPolicy, GossipConfig, ScalarGossip};
+use dg_graph::pa::{preferential_attachment, PaConfig};
+use dg_graph::Graph;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn pa_graph(n: usize) -> Graph {
+    let mut rng = ChaCha8Rng::seed_from_u64(42);
+    preferential_attachment(PaConfig { nodes: n, m: 2 }, &mut rng).expect("valid PA config")
+}
+
+fn values(n: usize) -> Vec<f64> {
+    (0..n).map(|i| ((i * 31) % 97) as f64 / 97.0).collect()
+}
+
+fn bench_scalar_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scalar_step");
+    for &n in &[1000usize, 10_000] {
+        let graph = pa_graph(n);
+        let vals = values(n);
+        for (label, policy) in [
+            ("differential", FanoutPolicy::Differential),
+            ("push", FanoutPolicy::Uniform(1)),
+        ] {
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
+                let config = GossipConfig {
+                    xi: 1e-12, // never converges: isolate raw step cost
+                    fanout: policy,
+                    ..GossipConfig::default()
+                };
+                let mut engine = ScalarGossip::average(&graph, config, &vals).expect("engine");
+                let mut rng = ChaCha8Rng::seed_from_u64(7);
+                b.iter(|| black_box(engine.step(&mut rng)));
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_full_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("full_run_xi_1e-4");
+    group.sample_size(10);
+    for &n in &[1000usize, 5000] {
+        let graph = pa_graph(n);
+        let vals = values(n);
+        for (label, policy) in [
+            ("differential", FanoutPolicy::Differential),
+            ("push", FanoutPolicy::Uniform(1)),
+        ] {
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
+                b.iter(|| {
+                    let config = GossipConfig {
+                        xi: 1e-4,
+                        fanout: policy,
+                        ..GossipConfig::default()
+                    };
+                    let engine =
+                        ScalarGossip::average(&graph, config, &vals).expect("engine");
+                    let mut rng = ChaCha8Rng::seed_from_u64(7);
+                    black_box(engine.run(&mut rng).steps)
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scalar_step, bench_full_run);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Micro-benchmarks of the topology layer: PA generation and the
+//! per-node differential fan-out computation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dg_graph::pa::{preferential_attachment, PaConfig};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn bench_pa_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pa_generation");
+    group.sample_size(10);
+    for &n in &[1000usize, 10_000, 50_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut rng = ChaCha8Rng::seed_from_u64(42);
+                black_box(
+                    preferential_attachment(PaConfig { nodes: n, m: 2 }, &mut rng)
+                        .expect("valid config"),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_fanouts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("differential_fanouts");
+    for &n in &[10_000usize, 50_000] {
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let graph =
+            preferential_attachment(PaConfig { nodes: n, m: 2 }, &mut rng).expect("valid config");
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(graph.differential_fanouts()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pa_generation, bench_fanouts);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Fig. 4: gossip step counts under packet loss (churn-induced).
+//!
+//! Paper setting: N = 10 000, loss probability ∈ {0, 0.1, 0.2, 0.3},
+//! ξ grid as in Fig. 3. Failed pushes bounce back to the sender (mass
+//! conservation); the claim is a *small* increment in steps as loss
+//! rises. Default N is 2000; `--full` uses the paper's 10 000.
+
+use dg_bench::{Cli, XI_GRID};
+use dg_sim::experiments::loss_experiment;
+use dg_sim::report::{render_table, to_json_lines};
+
+const LOSS_GRID: [f64; 4] = [0.0, 0.1, 0.2, 0.3];
+
+fn main() {
+    let cli = Cli::parse();
+    let nodes = if cli.full { 10_000 } else { 2000 };
+    let rows = loss_experiment(nodes, &XI_GRID, &LOSS_GRID, cli.seed).expect("loss experiment");
+
+    if cli.json {
+        println!("{}", to_json_lines(&rows));
+        return;
+    }
+
+    println!("Fig. 4 — gossip steps vs error bound under packet loss (N = {nodes})\n");
+    let mut headers = vec!["loss".to_owned()];
+    headers.extend(XI_GRID.iter().map(|xi| format!("xi={xi}")));
+    let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let table: Vec<Vec<String>> = LOSS_GRID
+        .iter()
+        .map(|&loss| {
+            let mut row = vec![format!("p={loss}")];
+            for &xi in &XI_GRID {
+                let r = rows
+                    .iter()
+                    .find(|r| r.loss == loss && r.xi == xi)
+                    .expect("grid covered");
+                row.push(if r.converged {
+                    r.steps.to_string()
+                } else {
+                    format!("{}+", r.steps)
+                });
+            }
+            row
+        })
+        .collect();
+    println!("{}", render_table(&headers_ref, &table));
+    println!("(paper: small increment in steps as loss probability rises)");
+}

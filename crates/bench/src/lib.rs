@@ -1,0 +1,74 @@
+//! Shared plumbing for the experiment binaries.
+//!
+//! Every binary accepts:
+//!
+//! * `--full` — run the paper's full parameter grid (N up to 50 000);
+//!   the default grid is scaled to finish in minutes on a laptop,
+//! * `--seed <u64>` — override the scenario seed (default 42),
+//! * `--json` — emit JSON lines instead of a formatted table.
+
+/// Parsed common CLI options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cli {
+    /// Full-scale (paper-grid) mode.
+    pub full: bool,
+    /// Scenario seed.
+    pub seed: u64,
+    /// Emit JSON lines.
+    pub json: bool,
+}
+
+impl Default for Cli {
+    fn default() -> Self {
+        Self {
+            full: false,
+            seed: 42,
+            json: false,
+        }
+    }
+}
+
+impl Cli {
+    /// Parse from `std::env::args`. Unknown flags abort with a usage
+    /// message (better than silently ignoring a typo in an experiment
+    /// run).
+    pub fn parse() -> Self {
+        let mut cli = Cli::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--full" => cli.full = true,
+                "--json" => cli.json = true,
+                "--seed" => {
+                    let v = args
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage("--seed needs a u64 value"));
+                    cli.seed = v;
+                }
+                "--help" | "-h" => usage("
+"),
+                other => usage(&format!("unknown flag {other}")),
+            }
+        }
+        cli
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("{msg}\nusage: <bin> [--full] [--seed <u64>] [--json]");
+    std::process::exit(2)
+}
+
+/// The paper's tolerance grid (Figs. 3/4, Table 2).
+pub const XI_GRID: [f64; 4] = [1e-2, 1e-3, 1e-4, 1e-5];
+
+/// Network sizes: scaled-down default vs the paper's full grid
+/// (100 … 50 000).
+pub fn size_grid(full: bool) -> Vec<usize> {
+    if full {
+        vec![100, 500, 1000, 10_000, 50_000]
+    } else {
+        vec![100, 500, 1000, 5000]
+    }
+}

@@ -1,0 +1,280 @@
+//! Dynamic adjustment of the weight-law parameters `a_i` and `b_ij`
+//! (Section 4.1.2's deferred extension).
+//!
+//! "Values of a_i and b_ij can be dynamically adjusted by nodes as per
+//! their requirement. Though in this work, a_i and b_ij have been taken
+//! as constants." The paper sketches the intended control signals:
+//!
+//! * `a_i` — "adjusted according to the overall quality of service
+//!   received by the node from the network": a node being served well
+//!   can afford to lean harder on its trusted neighbourhood (larger
+//!   base), one being starved should fall back toward the democratic
+//!   average (base toward 1);
+//! * `b_ij` — "adjusted according to the recommendation of a particular
+//!   neighbour and quality of service from the network": a neighbour
+//!   whose past recommendations matched the node's own subsequent
+//!   experience earns a larger exponent, a misleading one decays toward
+//!   0 (its opinion degrades to a stranger's weight 1, the paper's
+//!   collusion backstop).
+//!
+//! The controller keeps every invariant of [`WeightParams`]: `a ≥ 1`,
+//! `b ≥ 0`, hence `w ≥ 1` always. The paper's final remark — the same
+//! machinery "can also be used to avoid malicious users ... just by
+//! changing the method of estimation of a_i and b_ij" — is exactly what
+//! [`AdaptiveWeights::record_recommendation`] implements: systematically
+//! wrong recommenders (malicious or colluding) lose their excess weight.
+
+use dg_graph::NodeId;
+use dg_trust::{TrustValue, WeightParams};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Controller configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdaptiveConfig {
+    /// Bounds on the base `a` (`1 ≤ a_min ≤ a_max`).
+    pub a_min: f64,
+    /// See `a_min`.
+    pub a_max: f64,
+    /// Bounds on the per-neighbour exponent `b` (`0 ≤ b_min ≤ b_max`).
+    pub b_min: f64,
+    /// See `b_min`.
+    pub b_max: f64,
+    /// EWMA rate for the network-QoS signal driving `a`.
+    pub qos_rate: f64,
+    /// Step size applied to `b` per recommendation outcome.
+    pub b_step: f64,
+    /// Absolute recommendation error below which a recommendation counts
+    /// as accurate.
+    pub accuracy_tolerance: f64,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        Self {
+            a_min: 1.0,
+            a_max: 4.0,
+            b_min: 0.0,
+            b_max: 3.0,
+            qos_rate: 0.2,
+            b_step: 0.25,
+            accuracy_tolerance: 0.2,
+        }
+    }
+}
+
+impl AdaptiveConfig {
+    fn validate(&self) -> bool {
+        1.0 <= self.a_min
+            && self.a_min <= self.a_max
+            && 0.0 <= self.b_min
+            && self.b_min <= self.b_max
+            && (0.0..=1.0).contains(&self.qos_rate)
+            && self.b_step > 0.0
+            && self.accuracy_tolerance >= 0.0
+            && [self.a_max, self.b_max, self.b_step].iter().all(|v| v.is_finite())
+    }
+}
+
+/// Per-node adaptive weight state: one base `a_i` driven by network QoS,
+/// one exponent `b_ij` per neighbour driven by recommendation accuracy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdaptiveWeights {
+    config: AdaptiveConfig,
+    /// Smoothed quality of service received from the network.
+    qos: f64,
+    a: f64,
+    b_default: f64,
+    b: BTreeMap<u32, f64>,
+}
+
+impl AdaptiveWeights {
+    /// Create a controller starting from `initial` (its `a`/`b` become the
+    /// starting point and `b_default` for unseen neighbours).
+    ///
+    /// Returns `None` when the config bounds are inconsistent.
+    pub fn new(config: AdaptiveConfig, initial: WeightParams) -> Option<Self> {
+        if !config.validate() {
+            return None;
+        }
+        Some(Self {
+            config,
+            qos: 0.5,
+            a: initial.a().clamp(config.a_min, config.a_max),
+            b_default: initial.b().clamp(config.b_min, config.b_max),
+            b: BTreeMap::new(),
+        })
+    }
+
+    /// Current base `a_i`.
+    pub fn a(&self) -> f64 {
+        self.a
+    }
+
+    /// Current exponent for a neighbour.
+    pub fn b(&self, neighbour: NodeId) -> f64 {
+        self.b.get(&neighbour.0).copied().unwrap_or(self.b_default)
+    }
+
+    /// The effective weight law towards one neighbour.
+    pub fn params_for(&self, neighbour: NodeId) -> WeightParams {
+        WeightParams::new(self.a, self.b(neighbour))
+            .expect("controller keeps a >= 1 and b >= 0 by construction")
+    }
+
+    /// Evaluate the weight `w_ij = a_i^(b_ij · t_ij)`.
+    pub fn weight(&self, neighbour: NodeId, trust: TrustValue) -> f64 {
+        self.params_for(neighbour).weight(trust)
+    }
+
+    /// Feed one transaction's quality of service (from anyone in the
+    /// network). Good service pushes `a_i` toward `a_max`, starvation
+    /// toward `a_min`.
+    pub fn record_service(&mut self, quality: f64) {
+        let q = if quality.is_nan() { 0.0 } else { quality.clamp(0.0, 1.0) };
+        self.qos += self.config.qos_rate * (q - self.qos);
+        self.a = self.config.a_min + (self.config.a_max - self.config.a_min) * self.qos;
+    }
+
+    /// Feed the outcome of acting on a neighbour's recommendation:
+    /// `recommended` is what the neighbour claimed about some subject,
+    /// `experienced` what this node subsequently measured directly.
+    /// Accurate recommendations grow `b_ij` additively; misleading ones
+    /// shrink it twice as fast (misleading advice is worse than none).
+    pub fn record_recommendation(
+        &mut self,
+        neighbour: NodeId,
+        recommended: TrustValue,
+        experienced: TrustValue,
+    ) {
+        let error = recommended.abs_diff(experienced);
+        let current = self.b(neighbour);
+        let next = if error <= self.config.accuracy_tolerance {
+            current + self.config.b_step
+        } else {
+            current - 2.0 * self.config.b_step
+        };
+        self.b.insert(
+            neighbour.0,
+            next.clamp(self.config.b_min, self.config.b_max),
+        );
+    }
+
+    /// Forget a departed neighbour's exponent.
+    pub fn forget(&mut self, neighbour: NodeId) {
+        self.b.remove(&neighbour.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tv(v: f64) -> TrustValue {
+        TrustValue::new(v).unwrap()
+    }
+
+    fn controller() -> AdaptiveWeights {
+        AdaptiveWeights::new(AdaptiveConfig::default(), WeightParams::default()).unwrap()
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let low_base = AdaptiveConfig {
+            a_min: 0.5, // would allow weights < 1
+            ..AdaptiveConfig::default()
+        };
+        assert!(AdaptiveWeights::new(low_base, WeightParams::default()).is_none());
+        let inverted_b = AdaptiveConfig {
+            b_min: 2.0,
+            b_max: 1.0,
+            ..AdaptiveConfig::default()
+        };
+        assert!(AdaptiveWeights::new(inverted_b, WeightParams::default()).is_none());
+    }
+
+    #[test]
+    fn good_service_raises_a() {
+        let mut w = controller();
+        let before = w.a();
+        for _ in 0..30 {
+            w.record_service(1.0);
+        }
+        assert!(w.a() > before);
+        assert!(w.a() <= AdaptiveConfig::default().a_max);
+    }
+
+    #[test]
+    fn starvation_lowers_a_towards_one() {
+        let mut w = controller();
+        for _ in 0..60 {
+            w.record_service(0.0);
+        }
+        assert!(w.a() < 1.05, "a = {}", w.a());
+        // Even fully starved, the invariant a >= 1 holds: weights never
+        // drop below a stranger's.
+        assert!(w.a() >= 1.0);
+        assert!(w.weight(NodeId(7), tv(1.0)) >= 1.0);
+    }
+
+    #[test]
+    fn accurate_recommender_gains_weight() {
+        let mut w = controller();
+        let nb = NodeId(3);
+        let before = w.weight(nb, tv(0.8));
+        for _ in 0..5 {
+            w.record_recommendation(nb, tv(0.7), tv(0.75));
+        }
+        assert!(w.weight(nb, tv(0.8)) > before);
+        assert!(w.b(nb) <= AdaptiveConfig::default().b_max);
+    }
+
+    #[test]
+    fn misleading_recommender_degrades_to_stranger() {
+        // The paper's malicious-user defence: a neighbour that recommends
+        // 1.0 for peers that turn out to be leeches loses its exponent,
+        // so its weight collapses to (almost) 1.
+        let mut w = controller();
+        let nb = NodeId(5);
+        for _ in 0..10 {
+            w.record_recommendation(nb, tv(1.0), tv(0.0));
+        }
+        assert_eq!(w.b(nb), 0.0);
+        assert_eq!(w.weight(nb, tv(1.0)), 1.0);
+    }
+
+    #[test]
+    fn recovery_is_slower_than_decay() {
+        let mut w = controller();
+        let nb = NodeId(2);
+        // One bad recommendation undoes two good ones.
+        w.record_recommendation(nb, tv(0.5), tv(0.5));
+        w.record_recommendation(nb, tv(0.5), tv(0.5));
+        let built = w.b(nb);
+        w.record_recommendation(nb, tv(1.0), tv(0.0));
+        assert!(w.b(nb) < built - 0.25);
+    }
+
+    #[test]
+    fn forget_resets_to_default() {
+        let mut w = controller();
+        let nb = NodeId(9);
+        w.record_recommendation(nb, tv(1.0), tv(0.0));
+        assert_ne!(w.b(nb), 2.0);
+        w.forget(nb);
+        assert_eq!(w.b(nb), 2.0); // WeightParams::default().b()
+    }
+
+    #[test]
+    fn params_for_always_valid() {
+        let mut w = controller();
+        for i in 0..50u32 {
+            w.record_service((i % 3) as f64 / 2.0);
+            w.record_recommendation(NodeId(i % 5), tv(0.9), tv((i % 7) as f64 / 6.0));
+            let p = w.params_for(NodeId(i % 5));
+            assert!(p.a() >= 1.0);
+            assert!(p.b() >= 0.0);
+            assert!(p.weight(tv(0.5)) >= 1.0);
+        }
+    }
+}

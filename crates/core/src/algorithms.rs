@@ -1,0 +1,417 @@
+//! The four aggregation algorithm variants of Section 4.1.2.
+//!
+//! All four share the differential gossip diffusion core; they differ in
+//! *what* is gossiped and *how* the result is post-processed:
+//!
+//! * [`alg1`] — global reputation of a single subject: opinion holders
+//!   start with gossip pair `(t_ij, 1)`, everyone else `(0, 0)`; the
+//!   converged ratio is the mean direct opinion.
+//! * [`alg2`] — globally calibrated local reputation of a single subject:
+//!   one designated node carries gossip weight 1 (so the ratio converges
+//!   to the *sum* of opinions) and an extra `count` mass recovers `N_d`;
+//!   each node then blends in its neighbours' directly-reported feedback
+//!   via Eq. (6).
+//! * [`alg3`] — Variation 3: Algorithm 1 for every subject at once,
+//!   pushing gossip trios `(subject, y, g)` as one vector message.
+//! * [`alg4`] — Variation 4: Algorithm 2 for every subject at once.
+
+use crate::error::CoreError;
+use crate::reputation::ReputationSystem;
+use dg_gossip::vector::{GossipVector, VectorEntry, VectorGossip};
+use dg_gossip::{GossipConfig, GossipPair, ScalarGossip};
+use dg_graph::NodeId;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Outcome of a single-subject aggregation (Algorithms 1 and 2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SingleOutcome {
+    /// Per-node reputation estimate of the subject (clamped to `[0, 1]`;
+    /// `None` where the node ended without gossip mass — only possible in
+    /// non-converged runs).
+    pub estimates: Vec<Option<f64>>,
+    /// Gossip steps executed.
+    pub steps: usize,
+    /// Whether the run reached protocol quiescence.
+    pub converged: bool,
+    /// Messages per node per step (Table 2's statistic).
+    pub messages_per_node_per_step: f64,
+    /// Total messages sent.
+    pub total_messages: u64,
+}
+
+/// Outcome of an all-subjects aggregation (Variations 3 and 4).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FullOutcome {
+    /// `estimates[i]` maps subject id → reputation estimate at node `i`.
+    pub estimates: Vec<BTreeMap<u32, f64>>,
+    /// Gossip steps executed.
+    pub steps: usize,
+    /// Whether the run reached protocol quiescence.
+    pub converged: bool,
+    /// Vector messages per node per step.
+    pub messages_per_node_per_step: f64,
+    /// Total trio entries shipped (communication complexity).
+    pub entries_sent: u64,
+}
+
+impl FullOutcome {
+    /// Estimate of `subject` at `node`.
+    pub fn estimate(&self, node: NodeId, subject: NodeId) -> Option<f64> {
+        self.estimates[node.index()].get(&subject.0).copied()
+    }
+}
+
+/// Algorithm 1: global reputation aggregation for a single subject.
+pub mod alg1 {
+    use super::*;
+
+    /// Run Algorithm 1 for `subject`.
+    pub fn run<R: Rng + ?Sized>(
+        system: &ReputationSystem<'_>,
+        subject: NodeId,
+        config: GossipConfig,
+        rng: &mut R,
+    ) -> Result<SingleOutcome, CoreError> {
+        let n = system.node_count();
+        let mut initial = vec![GossipPair::ZERO; n];
+        for (i, t) in system.trust().column(subject) {
+            initial[i.index()] = GossipPair::originator(t.get());
+        }
+        let out = ScalarGossip::new(system.graph(), config, initial)?.run(rng);
+        let estimates = out
+            .pairs
+            .iter()
+            .map(|p| (p.weight > 0.0).then(|| p.ratio().clamp(0.0, 1.0)))
+            .collect();
+        Ok(SingleOutcome {
+            estimates,
+            steps: out.steps,
+            converged: out.converged,
+            messages_per_node_per_step: out.stats.per_node_per_step(),
+            total_messages: out.stats.total(),
+        })
+    }
+}
+
+/// Algorithm 2: globally calibrated local reputation for a single subject.
+pub mod alg2 {
+    use super::*;
+
+    /// Run Algorithm 2 for `subject`.
+    ///
+    /// The paper designates "node 1" as the unit-weight originator; we use
+    /// the lowest-id opinion holder (falling back to node 0 when nobody
+    /// has interacted with the subject, in which case every estimate is
+    /// the neighbour-only blend).
+    pub fn run<R: Rng + ?Sized>(
+        system: &ReputationSystem<'_>,
+        subject: NodeId,
+        config: GossipConfig,
+        rng: &mut R,
+    ) -> Result<SingleOutcome, CoreError> {
+        let n = system.node_count();
+        let column = system.trust().column(subject);
+        let originator = column.first().map(|&(i, _)| i).unwrap_or(NodeId(0));
+
+        // Single-subject vector gossip: the `count` channel rides along.
+        let mut initial = vec![GossipVector::new(); n];
+        for &(i, t) in &column {
+            let entry = if i == originator {
+                VectorEntry::originator(t.get())
+            } else {
+                VectorEntry::passive(t.get())
+            };
+            initial[i.index()].insert(subject.0, entry);
+        }
+        if column.is_empty() {
+            // Still need one unit of gossip weight so ratios are defined.
+            initial[originator.index()].insert(
+                subject.0,
+                VectorEntry {
+                    value: 0.0,
+                    weight: 1.0,
+                    count: 0.0,
+                },
+            );
+        }
+
+        let out = VectorGossip::new(system.graph(), config, initial)?.run(rng);
+
+        let estimates = (0..n)
+            .map(|i| {
+                let observer = NodeId(i as u32);
+                let sum = out.estimate(observer, subject)?;
+                let count = out.count_estimate(observer, subject)?;
+                Some(combine_gclr(system, observer, subject, sum, count))
+            })
+            .collect();
+        Ok(SingleOutcome {
+            estimates,
+            steps: out.steps,
+            converged: out.converged,
+            messages_per_node_per_step: out.stats.per_node_per_step(),
+            total_messages: out.stats.total(),
+        })
+    }
+}
+
+/// Blend the gossiped `(Σ t, N_d)` aggregates with the neighbours' direct
+/// reports per Eq. (6) / Algorithm 2's output line:
+/// `Rep_Ij = (ŷ_Ij + Y) / (Σ(w−1) + Count)`.
+pub(crate) fn combine_gclr(
+    system: &ReputationSystem<'_>,
+    observer: NodeId,
+    subject: NodeId,
+    opinion_sum: f64,
+    opinion_count: f64,
+) -> f64 {
+    let excess = system.neighbour_excess_sum(observer);
+    let denom = excess + opinion_count;
+    if denom <= 0.0 {
+        return 0.0;
+    }
+    ((system.y_hat(observer, subject) + opinion_sum) / denom).clamp(0.0, 1.0)
+}
+
+/// Variation 3: simultaneous global reputation for all subjects.
+pub mod alg3 {
+    use super::*;
+
+    /// Run Variation 3: every node pushes its full feedback vector, every
+    /// opinion holder carries gossip weight 1 per subject.
+    pub fn run<R: Rng + ?Sized>(
+        system: &ReputationSystem<'_>,
+        config: GossipConfig,
+        rng: &mut R,
+    ) -> Result<FullOutcome, CoreError> {
+        let n = system.node_count();
+        let mut initial = vec![GossipVector::new(); n];
+        for (i, j, t) in system.trust().entries() {
+            initial[i.index()].insert(j.0, VectorEntry::originator(t.get()));
+        }
+        let out = VectorGossip::new(system.graph(), config, initial)?.run(rng);
+        let estimates = out
+            .state
+            .iter()
+            .map(|vec| {
+                vec.iter()
+                    .filter(|(_, e)| e.weight > 0.0)
+                    .map(|(&j, e)| (j, e.ratio().clamp(0.0, 1.0)))
+                    .collect()
+            })
+            .collect();
+        Ok(FullOutcome {
+            estimates,
+            steps: out.steps,
+            converged: out.converged,
+            messages_per_node_per_step: out.stats.per_node_per_step(),
+            entries_sent: out.entries_sent,
+        })
+    }
+}
+
+/// Variation 4: simultaneous globally calibrated local reputation for all
+/// subjects.
+pub mod alg4 {
+    use super::*;
+
+    /// Run Variation 4: per subject, the lowest-id opinion holder carries
+    /// the unit gossip weight; counts ride along; each node finishes by
+    /// blending its neighbours' direct reports per Eq. (6).
+    pub fn run<R: Rng + ?Sized>(
+        system: &ReputationSystem<'_>,
+        config: GossipConfig,
+        rng: &mut R,
+    ) -> Result<FullOutcome, CoreError> {
+        let n = system.node_count();
+        // Lowest-id opinion holder per subject (entries() is row-major,
+        // i.e. ascending observer id).
+        let mut originator: BTreeMap<u32, u32> = BTreeMap::new();
+        for (i, j, _) in system.trust().entries() {
+            originator.entry(j.0).or_insert(i.0);
+        }
+        let mut initial = vec![GossipVector::new(); n];
+        for (i, j, t) in system.trust().entries() {
+            let entry = if originator[&j.0] == i.0 {
+                VectorEntry::originator(t.get())
+            } else {
+                VectorEntry::passive(t.get())
+            };
+            initial[i.index()].insert(j.0, entry);
+        }
+        let out = VectorGossip::new(system.graph(), config, initial)?.run(rng);
+
+        let estimates = (0..n)
+            .map(|i| {
+                let observer = NodeId(i as u32);
+                out.state[i]
+                    .iter()
+                    .filter(|(_, e)| e.weight > 0.0)
+                    .map(|(&j, e)| {
+                        let subject = NodeId(j);
+                        let count = e.count_estimate().unwrap_or(0.0);
+                        let rep =
+                            combine_gclr(system, observer, subject, e.ratio(), count);
+                        (j, rep)
+                    })
+                    .collect()
+            })
+            .collect();
+        Ok(FullOutcome {
+            estimates,
+            steps: out.steps,
+            converged: out.converged,
+            messages_per_node_per_step: out.stats.per_node_per_step(),
+            entries_sent: out.entries_sent,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reputation::trust_from_qualities;
+    use dg_graph::{generators, pa};
+    use dg_trust::{TrustMatrix, TrustValue, WeightParams};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    fn tv(v: f64) -> TrustValue {
+        TrustValue::new(v).unwrap()
+    }
+
+    fn config() -> GossipConfig {
+        GossipConfig::differential(1e-9).unwrap()
+    }
+
+    #[test]
+    fn alg1_converges_to_mean_opinion() {
+        let g = generators::complete(15);
+        let mut m = TrustMatrix::new(15);
+        m.set(NodeId(2), NodeId(7), tv(0.9)).unwrap();
+        m.set(NodeId(4), NodeId(7), tv(0.5)).unwrap();
+        m.set(NodeId(9), NodeId(7), tv(0.1)).unwrap();
+        let s = ReputationSystem::new(&g, m, WeightParams::default()).unwrap();
+        let out = alg1::run(&s, NodeId(7), config(), &mut rng(1)).unwrap();
+        assert!(out.converged);
+        let expected = s.global_reputation(NodeId(7)).unwrap();
+        for (i, est) in out.estimates.iter().enumerate() {
+            let est = est.expect("converged run has mass everywhere");
+            assert!((est - expected).abs() < 1e-3, "node {i}: {est} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn alg2_converges_to_closed_form_gclr() {
+        let g = pa::preferential_attachment(pa::PaConfig { nodes: 40, m: 2 }, &mut rng(2))
+            .unwrap();
+        let qualities: Vec<f64> = (0..40).map(|i| 0.2 + 0.6 * ((i % 7) as f64 / 6.0)).collect();
+        let m = trust_from_qualities(&g, &qualities);
+        let s = ReputationSystem::new(&g, m, WeightParams::new(2.0, 2.0).unwrap()).unwrap();
+        let subject = NodeId(5);
+        let out = alg2::run(&s, subject, config(), &mut rng(3)).unwrap();
+        assert!(out.converged);
+        for i in 0..40u32 {
+            let observer = NodeId(i);
+            let est = out.estimates[i as usize].expect("mass everywhere");
+            let reference = s.gclr(observer, subject).unwrap();
+            assert!(
+                (est - reference).abs() < 5e-3,
+                "observer {i}: gossip {est} vs closed form {reference}"
+            );
+        }
+    }
+
+    #[test]
+    fn alg2_unknown_subject_gives_neighbour_only_blend() {
+        let g = generators::complete(6);
+        let m = TrustMatrix::new(6); // nobody knows anybody
+        let s = ReputationSystem::new(&g, m, WeightParams::default()).unwrap();
+        let out = alg2::run(&s, NodeId(3), config(), &mut rng(4)).unwrap();
+        assert!(out.converged);
+        for est in out.estimates.iter().flatten() {
+            assert_eq!(*est, 0.0);
+        }
+    }
+
+    #[test]
+    fn alg3_matches_per_subject_means() {
+        let g = generators::complete(10);
+        let mut m = TrustMatrix::new(10);
+        m.set(NodeId(0), NodeId(4), tv(0.9)).unwrap();
+        m.set(NodeId(1), NodeId(4), tv(0.3)).unwrap();
+        m.set(NodeId(2), NodeId(8), tv(0.7)).unwrap();
+        let s = ReputationSystem::new(&g, m, WeightParams::default()).unwrap();
+        let out = alg3::run(&s, config(), &mut rng(5)).unwrap();
+        assert!(out.converged);
+        for i in 0..10u32 {
+            let e4 = out.estimate(NodeId(i), NodeId(4)).unwrap();
+            let e8 = out.estimate(NodeId(i), NodeId(8)).unwrap();
+            assert!((e4 - 0.6).abs() < 1e-3, "node {i}: {e4}");
+            assert!((e8 - 0.7).abs() < 1e-3, "node {i}: {e8}");
+        }
+    }
+
+    #[test]
+    fn alg4_matches_closed_form_matrix() {
+        let g = pa::preferential_attachment(pa::PaConfig { nodes: 30, m: 2 }, &mut rng(6))
+            .unwrap();
+        let qualities: Vec<f64> = (0..30).map(|i| 0.1 + 0.8 * ((i % 5) as f64 / 4.0)).collect();
+        let m = trust_from_qualities(&g, &qualities);
+        let s = ReputationSystem::new(&g, m, WeightParams::new(2.0, 2.0).unwrap()).unwrap();
+        let out = alg4::run(&s, config(), &mut rng(7)).unwrap();
+        assert!(out.converged);
+        let mut checked = 0;
+        for i in 0..30u32 {
+            let observer = NodeId(i);
+            for (&j, &est) in &out.estimates[i as usize] {
+                let reference = s.gclr(observer, NodeId(j)).unwrap();
+                assert!(
+                    (est - reference).abs() < 2e-2,
+                    "({i}, {j}): gossip {est} vs closed form {reference}"
+                );
+                checked += 1;
+            }
+        }
+        assert!(checked > 100, "only {checked} estimates checked");
+    }
+
+    #[test]
+    fn alg4_with_neutral_weights_equals_alg3() {
+        let g = generators::complete(12);
+        let mut m = TrustMatrix::new(12);
+        m.set(NodeId(0), NodeId(3), tv(0.8)).unwrap();
+        m.set(NodeId(1), NodeId(3), tv(0.4)).unwrap();
+        m.set(NodeId(5), NodeId(9), tv(0.6)).unwrap();
+        let s = ReputationSystem::new(&g, m, WeightParams::neutral()).unwrap();
+        let v3 = alg3::run(&s, config(), &mut rng(8)).unwrap();
+        let v4 = alg4::run(&s, config(), &mut rng(9)).unwrap();
+        assert!(v3.converged && v4.converged);
+        for i in 0..12u32 {
+            for j in [3u32, 9] {
+                let a = v3.estimate(NodeId(i), NodeId(j)).unwrap();
+                let b = v4.estimate(NodeId(i), NodeId(j)).unwrap();
+                assert!((a - b).abs() < 1e-2, "({i}, {j}): v3 {a} vs v4 {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn outcome_metrics_are_populated() {
+        let g = generators::complete(8);
+        let mut m = TrustMatrix::new(8);
+        m.set(NodeId(1), NodeId(2), tv(0.5)).unwrap();
+        m.set(NodeId(3), NodeId(2), tv(0.9)).unwrap();
+        let s = ReputationSystem::new(&g, m, WeightParams::default()).unwrap();
+        let out = alg1::run(&s, NodeId(2), config(), &mut rng(10)).unwrap();
+        assert!(out.steps > 0);
+        assert!(out.total_messages > 0);
+        assert!(out.messages_per_node_per_step > 0.0);
+    }
+}

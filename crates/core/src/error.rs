@@ -1,0 +1,32 @@
+//! Error type for the aggregation layer.
+
+use thiserror::Error;
+
+/// Errors produced by the reputation aggregation algorithms.
+#[derive(Debug, Error)]
+pub enum CoreError {
+    /// Bubbled up from the gossip engines.
+    #[error(transparent)]
+    Gossip(#[from] dg_gossip::GossipError),
+
+    /// Bubbled up from the trust layer.
+    #[error(transparent)]
+    Trust(#[from] dg_trust::TrustError),
+
+    /// Bubbled up from topology construction.
+    #[error(transparent)]
+    Graph(#[from] dg_graph::GraphError),
+
+    /// The trust matrix dimension didn't match the graph.
+    #[error("trust matrix is {matrix} nodes but graph has {graph}")]
+    DimensionMismatch {
+        /// Trust matrix dimension.
+        matrix: usize,
+        /// Graph node count.
+        graph: usize,
+    },
+
+    /// Collusion parameters were inconsistent.
+    #[error("invalid collusion parameters: {0}")]
+    InvalidCollusion(String),
+}

@@ -1,0 +1,48 @@
+//! # dg-core — differential gossip trust, the paper's contribution
+//!
+//! This crate assembles the trust primitives ([`dg_trust`]) and gossip
+//! engines ([`dg_gossip`]) into the four reputation-aggregation algorithm
+//! variants of Section 4.1.2:
+//!
+//! | Variant | Scope | Output | Module |
+//! |---------|-------|--------|--------|
+//! | Algorithm 1 | one subject | global reputation `R_j` at every node | [`algorithms::alg1`] |
+//! | Algorithm 2 | one subject | globally calibrated local reputation `Rep_Ij` | [`algorithms::alg2`] |
+//! | Variation 3 | all subjects | global reputation vector at every node | [`algorithms::alg3`] |
+//! | Variation 4 | all subjects | GCLR matrix (one row per node) | [`algorithms::alg4`] |
+//!
+//! plus:
+//!
+//! * [`reputation`] — a [`reputation::ReputationSystem`]
+//!   facade bundling graph + trust matrix + weight law, including the
+//!   closed-form Eq. (4)/(6) evaluation the gossip outputs are verified
+//!   against (and which the large collusion sweeps use directly),
+//! * [`behavior`] — honest / free-rider / colluder node profiles and the
+//!   latent-quality ground truth,
+//! * [`collusion`] — colluding-group assignment, the distorted gossip
+//!   reports, the exact ΔR formulas of Eqs. (12) and (17), and the
+//!   RMS-error metric of Eq. (18),
+//! * [`adaptive`] — the paper's deferred dynamic adjustment of the
+//!   weight-law parameters `a_i` / `b_ij` (QoS-driven base,
+//!   recommendation-accuracy-driven exponents),
+//! * [`whitewash`] — the whitewashing attack, the zero-prior defence and
+//!   the dynamically adjusted newcomer prior the paper sketches.
+
+pub mod adaptive;
+pub mod algorithms;
+pub mod behavior;
+pub mod collusion;
+pub mod error;
+pub mod reputation;
+pub mod whitewash;
+
+pub use error::CoreError;
+pub use reputation::ReputationSystem;
+
+/// Convenience prelude.
+pub mod prelude {
+    pub use crate::algorithms::{alg1, alg2, alg3, alg4, SingleOutcome};
+    pub use crate::behavior::{Behavior, Population};
+    pub use crate::collusion::{CollusionScheme, GroupAssignment};
+    pub use crate::reputation::ReputationSystem;
+}

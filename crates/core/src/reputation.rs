@@ -1,0 +1,324 @@
+//! The [`ReputationSystem`] facade and the closed-form reference
+//! evaluations of Eqs. (1), (4) and (6).
+//!
+//! Gossip converges to well-defined network-wide quantities; this module
+//! computes them directly from the trust matrix so that (a) tests can
+//! verify every gossip algorithm against its analytical limit and (b) the
+//! large collusion sweeps can evaluate thousands of observer/subject
+//! pairs without re-running gossip for each.
+//!
+//! Conventions (matching the gossip semantics, see DESIGN.md §4):
+//!
+//! * the **global reputation** of subject `j` is the mean of the direct
+//!   opinions over the `N_d` nodes that hold one (the value Algorithm 1's
+//!   push-sum converges to: `Σᵢ y_ij / Σᵢ g_ij`);
+//! * the **globally calibrated local reputation** of `j` at observer `I`
+//!   follows Eq. (6) with the gossiped count:
+//!   `Rep_Ij = (Σ_{k∈NS_I}(w_Ik−1)·t_kj + Σᵢ t_ij) / (Σ_{k∈NS_I}(w_Ik−1) + N_d)`.
+
+use crate::error::CoreError;
+use dg_graph::{Graph, NodeId};
+use dg_trust::{TrustMatrix, TrustValue, WeightParams};
+
+/// Bundles a topology, the direct-interaction trust matrix and the weight
+/// law, and exposes both the gossip algorithms (via
+/// [`crate::algorithms`]) and their closed-form limits.
+#[derive(Debug, Clone)]
+pub struct ReputationSystem<'g> {
+    graph: &'g Graph,
+    trust: TrustMatrix,
+    weights: WeightParams,
+}
+
+impl<'g> ReputationSystem<'g> {
+    /// Create a system; the trust matrix dimension must match the graph.
+    pub fn new(
+        graph: &'g Graph,
+        trust: TrustMatrix,
+        weights: WeightParams,
+    ) -> Result<Self, CoreError> {
+        if trust.node_count() != graph.node_count() {
+            return Err(CoreError::DimensionMismatch {
+                matrix: trust.node_count(),
+                graph: graph.node_count(),
+            });
+        }
+        Ok(Self {
+            graph,
+            trust,
+            weights,
+        })
+    }
+
+    /// The topology.
+    pub fn graph(&self) -> &Graph {
+        self.graph
+    }
+
+    /// The direct-interaction trust matrix.
+    pub fn trust(&self) -> &TrustMatrix {
+        &self.trust
+    }
+
+    /// Mutable trust matrix (workloads update it between gossip rounds).
+    pub fn trust_mut(&mut self) -> &mut TrustMatrix {
+        &mut self.trust
+    }
+
+    /// The weight law.
+    pub fn weights(&self) -> WeightParams {
+        self.weights
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// `w_Ik` — the weight observer `I` gives to node `k`'s opinion,
+    /// from `I`'s direct trust in `k` (1 for strangers).
+    pub fn weight_of(&self, observer: NodeId, k: NodeId) -> f64 {
+        self.weights.weight(self.trust.get_or_zero(observer, k))
+    }
+
+    /// `Σ_{k ∈ NS_I} (w_Ik − 1)` — the total excess weight observer `I`
+    /// grants its neighbourhood (the denominator correction of Eq. (6)).
+    pub fn neighbour_excess_sum(&self, observer: NodeId) -> f64 {
+        self.graph
+            .neighbours(observer)
+            .iter()
+            .map(|&k| self.weight_of(observer, NodeId(k)) - 1.0)
+            .sum()
+    }
+
+    /// `ŷ_Ij = Σ_{k ∈ NS_I} (w_Ik − 1) · t_kj` — the weighted excess of
+    /// the neighbours' direct reports about `j` (Algorithm 2). Neighbours
+    /// without an opinion report the anti-whitewash default 0.
+    pub fn y_hat(&self, observer: NodeId, subject: NodeId) -> f64 {
+        self.graph
+            .neighbours(observer)
+            .iter()
+            .map(|&k| {
+                let k = NodeId(k);
+                (self.weight_of(observer, k) - 1.0)
+                    * self.trust.get_or_zero(k, subject).get()
+            })
+            .sum()
+    }
+
+    /// Closed form of Algorithm 1's limit: the mean direct opinion about
+    /// `j` over its `N_d` opinion holders. `None` when nobody has
+    /// interacted with `j`.
+    pub fn global_reputation(&self, subject: NodeId) -> Option<f64> {
+        self.trust.mean_opinion(subject)
+    }
+
+    /// Closed form of Algorithm 2's limit (Eq. (6) with the gossiped
+    /// count): the globally calibrated local reputation of `subject` at
+    /// `observer`.
+    ///
+    /// Returns `None` when the denominator is zero (no opinions anywhere
+    /// and no weighted neighbourhood).
+    pub fn gclr(&self, observer: NodeId, subject: NodeId) -> Option<f64> {
+        let nd = self.trust.opinion_count(subject) as f64;
+        let excess = self.neighbour_excess_sum(observer);
+        let denom = excess + nd;
+        if denom <= 0.0 {
+            return None;
+        }
+        let num = self.y_hat(observer, subject) + self.trust.opinion_sum(subject);
+        Some((num / denom).clamp(0.0, 1.0))
+    }
+
+    /// Full GCLR matrix by closed form: `result[I]` maps subject → Rep_Ij
+    /// for every subject anyone has an opinion about.
+    pub fn gclr_matrix(&self) -> Vec<Vec<(NodeId, f64)>> {
+        let n = self.node_count();
+        // Pre-compute per-subject sums and counts once.
+        let mut subjects: Vec<NodeId> = Vec::new();
+        let mut seen = vec![false; n];
+        for (_, j, _) in self.trust.entries() {
+            if !seen[j.index()] {
+                seen[j.index()] = true;
+                subjects.push(j);
+            }
+        }
+        subjects.sort_unstable();
+        let sums: Vec<f64> = subjects.iter().map(|&j| self.trust.opinion_sum(j)).collect();
+        let counts: Vec<f64> = subjects
+            .iter()
+            .map(|&j| self.trust.opinion_count(j) as f64)
+            .collect();
+
+        (0..n)
+            .map(|i| {
+                let observer = NodeId(i as u32);
+                let excess = self.neighbour_excess_sum(observer);
+                subjects
+                    .iter()
+                    .zip(sums.iter().zip(&counts))
+                    .filter_map(|(&j, (&sum, &count))| {
+                        let denom = excess + count;
+                        (denom > 0.0).then(|| {
+                            let num = self.y_hat(observer, j) + sum;
+                            (j, (num / denom).clamp(0.0, 1.0))
+                        })
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// With the neutral weight law (`w ≡ 1`), Eq. (5) degenerates to
+    /// Eq. (1): GCLR equals the global reputation for every observer.
+    /// Exposed for tests and the ablation harness.
+    pub fn is_neutral(&self) -> bool {
+        self.weights.max_weight() == 1.0
+    }
+}
+
+/// Build a trust matrix from a latent-quality vector along graph edges:
+/// every node estimates each *neighbour*'s quality exactly (the
+/// no-estimation-noise limit, handy for analytical tests).
+pub fn trust_from_qualities(graph: &Graph, qualities: &[f64]) -> TrustMatrix {
+    let mut m = TrustMatrix::new(graph.node_count());
+    for v in graph.nodes() {
+        for &w in graph.neighbours(v) {
+            let w = NodeId(w);
+            m.set(v, w, TrustValue::saturating(qualities[w.index()]))
+                .expect("ids from graph are in range");
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dg_graph::generators;
+
+    fn tv(v: f64) -> TrustValue {
+        TrustValue::new(v).unwrap()
+    }
+
+    fn small_system(graph: &Graph) -> ReputationSystem<'_> {
+        // Star: 0 hub, leaves 1..4. Opinions: 1 and 2 trust 3; hub trusts 1.
+        let mut m = TrustMatrix::new(graph.node_count());
+        m.set(NodeId(1), NodeId(3), tv(0.8)).unwrap();
+        m.set(NodeId(2), NodeId(3), tv(0.4)).unwrap();
+        m.set(NodeId(0), NodeId(1), tv(1.0)).unwrap();
+        ReputationSystem::new(graph, m, WeightParams::new(2.0, 1.0).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let g = generators::complete(3);
+        let m = TrustMatrix::new(5);
+        assert!(matches!(
+            ReputationSystem::new(&g, m, WeightParams::default()),
+            Err(CoreError::DimensionMismatch { matrix: 5, graph: 3 })
+        ));
+    }
+
+    #[test]
+    fn global_reputation_is_mean_opinion() {
+        let g = generators::star(5).unwrap();
+        let s = small_system(&g);
+        assert!((s.global_reputation(NodeId(3)).unwrap() - 0.6).abs() < 1e-12);
+        assert_eq!(s.global_reputation(NodeId(4)), None);
+    }
+
+    #[test]
+    fn weight_of_stranger_is_one() {
+        let g = generators::star(5).unwrap();
+        let s = small_system(&g);
+        assert_eq!(s.weight_of(NodeId(0), NodeId(2)), 1.0);
+        // Hub trusts node 1 fully: w = 2^(1·1) = 2.
+        assert!((s.weight_of(NodeId(0), NodeId(1)) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn excess_sum_counts_only_trusted_neighbours() {
+        let g = generators::star(5).unwrap();
+        let s = small_system(&g);
+        // Hub's neighbours are 1..4; only node 1 is trusted (w = 2).
+        assert!((s.neighbour_excess_sum(NodeId(0)) - 1.0).abs() < 1e-12);
+        // Leaf 1's only neighbour is the hub, untrusted by 1: excess 0.
+        assert_eq!(s.neighbour_excess_sum(NodeId(1)), 0.0);
+    }
+
+    #[test]
+    fn y_hat_weights_neighbour_reports() {
+        let g = generators::star(5).unwrap();
+        let s = small_system(&g);
+        // Hub about subject 3: neighbour 1 reports 0.8 with excess 1,
+        // neighbours 2, 3, 4 have excess 0.
+        assert!((s.y_hat(NodeId(0), NodeId(3)) - 0.8).abs() < 1e-12);
+        // Leaf 1 about subject 3: hub has no opinion and no excess.
+        assert_eq!(s.y_hat(NodeId(1), NodeId(3)), 0.0);
+    }
+
+    #[test]
+    fn gclr_matches_eq6_by_hand() {
+        let g = generators::star(5).unwrap();
+        let s = small_system(&g);
+        // Observer 0, subject 3: (ŷ + Σt)/(excess + N_d)
+        //   = (0.8 + 1.2)/(1.0 + 2) = 2.0/3.
+        let rep = s.gclr(NodeId(0), NodeId(3)).unwrap();
+        assert!((rep - 2.0 / 3.0).abs() < 1e-12);
+        // Observer 1 (no weighted neighbours): plain mean 0.6.
+        let rep1 = s.gclr(NodeId(1), NodeId(3)).unwrap();
+        assert!((rep1 - 0.6).abs() < 1e-12);
+        // Unknown subject with no weighted neighbourhood: None for
+        // observer 1, Some for observer 0 (its excess is positive).
+        assert_eq!(s.gclr(NodeId(1), NodeId(4)), None);
+        let rep_unknown = s.gclr(NodeId(0), NodeId(4)).unwrap();
+        assert_eq!(rep_unknown, 0.0);
+    }
+
+    #[test]
+    fn neutral_weights_degenerate_to_global() {
+        let g = generators::star(5).unwrap();
+        let mut m = TrustMatrix::new(5);
+        m.set(NodeId(1), NodeId(3), tv(0.8)).unwrap();
+        m.set(NodeId(2), NodeId(3), tv(0.4)).unwrap();
+        m.set(NodeId(0), NodeId(1), tv(1.0)).unwrap();
+        let s = ReputationSystem::new(&g, m, WeightParams::neutral()).unwrap();
+        assert!(s.is_neutral());
+        for observer in g.nodes() {
+            let rep = s.gclr(observer, NodeId(3)).unwrap();
+            assert!((rep - 0.6).abs() < 1e-12, "observer {observer}: {rep}");
+        }
+    }
+
+    #[test]
+    fn gclr_matrix_agrees_with_pointwise() {
+        let g = generators::complete(6);
+        let mut m = TrustMatrix::new(6);
+        m.set(NodeId(0), NodeId(1), tv(0.9)).unwrap();
+        m.set(NodeId(2), NodeId(1), tv(0.5)).unwrap();
+        m.set(NodeId(3), NodeId(4), tv(0.7)).unwrap();
+        m.set(NodeId(1), NodeId(2), tv(0.6)).unwrap();
+        let s = ReputationSystem::new(&g, m, WeightParams::default()).unwrap();
+        let matrix = s.gclr_matrix();
+        for (i, row) in matrix.iter().enumerate() {
+            for &(j, rep) in row {
+                let direct = s.gclr(NodeId(i as u32), j).unwrap();
+                assert!((rep - direct).abs() < 1e-12, "({i}, {j})");
+            }
+        }
+        // Subjects 1, 2, 4 have opinions; rows should cover exactly those.
+        assert_eq!(matrix[5].len(), 3);
+    }
+
+    #[test]
+    fn trust_from_qualities_fills_edges() {
+        let g = generators::ring(4).unwrap();
+        let q = [0.1, 0.4, 0.7, 1.0];
+        let m = trust_from_qualities(&g, &q);
+        assert_eq!(m.get(NodeId(0), NodeId(1)).unwrap().get(), 0.4);
+        assert_eq!(m.get(NodeId(1), NodeId(0)).unwrap().get(), 0.1);
+        assert_eq!(m.get(NodeId(0), NodeId(2)), None); // not adjacent
+        assert_eq!(m.entry_count(), 8); // 4 edges, both directions
+    }
+}

@@ -1,0 +1,191 @@
+//! Whitewashing: the attack and the zero-prior defence
+//! (Section 4.1.2's deferred aspect).
+//!
+//! "If a node 'A' has not transacted with a node 'B', then the trust
+//! value of node 'B' will also remain 0 with the node 'A'. This initial
+//! value is taken as 0 to avoid the white washing attack. This initial
+//! value can also be taken as higher than zero and can be dynamically
+//! adjusted thereafter as per the level of whitewashing in the network.
+//! In this paper, we have not studied this aspect."
+//!
+//! We study it. A *whitewasher* is a peer that, whenever its reputation
+//! collapses, discards its identity and rejoins fresh. Whether the attack
+//! pays depends entirely on what a fresh identity is worth:
+//!
+//! * with the paper's zero prior, a rejoiner is indistinguishable from a
+//!   leech — whitewashing buys nothing (it actually *loses* whatever
+//!   residual trust the old identity still had);
+//! * with an optimistic prior `p > 0`, every wash resets the peer to
+//!   reputation `p`, so a free rider can ride the honeymoon forever.
+//!
+//! [`whitewash_gain`] quantifies the attack value; [`adaptive_prior`]
+//! implements the dynamic adjustment the paper hints at: lower the
+//! newcomer prior as the observed wash rate rises.
+
+use dg_trust::TrustValue;
+use serde::{Deserialize, Serialize};
+
+/// Outcome of evaluating the whitewash attack under a newcomer prior.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WhitewashGain {
+    /// Reputation of the (exposed) old identity at wash time.
+    pub before: f64,
+    /// Reputation of the fresh identity (the newcomer prior).
+    pub after: f64,
+    /// `after − before`: positive means the attack pays.
+    pub gain: f64,
+}
+
+/// Value of discarding an identity with reputation `exposed` and
+/// rejoining under `newcomer_prior`.
+pub fn whitewash_gain(exposed: TrustValue, newcomer_prior: TrustValue) -> WhitewashGain {
+    WhitewashGain {
+        before: exposed.get(),
+        after: newcomer_prior.get(),
+        gain: newcomer_prior.get() - exposed.get(),
+    }
+}
+
+/// Configuration of the adaptive newcomer prior.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdaptivePriorConfig {
+    /// Prior granted when no whitewashing is observed.
+    pub max_prior: f64,
+    /// Wash rate (washes per join) at which the prior hits zero.
+    pub saturation_rate: f64,
+}
+
+impl Default for AdaptivePriorConfig {
+    fn default() -> Self {
+        Self {
+            max_prior: 0.3,
+            saturation_rate: 0.25,
+        }
+    }
+}
+
+/// The dynamically adjusted newcomer prior: linear decay from
+/// `max_prior` (no observed whitewashing) to the paper's hard zero once
+/// the observed wash rate reaches `saturation_rate`.
+///
+/// `observed_wash_rate` is the fraction of recent joins attributed to
+/// identity churn (e.g. via address reuse or behavioural fingerprints —
+/// how it is measured is deployment-specific).
+pub fn adaptive_prior(config: AdaptivePriorConfig, observed_wash_rate: f64) -> TrustValue {
+    let rate = if observed_wash_rate.is_nan() {
+        1.0 // unknown measurement: assume the worst
+    } else {
+        observed_wash_rate.clamp(0.0, 1.0)
+    };
+    if config.saturation_rate <= 0.0 {
+        return TrustValue::ZERO;
+    }
+    let scale = 1.0 - (rate / config.saturation_rate).min(1.0);
+    TrustValue::saturating(config.max_prior * scale)
+}
+
+/// A whitewashing peer's lifecycle statistics over a simulated horizon.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct WashCycleStats {
+    /// Identities consumed.
+    pub identities: u32,
+    /// Total service the attacker extracted (sum of per-round admitted
+    /// reputation value, a proxy for download capacity granted).
+    pub extracted: f64,
+}
+
+/// Simulate a free rider that washes whenever its reputation falls below
+/// `wash_threshold`. Each round its reputation decays multiplicatively
+/// (providers observe the leeching) and it extracts service proportional
+/// to its current reputation. Returns totals for `rounds` rounds.
+pub fn simulate_washer(
+    newcomer_prior: TrustValue,
+    wash_threshold: f64,
+    decay_per_round: f64,
+    rounds: u32,
+) -> WashCycleStats {
+    let decay = decay_per_round.clamp(0.0, 1.0);
+    let mut stats = WashCycleStats {
+        identities: 1,
+        extracted: 0.0,
+    };
+    let mut rep = newcomer_prior.get();
+    for _ in 0..rounds {
+        stats.extracted += rep;
+        rep *= decay;
+        if rep < wash_threshold {
+            // Discard the identity, rejoin fresh.
+            stats.identities += 1;
+            rep = newcomer_prior.get();
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tv(v: f64) -> TrustValue {
+        TrustValue::new(v).unwrap()
+    }
+
+    #[test]
+    fn zero_prior_makes_washing_worthless() {
+        // Old identity still had 0.15; washing to a zero prior *loses*.
+        let g = whitewash_gain(tv(0.15), TrustValue::ZERO);
+        assert!(g.gain < 0.0);
+        // Even a fully exposed identity gains exactly nothing.
+        let g0 = whitewash_gain(TrustValue::ZERO, TrustValue::ZERO);
+        assert_eq!(g0.gain, 0.0);
+    }
+
+    #[test]
+    fn optimistic_prior_pays_the_attacker() {
+        let g = whitewash_gain(tv(0.05), tv(0.4));
+        assert!(g.gain > 0.3);
+    }
+
+    #[test]
+    fn adaptive_prior_decays_with_wash_rate() {
+        let cfg = AdaptivePriorConfig::default();
+        let clean = adaptive_prior(cfg, 0.0);
+        let some = adaptive_prior(cfg, 0.1);
+        let heavy = adaptive_prior(cfg, 0.25);
+        assert_eq!(clean.get(), 0.3);
+        assert!(some.get() < clean.get() && some.get() > 0.0);
+        assert_eq!(heavy.get(), 0.0);
+        // Beyond saturation it stays pinned at the paper's hard zero.
+        assert_eq!(adaptive_prior(cfg, 0.9).get(), 0.0);
+        // Unknown measurement is treated pessimistically.
+        assert_eq!(adaptive_prior(cfg, f64::NAN).get(), 0.0);
+    }
+
+    #[test]
+    fn washer_extraction_scales_with_prior() {
+        // Under a zero prior the washer extracts nothing at all; under an
+        // optimistic prior it farms the honeymoon indefinitely.
+        let zero = simulate_washer(TrustValue::ZERO, 0.05, 0.5, 100);
+        let optimistic = simulate_washer(tv(0.4), 0.05, 0.5, 100);
+        assert_eq!(zero.extracted, 0.0);
+        assert!(optimistic.extracted > 10.0);
+        assert!(optimistic.identities > 10);
+    }
+
+    #[test]
+    fn adaptive_prior_closes_the_loop() {
+        // As the network observes more washes, the prior drops, and with
+        // it the attack value — the dynamic adjustment the paper sketches.
+        let cfg = AdaptivePriorConfig::default();
+        let mut extracted_at_rate = Vec::new();
+        for rate in [0.0, 0.1, 0.2, 0.25] {
+            let prior = adaptive_prior(cfg, rate);
+            let stats = simulate_washer(prior, 0.05, 0.5, 200);
+            extracted_at_rate.push(stats.extracted);
+        }
+        for pair in extracted_at_rate.windows(2) {
+            assert!(pair[1] <= pair[0] + 1e-12, "{extracted_at_rate:?}");
+        }
+        assert_eq!(*extracted_at_rate.last().unwrap(), 0.0);
+    }
+}

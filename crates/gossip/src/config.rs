@@ -1,0 +1,133 @@
+//! Engine configuration.
+
+use crate::error::GossipError;
+use crate::fanout::FanoutPolicy;
+use crate::loss::{ChurnModel, LossModel};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a gossip run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GossipConfig {
+    /// Convergence tolerance `ξ` of the paper's algorithms.
+    pub xi: f64,
+    /// Fan-out policy (differential vs. uniform push).
+    pub fanout: FanoutPolicy,
+    /// Packet loss model (Fig. 4).
+    pub loss: LossModel,
+    /// Churn model (node departures with pair hand-over).
+    pub churn: ChurnModel,
+    /// Hard step cap: runs that have not converged by then report
+    /// `converged = false` instead of spinning forever.
+    pub max_steps: usize,
+    /// Whether convergence announcements are *sticky* (the paper's
+    /// literal protocol: once announced, never revoked). Sticky
+    /// announcements are safe — and faster to quiesce — when every node
+    /// starts with positive gossip weight (averaging mode). With
+    /// zero-weight regions (single-subject aggregation) they can freeze
+    /// sentinel-ratio nodes early, so the default is `false`: a stopped
+    /// node whose ratio is disturbed by more than `ξ` revokes and
+    /// resumes (see the `scalar` module docs).
+    pub sticky_announcements: bool,
+}
+
+impl Default for GossipConfig {
+    fn default() -> Self {
+        Self {
+            xi: 1e-4,
+            fanout: FanoutPolicy::Differential,
+            loss: LossModel::none(),
+            churn: ChurnModel::none(),
+            max_steps: 100_000,
+            sticky_announcements: false,
+        }
+    }
+}
+
+impl GossipConfig {
+    /// Differential gossip with tolerance `xi` and otherwise default
+    /// settings.
+    pub fn differential(xi: f64) -> Result<Self, GossipError> {
+        Self {
+            xi,
+            ..Self::default()
+        }
+        .validated()
+    }
+
+    /// Normal (uniform, 1-push) push gossip with tolerance `xi` — the
+    /// GossipTrust-style baseline.
+    pub fn normal_push(xi: f64) -> Result<Self, GossipError> {
+        Self {
+            xi,
+            fanout: FanoutPolicy::Uniform(1),
+            ..Self::default()
+        }
+        .validated()
+    }
+
+    /// Builder-style: set the loss model.
+    pub fn with_loss(mut self, loss: LossModel) -> Self {
+        self.loss = loss;
+        self
+    }
+
+    /// Builder-style: set the churn model.
+    pub fn with_churn(mut self, churn: ChurnModel) -> Self {
+        self.churn = churn;
+        self
+    }
+
+    /// Builder-style: set the step cap.
+    pub fn with_max_steps(mut self, max_steps: usize) -> Self {
+        self.max_steps = max_steps;
+        self
+    }
+
+    /// Builder-style: use the paper's literal sticky announcements.
+    pub fn with_sticky_announcements(mut self) -> Self {
+        self.sticky_announcements = true;
+        self
+    }
+
+    /// Validate the tolerance.
+    pub fn validated(self) -> Result<Self, GossipError> {
+        if !self.xi.is_finite() || self.xi <= 0.0 {
+            return Err(GossipError::InvalidTolerance(self.xi));
+        }
+        Ok(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        assert!(GossipConfig::default().validated().is_ok());
+    }
+
+    #[test]
+    fn tolerance_validation() {
+        assert!(GossipConfig::differential(0.0).is_err());
+        assert!(GossipConfig::differential(-1.0).is_err());
+        assert!(GossipConfig::differential(f64::NAN).is_err());
+        assert!(GossipConfig::differential(1e-5).is_ok());
+    }
+
+    #[test]
+    fn normal_push_uses_uniform_one() {
+        let c = GossipConfig::normal_push(1e-3).unwrap();
+        assert_eq!(c.fanout, FanoutPolicy::Uniform(1));
+    }
+
+    #[test]
+    fn builder_methods_compose() {
+        let c = GossipConfig::differential(1e-3)
+            .unwrap()
+            .with_loss(LossModel::new(0.1).unwrap())
+            .with_max_steps(42);
+        assert_eq!(c.max_steps, 42);
+        assert!((c.loss.probability() - 0.1).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,95 @@
+//! Push fan-out policies.
+//!
+//! Normal push gossip makes exactly one push per node per step; the
+//! paper's differential push makes `k_i = round(deg(i) / avg-neighbour-
+//! degree)` pushes (minimum 1), so hubs in a power-law graph shed their
+//! information fast enough for the `O((log₂N)²)` bound of Theorem 5.1 to
+//! hold without anyone having to *identify* the hubs.
+
+use crate::error::GossipError;
+use dg_graph::Graph;
+use serde::{Deserialize, Serialize};
+
+/// How many pushes each node makes per gossip step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum FanoutPolicy {
+    /// Every node makes the same number of pushes (`p = 1` is the normal
+    /// push gossip of Kempe et al. / GossipTrust).
+    Uniform(usize),
+    /// The paper's differential rule: `k_i = max(1, round(deg_i / d̄_i))`
+    /// where `d̄_i` is the average degree of `i`'s neighbours.
+    #[default]
+    Differential,
+}
+
+impl FanoutPolicy {
+    /// Resolve to a per-node fan-out vector for `graph`.
+    ///
+    /// Fan-outs are additionally clamped to the node degree — a node
+    /// cannot push to more distinct neighbours than it has. (The
+    /// differential ratio never exceeds the degree, so the clamp only
+    /// matters for large uniform policies.)
+    pub fn resolve(self, graph: &Graph) -> Result<Vec<usize>, GossipError> {
+        match self {
+            FanoutPolicy::Uniform(0) => Err(GossipError::ZeroFanout),
+            FanoutPolicy::Uniform(p) => Ok(graph
+                .nodes()
+                .map(|v| p.min(graph.degree(v)).max(1))
+                .collect()),
+            FanoutPolicy::Differential => Ok(graph.differential_fanouts()),
+        }
+    }
+
+    /// Short label used in experiment output.
+    pub fn label(self) -> String {
+        match self {
+            FanoutPolicy::Uniform(1) => "push".to_owned(),
+            FanoutPolicy::Uniform(p) => format!("push-{p}"),
+            FanoutPolicy::Differential => "differential".to_owned(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dg_graph::generators;
+
+    #[test]
+    fn uniform_one_is_all_ones() {
+        let g = generators::paper_example();
+        let f = FanoutPolicy::Uniform(1).resolve(&g).unwrap();
+        assert!(f.iter().all(|&k| k == 1));
+    }
+
+    #[test]
+    fn uniform_clamps_to_degree() {
+        let g = generators::star(5).unwrap();
+        let f = FanoutPolicy::Uniform(3).resolve(&g).unwrap();
+        assert_eq!(f[0], 3); // hub has degree 4
+        assert!(f[1..].iter().all(|&k| k == 1)); // leaves have degree 1
+    }
+
+    #[test]
+    fn zero_fanout_rejected() {
+        let g = generators::paper_example();
+        assert_eq!(
+            FanoutPolicy::Uniform(0).resolve(&g),
+            Err(GossipError::ZeroFanout)
+        );
+    }
+
+    #[test]
+    fn differential_matches_paper_example() {
+        let g = generators::paper_example();
+        let f = FanoutPolicy::Differential.resolve(&g).unwrap();
+        assert_eq!(f, generators::PAPER_EXAMPLE_FANOUTS.to_vec());
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(FanoutPolicy::Uniform(1).label(), "push");
+        assert_eq!(FanoutPolicy::Uniform(3).label(), "push-3");
+        assert_eq!(FanoutPolicy::Differential.label(), "differential");
+    }
+}

@@ -1,0 +1,62 @@
+//! # dg-gossip — gossip engines for reputation aggregation
+//!
+//! Implements the paper's **differential push gossip** (Section 4.1.1) and
+//! the baselines it is measured against:
+//!
+//! * [`scalar::ScalarGossip`] — push-sum averaging of a single quantity
+//!   per node (the gossip pair `(y, g)`), with the paper's full
+//!   convergence protocol: per-node ratio tracking with error bound `ξ`,
+//!   convergence *announcements* to neighbours, and per-node stopping once
+//!   the node **and all its neighbours** have announced;
+//! * [`vector::VectorGossip`] — the simultaneous all-subjects variant
+//!   (Variations 3/4) exchanging gossip *trios* `(subject, y, g)` plus
+//!   counts, with the `Σ_j |r_j(n) − r_j(n−1)| ≤ Nξ` convergence test of
+//!   Eq. (7);
+//! * [`spread`] — rumor-spreading engines (push / pull / push-pull /
+//!   differential push) used to check Theorem 5.1 empirically;
+//! * [`fanout::FanoutPolicy`] — uniform `p`-push vs. the paper's
+//!   degree-ratio differential fan-out;
+//! * [`loss`] — the packet-loss / churn model of Fig. 4 (failed pushes
+//!   redirect their share to the sender, preserving mass; departing nodes
+//!   hand their pair over to a neighbour);
+//! * [`potential::PotentialTracker`] — the contribution-vector potential
+//!   `ψ_n` of Theorem 5.2's proof, for convergence ablations;
+//! * [`metrics::MessageStats`] — per-step message accounting behind
+//!   Table 2.
+//!
+//! ## Mass conservation
+//!
+//! The fundamental push-sum invariant — `Σ_i y_i` and `Σ_i g_i` are
+//! constant across steps — is preserved by every code path here,
+//! including packet loss and churn. Engines `debug_assert!` it each step
+//! and the test suite checks it property-based.
+
+pub mod config;
+pub mod error;
+pub mod fanout;
+pub mod loss;
+pub mod metrics;
+pub mod pair;
+pub mod potential;
+pub mod scalar;
+pub mod spread;
+pub mod vector;
+
+pub use config::GossipConfig;
+pub use error::GossipError;
+pub use fanout::FanoutPolicy;
+pub use pair::{GossipPair, RATIO_SENTINEL};
+pub use scalar::{ScalarGossip, ScalarOutcome};
+pub use vector::{VectorGossip, VectorOutcome};
+
+/// Convenience prelude.
+pub mod prelude {
+    pub use crate::config::GossipConfig;
+    pub use crate::fanout::FanoutPolicy;
+    pub use crate::loss::LossModel;
+    pub use crate::metrics::MessageStats;
+    pub use crate::pair::GossipPair;
+    pub use crate::scalar::{ScalarGossip, ScalarOutcome};
+    pub use crate::spread::{self, SpreadProtocol};
+    pub use crate::vector::{VectorGossip, VectorOutcome};
+}

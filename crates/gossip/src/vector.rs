@@ -1,0 +1,460 @@
+//! Vector gossip: simultaneous aggregation for all subjects
+//! (the paper's Variations 3 and 4).
+//!
+//! Instead of gossiping one subject's pair, each node pushes its whole
+//! sparse vector of gossip *trios* `(subject id, y, g)` — plus the
+//! per-subject `count` mass used by Algorithm 2 — in a single message.
+//! "The time complexity of all four variations will be of the same order
+//! because reputations of all the nodes will be pushed simultaneously as
+//! a vector, whereas the communication complexity ... will increase
+//! proportionally to the size of vector." The engine therefore tracks
+//! both message counts and entry counts.
+//!
+//! Convergence per node follows Eq. (7):
+//! `Σ_j |y_ij(n)/g_ij(n) − y_ij(n−1)/g_ij(n−1)| ≤ N·ξ`,
+//! with the usual sentinel ratio for zero weights; the announce / revoke /
+//! stop protocol is shared with the scalar engine (see
+//! [`scalar`](crate::scalar) for the revocation rationale).
+
+use crate::config::GossipConfig;
+use crate::error::GossipError;
+use crate::metrics::MessageStats;
+use crate::pair::RATIO_SENTINEL;
+use dg_graph::{Graph, NodeId};
+use rand::seq::index::sample;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Per-subject gossip state at one node: value, weight and count masses.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct VectorEntry {
+    /// Gossip value mass `y`.
+    pub value: f64,
+    /// Gossip weight mass `g`.
+    pub weight: f64,
+    /// Opinion-count mass (each opinion holder starts with 1).
+    pub count: f64,
+}
+
+impl VectorEntry {
+    /// Entry for an opinion holder in Variation 3 (weight 1).
+    pub fn originator(value: f64) -> Self {
+        Self {
+            value,
+            weight: 1.0,
+            count: 1.0,
+        }
+    }
+
+    /// Entry carrying feedback but zero gossip weight (Variation 4 /
+    /// Algorithm 2 style, where exactly one node per subject holds the
+    /// unit weight).
+    pub fn passive(value: f64) -> Self {
+        Self {
+            value,
+            weight: 0.0,
+            count: 1.0,
+        }
+    }
+
+    /// Ratio `y/g` with the sentinel for zero weight.
+    #[inline]
+    pub fn ratio(&self) -> f64 {
+        if self.weight == 0.0 {
+            RATIO_SENTINEL
+        } else {
+            self.value / self.weight
+        }
+    }
+
+    /// Count estimate `count/g` (the gossiped `N_d`), `None` for zero
+    /// weight.
+    pub fn count_estimate(&self) -> Option<f64> {
+        (self.weight != 0.0).then(|| self.count / self.weight)
+    }
+
+    fn share(&self, shares: usize) -> VectorEntry {
+        let f = 1.0 / shares as f64;
+        VectorEntry {
+            value: self.value * f,
+            weight: self.weight * f,
+            count: self.count * f,
+        }
+    }
+
+    fn add(&mut self, other: VectorEntry) {
+        self.value += other.value;
+        self.weight += other.weight;
+        self.count += other.count;
+    }
+}
+
+/// Sparse per-node gossip vector keyed by subject id.
+pub type GossipVector = BTreeMap<u32, VectorEntry>;
+
+/// Result of a completed vector gossip run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VectorOutcome {
+    /// Gossip steps executed.
+    pub steps: usize,
+    /// Whether every node stopped within the step budget.
+    pub converged: bool,
+    /// Final per-node vectors.
+    pub state: Vec<GossipVector>,
+    /// Message accounting (vector messages, not entries).
+    pub stats: MessageStats,
+    /// Total entries shipped across the run (communication complexity).
+    pub entries_sent: u64,
+}
+
+impl VectorOutcome {
+    /// Ratio estimate of `subject` at `node`, `None` if the node holds no
+    /// mass for that subject.
+    pub fn estimate(&self, node: NodeId, subject: NodeId) -> Option<f64> {
+        self.state[node.index()]
+            .get(&subject.0)
+            .filter(|e| e.weight != 0.0)
+            .map(VectorEntry::ratio)
+    }
+
+    /// Count estimate (`N_d`) of `subject` at `node`.
+    pub fn count_estimate(&self, node: NodeId, subject: NodeId) -> Option<f64> {
+        self.state[node.index()]
+            .get(&subject.0)
+            .and_then(VectorEntry::count_estimate)
+    }
+}
+
+/// Vector push-sum gossip engine (Variations 3 and 4).
+#[derive(Debug, Clone)]
+pub struct VectorGossip<'g> {
+    graph: &'g Graph,
+    config: GossipConfig,
+    fanouts: Vec<usize>,
+    state: Vec<GossipVector>,
+    prev_ratio: Vec<BTreeMap<u32, f64>>,
+    announced: Vec<bool>,
+    stopped: Vec<bool>,
+    step: usize,
+    stats: MessageStats,
+    entries_sent: u64,
+}
+
+impl<'g> VectorGossip<'g> {
+    /// Create an engine with per-node initial vectors.
+    pub fn new(
+        graph: &'g Graph,
+        config: GossipConfig,
+        initial: Vec<GossipVector>,
+    ) -> Result<Self, GossipError> {
+        let config = config.validated()?;
+        let n = graph.node_count();
+        if initial.len() != n {
+            return Err(GossipError::StateSizeMismatch {
+                given: initial.len(),
+                expected: n,
+            });
+        }
+        for vec in &initial {
+            for e in vec.values() {
+                if !e.weight.is_finite() || e.weight < 0.0 {
+                    return Err(GossipError::InvalidWeight(e.weight));
+                }
+            }
+        }
+        let fanouts = config.fanout.resolve(graph)?;
+        let prev_ratio = initial
+            .iter()
+            .map(|v| v.iter().map(|(&j, e)| (j, e.ratio())).collect())
+            .collect();
+        Ok(Self {
+            graph,
+            config,
+            fanouts,
+            state: initial,
+            prev_ratio,
+            announced: vec![false; n],
+            stopped: vec![false; n],
+            step: 0,
+            stats: MessageStats::new(n),
+            entries_sent: 0,
+        })
+    }
+
+    /// Steps executed so far.
+    pub fn steps_taken(&self) -> usize {
+        self.step
+    }
+
+    /// Whether every node has stopped.
+    pub fn all_stopped(&self) -> bool {
+        self.stopped.iter().all(|&s| s)
+    }
+
+    /// Total per-subject `(Σ y, Σ g, Σ count)` masses — conserved across
+    /// steps.
+    pub fn total_mass(&self) -> BTreeMap<u32, (f64, f64, f64)> {
+        let mut totals: BTreeMap<u32, (f64, f64, f64)> = BTreeMap::new();
+        for vec in &self.state {
+            for (&j, e) in vec {
+                let t = totals.entry(j).or_insert((0.0, 0.0, 0.0));
+                t.0 += e.value;
+                t.1 += e.weight;
+                t.2 += e.count;
+            }
+        }
+        totals
+    }
+
+    /// Execute one gossip step; returns messages sent.
+    pub fn step<R: Rng + ?Sized>(&mut self, rng: &mut R) -> u64 {
+        let n = self.graph.node_count();
+        let mut inbox: Vec<GossipVector> = vec![GossipVector::new(); n];
+        let mut heard_other = vec![false; n];
+        let mut messages = 0u64;
+        let mut active = 0u64;
+
+        for i in 0..n {
+            let current = &self.state[i];
+            if current.is_empty() {
+                continue;
+            }
+            if self.stopped[i] {
+                for (&j, e) in current {
+                    inbox[i].entry(j).or_default().add(*e);
+                }
+                continue;
+            }
+            let neighbours = self.graph.neighbours(NodeId(i as u32));
+            let k = self.fanouts[i].min(neighbours.len());
+            if k == 0 {
+                for (&j, e) in current {
+                    inbox[i].entry(j).or_default().add(*e);
+                }
+                continue;
+            }
+            active += 1;
+            // Choose targets once per node; the whole vector travels in
+            // one message per target.
+            let targets: Vec<usize> = sample(rng, neighbours.len(), k)
+                .into_iter()
+                .map(|idx| neighbours[idx] as usize)
+                .collect();
+            messages += k as u64;
+            self.entries_sent += (current.len() * k) as u64;
+            let lost: Vec<bool> = targets
+                .iter()
+                .map(|_| self.config.loss.drops(rng))
+                .collect();
+            for (&j, e) in current {
+                let share = e.share(k + 1);
+                inbox[i].entry(j).or_default().add(share);
+                for (t_idx, &target) in targets.iter().enumerate() {
+                    if lost[t_idx] {
+                        inbox[i].entry(j).or_default().add(share);
+                    } else {
+                        inbox[target].entry(j).or_default().add(share);
+                    }
+                }
+            }
+            for (t_idx, &target) in targets.iter().enumerate() {
+                if !lost[t_idx] {
+                    heard_other[target] = true;
+                }
+            }
+        }
+
+        // Commit and run the convergence protocol with Eq. (7).
+        let bound = n as f64 * self.config.xi;
+        for i in 0..n {
+            self.state[i] = std::mem::take(&mut inbox[i]);
+            if heard_other[i] {
+                let mut total_move = 0.0;
+                for (&j, e) in &self.state[i] {
+                    let prev = self
+                        .prev_ratio[i]
+                        .get(&j)
+                        .copied()
+                        .unwrap_or(RATIO_SENTINEL);
+                    total_move += (e.ratio() - prev).abs();
+                }
+                if total_move <= bound {
+                    self.announced[i] = true;
+                } else {
+                    self.announced[i] = false;
+                    self.stopped[i] = false;
+                }
+            }
+            self.prev_ratio[i] = self.state[i].iter().map(|(&j, e)| (j, e.ratio())).collect();
+        }
+
+        // Derived (not latched) quiescence — see the scalar engine for the
+        // deadlock rationale.
+        for i in 0..n {
+            let neighbours = self.graph.neighbours(NodeId(i as u32));
+            self.stopped[i] = neighbours.is_empty()
+                || (self.announced[i]
+                    && neighbours.iter().all(|&w| self.announced[w as usize]));
+        }
+
+        self.step += 1;
+        self.stats.record_step(messages, active);
+        messages
+    }
+
+    /// Run to quiescence or the step cap.
+    pub fn run<R: Rng + ?Sized>(mut self, rng: &mut R) -> VectorOutcome {
+        while !self.all_stopped() && self.step < self.config.max_steps {
+            self.step(rng);
+        }
+        let converged = self.all_stopped();
+        VectorOutcome {
+            steps: self.step,
+            converged,
+            state: self.state,
+            stats: self.stats,
+            entries_sent: self.entries_sent,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dg_graph::{generators, pa};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    /// Build Variation-3 style initial vectors: `opinions[i]` is the list
+    /// of `(subject, value)` feedback held by node `i`.
+    fn initial_from_opinions(n: usize, opinions: &[(usize, usize, f64)]) -> Vec<GossipVector> {
+        let mut init = vec![GossipVector::new(); n];
+        for &(i, j, v) in opinions {
+            init[i].insert(j as u32, VectorEntry::originator(v));
+        }
+        init
+    }
+
+    #[test]
+    fn rejects_wrong_size() {
+        let g = generators::complete(3);
+        assert!(matches!(
+            VectorGossip::new(&g, GossipConfig::default(), vec![GossipVector::new(); 2]),
+            Err(GossipError::StateSizeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn per_subject_means_match_direct_computation() {
+        let g = generators::complete(12);
+        // Subject 0 judged by nodes 1, 2, 3; subject 5 by nodes 0 and 7.
+        let opinions = [
+            (1, 0, 0.9),
+            (2, 0, 0.6),
+            (3, 0, 0.3),
+            (0, 5, 0.2),
+            (7, 5, 0.8),
+        ];
+        let init = initial_from_opinions(12, &opinions);
+        let out = VectorGossip::new(&g, GossipConfig::differential(1e-8).unwrap(), init)
+            .unwrap()
+            .run(&mut rng(1));
+        assert!(out.converged);
+        // Every node should estimate subject 0 at (0.9+0.6+0.3)/3 = 0.6
+        // and subject 5 at 0.5.
+        for v in 0..12u32 {
+            let e0 = out.estimate(NodeId(v), NodeId(0)).unwrap();
+            let e5 = out.estimate(NodeId(v), NodeId(5)).unwrap();
+            assert!((e0 - 0.6).abs() < 1e-3, "node {v}: {e0}");
+            assert!((e5 - 0.5).abs() < 1e-3, "node {v}: {e5}");
+        }
+    }
+
+    #[test]
+    fn variation3_count_mass_mirrors_weight_mass() {
+        // In Variation 3 every opinion holder starts with weight 1 *and*
+        // count 1, so the count estimate converges to
+        // Σ count / Σ weight = N_d / N_d = 1 — the count channel only
+        // recovers N_d itself under the single-weight-originator setup of
+        // Algorithm 2 / Variation 4 (see
+        // `single_weight_originator_computes_sum`).
+        let g = generators::complete(10);
+        let opinions = [(1, 0, 0.3), (2, 0, 0.6), (3, 0, 0.9), (4, 9, 1.0)];
+        let init = initial_from_opinions(10, &opinions);
+        let out = VectorGossip::new(&g, GossipConfig::differential(1e-9).unwrap(), init)
+            .unwrap()
+            .run(&mut rng(2));
+        assert!(out.converged);
+        for v in 0..10u32 {
+            let c0 = out.count_estimate(NodeId(v), NodeId(0)).unwrap();
+            assert!((c0 - 1.0).abs() < 1e-2, "node {v}: count {c0}");
+        }
+    }
+
+    #[test]
+    fn mass_conserved_per_subject() {
+        let g = pa::preferential_attachment(pa::PaConfig { nodes: 60, m: 2 }, &mut rng(3))
+            .unwrap();
+        let opinions = [(0, 1, 0.4), (2, 1, 0.9), (5, 30, 0.7)];
+        let init = initial_from_opinions(60, &opinions);
+        let mut engine =
+            VectorGossip::new(&g, GossipConfig::differential(1e-6).unwrap(), init).unwrap();
+        let before = engine.total_mass();
+        for _ in 0..30 {
+            engine.step(&mut rng(4));
+        }
+        let after = engine.total_mass();
+        for (j, b) in &before {
+            let a = &after[j];
+            assert!((b.0 - a.0).abs() < 1e-9, "value mass subject {j}");
+            assert!((b.1 - a.1).abs() < 1e-9, "weight mass subject {j}");
+            assert!((b.2 - a.2).abs() < 1e-9, "count mass subject {j}");
+        }
+    }
+
+    #[test]
+    fn single_weight_originator_computes_sum() {
+        // Variation-4 style: three nodes have feedback about subject 7 but
+        // only node 0 carries gossip weight 1; the converged ratio is the
+        // *sum* of feedback values.
+        let g = generators::complete(8);
+        let mut init = vec![GossipVector::new(); 8];
+        init[0].insert(7, VectorEntry::originator(0.2)); // weight 1
+        init[1].insert(7, VectorEntry::passive(0.5));
+        init[2].insert(7, VectorEntry::passive(0.9));
+        let out = VectorGossip::new(&g, GossipConfig::differential(1e-9).unwrap(), init)
+            .unwrap()
+            .run(&mut rng(5));
+        assert!(out.converged);
+        for v in 0..8u32 {
+            let sum = out.estimate(NodeId(v), NodeId(7)).unwrap();
+            assert!((sum - 1.6).abs() < 1e-3, "node {v}: {sum}");
+            let count = out.count_estimate(NodeId(v), NodeId(7)).unwrap();
+            assert!((count - 3.0).abs() < 1e-2, "node {v}: {count}");
+        }
+    }
+
+    #[test]
+    fn entries_sent_grows_with_vector_size() {
+        let g = generators::complete(6);
+        let small = initial_from_opinions(6, &[(0, 1, 0.5)]);
+        let big = initial_from_opinions(
+            6,
+            &[(0, 1, 0.5), (0, 2, 0.5), (0, 3, 0.5), (1, 2, 0.4), (2, 3, 0.3)],
+        );
+        let out_small = VectorGossip::new(&g, GossipConfig::differential(1e-4).unwrap(), small)
+            .unwrap()
+            .run(&mut rng(6));
+        let out_big = VectorGossip::new(&g, GossipConfig::differential(1e-4).unwrap(), big)
+            .unwrap()
+            .run(&mut rng(6));
+        let per_step_small = out_small.entries_sent as f64 / out_small.steps as f64;
+        let per_step_big = out_big.entries_sent as f64 / out_big.steps as f64;
+        assert!(per_step_big > per_step_small);
+    }
+}

@@ -1,0 +1,222 @@
+//! Baseline topologies: complete, ring, star, Erdős–Rényi, random-regular,
+//! and the paper's 10-node example network (Fig. 2 / Table 1).
+//!
+//! The complete graph is the setting analysed by Kempe et al. (the paper's
+//! reference \[21\] and the substrate of GossipTrust \[17\]); the others are
+//! used by tests and by the convergence-ablation experiment to contrast
+//! differential push on power-law vs. regular topologies.
+
+use crate::error::GraphError;
+use crate::graph::{Graph, GraphBuilder};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Complete graph `K_n`.
+pub fn complete(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for a in 0..n as u32 {
+        for c in (a + 1)..n as u32 {
+            // Safe by construction: distinct in-range ids.
+            b.add_edge(a, c).expect("complete graph edges are valid");
+        }
+    }
+    b.build()
+}
+
+/// Cycle `C_n` (requires `n ≥ 3`).
+pub fn ring(n: usize) -> Result<Graph, GraphError> {
+    if n < 3 {
+        return Err(GraphError::InvalidParameters(
+            "ring needs at least 3 nodes".into(),
+        ));
+    }
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n as u32 {
+        let j = (i + 1) % n as u32;
+        b.add_edge(i, j)?;
+    }
+    Ok(b.build())
+}
+
+/// Star with node 0 as hub (requires `n ≥ 2`).
+pub fn star(n: usize) -> Result<Graph, GraphError> {
+    if n < 2 {
+        return Err(GraphError::InvalidParameters(
+            "star needs at least 2 nodes".into(),
+        ));
+    }
+    let mut b = GraphBuilder::new(n);
+    for leaf in 1..n as u32 {
+        b.add_edge(0u32, leaf)?;
+    }
+    Ok(b.build())
+}
+
+/// Erdős–Rényi `G(n, p)`.
+pub fn erdos_renyi<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Result<Graph, GraphError> {
+    if !(0.0..=1.0).contains(&p) {
+        return Err(GraphError::InvalidParameters(format!(
+            "edge probability {p} outside [0, 1]"
+        )));
+    }
+    let mut b = GraphBuilder::new(n);
+    for a in 0..n as u32 {
+        for c in (a + 1)..n as u32 {
+            if rng.random::<f64>() < p {
+                b.add_edge(a, c)?;
+            }
+        }
+    }
+    Ok(b.build())
+}
+
+/// Random `d`-regular graph via the configuration model with restarts.
+///
+/// `n·d` must be even and `d < n`. Used by the convergence ablation to
+/// compare differential push on a homogeneous-degree topology.
+pub fn random_regular<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R) -> Result<Graph, GraphError> {
+    if d >= n {
+        return Err(GraphError::DegreeTooLarge { degree: d, n });
+    }
+    if !(n * d).is_multiple_of(2) {
+        return Err(GraphError::InvalidParameters(
+            "n * d must be even for a d-regular graph".into(),
+        ));
+    }
+    if d == 0 {
+        return Ok(GraphBuilder::new(n).build());
+    }
+    // Configuration model: pair up half-edges uniformly; restart on a
+    // self loop or parallel edge. For d << n a handful of restarts suffice.
+    'attempt: for _ in 0..1000 {
+        let mut stubs: Vec<u32> = (0..n as u32).flat_map(|v| std::iter::repeat_n(v, d)).collect();
+        stubs.shuffle(rng);
+        let mut b = GraphBuilder::new(n);
+        for pair in stubs.chunks_exact(2) {
+            let (a, c) = (pair[0], pair[1]);
+            if a == c || b.has_edge(a.into(), c.into()) {
+                continue 'attempt;
+            }
+            b.add_edge(a, c)?;
+        }
+        return Ok(b.build());
+    }
+    Err(GraphError::InvalidParameters(format!(
+        "failed to build a {d}-regular graph on {n} nodes after 1000 attempts"
+    )))
+}
+
+/// The 10-node example network of the paper's Fig. 2 / Table 1.
+///
+/// The paper reports the degree sequence (node 1..10, 1-indexed):
+/// `4, 4, 7, 3, 3, 2, 2, 2, 3, 2` with differential fan-outs
+/// `k = 1, 1, 3, 1, 1, 1, 1, 1, 1, 1` — node 3 is the hub. The figure's
+/// exact edge list is not machine-readable in the source, so we use a
+/// topology that realises the published degree sequence and fan-outs
+/// exactly (checked in tests and re-checked by the Table 1 harness).
+///
+/// Edges (0-indexed ids = paper id − 1):
+/// hub 2 connects to {3, 4, 5, 6, 7, 8, 9}; the two degree-4 nodes 0 and 1
+/// form a periphery clique-ish block {0-1, 0-3, 0-4, 0-8, 1-3, 1-4, 1-8}
+/// and the remaining stubs close with {5-6, 7-9}. With these degrees the
+/// hub's average neighbour degree is 17/7 ≈ 2.43, so `k₃ = round(7/2.43)
+/// = 3`, exactly as published.
+pub fn paper_example() -> Graph {
+    let mut b = GraphBuilder::new(10);
+    let edges: [(u32, u32); 16] = [
+        (2, 3),
+        (2, 4),
+        (2, 5),
+        (2, 6),
+        (2, 7),
+        (2, 8),
+        (2, 9),
+        (0, 1),
+        (0, 3),
+        (0, 4),
+        (0, 8),
+        (1, 3),
+        (1, 4),
+        (1, 8),
+        (5, 6),
+        (7, 9),
+    ];
+    for (a, c) in edges {
+        b.add_edge(a, c).expect("example edges are valid");
+    }
+    b.build()
+}
+
+/// Degree sequence the paper reports for the example network (0-indexed).
+pub const PAPER_EXAMPLE_DEGREES: [usize; 10] = [4, 4, 7, 3, 3, 2, 2, 2, 3, 2];
+
+/// Differential fan-outs the paper reports for the example network.
+pub const PAPER_EXAMPLE_FANOUTS: [usize; 10] = [1, 1, 3, 1, 1, 1, 1, 1, 1, 1];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis;
+    use crate::graph::NodeId;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn complete_graph_edge_count() {
+        let g = complete(6);
+        assert_eq!(g.edge_count(), 15);
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 5);
+        }
+    }
+
+    #[test]
+    fn ring_and_star_shapes() {
+        let r = ring(5).unwrap();
+        assert_eq!(r.edge_count(), 5);
+        assert!(r.nodes().all(|v| r.degree(v) == 2));
+
+        let s = star(5).unwrap();
+        assert_eq!(s.degree(NodeId(0)), 4);
+        assert!((1..5).all(|v| s.degree(NodeId(v)) == 1));
+
+        assert!(ring(2).is_err());
+        assert!(star(1).is_err());
+    }
+
+    #[test]
+    fn erdos_renyi_extremes() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let empty = erdos_renyi(10, 0.0, &mut rng).unwrap();
+        assert_eq!(empty.edge_count(), 0);
+        let full = erdos_renyi(10, 1.0, &mut rng).unwrap();
+        assert_eq!(full.edge_count(), 45);
+        assert!(erdos_renyi(10, 1.5, &mut rng).is_err());
+    }
+
+    #[test]
+    fn random_regular_is_regular_and_connected() {
+        let mut rng = ChaCha8Rng::seed_from_u64(17);
+        let g = random_regular(100, 4, &mut rng).unwrap();
+        assert!(g.nodes().all(|v| g.degree(v) == 4));
+        assert!(analysis::is_connected(&g));
+    }
+
+    #[test]
+    fn random_regular_rejects_odd_total() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        assert!(random_regular(5, 3, &mut rng).is_err());
+        assert!(random_regular(4, 5, &mut rng).is_err());
+    }
+
+    #[test]
+    fn paper_example_matches_published_degrees_and_fanouts() {
+        let g = paper_example();
+        assert_eq!(g.node_count(), 10);
+        let degrees: Vec<usize> = g.degrees();
+        assert_eq!(degrees, PAPER_EXAMPLE_DEGREES.to_vec());
+        let fanouts = g.differential_fanouts();
+        assert_eq!(fanouts, PAPER_EXAMPLE_FANOUTS.to_vec());
+        assert!(analysis::is_connected(&g));
+    }
+}

@@ -1,0 +1,338 @@
+//! Immutable CSR graph and mutable adjacency-set builder.
+//!
+//! The gossip inner loop touches every node's neighbour list once per step,
+//! so the permanent representation is a compressed-sparse-row layout: one
+//! `u32` offset array and one flat neighbour array. Construction goes
+//! through [`GraphBuilder`], which deduplicates edges and rejects self
+//! loops, then freezes into a [`Graph`].
+
+use crate::error::GraphError;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Identifier of a node in a topology.
+///
+/// A thin `u32` newtype: the paper simulates up to 50 000 nodes, and 32-bit
+/// ids keep the CSR arrays half the size of `usize` ones.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Index into per-node arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(v: usize) -> Self {
+        NodeId(v as u32)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Mutable undirected simple-graph builder backed by adjacency sets.
+///
+/// Used by the generators; deduplicates parallel edges and rejects self
+/// loops so the frozen [`Graph`] is always a simple graph.
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    adjacency: Vec<BTreeSet<u32>>,
+}
+
+impl GraphBuilder {
+    /// Create a builder for `n` isolated nodes.
+    pub fn new(n: usize) -> Self {
+        Self {
+            adjacency: vec![BTreeSet::new(); n],
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Number of (undirected) edges currently present.
+    pub fn edge_count(&self) -> usize {
+        self.adjacency.iter().map(|s| s.len()).sum::<usize>() / 2
+    }
+
+    /// Add an undirected edge. Idempotent; returns `true` if it was new.
+    pub fn add_edge(
+        &mut self,
+        a: impl Into<NodeId>,
+        b: impl Into<NodeId>,
+    ) -> Result<bool, GraphError> {
+        let (a, b) = (a.into(), b.into());
+        let n = self.adjacency.len();
+        for id in [a, b] {
+            if id.index() >= n {
+                return Err(GraphError::NodeOutOfRange { id: id.0, n });
+            }
+        }
+        if a == b {
+            return Err(GraphError::SelfLoop(a.0));
+        }
+        let inserted = self.adjacency[a.index()].insert(b.0);
+        self.adjacency[b.index()].insert(a.0);
+        Ok(inserted)
+    }
+
+    /// Whether the edge `{a, b}` exists.
+    pub fn has_edge(&self, a: NodeId, b: NodeId) -> bool {
+        self.adjacency
+            .get(a.index())
+            .is_some_and(|s| s.contains(&b.0))
+    }
+
+    /// Current degree of `node` (0 if out of range).
+    pub fn degree(&self, node: NodeId) -> usize {
+        self.adjacency.get(node.index()).map_or(0, |s| s.len())
+    }
+
+    /// Freeze into the immutable CSR representation.
+    pub fn build(self) -> Graph {
+        let n = self.adjacency.len();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut neighbours = Vec::with_capacity(self.adjacency.iter().map(|s| s.len()).sum());
+        offsets.push(0u32);
+        for set in &self.adjacency {
+            neighbours.extend(set.iter().copied());
+            offsets.push(neighbours.len() as u32);
+        }
+        Graph { offsets, neighbours }
+    }
+}
+
+/// Immutable undirected simple graph in CSR form.
+///
+/// Neighbour lists are sorted ascending (a by-product of the
+/// `BTreeSet`-based builder), which [`Graph::has_edge`] exploits with a
+/// binary search.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Graph {
+    offsets: Vec<u32>,
+    neighbours: Vec<u32>,
+}
+
+impl Graph {
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.neighbours.len() / 2
+    }
+
+    /// Neighbour slice of `node`.
+    ///
+    /// # Panics
+    /// Panics if `node` is out of range (programming error in the caller:
+    /// node ids are only minted by this crate's generators).
+    #[inline]
+    pub fn neighbours(&self, node: NodeId) -> &[u32] {
+        let i = node.index();
+        let lo = self.offsets[i] as usize;
+        let hi = self.offsets[i + 1] as usize;
+        &self.neighbours[lo..hi]
+    }
+
+    /// Degree of `node`.
+    #[inline]
+    pub fn degree(&self, node: NodeId) -> usize {
+        self.neighbours(node).len()
+    }
+
+    /// Whether the edge `{a, b}` exists (binary search over sorted list).
+    pub fn has_edge(&self, a: NodeId, b: NodeId) -> bool {
+        self.neighbours(a).binary_search(&b.0).is_ok()
+    }
+
+    /// Iterator over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.node_count() as u32).map(NodeId)
+    }
+
+    /// Iterator over every undirected edge exactly once (`a < b`).
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.nodes().flat_map(move |a| {
+            self.neighbours(a)
+                .iter()
+                .copied()
+                .filter(move |&b| a.0 < b)
+                .map(move |b| (a, NodeId(b)))
+        })
+    }
+
+    /// Degree vector indexed by node id.
+    pub fn degrees(&self) -> Vec<usize> {
+        self.nodes().map(|v| self.degree(v)).collect()
+    }
+
+    /// Mean degree over all nodes (0.0 for the empty graph).
+    pub fn average_degree(&self) -> f64 {
+        if self.node_count() == 0 {
+            return 0.0;
+        }
+        self.neighbours.len() as f64 / self.node_count() as f64
+    }
+
+    /// Average degree of the *neighbours* of `node`.
+    ///
+    /// This is the denominator of the paper's differential-push fan-out
+    /// `k_i = round(deg(i) / avg-neighbour-degree)`. Returns `None` for an
+    /// isolated node.
+    pub fn average_neighbour_degree(&self, node: NodeId) -> Option<f64> {
+        let ns = self.neighbours(node);
+        if ns.is_empty() {
+            return None;
+        }
+        let sum: usize = ns.iter().map(|&v| self.degree(NodeId(v))).sum();
+        Some(sum as f64 / ns.len() as f64)
+    }
+
+    /// The paper's differential fan-out `k_i`.
+    ///
+    /// `k_i = round(deg(i) / avg-neighbour-degree)` rounded to the nearest
+    /// integer when the ratio is ≥ 1, and clamped to 1 otherwise (isolated
+    /// nodes also get 1 so the engine can still self-push and retain mass).
+    pub fn differential_fanout(&self, node: NodeId) -> usize {
+        match self.average_neighbour_degree(node) {
+            None => 1,
+            Some(avg) => {
+                let ratio = self.degree(node) as f64 / avg;
+                if ratio >= 1.0 {
+                    (ratio.round() as usize).max(1)
+                } else {
+                    1
+                }
+            }
+        }
+    }
+
+    /// Precomputed fan-outs for every node (hot-loop helper).
+    pub fn differential_fanouts(&self) -> Vec<usize> {
+        self.nodes().map(|v| self.differential_fanout(v)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path3() -> Graph {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0u32, 1u32).unwrap();
+        b.add_edge(1u32, 2u32).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn builder_rejects_self_loop() {
+        let mut b = GraphBuilder::new(2);
+        assert_eq!(b.add_edge(0u32, 0u32), Err(GraphError::SelfLoop(0)));
+    }
+
+    #[test]
+    fn builder_rejects_out_of_range() {
+        let mut b = GraphBuilder::new(2);
+        assert_eq!(
+            b.add_edge(0u32, 7u32),
+            Err(GraphError::NodeOutOfRange { id: 7, n: 2 })
+        );
+    }
+
+    #[test]
+    fn builder_deduplicates_edges() {
+        let mut b = GraphBuilder::new(2);
+        assert!(b.add_edge(0u32, 1u32).unwrap());
+        assert!(!b.add_edge(1u32, 0u32).unwrap());
+        assert_eq!(b.edge_count(), 1);
+    }
+
+    #[test]
+    fn csr_roundtrip_preserves_adjacency() {
+        let g = path3();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.neighbours(NodeId(1)), &[0, 2]);
+        assert!(g.has_edge(NodeId(0), NodeId(1)));
+        assert!(!g.has_edge(NodeId(0), NodeId(2)));
+    }
+
+    #[test]
+    fn edges_iterates_each_edge_once() {
+        let g = path3();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(NodeId(0), NodeId(1)), (NodeId(1), NodeId(2))]);
+    }
+
+    #[test]
+    fn average_degree_and_neighbour_degree() {
+        let g = path3();
+        assert!((g.average_degree() - 4.0 / 3.0).abs() < 1e-12);
+        // Node 1 has neighbours 0 and 2, each of degree 1.
+        assert_eq!(g.average_neighbour_degree(NodeId(1)), Some(1.0));
+        // Node 0's single neighbour (1) has degree 2.
+        assert_eq!(g.average_neighbour_degree(NodeId(0)), Some(2.0));
+    }
+
+    #[test]
+    fn differential_fanout_matches_paper_rule() {
+        let g = path3();
+        // Node 1: deg 2, avg neighbour deg 1 -> k = 2.
+        assert_eq!(g.differential_fanout(NodeId(1)), 2);
+        // Node 0: deg 1, avg neighbour deg 2 -> ratio 0.5 < 1 -> k = 1.
+        assert_eq!(g.differential_fanout(NodeId(0)), 1);
+    }
+
+    #[test]
+    fn isolated_node_fanout_is_one() {
+        let g = GraphBuilder::new(1).build();
+        assert_eq!(g.differential_fanout(NodeId(0)), 1);
+        assert_eq!(g.average_neighbour_degree(NodeId(0)), None);
+    }
+
+    #[test]
+    fn star_fanout_is_hub_degree() {
+        // Hub 0 with 4 leaves: hub deg 4, neighbours all deg 1 -> k = 4.
+        let mut b = GraphBuilder::new(5);
+        for leaf in 1..5u32 {
+            b.add_edge(0u32, leaf).unwrap();
+        }
+        let g = b.build();
+        assert_eq!(g.differential_fanout(NodeId(0)), 4);
+        for leaf in 1..5u32 {
+            assert_eq!(g.differential_fanout(NodeId(leaf)), 1);
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let g = path3();
+        let s = serde_json::to_string(&g).unwrap();
+        let back: Graph = serde_json::from_str(&s).unwrap();
+        assert_eq!(g, back);
+    }
+}

@@ -1,0 +1,24 @@
+//! # dg-p2p — asynchronous peer deployment
+//!
+//! The synchronous engines in [`dg_gossip`] are ideal for experiments;
+//! this crate shows the same protocol running as it would in a real
+//! deployment: **one tokio task per peer**, communicating only through
+//! message channels (an in-memory stand-in for TCP connections — the
+//! paper assumes "a reliable bit pipe between sender and receiver").
+//!
+//! Rounds are paced by a lightweight coordinator that plays the role of
+//! the paper's discrete clock ("time is discrete; every node knows about
+//! the starting time of gossip"): it ticks, waits for every peer to have
+//! sent its shares, then lets peers commit their inboxes. Peer-to-peer
+//! traffic (gossip shares, convergence announcements) never touches the
+//! coordinator.
+//!
+//! The final estimates are bit-for-bit the push-sum limit, so integration
+//! tests cross-check this deployment against the synchronous
+//! [`ScalarGossip`](dg_gossip::ScalarGossip) engine.
+
+pub mod peer;
+pub mod runner;
+pub mod transport;
+
+pub use runner::{run_distributed, DistributedConfig, DistributedOutcome};

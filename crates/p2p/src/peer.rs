@@ -1,0 +1,199 @@
+//! The peer task: one tokio task per node, running differential push
+//! gossip with the announcement-based convergence protocol.
+
+use crate::transport::{Mailbox, PeerMsg};
+use dg_gossip::pair::GossipPair;
+use dg_graph::NodeId;
+use rand::seq::index::sample;
+use rand_chacha::ChaCha8Rng;
+use tokio::sync::mpsc;
+
+/// Coordinator → peer control messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ctrl {
+    /// Send this round's shares.
+    Tick,
+    /// All shares for the round are in flight; commit the inbox.
+    Commit,
+    /// Report the final pair and exit.
+    Finish,
+}
+
+/// Peer → coordinator status messages.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Status {
+    /// Shares sent for the current round.
+    SendDone(NodeId),
+    /// Round committed; `stopped` = self + all neighbours announced.
+    Committed {
+        /// Reporting peer.
+        node: NodeId,
+        /// Whether the peer has protocol-stopped.
+        stopped: bool,
+    },
+    /// Final state on shutdown.
+    Final {
+        /// Reporting peer.
+        node: NodeId,
+        /// Final gossip pair.
+        pair: GossipPair,
+        /// Rounds in which this peer actively pushed.
+        active_rounds: u64,
+    },
+}
+
+/// Static peer configuration.
+#[derive(Debug, Clone)]
+pub struct PeerSetup {
+    /// This peer's id.
+    pub id: NodeId,
+    /// Neighbour ids.
+    pub neighbours: Vec<NodeId>,
+    /// Differential fan-out `k`.
+    pub fanout: usize,
+    /// Initial gossip pair.
+    pub initial: GossipPair,
+    /// Convergence tolerance ξ.
+    pub xi: f64,
+    /// RNG for neighbour sampling.
+    pub rng: ChaCha8Rng,
+}
+
+/// Run the peer protocol until `Ctrl::Finish`.
+///
+/// Per round: on `Tick`, split the pair into `k+1` shares, keep one and
+/// push `k`; on `Commit`, drain the mailbox (all shares are already
+/// delivered — unbounded in-memory channels), sum, update the tracked
+/// ratio and (re-)announce convergence to the neighbourhood.
+pub async fn run_peer(
+    setup: PeerSetup,
+    mut ctrl: mpsc::UnboundedReceiver<Ctrl>,
+    mut mailbox: mpsc::UnboundedReceiver<PeerMsg>,
+    neighbours_tx: Vec<(NodeId, Mailbox)>,
+    status: mpsc::UnboundedSender<Status>,
+) {
+    let PeerSetup {
+        id,
+        neighbours,
+        fanout,
+        initial,
+        xi,
+        mut rng,
+    } = setup;
+    let mut pair = initial;
+    let mut pending = GossipPair::ZERO;
+    let mut prev_ratio = pair.ratio();
+    let mut announced = false;
+    let mut stopped = false;
+    let mut neighbour_converged = vec![false; neighbours.len()];
+    let neighbour_slot: std::collections::HashMap<u32, usize> = neighbours
+        .iter()
+        .enumerate()
+        .map(|(slot, n)| (n.0, slot))
+        .collect();
+    let mut active_rounds = 0u64;
+
+    // Sanity: the sender map must cover exactly the neighbour list.
+    debug_assert_eq!(neighbours.len(), neighbours_tx.len());
+
+    while let Some(cmd) = ctrl.recv().await {
+        match cmd {
+            Ctrl::Tick => {
+                if !stopped && !neighbours.is_empty() {
+                    let k = fanout.min(neighbours.len()).max(1);
+                    let share = pair.share(k + 1);
+                    pending += share; // self share
+                    for idx in sample(&mut rng, neighbours_tx.len(), k) {
+                        let (_, tx) = &neighbours_tx[idx];
+                        // A dropped receiver means that peer already
+                        // finished; per the loss rule the share returns
+                        // to the sender.
+                        if tx.send(PeerMsg::Share(share)).is_err() {
+                            pending += share;
+                        }
+                    }
+                    active_rounds += 1;
+                } else {
+                    // Quiescent or isolated: keep the whole pair.
+                    pending += pair;
+                }
+                let _ = status.send(Status::SendDone(id));
+            }
+            Ctrl::Commit => {
+                // Everything sent during Tick is already delivered
+                // (unbounded in-memory channels), so draining with
+                // try_recv observes the complete round. Shares in the
+                // mailbox are by construction from *other* peers — the
+                // self share went straight into `pending` — so counting
+                // them implements the paper's |S| > 1 condition.
+                let mut heard_other = false;
+                while let Ok(msg) = mailbox.try_recv() {
+                    match msg {
+                        PeerMsg::Share(s) => {
+                            pending += s;
+                            heard_other = true;
+                        }
+                        PeerMsg::Announce { from, converged } => {
+                            if let Some(&slot) = neighbour_slot.get(&from.0) {
+                                neighbour_converged[slot] = converged;
+                            }
+                        }
+                    }
+                }
+                // The shares the peer pushed away are gone; `pending`
+                // holds the retained share plus everything received.
+                pair = pending;
+                pending = GossipPair::ZERO;
+
+                let ratio = pair.ratio();
+                if heard_other {
+                    let was = announced;
+                    announced = (ratio - prev_ratio).abs() <= xi;
+                    if announced != was {
+                        for (_, tx) in &neighbours_tx {
+                            let _ = tx.send(PeerMsg::Announce {
+                                from: id,
+                                converged: announced,
+                            });
+                        }
+                    }
+                }
+                prev_ratio = ratio;
+
+                // Quiescence is derived each round, never latched: a
+                // neighbour's revocation re-activates this peer (the
+                // latched variant deadlocks — see the scalar engine docs).
+                stopped = neighbours.is_empty()
+                    || (announced && neighbour_converged.iter().all(|&c| c));
+                let _ = status.send(Status::Committed { node: id, stopped });
+            }
+            Ctrl::Finish => {
+                let _ = status.send(Status::Final {
+                    node: id,
+                    pair,
+                    active_rounds,
+                });
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peer_setup_is_constructible() {
+        use rand::SeedableRng;
+        let s = PeerSetup {
+            id: NodeId(0),
+            neighbours: vec![NodeId(1)],
+            fanout: 1,
+            initial: GossipPair::originator(0.5),
+            xi: 1e-4,
+            rng: ChaCha8Rng::seed_from_u64(0),
+        };
+        assert_eq!(s.neighbours.len(), 1);
+    }
+}

@@ -1,0 +1,262 @@
+//! Coordinator: spawns the peer tasks, paces rounds, collects results.
+
+use crate::peer::{run_peer, Ctrl, PeerSetup, Status};
+use crate::transport::Network;
+use dg_gossip::pair::GossipPair;
+use dg_gossip::{FanoutPolicy, GossipError};
+use dg_graph::{Graph, NodeId};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use thiserror::Error;
+use tokio::sync::mpsc;
+
+/// Configuration of a distributed run.
+#[derive(Debug, Clone, Copy)]
+pub struct DistributedConfig {
+    /// Convergence tolerance ξ.
+    pub xi: f64,
+    /// Fan-out policy.
+    pub fanout: FanoutPolicy,
+    /// Round cap.
+    pub max_rounds: usize,
+    /// Base RNG seed (peer `i` uses `seed + i + 1`).
+    pub seed: u64,
+}
+
+impl Default for DistributedConfig {
+    fn default() -> Self {
+        Self {
+            xi: 1e-6,
+            fanout: FanoutPolicy::Differential,
+            max_rounds: 10_000,
+            seed: 0,
+        }
+    }
+}
+
+/// Result of a distributed run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistributedOutcome {
+    /// Rounds executed.
+    pub rounds: usize,
+    /// Whether all peers stopped before the cap.
+    pub converged: bool,
+    /// Final per-peer ratio estimates.
+    pub estimates: Vec<f64>,
+    /// Final per-peer pairs.
+    pub pairs: Vec<GossipPair>,
+    /// Rounds in which each peer actively pushed.
+    pub active_rounds: Vec<u64>,
+}
+
+/// Errors from the distributed runner.
+#[derive(Debug, Error)]
+pub enum DistributedError {
+    /// Configuration / fan-out resolution failed.
+    #[error(transparent)]
+    Gossip(#[from] GossipError),
+
+    /// A peer task died (channel closed unexpectedly).
+    #[error("peer channel closed unexpectedly")]
+    PeerDied,
+}
+
+/// Run differential push gossip as one tokio task per peer.
+///
+/// `initial[i]` is peer `i`'s starting gossip pair (use
+/// [`GossipPair::originator`] on every node for averaging, or a single
+/// originator for sum mode, exactly as with the synchronous engine).
+pub async fn run_distributed(
+    graph: &Graph,
+    config: DistributedConfig,
+    initial: Vec<GossipPair>,
+) -> Result<DistributedOutcome, DistributedError> {
+    let n = graph.node_count();
+    if initial.len() != n {
+        return Err(GossipError::StateSizeMismatch {
+            given: initial.len(),
+            expected: n,
+        }
+        .into());
+    }
+    let fanouts = config.fanout.resolve(graph)?;
+
+    let mut network = Network::new(n);
+    let receivers = network.take_receivers();
+    let (status_tx, mut status_rx) = mpsc::unbounded_channel::<Status>();
+
+    let mut ctrl_txs = Vec::with_capacity(n);
+    for (i, mailbox) in receivers.into_iter().enumerate() {
+        let id = NodeId(i as u32);
+        let neighbours: Vec<NodeId> = graph.neighbours(id).iter().map(|&w| NodeId(w)).collect();
+        let neighbours_tx = neighbours
+            .iter()
+            .map(|&nb| (nb, network.sender(nb)))
+            .collect();
+        let (ctrl_tx, ctrl_rx) = mpsc::unbounded_channel::<Ctrl>();
+        ctrl_txs.push(ctrl_tx);
+        let setup = PeerSetup {
+            id,
+            neighbours,
+            fanout: fanouts[i],
+            initial: initial[i],
+            xi: config.xi,
+            rng: ChaCha8Rng::seed_from_u64(config.seed + i as u64 + 1),
+        };
+        let status = status_tx.clone();
+        tokio::spawn(run_peer(setup, ctrl_rx, mailbox, neighbours_tx, status));
+    }
+    drop(status_tx);
+
+    let mut rounds = 0;
+    let mut converged = false;
+    while rounds < config.max_rounds {
+        // Phase 1: everyone sends.
+        for tx in &ctrl_txs {
+            tx.send(Ctrl::Tick).map_err(|_| DistributedError::PeerDied)?;
+        }
+        for _ in 0..n {
+            match status_rx.recv().await {
+                Some(Status::SendDone(_)) => {}
+                _ => return Err(DistributedError::PeerDied),
+            }
+        }
+        // Phase 2: everyone commits.
+        for tx in &ctrl_txs {
+            tx.send(Ctrl::Commit).map_err(|_| DistributedError::PeerDied)?;
+        }
+        let mut all_stopped = true;
+        for _ in 0..n {
+            match status_rx.recv().await {
+                Some(Status::Committed { stopped, .. }) => all_stopped &= stopped,
+                _ => return Err(DistributedError::PeerDied),
+            }
+        }
+        rounds += 1;
+        if all_stopped {
+            converged = true;
+            break;
+        }
+    }
+
+    // Shut down and collect.
+    for tx in &ctrl_txs {
+        tx.send(Ctrl::Finish).map_err(|_| DistributedError::PeerDied)?;
+    }
+    let mut pairs = vec![GossipPair::ZERO; n];
+    let mut active = vec![0u64; n];
+    for _ in 0..n {
+        match status_rx.recv().await {
+            Some(Status::Final {
+                node,
+                pair,
+                active_rounds,
+            }) => {
+                pairs[node.index()] = pair;
+                active[node.index()] = active_rounds;
+            }
+            _ => return Err(DistributedError::PeerDied),
+        }
+    }
+
+    let estimates = pairs.iter().map(GossipPair::ratio).collect();
+    Ok(DistributedOutcome {
+        rounds,
+        converged,
+        estimates,
+        pairs,
+        active_rounds: active,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dg_graph::{generators, pa};
+
+    fn averaging_initial(values: &[f64]) -> Vec<GossipPair> {
+        values.iter().map(|&v| GossipPair::originator(v)).collect()
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn distributed_average_on_complete_graph() {
+        let g = generators::complete(16);
+        let values: Vec<f64> = (0..16).map(|i| i as f64 / 15.0).collect();
+        let mean = values.iter().sum::<f64>() / 16.0;
+        let out = run_distributed(&g, DistributedConfig::default(), averaging_initial(&values))
+            .await
+            .unwrap();
+        assert!(out.converged, "did not converge in {} rounds", out.rounds);
+        for (i, e) in out.estimates.iter().enumerate() {
+            assert!((e - mean).abs() < 1e-3, "peer {i}: {e} vs {mean}");
+        }
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn distributed_average_on_pa_graph() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let g = pa::preferential_attachment(pa::PaConfig { nodes: 120, m: 2 }, &mut rng).unwrap();
+        let values: Vec<f64> = (0..120).map(|i| ((i * 13) % 29) as f64 / 29.0).collect();
+        let mean = values.iter().sum::<f64>() / 120.0;
+        let out = run_distributed(&g, DistributedConfig::default(), averaging_initial(&values))
+            .await
+            .unwrap();
+        assert!(out.converged);
+        for e in &out.estimates {
+            assert!((e - mean).abs() < 1e-2, "{e} vs {mean}");
+        }
+    }
+
+    #[tokio::test]
+    async fn mass_is_conserved_in_distributed_run() {
+        let g = generators::ring(12).unwrap();
+        let values: Vec<f64> = (0..12).map(|i| i as f64).collect();
+        let total: f64 = values.iter().sum();
+        let out = run_distributed(
+            &g,
+            DistributedConfig {
+                max_rounds: 50,
+                xi: 1e-12, // won't converge in 50 rounds; that's fine
+                ..DistributedConfig::default()
+            },
+            averaging_initial(&values),
+        )
+        .await
+        .unwrap();
+        let mass: f64 = out.pairs.iter().map(|p| p.value).sum();
+        let weight: f64 = out.pairs.iter().map(|p| p.weight).sum();
+        assert!((mass - total).abs() < 1e-9, "value mass {mass} vs {total}");
+        assert!((weight - 12.0).abs() < 1e-9, "weight mass {weight}");
+    }
+
+    #[tokio::test]
+    async fn wrong_initial_size_is_rejected() {
+        let g = generators::complete(4);
+        let err = run_distributed(&g, DistributedConfig::default(), vec![GossipPair::ZERO; 3])
+            .await;
+        assert!(matches!(
+            err,
+            Err(DistributedError::Gossip(GossipError::StateSizeMismatch { .. }))
+        ));
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn quiescent_peers_stop_pushing() {
+        // Uniform values converge almost immediately; active rounds should
+        // be far below the cap for every peer.
+        let g = generators::complete(10);
+        let values = vec![0.4; 10];
+        let out = run_distributed(
+            &g,
+            DistributedConfig {
+                max_rounds: 1000,
+                ..DistributedConfig::default()
+            },
+            averaging_initial(&values),
+        )
+        .await
+        .unwrap();
+        assert!(out.converged);
+        assert!(out.active_rounds.iter().all(|&a| a < 20));
+    }
+}

@@ -1,0 +1,100 @@
+//! In-memory message transport: per-peer unbounded mailboxes.
+//!
+//! Peers address each other by [`NodeId`]; the [`Network`] hands every
+//! peer a cloneable sender map for its neighbourhood plus its own
+//! receiving mailbox. Unbounded channels model the paper's reliable
+//! TCP pipes (no loss, no reordering within a pair).
+
+use dg_gossip::GossipPair;
+use dg_graph::NodeId;
+use tokio::sync::mpsc;
+
+/// Peer-to-peer protocol message.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PeerMsg {
+    /// A push-sum share.
+    Share(GossipPair),
+    /// Convergence announcement (`true`) or revocation (`false`).
+    Announce {
+        /// Sender.
+        from: NodeId,
+        /// Whether the sender currently considers itself converged.
+        converged: bool,
+    },
+}
+
+/// Handle for sending to one peer.
+pub type Mailbox = mpsc::UnboundedSender<PeerMsg>;
+
+/// The assembled transport: every peer's mailbox sender and receiver.
+#[derive(Debug)]
+pub struct Network {
+    senders: Vec<Mailbox>,
+    receivers: Vec<mpsc::UnboundedReceiver<PeerMsg>>,
+}
+
+impl Network {
+    /// Create mailboxes for `n` peers.
+    pub fn new(n: usize) -> Self {
+        let mut senders = Vec::with_capacity(n);
+        let mut receivers = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = mpsc::unbounded_channel();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        Self { senders, receivers }
+    }
+
+    /// Sender handle for `peer`.
+    pub fn sender(&self, peer: NodeId) -> Mailbox {
+        self.senders[peer.index()].clone()
+    }
+
+    /// Take ownership of every receiver (called once, when spawning the
+    /// peer tasks). Panics if called twice.
+    pub fn take_receivers(&mut self) -> Vec<mpsc::UnboundedReceiver<PeerMsg>> {
+        assert!(
+            !self.receivers.is_empty() || self.senders.is_empty(),
+            "receivers already taken"
+        );
+        std::mem::take(&mut self.receivers)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[tokio::test]
+    async fn mailboxes_deliver_in_order() {
+        let mut net = Network::new(2);
+        let to_b = net.sender(NodeId(1));
+        let mut rxs = net.take_receivers();
+        let mut rx_b = rxs.pop().unwrap();
+
+        to_b.send(PeerMsg::Share(GossipPair::originator(0.5))).unwrap();
+        to_b.send(PeerMsg::Announce {
+            from: NodeId(0),
+            converged: true,
+        })
+        .unwrap();
+
+        assert_eq!(
+            rx_b.recv().await,
+            Some(PeerMsg::Share(GossipPair::originator(0.5)))
+        );
+        assert!(matches!(
+            rx_b.recv().await,
+            Some(PeerMsg::Announce { from: NodeId(0), converged: true })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "receivers already taken")]
+    fn double_take_panics() {
+        let mut net = Network::new(1);
+        let _ = net.take_receivers();
+        let _ = net.take_receivers();
+    }
+}

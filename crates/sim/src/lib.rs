@@ -1,0 +1,30 @@
+//! # dg-sim — scenarios, workloads, experiments and baselines
+//!
+//! Everything the evaluation (Section 5.3) needs on top of the algorithm
+//! crates:
+//!
+//! * [`scenario`] — reproducible scenario construction: PA topology +
+//!   behaviour population + trust matrix, all from one seeded config;
+//! * [`workload`] — the synthetic file-sharing workload that *estimates*
+//!   the trust matrix through simulated transactions (our substitution
+//!   for the paper's unavailable trace data — see DESIGN.md §4);
+//! * [`experiments`] — one function per paper artifact: Fig. 3 (steps vs
+//!   N), Fig. 4 (steps vs packet loss), Figs. 5/6 (collusion RMS error),
+//!   Tables 1 and 2, plus the convergence/weight ablations;
+//! * [`rounds`] — the full reputation lifecycle loop (transactions →
+//!   estimation → aggregation → admission control) behind the free-riding
+//!   examples;
+//! * [`baselines`] — normal push gossip (GossipTrust-style) comes free
+//!   via [`FanoutPolicy::Uniform`](dg_gossip::FanoutPolicy); this module
+//!   adds an EigenTrust-style power-iteration comparator;
+//! * [`report`] — fixed-width table rendering and JSON-lines output for
+//!   the harness binaries.
+
+pub mod baselines;
+pub mod experiments;
+pub mod report;
+pub mod rounds;
+pub mod scenario;
+pub mod workload;
+
+pub use scenario::{Scenario, ScenarioConfig};

@@ -1,0 +1,100 @@
+//! Fixed-width table rendering and JSON-lines output for the harness
+//! binaries. No terminal-styling dependencies — output is meant to be
+//! diffed and committed into EXPERIMENTS.md.
+
+use serde::Serialize;
+use std::fmt::Write as _;
+
+/// Render a table: header row + formatted body rows, columns padded to
+/// the widest cell.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (c, cell) in row.iter().enumerate().take(cols) {
+            widths[c] = widths[c].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let write_row = |out: &mut String, cells: &[String]| {
+        for (c, cell) in cells.iter().enumerate().take(cols) {
+            if c > 0 {
+                out.push_str("  ");
+            }
+            let _ = write!(out, "{:>width$}", cell, width = widths[c]);
+        }
+        out.push('\n');
+    };
+    write_row(
+        &mut out,
+        &headers.iter().map(|h| h.to_string()).collect::<Vec<_>>(),
+    );
+    let sep: Vec<String> = widths.iter().map(|&w| "-".repeat(w)).collect();
+    write_row(&mut out, &sep);
+    for row in rows {
+        write_row(&mut out, row);
+    }
+    out
+}
+
+/// Serialise rows as JSON lines (one object per line).
+pub fn to_json_lines<T: Serialize>(rows: &[T]) -> String {
+    rows.iter()
+        .map(|r| serde_json::to_string(r).expect("rows are plain data"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Format a float compactly (4 significant decimals, trimmed).
+pub fn fmt_f(v: f64) -> String {
+    if v == 0.0 {
+        return "0".to_owned();
+    }
+    if v.abs() >= 1000.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.3}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Serialize;
+
+    #[test]
+    fn table_is_aligned() {
+        let rows = vec![
+            vec!["1".to_owned(), "differential".to_owned()],
+            vec!["10000".to_owned(), "push".to_owned()],
+        ];
+        let t = render_table(&["N", "policy"], &rows);
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All lines equal width.
+        let w = lines[0].len();
+        assert!(lines.iter().all(|l| l.len() == w), "{t}");
+    }
+
+    #[derive(Serialize)]
+    struct Row {
+        x: u32,
+    }
+
+    #[test]
+    fn json_lines_one_per_row() {
+        let s = to_json_lines(&[Row { x: 1 }, Row { x: 2 }]);
+        assert_eq!(s.lines().count(), 2);
+        assert!(s.contains("{\"x\":1}"));
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt_f(0.0), "0");
+        assert_eq!(fmt_f(0.12345), "0.1235"); // rounded
+        assert_eq!(fmt_f(3.25149), "3.251");
+        assert_eq!(fmt_f(123456.0), "123456");
+    }
+}

@@ -1,0 +1,278 @@
+//! Reproducible scenario construction.
+//!
+//! One seeded [`ScenarioConfig`] deterministically produces a complete
+//! experiment substrate: the PA overlay, the behaviour population
+//! (honest / free-riding peers), and the direct-interaction trust matrix
+//! (either the exact latent qualities or estimates from a simulated
+//! transaction workload).
+
+use dg_core::behavior::{Behavior, Population};
+use dg_core::reputation::{trust_from_qualities, ReputationSystem};
+use dg_core::CoreError;
+use dg_graph::{pa, Graph};
+use dg_trust::{TrustMatrix, WeightParams};
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Overlay topology family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Topology {
+    /// Preferential-attachment power-law graph (the paper's setting).
+    Pa,
+    /// Complete graph — the idealisation of the Section 5.2 analysis
+    /// (every node is every other node's neighbour), used by the Eq. (17)
+    /// ablation.
+    Complete,
+}
+
+/// How the trust matrix is produced.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TrustSource {
+    /// Neighbours know each other's latent quality exactly (analytical
+    /// limit; deterministic given the population).
+    Exact,
+    /// Trust is estimated from a simulated transaction workload with
+    /// this many transactions per directed edge.
+    Workload {
+        /// Transactions per directed neighbour pair.
+        transactions_per_edge: u32,
+    },
+}
+
+/// Scenario parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioConfig {
+    /// Nodes in the overlay.
+    pub nodes: usize,
+    /// PA attachment parameter `m`.
+    pub m: usize,
+    /// RNG seed (drives topology, population, workload and gossip).
+    pub seed: u64,
+    /// Weight-law parameters `(a, b)`.
+    pub weight_a: f64,
+    /// See `weight_a`.
+    pub weight_b: f64,
+    /// Fraction of free riders in the population.
+    pub free_rider_fraction: f64,
+    /// Honest quality range `[lo, hi]`.
+    pub quality_range: (f64, f64),
+    /// Trust matrix source.
+    pub trust_source: TrustSource,
+    /// Overlay topology family.
+    pub topology: Topology,
+    /// Additional random *far* interaction partners per node: file-sharing
+    /// downloads reach beyond overlay neighbours, so each node also rates
+    /// this many uniformly chosen non-neighbours. Densifies the trust
+    /// matrix the way the paper's Section 5.2 analysis assumes.
+    pub far_partners: usize,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        Self {
+            nodes: 1000,
+            m: 2,
+            seed: 42,
+            weight_a: 2.0,
+            weight_b: 2.0,
+            free_rider_fraction: 0.0,
+            quality_range: (0.2, 1.0),
+            trust_source: TrustSource::Exact,
+            topology: Topology::Pa,
+            far_partners: 0,
+        }
+    }
+}
+
+impl ScenarioConfig {
+    /// Default config at a given size.
+    pub fn with_nodes(nodes: usize) -> Self {
+        Self {
+            nodes,
+            ..Self::default()
+        }
+    }
+
+    /// Builder-style seed override.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// A fully built scenario.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// The overlay topology.
+    pub graph: Graph,
+    /// Behaviour profiles.
+    pub population: Population,
+    /// Direct-interaction trust matrix.
+    pub trust: TrustMatrix,
+    /// Weight law.
+    pub weights: WeightParams,
+    /// The config that produced everything.
+    pub config: ScenarioConfig,
+}
+
+impl Scenario {
+    /// Build a scenario from its config (deterministic).
+    pub fn build(config: ScenarioConfig) -> Result<Self, CoreError> {
+        let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+        let graph = match config.topology {
+            Topology::Pa => pa::preferential_attachment(
+                pa::PaConfig {
+                    nodes: config.nodes,
+                    m: config.m,
+                },
+                &mut rng,
+            )?,
+            Topology::Complete => dg_graph::generators::complete(config.nodes),
+        };
+
+        let (lo, hi) = config.quality_range;
+        let behaviors = (0..config.nodes)
+            .map(|_| {
+                if rng.random::<f64>() < config.free_rider_fraction {
+                    Behavior::FreeRider {
+                        serve_probability: 0.1 * rng.random::<f64>(),
+                    }
+                } else {
+                    Behavior::Honest {
+                        quality: lo + (hi - lo) * rng.random::<f64>(),
+                    }
+                }
+            })
+            .collect();
+        let population = Population::new(behaviors);
+
+        let mut trust = match config.trust_source {
+            TrustSource::Exact => {
+                trust_from_qualities(&graph, &population.latent_qualities())
+            }
+            TrustSource::Workload {
+                transactions_per_edge,
+            } => crate::workload::estimate_trust(
+                &graph,
+                &population,
+                transactions_per_edge,
+                &mut rng,
+            ),
+        };
+        if config.far_partners > 0 {
+            let qualities = population.latent_qualities();
+            crate::workload::add_far_interactions(
+                &graph,
+                &qualities,
+                config.far_partners,
+                &mut trust,
+                &mut rng,
+            );
+        }
+
+        let weights = WeightParams::new(config.weight_a, config.weight_b)?;
+        Ok(Self {
+            graph,
+            population,
+            trust,
+            weights,
+            config,
+        })
+    }
+
+    /// The reputation system over this scenario.
+    pub fn system(&self) -> Result<ReputationSystem<'_>, CoreError> {
+        ReputationSystem::new(&self.graph, self.trust.clone(), self.weights)
+    }
+
+    /// A fresh RNG stream for the gossip phase, decoupled from the
+    /// construction stream (so topology stays fixed when re-running
+    /// gossip with different sub-seeds).
+    pub fn gossip_rng(&self, stream: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(self.config.seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(stream + 1)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_is_deterministic() {
+        let cfg = ScenarioConfig::with_nodes(200);
+        let a = Scenario::build(cfg).unwrap();
+        let b = Scenario::build(cfg).unwrap();
+        assert_eq!(a.graph, b.graph);
+        assert_eq!(a.trust, b.trust);
+        assert_eq!(a.population, b.population);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Scenario::build(ScenarioConfig::with_nodes(200).with_seed(1)).unwrap();
+        let b = Scenario::build(ScenarioConfig::with_nodes(200).with_seed(2)).unwrap();
+        assert_ne!(a.graph, b.graph);
+    }
+
+    #[test]
+    fn free_rider_fraction_is_respected() {
+        let cfg = ScenarioConfig {
+            nodes: 2000,
+            free_rider_fraction: 0.3,
+            ..ScenarioConfig::default()
+        };
+        let s = Scenario::build(cfg).unwrap();
+        let free_riders = s
+            .population
+            .iter()
+            .filter(|(_, b)| matches!(b, Behavior::FreeRider { .. }))
+            .count();
+        let fraction = free_riders as f64 / 2000.0;
+        assert!((fraction - 0.3).abs() < 0.05, "fraction {fraction}");
+    }
+
+    #[test]
+    fn exact_trust_matches_latent_quality() {
+        let s = Scenario::build(ScenarioConfig::with_nodes(100)).unwrap();
+        let q = s.population.latent_qualities();
+        for v in s.graph.nodes() {
+            for &w in s.graph.neighbours(v) {
+                let t = s
+                    .trust
+                    .get(v, dg_graph::NodeId(w))
+                    .expect("neighbour entry");
+                assert!((t.get() - q[w as usize]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn workload_trust_is_populated_and_plausible() {
+        let cfg = ScenarioConfig {
+            nodes: 100,
+            trust_source: TrustSource::Workload {
+                transactions_per_edge: 30,
+            },
+            ..ScenarioConfig::default()
+        };
+        let s = Scenario::build(cfg).unwrap();
+        assert!(s.trust.entry_count() > 0);
+        // Estimated trust should correlate with latent quality.
+        let q = s.population.latent_qualities();
+        let mut diffs = Vec::new();
+        for (_, j, t) in s.trust.entries() {
+            diffs.push((t.get() - q[j.index()]).abs());
+        }
+        let mean_diff = diffs.iter().sum::<f64>() / diffs.len() as f64;
+        assert!(mean_diff < 0.25, "mean |t - q| = {mean_diff}");
+    }
+
+    #[test]
+    fn system_builds() {
+        let s = Scenario::build(ScenarioConfig::with_nodes(50)).unwrap();
+        let sys = s.system().unwrap();
+        assert_eq!(sys.node_count(), 50);
+    }
+}

@@ -1,0 +1,194 @@
+//! BLUE-inspired AIMD trust estimator.
+//!
+//! The paper delegates trust *estimation* to the authors' earlier work
+//! "Trust estimation in peer-to-peer network using BLUE" (its reference
+//! \[20\]), which adapts the BLUE queue-management idea: instead of
+//! tracking a statistic of the outcome stream directly, maintain the
+//! estimate as a control variable nudged by *events* — additive increase
+//! on sustained good service, multiplicative decrease on failures. The
+//! result reacts fast to betrayal (a single refusal costs a constant
+//! fraction) but forgives slowly (rebuilding trust is linear), the
+//! asymmetry most reputation systems want.
+
+use crate::estimator::{TransactionOutcome, TrustEstimator};
+use crate::value::TrustValue;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the AIMD rule.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AimdParams {
+    /// Additive increment applied per successful transaction.
+    pub increase: f64,
+    /// Multiplicative factor applied on a failed/refused transaction
+    /// (`0 < decrease < 1`).
+    pub decrease: f64,
+    /// Quality threshold separating success from failure.
+    pub success_threshold: f64,
+}
+
+impl Default for AimdParams {
+    fn default() -> Self {
+        Self {
+            increase: 0.05,
+            decrease: 0.5,
+            success_threshold: 0.5,
+        }
+    }
+}
+
+impl AimdParams {
+    /// Validated constructor.
+    pub fn new(increase: f64, decrease: f64, success_threshold: f64) -> Option<Self> {
+        let ok = increase.is_finite()
+            && increase > 0.0
+            && decrease.is_finite()
+            && (0.0..1.0).contains(&decrease)
+            && (0.0..=1.0).contains(&success_threshold);
+        ok.then_some(Self {
+            increase,
+            decrease,
+            success_threshold,
+        })
+    }
+}
+
+/// BLUE-style AIMD estimator: slow additive trust growth, fast
+/// multiplicative collapse.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AimdEstimator {
+    params: AimdParams,
+    value: TrustValue,
+    count: u64,
+}
+
+impl AimdEstimator {
+    /// Fresh estimator at the anti-whitewash initial value 0.
+    pub fn new(params: AimdParams) -> Self {
+        Self {
+            params,
+            value: TrustValue::ZERO,
+            count: 0,
+        }
+    }
+
+    /// Start from a non-zero prior.
+    pub fn with_initial(params: AimdParams, initial: TrustValue) -> Self {
+        Self {
+            params,
+            value: initial,
+            count: 0,
+        }
+    }
+
+    /// The configured parameters.
+    pub fn params(&self) -> AimdParams {
+        self.params
+    }
+}
+
+impl Default for AimdEstimator {
+    fn default() -> Self {
+        Self::new(AimdParams::default())
+    }
+}
+
+impl TrustEstimator for AimdEstimator {
+    fn record(&mut self, outcome: TransactionOutcome) {
+        let q = outcome.quality();
+        let next = if q >= self.params.success_threshold {
+            // Additive increase, scaled by how good the service was so a
+            // barely-passing transaction builds trust slower than a
+            // perfect one.
+            self.value.get() + self.params.increase * q
+        } else {
+            self.value.get() * self.params.decrease
+        };
+        self.value = TrustValue::saturating(next);
+        self.count += 1;
+    }
+
+    fn estimate(&self) -> TrustValue {
+        self.value
+    }
+
+    fn transactions(&self) -> u64 {
+        self.count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn served(q: f64) -> TransactionOutcome {
+        TransactionOutcome::Served { quality: q }
+    }
+
+    #[test]
+    fn params_validation() {
+        assert!(AimdParams::new(0.05, 0.5, 0.5).is_some());
+        assert!(AimdParams::new(0.0, 0.5, 0.5).is_none());
+        assert!(AimdParams::new(0.05, 1.0, 0.5).is_none());
+        assert!(AimdParams::new(0.05, -0.1, 0.5).is_none());
+        assert!(AimdParams::new(f64::NAN, 0.5, 0.5).is_none());
+        assert!(AimdParams::new(0.05, 0.5, 1.5).is_none());
+    }
+
+    #[test]
+    fn trust_builds_linearly() {
+        let mut e = AimdEstimator::default();
+        for _ in 0..10 {
+            e.record(served(1.0));
+        }
+        // 10 × 0.05 × 1.0 = 0.5.
+        assert!((e.estimate().get() - 0.5).abs() < 1e-12);
+        assert_eq!(e.transactions(), 10);
+    }
+
+    #[test]
+    fn one_refusal_halves_trust() {
+        let mut e = AimdEstimator::with_initial(AimdParams::default(), TrustValue::new(0.8).unwrap());
+        e.record(TransactionOutcome::Refused);
+        assert!((e.estimate().get() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn betrayal_is_costlier_than_recovery() {
+        // Climbing back after a refusal takes many good transactions —
+        // the asymmetry that deters oscillating free riders.
+        let mut e = AimdEstimator::with_initial(AimdParams::default(), TrustValue::new(0.8).unwrap());
+        e.record(TransactionOutcome::Refused);
+        let dropped = e.estimate().get();
+        let mut recover = 0;
+        while e.estimate().get() < 0.8 {
+            e.record(served(1.0));
+            recover += 1;
+        }
+        assert!(dropped < 0.5);
+        assert!(recover >= 8, "recovered in only {recover} transactions");
+    }
+
+    #[test]
+    fn saturates_at_one() {
+        let mut e = AimdEstimator::default();
+        for _ in 0..100 {
+            e.record(served(1.0));
+        }
+        assert_eq!(e.estimate(), TrustValue::ONE);
+    }
+
+    proptest! {
+        #[test]
+        fn estimate_always_in_unit_interval(
+            qualities in proptest::collection::vec(-0.5f64..1.5, 0..60),
+        ) {
+            let mut e = AimdEstimator::default();
+            for q in qualities {
+                let o = if q < 0.0 { TransactionOutcome::Refused } else { served(q) };
+                e.record(o);
+                prop_assert!((0.0..=1.0).contains(&e.estimate().get()));
+            }
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! Error type for trust primitives.
+
+use thiserror::Error;
+
+/// Errors produced by trust-layer constructors and updates.
+#[derive(Debug, Error, PartialEq)]
+pub enum TrustError {
+    /// Trust values must lie in `[0, 1]` (Section 4 of the paper).
+    #[error("trust value {0} outside [0, 1]")]
+    OutOfRange(f64),
+
+    /// Trust values must be finite numbers.
+    #[error("trust value must be finite, got {0}")]
+    NotFinite(f64),
+
+    /// Weight-law parameters must keep every weight ≥ 1.
+    #[error("invalid weight parameters: {0}")]
+    InvalidWeightParams(String),
+
+    /// A node id exceeded the matrix dimension.
+    #[error("node id {id} out of range for {n} nodes")]
+    NodeOutOfRange {
+        /// Offending id.
+        id: u32,
+        /// Matrix dimension.
+        n: usize,
+    },
+}

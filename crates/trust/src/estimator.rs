@@ -1,0 +1,242 @@
+//! Transaction-outcome driven trust estimation.
+//!
+//! The paper assumes every node "periodically calculates the trust value of
+//! the other nodes on the basis of quality of service provided by them
+//! against the requests made", delegating the estimator itself to the
+//! authors' earlier BLUE work \[20\], for which no trace data is published.
+//! We substitute two standard estimators that exercise the same code path
+//! (per-edge online updates producing `t_ij ∈ [0, 1]`):
+//!
+//! * [`EwmaEstimator`] — exponentially weighted moving average of outcome
+//!   quality, the common choice in P2P trust systems;
+//! * [`BetaEstimator`] — Beta-posterior mean `(s + 1)/(s + f + 2)` over
+//!   success/failure counts (Jøsang-style), which naturally encodes the
+//!   number of transactions as confidence.
+
+use crate::value::TrustValue;
+use serde::{Deserialize, Serialize};
+
+/// Outcome of a single transaction (a chunk upload in the file-sharing
+/// model), as judged by the downloader.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TransactionOutcome {
+    /// The provider served the request; `quality ∈ [0, 1]` reflects QoS
+    /// (bandwidth granted, chunk validity, ...).
+    Served {
+        /// Quality-of-service score of the transaction.
+        quality: f64,
+    },
+    /// The provider refused or failed to serve (free-riding behaviour).
+    Refused,
+}
+
+impl TransactionOutcome {
+    /// The quality signal of the outcome: `quality` for served (clamped),
+    /// 0 for refused.
+    pub fn quality(self) -> f64 {
+        match self {
+            TransactionOutcome::Served { quality } => {
+                if quality.is_nan() {
+                    0.0
+                } else {
+                    quality.clamp(0.0, 1.0)
+                }
+            }
+            TransactionOutcome::Refused => 0.0,
+        }
+    }
+
+    /// Whether the transaction counts as a success for the Beta estimator
+    /// (served with quality ≥ 0.5).
+    pub fn is_success(self) -> bool {
+        self.quality() >= 0.5
+    }
+}
+
+/// An online trust estimator fed by transaction outcomes.
+pub trait TrustEstimator {
+    /// Incorporate one outcome.
+    fn record(&mut self, outcome: TransactionOutcome);
+
+    /// Current estimate `t_ij`.
+    fn estimate(&self) -> TrustValue;
+
+    /// Number of transactions observed so far.
+    fn transactions(&self) -> u64;
+}
+
+/// Exponentially-weighted moving average of transaction quality.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EwmaEstimator {
+    value: TrustValue,
+    rate: f64,
+    count: u64,
+}
+
+impl EwmaEstimator {
+    /// New estimator starting at the anti-whitewash initial value 0 with
+    /// the given learning rate (clamped to `[0, 1]`).
+    pub fn new(rate: f64) -> Self {
+        Self {
+            value: TrustValue::ZERO,
+            rate: if rate.is_nan() { 0.0 } else { rate.clamp(0.0, 1.0) },
+            count: 0,
+        }
+    }
+
+    /// Start from a non-default prior (e.g. a dynamically adjusted
+    /// whitewash level, which the paper mentions but does not study).
+    pub fn with_initial(rate: f64, initial: TrustValue) -> Self {
+        let mut e = Self::new(rate);
+        e.value = initial;
+        e
+    }
+}
+
+impl Default for EwmaEstimator {
+    fn default() -> Self {
+        Self::new(0.3)
+    }
+}
+
+impl TrustEstimator for EwmaEstimator {
+    fn record(&mut self, outcome: TransactionOutcome) {
+        self.value = self
+            .value
+            .blend_towards(TrustValue::saturating(outcome.quality()), self.rate);
+        self.count += 1;
+    }
+
+    fn estimate(&self) -> TrustValue {
+        self.value
+    }
+
+    fn transactions(&self) -> u64 {
+        self.count
+    }
+}
+
+/// Beta-posterior mean estimator: `t = (s + 1) / (s + f + 2)` where `s`
+/// and `f` are weighted success/failure masses.
+///
+/// Unlike the raw Jøsang form, the observed quality contributes
+/// fractionally: a transaction of quality `q` adds `q` to `s` and
+/// `1 − q` to `f`, so QoS grades below/above the 0.5 threshold still move
+/// the estimate proportionally.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct BetaEstimator {
+    successes: f64,
+    failures: f64,
+    count: u64,
+}
+
+impl BetaEstimator {
+    /// Fresh estimator (estimate starts at the indifferent 0.5; combine
+    /// with [`TrustMatrix::get_or_zero`](crate::TrustMatrix::get_or_zero)
+    /// semantics if a zero prior is required).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The (s, f) masses, mostly for diagnostics.
+    pub fn masses(&self) -> (f64, f64) {
+        (self.successes, self.failures)
+    }
+}
+
+impl TrustEstimator for BetaEstimator {
+    fn record(&mut self, outcome: TransactionOutcome) {
+        let q = outcome.quality();
+        self.successes += q;
+        self.failures += 1.0 - q;
+        self.count += 1;
+    }
+
+    fn estimate(&self) -> TrustValue {
+        TrustValue::saturating((self.successes + 1.0) / (self.successes + self.failures + 2.0))
+    }
+
+    fn transactions(&self) -> u64 {
+        self.count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn served(q: f64) -> TransactionOutcome {
+        TransactionOutcome::Served { quality: q }
+    }
+
+    #[test]
+    fn outcome_quality_clamps() {
+        assert_eq!(served(2.0).quality(), 1.0);
+        assert_eq!(served(-1.0).quality(), 0.0);
+        assert_eq!(served(f64::NAN).quality(), 0.0);
+        assert_eq!(TransactionOutcome::Refused.quality(), 0.0);
+        assert!(served(0.9).is_success());
+        assert!(!TransactionOutcome::Refused.is_success());
+    }
+
+    #[test]
+    fn ewma_rises_with_good_service() {
+        let mut e = EwmaEstimator::new(0.5);
+        assert_eq!(e.estimate(), TrustValue::ZERO);
+        for _ in 0..20 {
+            e.record(served(1.0));
+        }
+        assert!(e.estimate().get() > 0.99);
+        assert_eq!(e.transactions(), 20);
+    }
+
+    #[test]
+    fn ewma_falls_after_refusals() {
+        let mut e = EwmaEstimator::with_initial(0.5, TrustValue::ONE);
+        for _ in 0..20 {
+            e.record(TransactionOutcome::Refused);
+        }
+        assert!(e.estimate().get() < 0.01);
+    }
+
+    #[test]
+    fn beta_estimator_converges_to_quality() {
+        let mut e = BetaEstimator::new();
+        for _ in 0..1000 {
+            e.record(served(0.8));
+        }
+        assert!((e.estimate().get() - 0.8).abs() < 0.01);
+        assert_eq!(e.transactions(), 1000);
+    }
+
+    #[test]
+    fn beta_prior_is_indifferent() {
+        let e = BetaEstimator::new();
+        assert_eq!(e.estimate(), TrustValue::HALF);
+    }
+
+    #[test]
+    fn beta_refusals_push_to_zero() {
+        let mut e = BetaEstimator::new();
+        for _ in 0..100 {
+            e.record(TransactionOutcome::Refused);
+        }
+        assert!(e.estimate().get() < 0.02);
+    }
+
+    proptest! {
+        #[test]
+        fn estimates_always_in_range(qualities in proptest::collection::vec(-1.0..2.0f64, 0..50)) {
+            let mut ewma = EwmaEstimator::default();
+            let mut beta = BetaEstimator::new();
+            for q in qualities {
+                let o = if q < 0.0 { TransactionOutcome::Refused } else { served(q) };
+                ewma.record(o);
+                beta.record(o);
+                prop_assert!((0.0..=1.0).contains(&ewma.estimate().get()));
+                prop_assert!((0.0..=1.0).contains(&beta.estimate().get()));
+            }
+        }
+    }
+}

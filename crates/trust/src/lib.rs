@@ -1,0 +1,44 @@
+//! # dg-trust — trust primitives for differential gossip trust
+//!
+//! The paper's reputation system starts from *local trust values*
+//! `t_ij ∈ [0, 1]`: node `i`'s assessment of node `j`, estimated purely
+//! from direct interactions (the paper delegates estimation to the
+//! authors' earlier work and assumes the values exist). This crate owns
+//! everything "below" the gossip layer:
+//!
+//! * [`TrustValue`] — a validated `[0, 1]` trust score,
+//! * [`TrustMatrix`] — the sparse `N × N` matrix of direct-interaction
+//!   trust values (`t_ij`), row-indexed by the observing node,
+//! * [`estimator`] — transaction-outcome driven estimators (EWMA and a
+//!   Beta-posterior mean) that produce `t_ij` from a synthetic
+//!   file-sharing workload (our substitution for the paper's unpublished
+//!   trace data; see DESIGN.md §4),
+//! * [`aimd`] — a BLUE-inspired AIMD estimator in the spirit of the
+//!   authors' companion estimation paper (the paper's reference \[20\]),
+//! * [`weights`] — the neighbour-opinion weight law `w_Ii = a^(b·t_Ii)`
+//!   of Eq. (2), with the paper's `w ≥ 1` invariant,
+//! * [`table`] — the per-node reputation table of the system model
+//!   (local trust + last-heard bookkeeping for dropping silent peers).
+
+pub mod aimd;
+pub mod estimator;
+pub mod error;
+pub mod matrix;
+pub mod table;
+pub mod value;
+pub mod weights;
+
+pub use error::TrustError;
+pub use matrix::TrustMatrix;
+pub use value::TrustValue;
+pub use weights::WeightParams;
+
+/// Convenience prelude.
+pub mod prelude {
+    pub use crate::aimd::{AimdEstimator, AimdParams};
+    pub use crate::estimator::{BetaEstimator, EwmaEstimator, TransactionOutcome, TrustEstimator};
+    pub use crate::matrix::TrustMatrix;
+    pub use crate::table::ReputationTable;
+    pub use crate::value::TrustValue;
+    pub use crate::weights::WeightParams;
+}

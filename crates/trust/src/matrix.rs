@@ -1,0 +1,233 @@
+//! The sparse trust matrix `t` of Section 4.
+//!
+//! "For the whole network, we can define a trust matrix of dimensions
+//! N × N. Here `t_ij` represents the trust value of j as maintained by i
+//! based on direct interaction. This matrix is generally sparse" — each
+//! node only transacts with a handful of neighbours. Rows are the
+//! *observer* (opining node) `i`, columns the *subject* `j`.
+
+use crate::error::TrustError;
+use crate::value::TrustValue;
+use dg_graph::NodeId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Sparse `N × N` matrix of direct-interaction trust values.
+///
+/// Backed by one ordered map per row; iteration order is deterministic,
+/// which keeps gossip experiments reproducible.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrustMatrix {
+    n: usize,
+    rows: Vec<BTreeMap<u32, TrustValue>>,
+}
+
+impl TrustMatrix {
+    /// Empty matrix for `n` nodes.
+    pub fn new(n: usize) -> Self {
+        Self {
+            n,
+            rows: vec![BTreeMap::new(); n],
+        }
+    }
+
+    /// Dimension `N`.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    fn check(&self, id: NodeId) -> Result<(), TrustError> {
+        if id.index() >= self.n {
+            return Err(TrustError::NodeOutOfRange { id: id.0, n: self.n });
+        }
+        Ok(())
+    }
+
+    /// Set `t_ij` (observer `i`, subject `j`).
+    pub fn set(&mut self, i: NodeId, j: NodeId, t: TrustValue) -> Result<(), TrustError> {
+        self.check(i)?;
+        self.check(j)?;
+        self.rows[i.index()].insert(j.0, t);
+        Ok(())
+    }
+
+    /// Remove an entry (e.g. the feedback of a peer not heard from for a
+    /// long time, which the paper says should be dropped). Returns the old
+    /// value if present.
+    pub fn remove(&mut self, i: NodeId, j: NodeId) -> Option<TrustValue> {
+        self.rows.get_mut(i.index())?.remove(&j.0)
+    }
+
+    /// `t_ij`, or `None` when `i` has never interacted with `j`.
+    pub fn get(&self, i: NodeId, j: NodeId) -> Option<TrustValue> {
+        self.rows.get(i.index())?.get(&j.0).copied()
+    }
+
+    /// `t_ij` with the paper's default of 0 for unknown pairs
+    /// (anti-whitewash initial value).
+    pub fn get_or_zero(&self, i: NodeId, j: NodeId) -> TrustValue {
+        self.get(i, j).unwrap_or(TrustValue::ZERO)
+    }
+
+    /// Whether observer `i` holds any opinion about `j`.
+    pub fn has_opinion(&self, i: NodeId, j: NodeId) -> bool {
+        self.get(i, j).is_some()
+    }
+
+    /// All opinions held by observer `i`, ordered by subject id.
+    pub fn row(&self, i: NodeId) -> impl Iterator<Item = (NodeId, TrustValue)> + '_ {
+        self.rows
+            .get(i.index())
+            .into_iter()
+            .flat_map(|r| r.iter().map(|(&j, &t)| (NodeId(j), t)))
+    }
+
+    /// Number of opinions held by observer `i`.
+    pub fn row_len(&self, i: NodeId) -> usize {
+        self.rows.get(i.index()).map_or(0, |r| r.len())
+    }
+
+    /// All opinions *about* subject `j` (a column scan; `O(N log d)`).
+    pub fn column(&self, j: NodeId) -> Vec<(NodeId, TrustValue)> {
+        self.rows
+            .iter()
+            .enumerate()
+            .filter_map(|(i, row)| row.get(&j.0).map(|&t| (NodeId(i as u32), t)))
+            .collect()
+    }
+
+    /// Number of nodes holding an opinion about `j` — the paper's `N_d`
+    /// (nodes with direct interaction), gossiped as `count`.
+    pub fn opinion_count(&self, j: NodeId) -> usize {
+        self.rows.iter().filter(|row| row.contains_key(&j.0)).count()
+    }
+
+    /// Total stored entries.
+    pub fn entry_count(&self) -> usize {
+        self.rows.iter().map(|r| r.len()).sum()
+    }
+
+    /// Iterator over all `(i, j, t_ij)` triples in row-major order.
+    pub fn entries(&self) -> impl Iterator<Item = (NodeId, NodeId, TrustValue)> + '_ {
+        self.rows.iter().enumerate().flat_map(|(i, row)| {
+            row.iter()
+                .map(move |(&j, &t)| (NodeId(i as u32), NodeId(j), t))
+        })
+    }
+
+    /// Mean of all opinions about `j` over the nodes that hold one —
+    /// the converged value of the paper's Algorithm 1 gossip
+    /// (`Σᵢ y_ij / Σᵢ g_ij` with `g = 1` for opinion holders).
+    ///
+    /// Returns `None` when nobody has interacted with `j`.
+    pub fn mean_opinion(&self, j: NodeId) -> Option<f64> {
+        let col = self.column(j);
+        if col.is_empty() {
+            return None;
+        }
+        Some(col.iter().map(|(_, t)| t.get()).sum::<f64>() / col.len() as f64)
+    }
+
+    /// Sum of all opinions about `j` — the converged `Y_j = Σᵢ t_ij` of
+    /// Algorithm 2's single-originator gossip.
+    pub fn opinion_sum(&self, j: NodeId) -> f64 {
+        self.rows
+            .iter()
+            .filter_map(|row| row.get(&j.0))
+            .map(|t| t.get())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tv(v: f64) -> TrustValue {
+        TrustValue::new(v).unwrap()
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut m = TrustMatrix::new(4);
+        m.set(NodeId(0), NodeId(1), tv(0.8)).unwrap();
+        assert_eq!(m.get(NodeId(0), NodeId(1)), Some(tv(0.8)));
+        assert_eq!(m.get(NodeId(1), NodeId(0)), None);
+        assert_eq!(m.get_or_zero(NodeId(1), NodeId(0)), TrustValue::ZERO);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let mut m = TrustMatrix::new(2);
+        assert_eq!(
+            m.set(NodeId(5), NodeId(0), tv(0.1)),
+            Err(TrustError::NodeOutOfRange { id: 5, n: 2 })
+        );
+        assert_eq!(
+            m.set(NodeId(0), NodeId(2), tv(0.1)),
+            Err(TrustError::NodeOutOfRange { id: 2, n: 2 })
+        );
+    }
+
+    #[test]
+    fn column_and_count() {
+        let mut m = TrustMatrix::new(4);
+        m.set(NodeId(0), NodeId(3), tv(0.5)).unwrap();
+        m.set(NodeId(1), NodeId(3), tv(0.7)).unwrap();
+        m.set(NodeId(2), NodeId(0), tv(0.9)).unwrap();
+        let col = m.column(NodeId(3));
+        assert_eq!(col, vec![(NodeId(0), tv(0.5)), (NodeId(1), tv(0.7))]);
+        assert_eq!(m.opinion_count(NodeId(3)), 2);
+        assert_eq!(m.opinion_count(NodeId(1)), 0);
+    }
+
+    #[test]
+    fn mean_and_sum() {
+        let mut m = TrustMatrix::new(3);
+        m.set(NodeId(0), NodeId(2), tv(0.2)).unwrap();
+        m.set(NodeId(1), NodeId(2), tv(0.6)).unwrap();
+        assert!((m.mean_opinion(NodeId(2)).unwrap() - 0.4).abs() < 1e-12);
+        assert!((m.opinion_sum(NodeId(2)) - 0.8).abs() < 1e-12);
+        assert_eq!(m.mean_opinion(NodeId(0)), None);
+        assert_eq!(m.opinion_sum(NodeId(0)), 0.0);
+    }
+
+    #[test]
+    fn overwrite_and_remove() {
+        let mut m = TrustMatrix::new(2);
+        m.set(NodeId(0), NodeId(1), tv(0.2)).unwrap();
+        m.set(NodeId(0), NodeId(1), tv(0.9)).unwrap();
+        assert_eq!(m.get(NodeId(0), NodeId(1)), Some(tv(0.9)));
+        assert_eq!(m.entry_count(), 1);
+        assert_eq!(m.remove(NodeId(0), NodeId(1)), Some(tv(0.9)));
+        assert_eq!(m.entry_count(), 0);
+        assert_eq!(m.remove(NodeId(0), NodeId(1)), None);
+    }
+
+    #[test]
+    fn entries_row_major() {
+        let mut m = TrustMatrix::new(3);
+        m.set(NodeId(1), NodeId(0), tv(0.1)).unwrap();
+        m.set(NodeId(0), NodeId(2), tv(0.3)).unwrap();
+        m.set(NodeId(1), NodeId(2), tv(0.5)).unwrap();
+        let all: Vec<_> = m.entries().collect();
+        assert_eq!(
+            all,
+            vec![
+                (NodeId(0), NodeId(2), tv(0.3)),
+                (NodeId(1), NodeId(0), tv(0.1)),
+                (NodeId(1), NodeId(2), tv(0.5)),
+            ]
+        );
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut m = TrustMatrix::new(3);
+        m.set(NodeId(0), NodeId(1), tv(0.25)).unwrap();
+        let s = serde_json::to_string(&m).unwrap();
+        let back: TrustMatrix = serde_json::from_str(&s).unwrap();
+        assert_eq!(m, back);
+    }
+}

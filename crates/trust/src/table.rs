@@ -1,0 +1,199 @@
+//! The per-node reputation table of the system model (Section 3).
+//!
+//! "Every node maintains a reputation table. In this table, a node
+//! maintains the reputation of the nodes with whom it has interacted...
+//! When another node asks for the resource from this node, it checks the
+//! reputation table and according to the reputation value of the
+//! requesting node, it allocates resource to the other node."
+//!
+//! The table also implements the liveness rule of Section 4.1.2: "If node
+//! will not hear from a node for a long time, it will assume that this
+//! node is no longer present and hence it will drop its feedback after
+//! some time."
+
+use crate::estimator::{TransactionOutcome, TrustEstimator};
+use crate::value::TrustValue;
+use dg_graph::NodeId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One row of a node's reputation table.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TableEntry {
+    /// Local trust from direct interaction (`t_ij`).
+    pub local_trust: TrustValue,
+    /// Aggregated reputation from the last completed gossip round
+    /// (`Rep_ij`), if any round has completed.
+    pub aggregated: Option<TrustValue>,
+    /// Round number at which this peer was last heard from.
+    pub last_heard_round: u64,
+    /// Transactions backing `local_trust`.
+    pub transactions: u64,
+}
+
+/// Reputation table of a single node, keyed by peer id.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct ReputationTable {
+    entries: BTreeMap<u32, TableEntry>,
+}
+
+impl ReputationTable {
+    /// Empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Look up a peer.
+    pub fn get(&self, peer: NodeId) -> Option<&TableEntry> {
+        self.entries.get(&peer.0)
+    }
+
+    /// Record a transaction outcome with `peer` using the supplied
+    /// estimator state (the estimator is owned by the caller so different
+    /// estimator types can share the table).
+    pub fn record_transaction<E: TrustEstimator>(
+        &mut self,
+        peer: NodeId,
+        estimator: &mut E,
+        outcome: TransactionOutcome,
+        round: u64,
+    ) {
+        estimator.record(outcome);
+        let entry = self.entries.entry(peer.0).or_insert(TableEntry {
+            local_trust: TrustValue::ZERO,
+            aggregated: None,
+            last_heard_round: round,
+            transactions: 0,
+        });
+        entry.local_trust = estimator.estimate();
+        entry.last_heard_round = round;
+        entry.transactions = estimator.transactions();
+    }
+
+    /// Store the aggregated reputation produced by a gossip round.
+    pub fn set_aggregated(&mut self, peer: NodeId, rep: TrustValue, round: u64) {
+        let entry = self.entries.entry(peer.0).or_insert(TableEntry {
+            local_trust: TrustValue::ZERO,
+            aggregated: None,
+            last_heard_round: round,
+            transactions: 0,
+        });
+        entry.aggregated = Some(rep);
+        entry.last_heard_round = round;
+    }
+
+    /// Mark that `peer` was heard from (any protocol traffic) at `round`.
+    pub fn touch(&mut self, peer: NodeId, round: u64) {
+        if let Some(e) = self.entries.get_mut(&peer.0) {
+            e.last_heard_round = round;
+        }
+    }
+
+    /// The reputation used for admission control: aggregated value when
+    /// available, otherwise local trust, otherwise zero (stranger).
+    pub fn effective_reputation(&self, peer: NodeId) -> TrustValue {
+        match self.entries.get(&peer.0) {
+            Some(e) => e.aggregated.unwrap_or(e.local_trust),
+            None => TrustValue::ZERO,
+        }
+    }
+
+    /// Drop every peer not heard from within `max_silence` rounds of
+    /// `current_round`; returns how many entries were evicted.
+    pub fn evict_silent(&mut self, current_round: u64, max_silence: u64) -> usize {
+        let before = self.entries.len();
+        self.entries
+            .retain(|_, e| current_round.saturating_sub(e.last_heard_round) <= max_silence);
+        before - self.entries.len()
+    }
+
+    /// Number of peers tracked.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate over `(peer, entry)` ordered by peer id.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &TableEntry)> + '_ {
+        self.entries.iter().map(|(&id, e)| (NodeId(id), e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimator::EwmaEstimator;
+
+    fn served(q: f64) -> TransactionOutcome {
+        TransactionOutcome::Served { quality: q }
+    }
+
+    #[test]
+    fn stranger_has_zero_reputation() {
+        let table = ReputationTable::new();
+        assert_eq!(table.effective_reputation(NodeId(7)), TrustValue::ZERO);
+        assert!(table.is_empty());
+    }
+
+    #[test]
+    fn transactions_update_local_trust() {
+        let mut table = ReputationTable::new();
+        let mut est = EwmaEstimator::new(0.5);
+        table.record_transaction(NodeId(3), &mut est, served(1.0), 1);
+        table.record_transaction(NodeId(3), &mut est, served(1.0), 2);
+        let e = table.get(NodeId(3)).unwrap();
+        assert!(e.local_trust.get() > 0.7);
+        assert_eq!(e.transactions, 2);
+        assert_eq!(e.last_heard_round, 2);
+        assert_eq!(table.effective_reputation(NodeId(3)), e.local_trust);
+    }
+
+    #[test]
+    fn aggregated_overrides_local() {
+        let mut table = ReputationTable::new();
+        let mut est = EwmaEstimator::new(0.5);
+        table.record_transaction(NodeId(3), &mut est, served(1.0), 1);
+        table.set_aggregated(NodeId(3), TrustValue::new(0.1).unwrap(), 2);
+        assert_eq!(
+            table.effective_reputation(NodeId(3)),
+            TrustValue::new(0.1).unwrap()
+        );
+    }
+
+    #[test]
+    fn eviction_drops_silent_peers() {
+        let mut table = ReputationTable::new();
+        let mut est = EwmaEstimator::new(0.5);
+        table.record_transaction(NodeId(1), &mut est, served(1.0), 0);
+        let mut est2 = EwmaEstimator::new(0.5);
+        table.record_transaction(NodeId(2), &mut est2, served(1.0), 9);
+        let evicted = table.evict_silent(10, 5);
+        assert_eq!(evicted, 1);
+        assert!(table.get(NodeId(1)).is_none());
+        assert!(table.get(NodeId(2)).is_some());
+    }
+
+    #[test]
+    fn touch_refreshes_liveness() {
+        let mut table = ReputationTable::new();
+        let mut est = EwmaEstimator::new(0.5);
+        table.record_transaction(NodeId(1), &mut est, served(1.0), 0);
+        table.touch(NodeId(1), 10);
+        assert_eq!(table.evict_silent(11, 5), 0);
+        assert_eq!(table.get(NodeId(1)).unwrap().last_heard_round, 10);
+    }
+
+    #[test]
+    fn set_aggregated_creates_entry_for_unknown_peer() {
+        let mut table = ReputationTable::new();
+        table.set_aggregated(NodeId(9), TrustValue::HALF, 4);
+        let e = table.get(NodeId(9)).unwrap();
+        assert_eq!(e.aggregated, Some(TrustValue::HALF));
+        assert_eq!(e.local_trust, TrustValue::ZERO);
+        assert_eq!(table.len(), 1);
+    }
+}

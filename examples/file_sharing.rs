@@ -1,0 +1,64 @@
+//! File-sharing free-riding scenario — the paper's motivating workload.
+//!
+//! A population of mostly honest peers plus 25% free riders transacts
+//! over a PA overlay for ten rounds. Each round, peers estimate trust
+//! from transaction outcomes, aggregate reputations with differential
+//! gossip trust, and gate service on the result. Watch the free riders'
+//! service rate collapse while honest peers keep full service — the
+//! incentive loop of Section 3.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example file_sharing
+//! ```
+
+use differential_gossip::sim::rounds::{RoundsConfig, RoundsSimulator};
+use differential_gossip::sim::scenario::{Scenario, ScenarioConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = ScenarioConfig {
+        nodes: 500,
+        free_rider_fraction: 0.25,
+        quality_range: (0.4, 1.0),
+        seed: 7,
+        ..ScenarioConfig::default()
+    };
+    let scenario = Scenario::build(config)?;
+    let free_riders = scenario
+        .population
+        .iter()
+        .filter(|(_, b)| b.latent_quality() < 0.2)
+        .count();
+    println!(
+        "network: {} peers ({} free riders), {} overlay edges\n",
+        scenario.graph.node_count(),
+        free_riders,
+        scenario.graph.edge_count()
+    );
+
+    let mut sim = RoundsSimulator::new(
+        &scenario,
+        RoundsConfig {
+            rounds: 10,
+            ..RoundsConfig::default()
+        },
+    );
+    let mut rng = scenario.gossip_rng(1);
+
+    println!(
+        "{:>5}  {:>14}  {:>18}  {:>12}  {:>16}",
+        "round", "honest service", "free-rider service", "honest rep", "free-rider rep"
+    );
+    for stats in sim.run(&mut rng)? {
+        println!(
+            "{:>5}  {:>13.1}%  {:>17.1}%  {:>12.4}  {:>16.4}",
+            stats.round,
+            100.0 * stats.honest_service_rate(),
+            100.0 * stats.free_rider_service_rate(),
+            stats.mean_rep_honest,
+            stats.mean_rep_free_riders,
+        );
+    }
+    println!("\nfree riding stops paying off as soon as the first gossip round lands.");
+    Ok(())
+}

@@ -1,0 +1,71 @@
+//! Reproducibility: every layer is a pure function of its seed.
+
+use differential_gossip::core::algorithms::alg3;
+use differential_gossip::gossip::GossipConfig;
+use differential_gossip::sim::experiments::{collusion_experiment, steps_experiment};
+use differential_gossip::sim::rounds::{RoundsConfig, RoundsSimulator};
+use differential_gossip::sim::scenario::{Scenario, ScenarioConfig};
+use differential_gossip::gossip::FanoutPolicy;
+
+#[test]
+fn scenarios_are_bit_reproducible() {
+    let cfg = ScenarioConfig {
+        nodes: 150,
+        seed: 321,
+        free_rider_fraction: 0.2,
+        far_partners: 5,
+        ..ScenarioConfig::default()
+    };
+    let a = Scenario::build(cfg).expect("scenario");
+    let b = Scenario::build(cfg).expect("scenario");
+    assert_eq!(a.graph, b.graph);
+    assert_eq!(a.trust, b.trust);
+    assert_eq!(a.population, b.population);
+}
+
+#[test]
+fn gossip_runs_are_reproducible_given_the_same_stream() {
+    let s = Scenario::build(ScenarioConfig::with_nodes(80).with_seed(9)).expect("scenario");
+    let system = s.system().expect("system");
+    let config = GossipConfig::differential(1e-6).expect("config");
+    let out1 = alg3::run(&system, config, &mut s.gossip_rng(5)).expect("run");
+    let out2 = alg3::run(&system, config, &mut s.gossip_rng(5)).expect("run");
+    assert_eq!(out1, out2);
+    // A different stream gives a different trajectory (but the same limit).
+    let out3 = alg3::run(&system, config, &mut s.gossip_rng(6)).expect("run");
+    assert!(out1.steps != out3.steps || out1.estimates != out3.estimates);
+}
+
+#[test]
+fn experiment_sweeps_are_reproducible_despite_rayon() {
+    let a = steps_experiment(&[100, 300], &[1e-3], &[FanoutPolicy::Differential], 77)
+        .expect("sweep");
+    let b = steps_experiment(&[100, 300], &[1e-3], &[FanoutPolicy::Differential], 77)
+        .expect("sweep");
+    assert_eq!(a, b);
+
+    let c = collusion_experiment(100, &[0.3], &[3], 13).expect("sweep");
+    let d = collusion_experiment(100, &[0.3], &[3], 13).expect("sweep");
+    assert_eq!(c, d);
+}
+
+#[test]
+fn rounds_simulation_is_reproducible() {
+    let s = Scenario::build(ScenarioConfig {
+        nodes: 60,
+        seed: 2,
+        free_rider_fraction: 0.2,
+        quality_range: (0.4, 1.0),
+        ..ScenarioConfig::default()
+    })
+    .expect("scenario");
+    let run = || {
+        let mut sim = RoundsSimulator::new(&s, RoundsConfig {
+            rounds: 3,
+            ..RoundsConfig::default()
+        });
+        let mut rng = s.gossip_rng(8);
+        sim.run(&mut rng).expect("rounds")
+    };
+    assert_eq!(run(), run());
+}

@@ -1,0 +1,148 @@
+//! Integration: the multi-round incentive lifecycle and the EigenTrust
+//! baseline, cross-checked against differential gossip trust.
+
+use differential_gossip::core::behavior::Behavior;
+use differential_gossip::graph::NodeId;
+use differential_gossip::sim::baselines::{eigentrust, EigenTrustConfig};
+use differential_gossip::sim::rounds::{AggregationMode, RoundsConfig, RoundsSimulator};
+use differential_gossip::sim::scenario::{Scenario, ScenarioConfig, TrustSource};
+
+fn scenario(seed: u64) -> Scenario {
+    Scenario::build(ScenarioConfig {
+        nodes: 100,
+        seed,
+        free_rider_fraction: 0.2,
+        quality_range: (0.4, 1.0),
+        ..ScenarioConfig::default()
+    })
+    .expect("scenario builds")
+}
+
+#[test]
+fn incentive_loop_starves_free_riders_but_not_honest_peers() {
+    let s = scenario(77);
+    let mut sim = RoundsSimulator::new(
+        &s,
+        RoundsConfig {
+            rounds: 8,
+            ..RoundsConfig::default()
+        },
+    );
+    let mut rng = s.gossip_rng(1);
+    let stats = sim.run(&mut rng).expect("rounds");
+
+    // Round 0 serves everyone (no reputations yet).
+    assert_eq!(stats[0].refused_honest, 0);
+    assert_eq!(stats[0].refused_free_riders, 0);
+
+    let last = stats.last().expect("rounds > 0");
+    assert!(last.honest_service_rate() > 0.95, "{}", last.honest_service_rate());
+    assert!(
+        last.free_rider_service_rate() < 0.1,
+        "{}",
+        last.free_rider_service_rate()
+    );
+    // Reputation separation mirrors the service separation.
+    assert!(last.mean_rep_honest > 2.0 * last.mean_rep_free_riders);
+}
+
+#[test]
+fn real_gossip_aggregation_mode_reaches_the_same_separation() {
+    let s = Scenario::build(ScenarioConfig {
+        nodes: 50,
+        seed: 5,
+        free_rider_fraction: 0.2,
+        quality_range: (0.4, 1.0),
+        ..ScenarioConfig::default()
+    })
+    .expect("scenario builds");
+    let run = |mode: AggregationMode| {
+        let mut sim = RoundsSimulator::new(
+            &s,
+            RoundsConfig {
+                rounds: 4,
+                aggregation: mode,
+                xi: 1e-7,
+                ..RoundsConfig::default()
+            },
+        );
+        let mut rng = s.gossip_rng(9);
+        sim.run(&mut rng).expect("rounds")
+    };
+    let closed = run(AggregationMode::ClosedForm);
+    let gossip = run(AggregationMode::Gossip);
+    let last_closed = closed.last().expect("rounds");
+    let last_gossip = gossip.last().expect("rounds");
+    // Both modes separate the classes; the gossip mode tracks the closed
+    // form closely (they see identical transaction streams only in round
+    // 0, so compare coarse statistics, not exact values).
+    assert!(last_gossip.mean_rep_honest > 2.0 * last_gossip.mean_rep_free_riders);
+    assert!(
+        (last_gossip.mean_rep_honest - last_closed.mean_rep_honest).abs() < 0.1,
+        "gossip {} vs closed {}",
+        last_gossip.mean_rep_honest,
+        last_closed.mean_rep_honest
+    );
+}
+
+#[test]
+fn eigentrust_and_differential_gossip_agree_on_who_is_bad() {
+    let s = Scenario::build(ScenarioConfig {
+        nodes: 80,
+        seed: 11,
+        free_rider_fraction: 0.25,
+        quality_range: (0.5, 1.0),
+        trust_source: TrustSource::Workload {
+            transactions_per_edge: 20,
+        },
+        ..ScenarioConfig::default()
+    })
+    .expect("scenario builds");
+    let system = s.system().expect("system");
+
+    // Differential gossip trust (closed form = the gossip limit).
+    let gclr = system.gclr_matrix();
+    // EigenTrust over the same local trust, pre-trusting the two
+    // highest-quality peers.
+    let qualities = s.population.latent_qualities();
+    let mut by_quality: Vec<usize> = (0..80).collect();
+    by_quality.sort_by(|&a, &b| qualities[b].total_cmp(&qualities[a]));
+    let pretrusted = [NodeId(by_quality[0] as u32), NodeId(by_quality[1] as u32)];
+    let et = eigentrust(s.trust(), &pretrusted, &EigenTrustConfig::default());
+    assert!(et.converged);
+
+    // Both systems should put the average free rider clearly below the
+    // average honest peer.
+    let mut honest_et = (0.0, 0usize);
+    let mut rider_et = (0.0, 0usize);
+    let mut honest_dg = (0.0, 0usize);
+    let mut rider_dg = (0.0, 0usize);
+    for (node, behavior) in s.population.iter() {
+        let dg_rep = gclr[0]
+            .iter()
+            .find(|(j, _)| *j == node)
+            .map(|&(_, r)| r)
+            .unwrap_or(0.0);
+        let et_rep = et.scores[node.index()];
+        if matches!(behavior, Behavior::FreeRider { .. }) {
+            rider_et = (rider_et.0 + et_rep, rider_et.1 + 1);
+            rider_dg = (rider_dg.0 + dg_rep, rider_dg.1 + 1);
+        } else {
+            honest_et = (honest_et.0 + et_rep, honest_et.1 + 1);
+            honest_dg = (honest_dg.0 + dg_rep, honest_dg.1 + 1);
+        }
+    }
+    let mean = |(sum, cnt): (f64, usize)| sum / cnt.max(1) as f64;
+    assert!(mean(honest_et) > 2.0 * mean(rider_et), "EigenTrust failed to separate");
+    assert!(mean(honest_dg) > 2.0 * mean(rider_dg), "DGT failed to separate");
+}
+
+trait TrustAccess {
+    fn trust(&self) -> &differential_gossip::trust::TrustMatrix;
+}
+
+impl TrustAccess for Scenario {
+    fn trust(&self) -> &differential_gossip::trust::TrustMatrix {
+        &self.trust
+    }
+}
