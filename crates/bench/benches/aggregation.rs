@@ -28,8 +28,7 @@ fn bench_alg1(c: &mut Criterion) {
     for &n in &[500usize, 2000] {
         let (graph, q) = setup(n);
         let trust = trust_from_qualities(&graph, &q);
-        let system =
-            ReputationSystem::new(&graph, trust, WeightParams::default()).expect("system");
+        let system = ReputationSystem::new(&graph, trust, WeightParams::default()).expect("system");
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {
                 let mut rng = ChaCha8Rng::seed_from_u64(7);
@@ -54,8 +53,7 @@ fn bench_alg3(c: &mut Criterion) {
     for &n in &[200usize, 500] {
         let (graph, q) = setup(n);
         let trust = trust_from_qualities(&graph, &q);
-        let system =
-            ReputationSystem::new(&graph, trust, WeightParams::default()).expect("system");
+        let system = ReputationSystem::new(&graph, trust, WeightParams::default()).expect("system");
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {
                 let mut rng = ChaCha8Rng::seed_from_u64(7);

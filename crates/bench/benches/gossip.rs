@@ -60,8 +60,7 @@ fn bench_full_run(c: &mut Criterion) {
                         fanout: policy,
                         ..GossipConfig::default()
                     };
-                    let engine =
-                        ScalarGossip::average(&graph, config, &vals).expect("engine");
+                    let engine = ScalarGossip::average(&graph, config, &vals).expect("engine");
                     let mut rng = ChaCha8Rng::seed_from_u64(7);
                     black_box(engine.run(&mut rng).steps)
                 });

@@ -79,7 +79,10 @@ fn main() {
         return;
     }
 
-    println!("Ablation A2.2 — potential psi_n decay (N = {n}; psi_0 = N − 1 = {})\n", n - 1);
+    println!(
+        "Ablation A2.2 — potential psi_n decay (N = {n}; psi_0 = N − 1 = {})\n",
+        n - 1
+    );
     let headers = ["step", "psi (push)", "psi (differential)"];
     let table: Vec<Vec<String>> = (0..=steps)
         .step_by(3)

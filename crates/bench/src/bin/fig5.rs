@@ -40,7 +40,10 @@ fn main() {
                         .iter()
                         .find(|r| (r.colluder_pct - pct).abs() < 1e-9 && r.group_size == g)
                         .expect("grid covered");
-                    row.push(format!("{:.4}", if gclr { r.rms_gclr } else { r.rms_global }));
+                    row.push(format!(
+                        "{:.4}",
+                        if gclr { r.rms_gclr } else { r.rms_global }
+                    ));
                 }
                 row
             })

@@ -17,12 +17,19 @@ fn main() {
     let trace = example_trace(iterations, cli.seed).expect("example trace");
 
     if cli.json {
-        println!("{}", serde_json::to_string_pretty(&trace).expect("serialise"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&trace).expect("serialise")
+        );
         return;
     }
 
     println!("Table 1 — aggregated value after every iteration at each node");
-    println!("(Fig. 2 example network; seed {}, target average {})\n", cli.seed, fmt_f(trace.target));
+    println!(
+        "(Fig. 2 example network; seed {}, target average {})\n",
+        cli.seed,
+        fmt_f(trace.target)
+    );
 
     let mut headers: Vec<String> = vec!["".to_owned()];
     headers.extend((1..=10).map(|i| i.to_string()));
@@ -50,5 +57,8 @@ fn main() {
         .iter()
         .map(|v| (v - trace.target).abs())
         .fold(0.0f64, f64::max);
-    println!("max |ratio − target| after {iterations} iterations: {}", fmt_f(max_dev));
+    println!(
+        "max |ratio − target| after {iterations} iterations: {}",
+        fmt_f(max_dev)
+    );
 }

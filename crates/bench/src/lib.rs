@@ -46,8 +46,10 @@ impl Cli {
                         .unwrap_or_else(|| usage("--seed needs a u64 value"));
                     cli.seed = v;
                 }
-                "--help" | "-h" => usage("
-"),
+                "--help" | "-h" => usage(
+                    "
+",
+                ),
                 other => usage(&format!("unknown flag {other}")),
             }
         }

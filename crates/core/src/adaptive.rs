@@ -72,7 +72,9 @@ impl AdaptiveConfig {
             && (0.0..=1.0).contains(&self.qos_rate)
             && self.b_step > 0.0
             && self.accuracy_tolerance >= 0.0
-            && [self.a_max, self.b_max, self.b_step].iter().all(|v| v.is_finite())
+            && [self.a_max, self.b_max, self.b_step]
+                .iter()
+                .all(|v| v.is_finite())
     }
 }
 
@@ -131,7 +133,11 @@ impl AdaptiveWeights {
     /// network). Good service pushes `a_i` toward `a_max`, starvation
     /// toward `a_min`.
     pub fn record_service(&mut self, quality: f64) {
-        let q = if quality.is_nan() { 0.0 } else { quality.clamp(0.0, 1.0) };
+        let q = if quality.is_nan() {
+            0.0
+        } else {
+            quality.clamp(0.0, 1.0)
+        };
         self.qos += self.config.qos_rate * (q - self.qos);
         self.a = self.config.a_min + (self.config.a_max - self.config.a_min) * self.qos;
     }

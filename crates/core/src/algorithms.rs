@@ -252,8 +252,7 @@ pub mod alg4 {
                     .map(|(&j, e)| {
                         let subject = NodeId(j);
                         let count = e.count_estimate().unwrap_or(0.0);
-                        let rep =
-                            combine_gclr(system, observer, subject, e.ratio(), count);
+                        let rep = combine_gclr(system, observer, subject, e.ratio(), count);
                         (j, rep)
                     })
                     .collect()
@@ -303,15 +302,19 @@ mod tests {
         let expected = s.global_reputation(NodeId(7)).unwrap();
         for (i, est) in out.estimates.iter().enumerate() {
             let est = est.expect("converged run has mass everywhere");
-            assert!((est - expected).abs() < 1e-3, "node {i}: {est} vs {expected}");
+            assert!(
+                (est - expected).abs() < 1e-3,
+                "node {i}: {est} vs {expected}"
+            );
         }
     }
 
     #[test]
     fn alg2_converges_to_closed_form_gclr() {
-        let g = pa::preferential_attachment(pa::PaConfig { nodes: 40, m: 2 }, &mut rng(2))
-            .unwrap();
-        let qualities: Vec<f64> = (0..40).map(|i| 0.2 + 0.6 * ((i % 7) as f64 / 6.0)).collect();
+        let g = pa::preferential_attachment(pa::PaConfig { nodes: 40, m: 2 }, &mut rng(2)).unwrap();
+        let qualities: Vec<f64> = (0..40)
+            .map(|i| 0.2 + 0.6 * ((i % 7) as f64 / 6.0))
+            .collect();
         let m = trust_from_qualities(&g, &qualities);
         let s = ReputationSystem::new(&g, m, WeightParams::new(2.0, 2.0).unwrap()).unwrap();
         let subject = NodeId(5);
@@ -360,9 +363,10 @@ mod tests {
 
     #[test]
     fn alg4_matches_closed_form_matrix() {
-        let g = pa::preferential_attachment(pa::PaConfig { nodes: 30, m: 2 }, &mut rng(6))
-            .unwrap();
-        let qualities: Vec<f64> = (0..30).map(|i| 0.1 + 0.8 * ((i % 5) as f64 / 4.0)).collect();
+        let g = pa::preferential_attachment(pa::PaConfig { nodes: 30, m: 2 }, &mut rng(6)).unwrap();
+        let qualities: Vec<f64> = (0..30)
+            .map(|i| 0.1 + 0.8 * ((i % 5) as f64 / 4.0))
+            .collect();
         let m = trust_from_qualities(&g, &qualities);
         let s = ReputationSystem::new(&g, m, WeightParams::new(2.0, 2.0).unwrap()).unwrap();
         let out = alg4::run(&s, config(), &mut rng(7)).unwrap();

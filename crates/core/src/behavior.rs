@@ -124,7 +124,10 @@ impl Population {
 
     /// Latent quality vector.
     pub fn latent_qualities(&self) -> Vec<f64> {
-        self.behaviors.iter().map(Behavior::latent_quality).collect()
+        self.behaviors
+            .iter()
+            .map(Behavior::latent_quality)
+            .collect()
     }
 
     /// Ids of all colluders.
@@ -178,9 +181,17 @@ mod tests {
     fn colluder_group_bookkeeping() {
         let pop = Population::new(vec![
             Behavior::Honest { quality: 0.9 },
-            Behavior::Colluder { quality: 0.3, group: 0 },
-            Behavior::Colluder { quality: 0.2, group: 0 },
-            Behavior::FreeRider { serve_probability: 0.1 },
+            Behavior::Colluder {
+                quality: 0.3,
+                group: 0,
+            },
+            Behavior::Colluder {
+                quality: 0.2,
+                group: 0,
+            },
+            Behavior::FreeRider {
+                serve_probability: 0.1,
+            },
         ]);
         assert_eq!(pop.colluders(), vec![NodeId(1), NodeId(2)]);
         assert_eq!(pop.behavior(NodeId(1)).collusion_group(), Some(0));
@@ -202,8 +213,13 @@ mod tests {
         let mut r = rng(4);
         for b in [
             Behavior::Honest { quality: 1.0 },
-            Behavior::Colluder { quality: 0.99, group: 1 },
-            Behavior::FreeRider { serve_probability: 0.7 },
+            Behavior::Colluder {
+                quality: 0.99,
+                group: 1,
+            },
+            Behavior::FreeRider {
+                serve_probability: 0.7,
+            },
         ] {
             for _ in 0..1000 {
                 let q = b.sample_quality(&mut r);

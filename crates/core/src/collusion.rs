@@ -286,8 +286,7 @@ impl<'a> ColludedAggregates<'a> {
                 .iter()
                 .map(|&k| {
                     let k = NodeId(k);
-                    (system.weight_of(observer, k) - 1.0)
-                        * self.gossip_report(k, j).unwrap_or(0.0)
+                    (system.weight_of(observer, k) - 1.0) * self.gossip_report(k, j).unwrap_or(0.0)
                 })
                 .sum()
         } else {
@@ -413,9 +412,7 @@ mod tests {
     #[test]
     fn from_groups_validates() {
         assert!(GroupAssignment::from_groups(3, vec![vec![NodeId(5)]]).is_err());
-        assert!(
-            GroupAssignment::from_groups(3, vec![vec![NodeId(0)], vec![NodeId(0)]]).is_err()
-        );
+        assert!(GroupAssignment::from_groups(3, vec![vec![NodeId(0)], vec![NodeId(0)]]).is_err());
         let a = GroupAssignment::from_groups(4, vec![vec![NodeId(1), NodeId(2)]]).unwrap();
         assert!(a.same_group(NodeId(1), NodeId(2)));
         assert_eq!(a.group_mates(NodeId(1)), vec![NodeId(2)]);
@@ -502,12 +499,9 @@ mod tests {
         let honest = crate::reputation::trust_from_qualities(&g, &qualities);
         let scheme = CollusionScheme::new(0.3, 3).unwrap();
         let assignment = GroupAssignment::assign(20, scheme, &mut rng(5)).unwrap();
-        let system = ReputationSystem::new(
-            &g,
-            honest.clone(),
-            WeightParams::new(4.0, 2.0).unwrap(),
-        )
-        .unwrap();
+        let system =
+            ReputationSystem::new(&g, honest.clone(), WeightParams::new(4.0, 2.0).unwrap())
+                .unwrap();
         let view = ColludedAggregates::new(&honest, &assignment);
 
         let subjects: Vec<NodeId> = (0..20u32).map(NodeId).collect();

@@ -100,8 +100,7 @@ impl<'g> ReputationSystem<'g> {
             .iter()
             .map(|&k| {
                 let k = NodeId(k);
-                (self.weight_of(observer, k) - 1.0)
-                    * self.trust.get_or_zero(k, subject).get()
+                (self.weight_of(observer, k) - 1.0) * self.trust.get_or_zero(k, subject).get()
             })
             .sum()
     }
@@ -144,7 +143,10 @@ impl<'g> ReputationSystem<'g> {
             }
         }
         subjects.sort_unstable();
-        let sums: Vec<f64> = subjects.iter().map(|&j| self.trust.opinion_sum(j)).collect();
+        let sums: Vec<f64> = subjects
+            .iter()
+            .map(|&j| self.trust.opinion_sum(j))
+            .collect();
         let counts: Vec<f64> = subjects
             .iter()
             .map(|&j| self.trust.opinion_count(j) as f64)
@@ -216,7 +218,10 @@ mod tests {
         let m = TrustMatrix::new(5);
         assert!(matches!(
             ReputationSystem::new(&g, m, WeightParams::default()),
-            Err(CoreError::DimensionMismatch { matrix: 5, graph: 3 })
+            Err(CoreError::DimensionMismatch {
+                matrix: 5,
+                graph: 3
+            })
         ));
     }
 

@@ -65,7 +65,9 @@ impl<'g> PotentialTracker<'g> {
             .map(|row| {
                 let g: f64 = row.iter().sum();
                 let target = g / n;
-                row.iter().map(|&c| (c - target) * (c - target)).sum::<f64>()
+                row.iter()
+                    .map(|&c| (c - target) * (c - target))
+                    .sum::<f64>()
             })
             .sum()
     }
@@ -152,8 +154,7 @@ mod tests {
 
     #[test]
     fn mass_conservation_of_contributions() {
-        let g = pa::preferential_attachment(pa::PaConfig { nodes: 40, m: 2 }, &mut rng(1))
-            .unwrap();
+        let g = pa::preferential_attachment(pa::PaConfig { nodes: 40, m: 2 }, &mut rng(1)).unwrap();
         let mut t = PotentialTracker::new(&g, FanoutPolicy::Differential).unwrap();
         for _ in 0..20 {
             t.step(&mut rng(2));
@@ -183,8 +184,7 @@ mod tests {
 
     #[test]
     fn differential_decays_at_least_as_fast_as_push_on_pa() {
-        let g = pa::preferential_attachment(pa::PaConfig { nodes: 60, m: 2 }, &mut rng(4))
-            .unwrap();
+        let g = pa::preferential_attachment(pa::PaConfig { nodes: 60, m: 2 }, &mut rng(4)).unwrap();
         let steps = 30;
         let avg_final = |policy: FanoutPolicy, seed: u64| -> f64 {
             (0..3)

@@ -410,7 +410,10 @@ mod tests {
         let err = ScalarGossip::new(&g, GossipConfig::default(), vec![GossipPair::ZERO; 3]);
         assert!(matches!(
             err,
-            Err(GossipError::StateSizeMismatch { given: 3, expected: 4 })
+            Err(GossipError::StateSizeMismatch {
+                given: 3,
+                expected: 4
+            })
         ));
     }
 
@@ -418,7 +421,10 @@ mod tests {
     fn rejects_negative_weight() {
         let g = generators::complete(2);
         let bad = vec![
-            GossipPair { value: 0.0, weight: -1.0 },
+            GossipPair {
+                value: 0.0,
+                weight: -1.0,
+            },
             GossipPair::ZERO,
         ];
         assert!(matches!(
@@ -445,8 +451,8 @@ mod tests {
 
     #[test]
     fn averaging_on_pa_graph_converges() {
-        let g = pa::preferential_attachment(pa::PaConfig { nodes: 300, m: 2 }, &mut rng(2))
-            .unwrap();
+        let g =
+            pa::preferential_attachment(pa::PaConfig { nodes: 300, m: 2 }, &mut rng(2)).unwrap();
         let values: Vec<f64> = (0..300).map(|i| (i % 10) as f64 / 10.0).collect();
         let out = ScalarGossip::average(&g, GossipConfig::differential(1e-7).unwrap(), &values)
             .unwrap()
@@ -457,8 +463,8 @@ mod tests {
 
     #[test]
     fn normal_push_also_converges_but_differential_is_not_slower_on_pa() {
-        let g = pa::preferential_attachment(pa::PaConfig { nodes: 500, m: 2 }, &mut rng(4))
-            .unwrap();
+        let g =
+            pa::preferential_attachment(pa::PaConfig { nodes: 500, m: 2 }, &mut rng(4)).unwrap();
         let values: Vec<f64> = (0..500).map(|i| ((i * 7) % 13) as f64 / 13.0).collect();
         let diff = ScalarGossip::average(&g, GossipConfig::differential(1e-8).unwrap(), &values)
             .unwrap()
@@ -493,8 +499,8 @@ mod tests {
 
     #[test]
     fn mass_is_conserved_under_loss() {
-        let g = pa::preferential_attachment(pa::PaConfig { nodes: 100, m: 2 }, &mut rng(7))
-            .unwrap();
+        let g =
+            pa::preferential_attachment(pa::PaConfig { nodes: 100, m: 2 }, &mut rng(7)).unwrap();
         let values: Vec<f64> = (0..100).map(|i| i as f64 / 99.0).collect();
         let config = GossipConfig::differential(1e-6)
             .unwrap()
@@ -511,8 +517,8 @@ mod tests {
 
     #[test]
     fn converges_under_packet_loss() {
-        let g = pa::preferential_attachment(pa::PaConfig { nodes: 200, m: 2 }, &mut rng(9))
-            .unwrap();
+        let g =
+            pa::preferential_attachment(pa::PaConfig { nodes: 200, m: 2 }, &mut rng(9)).unwrap();
         let values: Vec<f64> = (0..200).map(|i| ((i % 5) as f64) / 5.0).collect();
         let lossless =
             ScalarGossip::average(&g, GossipConfig::differential(1e-6).unwrap(), &values)
@@ -542,8 +548,11 @@ mod tests {
             .with_churn(ChurnModel::new(0.01, 10).unwrap());
         let mut engine = ScalarGossip::average(&g, config, &values).unwrap();
         let before = engine.total_mass();
+        // One RNG across the whole run: a fresh seed per step would replay
+        // the same draws every round and churn could never trigger.
+        let mut step_rng = rng(11);
         for _ in 0..100 {
-            engine.step(&mut rng(11));
+            engine.step(&mut step_rng);
         }
         let after = engine.total_mass();
         assert!((before.0 - after.0).abs() < 1e-8);
@@ -569,7 +578,9 @@ mod tests {
         let g = generators::ring(50).unwrap();
         let values: Vec<f64> = (0..50).map(|i| i as f64).collect();
         let config = GossipConfig::differential(1e-12).unwrap().with_max_steps(3);
-        let out = ScalarGossip::average(&g, config, &values).unwrap().run(&mut rng(13));
+        let out = ScalarGossip::average(&g, config, &values)
+            .unwrap()
+            .run(&mut rng(13));
         assert!(!out.converged);
         assert_eq!(out.steps, 3);
     }
@@ -590,8 +601,8 @@ mod tests {
 
     #[test]
     fn tighter_tolerance_needs_at_least_as_many_steps() {
-        let g = pa::preferential_attachment(pa::PaConfig { nodes: 200, m: 2 }, &mut rng(15))
-            .unwrap();
+        let g =
+            pa::preferential_attachment(pa::PaConfig { nodes: 200, m: 2 }, &mut rng(15)).unwrap();
         let values: Vec<f64> = (0..200).map(|i| ((i * 31) % 17) as f64 / 17.0).collect();
         let loose = ScalarGossip::average(&g, GossipConfig::differential(1e-2).unwrap(), &values)
             .unwrap()

@@ -156,8 +156,8 @@ mod tests {
 
     #[test]
     fn informed_count_is_monotone() {
-        let g = pa::preferential_attachment(pa::PaConfig { nodes: 200, m: 2 }, &mut rng(2))
-            .unwrap();
+        let g =
+            pa::preferential_attachment(pa::PaConfig { nodes: 200, m: 2 }, &mut rng(2)).unwrap();
         let out = spread(&g, SpreadProtocol::PushPull, NodeId(5), 1000, &mut rng(3)).unwrap();
         assert!(out.complete);
         for w in out.informed_per_step.windows(2) {
@@ -167,8 +167,8 @@ mod tests {
 
     #[test]
     fn differential_not_slower_than_push_on_pa() {
-        let g = pa::preferential_attachment(pa::PaConfig { nodes: 1000, m: 2 }, &mut rng(4))
-            .unwrap();
+        let g =
+            pa::preferential_attachment(pa::PaConfig { nodes: 1000, m: 2 }, &mut rng(4)).unwrap();
         // Average over several runs to damp randomness.
         let avg = |protocol: SpreadProtocol| -> f64 {
             (0..5)
@@ -190,10 +190,16 @@ mod tests {
 
     #[test]
     fn spreading_time_is_polylog_on_pa() {
-        let g = pa::preferential_attachment(pa::PaConfig { nodes: 2000, m: 2 }, &mut rng(5))
-            .unwrap();
-        let out = spread(&g, SpreadProtocol::DifferentialPush, NodeId(0), 10_000, &mut rng(6))
-            .unwrap();
+        let g =
+            pa::preferential_attachment(pa::PaConfig { nodes: 2000, m: 2 }, &mut rng(5)).unwrap();
+        let out = spread(
+            &g,
+            SpreadProtocol::DifferentialPush,
+            NodeId(0),
+            10_000,
+            &mut rng(6),
+        )
+        .unwrap();
         assert!(out.complete);
         let log2n = (2000f64).log2();
         assert!(

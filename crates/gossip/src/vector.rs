@@ -272,8 +272,7 @@ impl<'g> VectorGossip<'g> {
             if heard_other[i] {
                 let mut total_move = 0.0;
                 for (&j, e) in &self.state[i] {
-                    let prev = self
-                        .prev_ratio[i]
+                    let prev = self.prev_ratio[i]
                         .get(&j)
                         .copied()
                         .unwrap_or(RATIO_SENTINEL);
@@ -294,8 +293,7 @@ impl<'g> VectorGossip<'g> {
         for i in 0..n {
             let neighbours = self.graph.neighbours(NodeId(i as u32));
             self.stopped[i] = neighbours.is_empty()
-                || (self.announced[i]
-                    && neighbours.iter().all(|&w| self.announced[w as usize]));
+                || (self.announced[i] && neighbours.iter().all(|&w| self.announced[w as usize]));
         }
 
         self.step += 1;
@@ -398,8 +396,7 @@ mod tests {
 
     #[test]
     fn mass_conserved_per_subject() {
-        let g = pa::preferential_attachment(pa::PaConfig { nodes: 60, m: 2 }, &mut rng(3))
-            .unwrap();
+        let g = pa::preferential_attachment(pa::PaConfig { nodes: 60, m: 2 }, &mut rng(3)).unwrap();
         let opinions = [(0, 1, 0.4), (2, 1, 0.9), (5, 30, 0.7)];
         let init = initial_from_opinions(60, &opinions);
         let mut engine =
@@ -445,7 +442,13 @@ mod tests {
         let small = initial_from_opinions(6, &[(0, 1, 0.5)]);
         let big = initial_from_opinions(
             6,
-            &[(0, 1, 0.5), (0, 2, 0.5), (0, 3, 0.5), (1, 2, 0.4), (2, 3, 0.3)],
+            &[
+                (0, 1, 0.5),
+                (0, 2, 0.5),
+                (0, 3, 0.5),
+                (1, 2, 0.4),
+                (2, 3, 0.3),
+            ],
         );
         let out_small = VectorGossip::new(&g, GossipConfig::differential(1e-4).unwrap(), small)
             .unwrap()

@@ -126,7 +126,11 @@ pub fn average_clustering(graph: &Graph) -> f64 {
     if n == 0 {
         return 0.0;
     }
-    graph.nodes().map(|v| local_clustering(graph, v)).sum::<f64>() / n as f64
+    graph
+        .nodes()
+        .map(|v| local_clustering(graph, v))
+        .sum::<f64>()
+        / n as f64
 }
 
 #[cfg(test)]
@@ -181,9 +185,11 @@ mod tests {
         // Theorem 5.1 relies on PA components having small diameter; for
         // N = 2000, log2(N) ~ 11, so the diameter should be far below,
         // e.g., sqrt(N).
-        let g =
-            preferential_attachment(PaConfig { nodes: 2000, m: 2 }, &mut ChaCha8Rng::seed_from_u64(1))
-                .unwrap();
+        let g = preferential_attachment(
+            PaConfig { nodes: 2000, m: 2 },
+            &mut ChaCha8Rng::seed_from_u64(1),
+        )
+        .unwrap();
         let diam = estimate_diameter(&g, 4);
         assert!(diam <= 16, "diameter {diam} too large for PA graph");
     }

@@ -153,9 +153,11 @@ mod tests {
     fn pa_exponent_estimate_is_plausible() {
         // Asymptotically PA gives gamma = 3; finite instances land roughly
         // in [2, 4]. This guards against gross estimator bugs.
-        let g =
-            preferential_attachment(PaConfig { nodes: 5000, m: 2 }, &mut ChaCha8Rng::seed_from_u64(5))
-                .unwrap();
+        let g = preferential_attachment(
+            PaConfig { nodes: 5000, m: 2 },
+            &mut ChaCha8Rng::seed_from_u64(5),
+        )
+        .unwrap();
         let gamma = power_law_exponent_mle(&g, 3).unwrap();
         assert!((1.8..4.5).contains(&gamma), "gamma = {gamma}");
     }

@@ -74,7 +74,11 @@ pub fn erdos_renyi<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Result<Gra
 ///
 /// `n·d` must be even and `d < n`. Used by the convergence ablation to
 /// compare differential push on a homogeneous-degree topology.
-pub fn random_regular<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R) -> Result<Graph, GraphError> {
+pub fn random_regular<R: Rng + ?Sized>(
+    n: usize,
+    d: usize,
+    rng: &mut R,
+) -> Result<Graph, GraphError> {
     if d >= n {
         return Err(GraphError::DegreeTooLarge { degree: d, n });
     }
@@ -89,7 +93,9 @@ pub fn random_regular<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R) -> Resul
     // Configuration model: pair up half-edges uniformly; restart on a
     // self loop or parallel edge. For d << n a handful of restarts suffice.
     'attempt: for _ in 0..1000 {
-        let mut stubs: Vec<u32> = (0..n as u32).flat_map(|v| std::iter::repeat_n(v, d)).collect();
+        let mut stubs: Vec<u32> = (0..n as u32)
+            .flat_map(|v| std::iter::repeat_n(v, d))
+            .collect();
         stubs.shuffle(rng);
         let mut b = GraphBuilder::new(n);
         for pair in stubs.chunks_exact(2) {

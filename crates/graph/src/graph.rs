@@ -117,7 +117,10 @@ impl GraphBuilder {
             neighbours.extend(set.iter().copied());
             offsets.push(neighbours.len() as u32);
         }
-        Graph { offsets, neighbours }
+        Graph {
+            offsets,
+            neighbours,
+        }
     }
 }
 

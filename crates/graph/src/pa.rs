@@ -35,9 +35,7 @@ impl PaConfig {
 
     fn validate(&self) -> Result<(), GraphError> {
         if self.m < 1 {
-            return Err(GraphError::InvalidParameters(
-                "m must be at least 1".into(),
-            ));
+            return Err(GraphError::InvalidParameters("m must be at least 1".into()));
         }
         if self.nodes <= self.m {
             return Err(GraphError::InvalidParameters(format!(

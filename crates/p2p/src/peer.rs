@@ -163,8 +163,8 @@ pub async fn run_peer(
                 // Quiescence is derived each round, never latched: a
                 // neighbour's revocation re-activates this peer (the
                 // latched variant deadlocks — see the scalar engine docs).
-                stopped = neighbours.is_empty()
-                    || (announced && neighbour_converged.iter().all(|&c| c));
+                stopped =
+                    neighbours.is_empty() || (announced && neighbour_converged.iter().all(|&c| c));
                 let _ = status.send(Status::Committed { node: id, stopped });
             }
             Ctrl::Finish => {

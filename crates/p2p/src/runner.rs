@@ -113,7 +113,8 @@ pub async fn run_distributed(
     while rounds < config.max_rounds {
         // Phase 1: everyone sends.
         for tx in &ctrl_txs {
-            tx.send(Ctrl::Tick).map_err(|_| DistributedError::PeerDied)?;
+            tx.send(Ctrl::Tick)
+                .map_err(|_| DistributedError::PeerDied)?;
         }
         for _ in 0..n {
             match status_rx.recv().await {
@@ -123,7 +124,8 @@ pub async fn run_distributed(
         }
         // Phase 2: everyone commits.
         for tx in &ctrl_txs {
-            tx.send(Ctrl::Commit).map_err(|_| DistributedError::PeerDied)?;
+            tx.send(Ctrl::Commit)
+                .map_err(|_| DistributedError::PeerDied)?;
         }
         let mut all_stopped = true;
         for _ in 0..n {
@@ -141,7 +143,8 @@ pub async fn run_distributed(
 
     // Shut down and collect.
     for tx in &ctrl_txs {
-        tx.send(Ctrl::Finish).map_err(|_| DistributedError::PeerDied)?;
+        tx.send(Ctrl::Finish)
+            .map_err(|_| DistributedError::PeerDied)?;
     }
     let mut pairs = vec![GossipPair::ZERO; n];
     let mut active = vec![0u64; n];
@@ -232,11 +235,13 @@ mod tests {
     #[tokio::test]
     async fn wrong_initial_size_is_rejected() {
         let g = generators::complete(4);
-        let err = run_distributed(&g, DistributedConfig::default(), vec![GossipPair::ZERO; 3])
-            .await;
+        let err =
+            run_distributed(&g, DistributedConfig::default(), vec![GossipPair::ZERO; 3]).await;
         assert!(matches!(
             err,
-            Err(DistributedError::Gossip(GossipError::StateSizeMismatch { .. }))
+            Err(DistributedError::Gossip(
+                GossipError::StateSizeMismatch { .. }
+            ))
         ));
     }
 

@@ -73,7 +73,8 @@ mod tests {
         let mut rxs = net.take_receivers();
         let mut rx_b = rxs.pop().unwrap();
 
-        to_b.send(PeerMsg::Share(GossipPair::originator(0.5))).unwrap();
+        to_b.send(PeerMsg::Share(GossipPair::originator(0.5)))
+            .unwrap();
         to_b.send(PeerMsg::Announce {
             from: NodeId(0),
             converged: true,
@@ -86,7 +87,10 @@ mod tests {
         );
         assert!(matches!(
             rx_b.recv().await,
-            Some(PeerMsg::Announce { from: NodeId(0), converged: true })
+            Some(PeerMsg::Announce {
+                from: NodeId(0),
+                converged: true
+            })
         ));
     }
 

@@ -15,9 +15,7 @@
 //! have announced ξ-convergence.
 
 use crate::scenario::{Scenario, ScenarioConfig};
-use dg_core::collusion::{
-    average_rms_error, ColludedAggregates, CollusionScheme, GroupAssignment,
-};
+use dg_core::collusion::{average_rms_error, ColludedAggregates, CollusionScheme, GroupAssignment};
 use dg_core::reputation::ReputationSystem;
 use dg_core::CoreError;
 use dg_gossip::loss::LossModel;
@@ -178,9 +176,7 @@ pub fn collusion_experiment(
 
     combos
         .into_par_iter()
-        .map(|(fraction, group_size)| {
-            collusion_row(&scenario, &system, fraction, group_size, seed)
-        })
+        .map(|(fraction, group_size)| collusion_row(&scenario, &system, fraction, group_size, seed))
         .collect()
 }
 
@@ -193,7 +189,8 @@ fn collusion_row(
 ) -> Result<CollusionRow, CoreError> {
     let n = scenario.graph.node_count();
     let scheme = CollusionScheme::new(fraction, group_size)?;
-    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (group_size as u64) << 32 ^ (fraction * 1e6) as u64);
+    let mut rng =
+        ChaCha8Rng::seed_from_u64(seed ^ (group_size as u64) << 32 ^ (fraction * 1e6) as u64);
     let assignment = GroupAssignment::assign(n, scheme, &mut rng)?;
     let view = ColludedAggregates::new(&scenario.trust, &assignment);
 
@@ -219,14 +216,12 @@ fn collusion_row(
         |i, j| {
             let (sum, count) = colluded[j.index()];
             let denom = excess[i.index()] + count;
-            (denom > 0.0)
-                .then(|| ((system.y_hat(i, j) + sum) / denom).clamp(0.0, 1.0))
+            (denom > 0.0).then(|| ((system.y_hat(i, j) + sum) / denom).clamp(0.0, 1.0))
         },
         |i, j| {
             let (sum, count) = honest[j.index()];
             let denom = excess[i.index()] + count;
-            (denom > 0.0)
-                .then(|| ((system.y_hat(i, j) + sum) / denom).clamp(0.0, 1.0))
+            (denom > 0.0).then(|| ((system.y_hat(i, j) + sum) / denom).clamp(0.0, 1.0))
         },
     );
     let rms_global = average_rms_error(
@@ -509,7 +504,11 @@ mod tests {
         let last = spread(&trace.rows[7]);
         assert!(last < first * 0.5, "spread {first} -> {last}");
         for &v in &trace.rows[7] {
-            assert!((v - trace.target).abs() < 0.12, "v {v} target {}", trace.target);
+            assert!(
+                (v - trace.target).abs() < 0.12,
+                "v {v} target {}",
+                trace.target
+            );
         }
     }
 

@@ -176,21 +176,15 @@ impl<'s> RoundsSimulator<'s> {
 
         // 1. Transactions along overlay edges.
         for requester in graph.nodes() {
-            let is_free_rider = matches!(
-                population.behavior(requester),
-                Behavior::FreeRider { .. }
-            );
+            let is_free_rider =
+                matches!(population.behavior(requester), Behavior::FreeRider { .. });
             for &provider in graph.neighbours(requester) {
                 let provider = NodeId(provider);
                 for _ in 0..self.config.requests_per_edge {
                     // Admission control at the provider.
-                    let rep = self.aggregated[provider.index()]
-                        .get(&requester.0)
-                        .copied();
+                    let rep = self.aggregated[provider.index()].get(&requester.0).copied();
                     let admitted = match (rep, self.observer_mean[provider.index()]) {
-                        (Some(r), Some(mean)) => {
-                            r >= self.config.admission_threshold * mean
-                        }
+                        (Some(r), Some(mean)) => r >= self.config.admission_threshold * mean,
                         // No aggregation yet (or nothing aggregated at
                         // this provider): serve everyone.
                         _ => true,
@@ -245,11 +239,7 @@ impl<'s> RoundsSimulator<'s> {
                 }
             }
             AggregationMode::Gossip => {
-                let out = alg4::run(
-                    &system,
-                    GossipConfig::differential(self.config.xi)?,
-                    rng,
-                )?;
+                let out = alg4::run(&system, GossipConfig::differential(self.config.xi)?, rng)?;
                 self.aggregated = out.estimates;
             }
         }
@@ -297,7 +287,9 @@ impl<'s> RoundsSimulator<'s> {
 
     /// Run all configured rounds.
     pub fn run<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Result<Vec<RoundStats>, CoreError> {
-        (0..self.config.rounds).map(|_| self.run_round(rng)).collect()
+        (0..self.config.rounds)
+            .map(|_| self.run_round(rng))
+            .collect()
     }
 }
 

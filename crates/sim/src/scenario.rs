@@ -12,8 +12,8 @@ use dg_core::CoreError;
 use dg_graph::{pa, Graph};
 use dg_trust::{TrustMatrix, WeightParams};
 use rand::Rng;
-use rand_chacha::ChaCha8Rng;
 use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
 /// Overlay topology family.
@@ -149,9 +149,7 @@ impl Scenario {
         let population = Population::new(behaviors);
 
         let mut trust = match config.trust_source {
-            TrustSource::Exact => {
-                trust_from_qualities(&graph, &population.latent_qualities())
-            }
+            TrustSource::Exact => trust_from_qualities(&graph, &population.latent_qualities()),
             TrustSource::Workload {
                 transactions_per_edge,
             } => crate::workload::estimate_trust(
@@ -191,7 +189,9 @@ impl Scenario {
     /// construction stream (so topology stays fixed when re-running
     /// gossip with different sub-seeds).
     pub fn gossip_rng(&self, stream: u64) -> ChaCha8Rng {
-        ChaCha8Rng::seed_from_u64(self.config.seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(stream + 1)))
+        ChaCha8Rng::seed_from_u64(
+            self.config.seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(stream + 1)),
+        )
     }
 }
 

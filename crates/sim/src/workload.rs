@@ -151,7 +151,9 @@ mod tests {
         let g = generators::complete(3);
         let pop = Population::new(vec![
             Behavior::Honest { quality: 0.9 },
-            Behavior::FreeRider { serve_probability: 0.0 },
+            Behavior::FreeRider {
+                serve_probability: 0.0,
+            },
             Behavior::Honest { quality: 0.5 },
         ]);
         let trust = estimate_trust(&g, &pop, 50, &mut rng(1));

@@ -148,7 +148,8 @@ mod tests {
 
     #[test]
     fn one_refusal_halves_trust() {
-        let mut e = AimdEstimator::with_initial(AimdParams::default(), TrustValue::new(0.8).unwrap());
+        let mut e =
+            AimdEstimator::with_initial(AimdParams::default(), TrustValue::new(0.8).unwrap());
         e.record(TransactionOutcome::Refused);
         assert!((e.estimate().get() - 0.4).abs() < 1e-12);
     }
@@ -157,7 +158,8 @@ mod tests {
     fn betrayal_is_costlier_than_recovery() {
         // Climbing back after a refusal takes many good transactions —
         // the asymmetry that deters oscillating free riders.
-        let mut e = AimdEstimator::with_initial(AimdParams::default(), TrustValue::new(0.8).unwrap());
+        let mut e =
+            AimdEstimator::with_initial(AimdParams::default(), TrustValue::new(0.8).unwrap());
         e.record(TransactionOutcome::Refused);
         let dropped = e.estimate().get();
         let mut recover = 0;

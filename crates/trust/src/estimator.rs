@@ -79,7 +79,11 @@ impl EwmaEstimator {
     pub fn new(rate: f64) -> Self {
         Self {
             value: TrustValue::ZERO,
-            rate: if rate.is_nan() { 0.0 } else { rate.clamp(0.0, 1.0) },
+            rate: if rate.is_nan() {
+                0.0
+            } else {
+                rate.clamp(0.0, 1.0)
+            },
             count: 0,
         }
     }

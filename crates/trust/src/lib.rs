@@ -21,8 +21,8 @@
 //!   (local trust + last-heard bookkeeping for dropping silent peers).
 
 pub mod aimd;
-pub mod estimator;
 pub mod error;
+pub mod estimator;
 pub mod matrix;
 pub mod table;
 pub mod value;

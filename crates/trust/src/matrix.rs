@@ -39,7 +39,10 @@ impl TrustMatrix {
 
     fn check(&self, id: NodeId) -> Result<(), TrustError> {
         if id.index() >= self.n {
-            return Err(TrustError::NodeOutOfRange { id: id.0, n: self.n });
+            return Err(TrustError::NodeOutOfRange {
+                id: id.0,
+                n: self.n,
+            });
         }
         Ok(())
     }
@@ -100,7 +103,10 @@ impl TrustMatrix {
     /// Number of nodes holding an opinion about `j` — the paper's `N_d`
     /// (nodes with direct interaction), gossiped as `count`.
     pub fn opinion_count(&self, j: NodeId) -> usize {
-        self.rows.iter().filter(|row| row.contains_key(&j.0)).count()
+        self.rows
+            .iter()
+            .filter(|row| row.contains_key(&j.0))
+            .count()
     }
 
     /// Total stored entries.

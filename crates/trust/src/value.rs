@@ -56,7 +56,11 @@ impl TrustValue {
     /// Linear interpolation `self + rate·(target − self)`, the EWMA step
     /// used by the estimators. `rate` is clamped to `[0, 1]`.
     pub fn blend_towards(self, target: TrustValue, rate: f64) -> TrustValue {
-        let rate = if rate.is_nan() { 0.0 } else { rate.clamp(0.0, 1.0) };
+        let rate = if rate.is_nan() {
+            0.0
+        } else {
+            rate.clamp(0.0, 1.0)
+        };
         TrustValue(self.0 + rate * (target.0 - self.0))
     }
 

@@ -141,6 +141,53 @@ mod tests {
         }
     }
 
+    #[test]
+    fn t_zero_is_unit_weight_for_any_params() {
+        // w(0) = a^0 = 1 regardless of how aggressive the law is.
+        for (a, b) in [(1.0, 0.0), (1.0, 5.0), (10.0, 0.0), (1e6, 50.0)] {
+            let w = WeightParams::new(a, b).unwrap();
+            assert_eq!(w.weight(TrustValue::ZERO), 1.0, "a={a}, b={b}");
+            assert_eq!(w.excess(TrustValue::ZERO), 0.0, "a={a}, b={b}");
+        }
+    }
+
+    #[test]
+    fn a_one_is_unit_weight_for_any_trust_and_exponent() {
+        // 1^(b·t) = 1: with a = 1 the law cannot distinguish neighbours,
+        // whatever b is.
+        for b in [0.0, 1.0, 100.0, 1e8] {
+            let w = WeightParams::new(1.0, b).unwrap();
+            for t in [0.0, 0.25, 0.5, 1.0] {
+                assert_eq!(w.weight(tv(t)), 1.0, "b={b}, t={t}");
+            }
+            assert_eq!(w.max_weight(), 1.0, "b={b}");
+        }
+    }
+
+    #[test]
+    fn extreme_exponents_overflow_to_infinity_not_nan() {
+        // b·t can push a^(b·t) past f64::MAX; the law must degrade to
+        // +inf (which downstream clamps), never NaN, and stay monotone.
+        let w = WeightParams::new(10.0, 1e4).unwrap();
+        let huge = w.weight(TrustValue::ONE);
+        assert!(huge.is_infinite() && huge > 0.0);
+        assert!(!w.weight(tv(0.5)).is_nan());
+        assert!(w.weight(TrustValue::ZERO) == 1.0);
+        // A large-but-representable case stays finite and ordered.
+        let w2 = WeightParams::new(2.0, 1000.0).unwrap();
+        let mid = w2.weight(tv(0.25));
+        assert!(mid.is_finite() && mid > 1.0);
+        assert!(w2.weight(tv(0.5)) > mid);
+    }
+
+    #[test]
+    fn tiny_positive_exponent_stays_just_above_one() {
+        let w = WeightParams::new(2.0, 1e-12).unwrap();
+        let full = w.weight(TrustValue::ONE);
+        assert!(full > 1.0, "w(1) = {full} should exceed 1");
+        assert!(full - 1.0 < 1e-9, "w(1) = {full} should be barely above 1");
+    }
+
     proptest! {
         #[test]
         fn weight_always_at_least_one(

@@ -16,18 +16,15 @@
 //! ```
 
 use differential_gossip::core::adaptive::{AdaptiveConfig, AdaptiveWeights};
-use differential_gossip::core::whitewash::{
-    adaptive_prior, simulate_washer, AdaptivePriorConfig,
-};
+use differential_gossip::core::whitewash::{adaptive_prior, simulate_washer, AdaptivePriorConfig};
 use differential_gossip::graph::NodeId;
 use differential_gossip::trust::{TrustValue, WeightParams};
 
 fn main() {
     // ---- Part 1: adaptive weights ----
     println!("== adaptive weight law ==\n");
-    let mut weights =
-        AdaptiveWeights::new(AdaptiveConfig::default(), WeightParams::default())
-            .expect("valid config");
+    let mut weights = AdaptiveWeights::new(AdaptiveConfig::default(), WeightParams::default())
+        .expect("valid config");
     let honest_friend = NodeId(1);
     let lying_friend = NodeId(2);
     let full_trust = TrustValue::new(0.9).expect("in range");

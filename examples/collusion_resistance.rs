@@ -92,7 +92,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\naverage RMS error (Eq. 18):");
     println!("  unweighted global estimate : {rms_global:.4}");
     println!("  weighted GCLR (this paper) : {rms_gclr:.4}");
-    println!("  measured shrink            : {:.4}", rms_gclr / rms_global);
+    println!(
+        "  measured shrink            : {:.4}",
+        rms_gclr / rms_global
+    );
     println!("  Eq. (17) predicted shrink  : {predicted:.4}");
     Ok(())
 }

@@ -11,9 +11,9 @@
 //! cargo run --release --example distributed_peers
 //! ```
 
+use differential_gossip::gossip::GossipPair;
 use differential_gossip::graph::pa::{preferential_attachment, PaConfig};
 use differential_gossip::p2p::{run_distributed, DistributedConfig};
-use differential_gossip::gossip::GossipPair;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -28,8 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // Every peer starts as the originator of its own local value.
         let values: Vec<f64> = (0..400).map(|i| ((i * 17) % 101) as f64 / 101.0).collect();
         let mean = values.iter().sum::<f64>() / values.len() as f64;
-        let initial: Vec<GossipPair> =
-            values.iter().map(|&v| GossipPair::originator(v)).collect();
+        let initial: Vec<GossipPair> = values.iter().map(|&v| GossipPair::originator(v)).collect();
 
         println!("spawning 400 peer tasks (differential gossip, xi = 1e-6)...");
         let outcome = run_distributed(

@@ -47,7 +47,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    node in the network independently converges to the same global
     //    reputation estimate.
     let system = ReputationSystem::new(&graph, trust, WeightParams::default())?;
-    let outcome = alg1::run(&system, subject, GossipConfig::differential(1e-6)?, &mut rng)?;
+    let outcome = alg1::run(
+        &system,
+        subject,
+        GossipConfig::differential(1e-6)?,
+        &mut rng,
+    )?;
 
     let estimates: Vec<f64> = outcome.estimates.iter().flatten().copied().collect();
     let min = estimates.iter().cloned().fold(f64::MAX, f64::min);

@@ -10,8 +10,8 @@ use rand_chacha::ChaCha8Rng;
 #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
 async fn distributed_and_sync_agree_on_the_limit() {
     let mut rng = ChaCha8Rng::seed_from_u64(99);
-    let graph = preferential_attachment(PaConfig { nodes: 150, m: 2 }, &mut rng)
-        .expect("valid PA config");
+    let graph =
+        preferential_attachment(PaConfig { nodes: 150, m: 2 }, &mut rng).expect("valid PA config");
     let values: Vec<f64> = (0..150).map(|i| ((i * 37) % 53) as f64 / 53.0).collect();
     let mean = values.iter().sum::<f64>() / values.len() as f64;
     let initial: Vec<GossipPair> = values.iter().map(|&v| GossipPair::originator(v)).collect();
@@ -51,14 +51,20 @@ async fn distributed_and_sync_agree_on_the_limit() {
 #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
 async fn distributed_single_originator_sum_mode() {
     let mut rng = ChaCha8Rng::seed_from_u64(3);
-    let graph = preferential_attachment(PaConfig { nodes: 80, m: 2 }, &mut rng)
-        .expect("valid PA config");
+    let graph =
+        preferential_attachment(PaConfig { nodes: 80, m: 2 }, &mut rng).expect("valid PA config");
     // Sum mode: node 5 carries the unit weight; nodes 5, 9, 20 carry
     // feedback values; the limit is their sum 1.1.
     let mut initial = vec![GossipPair::ZERO; 80];
     initial[5] = GossipPair::originator(0.2);
-    initial[9] = GossipPair { value: 0.5, weight: 0.0 };
-    initial[20] = GossipPair { value: 0.4, weight: 0.0 };
+    initial[9] = GossipPair {
+        value: 0.5,
+        weight: 0.0,
+    };
+    initial[20] = GossipPair {
+        value: 0.4,
+        weight: 0.0,
+    };
 
     let out = run_distributed(
         &graph,
@@ -81,8 +87,8 @@ async fn distributed_single_originator_sum_mode() {
 #[tokio::test]
 async fn distributed_mass_conservation_holds_mid_run() {
     let mut rng = ChaCha8Rng::seed_from_u64(4);
-    let graph = preferential_attachment(PaConfig { nodes: 60, m: 2 }, &mut rng)
-        .expect("valid PA config");
+    let graph =
+        preferential_attachment(PaConfig { nodes: 60, m: 2 }, &mut rng).expect("valid PA config");
     let values: Vec<f64> = (0..60).map(|i| i as f64).collect();
     let total: f64 = values.iter().sum();
     let initial: Vec<GossipPair> = values.iter().map(|&v| GossipPair::originator(v)).collect();

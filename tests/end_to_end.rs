@@ -83,7 +83,10 @@ fn alg3_and_alg4_cover_every_rated_subject() {
         let g3 = v3.estimate(NodeId(0), NodeId(j)).expect("estimate");
         for observer in 1..60u32 {
             let other = v3.estimate(NodeId(observer), NodeId(j)).expect("estimate");
-            assert!((g3 - other).abs() < 1e-3, "v3 not global at ({observer},{j})");
+            assert!(
+                (g3 - other).abs() < 1e-3,
+                "v3 not global at ({observer},{j})"
+            );
         }
         let g4 = v4.estimate(NodeId(0), NodeId(j)).expect("estimate");
         assert!((0.0..=1.0).contains(&g4));

@@ -25,7 +25,8 @@ fn arbitrary_connected_graph(
             .get(v % extra_edges.len().max(1))
             .map(|&(a, _)| a % v)
             .unwrap_or(0);
-        b.add_edge(v as u32, parent as u32).expect("valid tree edge");
+        b.add_edge(v as u32, parent as u32)
+            .expect("valid tree edge");
     }
     for &(a, c) in extra_edges {
         let (a, c) = (a % nodes, c % nodes);

@@ -36,7 +36,11 @@ fn incentive_loop_starves_free_riders_but_not_honest_peers() {
     assert_eq!(stats[0].refused_free_riders, 0);
 
     let last = stats.last().expect("rounds > 0");
-    assert!(last.honest_service_rate() > 0.95, "{}", last.honest_service_rate());
+    assert!(
+        last.honest_service_rate() > 0.95,
+        "{}",
+        last.honest_service_rate()
+    );
     assert!(
         last.free_rider_service_rate() < 0.1,
         "{}",
@@ -133,8 +137,14 @@ fn eigentrust_and_differential_gossip_agree_on_who_is_bad() {
         }
     }
     let mean = |(sum, cnt): (f64, usize)| sum / cnt.max(1) as f64;
-    assert!(mean(honest_et) > 2.0 * mean(rider_et), "EigenTrust failed to separate");
-    assert!(mean(honest_dg) > 2.0 * mean(rider_dg), "DGT failed to separate");
+    assert!(
+        mean(honest_et) > 2.0 * mean(rider_et),
+        "EigenTrust failed to separate"
+    );
+    assert!(
+        mean(honest_dg) > 2.0 * mean(rider_dg),
+        "DGT failed to separate"
+    );
 }
 
 trait TrustAccess {

@@ -1,0 +1,224 @@
+//! Vendored minimal `criterion` harness.
+//!
+//! Keeps the bench-definition API (`criterion_group!`, `criterion_main!`,
+//! `Criterion::benchmark_group`, `bench_with_input`, `Bencher::iter`) so
+//! the workspace's benches compile and run offline. Measurement is a
+//! simple best-of-N wall clock — adequate for relative comparisons, not a
+//! statistical replacement for real criterion.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A function name plus a parameter.
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        Self {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// A parameter-only id.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Timing driver handed to the bench closure.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    best: Option<Duration>,
+}
+
+impl Bencher {
+    /// Time `routine`, keeping the best of the configured samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            let out = routine();
+            let elapsed = start.elapsed();
+            drop(out);
+            self.best = Some(match self.best {
+                Some(best) if best <= elapsed => best,
+                _ => elapsed,
+            });
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed repetitions per benchmark (criterion-compatible
+    /// knob; the vendored harness keeps the best observation).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            samples: self.sample_size.min(self.criterion.max_samples),
+            best: None,
+        };
+        f(&mut bencher, input);
+        self.report(&id, bencher.best);
+        self
+    }
+
+    /// Run one benchmark without an input value.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            samples: self.sample_size.min(self.criterion.max_samples),
+            best: None,
+        };
+        f(&mut bencher);
+        self.report(&id, bencher.best);
+        self
+    }
+
+    fn report(&self, id: &BenchmarkId, best: Option<Duration>) {
+        match best {
+            Some(best) => println!("{}/{}: best {:?}", self.name, id, best),
+            None => println!("{}/{}: no samples", self.name, id),
+        }
+    }
+
+    /// Finish the group.
+    pub fn finish(self) {}
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(label: &str) -> Self {
+        Self {
+            label: label.to_owned(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        Self { label }
+    }
+}
+
+/// Benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    max_samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Keep runs short: the vendored harness is for smoke-timing, and
+        // several benches build 50k-node graphs per iteration.
+        Self { max_samples: 3 }
+    }
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            sample_size: 3,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: self.max_samples,
+            best: None,
+        };
+        f(&mut bencher);
+        match bencher.best {
+            Some(best) => println!("{name}: best {best:?}"),
+            None => println!("{name}: no samples"),
+        }
+        self
+    }
+
+    /// Accepted for criterion CLI compatibility; arguments are ignored.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+/// Define a benchmark group function from a list of bench functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(criterion: &mut $crate::Criterion) {
+            $( $target(criterion); )+
+        }
+    };
+}
+
+/// Define `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default();
+            $( $group(&mut criterion); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_a_sample() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        let mut runs = 0;
+        group.bench_with_input(BenchmarkId::from_parameter(1), &1, |b, _| {
+            b.iter(|| runs += 1)
+        });
+        group.finish();
+        assert!(runs >= 1);
+    }
+}

@@ -1,0 +1,177 @@
+//! Vendored ChaCha-based RNGs (`ChaCha8Rng` / `ChaCha12Rng` / `ChaCha20Rng`)
+//! over the vendored `rand` core traits.
+//!
+//! This is a real ChaCha keystream implementation (RFC 8439 block function
+//! with the round count cut to 8/12/20), so the statistical quality matches
+//! upstream. Output is deterministic for a given seed but is **not**
+//! guaranteed word-for-word identical to the upstream `rand_chacha` stream.
+
+use rand::{RngCore, SeedableRng};
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// One ChaCha block: 16 output words from key, counter and `ROUNDS`.
+fn block<const ROUNDS: usize>(key: &[u32; 8], counter: u64, out: &mut [u32; 16]) {
+    let mut state: [u32; 16] = [
+        0x6170_7865,
+        0x3320_646e,
+        0x7962_2d32,
+        0x6b20_6574,
+        key[0],
+        key[1],
+        key[2],
+        key[3],
+        key[4],
+        key[5],
+        key[6],
+        key[7],
+        counter as u32,
+        (counter >> 32) as u32,
+        0,
+        0,
+    ];
+    let initial = state;
+    for _ in 0..ROUNDS / 2 {
+        // Column round.
+        quarter_round(&mut state, 0, 4, 8, 12);
+        quarter_round(&mut state, 1, 5, 9, 13);
+        quarter_round(&mut state, 2, 6, 10, 14);
+        quarter_round(&mut state, 3, 7, 11, 15);
+        // Diagonal round.
+        quarter_round(&mut state, 0, 5, 10, 15);
+        quarter_round(&mut state, 1, 6, 11, 12);
+        quarter_round(&mut state, 2, 7, 8, 13);
+        quarter_round(&mut state, 3, 4, 9, 14);
+    }
+    for i in 0..16 {
+        out[i] = state[i].wrapping_add(initial[i]);
+    }
+}
+
+macro_rules! chacha_rng {
+    ($name:ident, $rounds:expr, $doc:expr) => {
+        #[doc = $doc]
+        #[derive(Debug, Clone)]
+        pub struct $name {
+            key: [u32; 8],
+            counter: u64,
+            buffer: [u32; 16],
+            index: usize,
+        }
+
+        impl $name {
+            fn refill(&mut self) {
+                block::<$rounds>(&self.key, self.counter, &mut self.buffer);
+                self.counter = self.counter.wrapping_add(1);
+                self.index = 0;
+            }
+        }
+
+        impl RngCore for $name {
+            fn next_u32(&mut self) -> u32 {
+                if self.index >= 16 {
+                    self.refill();
+                }
+                let word = self.buffer[self.index];
+                self.index += 1;
+                word
+            }
+
+            fn next_u64(&mut self) -> u64 {
+                let lo = self.next_u32() as u64;
+                let hi = self.next_u32() as u64;
+                lo | (hi << 32)
+            }
+        }
+
+        impl SeedableRng for $name {
+            type Seed = [u8; 32];
+
+            fn from_seed(seed: Self::Seed) -> Self {
+                let mut key = [0u32; 8];
+                for (i, chunk) in seed.chunks_exact(4).enumerate() {
+                    key[i] = u32::from_le_bytes(chunk.try_into().unwrap());
+                }
+                Self {
+                    key,
+                    counter: 0,
+                    buffer: [0; 16],
+                    index: 16, // force refill on first draw
+                }
+            }
+        }
+    };
+}
+
+chacha_rng!(
+    ChaCha8Rng,
+    8,
+    "ChaCha with 8 rounds: the fast simulation RNG."
+);
+chacha_rng!(ChaCha12Rng, 12, "ChaCha with 12 rounds.");
+chacha_rng!(ChaCha20Rng, 20, "ChaCha with 20 rounds (full-strength).");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        let xs: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        assert_ne!(
+            (0..4).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..4).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn rfc8439_chacha20_block_matches() {
+        // RFC 8439 §2.3.2 test vector: key 00 01 .. 1f, counter 1,
+        // nonce 0 (our stream uses a zero nonce, and the RFC vector's
+        // nonce bytes are zero except a 0x09/0x4a that we can't set —
+        // so check the *structure* instead: 20-round block with zero
+        // key/counter is a fixed known-good value computed once.
+        let key = [0u32; 8];
+        let mut out = [0u32; 16];
+        super::block::<20>(&key, 0, &mut out);
+        // First word of ChaCha20 keystream for all-zero key/nonce/counter
+        // (little-endian word of the well-known vector
+        // 76 b8 e0 ad a0 f1 3d 90 ...).
+        assert_eq!(out[0].to_le_bytes(), [0x76, 0xb8, 0xe0, 0xad]);
+    }
+
+    #[test]
+    fn unit_floats_cover_the_interval() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut lo = false;
+        let mut hi = false;
+        for _ in 0..1000 {
+            let v: f64 = rng.random();
+            assert!((0.0..1.0).contains(&v));
+            lo |= v < 0.1;
+            hi |= v > 0.9;
+        }
+        assert!(lo && hi, "poor coverage of the unit interval");
+    }
+}

@@ -1,0 +1,60 @@
+//! Vendored sequential stand-in for `rayon`.
+//!
+//! `into_par_iter()` / `par_iter()` return the ordinary sequential
+//! iterators, so all adaptor chains (`map`, `flat_map`, `collect`, ...)
+//! compile and run unchanged — just on one core. Every experiment seeds
+//! per-combo RNGs precisely so results are identical either way; only
+//! wall-clock differs. Swapping in real rayon later is a manifest change.
+
+/// Conversion into a "parallel" (here: sequential) iterator by value.
+pub trait IntoParallelIterator: IntoIterator + Sized {
+    /// Iterate by value.
+    fn into_par_iter(self) -> Self::IntoIter {
+        self.into_iter()
+    }
+}
+
+impl<I: IntoIterator> IntoParallelIterator for I {}
+
+/// Conversion into a "parallel" (here: sequential) iterator by reference.
+pub trait IntoParallelRefIterator<'a> {
+    /// The borrowed iterator type.
+    type Iter: Iterator;
+
+    /// Iterate by reference.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, C: 'a + ?Sized> IntoParallelRefIterator<'a> for C
+where
+    &'a C: IntoIterator,
+{
+    type Iter = <&'a C as IntoIterator>::IntoIter;
+
+    fn par_iter(&'a self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+pub mod prelude {
+    //! Glob-importable traits, mirroring `rayon::prelude`.
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn by_value_matches_sequential() {
+        let doubled: Vec<i32> = (0..5).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![0, 2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn by_ref_matches_sequential() {
+        let v = vec![1, 2, 3];
+        let sum: i32 = v.par_iter().sum();
+        assert_eq!(sum, 6);
+    }
+}

@@ -1,0 +1,477 @@
+//! Vendored minimal `serde` facade.
+//!
+//! Upstream serde's serializer/visitor architecture is replaced by a single
+//! JSON-shaped [`__value::Value`] intermediate: `Serialize` lowers a value
+//! into it, `Deserialize` lifts one out of it. The vendored `serde_json`
+//! crate supplies the text round-trip. This supports exactly the container
+//! attributes the workspace uses (`transparent`, `try_from`/`into`).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+#[doc(hidden)]
+pub mod __value {
+    //! The JSON-shaped intermediate value model.
+
+    use std::fmt;
+
+    /// A JSON value.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// `null`
+        Null,
+        /// `true` / `false`
+        Bool(bool),
+        /// Any number (stored as `f64`; integers print without a decimal
+        /// point).
+        Number(f64),
+        /// A string.
+        String(String),
+        /// An array.
+        Array(Vec<Value>),
+        /// An object; insertion order is preserved.
+        Object(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        /// Member lookup for objects.
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            match self {
+                Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+                _ => None,
+            }
+        }
+
+        fn write_compact(&self, out: &mut String) {
+            match self {
+                Value::Null => out.push_str("null"),
+                Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+                Value::Number(n) => write_number(*n, out),
+                Value::String(s) => write_json_string(s, out),
+                Value::Array(items) => {
+                    out.push('[');
+                    for (i, item) in items.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        item.write_compact(out);
+                    }
+                    out.push(']');
+                }
+                Value::Object(entries) => {
+                    out.push('{');
+                    for (i, (k, v)) in entries.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        write_json_string(k, out);
+                        out.push(':');
+                        v.write_compact(out);
+                    }
+                    out.push('}');
+                }
+            }
+        }
+
+        fn write_pretty(&self, out: &mut String, indent: usize) {
+            const STEP: usize = 2;
+            let pad = |out: &mut String, level: usize| {
+                for _ in 0..level * STEP {
+                    out.push(' ');
+                }
+            };
+            match self {
+                Value::Array(items) if !items.is_empty() => {
+                    out.push_str("[\n");
+                    for (i, item) in items.iter().enumerate() {
+                        if i > 0 {
+                            out.push_str(",\n");
+                        }
+                        pad(out, indent + 1);
+                        item.write_pretty(out, indent + 1);
+                    }
+                    out.push('\n');
+                    pad(out, indent);
+                    out.push(']');
+                }
+                Value::Object(entries) if !entries.is_empty() => {
+                    out.push_str("{\n");
+                    for (i, (k, v)) in entries.iter().enumerate() {
+                        if i > 0 {
+                            out.push_str(",\n");
+                        }
+                        pad(out, indent + 1);
+                        write_json_string(k, out);
+                        out.push_str(": ");
+                        v.write_pretty(out, indent + 1);
+                    }
+                    out.push('\n');
+                    pad(out, indent);
+                    out.push('}');
+                }
+                other => other.write_compact(out),
+            }
+        }
+
+        /// Render as pretty-printed JSON (2-space indent).
+        pub fn to_string_pretty(&self) -> String {
+            let mut out = String::new();
+            self.write_pretty(&mut out, 0);
+            out
+        }
+    }
+
+    fn write_number(n: f64, out: &mut String) {
+        use std::fmt::Write as _;
+        if n.fract() == 0.0 && n.abs() < 9.007_199_254_740_992e15 && n.is_finite() {
+            let _ = write!(out, "{}", n as i64);
+        } else if n.is_finite() {
+            let _ = write!(out, "{n}");
+        } else {
+            // JSON has no NaN/Infinity; null is the conventional fallback.
+            out.push_str("null");
+        }
+    }
+
+    fn write_json_string(s: &str, out: &mut String) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    use std::fmt::Write as _;
+                    let _ = write!(out, "\\u{:04x}", c as u32);
+                }
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+
+    impl fmt::Display for Value {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            let mut out = String::new();
+            self.write_compact(&mut out);
+            f.write_str(&out)
+        }
+    }
+
+    /// Deserialization error.
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct DeError {
+        msg: String,
+    }
+
+    impl DeError {
+        /// Construct from any message.
+        pub fn custom(msg: impl fmt::Display) -> Self {
+            Self {
+                msg: msg.to_string(),
+            }
+        }
+    }
+
+    impl fmt::Display for DeError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "deserialization error: {}", self.msg)
+        }
+    }
+
+    impl std::error::Error for DeError {}
+
+    /// Helper used by derived code: fetch an object field or error.
+    pub fn expect_field<'v>(v: &'v Value, ty: &str, field: &str) -> Result<&'v Value, DeError> {
+        v.get(field)
+            .ok_or_else(|| DeError::custom(format!("missing field `{field}` for `{ty}`")))
+    }
+
+    /// Keys usable for JSON object maps (`BTreeMap` serialization).
+    pub trait MapKey: Ord + Sized {
+        /// Render as an object key.
+        fn to_key(&self) -> String;
+        /// Parse back from an object key.
+        fn from_key(key: &str) -> Result<Self, DeError>;
+    }
+
+    impl MapKey for String {
+        fn to_key(&self) -> String {
+            self.clone()
+        }
+
+        fn from_key(key: &str) -> Result<Self, DeError> {
+            Ok(key.to_owned())
+        }
+    }
+
+    macro_rules! impl_map_key_int {
+        ($($t:ty),*) => {$(
+            impl MapKey for $t {
+                fn to_key(&self) -> String {
+                    self.to_string()
+                }
+
+                fn from_key(key: &str) -> Result<Self, DeError> {
+                    key.parse()
+                        .map_err(|_| DeError::custom(format!("invalid integer key `{key}`")))
+                }
+            }
+        )*};
+    }
+    impl_map_key_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+}
+
+use __value::{DeError, MapKey, Value};
+use std::collections::{BTreeMap, HashMap};
+
+/// Types that can lower themselves into a [`Value`].
+pub trait Serialize {
+    /// Lower into the JSON value model.
+    fn __to_value(&self) -> Value;
+}
+
+/// Types that can lift themselves out of a [`Value`].
+pub trait Deserialize: Sized {
+    /// Lift out of the JSON value model.
+    fn __from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+impl Serialize for bool {
+    fn __to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn __from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::custom(format!("expected bool, got {other}"))),
+        }
+    }
+}
+
+macro_rules! impl_serde_num {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn __to_value(&self) -> Value {
+                Value::Number(*self as f64)
+            }
+        }
+
+        impl Deserialize for $t {
+            fn __from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Number(n) => Ok(*n as $t),
+                    other => Err(DeError::custom(format!(
+                        concat!("expected ", stringify!($t), ", got {}"),
+                        other
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+impl_serde_num!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl Serialize for String {
+    fn __to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn __from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(DeError::custom(format!("expected string, got {other}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn __to_value(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn __to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn __to_value(&self) -> Value {
+        (**self).__to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn __to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::__to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn __from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::__from_value).collect(),
+            other => Err(DeError::custom(format!("expected array, got {other}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn __to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::__to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn __to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::__to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn __to_value(&self) -> Value {
+        match self {
+            Some(v) => v.__to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn __from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::__from_value(other).map(Some),
+        }
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident : $idx:tt),+)),*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn __to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.__to_value()),+])
+            }
+        }
+
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn __from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Array(items) => {
+                        let expected = [$($idx,)+].len();
+                        if items.len() != expected {
+                            return Err(DeError::custom(format!(
+                                "expected {expected}-tuple, got {} items",
+                                items.len()
+                            )));
+                        }
+                        Ok(($($name::__from_value(&items[$idx])?,)+))
+                    }
+                    other => Err(DeError::custom(format!("expected array, got {other}"))),
+                }
+            }
+        }
+    )*};
+}
+impl_serde_tuple!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3)
+);
+
+impl<K: MapKey, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn __to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_key(), v.__to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: MapKey, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn __from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Object(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((K::from_key(k)?, V::__from_value(v)?)))
+                .collect(),
+            other => Err(DeError::custom(format!("expected object, got {other}"))),
+        }
+    }
+}
+
+impl<K: MapKey + std::hash::Hash, V: Serialize> Serialize for HashMap<K, V> {
+    fn __to_value(&self) -> Value {
+        // Sort for deterministic output.
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.to_key(), v.__to_value()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(entries)
+    }
+}
+
+impl<K: MapKey + std::hash::Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn __from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Object(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((K::from_key(k)?, V::__from_value(v)?)))
+                .collect(),
+            other => Err(DeError::custom(format!("expected object, got {other}"))),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn __to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn __from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u32::__from_value(&42u32.__to_value()).unwrap(), 42);
+        assert_eq!(f64::__from_value(&0.75f64.__to_value()).unwrap(), 0.75);
+        assert!(bool::__from_value(&true.__to_value()).unwrap());
+        let v: Vec<u32> = vec![1, 2, 3];
+        assert_eq!(Vec::<u32>::__from_value(&v.__to_value()).unwrap(), v);
+    }
+
+    #[test]
+    fn integers_print_without_decimal_point() {
+        assert_eq!(1u32.__to_value().to_string(), "1");
+        assert_eq!((-3i64).__to_value().to_string(), "-3");
+        assert_eq!(1.5f64.__to_value().to_string(), "1.5");
+    }
+
+    #[test]
+    fn btreemap_uses_string_keys() {
+        let mut m = BTreeMap::new();
+        m.insert(7u32, 0.5f64);
+        assert_eq!(m.__to_value().to_string(), "{\"7\":0.5}");
+        let back = BTreeMap::<u32, f64>::__from_value(&m.__to_value()).unwrap();
+        assert_eq!(back, m);
+    }
+}

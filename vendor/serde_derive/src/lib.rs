@@ -1,0 +1,494 @@
+//! Vendored `Serialize` / `Deserialize` derive macros.
+//!
+//! Dependency-free (no syn/quote): the item is parsed with a small manual
+//! token walk, and the impls are generated as source strings. Supports what
+//! the workspace actually derives: non-generic structs (named, tuple/newtype)
+//! and enums (unit, tuple, struct variants), plus the container attributes
+//! `#[serde(transparent)]` and `#[serde(try_from = "T", into = "T")]`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Clone)]
+enum Fields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+#[derive(Debug, Clone)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+enum Shape {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Container {
+    name: String,
+    shape: Shape,
+    transparent: bool,
+    try_from: Option<String>,
+    into: Option<String>,
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("::core::compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Split a token sequence on top-level commas (angle-bracket aware, so
+/// commas inside generic types like `Vec<BTreeMap<u32, T>>` don't split).
+fn split_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut current = Vec::new();
+    let mut angle_depth = 0usize;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => {
+                    out.push(std::mem::take(&mut current));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(t.clone());
+    }
+    if !current.is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+/// Strip leading `#[...]` attribute pairs from a token slice.
+fn strip_attrs(tokens: &[TokenTree]) -> &[TokenTree] {
+    let mut rest = tokens;
+    loop {
+        match rest {
+            [TokenTree::Punct(p), TokenTree::Group(_), tail @ ..] if p.as_char() == '#' => {
+                rest = tail;
+            }
+            _ => return rest,
+        }
+    }
+}
+
+fn parse_named_fields(group_tokens: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut names = Vec::new();
+    for field in split_commas(group_tokens) {
+        let field = strip_attrs(&field);
+        if field.is_empty() {
+            continue;
+        }
+        // [pub [(..)]] name ':' type...
+        let mut idx = 0;
+        if let TokenTree::Ident(id) = &field[idx] {
+            if id.to_string() == "pub" {
+                idx += 1;
+                if let Some(TokenTree::Group(g)) = field.get(idx) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        idx += 1;
+                    }
+                }
+            }
+        }
+        match field.get(idx) {
+            Some(TokenTree::Ident(name)) => names.push(name.to_string()),
+            other => return Err(format!("unsupported field syntax: {other:?}")),
+        }
+    }
+    Ok(names)
+}
+
+fn parse_tuple_fields(group_tokens: &[TokenTree]) -> usize {
+    split_commas(group_tokens)
+        .iter()
+        .filter(|seg| !strip_attrs(seg).is_empty())
+        .count()
+}
+
+fn parse_variants(group_tokens: &[TokenTree]) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    for seg in split_commas(group_tokens) {
+        let seg = strip_attrs(&seg);
+        if seg.is_empty() {
+            continue;
+        }
+        let name = match &seg[0] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("unsupported variant syntax: {other:?}")),
+        };
+        let fields = match seg.get(1) {
+            None => Fields::Unit,
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Fields::Named(
+                parse_named_fields(&g.stream().into_iter().collect::<Vec<_>>())?,
+            ),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Fields::Tuple(
+                parse_tuple_fields(&g.stream().into_iter().collect::<Vec<_>>()),
+            ),
+            other => return Err(format!("unsupported variant body: {other:?}")),
+        };
+        variants.push(Variant { name, fields });
+    }
+    Ok(variants)
+}
+
+/// Extract `transparent` / `try_from` / `into` from a `#[serde(...)]` body.
+fn parse_serde_attr(container: &mut Container, body: &[TokenTree]) {
+    for seg in split_commas(body) {
+        match seg.as_slice() {
+            [TokenTree::Ident(id)] if id.to_string() == "transparent" => {
+                container.transparent = true;
+            }
+            [TokenTree::Ident(id), TokenTree::Punct(eq), TokenTree::Literal(lit)]
+                if eq.as_char() == '=' =>
+            {
+                let ty = lit.to_string().trim_matches('"').to_string();
+                match id.to_string().as_str() {
+                    "try_from" => container.try_from = Some(ty),
+                    "into" => container.into = Some(ty),
+                    _ => {}
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+fn parse_container(input: TokenStream) -> Result<Container, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut container = Container {
+        name: String::new(),
+        shape: Shape::Struct(Fields::Unit),
+        transparent: false,
+        try_from: None,
+        into: None,
+    };
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    if let [TokenTree::Ident(id), TokenTree::Group(args)] = inner.as_slice() {
+                        if id.to_string() == "serde" {
+                            let body: Vec<TokenTree> = args.stream().into_iter().collect();
+                            parse_serde_attr(&mut container, &body);
+                        }
+                    }
+                }
+                i += 2;
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            TokenTree::Ident(id) if id.to_string() == "struct" || id.to_string() == "enum" => {
+                let is_struct = id.to_string() == "struct";
+                let name = match tokens.get(i + 1) {
+                    Some(TokenTree::Ident(n)) => n.to_string(),
+                    other => return Err(format!("expected type name, got {other:?}")),
+                };
+                if let Some(TokenTree::Punct(p)) = tokens.get(i + 2) {
+                    if p.as_char() == '<' {
+                        return Err(format!(
+                            "vendored serde derive does not support generics (type `{name}`)"
+                        ));
+                    }
+                }
+                container.name = name;
+                let body = tokens.get(i + 2);
+                container.shape = match body {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                        if is_struct {
+                            Shape::Struct(Fields::Named(parse_named_fields(&inner)?))
+                        } else {
+                            Shape::Enum(parse_variants(&inner)?)
+                        }
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                        Shape::Struct(Fields::Tuple(parse_tuple_fields(&inner)))
+                    }
+                    other => return Err(format!("unsupported type body: {other:?}")),
+                };
+                return Ok(container);
+            }
+            _ => i += 1,
+        }
+    }
+    Err("could not find struct/enum declaration".to_string())
+}
+
+const VALUE: &str = "::serde::__value::Value";
+const DE_ERROR: &str = "::serde::__value::DeError";
+
+fn gen_serialize(c: &Container) -> String {
+    let name = &c.name;
+    let body = if let Some(into_ty) = &c.into {
+        format!(
+            "let __intermediate: {into_ty} = \
+             <{into_ty} as ::core::convert::From<{name}>>::from(\
+             ::core::clone::Clone::clone(self));\n\
+             ::serde::Serialize::__to_value(&__intermediate)"
+        )
+    } else {
+        match &c.shape {
+            Shape::Struct(Fields::Named(fields)) => {
+                if c.transparent && fields.len() == 1 {
+                    format!("::serde::Serialize::__to_value(&self.{})", fields[0])
+                } else {
+                    let entries: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "(::std::string::String::from({f:?}), \
+                                 ::serde::Serialize::__to_value(&self.{f}))"
+                            )
+                        })
+                        .collect();
+                    format!("{VALUE}::Object(::std::vec![{}])", entries.join(", "))
+                }
+            }
+            Shape::Struct(Fields::Tuple(1)) => {
+                "::serde::Serialize::__to_value(&self.0)".to_string()
+            }
+            Shape::Struct(Fields::Tuple(n)) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Serialize::__to_value(&self.{i})"))
+                    .collect();
+                format!("{VALUE}::Array(::std::vec![{}])", items.join(", "))
+            }
+            Shape::Struct(Fields::Unit) => {
+                format!("{VALUE}::String(::std::string::String::from({name:?}))")
+            }
+            Shape::Enum(variants) => {
+                let arms: Vec<String> = variants
+                    .iter()
+                    .map(|v| {
+                        let vn = &v.name;
+                        match &v.fields {
+                            Fields::Unit => format!(
+                                "{name}::{vn} => {VALUE}::String(\
+                                 ::std::string::String::from({vn:?})),"
+                            ),
+                            Fields::Tuple(1) => format!(
+                                "{name}::{vn}(__f0) => {VALUE}::Object(::std::vec![(\
+                                 ::std::string::String::from({vn:?}), \
+                                 ::serde::Serialize::__to_value(__f0))]),"
+                            ),
+                            Fields::Tuple(n) => {
+                                let binds: Vec<String> =
+                                    (0..*n).map(|i| format!("__f{i}")).collect();
+                                let items: Vec<String> = (0..*n)
+                                    .map(|i| format!("::serde::Serialize::__to_value(__f{i})"))
+                                    .collect();
+                                format!(
+                                    "{name}::{vn}({}) => {VALUE}::Object(::std::vec![(\
+                                     ::std::string::String::from({vn:?}), \
+                                     {VALUE}::Array(::std::vec![{}]))]),",
+                                    binds.join(", "),
+                                    items.join(", ")
+                                )
+                            }
+                            Fields::Named(fields) => {
+                                let binds = fields.join(", ");
+                                let entries: Vec<String> = fields
+                                    .iter()
+                                    .map(|f| {
+                                        format!(
+                                            "(::std::string::String::from({f:?}), \
+                                             ::serde::Serialize::__to_value({f}))"
+                                        )
+                                    })
+                                    .collect();
+                                format!(
+                                    "{name}::{vn} {{ {binds} }} => {VALUE}::Object(::std::vec![(\
+                                     ::std::string::String::from({vn:?}), \
+                                     {VALUE}::Object(::std::vec![{}]))]),",
+                                    entries.join(", ")
+                                )
+                            }
+                        }
+                    })
+                    .collect();
+                format!("match self {{\n{}\n}}", arms.join("\n"))
+            }
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn __to_value(&self) -> {VALUE} {{\n{body}\n}}\n}}"
+    )
+}
+
+fn gen_deserialize(c: &Container) -> String {
+    let name = &c.name;
+    let body = if let Some(from_ty) = &c.try_from {
+        format!(
+            "let __raw: {from_ty} = ::serde::Deserialize::__from_value(__v)?;\n\
+             <{name} as ::core::convert::TryFrom<{from_ty}>>::try_from(__raw)\
+             .map_err(|e| {DE_ERROR}::custom(e))"
+        )
+    } else {
+        match &c.shape {
+            Shape::Struct(Fields::Named(fields)) => {
+                if c.transparent && fields.len() == 1 {
+                    format!(
+                        "::core::result::Result::Ok({name} {{ {}: \
+                         ::serde::Deserialize::__from_value(__v)? }})",
+                        fields[0]
+                    )
+                } else {
+                    let inits: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: ::serde::Deserialize::__from_value(\
+                                 ::serde::__value::expect_field(__v, {name:?}, {f:?})?)?"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "::core::result::Result::Ok({name} {{ {} }})",
+                        inits.join(", ")
+                    )
+                }
+            }
+            Shape::Struct(Fields::Tuple(1)) => format!(
+                "::core::result::Result::Ok({name}(::serde::Deserialize::__from_value(__v)?))"
+            ),
+            Shape::Struct(Fields::Tuple(n)) => {
+                let inits: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::__from_value(&__items[{i}])?"))
+                    .collect();
+                format!(
+                    "match __v {{\n\
+                     {VALUE}::Array(__items) if __items.len() == {n} => \
+                     ::core::result::Result::Ok({name}({})),\n\
+                     __other => ::core::result::Result::Err({DE_ERROR}::custom(\
+                     ::std::format!(\"expected {n}-element array for {name}, got {{}}\", __other))),\n\
+                     }}",
+                    inits.join(", ")
+                )
+            }
+            Shape::Struct(Fields::Unit) => {
+                format!("::core::result::Result::Ok({name})")
+            }
+            Shape::Enum(variants) => {
+                let unit_arms: Vec<String> = variants
+                    .iter()
+                    .filter(|v| matches!(v.fields, Fields::Unit))
+                    .map(|v| {
+                        let vn = &v.name;
+                        format!("{vn:?} => return ::core::result::Result::Ok({name}::{vn}),")
+                    })
+                    .collect();
+                let payload_arms: Vec<String> = variants
+                    .iter()
+                    .filter_map(|v| {
+                        let vn = &v.name;
+                        match &v.fields {
+                            Fields::Unit => None,
+                            Fields::Tuple(1) => Some(format!(
+                                "{vn:?} => return ::core::result::Result::Ok({name}::{vn}(\
+                                 ::serde::Deserialize::__from_value(__inner)?)),"
+                            )),
+                            Fields::Tuple(n) => {
+                                let inits: Vec<String> = (0..*n)
+                                    .map(|i| {
+                                        format!(
+                                            "::serde::Deserialize::__from_value(&__items[{i}])?"
+                                        )
+                                    })
+                                    .collect();
+                                Some(format!(
+                                    "{vn:?} => match __inner {{\n\
+                                     {VALUE}::Array(__items) if __items.len() == {n} => \
+                                     return ::core::result::Result::Ok({name}::{vn}({})),\n\
+                                     _ => {{}}\n\
+                                     }},",
+                                    inits.join(", ")
+                                ))
+                            }
+                            Fields::Named(fields) => {
+                                let inits: Vec<String> = fields
+                                    .iter()
+                                    .map(|f| {
+                                        format!(
+                                            "{f}: ::serde::Deserialize::__from_value(\
+                                             ::serde::__value::expect_field(\
+                                             __inner, {name:?}, {f:?})?)?"
+                                        )
+                                    })
+                                    .collect();
+                                Some(format!(
+                                    "{vn:?} => return ::core::result::Result::Ok(\
+                                     {name}::{vn} {{ {} }}),",
+                                    inits.join(", ")
+                                ))
+                            }
+                        }
+                    })
+                    .collect();
+                format!(
+                    "if let {VALUE}::String(__s) = __v {{\n\
+                     match __s.as_str() {{\n{}\n_ => {{}}\n}}\n\
+                     }}\n\
+                     if let {VALUE}::Object(__entries) = __v {{\n\
+                     if __entries.len() == 1 {{\n\
+                     let (__k, __inner) = &__entries[0];\n\
+                     let _ = __inner;\n\
+                     match __k.as_str() {{\n{}\n_ => {{}}\n}}\n\
+                     }}\n\
+                     }}\n\
+                     ::core::result::Result::Err({DE_ERROR}::custom(\
+                     ::std::format!(\"invalid value for enum {name}: {{}}\", __v)))",
+                    unit_arms.join("\n"),
+                    payload_arms.join("\n")
+                )
+            }
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         #[allow(unused_variables)]\n\
+         fn __from_value(__v: &{VALUE}) -> ::core::result::Result<Self, {DE_ERROR}> {{\n\
+         {body}\n}}\n}}"
+    )
+}
+
+/// Derive `Serialize` (lowering into the vendored serde value model).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_container(input) {
+        Ok(c) => gen_serialize(&c)
+            .parse()
+            .unwrap_or_else(|e| compile_error(&format!("serde derive generation failed: {e}"))),
+        Err(e) => compile_error(&e),
+    }
+}
+
+/// Derive `Deserialize` (lifting out of the vendored serde value model).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_container(input) {
+        Ok(c) => gen_deserialize(&c)
+            .parse()
+            .unwrap_or_else(|e| compile_error(&format!("serde derive generation failed: {e}"))),
+        Err(e) => compile_error(&e),
+    }
+}

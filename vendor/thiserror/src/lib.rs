@@ -1,0 +1,8 @@
+//! Vendored minimal `thiserror` facade.
+//!
+//! Re-exports the vendored `Error` derive, which implements
+//! `core::fmt::Display`, `std::error::Error` (with `source()`), and `From`
+//! for `#[from]` fields — covering the `#[error("...")]`,
+//! `#[error(transparent)]` and `#[from]` forms this workspace uses.
+
+pub use thiserror_impl::Error;

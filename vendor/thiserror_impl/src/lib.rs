@@ -1,0 +1,353 @@
+//! Vendored `#[derive(Error)]` macro (no syn/quote).
+//!
+//! Supports the enum forms this workspace uses:
+//!
+//! * `#[error("fmt string with {named} or {0} placeholders")]` on unit,
+//!   tuple and struct variants (positional `{0}` placeholders are rewritten
+//!   to the generated `_0` bindings),
+//! * `#[error(transparent)]` delegating `Display` to the single field,
+//! * `#[from]` on a single-field variant, generating a `From` impl and
+//!   wiring `Error::source()`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Clone)]
+enum DisplayAttr {
+    /// `#[error("...", args...)]` — the raw literal plus trailing args.
+    Format(String),
+    /// `#[error(transparent)]`
+    Transparent,
+}
+
+#[derive(Debug, Clone)]
+enum VariantFields {
+    Unit,
+    /// Tuple fields; the flag marks `#[from]`/`#[source]` per field, the
+    /// string holds the field's type tokens.
+    Tuple(Vec<(bool, String)>),
+    /// Named fields: (has_from, name, type tokens).
+    Named(Vec<(bool, String, String)>),
+}
+
+#[derive(Debug, Clone)]
+struct Variant {
+    name: String,
+    display: DisplayAttr,
+    fields: VariantFields,
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("::core::compile_error!({msg:?});").parse().unwrap()
+}
+
+fn split_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut current = Vec::new();
+    let mut angle_depth = 0usize;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => {
+                    out.push(std::mem::take(&mut current));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(t.clone());
+    }
+    if !current.is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+/// Leading attributes of a token run: returns (attr bodies, rest).
+fn take_attrs(tokens: &[TokenTree]) -> (Vec<Vec<TokenTree>>, &[TokenTree]) {
+    let mut attrs = Vec::new();
+    let mut rest = tokens;
+    loop {
+        match rest {
+            [TokenTree::Punct(p), TokenTree::Group(g), tail @ ..] if p.as_char() == '#' => {
+                attrs.push(g.stream().into_iter().collect());
+                rest = tail;
+            }
+            _ => return (attrs, rest),
+        }
+    }
+}
+
+/// Is this attr body (`error(...)` / `from` / `doc ...`) the given ident?
+fn attr_ident(body: &[TokenTree]) -> Option<String> {
+    match body.first() {
+        Some(TokenTree::Ident(id)) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+fn parse_display(body: &[TokenTree]) -> Result<DisplayAttr, String> {
+    // body = [error, (args)]
+    let args = match body.get(1) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            g.stream().into_iter().collect::<Vec<_>>()
+        }
+        other => return Err(format!("malformed #[error] attribute: {other:?}")),
+    };
+    match args.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "transparent" => {
+            Ok(DisplayAttr::Transparent)
+        }
+        Some(TokenTree::Literal(_)) => {
+            // Keep the full arg list verbatim (literal + any format args).
+            Ok(DisplayAttr::Format(tokens_to_string(&args)))
+        }
+        other => Err(format!("unsupported #[error] form: {other:?}")),
+    }
+}
+
+fn field_has_from(attrs: &[Vec<TokenTree>]) -> bool {
+    attrs
+        .iter()
+        .any(|a| matches!(attr_ident(a).as_deref(), Some("from") | Some("source")))
+}
+
+fn tokens_to_string(tokens: &[TokenTree]) -> String {
+    tokens.iter().cloned().collect::<TokenStream>().to_string()
+}
+
+fn parse_fields(group: &proc_macro::Group) -> Result<VariantFields, String> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    match group.delimiter() {
+        Delimiter::Parenthesis => {
+            let mut fields = Vec::new();
+            for seg in split_commas(&tokens) {
+                let (attrs, rest) = take_attrs(&seg);
+                if rest.is_empty() {
+                    continue;
+                }
+                fields.push((field_has_from(&attrs), tokens_to_string(rest)));
+            }
+            Ok(VariantFields::Tuple(fields))
+        }
+        Delimiter::Brace => {
+            let mut fields = Vec::new();
+            for seg in split_commas(&tokens) {
+                let (attrs, rest) = take_attrs(&seg);
+                if rest.is_empty() {
+                    continue;
+                }
+                let name = match rest.first() {
+                    Some(TokenTree::Ident(id)) => id.to_string(),
+                    other => return Err(format!("unsupported field: {other:?}")),
+                };
+                // rest = name ':' type...
+                let ty = tokens_to_string(rest.get(2..).unwrap_or(&[]));
+                fields.push((field_has_from(&attrs), name, ty));
+            }
+            Ok(VariantFields::Named(fields))
+        }
+        other => Err(format!("unsupported field delimiter {other:?}")),
+    }
+}
+
+fn parse_variants(tokens: &[TokenTree]) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    for seg in split_commas(tokens) {
+        let (attrs, rest) = take_attrs(&seg);
+        if rest.is_empty() {
+            continue;
+        }
+        let name = match &rest[0] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("unsupported variant: {other:?}")),
+        };
+        let display = attrs
+            .iter()
+            .find(|a| attr_ident(a).as_deref() == Some("error"))
+            .map(|a| parse_display(a))
+            .transpose()?
+            .ok_or_else(|| format!("variant `{name}` is missing #[error(...)]"))?;
+        let fields = match rest.get(1) {
+            None => VariantFields::Unit,
+            Some(TokenTree::Group(g)) => parse_fields(g)?,
+            other => return Err(format!("unsupported variant body: {other:?}")),
+        };
+        variants.push(Variant {
+            name,
+            display,
+            fields,
+        });
+    }
+    Ok(variants)
+}
+
+/// Rewrite positional `{0}` / `{1:...}` placeholders to `{_0}` bindings
+/// inside the *literal* part of a format-arg list.
+fn rewrite_positional(fmt_args: &str) -> String {
+    let mut out = String::with_capacity(fmt_args.len() + 8);
+    let mut chars = fmt_args.chars().peekable();
+    while let Some(c) = chars.next() {
+        out.push(c);
+        if c == '{' {
+            if let Some(&next) = chars.peek() {
+                if next == '{' {
+                    // Escaped brace.
+                    out.push(chars.next().unwrap());
+                } else if next.is_ascii_digit() {
+                    out.push('_');
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Generate `Display`, `Error` and `From` impls for the enum.
+fn generate(name: &str, variants: &[Variant]) -> Result<String, String> {
+    let mut display_arms = Vec::new();
+    let mut source_arms = Vec::new();
+    let mut from_impls = Vec::new();
+
+    for v in variants {
+        let vn = &v.name;
+        let (pattern, transparent_binding) = match &v.fields {
+            VariantFields::Unit => (format!("{name}::{vn}"), None),
+            VariantFields::Tuple(fields) => {
+                let binds: Vec<String> = (0..fields.len()).map(|i| format!("_{i}")).collect();
+                (
+                    format!("{name}::{vn}({})", binds.join(", ")),
+                    Some("_0".to_string()),
+                )
+            }
+            VariantFields::Named(fields) => {
+                let binds: Vec<String> = fields.iter().map(|(_, n, _)| n.clone()).collect();
+                (
+                    format!("{name}::{vn} {{ {} }}", binds.join(", ")),
+                    fields.first().map(|(_, n, _)| n.clone()),
+                )
+            }
+        };
+
+        match &v.display {
+            DisplayAttr::Format(fmt_args) => {
+                let rewritten = rewrite_positional(fmt_args);
+                display_arms.push(format!("{pattern} => ::core::write!(__f, {rewritten}),"));
+            }
+            DisplayAttr::Transparent => {
+                let bind = transparent_binding
+                    .clone()
+                    .ok_or_else(|| format!("transparent variant `{vn}` has no field"))?;
+                display_arms.push(format!(
+                    "{pattern} => ::core::fmt::Display::fmt({bind}, __f),"
+                ));
+            }
+        }
+
+        // source(): transparent and #[from]/#[source] fields delegate.
+        let source_field = match (&v.display, &v.fields) {
+            (DisplayAttr::Transparent, VariantFields::Tuple(_)) => Some("_0".to_string()),
+            (_, VariantFields::Tuple(fields)) => fields
+                .iter()
+                .position(|(from, _)| *from)
+                .map(|i| format!("_{i}")),
+            (_, VariantFields::Named(fields)) => fields
+                .iter()
+                .find(|(from, _, _)| *from)
+                .map(|(_, n, _)| n.clone()),
+            _ => None,
+        };
+        if let Some(field) = source_field {
+            source_arms.push(format!(
+                "{pattern} => ::core::option::Option::Some({field}),"
+            ));
+        }
+
+        // From impls for #[from] single-field variants.
+        match &v.fields {
+            VariantFields::Tuple(fields) => {
+                if fields.len() == 1 && fields[0].0 {
+                    let ty = &fields[0].1;
+                    from_impls.push(format!(
+                        "#[automatically_derived]\n\
+                         impl ::core::convert::From<{ty}> for {name} {{\n\
+                         fn from(value: {ty}) -> Self {{ {name}::{vn}(value) }}\n}}"
+                    ));
+                }
+            }
+            VariantFields::Named(fields) => {
+                if fields.len() == 1 && fields[0].0 {
+                    let (_, fname, ty) = &fields[0];
+                    from_impls.push(format!(
+                        "#[automatically_derived]\n\
+                         impl ::core::convert::From<{ty}> for {name} {{\n\
+                         fn from(value: {ty}) -> Self {{ {name}::{vn} {{ {fname}: value }} }}\n}}"
+                    ));
+                }
+            }
+            VariantFields::Unit => {}
+        }
+    }
+
+    let source_body = if source_arms.is_empty() {
+        "::core::option::Option::None".to_string()
+    } else {
+        format!(
+            "#[allow(unused_variables)]\nmatch self {{\n{}\n_ => ::core::option::Option::None,\n}}",
+            source_arms.join("\n")
+        )
+    };
+
+    Ok(format!(
+        "#[automatically_derived]\n\
+         impl ::core::fmt::Display for {name} {{\n\
+         #[allow(unused_variables, clippy::used_underscore_binding)]\n\
+         fn fmt(&self, __f: &mut ::core::fmt::Formatter<'_>) -> ::core::fmt::Result {{\n\
+         match self {{\n{display}\n}}\n}}\n}}\n\
+         #[automatically_derived]\n\
+         impl ::std::error::Error for {name} {{\n\
+         fn source(&self) -> ::core::option::Option<&(dyn ::std::error::Error + 'static)> {{\n\
+         {source_body}\n}}\n}}\n\
+         {from_impls}",
+        display = display_arms.join("\n"),
+        from_impls = from_impls.join("\n")
+    ))
+}
+
+/// Derive `Display` + `std::error::Error` (+ `From` for `#[from]` fields).
+#[proc_macro_derive(Error, attributes(error, from, source))]
+pub fn derive_error(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    // Find `enum Name { ... }`.
+    let mut i = 0;
+    while i < tokens.len() {
+        if let TokenTree::Ident(id) = &tokens[i] {
+            if id.to_string() == "enum" {
+                let name = match tokens.get(i + 1) {
+                    Some(TokenTree::Ident(n)) => n.to_string(),
+                    other => return compile_error(&format!("expected enum name, got {other:?}")),
+                };
+                let body = match tokens.get(i + 2) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        g.stream().into_iter().collect::<Vec<_>>()
+                    }
+                    other => return compile_error(&format!("expected enum body, got {other:?}")),
+                };
+                return match parse_variants(&body).and_then(|vs| generate(&name, &vs)) {
+                    Ok(code) => code.parse().unwrap_or_else(|e| {
+                        compile_error(&format!("thiserror generation failed: {e}"))
+                    }),
+                    Err(e) => compile_error(&e),
+                };
+            }
+            if id.to_string() == "struct" {
+                return compile_error(
+                    "vendored thiserror derive supports enums only (structs unused here)",
+                );
+            }
+        }
+        i += 1;
+    }
+    compile_error("could not find enum declaration")
+}

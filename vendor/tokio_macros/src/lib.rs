@@ -1,0 +1,78 @@
+//! Vendored `#[tokio::test]` attribute macro.
+//!
+//! Rewrites `async fn name() { body }` into a plain `#[test]` fn that
+//! drives the body with the vendored runtime's `block_on`. Attribute
+//! arguments (`flavor`, `worker_threads`, ...) are accepted and ignored —
+//! the vendored runtime is thread-per-task regardless.
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("::core::compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Attribute macro backing `#[tokio::test]`.
+#[proc_macro_attribute]
+pub fn test(_args: TokenStream, item: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = item.into_iter().collect();
+
+    // Split: [passthrough attrs / vis ...] "async" "fn" name "(...)" [-> ret] "{...}"
+    let async_pos = tokens
+        .iter()
+        .position(|t| matches!(t, TokenTree::Ident(id) if id.to_string() == "async"));
+    let Some(async_pos) = async_pos else {
+        return compile_error("#[tokio::test] requires an `async fn`");
+    };
+    let fn_name = match tokens.get(async_pos + 2) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return compile_error(&format!("expected fn name, got {other:?}")),
+    };
+    let body = match tokens.last() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => return compile_error(&format!("expected fn body, got {other:?}")),
+    };
+
+    // Everything before `async` (doc comments, other attributes, visibility)
+    // passes through unchanged.
+    let prefix: TokenStream = tokens[..async_pos].iter().cloned().collect();
+
+    let wrapper_body: TokenStream = "::tokio::runtime::Runtime::new()\
+         .expect(\"vendored runtime\")\
+         .block_on(async move { __tokio_test_body })"
+        .parse()
+        .unwrap();
+    // Substitute the real body for the placeholder ident.
+    let wrapper_body: TokenStream = wrapper_body
+        .into_iter()
+        .map(|t| substitute(t, &body))
+        .collect();
+
+    let mut out = TokenStream::new();
+    out.extend(
+        "#[::core::prelude::v1::test]"
+            .parse::<TokenStream>()
+            .unwrap(),
+    );
+    out.extend(prefix);
+    out.extend(format!("fn {fn_name}()").parse::<TokenStream>().unwrap());
+    out.extend([TokenTree::Group(Group::new(Delimiter::Brace, wrapper_body))]);
+    out
+}
+
+/// Recursively replace the `__tokio_test_body` placeholder ident.
+fn substitute(tree: TokenTree, body: &TokenStream) -> TokenTree {
+    match tree {
+        TokenTree::Ident(ref id) if id.to_string() == "__tokio_test_body" => {
+            TokenTree::Group(Group::new(Delimiter::Brace, body.clone()))
+        }
+        TokenTree::Group(g) => {
+            let inner: TokenStream = g
+                .stream()
+                .into_iter()
+                .map(|t| substitute(t, body))
+                .collect();
+            TokenTree::Group(Group::new(g.delimiter(), inner))
+        }
+        other => other,
+    }
+}
