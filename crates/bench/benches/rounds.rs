@@ -1,0 +1,82 @@
+//! Round-engine micro-benchmarks: sequential reference driver vs the
+//! batched parallel engine on the same pinned scenario, plus the
+//! CSR-vs-dynamic trust build underneath them.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dg_gossip::EngineKind;
+use dg_graph::NodeId;
+use dg_sim::rounds::{AggregationScope, RoundsConfig, RoundsSimulator};
+use dg_sim::scenario::{Scenario, ScenarioConfig};
+use dg_trust::{TrustMatrix, TrustValue};
+
+fn scenario(nodes: usize, engine: EngineKind) -> Scenario {
+    Scenario::build(ScenarioConfig {
+        nodes,
+        seed: 42,
+        free_rider_fraction: 0.25,
+        quality_range: (0.4, 1.0),
+        engine,
+        ..ScenarioConfig::default()
+    })
+    .expect("scenario builds")
+}
+
+fn bench_round_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rounds/engine");
+    group.sample_size(3);
+    for engine in [EngineKind::Sequential, EngineKind::Parallel] {
+        let s = scenario(1000, engine);
+        group.bench_with_input(
+            BenchmarkId::new("lifecycle_1000x3", engine.label()),
+            &s,
+            |b, s| {
+                b.iter(|| {
+                    let mut sim = RoundsSimulator::new(
+                        s,
+                        RoundsConfig {
+                            rounds: 3,
+                            requests_per_edge: 20,
+                            scope: AggregationScope::Neighbourhood,
+                            ..RoundsConfig::default()
+                        }
+                        .with_engine(engine),
+                    );
+                    let mut rng = s.gossip_rng(1);
+                    sim.run(&mut rng).expect("rounds")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_trust_build(c: &mut Criterion) {
+    let s = scenario(5000, EngineKind::Sequential);
+    let entries: Vec<(NodeId, NodeId, TrustValue)> = s.trust.entries().collect();
+    let n = s.graph.node_count();
+
+    let mut group = c.benchmark_group("rounds/trust_build");
+    group.sample_size(5);
+    group.bench_with_input(BenchmarkId::from_parameter("dynamic"), &entries, |b, e| {
+        b.iter(|| {
+            let mut m = TrustMatrix::new(n);
+            for &(i, j, t) in e {
+                m.set(i, j, t).expect("in range");
+            }
+            m
+        })
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("csr"), &entries, |b, e| {
+        b.iter(|| {
+            let mut builder = TrustMatrix::builder(n);
+            for &(i, j, t) in e {
+                builder.set(i, j, t).expect("in range");
+            }
+            TrustMatrix::from_csr(builder.build())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_round_engines, bench_trust_build);
+criterion_main!(benches);

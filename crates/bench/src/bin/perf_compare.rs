@@ -1,0 +1,74 @@
+//! CI perf-regression gate: compare a fresh `perf_suite` report against
+//! the committed baseline and fail when any engine's nodes/round
+//! throughput dropped by more than the allowed factor.
+//!
+//! ```text
+//! perf_compare <baseline.json> <candidate.json> [max_regression]
+//! ```
+//!
+//! Exit code 0 = within budget, 1 = regression, 2 = usage error.
+
+use dg_bench::perf::{find_regressions, PerfReport, MAX_REGRESSION};
+
+fn load(path: &str) -> Result<PerfReport, Box<dyn std::error::Error>> {
+    Ok(serde_json::from_str(&std::fs::read_to_string(path)?)?)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (baseline_path, candidate_path, max_regression) = match args.as_slice() {
+        [b, c] => (b.clone(), c.clone(), MAX_REGRESSION),
+        [b, c, f] => match f.parse::<f64>() {
+            Ok(f) if f >= 1.0 => (b.clone(), c.clone(), f),
+            _ => {
+                eprintln!("max_regression must be a number >= 1.0, got `{f}`");
+                std::process::exit(2);
+            }
+        },
+        _ => {
+            eprintln!("usage: perf_compare <baseline.json> <candidate.json> [max_regression]");
+            std::process::exit(2);
+        }
+    };
+
+    let baseline = load(&baseline_path).unwrap_or_else(|e| {
+        eprintln!("cannot load baseline {baseline_path}: {e}");
+        std::process::exit(2);
+    });
+    let candidate = load(&candidate_path).unwrap_or_else(|e| {
+        eprintln!("cannot load candidate {candidate_path}: {e}");
+        std::process::exit(2);
+    });
+
+    if baseline.name != candidate.name || baseline.nodes != candidate.nodes {
+        eprintln!(
+            "warning: comparing different configs ({} @ {} nodes vs {} @ {} nodes)",
+            baseline.name, baseline.nodes, candidate.name, candidate.nodes
+        );
+    }
+
+    for base in &baseline.engines {
+        if let Some(cand) = candidate.engine(&base.engine) {
+            println!(
+                "{:<10} baseline {:>12.0} node-rounds/s  candidate {:>12.0} node-rounds/s  ({:+.1}%)",
+                base.engine,
+                base.node_rounds_per_sec,
+                cand.node_rounds_per_sec,
+                100.0 * (cand.node_rounds_per_sec / base.node_rounds_per_sec - 1.0),
+            );
+        }
+    }
+
+    let regressions = find_regressions(&baseline, &candidate, max_regression);
+    if regressions.is_empty() {
+        println!("perf gate passed (allowed regression: {max_regression}x)");
+        return;
+    }
+    for r in &regressions {
+        eprintln!(
+            "REGRESSION: {} dropped {:.2}x ({:.0} -> {:.0} node-rounds/s, budget {:.1}x)",
+            r.engine, r.factor, r.baseline, r.candidate, max_regression
+        );
+    }
+    std::process::exit(1);
+}

@@ -1,0 +1,55 @@
+//! Round-engine performance suite: run the reputation lifecycle on a
+//! pinned-seed scenario under both engines and emit a machine-readable
+//! `BENCH_<name>.json` report (nodes/round throughput,
+//! rounds-to-convergence, wall time).
+//!
+//! ```text
+//! cargo run --release -p dg-bench --bin perf_suite            # smoke (5k nodes)
+//! cargo run --release -p dg-bench --bin perf_suite -- --full  # 20k nodes
+//! cargo run --release -p dg-bench --bin perf_suite -- --out BENCH_pr.json
+//! cargo run --release -p dg-bench --bin perf_suite -- --engine parallel
+//! ```
+//!
+//! CI's `perf-smoke` job uploads the report and gates on
+//! `perf_compare` against the committed `crates/bench/BENCH_baseline.json`.
+
+use dg_bench::perf::{run_suite, FULL, SMOKE};
+use dg_bench::Cli;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cli = Cli::parse();
+    let config = if cli.full { FULL } else { SMOKE };
+    eprintln!(
+        "perf_suite: {} ({} nodes, {} rounds, {} req/edge, seed {})",
+        config.name, config.nodes, config.rounds, config.requests_per_edge, cli.seed
+    );
+
+    let report = run_suite(&config, cli.seed, cli.engine)?;
+    for engine in &report.engines {
+        eprintln!(
+            "  {:<10} {:>10.1} ms  {:>12.0} node-rounds/s  (final free-rider service {:.3})",
+            engine.engine,
+            engine.wall_ms,
+            engine.node_rounds_per_sec,
+            engine.final_free_rider_service_rate,
+        );
+    }
+    if let Some(speedup) = report.speedup_parallel_over_sequential {
+        eprintln!("  speedup parallel/sequential: {speedup:.2}x");
+    }
+    eprintln!(
+        "  {} gossip steps to convergence",
+        report.rounds_to_convergence
+    );
+
+    let path = cli
+        .out
+        .clone()
+        .unwrap_or_else(|| format!("BENCH_{}.json", report.name));
+    std::fs::write(&path, serde_json::to_string_pretty(&report)?)?;
+    eprintln!("wrote {path}");
+    if cli.json {
+        println!("{}", serde_json::to_string(&report)?);
+    }
+    Ok(())
+}

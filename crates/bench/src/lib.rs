@@ -5,10 +5,21 @@
 //! * `--full` — run the paper's full parameter grid (N up to 50 000);
 //!   the default grid is scaled to finish in minutes on a laptop,
 //! * `--seed <u64>` — override the scenario seed (default 42),
-//! * `--json` — emit JSON lines instead of a formatted table.
+//! * `--json` — emit JSON lines instead of a formatted table,
+//! * `--engine <sequential|parallel>` — restrict a *round-loop driving*
+//!   binary (`perf_suite`, which otherwise measures both engines) to one
+//!   execution engine. The figure/table binaries measure the gossip
+//!   layer itself, which is engine-independent — they accept and ignore
+//!   the flag. Results never depend on it
+//!   (see `tests/engine_equivalence.rs`),
+//! * `--out <path>` — where report-writing binaries put their JSON.
+
+use dg_gossip::EngineKind;
+
+pub mod perf;
 
 /// Parsed common CLI options.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Cli {
     /// Full-scale (paper-grid) mode.
     pub full: bool,
@@ -16,6 +27,11 @@ pub struct Cli {
     pub seed: u64,
     /// Emit JSON lines.
     pub json: bool,
+    /// Engine restriction for round-loop driving binaries
+    /// (`None` = the binary's default, e.g. `perf_suite` measures both).
+    pub engine: Option<EngineKind>,
+    /// Output path for report files (binaries define their default).
+    pub out: Option<String>,
 }
 
 impl Default for Cli {
@@ -24,6 +40,8 @@ impl Default for Cli {
             full: false,
             seed: 42,
             json: false,
+            engine: None,
+            out: None,
         }
     }
 }
@@ -46,6 +64,20 @@ impl Cli {
                         .unwrap_or_else(|| usage("--seed needs a u64 value"));
                     cli.seed = v;
                 }
+                "--engine" => {
+                    let v = args
+                        .next()
+                        .as_deref()
+                        .and_then(EngineKind::parse)
+                        .unwrap_or_else(|| usage("--engine needs `sequential` or `parallel`"));
+                    cli.engine = Some(v);
+                }
+                "--out" => {
+                    let v = args
+                        .next()
+                        .unwrap_or_else(|| usage("--out needs a file path"));
+                    cli.out = Some(v);
+                }
                 "--help" | "-h" => usage(
                     "
 ",
@@ -58,7 +90,10 @@ impl Cli {
 }
 
 fn usage(msg: &str) -> ! {
-    eprintln!("{msg}\nusage: <bin> [--full] [--seed <u64>] [--json]");
+    eprintln!(
+        "{msg}\nusage: <bin> [--full] [--seed <u64>] [--json] \
+         [--engine <sequential|parallel>] [--out <path>]"
+    );
     std::process::exit(2)
 }
 

@@ -1,0 +1,309 @@
+//! The perf-regression harness behind `perf_suite` / `perf_compare`.
+//!
+//! `perf_suite` runs the round-loop lifecycle on a pinned-seed scenario
+//! under both engines and emits a machine-readable `BENCH_<name>.json`
+//! report; `perf_compare` gates CI by comparing a fresh report against
+//! the committed `BENCH_baseline.json` and failing on a > [`MAX_REGRESSION`]
+//! throughput drop. Reports are additive: future PRs append engines or
+//! configs without breaking older baselines (unknown engines in either
+//! file are ignored by the comparison).
+
+use dg_gossip::{EngineKind, GossipConfig, ScalarGossip};
+use dg_sim::rounds::{AggregationScope, RoundsConfig, RoundsSimulator};
+use dg_sim::scenario::{Scenario, ScenarioConfig};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Throughput may drop to this fraction of the baseline before the gate
+/// fails (the ISSUE's ">2× regression" bar).
+pub const MAX_REGRESSION: f64 = 2.0;
+
+/// One engine's measurement within a report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EngineResult {
+    /// Engine label (`sequential` / `parallel`).
+    pub engine: String,
+    /// Wall time of the whole round loop, milliseconds.
+    pub wall_ms: f64,
+    /// Node-rounds per second (`nodes × rounds / wall`): the headline
+    /// throughput number future PRs must not regress.
+    pub node_rounds_per_sec: f64,
+    /// Free-rider service rate after the last round (sanity check that
+    /// the lifecycle actually separated the classes).
+    pub final_free_rider_service_rate: f64,
+}
+
+/// A `BENCH_<name>.json` report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerfReport {
+    /// Config name (`smoke` / `full`).
+    pub name: String,
+    /// Network size.
+    pub nodes: usize,
+    /// Lifecycle rounds executed.
+    pub rounds: usize,
+    /// Requests per directed edge per round.
+    pub requests_per_edge: u32,
+    /// Scenario seed.
+    pub seed: u64,
+    /// Gossip steps to protocol quiescence for a scalar averaging run on
+    /// the same overlay (the paper's convergence metric).
+    pub rounds_to_convergence: usize,
+    /// Per-engine measurements.
+    pub engines: Vec<EngineResult>,
+    /// `parallel` throughput over `sequential` throughput; `None` when
+    /// the suite was restricted to a single engine (`--engine`).
+    pub speedup_parallel_over_sequential: Option<f64>,
+}
+
+impl PerfReport {
+    /// The result for one engine, if present.
+    pub fn engine(&self, label: &str) -> Option<&EngineResult> {
+        self.engines.iter().find(|e| e.engine == label)
+    }
+}
+
+/// A pinned perf-suite configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct PerfConfig {
+    /// Config name (report + file name).
+    pub name: &'static str,
+    /// Network size.
+    pub nodes: usize,
+    /// Lifecycle rounds.
+    pub rounds: usize,
+    /// Requests per directed edge per round.
+    pub requests_per_edge: u32,
+}
+
+/// The CI smoke config: 5 000 nodes, heavy per-edge request load,
+/// neighbourhood-scoped closed-form aggregation.
+pub const SMOKE: PerfConfig = PerfConfig {
+    name: "smoke",
+    nodes: 5_000,
+    rounds: 5,
+    requests_per_edge: 50,
+};
+
+/// The `--full` config.
+pub const FULL: PerfConfig = PerfConfig {
+    name: "full",
+    nodes: 20_000,
+    rounds: 5,
+    requests_per_edge: 50,
+};
+
+fn scenario_config(perf: &PerfConfig, seed: u64, engine: EngineKind) -> ScenarioConfig {
+    ScenarioConfig {
+        nodes: perf.nodes,
+        seed,
+        free_rider_fraction: 0.25,
+        quality_range: (0.4, 1.0),
+        engine,
+        ..ScenarioConfig::default()
+    }
+}
+
+fn measure_engine(
+    perf: &PerfConfig,
+    seed: u64,
+    engine: EngineKind,
+) -> Result<EngineResult, Box<dyn std::error::Error>> {
+    let scenario = Scenario::build(scenario_config(perf, seed, engine))?;
+    let config = RoundsConfig {
+        rounds: perf.rounds,
+        requests_per_edge: perf.requests_per_edge,
+        scope: AggregationScope::Neighbourhood,
+        ..RoundsConfig::default()
+    }
+    .with_engine(engine);
+    let mut sim = RoundsSimulator::new(&scenario, config);
+    let mut rng = scenario.gossip_rng(1);
+    let start = Instant::now();
+    let stats = sim.run(&mut rng)?;
+    let wall = start.elapsed();
+    let wall_s = wall.as_secs_f64().max(1e-9);
+    let last = stats.last().expect("at least one round");
+    Ok(EngineResult {
+        engine: engine.label().to_owned(),
+        wall_ms: wall_s * 1e3,
+        node_rounds_per_sec: (perf.nodes * perf.rounds) as f64 / wall_s,
+        final_free_rider_service_rate: last.free_rider_service_rate(),
+    })
+}
+
+/// Run the suite on the pinned config and assemble the report. With
+/// `only = None` both engines are measured (the CI setting); passing an
+/// engine restricts the run to it.
+pub fn run_suite(
+    perf: &PerfConfig,
+    seed: u64,
+    only: Option<EngineKind>,
+) -> Result<PerfReport, Box<dyn std::error::Error>> {
+    // Convergence metric: scalar differential-gossip averaging on the
+    // same overlay, steps to protocol quiescence.
+    let scenario = Scenario::build(scenario_config(perf, seed, EngineKind::Sequential))?;
+    let values = scenario.population.latent_qualities();
+    let gossip = GossipConfig::differential(1e-4)?.with_sticky_announcements();
+    let out =
+        ScalarGossip::average(&scenario.graph, gossip, &values)?.run(&mut scenario.gossip_rng(1));
+    drop(scenario);
+
+    let mut engines = Vec::new();
+    for engine in [EngineKind::Sequential, EngineKind::Parallel] {
+        if only.is_none() || only == Some(engine) {
+            engines.push(measure_engine(perf, seed, engine)?);
+        }
+    }
+    let speedup = match (&engines[..], only) {
+        ([sequential, parallel], None) => {
+            Some(parallel.node_rounds_per_sec / sequential.node_rounds_per_sec.max(1e-9))
+        }
+        _ => None,
+    };
+    Ok(PerfReport {
+        name: perf.name.to_owned(),
+        nodes: perf.nodes,
+        rounds: perf.rounds,
+        requests_per_edge: perf.requests_per_edge,
+        seed,
+        rounds_to_convergence: out.steps,
+        engines,
+        speedup_parallel_over_sequential: speedup,
+    })
+}
+
+/// One comparison finding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Engine label.
+    pub engine: String,
+    /// Baseline throughput.
+    pub baseline: f64,
+    /// Candidate throughput.
+    pub candidate: f64,
+    /// `baseline / candidate`.
+    pub factor: f64,
+}
+
+/// Compare a candidate report against the committed baseline: every
+/// engine present in both must keep at least `1 / max_regression` of the
+/// baseline throughput. Returns the list of violations (empty = pass).
+pub fn find_regressions(
+    baseline: &PerfReport,
+    candidate: &PerfReport,
+    max_regression: f64,
+) -> Vec<Regression> {
+    let mut out = Vec::new();
+    for base in &baseline.engines {
+        let Some(cand) = candidate.engine(&base.engine) else {
+            continue;
+        };
+        let factor = base.node_rounds_per_sec / cand.node_rounds_per_sec.max(1e-9);
+        if factor > max_regression {
+            out.push(Regression {
+                engine: base.engine.clone(),
+                baseline: base.node_rounds_per_sec,
+                candidate: cand.node_rounds_per_sec,
+                factor,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(seq: f64, par: f64) -> PerfReport {
+        PerfReport {
+            name: "smoke".into(),
+            nodes: 100,
+            rounds: 2,
+            requests_per_edge: 5,
+            seed: 42,
+            rounds_to_convergence: 10,
+            engines: vec![
+                EngineResult {
+                    engine: "sequential".into(),
+                    wall_ms: 1.0,
+                    node_rounds_per_sec: seq,
+                    final_free_rider_service_rate: 0.1,
+                },
+                EngineResult {
+                    engine: "parallel".into(),
+                    wall_ms: 1.0,
+                    node_rounds_per_sec: par,
+                    final_free_rider_service_rate: 0.1,
+                },
+            ],
+            speedup_parallel_over_sequential: Some(par / seq),
+        }
+    }
+
+    #[test]
+    fn report_json_roundtrip() {
+        let r = report(100.0, 200.0);
+        let s = serde_json::to_string_pretty(&r).unwrap();
+        let back: PerfReport = serde_json::from_str(&s).unwrap();
+        assert_eq!(r, back);
+        assert_eq!(back.engine("parallel").unwrap().node_rounds_per_sec, 200.0);
+    }
+
+    #[test]
+    fn regression_gate_fires_only_beyond_factor() {
+        let baseline = report(1000.0, 2000.0);
+        // Mild slowdown: inside the 2x budget.
+        assert!(find_regressions(&baseline, &report(600.0, 1100.0), 2.0).is_empty());
+        // Parallel engine collapsed by >2x.
+        let bad = find_regressions(&baseline, &report(990.0, 900.0), 2.0);
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].engine, "parallel");
+        assert!(bad[0].factor > 2.0);
+    }
+
+    #[test]
+    fn unknown_engines_are_ignored() {
+        let mut candidate = report(1000.0, 2000.0);
+        candidate.engines.remove(0);
+        let baseline = report(1000.0, 2000.0);
+        // Sequential missing from the candidate: skipped, not a failure.
+        assert!(find_regressions(&baseline, &candidate, 2.0).is_empty());
+    }
+
+    #[test]
+    fn tiny_suite_runs_end_to_end_and_parallel_matches_sequential() {
+        let tiny = PerfConfig {
+            name: "tiny",
+            nodes: 120,
+            rounds: 2,
+            requests_per_edge: 3,
+        };
+        let r = run_suite(&tiny, 7, None).unwrap();
+        assert_eq!(r.engines.len(), 2);
+        assert!(r.rounds_to_convergence > 0);
+        // Identical lifecycle outcomes under both engines.
+        let seq = r.engine("sequential").unwrap();
+        let par = r.engine("parallel").unwrap();
+        assert_eq!(
+            seq.final_free_rider_service_rate,
+            par.final_free_rider_service_rate
+        );
+        assert!(r.speedup_parallel_over_sequential.unwrap() > 0.0);
+    }
+
+    #[test]
+    fn engine_restriction_measures_one_engine_and_omits_speedup() {
+        let tiny = PerfConfig {
+            name: "tiny",
+            nodes: 60,
+            rounds: 1,
+            requests_per_edge: 2,
+        };
+        let r = run_suite(&tiny, 7, Some(EngineKind::Parallel)).unwrap();
+        assert_eq!(r.engines.len(), 1);
+        assert_eq!(r.engines[0].engine, "parallel");
+        assert_eq!(r.speedup_parallel_over_sequential, None);
+    }
+}

@@ -119,13 +119,36 @@ impl<'g> ReputationSystem<'g> {
     /// Returns `None` when the denominator is zero (no opinions anywhere
     /// and no weighted neighbourhood).
     pub fn gclr(&self, observer: NodeId, subject: NodeId) -> Option<f64> {
-        let nd = self.trust.opinion_count(subject) as f64;
-        let excess = self.neighbour_excess_sum(observer);
-        let denom = excess + nd;
+        self.gclr_from_parts(
+            observer,
+            subject,
+            self.trust.opinion_sum(subject),
+            self.trust.opinion_count(subject) as f64,
+            self.neighbour_excess_sum(observer),
+        )
+    }
+
+    /// Eq. (6) from precomputed pieces: the caller supplies the
+    /// subject's opinion sum `Σᵢ t_ij` and count `N_d` plus the
+    /// observer's neighbourhood excess `Σ (w − 1)`. This is the single
+    /// home of the formula — [`gclr`](Self::gclr), [`gclr_matrix`](Self::gclr_matrix)
+    /// and the round engines' aggregation phase all delegate here, so
+    /// they cannot drift apart. Batch callers amortise the inputs over a
+    /// whole sweep (see
+    /// [`TrustMatrix::subject_sums_and_counts`]).
+    pub fn gclr_from_parts(
+        &self,
+        observer: NodeId,
+        subject: NodeId,
+        opinion_sum: f64,
+        opinion_count: f64,
+        excess: f64,
+    ) -> Option<f64> {
+        let denom = excess + opinion_count;
         if denom <= 0.0 {
             return None;
         }
-        let num = self.y_hat(observer, subject) + self.trust.opinion_sum(subject);
+        let num = self.y_hat(observer, subject) + opinion_sum;
         Some((num / denom).clamp(0.0, 1.0))
     }
 
@@ -133,23 +156,15 @@ impl<'g> ReputationSystem<'g> {
     /// for every subject anyone has an opinion about.
     pub fn gclr_matrix(&self) -> Vec<Vec<(NodeId, f64)>> {
         let n = self.node_count();
-        // Pre-compute per-subject sums and counts once.
-        let mut subjects: Vec<NodeId> = Vec::new();
-        let mut seen = vec![false; n];
-        for (_, j, _) in self.trust.entries() {
-            if !seen[j.index()] {
-                seen[j.index()] = true;
-                subjects.push(j);
-            }
-        }
-        subjects.sort_unstable();
-        let sums: Vec<f64> = subjects
+        // Per-subject sums and counts in one O(nnz) row-major pass
+        // (row-major accumulation visits observers in ascending order per
+        // subject, the same f64 addition order as a column scan).
+        let (all_sums, all_counts) = self.trust.subject_sums_and_counts();
+        let subjects: Vec<NodeId> = all_counts
             .iter()
-            .map(|&j| self.trust.opinion_sum(j))
-            .collect();
-        let counts: Vec<f64> = subjects
-            .iter()
-            .map(|&j| self.trust.opinion_count(j) as f64)
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(j, _)| NodeId(j as u32))
             .collect();
 
         (0..n)
@@ -158,13 +173,15 @@ impl<'g> ReputationSystem<'g> {
                 let excess = self.neighbour_excess_sum(observer);
                 subjects
                     .iter()
-                    .zip(sums.iter().zip(&counts))
-                    .filter_map(|(&j, (&sum, &count))| {
-                        let denom = excess + count;
-                        (denom > 0.0).then(|| {
-                            let num = self.y_hat(observer, j) + sum;
-                            (j, (num / denom).clamp(0.0, 1.0))
-                        })
+                    .filter_map(|&j| {
+                        self.gclr_from_parts(
+                            observer,
+                            j,
+                            all_sums[j.index()],
+                            all_counts[j.index()] as f64,
+                            excess,
+                        )
+                        .map(|rep| (j, rep))
                     })
                     .collect()
             })

@@ -5,6 +5,57 @@ use crate::fanout::FanoutPolicy;
 use crate::loss::{ChurnModel, LossModel};
 use serde::{Deserialize, Serialize};
 
+/// Execution engine for round-driving layers (the simulator's lifecycle
+/// loop and, on multi-core hosts, batched gossip sweeps).
+///
+/// The gossip *protocol* semantics are identical under both engines —
+/// per-node RNG streams derived with [`node_stream_seed`] make results
+/// bit-for-bit equal regardless of thread count. `Parallel` selects the
+/// batched data path (flat CSR trust storage, phase fan-out over nodes
+/// with rayon); `Sequential` keeps the reference map-based driver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum EngineKind {
+    /// Reference single-stream driver over map-based state.
+    #[default]
+    Sequential,
+    /// Batched phase engine: CSR state, rayon fan-out over nodes.
+    Parallel,
+}
+
+impl EngineKind {
+    /// Stable label for CLI flags and JSON reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            EngineKind::Sequential => "sequential",
+            EngineKind::Parallel => "parallel",
+        }
+    }
+
+    /// Parse a CLI label.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "sequential" | "seq" => Some(EngineKind::Sequential),
+            "parallel" | "par" => Some(EngineKind::Parallel),
+            _ => None,
+        }
+    }
+}
+
+/// Derive the RNG stream seed of one node from a base (round or run)
+/// seed — a SplitMix64 mix, so neighbouring node ids land on
+/// uncorrelated streams.
+///
+/// Every fan-out site (the round engine's transact phase, the
+/// distributed peer runner) derives per-node `ChaCha8Rng` streams with
+/// this function; results are then independent of execution order and
+/// thread count by construction.
+pub fn node_stream_seed(base: u64, node: u32) -> u64 {
+    let mut z = base ^ (u64::from(node).wrapping_add(1)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// Configuration of a gossip run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct GossipConfig {
@@ -19,6 +70,10 @@ pub struct GossipConfig {
     /// Hard step cap: runs that have not converged by then report
     /// `converged = false` instead of spinning forever.
     pub max_steps: usize,
+    /// Execution engine for round-driving layers consuming this config
+    /// (see [`EngineKind`]); the gossip protocol itself is
+    /// engine-agnostic.
+    pub engine: EngineKind,
     /// Whether convergence announcements are *sticky* (the paper's
     /// literal protocol: once announced, never revoked). Sticky
     /// announcements are safe — and faster to quiesce — when every node
@@ -38,6 +93,7 @@ impl Default for GossipConfig {
             loss: LossModel::none(),
             churn: ChurnModel::none(),
             max_steps: 100_000,
+            engine: EngineKind::default(),
             sticky_announcements: false,
         }
     }
@@ -89,6 +145,12 @@ impl GossipConfig {
         self
     }
 
+    /// Builder-style: select the execution engine.
+    pub fn with_engine(mut self, engine: EngineKind) -> Self {
+        self.engine = engine;
+        self
+    }
+
     /// Validate the tolerance.
     pub fn validated(self) -> Result<Self, GossipError> {
         if !self.xi.is_finite() || self.xi <= 0.0 {
@@ -119,6 +181,26 @@ mod tests {
     fn normal_push_uses_uniform_one() {
         let c = GossipConfig::normal_push(1e-3).unwrap();
         assert_eq!(c.fanout, FanoutPolicy::Uniform(1));
+    }
+
+    #[test]
+    fn engine_kind_labels_roundtrip() {
+        for kind in [EngineKind::Sequential, EngineKind::Parallel] {
+            assert_eq!(EngineKind::parse(kind.label()), Some(kind));
+        }
+        assert_eq!(EngineKind::parse("par"), Some(EngineKind::Parallel));
+        assert_eq!(EngineKind::parse("nope"), None);
+        assert_eq!(EngineKind::default(), EngineKind::Sequential);
+    }
+
+    #[test]
+    fn node_stream_seeds_are_distinct_and_stable() {
+        let a = node_stream_seed(42, 0);
+        let b = node_stream_seed(42, 1);
+        let c = node_stream_seed(43, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, node_stream_seed(42, 0));
     }
 
     #[test]

@@ -42,7 +42,7 @@ pub mod scalar;
 pub mod spread;
 pub mod vector;
 
-pub use config::GossipConfig;
+pub use config::{node_stream_seed, EngineKind, GossipConfig};
 pub use error::GossipError;
 pub use fanout::FanoutPolicy;
 pub use pair::{GossipPair, RATIO_SENTINEL};

@@ -47,6 +47,19 @@ impl fmt::Display for NodeId {
     }
 }
 
+/// `NodeId` works as a JSON map key (serialised as its decimal id), so
+/// per-node tables can be keyed by `NodeId` end to end instead of
+/// leaking raw `u32` indices at serialisation boundaries.
+impl serde::__value::MapKey for NodeId {
+    fn to_key(&self) -> String {
+        self.0.to_string()
+    }
+
+    fn from_key(key: &str) -> Result<Self, serde::__value::DeError> {
+        <u32 as serde::__value::MapKey>::from_key(key).map(NodeId)
+    }
+}
+
 /// Mutable undirected simple-graph builder backed by adjacency sets.
 ///
 /// Used by the generators; deduplicates parallel edges and rejects self

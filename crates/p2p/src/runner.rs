@@ -3,7 +3,7 @@
 use crate::peer::{run_peer, Ctrl, PeerSetup, Status};
 use crate::transport::Network;
 use dg_gossip::pair::GossipPair;
-use dg_gossip::{FanoutPolicy, GossipError};
+use dg_gossip::{node_stream_seed, FanoutPolicy, GossipError};
 use dg_graph::{Graph, NodeId};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -19,7 +19,10 @@ pub struct DistributedConfig {
     pub fanout: FanoutPolicy,
     /// Round cap.
     pub max_rounds: usize,
-    /// Base RNG seed (peer `i` uses `seed + i + 1`).
+    /// Base RNG seed; peer `i`'s stream is derived with
+    /// [`node_stream_seed`] — the same per-node derivation the batched
+    /// round engine uses, so peer streams are uncorrelated and
+    /// placement-independent.
     pub seed: u64,
 }
 
@@ -101,7 +104,7 @@ pub async fn run_distributed(
             fanout: fanouts[i],
             initial: initial[i],
             xi: config.xi,
-            rng: ChaCha8Rng::seed_from_u64(config.seed + i as u64 + 1),
+            rng: ChaCha8Rng::seed_from_u64(node_stream_seed(config.seed, i as u32)),
         };
         let status = status_tx.clone();
         tokio::spawn(run_peer(setup, ctrl_rx, mailbox, neighbours_tx, status));

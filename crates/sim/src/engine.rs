@@ -1,0 +1,436 @@
+//! The batched parallel round engine and the phase primitives shared
+//! with the sequential reference driver.
+//!
+//! The paper's lifecycle loop — transact, estimate, gossip-aggregate —
+//! is restructured here into three explicit phases:
+//!
+//! 1. **Transact** — every requester runs its per-round transactions
+//!    against its overlay neighbours. The phase is *pure*: it reads the
+//!    previous round's aggregated reputations and emits per-requester
+//!    transaction records plus service counters.
+//! 2. **Estimate** — each node folds its records into its per-edge
+//!    estimators and reputation table, emitting its trust-matrix row.
+//! 3. **Aggregate** — the fresh trust matrix is reduced to aggregated
+//!    reputations, either in closed form (Eq. (6) with the gossiped
+//!    count) or by running the real Variation-4 gossip.
+//!
+//! Transact and estimate touch only per-node state, so
+//! [`BatchedRoundEngine`] fans them out over nodes with rayon. Each node
+//! draws from its own ChaCha8 stream derived from the round seed via
+//! [`node_stream_seed`], so results are **bit-for-bit identical for any
+//! thread count** — and identical to the sequential reference driver in
+//! [`crate::rounds`], which shares the phase functions below. The
+//! batched engine additionally stores flat state: the trust matrix is
+//! bulk-built into the CSR backend and aggregated reputations live in
+//! sorted per-observer runs instead of per-cell maps.
+
+use crate::rounds::{AggregationMode, AggregationScope, RoundStats, RoundsConfig};
+use crate::scenario::Scenario;
+use dg_core::algorithms::alg4;
+use dg_core::behavior::Behavior;
+use dg_core::reputation::ReputationSystem;
+use dg_core::CoreError;
+use dg_gossip::node_stream_seed;
+use dg_graph::NodeId;
+use dg_trust::prelude::{EwmaEstimator, ReputationTable, TransactionOutcome, TrustEstimator};
+use dg_trust::{TrustMatrix, TrustValue};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
+use std::collections::BTreeMap;
+
+/// One transaction as seen by the requester: which provider it hit and
+/// what came back.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransactionRecord {
+    /// The provider that was asked.
+    pub provider: NodeId,
+    /// The outcome the requester observed.
+    pub outcome: TransactionOutcome,
+}
+
+/// Service counters produced by one requester's transact phase.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceDelta {
+    /// Requests served to honest requesters.
+    pub served_honest: u64,
+    /// Requests refused to honest requesters.
+    pub refused_honest: u64,
+    /// Requests served to free riders.
+    pub served_free_riders: u64,
+    /// Requests refused to free riders.
+    pub refused_free_riders: u64,
+}
+
+impl ServiceDelta {
+    pub(crate) fn merge(&mut self, other: ServiceDelta) {
+        self.served_honest += other.served_honest;
+        self.refused_honest += other.refused_honest;
+        self.served_free_riders += other.served_free_riders;
+        self.refused_free_riders += other.refused_free_riders;
+    }
+}
+
+/// Phase 1 for a single requester: run its transactions against every
+/// neighbour, consuming the requester's own ChaCha8 stream for the
+/// round. `lookup_rep(provider, requester)` reads the *previous* round's
+/// aggregated reputation at the provider; `observer_mean[provider]` is
+/// the provider's admission scale.
+///
+/// Shared by both engines so their math and RNG consumption are
+/// identical by construction.
+pub(crate) fn transact_requester(
+    scenario: &Scenario,
+    config: &RoundsConfig,
+    requester: NodeId,
+    round_seed: u64,
+    lookup_rep: &impl Fn(NodeId, NodeId) -> Option<f64>,
+    observer_mean: &[Option<f64>],
+) -> (Vec<TransactionRecord>, ServiceDelta) {
+    let population = &scenario.population;
+    let is_free_rider = matches!(population.behavior(requester), Behavior::FreeRider { .. });
+    let mut rng = ChaCha8Rng::seed_from_u64(node_stream_seed(round_seed, requester.0));
+    let mut records = Vec::new();
+    let mut delta = ServiceDelta::default();
+
+    for &provider in scenario.graph.neighbours(requester) {
+        let provider = NodeId(provider);
+        for _ in 0..config.requests_per_edge {
+            // Admission control at the provider, against last round's
+            // aggregated view.
+            let rep = lookup_rep(provider, requester);
+            let admitted = match (rep, observer_mean[provider.index()]) {
+                (Some(r), Some(mean)) => r >= config.admission_threshold * mean,
+                // No aggregation yet (or nothing aggregated at this
+                // provider): serve everyone.
+                _ => true,
+            };
+            if admitted {
+                if is_free_rider {
+                    delta.served_free_riders += 1;
+                } else {
+                    delta.served_honest += 1;
+                }
+                // Requester observes the provider's behaviour.
+                let quality = population.behavior(provider).sample_quality(&mut rng);
+                let outcome = if quality == 0.0 {
+                    TransactionOutcome::Refused
+                } else {
+                    TransactionOutcome::Served { quality }
+                };
+                records.push(TransactionRecord { provider, outcome });
+            } else if is_free_rider {
+                delta.refused_free_riders += 1;
+            } else {
+                delta.refused_honest += 1;
+            }
+        }
+    }
+    (records, delta)
+}
+
+/// Per-subject `(Σᵢ t_ij, N_d)` plus the ascending list of subjects
+/// anyone holds an opinion about — the closed-form aggregation inputs,
+/// computed once per round in `O(nnz)`.
+pub(crate) struct SubjectAggregates {
+    pub sums: Vec<f64>,
+    pub counts: Vec<usize>,
+    /// Subjects with `N_d > 0`, ascending.
+    pub subjects: Vec<NodeId>,
+}
+
+impl SubjectAggregates {
+    pub(crate) fn compute(trust: &TrustMatrix) -> Self {
+        let (sums, counts) = trust.subject_sums_and_counts();
+        let subjects = counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(j, _)| NodeId(j as u32))
+            .collect();
+        Self {
+            sums,
+            counts,
+            subjects,
+        }
+    }
+}
+
+/// Closed-form aggregated-reputation row of one observer (Eq. (6) with
+/// the gossiped count), over the scope's subject set in ascending
+/// order. Shared by both engines.
+pub(crate) fn closed_form_row(
+    system: &ReputationSystem<'_>,
+    observer: NodeId,
+    scope: AggregationScope,
+    agg: &SubjectAggregates,
+) -> Vec<(NodeId, f64)> {
+    let excess = system.neighbour_excess_sum(observer);
+    // Subjects nobody rated are out of scope (the matrix lists rated
+    // subjects only); the formula itself lives in dg-core.
+    let subject_rep = |j: NodeId| -> Option<(NodeId, f64)> {
+        let count = agg.counts[j.index()];
+        if count == 0 {
+            return None;
+        }
+        system
+            .gclr_from_parts(observer, j, agg.sums[j.index()], count as f64, excess)
+            .map(|rep| (j, rep))
+    };
+    match scope {
+        AggregationScope::Full => agg
+            .subjects
+            .iter()
+            .filter_map(|&j| subject_rep(j))
+            .collect(),
+        AggregationScope::Neighbourhood => system
+            .graph()
+            .neighbours(observer)
+            .iter()
+            .filter_map(|&j| subject_rep(NodeId(j)))
+            .collect(),
+    }
+}
+
+/// Population-level reputation summary over the stored aggregated rows:
+/// per-subject mean over the observers holding a view, then the mean of
+/// those means per behaviour class. Row-major accumulation keeps the
+/// f64 addition order fixed (ascending observer, then subject), so the
+/// result is engine- and thread-count-independent.
+pub(crate) fn class_reputation_means<'a>(
+    scenario: &Scenario,
+    rows: impl Iterator<Item = (usize, &'a [(NodeId, f64)])>,
+) -> (f64, f64) {
+    let n = scenario.graph.node_count();
+    let mut sums = vec![0.0f64; n];
+    let mut cnts = vec![0usize; n];
+    for (_, row) in rows {
+        for &(subject, rep) in row {
+            sums[subject.index()] += rep;
+            cnts[subject.index()] += 1;
+        }
+    }
+    let (mut rep_h, mut cnt_h, mut rep_f, mut cnt_f) = (0.0, 0usize, 0.0, 0usize);
+    for subject in scenario.graph.nodes() {
+        if cnts[subject.index()] == 0 {
+            continue;
+        }
+        let mean = sums[subject.index()] / cnts[subject.index()] as f64;
+        if matches!(
+            scenario.population.behavior(subject),
+            Behavior::FreeRider { .. }
+        ) {
+            rep_f += mean;
+            cnt_f += 1;
+        } else {
+            rep_h += mean;
+            cnt_h += 1;
+        }
+    }
+    (
+        if cnt_h > 0 { rep_h / cnt_h as f64 } else { 0.0 },
+        if cnt_f > 0 { rep_f / cnt_f as f64 } else { 0.0 },
+    )
+}
+
+/// Mean of one observer's aggregated row (its admission scale), `None`
+/// for an empty row.
+pub(crate) fn row_mean(values: impl ExactSizeIterator<Item = f64>) -> Option<f64> {
+    let len = values.len();
+    if len == 0 {
+        return None;
+    }
+    Some(values.sum::<f64>() / len as f64)
+}
+
+/// The RNG stream of the aggregation phase (distinct from every node
+/// stream: node ids are `< N ≤ u32::MAX`).
+pub(crate) fn aggregation_rng(round_seed: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(node_stream_seed(round_seed, u32::MAX))
+}
+
+/// Per-node mutable state of the batched engine.
+struct NodeState {
+    /// Per-provider estimators (the requester's view of each provider).
+    estimators: BTreeMap<NodeId, EwmaEstimator>,
+    /// The node's reputation table.
+    table: ReputationTable,
+}
+
+/// The batched parallel round engine.
+///
+/// Flat state (CSR trust matrix, sorted aggregated runs) plus rayon
+/// fan-out of the transact and estimate phases. Produces bit-identical
+/// results to the sequential reference driver for the same round seeds.
+pub struct BatchedRoundEngine<'s> {
+    scenario: &'s Scenario,
+    config: RoundsConfig,
+    nodes: Vec<NodeState>,
+    /// `aggregated[observer]` — sorted `(subject, reputation)` run.
+    aggregated: Vec<Vec<(NodeId, f64)>>,
+    observer_mean: Vec<Option<f64>>,
+    round: usize,
+}
+
+impl<'s> BatchedRoundEngine<'s> {
+    /// Fresh engine over a scenario.
+    pub fn new(scenario: &'s Scenario, config: RoundsConfig) -> Self {
+        let n = scenario.graph.node_count();
+        Self {
+            scenario,
+            config,
+            nodes: (0..n)
+                .map(|_| NodeState {
+                    estimators: BTreeMap::new(),
+                    table: ReputationTable::new(),
+                })
+                .collect(),
+            aggregated: vec![Vec::new(); n],
+            observer_mean: vec![None; n],
+            round: 0,
+        }
+    }
+
+    /// Rounds completed so far.
+    pub fn round(&self) -> usize {
+        self.round
+    }
+
+    /// The reputation table of one node.
+    pub fn table(&self, node: NodeId) -> &ReputationTable {
+        &self.nodes[node.index()].table
+    }
+
+    /// The aggregated reputation of `subject` at `observer`, if any
+    /// aggregation round has run (and the subject is in scope).
+    pub fn aggregated(&self, observer: NodeId, subject: NodeId) -> Option<f64> {
+        let run = self.aggregated.get(observer.index())?;
+        run.binary_search_by_key(&subject, |&(j, _)| j)
+            .ok()
+            .map(|idx| run[idx].1)
+    }
+
+    /// Run one full round from the given seed; returns its statistics.
+    pub fn run_round(&mut self, round_seed: u64) -> Result<RoundStats, CoreError> {
+        let n = self.scenario.graph.node_count();
+
+        // Phase 1: transact — pure fan-out over requesters.
+        let aggregated = &self.aggregated;
+        let observer_mean = &self.observer_mean;
+        let scenario = self.scenario;
+        let config = &self.config;
+        let lookup = |provider: NodeId, requester: NodeId| {
+            let run = &aggregated[provider.index()];
+            run.binary_search_by_key(&requester, |&(j, _)| j)
+                .ok()
+                .map(|idx| run[idx].1)
+        };
+        let transact: Vec<(Vec<TransactionRecord>, ServiceDelta)> = (0..n as u32)
+            .into_par_iter()
+            .map(|i| {
+                transact_requester(
+                    scenario,
+                    config,
+                    NodeId(i),
+                    round_seed,
+                    &lookup,
+                    observer_mean,
+                )
+            })
+            .collect();
+
+        let mut delta = ServiceDelta::default();
+        let mut record_batches = Vec::with_capacity(n);
+        for (records, d) in transact {
+            delta.merge(d);
+            record_batches.push(records);
+        }
+
+        // Phase 2: estimate — fan-out over nodes, each folding its own
+        // records and emitting its (sorted) trust row.
+        let round = self.round as u64;
+        let ewma_rate = self.config.ewma_rate;
+        let batch: Vec<(NodeState, Vec<TransactionRecord>)> = std::mem::take(&mut self.nodes)
+            .into_iter()
+            .zip(record_batches)
+            .collect();
+        let estimated: Vec<(NodeState, Vec<(NodeId, TrustValue)>)> = batch
+            .into_par_iter()
+            .map(|(mut state, records)| {
+                for rec in records {
+                    let est = state
+                        .estimators
+                        .entry(rec.provider)
+                        .or_insert_with(|| EwmaEstimator::new(ewma_rate));
+                    state
+                        .table
+                        .record_transaction(rec.provider, est, rec.outcome, round);
+                }
+                let row: Vec<(NodeId, TrustValue)> = state
+                    .estimators
+                    .iter()
+                    .map(|(&j, est)| (j, est.estimate()))
+                    .collect();
+                (state, row)
+            })
+            .collect();
+
+        let mut builder = TrustMatrix::builder(n);
+        let mut nodes = Vec::with_capacity(n);
+        for (i, (state, row)) in estimated.into_iter().enumerate() {
+            builder
+                .extend_row(NodeId(i as u32), row)
+                .expect("estimator keys are in range");
+            nodes.push(state);
+        }
+        self.nodes = nodes;
+        let trust = TrustMatrix::from_csr(builder.build());
+        let system = ReputationSystem::new(&self.scenario.graph, trust, self.scenario.weights)?;
+
+        // Phase 3: aggregate.
+        match self.config.aggregation {
+            AggregationMode::ClosedForm => {
+                let agg = SubjectAggregates::compute(system.trust());
+                let scope = self.config.scope;
+                let sys = &system;
+                let agg_ref = &agg;
+                self.aggregated = (0..n as u32)
+                    .into_par_iter()
+                    .map(|i| closed_form_row(sys, NodeId(i), scope, agg_ref))
+                    .collect();
+            }
+            AggregationMode::Gossip => {
+                let out = alg4::run(&system, self.config.gossip.validated()?, &mut {
+                    aggregation_rng(round_seed)
+                })?;
+                self.aggregated = out
+                    .estimates
+                    .into_iter()
+                    .map(|row| row.into_iter().map(|(j, r)| (NodeId(j), r)).collect())
+                    .collect();
+            }
+        }
+
+        // Refresh the observers' admission scales.
+        for (i, run) in self.aggregated.iter().enumerate() {
+            self.observer_mean[i] = row_mean(run.iter().map(|&(_, r)| r));
+        }
+
+        let (mean_rep_honest, mean_rep_free_riders) = class_reputation_means(
+            self.scenario,
+            self.aggregated.iter().enumerate().map(|(i, r)| (i, &r[..])),
+        );
+
+        let stats = RoundStats {
+            round: self.round,
+            served_honest: delta.served_honest,
+            refused_honest: delta.refused_honest,
+            served_free_riders: delta.served_free_riders,
+            refused_free_riders: delta.refused_free_riders,
+            mean_rep_honest,
+            mean_rep_free_riders,
+        };
+        self.round += 1;
+        Ok(stats)
+    }
+}

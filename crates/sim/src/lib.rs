@@ -13,7 +13,11 @@
 //!   Tables 1 and 2, plus the convergence/weight ablations;
 //! * [`rounds`] — the full reputation lifecycle loop (transactions →
 //!   estimation → aggregation → admission control) behind the free-riding
-//!   examples;
+//!   examples, dispatching to a sequential reference driver or the
+//!   batched parallel engine;
+//! * [`engine`] — the batched parallel round engine: explicit
+//!   transact/estimate/aggregate phases fanned out over nodes with
+//!   rayon on per-node ChaCha8 streams, over flat CSR trust storage;
 //! * [`baselines`] — normal push gossip (GossipTrust-style) comes free
 //!   via [`FanoutPolicy::Uniform`](dg_gossip::FanoutPolicy); this module
 //!   adds an EigenTrust-style power-iteration comparator;
@@ -21,6 +25,7 @@
 //!   the harness binaries.
 
 pub mod baselines;
+pub mod engine;
 pub mod experiments;
 pub mod report;
 pub mod rounds;

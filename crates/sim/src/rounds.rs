@@ -8,26 +8,35 @@
 //! time" — this module drives that loop with a constant inter-round gap,
 //! as the paper assumes for simplicity.
 //!
-//! Each round:
+//! Each round runs the three phases of [`crate::engine`]: **transact**
+//! (admission-gated chunk requests along overlay edges), **estimate**
+//! (per-edge EWMA updates feeding each node's [`ReputationTable`]) and
+//! **aggregate** (Variation-4 differential gossip, in closed form or by
+//! real gossip).
 //!
-//! 1. **Transactions** — every node requests chunks from each neighbour;
-//!    providers serve according to their behaviour profile *and* (after
-//!    the first aggregation) refuse requesters whose aggregated
-//!    reputation is below the admission threshold.
-//! 2. **Estimation** — outcomes update per-edge EWMA estimators and the
-//!    node's [`ReputationTable`].
-//! 3. **Aggregation** — a differential gossip round (Variation 4 in
-//!    closed form or by real gossip, configurable) refreshes the
-//!    aggregated reputations.
+//! Two execution engines are available through
+//! [`GossipConfig::engine`](dg_gossip::GossipConfig):
+//!
+//! * [`EngineKind::Sequential`] — the reference driver in this module:
+//!   one inline pass over nodes, map-based state;
+//! * [`EngineKind::Parallel`] — [`BatchedRoundEngine`]: CSR trust
+//!   storage, sorted aggregated runs, rayon fan-out over nodes.
+//!
+//! Every node consumes a private ChaCha8 stream derived from the round
+//! seed, so **both engines produce bit-for-bit identical results at any
+//! thread count** (pinned by `tests/engine_equivalence.rs`).
 
+use crate::engine::{
+    aggregation_rng, class_reputation_means, closed_form_row, row_mean, transact_requester,
+    BatchedRoundEngine, ServiceDelta, SubjectAggregates, TransactionRecord,
+};
 use crate::scenario::Scenario;
 use dg_core::algorithms::alg4;
-use dg_core::behavior::Behavior;
 use dg_core::reputation::ReputationSystem;
 use dg_core::CoreError;
-use dg_gossip::GossipConfig;
+use dg_gossip::{EngineKind, GossipConfig};
 use dg_graph::NodeId;
-use dg_trust::prelude::{EwmaEstimator, ReputationTable, TransactionOutcome, TrustEstimator};
+use dg_trust::prelude::{EwmaEstimator, ReputationTable, TrustEstimator};
 use dg_trust::TrustMatrix;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -41,6 +50,22 @@ pub enum AggregationMode {
     /// Evaluate the converged limit in closed form (fast; the test suite
     /// separately verifies gossip reaches this limit).
     ClosedForm,
+}
+
+/// Which (observer, subject) pairs the closed-form aggregation
+/// materialises each round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum AggregationScope {
+    /// Every subject anyone holds an opinion about, at every observer —
+    /// the paper's full gossip limit. `O(N · S)` state: fine up to a few
+    /// thousand nodes.
+    #[default]
+    Full,
+    /// Only each observer's overlay neighbours. Admission control reads
+    /// exactly these pairs (requests arrive along edges), so service
+    /// gating is unchanged while state shrinks to `O(edges)` — the
+    /// production setting for large networks.
+    Neighbourhood,
 }
 
 /// Round-loop configuration.
@@ -63,8 +88,12 @@ pub struct RoundsConfig {
     pub ewma_rate: f64,
     /// How to refresh reputations.
     pub aggregation: AggregationMode,
-    /// Gossip tolerance for [`AggregationMode::Gossip`].
-    pub xi: f64,
+    /// Closed-form materialisation scope.
+    pub scope: AggregationScope,
+    /// Gossip-layer configuration: tolerance `ξ` for
+    /// [`AggregationMode::Gossip`] and the execution engine
+    /// ([`GossipConfig::engine`]) driving the round loop.
+    pub gossip: GossipConfig,
 }
 
 impl Default for RoundsConfig {
@@ -75,8 +104,28 @@ impl Default for RoundsConfig {
             admission_threshold: 0.35,
             ewma_rate: 0.3,
             aggregation: AggregationMode::ClosedForm,
-            xi: 1e-4,
+            scope: AggregationScope::Full,
+            gossip: GossipConfig::default(),
         }
+    }
+}
+
+impl RoundsConfig {
+    /// Builder-style: select the execution engine.
+    pub fn with_engine(mut self, engine: EngineKind) -> Self {
+        self.gossip.engine = engine;
+        self
+    }
+
+    /// Builder-style: set the gossip tolerance `ξ`.
+    pub fn with_xi(mut self, xi: f64) -> Self {
+        self.gossip.xi = xi;
+        self
+    }
+
+    /// The engine driving the round loop.
+    pub fn engine(&self) -> EngineKind {
+        self.gossip.engine
     }
 }
 
@@ -119,22 +168,23 @@ fn rate(served: u64, refused: u64) -> f64 {
     served as f64 / total as f64
 }
 
-/// The round-loop simulator.
-pub struct RoundsSimulator<'s> {
+/// The sequential reference driver: one inline pass over nodes per
+/// phase, estimators in one global ordered map, aggregated reputations
+/// in per-observer maps.
+struct SequentialRounds<'s> {
     scenario: &'s Scenario,
     config: RoundsConfig,
-    estimators: BTreeMap<(u32, u32), EwmaEstimator>,
+    estimators: BTreeMap<(NodeId, NodeId), EwmaEstimator>,
     tables: Vec<ReputationTable>,
     /// Latest aggregated reputation per (observer, subject).
-    aggregated: Vec<BTreeMap<u32, f64>>,
+    aggregated: Vec<BTreeMap<NodeId, f64>>,
     /// Mean aggregated reputation per observer (admission scale).
     observer_mean: Vec<Option<f64>>,
     round: usize,
 }
 
-impl<'s> RoundsSimulator<'s> {
-    /// Create a simulator over a scenario.
-    pub fn new(scenario: &'s Scenario, config: RoundsConfig) -> Self {
+impl<'s> SequentialRounds<'s> {
+    fn new(scenario: &'s Scenario, config: RoundsConfig) -> Self {
         let n = scenario.graph.node_count();
         Self {
             scenario,
@@ -147,142 +197,162 @@ impl<'s> RoundsSimulator<'s> {
         }
     }
 
-    /// The reputation table of one node.
-    pub fn table(&self, node: NodeId) -> &ReputationTable {
-        &self.tables[node.index()]
-    }
-
-    /// The aggregated reputation of `subject` at `observer`, if any
-    /// aggregation round has run.
-    pub fn aggregated(&self, observer: NodeId, subject: NodeId) -> Option<f64> {
-        self.aggregated[observer.index()].get(&subject.0).copied()
-    }
-
-    /// Run one full round; returns its statistics.
-    pub fn run_round<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Result<RoundStats, CoreError> {
+    fn run_round(&mut self, round_seed: u64) -> Result<RoundStats, CoreError> {
         let graph = &self.scenario.graph;
-        let population = &self.scenario.population;
         let n = graph.node_count();
 
-        let mut stats = RoundStats {
-            round: self.round,
-            served_honest: 0,
-            refused_honest: 0,
-            served_free_riders: 0,
-            refused_free_riders: 0,
-            mean_rep_honest: 0.0,
-            mean_rep_free_riders: 0.0,
+        // Phase 1 + 2: transact, then fold each requester's records into
+        // its estimators and table — inline, one node at a time, but on
+        // the same per-node streams as the batched engine.
+        let mut delta = ServiceDelta::default();
+        let aggregated = std::mem::take(&mut self.aggregated);
+        let lookup = |provider: NodeId, requester: NodeId| {
+            aggregated[provider.index()].get(&requester).copied()
         };
-
-        // 1. Transactions along overlay edges.
         for requester in graph.nodes() {
-            let is_free_rider =
-                matches!(population.behavior(requester), Behavior::FreeRider { .. });
-            for &provider in graph.neighbours(requester) {
-                let provider = NodeId(provider);
-                for _ in 0..self.config.requests_per_edge {
-                    // Admission control at the provider.
-                    let rep = self.aggregated[provider.index()].get(&requester.0).copied();
-                    let admitted = match (rep, self.observer_mean[provider.index()]) {
-                        (Some(r), Some(mean)) => r >= self.config.admission_threshold * mean,
-                        // No aggregation yet (or nothing aggregated at
-                        // this provider): serve everyone.
-                        _ => true,
-                    };
-                    if admitted {
-                        if is_free_rider {
-                            stats.served_free_riders += 1;
-                        } else {
-                            stats.served_honest += 1;
-                        }
-                        // Requester observes the provider's behaviour and
-                        // updates its estimator for the provider.
-                        let quality = population.behavior(provider).sample_quality(rng);
-                        let outcome = if quality == 0.0 {
-                            TransactionOutcome::Refused
-                        } else {
-                            TransactionOutcome::Served { quality }
-                        };
-                        let est = self
-                            .estimators
-                            .entry((requester.0, provider.0))
-                            .or_insert_with(|| EwmaEstimator::new(self.config.ewma_rate));
-                        self.tables[requester.index()].record_transaction(
-                            provider,
-                            est,
-                            outcome,
-                            self.round as u64,
-                        );
-                    } else if is_free_rider {
-                        stats.refused_free_riders += 1;
-                    } else {
-                        stats.refused_honest += 1;
-                    }
-                }
+            let (records, d) = transact_requester(
+                self.scenario,
+                &self.config,
+                requester,
+                round_seed,
+                &lookup,
+                &self.observer_mean,
+            );
+            delta.merge(d);
+            for TransactionRecord { provider, outcome } in records {
+                let est = self
+                    .estimators
+                    .entry((requester, provider))
+                    .or_insert_with(|| EwmaEstimator::new(self.config.ewma_rate));
+                self.tables[requester.index()].record_transaction(
+                    provider,
+                    est,
+                    outcome,
+                    self.round as u64,
+                );
             }
         }
+        self.aggregated = aggregated;
 
-        // 2. Collect the current trust matrix from the estimators.
+        // Collect the trust matrix from the estimators (dynamic backend,
+        // one point insertion per entry).
         let mut trust = TrustMatrix::new(n);
         for (&(i, j), est) in &self.estimators {
             trust
-                .set(NodeId(i), NodeId(j), est.estimate())
+                .set(i, j, est.estimate())
                 .expect("estimator keys are in range");
         }
         let system = ReputationSystem::new(graph, trust, self.scenario.weights)?;
 
-        // 3. Aggregate.
+        // Phase 3: aggregate.
         match self.config.aggregation {
             AggregationMode::ClosedForm => {
-                for (i, row) in system.gclr_matrix().into_iter().enumerate() {
-                    self.aggregated[i] = row.into_iter().map(|(j, r)| (j.0, r)).collect();
+                let agg = SubjectAggregates::compute(system.trust());
+                for i in 0..n {
+                    self.aggregated[i] =
+                        closed_form_row(&system, NodeId(i as u32), self.config.scope, &agg)
+                            .into_iter()
+                            .collect();
                 }
             }
             AggregationMode::Gossip => {
-                let out = alg4::run(&system, GossipConfig::differential(self.config.xi)?, rng)?;
-                self.aggregated = out.estimates;
+                let out = alg4::run(&system, self.config.gossip.validated()?, &mut {
+                    aggregation_rng(round_seed)
+                })?;
+                self.aggregated = out
+                    .estimates
+                    .into_iter()
+                    .map(|row| row.into_iter().map(|(j, r)| (NodeId(j), r)).collect())
+                    .collect();
             }
         }
 
         // Refresh the observers' admission scales.
         for (i, row) in self.aggregated.iter().enumerate() {
-            self.observer_mean[i] = if row.is_empty() {
-                None
-            } else {
-                Some(row.values().sum::<f64>() / row.len() as f64)
-            };
+            self.observer_mean[i] = row_mean(row.values().copied());
         }
 
-        // 4. Population-level reputation summary (as seen by node 0's
-        // table — every observer holds near-identical global values, and the
-        // summary uses the mean over observers' views).
-        let (mut rep_h, mut cnt_h, mut rep_f, mut cnt_f) = (0.0, 0usize, 0.0, 0usize);
-        for subject in graph.nodes() {
-            let mut sum = 0.0;
-            let mut cnt = 0usize;
-            for observer in 0..n {
-                if let Some(&r) = self.aggregated[observer].get(&subject.0) {
-                    sum += r;
-                    cnt += 1;
-                }
-            }
-            if cnt == 0 {
-                continue;
-            }
-            let mean = sum / cnt as f64;
-            if matches!(population.behavior(subject), Behavior::FreeRider { .. }) {
-                rep_f += mean;
-                cnt_f += 1;
-            } else {
-                rep_h += mean;
-                cnt_h += 1;
-            }
-        }
-        stats.mean_rep_honest = if cnt_h > 0 { rep_h / cnt_h as f64 } else { 0.0 };
-        stats.mean_rep_free_riders = if cnt_f > 0 { rep_f / cnt_f as f64 } else { 0.0 };
+        // Population-level reputation summary.
+        let rows: Vec<Vec<(NodeId, f64)>> = self
+            .aggregated
+            .iter()
+            .map(|row| row.iter().map(|(&j, &r)| (j, r)).collect())
+            .collect();
+        let (mean_rep_honest, mean_rep_free_riders) = class_reputation_means(
+            self.scenario,
+            rows.iter().enumerate().map(|(i, r)| (i, &r[..])),
+        );
 
+        let stats = RoundStats {
+            round: self.round,
+            served_honest: delta.served_honest,
+            refused_honest: delta.refused_honest,
+            served_free_riders: delta.served_free_riders,
+            refused_free_riders: delta.refused_free_riders,
+            mean_rep_honest,
+            mean_rep_free_riders,
+        };
         self.round += 1;
         Ok(stats)
+    }
+}
+
+enum Backend<'s> {
+    Sequential(Box<SequentialRounds<'s>>),
+    Parallel(Box<BatchedRoundEngine<'s>>),
+}
+
+/// The round-loop simulator, dispatching to the configured engine.
+pub struct RoundsSimulator<'s> {
+    config: RoundsConfig,
+    backend: Backend<'s>,
+}
+
+impl<'s> RoundsSimulator<'s> {
+    /// Create a simulator over a scenario, using the engine selected by
+    /// `config.gossip.engine`.
+    pub fn new(scenario: &'s Scenario, config: RoundsConfig) -> Self {
+        let backend = match config.engine() {
+            EngineKind::Sequential => {
+                Backend::Sequential(Box::new(SequentialRounds::new(scenario, config)))
+            }
+            EngineKind::Parallel => {
+                Backend::Parallel(Box::new(BatchedRoundEngine::new(scenario, config)))
+            }
+        };
+        Self { config, backend }
+    }
+
+    /// The engine driving this simulator.
+    pub fn engine(&self) -> EngineKind {
+        self.config.engine()
+    }
+
+    /// The reputation table of one node.
+    pub fn table(&self, node: NodeId) -> &ReputationTable {
+        match &self.backend {
+            Backend::Sequential(s) => &s.tables[node.index()],
+            Backend::Parallel(p) => p.table(node),
+        }
+    }
+
+    /// The aggregated reputation of `subject` at `observer`, if any
+    /// aggregation round has run (and the pair is in scope).
+    pub fn aggregated(&self, observer: NodeId, subject: NodeId) -> Option<f64> {
+        match &self.backend {
+            Backend::Sequential(s) => s.aggregated[observer.index()].get(&subject).copied(),
+            Backend::Parallel(p) => p.aggregated(observer, subject),
+        }
+    }
+
+    /// Run one full round, drawing the round seed from `rng`; returns
+    /// its statistics.
+    pub fn run_round<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Result<RoundStats, CoreError> {
+        let round_seed = rng.next_u64();
+        match &mut self.backend {
+            Backend::Sequential(s) => s.run_round(round_seed),
+            Backend::Parallel(p) => p.run_round(round_seed),
+        }
     }
 
     /// Run all configured rounds.
@@ -354,9 +424,9 @@ mod tests {
             RoundsConfig {
                 rounds: 4,
                 aggregation: AggregationMode::Gossip,
-                xi: 1e-6,
                 ..RoundsConfig::default()
-            },
+            }
+            .with_xi(1e-6),
         );
         let stats = sim.run(&mut rng).unwrap();
         let last = stats.last().unwrap();
@@ -378,5 +448,38 @@ mod tests {
         // Node 1 is a neighbour of someone, so it has been rated and
         // aggregated.
         assert!(sim.aggregated(NodeId(0), NodeId(1)).is_some());
+    }
+
+    #[test]
+    fn neighbourhood_scope_still_starves_free_riders() {
+        let cfg = ScenarioConfig {
+            nodes: 120,
+            free_rider_fraction: 0.25,
+            seed: 7,
+            quality_range: (0.4, 1.0),
+            ..ScenarioConfig::default()
+        };
+        let scenario = Scenario::build(cfg).unwrap();
+        let mut sim = RoundsSimulator::new(
+            &scenario,
+            RoundsConfig {
+                rounds: 6,
+                scope: AggregationScope::Neighbourhood,
+                ..RoundsConfig::default()
+            },
+        );
+        let mut rng = scenario.gossip_rng(2);
+        let stats = sim.run(&mut rng).unwrap();
+        let last = stats.last().unwrap();
+        assert!(
+            last.free_rider_service_rate() < 0.2,
+            "free riders still served at {}",
+            last.free_rider_service_rate()
+        );
+        assert!(
+            last.honest_service_rate() > 0.8,
+            "honest service degraded to {}",
+            last.honest_service_rate()
+        );
     }
 }

@@ -9,6 +9,7 @@
 use dg_core::behavior::{Behavior, Population};
 use dg_core::reputation::{trust_from_qualities, ReputationSystem};
 use dg_core::CoreError;
+use dg_gossip::EngineKind;
 use dg_graph::{pa, Graph};
 use dg_trust::{TrustMatrix, WeightParams};
 use rand::Rng;
@@ -67,6 +68,11 @@ pub struct ScenarioConfig {
     /// this many uniformly chosen non-neighbours. Densifies the trust
     /// matrix the way the paper's Section 5.2 analysis assumes.
     pub far_partners: usize,
+    /// Execution engine for round loops driven over this scenario (see
+    /// [`EngineKind`]). With [`EngineKind::Parallel`] the built trust
+    /// matrix is frozen into the flat CSR backend. Does **not** affect
+    /// the generated topology, population or trust values.
+    pub engine: EngineKind,
 }
 
 impl Default for ScenarioConfig {
@@ -82,6 +88,7 @@ impl Default for ScenarioConfig {
             trust_source: TrustSource::Exact,
             topology: Topology::Pa,
             far_partners: 0,
+            engine: EngineKind::Sequential,
         }
     }
 }
@@ -98,6 +105,12 @@ impl ScenarioConfig {
     /// Builder-style seed override.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Builder-style engine override.
+    pub fn with_engine(mut self, engine: EngineKind) -> Self {
+        self.engine = engine;
         self
     }
 }
@@ -170,6 +183,10 @@ impl Scenario {
             );
         }
 
+        if config.engine == EngineKind::Parallel {
+            trust.freeze();
+        }
+
         let weights = WeightParams::new(config.weight_a, config.weight_b)?;
         Ok(Self {
             graph,
@@ -183,6 +200,12 @@ impl Scenario {
     /// The reputation system over this scenario.
     pub fn system(&self) -> Result<ReputationSystem<'_>, CoreError> {
         ReputationSystem::new(&self.graph, self.trust.clone(), self.weights)
+    }
+
+    /// A default round-loop configuration inheriting this scenario's
+    /// engine choice.
+    pub fn rounds_config(&self) -> crate::rounds::RoundsConfig {
+        crate::rounds::RoundsConfig::default().with_engine(self.config.engine)
     }
 
     /// A fresh RNG stream for the gossip phase, decoupled from the

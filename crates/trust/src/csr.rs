@@ -1,0 +1,239 @@
+//! Flat CSR storage for the trust matrix.
+//!
+//! The gossip and closed-form aggregation hot paths read the trust
+//! matrix row-major millions of times per round but almost never mutate
+//! it mid-phase. This module provides the frozen representation: every
+//! row is a sorted `(column, value)` run inside one arena `Vec`, located
+//! by an `n + 1`-entry row-pointer array — the same layout `dg-graph`
+//! uses for adjacency. Point lookups are a binary search within the
+//! row's run; row scans are contiguous memory.
+//!
+//! Mutation goes through [`CsrBuilder`] (the bulk, out-of-order phase)
+//! or through [`CsrStorage::set`] / [`CsrStorage::remove`] (in-place
+//! splices — correct but `O(nnz)` in the worst case, intended for
+//! occasional touch-ups, not bulk loads).
+
+use crate::error::TrustError;
+use crate::value::TrustValue;
+use dg_graph::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Frozen CSR trust storage: sorted `(col, value)` runs over one arena.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CsrStorage {
+    /// `row_ptr[i]..row_ptr[i + 1]` is row `i`'s run in `cells`.
+    row_ptr: Vec<usize>,
+    /// Arena of `(column, value)` pairs, sorted by column within a row.
+    cells: Vec<(NodeId, TrustValue)>,
+}
+
+impl CsrStorage {
+    /// Empty storage for `n` nodes.
+    pub fn new(n: usize) -> Self {
+        Self {
+            row_ptr: vec![0; n + 1],
+            cells: Vec::new(),
+        }
+    }
+
+    /// Dimension `N`.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.row_ptr.len() - 1
+    }
+
+    /// Total stored entries.
+    #[inline]
+    pub fn entry_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// The sorted `(column, value)` run of row `i` (empty when out of
+    /// range).
+    #[inline]
+    pub fn row(&self, i: NodeId) -> &[(NodeId, TrustValue)] {
+        match self.row_ptr.get(i.index()..i.index() + 2) {
+            Some(&[start, end]) => &self.cells[start..end],
+            _ => &[],
+        }
+    }
+
+    /// Point lookup by binary search within the row's run.
+    pub fn get(&self, i: NodeId, j: NodeId) -> Option<TrustValue> {
+        let run = self.row(i);
+        run.binary_search_by_key(&j, |&(col, _)| col)
+            .ok()
+            .map(|idx| run[idx].1)
+    }
+
+    /// Insert or overwrite `t_ij`; splices the arena on insert.
+    pub fn set(&mut self, i: NodeId, j: NodeId, t: TrustValue) -> Result<(), TrustError> {
+        let n = self.node_count();
+        for id in [i, j] {
+            if id.index() >= n {
+                return Err(TrustError::NodeOutOfRange { id: id.0, n });
+            }
+        }
+        let start = self.row_ptr[i.index()];
+        let end = self.row_ptr[i.index() + 1];
+        match self.cells[start..end].binary_search_by_key(&j, |&(col, _)| col) {
+            Ok(idx) => self.cells[start + idx].1 = t,
+            Err(idx) => {
+                self.cells.insert(start + idx, (j, t));
+                for ptr in &mut self.row_ptr[i.index() + 1..] {
+                    *ptr += 1;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Remove an entry, splicing the arena; returns the old value.
+    pub fn remove(&mut self, i: NodeId, j: NodeId) -> Option<TrustValue> {
+        if i.index() >= self.node_count() {
+            return None;
+        }
+        let start = self.row_ptr[i.index()];
+        let end = self.row_ptr[i.index() + 1];
+        let idx = self.cells[start..end]
+            .binary_search_by_key(&j, |&(col, _)| col)
+            .ok()?;
+        let (_, old) = self.cells.remove(start + idx);
+        for ptr in &mut self.row_ptr[i.index() + 1..] {
+            *ptr -= 1;
+        }
+        Some(old)
+    }
+}
+
+/// Mutable-phase builder for [`CsrStorage`]: accepts out-of-order
+/// `(i, j, t)` triples, then sorts each row and deduplicates
+/// (last write wins) on [`build`](CsrBuilder::build).
+#[derive(Debug, Clone)]
+pub struct CsrBuilder {
+    n: usize,
+    rows: Vec<Vec<(NodeId, TrustValue)>>,
+}
+
+impl CsrBuilder {
+    /// Builder for an `n × n` matrix.
+    pub fn new(n: usize) -> Self {
+        Self {
+            n,
+            rows: vec![Vec::new(); n],
+        }
+    }
+
+    /// Dimension `N`.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Record `t_ij`. Later writes to the same cell win.
+    pub fn set(&mut self, i: NodeId, j: NodeId, t: TrustValue) -> Result<(), TrustError> {
+        for id in [i, j] {
+            if id.index() >= self.n {
+                return Err(TrustError::NodeOutOfRange {
+                    id: id.0,
+                    n: self.n,
+                });
+            }
+        }
+        self.rows[i.index()].push((j, t));
+        Ok(())
+    }
+
+    /// Append a whole row for observer `i`. Equivalent to repeated
+    /// [`set`](Self::set) calls, without per-call range checks on `i`.
+    pub fn extend_row(
+        &mut self,
+        i: NodeId,
+        entries: impl IntoIterator<Item = (NodeId, TrustValue)>,
+    ) -> Result<(), TrustError> {
+        if i.index() >= self.n {
+            return Err(TrustError::NodeOutOfRange { id: i.0, n: self.n });
+        }
+        for (j, t) in entries {
+            if j.index() >= self.n {
+                return Err(TrustError::NodeOutOfRange { id: j.0, n: self.n });
+            }
+            self.rows[i.index()].push((j, t));
+        }
+        Ok(())
+    }
+
+    /// Freeze into CSR: per-row stable sort by column, last write wins.
+    pub fn build(self) -> CsrStorage {
+        let mut row_ptr = Vec::with_capacity(self.n + 1);
+        let mut cells: Vec<(NodeId, TrustValue)> =
+            Vec::with_capacity(self.rows.iter().map(Vec::len).sum());
+        row_ptr.push(0);
+        for mut row in self.rows {
+            // Stable sort keeps insertion order within a column, so the
+            // *last* duplicate is the one `rev()` sees first below.
+            row.sort_by_key(|&(col, _)| col);
+            let run_start = cells.len();
+            for (col, val) in row {
+                match cells[run_start..].last_mut() {
+                    Some(last) if last.0 == col => last.1 = val,
+                    _ => cells.push((col, val)),
+                }
+            }
+            row_ptr.push(cells.len());
+        }
+        CsrStorage { row_ptr, cells }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tv(v: f64) -> TrustValue {
+        TrustValue::saturating(v)
+    }
+
+    #[test]
+    fn builder_sorts_rows_and_last_write_wins() {
+        let mut b = CsrBuilder::new(4);
+        b.set(NodeId(1), NodeId(3), tv(0.3)).unwrap();
+        b.set(NodeId(1), NodeId(0), tv(0.1)).unwrap();
+        b.set(NodeId(1), NodeId(3), tv(0.9)).unwrap();
+        let csr = b.build();
+        assert_eq!(
+            csr.row(NodeId(1)),
+            &[(NodeId(0), tv(0.1)), (NodeId(3), tv(0.9))]
+        );
+        assert_eq!(csr.entry_count(), 2);
+        assert_eq!(csr.get(NodeId(1), NodeId(3)), Some(tv(0.9)));
+        assert_eq!(csr.get(NodeId(0), NodeId(3)), None);
+    }
+
+    #[test]
+    fn builder_rejects_out_of_range() {
+        let mut b = CsrBuilder::new(2);
+        assert!(b.set(NodeId(2), NodeId(0), tv(0.5)).is_err());
+        assert!(b.set(NodeId(0), NodeId(9), tv(0.5)).is_err());
+        assert!(b.extend_row(NodeId(0), [(NodeId(5), tv(0.5))]).is_err());
+    }
+
+    #[test]
+    fn splice_set_and_remove_keep_runs_sorted() {
+        let mut b = CsrBuilder::new(3);
+        b.set(NodeId(0), NodeId(2), tv(0.2)).unwrap();
+        b.set(NodeId(2), NodeId(1), tv(0.6)).unwrap();
+        let mut csr = b.build();
+        csr.set(NodeId(0), NodeId(1), tv(0.4)).unwrap();
+        assert_eq!(
+            csr.row(NodeId(0)),
+            &[(NodeId(1), tv(0.4)), (NodeId(2), tv(0.2))]
+        );
+        // Later rows shifted, still reachable.
+        assert_eq!(csr.get(NodeId(2), NodeId(1)), Some(tv(0.6)));
+        assert_eq!(csr.remove(NodeId(0), NodeId(2)), Some(tv(0.2)));
+        assert_eq!(csr.remove(NodeId(0), NodeId(2)), None);
+        assert_eq!(csr.row(NodeId(0)), &[(NodeId(1), tv(0.4))]);
+        assert_eq!(csr.get(NodeId(2), NodeId(1)), Some(tv(0.6)));
+        assert_eq!(csr.entry_count(), 2);
+    }
+}

@@ -21,6 +21,7 @@
 //!   (local trust + last-heard bookkeeping for dropping silent peers).
 
 pub mod aimd;
+pub mod csr;
 pub mod error;
 pub mod estimator;
 pub mod matrix;
@@ -28,6 +29,7 @@ pub mod table;
 pub mod value;
 pub mod weights;
 
+pub use csr::{CsrBuilder, CsrStorage};
 pub use error::TrustError;
 pub use matrix::TrustMatrix;
 pub use value::TrustValue;

@@ -5,29 +5,91 @@
 //! based on direct interaction. This matrix is generally sparse" — each
 //! node only transacts with a handful of neighbours. Rows are the
 //! *observer* (opining node) `i`, columns the *subject* `j`.
+//!
+//! Two storage backends share this API:
+//!
+//! * **Dynamic** — one ordered map per row; cheap point mutation, the
+//!   default for interactive construction;
+//! * **CSR** — sorted `(column, value)` runs over a single arena `Vec`
+//!   (see [`crate::csr`]); contiguous row scans and binary-search point
+//!   lookups for the aggregation hot path. Freeze a built matrix with
+//!   [`TrustMatrix::freeze`] or bulk-build one via [`TrustMatrix::builder`].
+//!
+//! Rows *and* columns are addressed by [`NodeId`] throughout — raw `u32`
+//! indices never cross the API boundary.
 
+use crate::csr::{CsrBuilder, CsrStorage};
 use crate::error::TrustError;
 use crate::value::TrustValue;
 use dg_graph::NodeId;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum Storage {
+    Dynamic(Vec<BTreeMap<NodeId, TrustValue>>),
+    Csr(CsrStorage),
+}
+
 /// Sparse `N × N` matrix of direct-interaction trust values.
 ///
-/// Backed by one ordered map per row; iteration order is deterministic,
-/// which keeps gossip experiments reproducible.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// Iteration order is deterministic under both backends, which keeps
+/// gossip experiments reproducible. Equality is *logical*: a frozen and
+/// a dynamic matrix with the same entries compare equal.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TrustMatrix {
     n: usize,
-    rows: Vec<BTreeMap<u32, TrustValue>>,
+    storage: Storage,
 }
 
 impl TrustMatrix {
-    /// Empty matrix for `n` nodes.
+    /// Empty matrix for `n` nodes (dynamic backend).
     pub fn new(n: usize) -> Self {
         Self {
             n,
-            rows: vec![BTreeMap::new(); n],
+            storage: Storage::Dynamic(vec![BTreeMap::new(); n]),
+        }
+    }
+
+    /// Bulk builder for the mutable phase; [`CsrBuilder::build`] plus
+    /// [`TrustMatrix::from_csr`] produce a frozen matrix directly.
+    pub fn builder(n: usize) -> CsrBuilder {
+        CsrBuilder::new(n)
+    }
+
+    /// Wrap frozen CSR storage.
+    pub fn from_csr(csr: CsrStorage) -> Self {
+        Self {
+            n: csr.node_count(),
+            storage: Storage::Csr(csr),
+        }
+    }
+
+    /// Whether the matrix currently uses the flat CSR backend.
+    pub fn is_csr(&self) -> bool {
+        matches!(self.storage, Storage::Csr(_))
+    }
+
+    /// Compact into the CSR backend (no-op when already frozen).
+    pub fn freeze(&mut self) {
+        if let Storage::Dynamic(rows) = &mut self.storage {
+            let mut builder = CsrBuilder::new(self.n);
+            for (i, row) in std::mem::take(rows).into_iter().enumerate() {
+                builder
+                    .extend_row(NodeId(i as u32), row)
+                    .expect("dynamic rows are in range");
+            }
+            self.storage = Storage::Csr(builder.build());
+        }
+    }
+
+    /// Convert back to the dynamic backend (no-op when already dynamic).
+    pub fn thaw(&mut self) {
+        if let Storage::Csr(csr) = &self.storage {
+            let rows = (0..self.n)
+                .map(|i| csr.row(NodeId(i as u32)).iter().copied().collect())
+                .collect();
+            self.storage = Storage::Dynamic(rows);
         }
     }
 
@@ -48,23 +110,37 @@ impl TrustMatrix {
     }
 
     /// Set `t_ij` (observer `i`, subject `j`).
+    ///
+    /// On the CSR backend this splices the arena — fine for touch-ups;
+    /// use [`TrustMatrix::builder`] for bulk loads.
     pub fn set(&mut self, i: NodeId, j: NodeId, t: TrustValue) -> Result<(), TrustError> {
         self.check(i)?;
         self.check(j)?;
-        self.rows[i.index()].insert(j.0, t);
-        Ok(())
+        match &mut self.storage {
+            Storage::Dynamic(rows) => {
+                rows[i.index()].insert(j, t);
+                Ok(())
+            }
+            Storage::Csr(csr) => csr.set(i, j, t),
+        }
     }
 
     /// Remove an entry (e.g. the feedback of a peer not heard from for a
     /// long time, which the paper says should be dropped). Returns the old
     /// value if present.
     pub fn remove(&mut self, i: NodeId, j: NodeId) -> Option<TrustValue> {
-        self.rows.get_mut(i.index())?.remove(&j.0)
+        match &mut self.storage {
+            Storage::Dynamic(rows) => rows.get_mut(i.index())?.remove(&j),
+            Storage::Csr(csr) => csr.remove(i, j),
+        }
     }
 
     /// `t_ij`, or `None` when `i` has never interacted with `j`.
     pub fn get(&self, i: NodeId, j: NodeId) -> Option<TrustValue> {
-        self.rows.get(i.index())?.get(&j.0).copied()
+        match &self.storage {
+            Storage::Dynamic(rows) => rows.get(i.index())?.get(&j).copied(),
+            Storage::Csr(csr) => csr.get(i, j),
+        }
     }
 
     /// `t_ij` with the paper's default of 0 for unknown pairs
@@ -79,47 +155,51 @@ impl TrustMatrix {
     }
 
     /// All opinions held by observer `i`, ordered by subject id.
-    pub fn row(&self, i: NodeId) -> impl Iterator<Item = (NodeId, TrustValue)> + '_ {
-        self.rows
-            .get(i.index())
-            .into_iter()
-            .flat_map(|r| r.iter().map(|(&j, &t)| (NodeId(j), t)))
+    pub fn row(&self, i: NodeId) -> RowIter<'_> {
+        match &self.storage {
+            Storage::Dynamic(rows) => match rows.get(i.index()) {
+                Some(row) => RowIter::Dynamic(row.iter()),
+                None => RowIter::Empty,
+            },
+            Storage::Csr(csr) => RowIter::Csr(csr.row(i).iter()),
+        }
     }
 
     /// Number of opinions held by observer `i`.
     pub fn row_len(&self, i: NodeId) -> usize {
-        self.rows.get(i.index()).map_or(0, |r| r.len())
+        match &self.storage {
+            Storage::Dynamic(rows) => rows.get(i.index()).map_or(0, BTreeMap::len),
+            Storage::Csr(csr) => csr.row(i).len(),
+        }
     }
 
     /// All opinions *about* subject `j` (a column scan; `O(N log d)`).
     pub fn column(&self, j: NodeId) -> Vec<(NodeId, TrustValue)> {
-        self.rows
-            .iter()
-            .enumerate()
-            .filter_map(|(i, row)| row.get(&j.0).map(|&t| (NodeId(i as u32), t)))
+        (0..self.n as u32)
+            .filter_map(|i| self.get(NodeId(i), j).map(|t| (NodeId(i), t)))
             .collect()
     }
 
     /// Number of nodes holding an opinion about `j` — the paper's `N_d`
     /// (nodes with direct interaction), gossiped as `count`.
     pub fn opinion_count(&self, j: NodeId) -> usize {
-        self.rows
-            .iter()
-            .filter(|row| row.contains_key(&j.0))
+        (0..self.n as u32)
+            .filter(|&i| self.has_opinion(NodeId(i), j))
             .count()
     }
 
     /// Total stored entries.
     pub fn entry_count(&self) -> usize {
-        self.rows.iter().map(|r| r.len()).sum()
+        match &self.storage {
+            Storage::Dynamic(rows) => rows.iter().map(BTreeMap::len).sum(),
+            Storage::Csr(csr) => csr.entry_count(),
+        }
     }
 
     /// Iterator over all `(i, j, t_ij)` triples in row-major order.
     pub fn entries(&self) -> impl Iterator<Item = (NodeId, NodeId, TrustValue)> + '_ {
-        self.rows.iter().enumerate().flat_map(|(i, row)| {
-            row.iter()
-                .map(move |(&j, &t)| (NodeId(i as u32), NodeId(j), t))
-        })
+        (0..self.n as u32)
+            .flat_map(move |i| self.row(NodeId(i)).map(move |(j, t)| (NodeId(i), j, t)))
     }
 
     /// Mean of all opinions about `j` over the nodes that hold one —
@@ -138,17 +218,70 @@ impl TrustMatrix {
     /// Sum of all opinions about `j` — the converged `Y_j = Σᵢ t_ij` of
     /// Algorithm 2's single-originator gossip.
     pub fn opinion_sum(&self, j: NodeId) -> f64 {
-        self.rows
-            .iter()
-            .filter_map(|row| row.get(&j.0))
-            .map(|t| t.get())
+        (0..self.n as u32)
+            .filter_map(|i| self.get(NodeId(i), j))
+            .map(TrustValue::get)
             .sum()
+    }
+
+    /// Per-subject `(Σᵢ t_ij, N_d)` for every subject in one row-major
+    /// pass — `O(nnz)` instead of `N` column scans. Feeds the closed-form
+    /// aggregation phase.
+    pub fn subject_sums_and_counts(&self) -> (Vec<f64>, Vec<usize>) {
+        let mut sums = vec![0.0; self.n];
+        let mut counts = vec![0usize; self.n];
+        for (_, j, t) in self.entries() {
+            sums[j.index()] += t.get();
+            counts[j.index()] += 1;
+        }
+        (sums, counts)
+    }
+}
+
+/// Logical equality over entries, independent of backend.
+impl PartialEq for TrustMatrix {
+    fn eq(&self, other: &Self) -> bool {
+        self.n == other.n
+            && self.entry_count() == other.entry_count()
+            && self.entries().eq(other.entries())
+    }
+}
+
+/// Row iterator over either backend.
+#[derive(Debug, Clone)]
+pub enum RowIter<'a> {
+    /// Row of a dynamic matrix.
+    Dynamic(std::collections::btree_map::Iter<'a, NodeId, TrustValue>),
+    /// Row run of a CSR matrix.
+    Csr(std::slice::Iter<'a, (NodeId, TrustValue)>),
+    /// Out-of-range row.
+    Empty,
+}
+
+impl Iterator for RowIter<'_> {
+    type Item = (NodeId, TrustValue);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match self {
+            RowIter::Dynamic(it) => it.next().map(|(&j, &t)| (j, t)),
+            RowIter::Csr(it) => it.next().copied(),
+            RowIter::Empty => None,
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match self {
+            RowIter::Dynamic(it) => it.size_hint(),
+            RowIter::Csr(it) => it.size_hint(),
+            RowIter::Empty => (0, Some(0)),
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     fn tv(v: f64) -> TrustValue {
         TrustValue::new(v).unwrap()
@@ -165,15 +298,20 @@ mod tests {
 
     #[test]
     fn out_of_range_rejected() {
-        let mut m = TrustMatrix::new(2);
-        assert_eq!(
-            m.set(NodeId(5), NodeId(0), tv(0.1)),
-            Err(TrustError::NodeOutOfRange { id: 5, n: 2 })
-        );
-        assert_eq!(
-            m.set(NodeId(0), NodeId(2), tv(0.1)),
-            Err(TrustError::NodeOutOfRange { id: 2, n: 2 })
-        );
+        for frozen in [false, true] {
+            let mut m = TrustMatrix::new(2);
+            if frozen {
+                m.freeze();
+            }
+            assert_eq!(
+                m.set(NodeId(5), NodeId(0), tv(0.1)),
+                Err(TrustError::NodeOutOfRange { id: 5, n: 2 })
+            );
+            assert_eq!(
+                m.set(NodeId(0), NodeId(2), tv(0.1)),
+                Err(TrustError::NodeOutOfRange { id: 2, n: 2 })
+            );
+        }
     }
 
     #[test]
@@ -201,14 +339,19 @@ mod tests {
 
     #[test]
     fn overwrite_and_remove() {
-        let mut m = TrustMatrix::new(2);
-        m.set(NodeId(0), NodeId(1), tv(0.2)).unwrap();
-        m.set(NodeId(0), NodeId(1), tv(0.9)).unwrap();
-        assert_eq!(m.get(NodeId(0), NodeId(1)), Some(tv(0.9)));
-        assert_eq!(m.entry_count(), 1);
-        assert_eq!(m.remove(NodeId(0), NodeId(1)), Some(tv(0.9)));
-        assert_eq!(m.entry_count(), 0);
-        assert_eq!(m.remove(NodeId(0), NodeId(1)), None);
+        for frozen in [false, true] {
+            let mut m = TrustMatrix::new(2);
+            if frozen {
+                m.freeze();
+            }
+            m.set(NodeId(0), NodeId(1), tv(0.2)).unwrap();
+            m.set(NodeId(0), NodeId(1), tv(0.9)).unwrap();
+            assert_eq!(m.get(NodeId(0), NodeId(1)), Some(tv(0.9)));
+            assert_eq!(m.entry_count(), 1);
+            assert_eq!(m.remove(NodeId(0), NodeId(1)), Some(tv(0.9)));
+            assert_eq!(m.entry_count(), 0);
+            assert_eq!(m.remove(NodeId(0), NodeId(1)), None);
+        }
     }
 
     #[test]
@@ -229,11 +372,103 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn serde_roundtrip_both_backends() {
         let mut m = TrustMatrix::new(3);
         m.set(NodeId(0), NodeId(1), tv(0.25)).unwrap();
         let s = serde_json::to_string(&m).unwrap();
         let back: TrustMatrix = serde_json::from_str(&s).unwrap();
         assert_eq!(m, back);
+
+        m.freeze();
+        let s = serde_json::to_string(&m).unwrap();
+        let back: TrustMatrix = serde_json::from_str(&s).unwrap();
+        assert!(back.is_csr());
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn freeze_thaw_preserve_content_and_equality() {
+        let mut dynamic = TrustMatrix::new(5);
+        dynamic.set(NodeId(4), NodeId(0), tv(0.9)).unwrap();
+        dynamic.set(NodeId(0), NodeId(4), tv(0.3)).unwrap();
+        dynamic.set(NodeId(2), NodeId(3), tv(0.7)).unwrap();
+        let mut frozen = dynamic.clone();
+        frozen.freeze();
+        assert!(frozen.is_csr() && !dynamic.is_csr());
+        // Logical equality across backends.
+        assert_eq!(frozen, dynamic);
+        frozen.thaw();
+        assert!(!frozen.is_csr());
+        assert_eq!(frozen, dynamic);
+    }
+
+    #[test]
+    fn builder_builds_frozen_matrix() {
+        let mut b = TrustMatrix::builder(3);
+        b.set(NodeId(2), NodeId(1), tv(0.4)).unwrap();
+        b.set(NodeId(0), NodeId(2), tv(0.6)).unwrap();
+        let m = TrustMatrix::from_csr(b.build());
+        assert!(m.is_csr());
+        assert_eq!(m.node_count(), 3);
+        assert_eq!(m.get(NodeId(2), NodeId(1)), Some(tv(0.4)));
+        assert_eq!(m.entry_count(), 2);
+    }
+
+    #[test]
+    fn subject_sums_and_counts_match_column_scans() {
+        let mut m = TrustMatrix::new(4);
+        m.set(NodeId(0), NodeId(3), tv(0.5)).unwrap();
+        m.set(NodeId(1), NodeId(3), tv(0.7)).unwrap();
+        m.set(NodeId(2), NodeId(0), tv(0.9)).unwrap();
+        let (sums, counts) = m.subject_sums_and_counts();
+        for j in 0..4u32 {
+            let j = NodeId(j);
+            assert!((sums[j.index()] - m.opinion_sum(j)).abs() < 1e-15);
+            assert_eq!(counts[j.index()], m.opinion_count(j));
+        }
+    }
+
+    proptest! {
+        /// The CSR and BTreeMap backends agree on arbitrary interleaved
+        /// insert / overwrite / remove / read sequences.
+        #[test]
+        fn backends_agree_on_random_sequences(
+            ops in proptest::collection::vec((0usize..8, 0usize..8, 0.0..1.0f64, 0u8..4), 1..120)
+        ) {
+            let n = 8;
+            let mut dynamic = TrustMatrix::new(n);
+            let mut frozen = TrustMatrix::new(n);
+            frozen.freeze();
+            prop_assert!(frozen.is_csr());
+
+            for (i, j, v, op) in ops {
+                let (i, j) = (NodeId(i as u32), NodeId(j as u32));
+                match op {
+                    0 | 1 => {
+                        dynamic.set(i, j, tv(v)).unwrap();
+                        frozen.set(i, j, tv(v)).unwrap();
+                    }
+                    2 => {
+                        prop_assert_eq!(dynamic.remove(i, j), frozen.remove(i, j));
+                    }
+                    _ => {
+                        prop_assert_eq!(dynamic.get(i, j), frozen.get(i, j));
+                        prop_assert_eq!(dynamic.row_len(i), frozen.row_len(i));
+                    }
+                }
+            }
+
+            prop_assert_eq!(dynamic.entry_count(), frozen.entry_count());
+            let d: Vec<_> = dynamic.entries().collect();
+            let f: Vec<_> = frozen.entries().collect();
+            prop_assert_eq!(d, f);
+            for j in 0..n as u32 {
+                let j = NodeId(j);
+                prop_assert_eq!(dynamic.column(j), frozen.column(j));
+                prop_assert_eq!(dynamic.opinion_count(j), frozen.opinion_count(j));
+                prop_assert!((dynamic.opinion_sum(j) - frozen.opinion_sum(j)).abs() < 1e-12);
+            }
+            prop_assert_eq!(&dynamic, &frozen);
+        }
     }
 }

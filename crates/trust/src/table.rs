@@ -34,7 +34,7 @@ pub struct TableEntry {
 /// Reputation table of a single node, keyed by peer id.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
 pub struct ReputationTable {
-    entries: BTreeMap<u32, TableEntry>,
+    entries: BTreeMap<NodeId, TableEntry>,
 }
 
 impl ReputationTable {
@@ -45,7 +45,7 @@ impl ReputationTable {
 
     /// Look up a peer.
     pub fn get(&self, peer: NodeId) -> Option<&TableEntry> {
-        self.entries.get(&peer.0)
+        self.entries.get(&peer)
     }
 
     /// Record a transaction outcome with `peer` using the supplied
@@ -59,7 +59,7 @@ impl ReputationTable {
         round: u64,
     ) {
         estimator.record(outcome);
-        let entry = self.entries.entry(peer.0).or_insert(TableEntry {
+        let entry = self.entries.entry(peer).or_insert(TableEntry {
             local_trust: TrustValue::ZERO,
             aggregated: None,
             last_heard_round: round,
@@ -72,7 +72,7 @@ impl ReputationTable {
 
     /// Store the aggregated reputation produced by a gossip round.
     pub fn set_aggregated(&mut self, peer: NodeId, rep: TrustValue, round: u64) {
-        let entry = self.entries.entry(peer.0).or_insert(TableEntry {
+        let entry = self.entries.entry(peer).or_insert(TableEntry {
             local_trust: TrustValue::ZERO,
             aggregated: None,
             last_heard_round: round,
@@ -84,7 +84,7 @@ impl ReputationTable {
 
     /// Mark that `peer` was heard from (any protocol traffic) at `round`.
     pub fn touch(&mut self, peer: NodeId, round: u64) {
-        if let Some(e) = self.entries.get_mut(&peer.0) {
+        if let Some(e) = self.entries.get_mut(&peer) {
             e.last_heard_round = round;
         }
     }
@@ -92,7 +92,7 @@ impl ReputationTable {
     /// The reputation used for admission control: aggregated value when
     /// available, otherwise local trust, otherwise zero (stranger).
     pub fn effective_reputation(&self, peer: NodeId) -> TrustValue {
-        match self.entries.get(&peer.0) {
+        match self.entries.get(&peer) {
             Some(e) => e.aggregated.unwrap_or(e.local_trust),
             None => TrustValue::ZERO,
         }
@@ -119,7 +119,7 @@ impl ReputationTable {
 
     /// Iterate over `(peer, entry)` ordered by peer id.
     pub fn iter(&self) -> impl Iterator<Item = (NodeId, &TableEntry)> + '_ {
-        self.entries.iter().map(|(&id, e)| (NodeId(id), e))
+        self.entries.iter().map(|(&id, e)| (id, e))
     }
 }
 

@@ -12,6 +12,7 @@
 //! cargo run --release --example file_sharing
 //! ```
 
+use differential_gossip::gossip::EngineKind;
 use differential_gossip::sim::rounds::{RoundsConfig, RoundsSimulator};
 use differential_gossip::sim::scenario::{Scenario, ScenarioConfig};
 
@@ -21,6 +22,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         free_rider_fraction: 0.25,
         quality_range: (0.4, 1.0),
         seed: 7,
+        // The batched parallel engine: identical results to the
+        // sequential reference driver, flat CSR state, node fan-out.
+        engine: EngineKind::Parallel,
         ..ScenarioConfig::default()
     };
     let scenario = Scenario::build(config)?;
@@ -40,9 +44,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &scenario,
         RoundsConfig {
             rounds: 10,
-            ..RoundsConfig::default()
+            ..scenario.rounds_config()
         },
     );
+    println!("engine: {}\n", sim.engine().label());
     let mut rng = scenario.gossip_rng(1);
 
     println!(

@@ -1,0 +1,124 @@
+//! The batched parallel round engine is a pure optimisation: for the
+//! same pinned seeds it must produce **exactly** the sequential
+//! reference driver's results — same service counters, same reputation
+//! means, same per-pair aggregated reputations, same reputation tables —
+//! at every thread count.
+
+use differential_gossip::gossip::EngineKind;
+use differential_gossip::graph::NodeId;
+use differential_gossip::sim::rounds::{
+    AggregationMode, AggregationScope, RoundStats, RoundsConfig, RoundsSimulator,
+};
+use differential_gossip::sim::scenario::{Scenario, ScenarioConfig};
+use rayon::ThreadPoolBuilder;
+
+fn scenario(seed: u64) -> Scenario {
+    Scenario::build(ScenarioConfig {
+        nodes: 90,
+        seed,
+        free_rider_fraction: 0.2,
+        quality_range: (0.4, 1.0),
+        ..ScenarioConfig::default()
+    })
+    .expect("scenario builds")
+}
+
+fn run(scenario: &Scenario, config: RoundsConfig) -> (Vec<RoundStats>, RoundsSimulator<'_>) {
+    let mut sim = RoundsSimulator::new(scenario, config);
+    let mut rng = scenario.gossip_rng(6);
+    let stats = sim.run(&mut rng).expect("rounds");
+    (stats, sim)
+}
+
+fn assert_equivalent(scenario: &Scenario, config: RoundsConfig) {
+    let sequential = config.with_engine(EngineKind::Sequential);
+    let parallel = config.with_engine(EngineKind::Parallel);
+    let (seq_stats, seq_sim) = run(scenario, sequential);
+
+    for threads in [1usize, 2, 8] {
+        let pool = ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("pool");
+        let (par_stats, par_sim) = pool.install(|| run(scenario, parallel));
+        // Bit-for-bit: RoundStats contains f64 means and PartialEq is
+        // exact equality.
+        assert_eq!(seq_stats, par_stats, "stats diverged at {threads} threads");
+        let n = scenario.graph.node_count() as u32;
+        for observer in 0..n {
+            for subject in 0..n {
+                let (observer, subject) = (NodeId(observer), NodeId(subject));
+                assert_eq!(
+                    seq_sim.aggregated(observer, subject),
+                    par_sim.aggregated(observer, subject),
+                    "aggregated({observer}, {subject}) diverged at {threads} threads"
+                );
+            }
+            let observer = NodeId(observer);
+            assert_eq!(
+                seq_sim.table(observer).iter().collect::<Vec<_>>(),
+                par_sim.table(observer).iter().collect::<Vec<_>>(),
+                "table of {observer} diverged at {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn engines_match_bitwise_in_closed_form_full_scope() {
+    let s = scenario(41);
+    assert_equivalent(
+        &s,
+        RoundsConfig {
+            rounds: 5,
+            ..RoundsConfig::default()
+        },
+    );
+}
+
+#[test]
+fn engines_match_bitwise_in_neighbourhood_scope() {
+    let s = scenario(42);
+    assert_equivalent(
+        &s,
+        RoundsConfig {
+            rounds: 5,
+            scope: AggregationScope::Neighbourhood,
+            ..RoundsConfig::default()
+        },
+    );
+}
+
+#[test]
+fn engines_match_bitwise_under_real_gossip_aggregation() {
+    let s = Scenario::build(ScenarioConfig {
+        nodes: 40,
+        seed: 13,
+        free_rider_fraction: 0.2,
+        quality_range: (0.4, 1.0),
+        ..ScenarioConfig::default()
+    })
+    .expect("scenario builds");
+    assert_equivalent(
+        &s,
+        RoundsConfig {
+            rounds: 3,
+            aggregation: AggregationMode::Gossip,
+            ..RoundsConfig::default()
+        }
+        .with_xi(1e-5),
+    );
+}
+
+#[test]
+fn parallel_engine_is_reproducible_across_repeat_runs() {
+    let s = scenario(77);
+    let config = RoundsConfig {
+        rounds: 4,
+        ..RoundsConfig::default()
+    }
+    .with_engine(EngineKind::Parallel);
+    let (a, _) = run(&s, config);
+    let (b, _) = run(&s, config);
+    assert_eq!(a, b);
+}

@@ -66,9 +66,9 @@ fn real_gossip_aggregation_mode_reaches_the_same_separation() {
             RoundsConfig {
                 rounds: 4,
                 aggregation: mode,
-                xi: 1e-7,
                 ..RoundsConfig::default()
-            },
+            }
+            .with_xi(1e-7),
         );
         let mut rng = s.gossip_rng(9);
         sim.run(&mut rng).expect("rounds")

@@ -145,7 +145,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use std::ops::Range;
 
-    /// Length specification for [`vec`]: a fixed length or a range.
+    /// Length specification for [`vec()`]: a fixed length or a range.
     pub trait LenSpec {
         /// Draw a length.
         fn draw_len(&self, rng: &mut TestRng) -> usize;

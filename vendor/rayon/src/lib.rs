@@ -1,25 +1,284 @@
-//! Vendored sequential stand-in for `rayon`.
+//! Vendored multi-threaded subset of `rayon`.
 //!
-//! `into_par_iter()` / `par_iter()` return the ordinary sequential
-//! iterators, so all adaptor chains (`map`, `flat_map`, `collect`, ...)
-//! compile and run unchanged — just on one core. Every experiment seeds
-//! per-combo RNGs precisely so results are identical either way; only
-//! wall-clock differs. Swapping in real rayon later is a manifest change.
+//! Provides the surface this workspace uses — `par_iter` /
+//! `into_par_iter` with `map` / `filter` / `for_each` / `sum` /
+//! `collect`, plus `ThreadPoolBuilder` → `ThreadPool::install` — backed
+//! by `std::thread::scope` instead of a work-stealing deque. Each
+//! adaptor stage materialises its input, splits it into one contiguous
+//! chunk per worker, maps the chunks on scoped threads and concatenates
+//! the results in order, so **output order always matches input order**
+//! regardless of thread count. Every experiment additionally seeds
+//! per-item RNG streams, so results are bit-for-bit reproducible either
+//! way; only wall-clock changes.
+//!
+//! With one worker (or one-element inputs) everything runs inline on the
+//! calling thread — zero spawn overhead — which keeps the `Sequential`
+//! engine honest when benchmarked against the fan-out path on small
+//! machines.
 
-/// Conversion into a "parallel" (here: sequential) iterator by value.
-pub trait IntoParallelIterator: IntoIterator + Sized {
-    /// Iterate by value.
-    fn into_par_iter(self) -> Self::IntoIter {
-        self.into_iter()
+use std::cell::Cell;
+use std::fmt;
+use std::num::NonZeroUsize;
+
+thread_local! {
+    /// Thread-count override installed by [`ThreadPool::install`].
+    static POOL_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Number of worker threads parallel iterators fan out over: the
+/// innermost [`ThreadPool::install`] override, else the machine's
+/// available parallelism.
+pub fn current_num_threads() -> usize {
+    POOL_THREADS.with(|t| match t.get() {
+        Some(n) => n,
+        None => std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1),
+    })
+}
+
+/// Error from [`ThreadPoolBuilder::build`] (kept for API compatibility;
+/// the vendored builder cannot actually fail).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("thread pool build error")
     }
 }
 
-impl<I: IntoIterator> IntoParallelIterator for I {}
+impl std::error::Error for ThreadPoolBuildError {}
 
-/// Conversion into a "parallel" (here: sequential) iterator by reference.
+/// Builder for a scoped-thread pool.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// Fresh builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fix the worker count (0 = use available parallelism).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = (n > 0).then_some(n);
+        self
+    }
+
+    /// Build the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// A handle fixing the fan-out width of parallel iterators run inside
+/// [`install`](ThreadPool::install). Workers are spawned per parallel
+/// region with `std::thread::scope`, not kept alive in between.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPool {
+    /// Run `op` with this pool's thread count governing every parallel
+    /// iterator it executes. Nested installs restore the outer setting,
+    /// and the restore also happens on unwind (a caught panic inside
+    /// `op` must not leave the width pinned for unrelated later work).
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        struct Restore(Option<usize>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                POOL_THREADS.with(|t| t.set(self.0));
+            }
+        }
+        let _restore = Restore(POOL_THREADS.with(|t| t.replace(self.num_threads)));
+        op()
+    }
+
+    /// The fan-out width parallel iterators will use under this pool.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+    }
+}
+
+/// Apply `f` to every item, fanning out over the current thread count;
+/// the output preserves input order exactly.
+fn parallel_map_vec<T: Send, R: Send>(items: Vec<T>, f: &(impl Fn(T) -> R + Sync)) -> Vec<R> {
+    let threads = current_num_threads().max(1);
+    if threads == 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk_len = items.len().div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut items = items;
+    while !items.is_empty() {
+        let rest = items.split_off(items.len().min(chunk_len));
+        chunks.push(std::mem::replace(&mut items, rest));
+    }
+    let mut out: Vec<Vec<R>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel worker panicked"))
+            .collect()
+    });
+    let mut flat = Vec::with_capacity(out.iter().map(Vec::len).sum());
+    for chunk in &mut out {
+        flat.append(chunk);
+    }
+    flat
+}
+
+/// A parallel iterator: an ordered batch of items plus a deferred
+/// per-item computation.
+pub trait ParallelIterator: Sized + Send {
+    /// The item type produced.
+    type Item: Send;
+
+    /// Execute the pipeline, returning items in input order.
+    fn run(self) -> Vec<Self::Item>;
+
+    /// Map each item through `f` (applied in parallel).
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync + Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Keep only items satisfying `pred`.
+    fn filter<F>(self, pred: F) -> Filter<Self, F>
+    where
+        F: Fn(&Self::Item) -> bool + Sync + Send,
+    {
+        Filter { base: self, pred }
+    }
+
+    /// Run `f` on every item for its side effect.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync + Send,
+    {
+        parallel_map_vec(self.run(), &|item| f(item));
+    }
+
+    /// Collect into any `FromIterator` target, preserving input order.
+    fn collect<C: FromIterator<Self::Item>>(self) -> C {
+        self.run().into_iter().collect()
+    }
+
+    /// Sum the items.
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item>,
+    {
+        self.run().into_iter().sum()
+    }
+
+    /// Number of items currently in the batch.
+    fn count(self) -> usize {
+        self.run().len()
+    }
+}
+
+/// Base parallel iterator over an owned, materialised batch.
+pub struct IntoParIter<T: Send> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for IntoParIter<T> {
+    type Item = T;
+
+    fn run(self) -> Vec<T> {
+        self.items
+    }
+}
+
+/// Parallel `map` adaptor.
+pub struct Map<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, R, F> ParallelIterator for Map<P, F>
+where
+    P: ParallelIterator,
+    R: Send,
+    F: Fn(P::Item) -> R + Sync + Send,
+{
+    type Item = R;
+
+    fn run(self) -> Vec<R> {
+        parallel_map_vec(self.base.run(), &self.f)
+    }
+}
+
+/// Parallel `filter` adaptor.
+pub struct Filter<P, F> {
+    base: P,
+    pred: F,
+}
+
+impl<P, F> ParallelIterator for Filter<P, F>
+where
+    P: ParallelIterator,
+    F: Fn(&P::Item) -> bool + Sync + Send,
+{
+    type Item = P::Item;
+
+    fn run(self) -> Vec<P::Item> {
+        parallel_map_vec(self.base.run(), &|item| (self.pred)(&item).then_some(item))
+            .into_iter()
+            .flatten()
+            .collect()
+    }
+}
+
+/// Conversion into a parallel iterator by value.
+pub trait IntoParallelIterator {
+    /// Item type of the resulting iterator.
+    type Item: Send;
+    /// The iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Materialise into an ordered parallel batch.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<I> IntoParallelIterator for I
+where
+    I: IntoIterator,
+    I::Item: Send,
+{
+    type Item = I::Item;
+    type Iter = IntoParIter<I::Item>;
+
+    fn into_par_iter(self) -> IntoParIter<I::Item> {
+        IntoParIter {
+            items: self.into_iter().collect(),
+        }
+    }
+}
+
+/// Conversion into a parallel iterator over references.
 pub trait IntoParallelRefIterator<'a> {
-    /// The borrowed iterator type.
-    type Iter: Iterator;
+    /// Reference item type.
+    type Item: Send + 'a;
+    /// The iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
 
     /// Iterate by reference.
     fn par_iter(&'a self) -> Self::Iter;
@@ -28,22 +287,29 @@ pub trait IntoParallelRefIterator<'a> {
 impl<'a, C: 'a + ?Sized> IntoParallelRefIterator<'a> for C
 where
     &'a C: IntoIterator,
+    <&'a C as IntoIterator>::Item: Send,
 {
-    type Iter = <&'a C as IntoIterator>::IntoIter;
+    type Item = <&'a C as IntoIterator>::Item;
+    type Iter = IntoParIter<Self::Item>;
 
-    fn par_iter(&'a self) -> Self::Iter {
-        self.into_iter()
+    fn par_iter(&'a self) -> IntoParIter<Self::Item> {
+        IntoParIter {
+            items: self.into_iter().collect(),
+        }
     }
 }
 
 pub mod prelude {
     //! Glob-importable traits, mirroring `rayon::prelude`.
-    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::Mutex;
 
     #[test]
     fn by_value_matches_sequential() {
@@ -54,7 +320,77 @@ mod tests {
     #[test]
     fn by_ref_matches_sequential() {
         let v = vec![1, 2, 3];
-        let sum: i32 = v.par_iter().sum();
+        let sum: i32 = v.par_iter().map(|&x| x).sum();
         assert_eq!(sum, 6);
+    }
+
+    #[test]
+    fn order_is_preserved_at_every_thread_count() {
+        let expect: Vec<usize> = (0..1000).map(|x| x * x).collect();
+        for threads in [1, 2, 3, 8, 16] {
+            let pool = ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let got: Vec<usize> =
+                pool.install(|| (0..1000).into_par_iter().map(|x| x * x).collect());
+            assert_eq!(got, expect, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn work_actually_fans_out_over_threads() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let ids = Mutex::new(HashSet::new());
+        pool.install(|| {
+            (0..64).into_par_iter().for_each(|_| {
+                ids.lock().unwrap().insert(std::thread::current().id());
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            });
+        });
+        assert!(ids.into_inner().unwrap().len() > 1, "never left one thread");
+    }
+
+    #[test]
+    fn filter_keeps_order() {
+        let odd: Vec<i32> = (0..20).into_par_iter().filter(|x| x % 2 == 1).collect();
+        assert_eq!(odd, vec![1, 3, 5, 7, 9, 11, 13, 15, 17, 19]);
+    }
+
+    #[test]
+    fn collect_into_result_short_circuit_semantics() {
+        let ok: Result<Vec<i32>, String> = (0..4).into_par_iter().map(Ok).collect();
+        assert_eq!(ok.unwrap(), vec![0, 1, 2, 3]);
+        let err: Result<Vec<i32>, String> = (0..4)
+            .into_par_iter()
+            .map(|x| {
+                if x == 2 {
+                    Err("boom".to_owned())
+                } else {
+                    Ok(x)
+                }
+            })
+            .collect();
+        assert_eq!(err.unwrap_err(), "boom");
+    }
+
+    #[test]
+    fn install_override_nests_and_restores() {
+        let outer = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let inner = ThreadPoolBuilder::new().num_threads(5).build().unwrap();
+        outer.install(|| {
+            assert_eq!(current_num_threads(), 2);
+            inner.install(|| assert_eq!(current_num_threads(), 5));
+            assert_eq!(current_num_threads(), 2);
+        });
+    }
+
+    #[test]
+    fn install_override_is_restored_on_panic() {
+        let ambient = current_num_threads();
+        let pool = ThreadPoolBuilder::new().num_threads(7).build().unwrap();
+        let caught = std::panic::catch_unwind(|| pool.install(|| panic!("boom")));
+        assert!(caught.is_err());
+        assert_eq!(current_num_threads(), ambient);
     }
 }
