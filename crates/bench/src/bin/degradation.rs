@@ -1,0 +1,84 @@
+//! Convergence-degradation harness: how rounds-to-convergence and the
+//! residual estimate error respond to a misbehaving network.
+//!
+//! Two sweeps over the same pinned-seed scenario:
+//!
+//! 1. **loss sweep** — steps and residual error as the packet-loss rate
+//!    climbs (the paper's Fig. 4 axis, extended with the error left
+//!    behind);
+//! 2. **profile sweep** — the four named [`NetworkProfile`] presets
+//!    (`lossless` / `lossy` / `partitioned` / `churning`), the source of
+//!    README §Network faults' scenario × profile table.
+//!
+//! ```text
+//! cargo run --release -p dg-bench --bin degradation
+//! cargo run --release -p dg-bench --bin degradation -- --full --json
+//! ```
+
+use dg_bench::Cli;
+use dg_gossip::NetworkProfile;
+use dg_sim::experiments::{degradation_experiment, profile_experiment};
+use dg_sim::report::{fmt_f, render_table, to_json_lines};
+
+const LOSS_GRID: [f64; 6] = [0.0, 0.05, 0.1, 0.2, 0.3, 0.5];
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cli = Cli::parse();
+    let (nodes, xi) = if cli.full { (5000, 1e-4) } else { (1000, 1e-4) };
+
+    let loss_rows = degradation_experiment(nodes, xi, &LOSS_GRID, cli.seed)?;
+    let presets: Vec<NetworkProfile> = NetworkProfile::PRESETS
+        .iter()
+        .map(|p| NetworkProfile::parse(p).expect("preset"))
+        .collect();
+    let profile_rows = profile_experiment(nodes, xi, &presets, cli.seed)?;
+
+    if cli.json {
+        println!("{}", to_json_lines(&loss_rows));
+        println!("{}", to_json_lines(&profile_rows));
+        return Ok(());
+    }
+
+    println!(
+        "degradation vs loss rate (N = {nodes}, xi = {xi:.0e}, seed {}):\n",
+        cli.seed
+    );
+    let rows: Vec<Vec<String>> = loss_rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{:.2}", r.loss),
+                r.steps.to_string(),
+                r.converged.to_string(),
+                fmt_f(r.residual_error),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(&["loss", "steps", "converged", "residual"], &rows)
+    );
+
+    println!("degradation by profile preset:\n");
+    let rows: Vec<Vec<String>> = profile_rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.profile.clone(),
+                format!("{:.2}", r.loss),
+                format!("{:.2}", r.churn),
+                r.steps.to_string(),
+                r.converged.to_string(),
+                fmt_f(r.residual_error),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["profile", "loss", "churn", "steps", "converged", "residual"],
+            &rows
+        )
+    );
+    Ok(())
+}

@@ -1,0 +1,35 @@
+//! Markdown link-check gate: verify that local links in the given
+//! markdown files/directories resolve on disk. Exits non-zero on the
+//! first rot so CI can gate on it.
+//!
+//! ```text
+//! cargo run -p dg-bench --bin linkcheck                 # README, ROADMAP, docs/
+//! cargo run -p dg-bench --bin linkcheck -- CHANGES.md   # explicit set
+//! ```
+
+use dg_bench::linkcheck::check_paths;
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let paths: Vec<PathBuf> = if args.is_empty() {
+        vec![
+            PathBuf::from("README.md"),
+            PathBuf::from("ROADMAP.md"),
+            PathBuf::from("docs"),
+        ]
+    } else {
+        args.into_iter().map(PathBuf::from).collect()
+    };
+
+    let issues = check_paths(&paths);
+    if issues.is_empty() {
+        eprintln!("linkcheck: all local markdown links resolve");
+        return;
+    }
+    for issue in &issues {
+        eprintln!("{issue}");
+    }
+    eprintln!("linkcheck: {} broken link(s)", issues.len());
+    std::process::exit(1);
+}

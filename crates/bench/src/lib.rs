@@ -12,14 +12,18 @@
 //!   layer itself, which is engine-independent — they accept and ignore
 //!   the flag. Results never depend on it
 //!   (see `tests/engine_equivalence.rs`),
+//! * `--profile <lossless|lossy|partitioned|churning>` — network fault
+//!   profile for profile-aware binaries (`perf_suite` emits
+//!   `BENCH_<profile>.json`, `degradation` sweeps them),
 //! * `--out <path>` — where report-writing binaries put their JSON.
 
-use dg_gossip::EngineKind;
+use dg_gossip::{EngineKind, NetworkProfile};
 
+pub mod linkcheck;
 pub mod perf;
 
 /// Parsed common CLI options.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Cli {
     /// Full-scale (paper-grid) mode.
     pub full: bool,
@@ -30,6 +34,8 @@ pub struct Cli {
     /// Engine restriction for round-loop driving binaries
     /// (`None` = the binary's default, e.g. `perf_suite` measures both).
     pub engine: Option<EngineKind>,
+    /// Network fault profile (default lossless).
+    pub profile: NetworkProfile,
     /// Output path for report files (binaries define their default).
     pub out: Option<String>,
 }
@@ -41,6 +47,7 @@ impl Default for Cli {
             seed: 42,
             json: false,
             engine: None,
+            profile: NetworkProfile::lossless(),
             out: None,
         }
     }
@@ -72,6 +79,16 @@ impl Cli {
                         .unwrap_or_else(|| usage("--engine needs `sequential` or `parallel`"));
                     cli.engine = Some(v);
                 }
+                "--profile" => {
+                    let v = args
+                        .next()
+                        .as_deref()
+                        .and_then(NetworkProfile::parse)
+                        .unwrap_or_else(|| {
+                            usage("--profile needs one of: lossless, lossy, partitioned, churning")
+                        });
+                    cli.profile = v;
+                }
                 "--out" => {
                     let v = args
                         .next()
@@ -92,7 +109,8 @@ impl Cli {
 fn usage(msg: &str) -> ! {
     eprintln!(
         "{msg}\nusage: <bin> [--full] [--seed <u64>] [--json] \
-         [--engine <sequential|parallel>] [--out <path>]"
+         [--engine <sequential|parallel>] \
+         [--profile <lossless|lossy|partitioned|churning>] [--out <path>]"
     );
     std::process::exit(2)
 }

@@ -1,0 +1,225 @@
+//! Markdown link checker for the documentation layer.
+//!
+//! Scans markdown files for inline links `[text](target)` and verifies
+//! that every *local* target exists on disk (relative to the file that
+//! references it). External schemes (`http://`, `https://`, `mailto:`)
+//! and pure in-page anchors (`#section`) are skipped — the repository
+//! builds offline, so only filesystem rot is checkable. `path#anchor`
+//! targets are checked for the `path` part.
+//!
+//! CI's `link-check` job runs the `linkcheck` binary over `README.md`,
+//! `ROADMAP.md` and `docs/`, and a unit test keeps the checker honest
+//! against the repository's own tree, so a renamed file breaks the build
+//! instead of silently rotting the docs.
+
+use std::path::{Path, PathBuf};
+
+/// One broken link.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkIssue {
+    /// File containing the link.
+    pub file: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    /// The link target as written.
+    pub target: String,
+}
+
+impl std::fmt::Display for LinkIssue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: broken link `{}`",
+            self.file.display(),
+            self.line,
+            self.target
+        )
+    }
+}
+
+/// Whether a link target should be checked against the filesystem.
+fn is_local(target: &str) -> bool {
+    !(target.is_empty()
+        || target.starts_with('#')
+        || target.contains("://")
+        || target.starts_with("mailto:"))
+}
+
+/// Extract inline link targets `[text](target)` from one line.
+/// Markdown images `![alt](target)` match the same shape and are
+/// checked too.
+fn targets_in_line(line: &str) -> Vec<String> {
+    let bytes = line.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b']' && i + 1 < bytes.len() && bytes[i + 1] == b'(' {
+            let start = i + 2;
+            let mut depth = 1usize;
+            let mut end = start;
+            while end < bytes.len() && depth > 0 {
+                match bytes[end] {
+                    b'(' => depth += 1,
+                    b')' => depth -= 1,
+                    _ => {}
+                }
+                if depth == 0 {
+                    break;
+                }
+                end += 1;
+            }
+            if end < bytes.len() && depth == 0 {
+                out.push(line[start..end].to_string());
+                i = end;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Check one markdown file's local links; `contents` are the file's
+/// text (separated from IO for testability).
+pub fn check_content(file: &Path, contents: &str) -> Vec<LinkIssue> {
+    let base = file.parent().unwrap_or_else(|| Path::new("."));
+    let mut issues = Vec::new();
+    let mut in_code_fence = false;
+    for (idx, line) in contents.lines().enumerate() {
+        if line.trim_start().starts_with("```") {
+            in_code_fence = !in_code_fence;
+            continue;
+        }
+        if in_code_fence {
+            continue;
+        }
+        for target in targets_in_line(line) {
+            if !is_local(&target) {
+                continue;
+            }
+            let path_part = target.split('#').next().unwrap_or("");
+            if path_part.is_empty() {
+                continue;
+            }
+            if !base.join(path_part).exists() {
+                issues.push(LinkIssue {
+                    file: file.to_path_buf(),
+                    line: idx + 1,
+                    target,
+                });
+            }
+        }
+    }
+    issues
+}
+
+/// Check a set of markdown files and directories (directories are
+/// scanned non-recursively for `*.md`). Unreadable paths are reported
+/// as issues rather than ignored.
+pub fn check_paths(paths: &[PathBuf]) -> Vec<LinkIssue> {
+    let mut files = Vec::new();
+    for p in paths {
+        if p.is_dir() {
+            let mut entries: Vec<PathBuf> = std::fs::read_dir(p)
+                .map(|it| {
+                    it.filter_map(|e| e.ok())
+                        .map(|e| e.path())
+                        .filter(|f| f.extension().is_some_and(|ext| ext == "md"))
+                        .collect()
+                })
+                .unwrap_or_default();
+            entries.sort();
+            files.extend(entries);
+        } else {
+            files.push(p.clone());
+        }
+    }
+    let mut issues = Vec::new();
+    for file in files {
+        match std::fs::read_to_string(&file) {
+            Ok(contents) => issues.extend(check_content(&file, &contents)),
+            Err(_) => issues.push(LinkIssue {
+                file: file.clone(),
+                line: 0,
+                target: "<unreadable file>".to_string(),
+            }),
+        }
+    }
+    issues
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extracts_inline_targets() {
+        assert_eq!(
+            targets_in_line("see [a](x.md) and ![img](y.png), not `code`"),
+            vec!["x.md".to_string(), "y.png".to_string()]
+        );
+        assert!(targets_in_line("no links here [bracket] (paren)").is_empty());
+    }
+
+    #[test]
+    fn external_and_anchor_links_are_skipped() {
+        assert!(!is_local("https://example.org/x"));
+        assert!(!is_local("http://example.org"));
+        assert!(!is_local("mailto:x@y.z"));
+        assert!(!is_local("#section"));
+        assert!(is_local("README.md"));
+        assert!(is_local("docs/ARCHITECTURE.md#crate-map"));
+    }
+
+    #[test]
+    fn reports_missing_and_accepts_existing() {
+        let file = Path::new("virtual/README.md");
+        // `virtual/` doesn't exist, so any local target is missing.
+        let issues = check_content(file, "[gone](missing.md)\n[web](https://ok)\n");
+        assert_eq!(issues.len(), 1);
+        assert_eq!(issues[0].line, 1);
+        assert_eq!(issues[0].target, "missing.md");
+    }
+
+    #[test]
+    fn code_fences_are_ignored() {
+        let file = Path::new("virtual/README.md");
+        let md = "```text\n[not a link](inside/fence.md)\n```\n";
+        assert!(check_content(file, md).is_empty());
+    }
+
+    #[test]
+    fn path_anchor_checks_the_path_part() {
+        let dir = std::env::temp_dir().join("dg_linkcheck_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("target.md"), "# t\n").unwrap();
+        let md_file = dir.join("index.md");
+        let issues = check_content(&md_file, "[ok](target.md#anchor)\n[bad](nope.md#x)\n");
+        assert_eq!(issues.len(), 1);
+        assert_eq!(issues[0].target, "nope.md#x");
+    }
+
+    #[test]
+    fn repository_markdown_has_no_broken_links() {
+        // CARGO_MANIFEST_DIR = crates/bench → repo root is two up.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .expect("repo root")
+            .to_path_buf();
+        let paths = vec![
+            root.join("README.md"),
+            root.join("ROADMAP.md"),
+            root.join("docs"),
+        ];
+        let issues = check_paths(&paths);
+        assert!(
+            issues.is_empty(),
+            "broken markdown links:\n{}",
+            issues
+                .iter()
+                .map(|i| i.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}

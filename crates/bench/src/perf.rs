@@ -8,7 +8,7 @@
 //! configs without breaking older baselines (unknown engines in either
 //! file are ignored by the comparison).
 
-use dg_gossip::{EngineKind, GossipConfig, ScalarGossip};
+use dg_gossip::{EngineKind, NetworkProfile, ScalarGossip};
 use dg_sim::rounds::{AggregationScope, RoundsConfig, RoundsSimulator};
 use dg_sim::scenario::{Scenario, ScenarioConfig};
 use serde::{Deserialize, Serialize};
@@ -46,9 +46,22 @@ pub struct PerfReport {
     pub requests_per_edge: u32,
     /// Scenario seed.
     pub seed: u64,
+    /// Network fault profile the convergence measurement ran under
+    /// (absent in pre-profile reports, which were all lossless). The
+    /// synchronous measurement honours the profile's loss/churn knobs
+    /// only — delay, duplication and partitions are transport-level and
+    /// show up in the p2p runtime, not here.
+    #[serde(default)]
+    pub profile: String,
     /// Gossip steps to protocol quiescence for a scalar averaging run on
-    /// the same overlay (the paper's convergence metric).
+    /// the same overlay (the paper's convergence metric), under
+    /// `profile`.
     pub rounds_to_convergence: usize,
+    /// Residual estimate error (max |estimate − true mean|) left at
+    /// termination of the convergence run — non-trivial only under
+    /// faulty profiles.
+    #[serde(default)]
+    pub residual_error: f64,
     /// Per-engine measurements.
     pub engines: Vec<EngineResult>,
     /// `parallel` throughput over `sequential` throughput; `None` when
@@ -93,13 +106,19 @@ pub const FULL: PerfConfig = PerfConfig {
     requests_per_edge: 50,
 };
 
-fn scenario_config(perf: &PerfConfig, seed: u64, engine: EngineKind) -> ScenarioConfig {
+fn scenario_config(
+    perf: &PerfConfig,
+    seed: u64,
+    engine: EngineKind,
+    profile: NetworkProfile,
+) -> ScenarioConfig {
     ScenarioConfig {
         nodes: perf.nodes,
         seed,
         free_rider_fraction: 0.25,
         quality_range: (0.4, 1.0),
         engine,
+        profile,
         ..ScenarioConfig::default()
     }
 }
@@ -109,7 +128,15 @@ fn measure_engine(
     seed: u64,
     engine: EngineKind,
 ) -> Result<EngineResult, Box<dyn std::error::Error>> {
-    let scenario = Scenario::build(scenario_config(perf, seed, engine))?;
+    // The lifecycle loop aggregates in closed form, so engine throughput
+    // is profile-independent — always measured lossless for
+    // baseline-comparability.
+    let scenario = Scenario::build(scenario_config(
+        perf,
+        seed,
+        engine,
+        NetworkProfile::lossless(),
+    ))?;
     let config = RoundsConfig {
         rounds: perf.rounds,
         requests_per_edge: perf.requests_per_edge,
@@ -134,19 +161,24 @@ fn measure_engine(
 
 /// Run the suite on the pinned config and assemble the report. With
 /// `only = None` both engines are measured (the CI setting); passing an
-/// engine restricts the run to it.
+/// engine restricts the run to it. The convergence measurement runs
+/// under `profile` (engine throughput stays profile-independent).
 pub fn run_suite(
     perf: &PerfConfig,
     seed: u64,
     only: Option<EngineKind>,
+    profile: NetworkProfile,
 ) -> Result<PerfReport, Box<dyn std::error::Error>> {
     // Convergence metric: scalar differential-gossip averaging on the
-    // same overlay, steps to protocol quiescence.
-    let scenario = Scenario::build(scenario_config(perf, seed, EngineKind::Sequential))?;
+    // same overlay, steps to protocol quiescence, under the requested
+    // network profile.
+    let scenario = Scenario::build(scenario_config(perf, seed, EngineKind::Sequential, profile))?;
     let values = scenario.population.latent_qualities();
-    let gossip = GossipConfig::differential(1e-4)?.with_sticky_announcements();
+    let mean = values.iter().sum::<f64>() / values.len().max(1) as f64;
+    let gossip = scenario.gossip_config(1e-4)?.with_sticky_announcements();
     let out =
         ScalarGossip::average(&scenario.graph, gossip, &values)?.run(&mut scenario.gossip_rng(1));
+    let residual_error = out.max_error(mean);
     drop(scenario);
 
     let mut engines = Vec::new();
@@ -167,10 +199,71 @@ pub fn run_suite(
         rounds: perf.rounds,
         requests_per_edge: perf.requests_per_edge,
         seed,
+        profile: profile.label().to_owned(),
         rounds_to_convergence: out.steps,
+        residual_error,
         engines,
         speedup_parallel_over_sequential: speedup,
     })
+}
+
+/// The `perf_suite` binary's entry point (the binary itself lives in the
+/// umbrella package so `cargo run --bin perf_suite` works from the
+/// workspace root).
+pub fn suite_main() -> Result<(), Box<dyn std::error::Error>> {
+    let cli = crate::Cli::parse();
+    let config = if cli.full { FULL } else { SMOKE };
+    eprintln!(
+        "perf_suite: {} ({} nodes, {} rounds, {} req/edge, seed {}, profile {})",
+        config.name,
+        config.nodes,
+        config.rounds,
+        config.requests_per_edge,
+        cli.seed,
+        cli.profile.label(),
+    );
+    if cli.profile.has_transport_only_faults() {
+        eprintln!(
+            "  note: profile `{}` carries delay/duplication/partition knobs, which have \
+             no synchronous analogue — this convergence measurement reflects only its \
+             loss/churn view. Full-fidelity numbers come from the dg-p2p runtime \
+             (`cargo run --release --example faulty_network`).",
+            cli.profile.label()
+        );
+    }
+
+    let report = run_suite(&config, cli.seed, cli.engine, cli.profile)?;
+    for engine in &report.engines {
+        eprintln!(
+            "  {:<10} {:>10.1} ms  {:>12.0} node-rounds/s  (final free-rider service {:.3})",
+            engine.engine,
+            engine.wall_ms,
+            engine.node_rounds_per_sec,
+            engine.final_free_rider_service_rate,
+        );
+    }
+    if let Some(speedup) = report.speedup_parallel_over_sequential {
+        eprintln!("  speedup parallel/sequential: {speedup:.2}x");
+    }
+    eprintln!(
+        "  {} gossip steps to convergence under `{}` (residual error {:.2e})",
+        report.rounds_to_convergence, report.profile, report.residual_error
+    );
+
+    // Lossless keeps the historical BENCH_<config>.json name (the
+    // committed baseline); faulty profiles get their own report file.
+    let default_name = if cli.profile.is_reliable() {
+        format!("BENCH_{}.json", report.name)
+    } else {
+        format!("BENCH_{}.json", report.profile)
+    };
+    let path = cli.out.clone().unwrap_or(default_name);
+    std::fs::write(&path, serde_json::to_string_pretty(&report)?)?;
+    eprintln!("wrote {path}");
+    if cli.json {
+        println!("{}", serde_json::to_string(&report)?);
+    }
+    Ok(())
 }
 
 /// One comparison finding.
@@ -223,7 +316,9 @@ mod tests {
             rounds: 2,
             requests_per_edge: 5,
             seed: 42,
+            profile: "lossless".into(),
             rounds_to_convergence: 10,
+            residual_error: 0.0,
             engines: vec![
                 EngineResult {
                     engine: "sequential".into(),
@@ -280,9 +375,10 @@ mod tests {
             rounds: 2,
             requests_per_edge: 3,
         };
-        let r = run_suite(&tiny, 7, None).unwrap();
+        let r = run_suite(&tiny, 7, None, NetworkProfile::lossless()).unwrap();
         assert_eq!(r.engines.len(), 2);
         assert!(r.rounds_to_convergence > 0);
+        assert_eq!(r.profile, "lossless");
         // Identical lifecycle outcomes under both engines.
         let seq = r.engine("sequential").unwrap();
         let par = r.engine("parallel").unwrap();
@@ -301,9 +397,51 @@ mod tests {
             rounds: 1,
             requests_per_edge: 2,
         };
-        let r = run_suite(&tiny, 7, Some(EngineKind::Parallel)).unwrap();
+        let r = run_suite(
+            &tiny,
+            7,
+            Some(EngineKind::Parallel),
+            NetworkProfile::lossless(),
+        )
+        .unwrap();
         assert_eq!(r.engines.len(), 1);
         assert_eq!(r.engines[0].engine, "parallel");
         assert_eq!(r.speedup_parallel_over_sequential, None);
+    }
+
+    #[test]
+    fn lossy_profile_runs_and_reports_label() {
+        let tiny = PerfConfig {
+            name: "tiny",
+            nodes: 120,
+            rounds: 1,
+            requests_per_edge: 2,
+        };
+        let r = run_suite(
+            &tiny,
+            7,
+            Some(EngineKind::Sequential),
+            NetworkProfile::lossy(),
+        )
+        .unwrap();
+        assert_eq!(r.profile, "lossy");
+        assert!(r.rounds_to_convergence > 0);
+        // Engine throughput stays comparable against lossless baselines.
+        assert!(r.engine("sequential").is_some());
+    }
+
+    #[test]
+    fn pre_profile_reports_still_parse() {
+        // A report written before the profile/residual fields existed
+        // (the committed baseline's shape) must keep deserializing.
+        let legacy = r#"{
+            "name": "smoke", "nodes": 100, "rounds": 2,
+            "requests_per_edge": 5, "seed": 42,
+            "rounds_to_convergence": 10,
+            "engines": [], "speedup_parallel_over_sequential": null
+        }"#;
+        let report: PerfReport = serde_json::from_str(legacy).unwrap();
+        assert_eq!(report.profile, "");
+        assert_eq!(report.residual_error, 0.0);
     }
 }

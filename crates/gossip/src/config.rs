@@ -133,6 +133,26 @@ impl GossipConfig {
         self
     }
 
+    /// Builder-style: apply a [`NetworkProfile`](crate::profile::NetworkProfile)'s synchronous-engine
+    /// view — its loss as the paper's detect-and-recredit [`LossModel`]
+    /// and its churn as permanent departures capped at `max_departures`.
+    /// Delay, duplication and partitions are transport-level faults with
+    /// no synchronous analogue; they take effect only in `dg-p2p`'s
+    /// faulty transport.
+    pub fn with_profile(
+        mut self,
+        profile: &crate::profile::NetworkProfile,
+        max_departures: usize,
+    ) -> Self {
+        self.loss = profile.sync_loss_model();
+        self.churn = if profile.churn.is_enabled() {
+            profile.sync_churn_model(max_departures)
+        } else {
+            ChurnModel::none()
+        };
+        self
+    }
+
     /// Builder-style: set the step cap.
     pub fn with_max_steps(mut self, max_steps: usize) -> Self {
         self.max_steps = max_steps;
@@ -201,6 +221,18 @@ mod tests {
         assert_ne!(a, b);
         assert_ne!(a, c);
         assert_eq!(a, node_stream_seed(42, 0));
+    }
+
+    #[test]
+    fn with_profile_maps_loss_and_churn() {
+        let c = GossipConfig::default().with_profile(&crate::profile::NetworkProfile::lossy(), 10);
+        assert!((c.loss.probability() - 0.1).abs() < 1e-12);
+        assert_eq!(c.churn, ChurnModel::none());
+
+        let c =
+            GossipConfig::default().with_profile(&crate::profile::NetworkProfile::churning(), 25);
+        assert!((c.churn.departure_probability() - 0.02).abs() < 1e-12);
+        assert_eq!(c.churn.max_departures, 25);
     }
 
     #[test]

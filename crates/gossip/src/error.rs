@@ -29,4 +29,8 @@ pub enum GossipError {
     /// Gossip weight must be non-negative (it is a probability mass).
     #[error("gossip weights must be non-negative and finite, got {0}")]
     InvalidWeight(f64),
+
+    /// A network fault profile failed validation.
+    #[error("invalid network profile: {0}")]
+    InvalidProfile(&'static str),
 }

@@ -11,6 +11,23 @@ use dg_graph::Graph;
 use serde::{Deserialize, Serialize};
 
 /// How many pushes each node makes per gossip step.
+///
+/// ```
+/// use dg_gossip::FanoutPolicy;
+/// use dg_graph::generators;
+///
+/// // On a 5-node star the hub (degree 4, neighbours of degree 1) gets a
+/// // differential fan-out of 4; each leaf pushes once.
+/// let star = generators::star(5).expect("n >= 2");
+/// let k = FanoutPolicy::Differential.resolve(&star)?;
+/// assert_eq!(k, vec![4, 1, 1, 1, 1]);
+///
+/// // Uniform policies clamp to the node degree (a leaf cannot push to
+/// // three distinct neighbours).
+/// let k = FanoutPolicy::Uniform(3).resolve(&star)?;
+/// assert_eq!(k, vec![3, 1, 1, 1, 1]);
+/// # Ok::<(), dg_gossip::GossipError>(())
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum FanoutPolicy {
     /// Every node makes the same number of pushes (`p = 1` is the normal

@@ -19,6 +19,11 @@
 //! * [`loss`] — the packet-loss / churn model of Fig. 4 (failed pushes
 //!   redirect their share to the sender, preserving mass; departing nodes
 //!   hand their pair over to a neighbour);
+//! * [`profile::NetworkProfile`] — the shared fault-profile vocabulary
+//!   (`lossless` / `lossy` / `partitioned` / `churning` presets plus
+//!   custom knobs) consumed both by the synchronous engines here (mapped
+//!   onto [`loss`]'s models) and, at full fidelity, by `dg-p2p`'s faulty
+//!   transport;
 //! * [`potential::PotentialTracker`] — the contribution-vector potential
 //!   `ψ_n` of Theorem 5.2's proof, for convergence ablations;
 //! * [`metrics::MessageStats`] — per-step message accounting behind
@@ -29,7 +34,11 @@
 //! The fundamental push-sum invariant — `Σ_i y_i` and `Σ_i g_i` are
 //! constant across steps — is preserved by every code path here,
 //! including packet loss and churn. Engines `debug_assert!` it each step
-//! and the test suite checks it property-based.
+//! and the test suite checks it property-based. (The *asynchronous*
+//! faulty transport in `dg-p2p` can genuinely destroy or inject mass —
+//! UDP-like loss and duplication have no acknowledgement to recredit
+//! from — and surfaces the exact deficit through a per-run mass ledger
+//! instead of hiding it.)
 
 pub mod config;
 pub mod error;
@@ -38,6 +47,7 @@ pub mod loss;
 pub mod metrics;
 pub mod pair;
 pub mod potential;
+pub mod profile;
 pub mod scalar;
 pub mod spread;
 pub mod vector;
@@ -46,6 +56,7 @@ pub use config::{node_stream_seed, EngineKind, GossipConfig};
 pub use error::GossipError;
 pub use fanout::FanoutPolicy;
 pub use pair::{GossipPair, RATIO_SENTINEL};
+pub use profile::NetworkProfile;
 pub use scalar::{ScalarGossip, ScalarOutcome};
 pub use vector::{VectorGossip, VectorOutcome};
 

@@ -13,6 +13,25 @@ use std::ops::{Add, AddAssign};
 pub const RATIO_SENTINEL: f64 = 10.0;
 
 /// A push-sum gossip pair `(y, g)`.
+///
+/// ```
+/// use dg_gossip::{GossipPair, RATIO_SENTINEL};
+///
+/// // An originator carries its value with unit gossip weight …
+/// let p = GossipPair::originator(0.6);
+/// assert_eq!(p.ratio(), 0.6);
+///
+/// // … splitting into k+1 shares preserves both the tracked ratio and
+/// // the total mass (the push-sum invariant).
+/// let share = p.share(3);
+/// assert_eq!(share.ratio(), 0.6);
+/// let reassembled = share + share + share;
+/// assert!((reassembled.value - p.value).abs() < 1e-12);
+/// assert!((reassembled.weight - p.weight).abs() < 1e-12);
+///
+/// // Zero-weight pairs report the paper's sentinel ratio u = 10.
+/// assert_eq!(GossipPair::passive(0.6).ratio(), RATIO_SENTINEL);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub struct GossipPair {
     /// Gossip value `y` (starts as the local feedback `t_ij`, or 0).

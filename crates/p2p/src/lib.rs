@@ -3,8 +3,16 @@
 //! The synchronous engines in [`dg_gossip`] are ideal for experiments;
 //! this crate shows the same protocol running as it would in a real
 //! deployment: **one tokio task per peer**, communicating only through
-//! message channels (an in-memory stand-in for TCP connections — the
-//! paper assumes "a reliable bit pipe between sender and receiver").
+//! message channels, over a pluggable [`transport::Transport`] backend:
+//!
+//! * [`transport::Network`] — reliable in-memory mailboxes (the paper's
+//!   "reliable bit pipe between sender and receiver" assumption);
+//! * [`transport::FaultyNetwork`] — the unreliable-network runtime:
+//!   seeded per-link message loss, bounded random delay (reordering),
+//!   duplication, node churn (crash / rejoin) and partition windows,
+//!   all described by a [`dg_gossip::NetworkProfile`]. Mass destroyed or
+//!   injected by faults is tallied exactly in a
+//!   [`transport::MassLedger`] and surfaced on the run outcome.
 //!
 //! Rounds are paced by a lightweight coordinator that plays the role of
 //! the paper's discrete clock ("time is discrete; every node knows about
@@ -13,12 +21,21 @@
 //! traffic (gossip shares, convergence announcements) never touches the
 //! coordinator.
 //!
-//! The final estimates are bit-for-bit the push-sum limit, so integration
-//! tests cross-check this deployment against the synchronous
-//! [`ScalarGossip`](dg_gossip::ScalarGossip) engine.
+//! Every random decision — neighbour sampling, link faults, churn — is
+//! drawn from ChaCha8 streams derived per node / per link with
+//! [`dg_gossip::node_stream_seed`], and peers commit their inboxes in
+//! sorted `(deliver_at, from, seq)` order, so a `(config, seed)` pair
+//! reproduces bit-identical outcomes at any thread count, faulty or not.
+//!
+//! On the reliable backend the final estimates are bit-for-bit the
+//! push-sum limit, so integration tests cross-check this deployment
+//! against the synchronous [`ScalarGossip`](dg_gossip::ScalarGossip)
+//! engine; `tests/faulty_transport.rs` pins the faulty runtime's
+//! determinism and mass accounting.
 
 pub mod peer;
 pub mod runner;
 pub mod transport;
 
-pub use runner::{run_distributed, DistributedConfig, DistributedOutcome};
+pub use runner::{run_distributed, run_with_transport, DistributedConfig, DistributedOutcome};
+pub use transport::{FaultyNetwork, MassLedger, Network, Transport};

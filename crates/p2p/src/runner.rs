@@ -1,8 +1,9 @@
 //! Coordinator: spawns the peer tasks, paces rounds, collects results.
 
 use crate::peer::{run_peer, Ctrl, PeerSetup, Status};
-use crate::transport::Network;
+use crate::transport::{FaultyNetwork, MassLedger, Network, Transport};
 use dg_gossip::pair::GossipPair;
+use dg_gossip::profile::NetworkProfile;
 use dg_gossip::{node_stream_seed, FanoutPolicy, GossipError};
 use dg_graph::{Graph, NodeId};
 use rand::SeedableRng;
@@ -22,8 +23,13 @@ pub struct DistributedConfig {
     /// Base RNG seed; peer `i`'s stream is derived with
     /// [`node_stream_seed`] — the same per-node derivation the batched
     /// round engine uses, so peer streams are uncorrelated and
-    /// placement-independent.
+    /// placement-independent. Fault streams (per-link, per-node churn)
+    /// derive from the same base seed under distinct salts.
     pub seed: u64,
+    /// Network fault profile. [`NetworkProfile::lossless`] (the default)
+    /// deploys over the reliable [`Network`]; anything else deploys over
+    /// the [`FaultyNetwork`] runtime.
+    pub profile: NetworkProfile,
 }
 
 impl Default for DistributedConfig {
@@ -33,6 +39,7 @@ impl Default for DistributedConfig {
             fanout: FanoutPolicy::Differential,
             max_rounds: 10_000,
             seed: 0,
+            profile: NetworkProfile::lossless(),
         }
     }
 }
@@ -50,6 +57,18 @@ pub struct DistributedOutcome {
     pub pairs: Vec<GossipPair>,
     /// Rounds in which each peer actively pushed.
     pub active_rounds: Vec<u64>,
+    /// Exact accounting of mass destroyed / injected by the transport
+    /// (all-zero on the reliable backend). The push-sum invariant under
+    /// faults is `Σ pairs = Σ initial − lost + duplicated`; use
+    /// [`DistributedOutcome::total_pair`] to check it.
+    pub ledger: MassLedger,
+}
+
+impl DistributedOutcome {
+    /// The summed final pair (total surviving mass), in node order.
+    pub fn total_pair(&self) -> GossipPair {
+        self.pairs.iter().copied().sum()
+    }
 }
 
 /// Errors from the distributed runner.
@@ -64,7 +83,10 @@ pub enum DistributedError {
     PeerDied,
 }
 
-/// Run differential push gossip as one tokio task per peer.
+/// Run differential push gossip as one tokio task per peer, deploying
+/// over the transport backend selected by `config.profile`: the reliable
+/// [`Network`] for [`NetworkProfile::lossless`], the [`FaultyNetwork`]
+/// runtime otherwise.
 ///
 /// `initial[i]` is peer `i`'s starting gossip pair (use
 /// [`GossipPair::originator`] on every node for averaging, or a single
@@ -73,6 +95,27 @@ pub async fn run_distributed(
     graph: &Graph,
     config: DistributedConfig,
     initial: Vec<GossipPair>,
+) -> Result<DistributedOutcome, DistributedError> {
+    let profile = config.profile.validated()?;
+    let n = graph.node_count();
+    if profile.is_reliable() {
+        run_with_transport(graph, config, initial, Network::new(n)).await
+    } else {
+        let transport = FaultyNetwork::new(n, profile, config.seed, config.max_rounds as u64);
+        run_with_transport(graph, config, initial, transport).await
+    }
+}
+
+/// Run the peer deployment over an explicit [`Transport`] backend.
+///
+/// [`run_distributed`] is the convenience wrapper that picks the backend
+/// from the profile; tests use this entry point to pin, e.g., that a
+/// zero-fault [`FaultyNetwork`] is bit-identical to [`Network`].
+pub async fn run_with_transport<T: Transport>(
+    graph: &Graph,
+    config: DistributedConfig,
+    initial: Vec<GossipPair>,
+    mut transport: T,
 ) -> Result<DistributedOutcome, DistributedError> {
     let n = graph.node_count();
     if initial.len() != n {
@@ -84,18 +127,15 @@ pub async fn run_distributed(
     }
     let fanouts = config.fanout.resolve(graph)?;
 
-    let mut network = Network::new(n);
-    let receivers = network.take_receivers();
+    let receivers = transport.take_receivers();
+    let availability = transport.availability();
     let (status_tx, mut status_rx) = mpsc::unbounded_channel::<Status>();
 
     let mut ctrl_txs = Vec::with_capacity(n);
     for (i, mailbox) in receivers.into_iter().enumerate() {
         let id = NodeId(i as u32);
         let neighbours: Vec<NodeId> = graph.neighbours(id).iter().map(|&w| NodeId(w)).collect();
-        let neighbours_tx = neighbours
-            .iter()
-            .map(|&nb| (nb, network.sender(nb)))
-            .collect();
+        let links = transport.links(id, &neighbours);
         let (ctrl_tx, ctrl_rx) = mpsc::unbounded_channel::<Ctrl>();
         ctrl_txs.push(ctrl_tx);
         let setup = PeerSetup {
@@ -105,9 +145,10 @@ pub async fn run_distributed(
             initial: initial[i],
             xi: config.xi,
             rng: ChaCha8Rng::seed_from_u64(node_stream_seed(config.seed, i as u32)),
+            availability: availability.clone(),
         };
         let status = status_tx.clone();
-        tokio::spawn(run_peer(setup, ctrl_rx, mailbox, neighbours_tx, status));
+        tokio::spawn(run_peer(setup, ctrl_rx, mailbox, links, status));
     }
     drop(status_tx);
 
@@ -144,25 +185,33 @@ pub async fn run_distributed(
         }
     }
 
-    // Shut down and collect.
+    // Shut down and collect; ledgers merge in node order so the
+    // floating-point totals are deterministic.
     for tx in &ctrl_txs {
         tx.send(Ctrl::Finish)
             .map_err(|_| DistributedError::PeerDied)?;
     }
     let mut pairs = vec![GossipPair::ZERO; n];
     let mut active = vec![0u64; n];
+    let mut ledgers = vec![MassLedger::default(); n];
     for _ in 0..n {
         match status_rx.recv().await {
             Some(Status::Final {
                 node,
                 pair,
                 active_rounds,
+                ledger,
             }) => {
                 pairs[node.index()] = pair;
                 active[node.index()] = active_rounds;
+                ledgers[node.index()] = ledger;
             }
             _ => return Err(DistributedError::PeerDied),
         }
+    }
+    let mut ledger = MassLedger::default();
+    for l in &ledgers {
+        ledger.merge(l);
     }
 
     let estimates = pairs.iter().map(GossipPair::ratio).collect();
@@ -172,6 +221,7 @@ pub async fn run_distributed(
         estimates,
         pairs,
         active_rounds: active,
+        ledger,
     })
 }
 
@@ -193,6 +243,7 @@ mod tests {
             .await
             .unwrap();
         assert!(out.converged, "did not converge in {} rounds", out.rounds);
+        assert!(out.ledger.is_clean());
         for (i, e) in out.estimates.iter().enumerate() {
             assert!((e - mean).abs() < 1e-3, "peer {i}: {e} vs {mean}");
         }
@@ -229,10 +280,17 @@ mod tests {
         )
         .await
         .unwrap();
-        let mass: f64 = out.pairs.iter().map(|p| p.value).sum();
-        let weight: f64 = out.pairs.iter().map(|p| p.weight).sum();
-        assert!((mass - total).abs() < 1e-9, "value mass {mass} vs {total}");
-        assert!((weight - 12.0).abs() < 1e-9, "weight mass {weight}");
+        let mass = out.total_pair();
+        assert!(
+            (mass.value - total).abs() < 1e-9,
+            "value mass {} vs {total}",
+            mass.value
+        );
+        assert!(
+            (mass.weight - 12.0).abs() < 1e-9,
+            "weight mass {}",
+            mass.weight
+        );
     }
 
     #[tokio::test]
@@ -245,6 +303,26 @@ mod tests {
             Err(DistributedError::Gossip(
                 GossipError::StateSizeMismatch { .. }
             ))
+        ));
+    }
+
+    #[tokio::test]
+    async fn invalid_profile_is_rejected() {
+        let g = generators::complete(4);
+        let mut profile = NetworkProfile::lossless();
+        profile.loss = 2.0;
+        let err = run_distributed(
+            &g,
+            DistributedConfig {
+                profile,
+                ..DistributedConfig::default()
+            },
+            vec![GossipPair::originator(0.5); 4],
+        )
+        .await;
+        assert!(matches!(
+            err,
+            Err(DistributedError::Gossip(GossipError::InvalidProfile(_)))
         ));
     }
 
@@ -266,5 +344,46 @@ mod tests {
         .unwrap();
         assert!(out.converged);
         assert!(out.active_rounds.iter().all(|&a| a < 20));
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn lossy_profile_still_converges_and_ledger_closes() {
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let g = pa::preferential_attachment(pa::PaConfig { nodes: 60, m: 2 }, &mut rng).unwrap();
+        let values: Vec<f64> = (0..60).map(|i| ((i * 7) % 13) as f64 / 13.0).collect();
+        let out = run_distributed(
+            &g,
+            DistributedConfig {
+                xi: 1e-4,
+                seed: 21,
+                max_rounds: 5_000,
+                profile: NetworkProfile::lossy(),
+                ..DistributedConfig::default()
+            },
+            averaging_initial(&values),
+        )
+        .await
+        .unwrap();
+        assert!(out.converged, "lossy run hit the cap");
+        assert!(
+            out.ledger.shares_recredited > 0,
+            "10% loss must bounce something"
+        );
+        // Mass accounting closes exactly: final = initial − lost + dup.
+        let initial: GossipPair = values.iter().map(|&v| GossipPair::originator(v)).sum();
+        let expected = out.ledger.expected_total(initial);
+        let actual = out.total_pair();
+        assert!(
+            (actual.value - expected.value).abs() < 1e-9,
+            "value {} vs {}",
+            actual.value,
+            expected.value
+        );
+        assert!(
+            (actual.weight - expected.weight).abs() < 1e-9,
+            "weight {} vs {}",
+            actual.weight,
+            expected.weight
+        );
     }
 }

@@ -20,6 +20,7 @@ use dg_core::reputation::ReputationSystem;
 use dg_core::CoreError;
 use dg_gossip::loss::LossModel;
 use dg_gossip::potential::PotentialTracker;
+use dg_gossip::profile::NetworkProfile;
 use dg_gossip::spread::{self, SpreadProtocol};
 use dg_gossip::{FanoutPolicy, GossipConfig, ScalarGossip};
 use dg_graph::{generators, NodeId};
@@ -125,6 +126,95 @@ pub fn loss_experiment(
     combos
         .into_par_iter()
         .map(|(xi, l)| run_steps_once(nodes, xi, FanoutPolicy::Differential, l, seed))
+        .collect()
+}
+
+/// One convergence-degradation measurement: how the gossip layer's
+/// rounds-to-convergence and residual estimate error respond to a
+/// misbehaving network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DegradationRow {
+    /// Network size `N`.
+    pub nodes: usize,
+    /// Error bound `ξ`.
+    pub xi: f64,
+    /// Profile label (`lossless` / `lossy` / `partitioned` / `churning` /
+    /// `custom`).
+    pub profile: String,
+    /// Loss probability in effect.
+    pub loss: f64,
+    /// Per-round crash probability in effect.
+    pub churn: f64,
+    /// Steps to protocol quiescence (== the round cap when unconverged).
+    pub steps: usize,
+    /// Whether the run converged within the cap.
+    pub converged: bool,
+    /// Maximum absolute deviation of surviving nodes' estimates from the
+    /// true mean at termination — the residual error the faults leave
+    /// behind.
+    pub residual_error: f64,
+}
+
+fn degradation_row(
+    nodes: usize,
+    xi: f64,
+    profile: NetworkProfile,
+    seed: u64,
+) -> Result<DegradationRow, CoreError> {
+    let scenario = Scenario::build(
+        ScenarioConfig::with_nodes(nodes)
+            .with_seed(seed)
+            .with_profile(profile),
+    )?;
+    let values = scenario.population.latent_qualities();
+    let mean = values.iter().sum::<f64>() / values.len() as f64;
+    let config = scenario.gossip_config(xi)?.with_sticky_announcements();
+    let mut rng = scenario.gossip_rng(1);
+    let out = ScalarGossip::average(&scenario.graph, config, &values)?.run(&mut rng);
+    Ok(DegradationRow {
+        nodes,
+        xi,
+        profile: profile.label().to_owned(),
+        loss: profile.loss,
+        churn: profile.churn.crash_probability,
+        steps: out.steps,
+        converged: out.converged,
+        residual_error: out.max_error(mean),
+    })
+}
+
+/// Robustness sweep: rounds-to-convergence and residual error as the
+/// loss rate climbs (the paper's Fig. 4 axis, extended with the residual
+/// error the faults leave behind).
+pub fn degradation_experiment(
+    nodes: usize,
+    xi: f64,
+    loss_probs: &[f64],
+    seed: u64,
+) -> Result<Vec<DegradationRow>, CoreError> {
+    loss_probs
+        .par_iter()
+        .map(|&loss| {
+            let mut profile = NetworkProfile::lossless();
+            profile.loss = loss;
+            degradation_row(nodes, xi, profile, seed)
+        })
+        .collect()
+}
+
+/// Profile sweep: the same scenario under each [`NetworkProfile`] (the
+/// scenario × profile matrix of README §Network faults). Synchronous
+/// engines honour the loss / churn knobs; delay, duplication and
+/// partitions additionally apply in the `dg-p2p` deployment.
+pub fn profile_experiment(
+    nodes: usize,
+    xi: f64,
+    profiles: &[NetworkProfile],
+    seed: u64,
+) -> Result<Vec<DegradationRow>, CoreError> {
+    profiles
+        .par_iter()
+        .map(|&profile| degradation_row(nodes, xi, profile, seed))
         .collect()
 }
 
@@ -470,6 +560,32 @@ mod tests {
         assert!(lossy.steps >= clean.steps);
         // "Small increment": well under 4x.
         assert!((lossy.steps as f64) < 4.0 * clean.steps as f64 + 10.0);
+    }
+
+    #[test]
+    fn degradation_rows_cover_loss_grid_and_worsen() {
+        let rows = degradation_experiment(300, 1e-4, &[0.0, 0.3], 5).unwrap();
+        assert_eq!(rows.len(), 2);
+        let clean = rows.iter().find(|r| r.loss == 0.0).unwrap();
+        let lossy = rows.iter().find(|r| r.loss == 0.3).unwrap();
+        assert!(clean.converged && lossy.converged);
+        assert!(lossy.steps >= clean.steps);
+        assert!(clean.residual_error < 0.02, "{}", clean.residual_error);
+        assert_eq!(clean.profile, "lossless");
+        assert_eq!(lossy.profile, "custom");
+    }
+
+    #[test]
+    fn profile_rows_report_presets() {
+        let profiles = [NetworkProfile::lossless(), NetworkProfile::churning()];
+        let rows = profile_experiment(200, 1e-3, &profiles, 7).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].profile, "lossless");
+        assert_eq!(rows[1].profile, "churning");
+        assert!(rows.iter().all(|r| r.steps > 0));
+        // The churning preset maps its crash probability onto the sync
+        // churn model.
+        assert!(rows[1].churn > 0.0);
     }
 
     #[test]

@@ -10,7 +10,9 @@
 //!   for the paper's unavailable trace data — see DESIGN.md §4);
 //! * [`experiments`] — one function per paper artifact: Fig. 3 (steps vs
 //!   N), Fig. 4 (steps vs packet loss), Figs. 5/6 (collusion RMS error),
-//!   Tables 1 and 2, plus the convergence/weight ablations;
+//!   Tables 1 and 2, the convergence/weight ablations, and the
+//!   network-fault degradation sweeps (rounds-to-convergence and
+//!   residual error vs loss rate / [`NetworkProfile`](dg_gossip::NetworkProfile) preset);
 //! * [`rounds`] — the full reputation lifecycle loop (transactions →
 //!   estimation → aggregation → admission control) behind the free-riding
 //!   examples, dispatching to a sequential reference driver or the

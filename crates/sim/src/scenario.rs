@@ -9,7 +9,8 @@
 use dg_core::behavior::{Behavior, Population};
 use dg_core::reputation::{trust_from_qualities, ReputationSystem};
 use dg_core::CoreError;
-use dg_gossip::EngineKind;
+use dg_gossip::profile::NetworkProfile;
+use dg_gossip::{EngineKind, GossipConfig, GossipError};
 use dg_graph::{pa, Graph};
 use dg_trust::{TrustMatrix, WeightParams};
 use rand::Rng;
@@ -73,6 +74,14 @@ pub struct ScenarioConfig {
     /// matrix is frozen into the flat CSR backend. Does **not** affect
     /// the generated topology, population or trust values.
     pub engine: EngineKind,
+    /// Network fault profile gossip runs over this scenario assume (see
+    /// [`NetworkProfile`]). Does **not** affect the generated topology,
+    /// population or trust values — it parameterises the gossip layer:
+    /// [`Scenario::gossip_config`] maps it onto the synchronous engines'
+    /// loss / churn models, and the `dg-p2p` deployment honours every
+    /// knob. Defaults to [`NetworkProfile::lossless`].
+    #[serde(default)]
+    pub profile: NetworkProfile,
 }
 
 impl Default for ScenarioConfig {
@@ -89,6 +98,7 @@ impl Default for ScenarioConfig {
             topology: Topology::Pa,
             far_partners: 0,
             engine: EngineKind::Sequential,
+            profile: NetworkProfile::lossless(),
         }
     }
 }
@@ -111,6 +121,12 @@ impl ScenarioConfig {
     /// Builder-style engine override.
     pub fn with_engine(mut self, engine: EngineKind) -> Self {
         self.engine = engine;
+        self
+    }
+
+    /// Builder-style network-profile override.
+    pub fn with_profile(mut self, profile: NetworkProfile) -> Self {
+        self.profile = profile;
         self
     }
 }
@@ -206,6 +222,20 @@ impl Scenario {
     /// engine choice.
     pub fn rounds_config(&self) -> crate::rounds::RoundsConfig {
         crate::rounds::RoundsConfig::default().with_engine(self.config.engine)
+    }
+
+    /// A gossip configuration with tolerance `xi` that inherits this
+    /// scenario's engine choice and network profile (loss / churn mapped
+    /// onto the synchronous models; at most a quarter of the network may
+    /// depart so long runs stay populated).
+    pub fn gossip_config(&self, xi: f64) -> Result<GossipConfig, GossipError> {
+        GossipConfig {
+            xi,
+            engine: self.config.engine,
+            ..GossipConfig::default()
+        }
+        .with_profile(&self.config.profile, self.config.nodes / 4)
+        .validated()
     }
 
     /// A fresh RNG stream for the gossip phase, decoupled from the

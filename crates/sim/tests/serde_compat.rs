@@ -1,0 +1,29 @@
+//! Serialized-config compatibility: configs written before a field
+//! existed must keep deserializing (the `#[serde(default)]` support in
+//! the vendored derive).
+
+use dg_sim::scenario::Topology;
+use dg_sim::ScenarioConfig;
+
+#[test]
+fn scenario_config_deserializes_without_profile_field() {
+    // The exact shape ScenarioConfig serialized to before the network
+    // profile existed (PR 3): the new field must default to lossless.
+    let s = r#"{"nodes":10,"m":2,"seed":1,"weight_a":2.0,"weight_b":2.0,
+        "free_rider_fraction":0.0,"quality_range":[0.2,1.0],
+        "trust_source":"Exact","topology":"Pa","far_partners":0,
+        "engine":"Sequential"}"#;
+    let c: ScenarioConfig = serde_json::from_str(s).unwrap();
+    assert!(c.profile.is_reliable());
+    assert_eq!(c.nodes, 10);
+    assert_eq!(c.topology, Topology::Pa);
+}
+
+#[test]
+fn scenario_config_roundtrips_with_profile() {
+    let config = ScenarioConfig::with_nodes(64).with_profile(dg_gossip::NetworkProfile::churning());
+    let s = serde_json::to_string(&config).unwrap();
+    let back: ScenarioConfig = serde_json::from_str(&s).unwrap();
+    assert_eq!(config, back);
+    assert_eq!(back.profile.label(), "churning");
+}

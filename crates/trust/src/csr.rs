@@ -109,6 +109,23 @@ impl CsrStorage {
 /// Mutable-phase builder for [`CsrStorage`]: accepts out-of-order
 /// `(i, j, t)` triples, then sorts each row and deduplicates
 /// (last write wins) on [`build`](CsrBuilder::build).
+///
+/// ```
+/// use dg_graph::NodeId;
+/// use dg_trust::{CsrBuilder, TrustMatrix, TrustValue};
+///
+/// let mut b = CsrBuilder::new(4);
+/// // Out-of-order inserts are fine; the last write to a cell wins.
+/// b.set(NodeId(2), NodeId(0), TrustValue::new(0.9)?)?;
+/// b.set(NodeId(0), NodeId(3), TrustValue::new(0.2)?)?;
+/// b.set(NodeId(0), NodeId(3), TrustValue::new(0.6)?)?;
+///
+/// let matrix = TrustMatrix::from_csr(b.build());
+/// assert!(matrix.is_csr());
+/// assert_eq!(matrix.entry_count(), 2);
+/// assert_eq!(matrix.get(NodeId(0), NodeId(3)).map(|v| v.get()), Some(0.6));
+/// # Ok::<(), dg_trust::TrustError>(())
+/// ```
 #[derive(Debug, Clone)]
 pub struct CsrBuilder {
     n: usize,

@@ -36,6 +36,26 @@ enum Storage {
 /// Iteration order is deterministic under both backends, which keeps
 /// gossip experiments reproducible. Equality is *logical*: a frozen and
 /// a dynamic matrix with the same entries compare equal.
+///
+/// ```
+/// use dg_graph::NodeId;
+/// use dg_trust::{TrustMatrix, TrustValue};
+///
+/// let mut t = TrustMatrix::new(3);
+/// t.set(NodeId(0), NodeId(1), TrustValue::new(0.8)?)?;
+/// t.set(NodeId(1), NodeId(2), TrustValue::new(0.4)?)?;
+/// assert_eq!(t.get(NodeId(0), NodeId(1)).map(|v| v.get()), Some(0.8));
+/// assert_eq!(t.get(NodeId(2), NodeId(0)), None);
+///
+/// // Freeze into the flat CSR backend for the aggregation hot path;
+/// // the contents — and equality — are unchanged.
+/// let mut frozen = t.clone();
+/// frozen.freeze();
+/// assert!(frozen.is_csr());
+/// assert_eq!(frozen, t);
+/// assert_eq!(frozen.entry_count(), 2);
+/// # Ok::<(), dg_trust::TrustError>(())
+/// ```
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TrustMatrix {
     n: usize,

@@ -4,7 +4,9 @@
 //! running as real concurrent peers that communicate only through
 //! message channels — including the convergence-announcement protocol.
 //! The run cross-checks the distributed estimates against the
-//! closed-form average.
+//! closed-form average. This example uses the reliable transport; see
+//! `examples/faulty_network.rs` for the same deployment under message
+//! loss, delay, duplication, churn and partitions.
 //!
 //! Run with:
 //! ```text

@@ -1,0 +1,240 @@
+//! Faulty-network runtime pins: a zero-fault `FaultyNetwork` is
+//! bit-identical to the reliable transport, pinned-seed faulty runs are
+//! reproducible, 100 % loss degrades gracefully, and the mass ledger
+//! closes exactly.
+
+use differential_gossip::gossip::profile::NetworkProfile;
+use differential_gossip::gossip::GossipPair;
+use differential_gossip::graph::pa::{preferential_attachment, PaConfig};
+use differential_gossip::graph::Graph;
+use differential_gossip::p2p::{
+    run_distributed, run_with_transport, DistributedConfig, DistributedOutcome, FaultyNetwork,
+    Network,
+};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn pa_graph(nodes: usize, m: usize, seed: u64) -> Graph {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    preferential_attachment(PaConfig { nodes, m }, &mut rng).expect("valid PA config")
+}
+
+fn averaging_initial(n: usize, seed: u64) -> Vec<GossipPair> {
+    (0..n)
+        .map(|i| GossipPair::originator(((i as u64 * 31 + seed) % 97) as f64 / 97.0))
+        .collect()
+}
+
+fn runtime() -> tokio::runtime::Runtime {
+    tokio::runtime::Builder::new_multi_thread()
+        .worker_threads(4)
+        .build()
+        .expect("runtime")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// `FaultyTransport` with loss = 0, delay = 0, churn = 0 is
+    /// bit-identical to the reliable transport on random topologies.
+    #[test]
+    fn zero_fault_transport_is_bit_identical_to_reliable(
+        nodes in 8usize..40,
+        m in 1usize..3,
+        graph_seed in 0u64..1000,
+        run_seed in 0u64..1000,
+    ) {
+        let graph = pa_graph(nodes, m, graph_seed);
+        let initial = averaging_initial(nodes, graph_seed);
+        let config = DistributedConfig {
+            xi: 1e-5,
+            seed: run_seed,
+            max_rounds: 2_000,
+            ..DistributedConfig::default()
+        };
+        let rt = runtime();
+        let reliable = rt
+            .block_on(run_with_transport(
+                &graph,
+                config,
+                initial.clone(),
+                Network::new(nodes),
+            ))
+            .expect("reliable run");
+        let faulty_lossless = rt
+            .block_on(run_with_transport(
+                &graph,
+                config,
+                initial,
+                FaultyNetwork::new(
+                    nodes,
+                    NetworkProfile::lossless(),
+                    config.seed,
+                    config.max_rounds as u64,
+                ),
+            ))
+            .expect("faulty run");
+        prop_assert_eq!(reliable, faulty_lossless);
+    }
+}
+
+/// The acceptance pin: two runs of the same faulty profile on the same
+/// seed produce identical convergence results — rounds, estimates, pairs
+/// and ledger, bit for bit.
+#[test]
+fn pinned_seed_faulty_runs_are_identical() {
+    let graph = pa_graph(100, 2, 12);
+    let run = |profile: NetworkProfile| -> DistributedOutcome {
+        runtime()
+            .block_on(run_distributed(
+                &graph,
+                DistributedConfig {
+                    xi: 1e-4,
+                    seed: 77,
+                    max_rounds: 3_000,
+                    profile,
+                    ..DistributedConfig::default()
+                },
+                averaging_initial(100, 12),
+            ))
+            .expect("faulty run")
+    };
+    for profile in [
+        NetworkProfile::lossy(),
+        NetworkProfile::partitioned(),
+        NetworkProfile::churning(),
+    ] {
+        let a = run(profile);
+        let b = run(profile);
+        assert_eq!(a, b, "profile {} not reproducible", profile.label());
+    }
+}
+
+/// 100 % loss with detection: every push bounces, nobody ever hears a
+/// neighbour, the run terminates at the round cap and reports
+/// non-convergence — with all mass conserved (every share re-credited).
+#[test]
+fn total_loss_with_detection_terminates_at_cap() {
+    let graph = pa_graph(20, 2, 3);
+    let initial = averaging_initial(20, 3);
+    let total: GossipPair = initial.iter().copied().sum();
+    let mut profile = NetworkProfile::lossless();
+    profile.loss = 1.0;
+    let out = runtime()
+        .block_on(run_distributed(
+            &graph,
+            DistributedConfig {
+                xi: 1e-4,
+                seed: 5,
+                max_rounds: 50,
+                profile,
+                ..DistributedConfig::default()
+            },
+            initial,
+        ))
+        .expect("run");
+    assert_eq!(out.rounds, 50, "must exhaust the round cap");
+    assert!(!out.converged, "total blackout cannot converge");
+    assert!(out.ledger.shares_recredited > 0);
+    assert!(out.ledger.lost.is_zero(), "detection conserves mass");
+    let mass = out.total_pair();
+    assert!((mass.value - total.value).abs() < 1e-9);
+    assert!((mass.weight - total.weight).abs() < 1e-9);
+}
+
+/// 100 % undetected (UDP-like) loss: the run still terminates at the cap
+/// and reports non-convergence, and the ledger accounts for every drop —
+/// final mass = initial − lost.
+#[test]
+fn total_undetected_loss_surfaces_destroyed_mass() {
+    let graph = pa_graph(20, 2, 3);
+    let initial = averaging_initial(20, 3);
+    let total: GossipPair = initial.iter().copied().sum();
+    let mut profile = NetworkProfile::lossless();
+    profile.loss = 1.0;
+    profile.detect_loss = false;
+    let out = runtime()
+        .block_on(run_distributed(
+            &graph,
+            DistributedConfig {
+                xi: 1e-4,
+                seed: 5,
+                max_rounds: 50,
+                profile,
+                ..DistributedConfig::default()
+            },
+            initial,
+        ))
+        .expect("run");
+    assert_eq!(out.rounds, 50);
+    assert!(!out.converged);
+    assert!(out.ledger.shares_lost > 0);
+    let mass = out.total_pair();
+    let expected = out.ledger.expected_total(total);
+    assert!(
+        (mass.value - expected.value).abs() < 1e-9,
+        "ledger must close: {} vs {}",
+        mass.value,
+        expected.value
+    );
+    assert!((mass.weight - expected.weight).abs() < 1e-9);
+}
+
+/// A partition delays convergence but heals: the run converges after the
+/// window and both halves agree on the global mean.
+#[test]
+fn partitioned_network_heals_and_converges() {
+    let graph = pa_graph(80, 2, 9);
+    let initial = averaging_initial(80, 9);
+    let mean = initial.iter().map(|p| p.value).sum::<f64>() / 80.0;
+    let out = runtime()
+        .block_on(run_distributed(
+            &graph,
+            DistributedConfig {
+                xi: 1e-5,
+                seed: 33,
+                max_rounds: 5_000,
+                profile: NetworkProfile::partitioned(),
+                ..DistributedConfig::default()
+            },
+            initial,
+        ))
+        .expect("run");
+    assert!(out.converged, "partition must heal within the cap");
+    let window = NetworkProfile::partitioned().partition.expect("preset");
+    assert!(
+        out.rounds as u64 >= window.until_round,
+        "cannot converge while cut ({} rounds)",
+        out.rounds
+    );
+    for (i, e) in out.estimates.iter().enumerate() {
+        assert!((e - mean).abs() < 1e-2, "peer {i}: {e} vs {mean}");
+    }
+}
+
+/// Churn keeps the run reproducible and mass-conserving (crashed nodes
+/// retain their pairs; blackout drops bounce back to senders).
+#[test]
+fn churning_network_conserves_mass() {
+    let graph = pa_graph(60, 2, 4);
+    let initial = averaging_initial(60, 4);
+    let total: GossipPair = initial.iter().copied().sum();
+    let out = runtime()
+        .block_on(run_distributed(
+            &graph,
+            DistributedConfig {
+                xi: 1e-4,
+                seed: 13,
+                max_rounds: 4_000,
+                profile: NetworkProfile::churning(),
+                ..DistributedConfig::default()
+            },
+            initial,
+        ))
+        .expect("run");
+    let mass = out.total_pair();
+    let expected = out.ledger.expected_total(total);
+    assert!((mass.value - expected.value).abs() < 1e-9);
+    assert!((mass.weight - expected.weight).abs() < 1e-9);
+}

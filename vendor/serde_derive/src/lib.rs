@@ -3,15 +3,25 @@
 //! Dependency-free (no syn/quote): the item is parsed with a small manual
 //! token walk, and the impls are generated as source strings. Supports what
 //! the workspace actually derives: non-generic structs (named, tuple/newtype)
-//! and enums (unit, tuple, struct variants), plus the container attributes
-//! `#[serde(transparent)]` and `#[serde(try_from = "T", into = "T")]`.
+//! and enums (unit, tuple, struct variants), the container attributes
+//! `#[serde(transparent)]` and `#[serde(try_from = "T", into = "T")]`, and
+//! the field attribute `#[serde(default)]` (missing object members fall
+//! back to `Default::default()` instead of erroring).
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 #[derive(Debug, Clone)]
+struct Field {
+    name: String,
+    /// `#[serde(default)]`: on deserialization a missing member falls
+    /// back to `Default::default()`.
+    default: bool,
+}
+
+#[derive(Debug, Clone)]
 enum Fields {
     Unit,
-    Named(Vec<String>),
+    Named(Vec<Field>),
     Tuple(usize),
 }
 
@@ -79,10 +89,36 @@ fn strip_attrs(tokens: &[TokenTree]) -> &[TokenTree] {
     }
 }
 
-fn parse_named_fields(group_tokens: &[TokenTree]) -> Result<Vec<String>, String> {
+/// Whether a field's leading attributes include `#[serde(default)]`.
+fn has_serde_default(tokens: &[TokenTree]) -> bool {
+    let mut rest = tokens;
+    while let [TokenTree::Punct(p), TokenTree::Group(attr), tail @ ..] = rest {
+        if p.as_char() != '#' {
+            break;
+        }
+        let inner: Vec<TokenTree> = attr.stream().into_iter().collect();
+        if let [TokenTree::Ident(id), TokenTree::Group(args)] = inner.as_slice() {
+            if id.to_string() == "serde" {
+                let body: Vec<TokenTree> = args.stream().into_iter().collect();
+                for seg in split_commas(&body) {
+                    if matches!(seg.as_slice(),
+                        [TokenTree::Ident(id)] if id.to_string() == "default")
+                    {
+                        return true;
+                    }
+                }
+            }
+        }
+        rest = tail;
+    }
+    false
+}
+
+fn parse_named_fields(group_tokens: &[TokenTree]) -> Result<Vec<Field>, String> {
     let mut names = Vec::new();
-    for field in split_commas(group_tokens) {
-        let field = strip_attrs(&field);
+    for raw_field in split_commas(group_tokens) {
+        let default = has_serde_default(&raw_field);
+        let field = strip_attrs(&raw_field);
         if field.is_empty() {
             continue;
         }
@@ -99,7 +135,10 @@ fn parse_named_fields(group_tokens: &[TokenTree]) -> Result<Vec<String>, String>
             }
         }
         match field.get(idx) {
-            Some(TokenTree::Ident(name)) => names.push(name.to_string()),
+            Some(TokenTree::Ident(name)) => names.push(Field {
+                name: name.to_string(),
+                default,
+            }),
             other => return Err(format!("unsupported field syntax: {other:?}")),
         }
     }
@@ -234,6 +273,26 @@ fn parse_container(input: TokenStream) -> Result<Container, String> {
 const VALUE: &str = "::serde::__value::Value";
 const DE_ERROR: &str = "::serde::__value::DeError";
 
+/// Deserialization initialiser for one named field: required fields go
+/// through `expect_field`, `#[serde(default)]` fields fall back to
+/// `Default::default()` when the member is absent.
+fn named_field_init(container: &str, field: &Field, value_expr: &str) -> String {
+    let f = &field.name;
+    if field.default {
+        format!(
+            "{f}: match {value_expr}.get({f:?}) {{\
+             ::core::option::Option::Some(__fv) => \
+             ::serde::Deserialize::__from_value(__fv)?, \
+             ::core::option::Option::None => ::core::default::Default::default() }}"
+        )
+    } else {
+        format!(
+            "{f}: ::serde::Deserialize::__from_value(\
+             ::serde::__value::expect_field({value_expr}, {container:?}, {f:?})?)?"
+        )
+    }
+}
+
 fn gen_serialize(c: &Container) -> String {
     let name = &c.name;
     let body = if let Some(into_ty) = &c.into {
@@ -247,11 +306,12 @@ fn gen_serialize(c: &Container) -> String {
         match &c.shape {
             Shape::Struct(Fields::Named(fields)) => {
                 if c.transparent && fields.len() == 1 {
-                    format!("::serde::Serialize::__to_value(&self.{})", fields[0])
+                    format!("::serde::Serialize::__to_value(&self.{})", fields[0].name)
                 } else {
                     let entries: Vec<String> = fields
                         .iter()
                         .map(|f| {
+                            let f = &f.name;
                             format!(
                                 "(::std::string::String::from({f:?}), \
                                  ::serde::Serialize::__to_value(&self.{f}))"
@@ -303,10 +363,15 @@ fn gen_serialize(c: &Container) -> String {
                                 )
                             }
                             Fields::Named(fields) => {
-                                let binds = fields.join(", ");
+                                let binds = fields
+                                    .iter()
+                                    .map(|f| f.name.clone())
+                                    .collect::<Vec<_>>()
+                                    .join(", ");
                                 let entries: Vec<String> = fields
                                     .iter()
                                     .map(|f| {
+                                        let f = &f.name;
                                         format!(
                                             "(::std::string::String::from({f:?}), \
                                              ::serde::Serialize::__to_value({f}))"
@@ -349,17 +414,12 @@ fn gen_deserialize(c: &Container) -> String {
                     format!(
                         "::core::result::Result::Ok({name} {{ {}: \
                          ::serde::Deserialize::__from_value(__v)? }})",
-                        fields[0]
+                        fields[0].name
                     )
                 } else {
                     let inits: Vec<String> = fields
                         .iter()
-                        .map(|f| {
-                            format!(
-                                "{f}: ::serde::Deserialize::__from_value(\
-                                 ::serde::__value::expect_field(__v, {name:?}, {f:?})?)?"
-                            )
-                        })
+                        .map(|f| named_field_init(name, f, "__v"))
                         .collect();
                     format!(
                         "::core::result::Result::Ok({name} {{ {} }})",
@@ -426,13 +486,7 @@ fn gen_deserialize(c: &Container) -> String {
                             Fields::Named(fields) => {
                                 let inits: Vec<String> = fields
                                     .iter()
-                                    .map(|f| {
-                                        format!(
-                                            "{f}: ::serde::Deserialize::__from_value(\
-                                             ::serde::__value::expect_field(\
-                                             __inner, {name:?}, {f:?})?)?"
-                                        )
-                                    })
+                                    .map(|f| named_field_init(name, f, "__inner"))
                                     .collect();
                                 Some(format!(
                                     "{vn:?} => return ::core::result::Result::Ok(\
