@@ -1,0 +1,8 @@
+//! The adversarial paper-claims gate (see `dg_bench::claims`).
+
+fn main() {
+    if let Err(e) = dg_bench::claims::claims_main() {
+        eprintln!("claims: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,74 +1,103 @@
-//! CI perf-regression gate: compare a fresh `perf_suite` report against
-//! the committed baseline and fail when any engine's nodes/round
-//! throughput dropped by more than the allowed factor.
+//! CI perf-regression gate: compare fresh `perf_suite` reports against
+//! their committed baselines and fail when any engine's nodes/round
+//! throughput dropped by more than the allowed factor, when convergence
+//! needs more than the allowed factor of extra gossip rounds, or when
+//! the residual error grew past budget.
 //!
 //! ```text
-//! perf_compare <baseline.json> <candidate.json> [max_regression]
+//! perf_compare <baseline.json> <candidate.json> [<b2> <c2> ...] [max_regression]
 //! ```
 //!
-//! Exit code 0 = within budget, 1 = regression, 2 = usage error.
+//! Reports are compared pairwise, so one invocation gates every profile
+//! (e.g. the lossless smoke report *and* the lossy report). Exit code
+//! 0 = within budget, 1 = regression, 2 = usage error.
 
-use dg_bench::perf::{find_regressions, PerfReport, MAX_REGRESSION};
+use dg_bench::perf::{find_quality_regressions, find_regressions, PerfReport, MAX_REGRESSION};
 
-fn load(path: &str) -> Result<PerfReport, Box<dyn std::error::Error>> {
-    Ok(serde_json::from_str(&std::fs::read_to_string(path)?)?)
+fn load(path: &str) -> PerfReport {
+    let parse = || -> Result<PerfReport, Box<dyn std::error::Error>> {
+        Ok(serde_json::from_str(&std::fs::read_to_string(path)?)?)
+    };
+    parse().unwrap_or_else(|e| {
+        eprintln!("cannot load report {path}: {e}");
+        std::process::exit(2);
+    })
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let (baseline_path, candidate_path, max_regression) = match args.as_slice() {
-        [b, c] => (b.clone(), c.clone(), MAX_REGRESSION),
-        [b, c, f] => match f.parse::<f64>() {
-            Ok(f) if f >= 1.0 => (b.clone(), c.clone(), f),
-            _ => {
-                eprintln!("max_regression must be a number >= 1.0, got `{f}`");
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // Optional trailing budget factor.
+    let max_regression = match args.last().and_then(|s| s.parse::<f64>().ok()) {
+        Some(f) => {
+            args.pop();
+            // NaN must not slip through (every later comparison against
+            // NaN is false, which would silently disable the gate).
+            if !(f.is_finite() && f >= 1.0) {
+                eprintln!("max_regression must be a finite number >= 1.0, got {f}");
                 std::process::exit(2);
             }
-        },
-        _ => {
-            eprintln!("usage: perf_compare <baseline.json> <candidate.json> [max_regression]");
-            std::process::exit(2);
+            f
         }
+        None => MAX_REGRESSION,
     };
-
-    let baseline = load(&baseline_path).unwrap_or_else(|e| {
-        eprintln!("cannot load baseline {baseline_path}: {e}");
-        std::process::exit(2);
-    });
-    let candidate = load(&candidate_path).unwrap_or_else(|e| {
-        eprintln!("cannot load candidate {candidate_path}: {e}");
-        std::process::exit(2);
-    });
-
-    if baseline.name != candidate.name || baseline.nodes != candidate.nodes {
+    if args.is_empty() || args.len() % 2 != 0 {
         eprintln!(
-            "warning: comparing different configs ({} @ {} nodes vs {} @ {} nodes)",
-            baseline.name, baseline.nodes, candidate.name, candidate.nodes
+            "usage: perf_compare <baseline.json> <candidate.json> [<b2> <c2> ...] \
+             [max_regression]"
         );
+        std::process::exit(2);
     }
 
-    for base in &baseline.engines {
-        if let Some(cand) = candidate.engine(&base.engine) {
-            println!(
-                "{:<10} baseline {:>12.0} node-rounds/s  candidate {:>12.0} node-rounds/s  ({:+.1}%)",
-                base.engine,
-                base.node_rounds_per_sec,
-                cand.node_rounds_per_sec,
-                100.0 * (cand.node_rounds_per_sec / base.node_rounds_per_sec - 1.0),
+    let mut failed = false;
+    for pair in args.chunks(2) {
+        let (baseline_path, candidate_path) = (&pair[0], &pair[1]);
+        let baseline = load(baseline_path);
+        let candidate = load(candidate_path);
+        println!("comparing {candidate_path} against {baseline_path}:");
+
+        if baseline.name != candidate.name || baseline.nodes != candidate.nodes {
+            eprintln!(
+                "  warning: comparing different configs ({} @ {} nodes vs {} @ {} nodes)",
+                baseline.name, baseline.nodes, candidate.name, candidate.nodes
             );
         }
+
+        for base in &baseline.engines {
+            if let Some(cand) = candidate.engine(&base.engine) {
+                println!(
+                    "  {:<10} baseline {:>12.0} node-rounds/s  candidate {:>12.0} \
+                     node-rounds/s  ({:+.1}%)",
+                    base.engine,
+                    base.node_rounds_per_sec,
+                    cand.node_rounds_per_sec,
+                    100.0 * (cand.node_rounds_per_sec / base.node_rounds_per_sec - 1.0),
+                );
+            }
+        }
+        println!(
+            "  convergence {} -> {} rounds under `{}` (residual {:.2e} -> {:.2e})",
+            baseline.rounds_to_convergence,
+            candidate.rounds_to_convergence,
+            candidate.profile,
+            baseline.residual_error,
+            candidate.residual_error,
+        );
+
+        for r in find_regressions(&baseline, &candidate, max_regression) {
+            eprintln!(
+                "  REGRESSION: {} dropped {:.2}x ({:.0} -> {:.0} node-rounds/s, budget {:.1}x)",
+                r.engine, r.factor, r.baseline, r.candidate, max_regression
+            );
+            failed = true;
+        }
+        for violation in find_quality_regressions(&baseline, &candidate, max_regression) {
+            eprintln!("  REGRESSION: {violation}");
+            failed = true;
+        }
     }
 
-    let regressions = find_regressions(&baseline, &candidate, max_regression);
-    if regressions.is_empty() {
-        println!("perf gate passed (allowed regression: {max_regression}x)");
-        return;
+    if failed {
+        std::process::exit(1);
     }
-    for r in &regressions {
-        eprintln!(
-            "REGRESSION: {} dropped {:.2}x ({:.0} -> {:.0} node-rounds/s, budget {:.1}x)",
-            r.engine, r.factor, r.baseline, r.candidate, max_regression
-        );
-    }
-    std::process::exit(1);
+    println!("perf gate passed (allowed regression: {max_regression}x)");
 }

@@ -1,0 +1,8 @@
+//! The scheduled perf-trend tracker (see `dg_bench::trend`).
+
+fn main() {
+    if let Err(e) = dg_bench::trend::trend_main() {
+        eprintln!("perf_trend: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,688 @@
+//! The paper-claims gate: the pinned-seed adversarial attack matrix.
+//!
+//! The paper's central robustness claim is that gossip-based trust
+//! aggregation *bounds* what free riders and manipulators can extract.
+//! The `claims` binary makes that claim executable: for every attack in
+//! the matrix (honest baseline, sybil rings, collusion cliques,
+//! slander, whitewashing) it runs the full reputation lifecycle on a
+//! pinned seed, once with the paper's plain aggregation and once with
+//! the trust-side countermeasures ([`DefensePolicy::defended`]), plus a
+//! byzantine run of the real peer deployment over the faulty transport.
+//! Each attack emits a `CLAIMS_<attack>.json` report, and the binary
+//! exits non-zero when any documented bound is violated — the CI gate.
+//!
+//! Everything is deterministic per seed, so the bounds are exact
+//! repro thresholds, not statistical hopes. The default thresholds are
+//! in [`ClaimThresholds::default`]; CI can override any of them with
+//! repeated `--bound key=value` flags (see [`ClaimThresholds::apply`]).
+
+use dg_core::behavior::Behavior;
+use dg_gossip::{AdversaryMix, GossipPair, NetworkProfile};
+use dg_p2p::{run_distributed, DistributedConfig};
+use dg_sim::rounds::{DefensePolicy, RoundStats, RoundsConfig, RoundsSimulator};
+use dg_sim::scenario::{Scenario, ScenarioConfig};
+use serde::{Deserialize, Serialize};
+
+/// Network size of the lifecycle matrix runs.
+pub const MATRIX_NODES: usize = 250;
+/// Lifecycle rounds per matrix run.
+pub const MATRIX_ROUNDS: usize = 8;
+/// Network size of the byzantine distributed check.
+pub const BYZANTINE_NODES: usize = 120;
+
+/// The documented bounds the matrix gates on. All comparisons are on
+/// the *defended* run (the open run is reported for contrast), except
+/// the free-rider bound, which is the paper's baseline claim and must
+/// hold without any defense.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClaimThresholds {
+    /// Honest requesters keep at least this service rate under every
+    /// attack (defended run, last round).
+    pub honest_service_min: f64,
+    /// Plain free riders are throttled to at most this service rate in
+    /// the honest baseline (no defense needed — the paper's core claim).
+    pub free_rider_service_max: f64,
+    /// Leech-class adversaries that cannot fake a support base
+    /// (whitewashers) extract at most this service rate under the
+    /// defense's zero-prior rule.
+    pub adversary_service_max: f64,
+    /// Honest subjects' mean reputation moves by at most this (absolute)
+    /// between the defended attack run and the defended no-attack
+    /// reference — the executable Eq. (18): attacks must not move
+    /// honest reputations.
+    pub deviation_max: f64,
+    /// Adversaries' mean reputation exceeds the honest mean by at most
+    /// this under the defense (ballot-stuffing / ring-vouching bounded).
+    pub inflation_max: f64,
+    /// Sybil identities get no *preferential* service: their defended
+    /// service rate is at most the honest rate plus this slack. (A ring
+    /// that vouches for itself can reach ordinary membership — the
+    /// claim is it cannot do better.)
+    pub preferential_service_slack: f64,
+    /// Absolute mass-conservation slack of the byzantine distributed
+    /// run: `|Σ final − (Σ initial − lost + duplicated)|`.
+    pub mass_tolerance: f64,
+    /// Slack on the byzantine bias bound
+    /// `|distorted mean − honest mean| ≤ fraction × (1 − honest mean)`.
+    pub byzantine_bias_slack: f64,
+}
+
+impl Default for ClaimThresholds {
+    fn default() -> Self {
+        Self {
+            honest_service_min: 0.9,
+            free_rider_service_max: 0.2,
+            adversary_service_max: 0.35,
+            deviation_max: 0.1,
+            inflation_max: 0.25,
+            preferential_service_slack: 0.05,
+            mass_tolerance: 1e-9,
+            byzantine_bias_slack: 1e-9,
+        }
+    }
+}
+
+impl ClaimThresholds {
+    /// Apply one `key=value` override (the `--bound` flag).
+    pub fn apply(&mut self, spec: &str) -> Result<(), String> {
+        let (key, value) = spec
+            .split_once('=')
+            .ok_or_else(|| format!("bound `{spec}` is not of the form key=value"))?;
+        let value: f64 = value
+            .trim()
+            .parse()
+            .map_err(|_| format!("bound `{spec}`: `{value}` is not a number"))?;
+        if !value.is_finite() || value < 0.0 {
+            return Err(format!("bound `{spec}`: must be finite and non-negative"));
+        }
+        let slot = match key.trim() {
+            "honest_service_min" => &mut self.honest_service_min,
+            "free_rider_service_max" => &mut self.free_rider_service_max,
+            "adversary_service_max" => &mut self.adversary_service_max,
+            "deviation_max" => &mut self.deviation_max,
+            "inflation_max" => &mut self.inflation_max,
+            "preferential_service_slack" => &mut self.preferential_service_slack,
+            "mass_tolerance" => &mut self.mass_tolerance,
+            "byzantine_bias_slack" => &mut self.byzantine_bias_slack,
+            other => return Err(format!("unknown bound `{other}`")),
+        };
+        *slot = value;
+        Ok(())
+    }
+}
+
+/// One lifecycle run's headline metrics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LifecycleMetrics {
+    /// Last-round honest service rate.
+    pub honest_service_rate: f64,
+    /// Last-round plain free-rider service rate.
+    pub free_rider_service_rate: f64,
+    /// Last-round adversary service rate.
+    pub adversary_service_rate: f64,
+    /// Last-round mean aggregated reputation of honest nodes.
+    pub mean_rep_honest: f64,
+    /// Last-round mean aggregated reputation of adversaries.
+    pub mean_rep_adversaries: f64,
+    /// Diagnostic: honest subjects' mean |reputation − latent quality|
+    /// (carries Eq. (6)'s systematic observer deflation; compare
+    /// `honest_deviation` between runs for the attack effect).
+    pub honest_residual_error: Option<f64>,
+    /// Honest subjects' mean |reputation − same subject's reputation in
+    /// the no-attack reference run under the same defense| — what the
+    /// attack actually moved. `None` for the reference itself.
+    pub honest_deviation: Option<f64>,
+    /// Total whitewash identity resets over the run.
+    pub washes: u64,
+}
+
+/// A finished lifecycle run with everything cross-run comparisons need.
+pub struct LifecycleRun {
+    stats: Vec<RoundStats>,
+    residual: Option<f64>,
+    /// Per-subject mean reputation at the end of the run.
+    means: Vec<Option<f64>>,
+    /// Subjects that are honest contributors (and no adversary role).
+    honest_mask: Vec<bool>,
+}
+
+impl LifecycleRun {
+    /// Mean absolute reputation movement of honest subjects relative to
+    /// a reference run (subjects aggregated in both runs only).
+    pub fn deviation_from(&self, reference: &LifecycleRun) -> Option<f64> {
+        let (mut acc, mut count) = (0.0, 0usize);
+        for (i, &honest) in self.honest_mask.iter().enumerate() {
+            if !honest {
+                continue;
+            }
+            if let (Some(a), Some(r)) = (self.means[i], reference.means[i]) {
+                acc += (a - r).abs();
+                count += 1;
+            }
+        }
+        (count > 0).then(|| acc / count as f64)
+    }
+
+    fn metrics(&self, deviation: Option<f64>) -> LifecycleMetrics {
+        let last = self.stats.last().expect("at least one round");
+        LifecycleMetrics {
+            honest_service_rate: last.honest_service_rate(),
+            free_rider_service_rate: last.free_rider_service_rate(),
+            adversary_service_rate: last.adversary_service_rate(),
+            mean_rep_honest: last.mean_rep_honest,
+            mean_rep_adversaries: last.mean_rep_adversaries,
+            honest_residual_error: self.residual,
+            honest_deviation: deviation,
+            washes: self.stats.iter().map(|s| s.washes).sum(),
+        }
+    }
+}
+
+/// The byzantine distributed check: the real peer runtime over the
+/// lossy transport with input-falsifying adversaries.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ByzantineCheck {
+    /// Byzantine peer fraction (the mix's total adversary fraction).
+    pub fraction: f64,
+    /// Whether the run converged before the round cap.
+    pub converged: bool,
+    /// Rounds executed.
+    pub rounds: usize,
+    /// `|Σ final − (Σ initial − lost + duplicated)|` — exact mass
+    /// accounting under both faults and byzantine inputs.
+    pub mass_error: f64,
+    /// The honest inputs' true mean.
+    pub honest_mean: f64,
+    /// The mean the falsified inputs actually average to.
+    pub distorted_mean: f64,
+    /// `|distorted − honest|`, the bias the attack achieved.
+    pub measured_bias: f64,
+    /// The documented worst-case bound
+    /// `fraction × (1 − min honest input)` — sound for every seed, not
+    /// just ones whose byzantine subset has average values.
+    pub bias_bound: f64,
+}
+
+/// One violated bound.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Violation {
+    /// Which bound.
+    pub bound: String,
+    /// The configured limit.
+    pub limit: f64,
+    /// The measured value.
+    pub value: f64,
+}
+
+/// The full `CLAIMS_<attack>.json` payload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttackReport {
+    /// Attack label (`none` / `sybil` / `collusion` / `slander` /
+    /// `whitewash`).
+    pub attack: String,
+    /// Scenario seed.
+    pub seed: u64,
+    /// Lifecycle network size.
+    pub nodes: usize,
+    /// Lifecycle rounds.
+    pub rounds: usize,
+    /// The adversary mix that ran.
+    pub mix: AdversaryMix,
+    /// Metrics with the paper's plain aggregation.
+    pub open: LifecycleMetrics,
+    /// Metrics with [`DefensePolicy::defended`].
+    pub defended: LifecycleMetrics,
+    /// The distributed byzantine check.
+    pub byzantine: ByzantineCheck,
+    /// For the honest baseline only: whether a zero-fraction mix with
+    /// non-default structural knobs replayed bit-identically.
+    pub zero_mix_bit_identical: Option<bool>,
+    /// Violated bounds (empty = this attack's claims hold).
+    pub violations: Vec<Violation>,
+}
+
+fn scenario_config(seed: u64, mix: AdversaryMix) -> ScenarioConfig {
+    ScenarioConfig {
+        nodes: MATRIX_NODES,
+        seed,
+        free_rider_fraction: 0.1,
+        quality_range: (0.4, 1.0),
+        ..ScenarioConfig::default()
+    }
+    .with_adversary(mix)
+}
+
+fn run_lifecycle(
+    config: ScenarioConfig,
+    defense: DefensePolicy,
+) -> Result<LifecycleRun, Box<dyn std::error::Error>> {
+    let scenario = Scenario::build(config)?;
+    let mut sim = RoundsSimulator::new(
+        &scenario,
+        RoundsConfig {
+            rounds: MATRIX_ROUNDS,
+            ..RoundsConfig::default()
+        }
+        .with_defense(defense),
+    );
+    let mut rng = scenario.gossip_rng(2);
+    let stats = sim.run(&mut rng)?;
+    let residual = sim.honest_residual_error();
+    let means = sim.subject_mean_reputations();
+    let honest_mask = scenario
+        .graph
+        .nodes()
+        .map(|v| {
+            !scenario.adversaries.is_adversary(v)
+                && matches!(scenario.population.behavior(v), Behavior::Honest { .. })
+        })
+        .collect();
+    Ok(LifecycleRun {
+        stats,
+        residual,
+        means,
+        honest_mask,
+    })
+}
+
+/// The defended and undefended no-attack reference runs every attack's
+/// deviation is measured against.
+pub struct Reference {
+    open: LifecycleRun,
+    defended: LifecycleRun,
+}
+
+/// Build the reference runs for a seed.
+pub fn reference(seed: u64) -> Result<Reference, Box<dyn std::error::Error>> {
+    let config = scenario_config(seed, AdversaryMix::none());
+    Ok(Reference {
+        open: run_lifecycle(config, DefensePolicy::none())?,
+        defended: run_lifecycle(config, DefensePolicy::defended())?,
+    })
+}
+
+fn byzantine_check(
+    seed: u64,
+    mix: AdversaryMix,
+) -> Result<ByzantineCheck, Box<dyn std::error::Error>> {
+    // The real peer deployment over the lossy transport: byzantine
+    // peers falsify their inputs, the network loses (and recredits)
+    // shares, and the mass ledger must still close exactly.
+    let substrate = Scenario::build(ScenarioConfig {
+        nodes: BYZANTINE_NODES,
+        seed,
+        quality_range: (0.4, 1.0),
+        ..ScenarioConfig::default()
+    })?;
+    let values = substrate.population.latent_qualities();
+    let honest_mean = values.iter().sum::<f64>() / values.len() as f64;
+    let initial: Vec<GossipPair> = values.iter().map(|&v| GossipPair::originator(v)).collect();
+    let config = DistributedConfig {
+        xi: 1e-4,
+        seed,
+        max_rounds: 5_000,
+        profile: NetworkProfile::lossy(),
+        adversary: mix,
+        ..DistributedConfig::default()
+    };
+    let runtime = tokio::runtime::Builder::new_multi_thread().build()?;
+    let out = runtime.block_on(run_distributed(&substrate.graph, config, initial))?;
+
+    let expected = out.ledger.expected_total(out.initial_total);
+    let actual = out.total_pair();
+    let mass_error = (actual.value - expected.value)
+        .abs()
+        .max((actual.weight - expected.weight).abs());
+    let distorted_mean = out.initial_total.value / out.initial_total.weight;
+    // The sound worst-case bound: each byzantine peer shifts the mean by
+    // at most `(1 − its value)/n ≤ (1 − worst input)/n`, regardless of
+    // which peers the seed happened to select. (A mean-based bound would
+    // fail for any seed whose byzantine subset has below-average values.)
+    let worst_input = values.iter().copied().fold(f64::INFINITY, f64::min);
+    Ok(ByzantineCheck {
+        fraction: mix.adversary_fraction(),
+        converged: out.converged,
+        rounds: out.rounds,
+        mass_error,
+        honest_mean,
+        distorted_mean,
+        measured_bias: (distorted_mean - honest_mean).abs(),
+        bias_bound: mix.adversary_fraction() * (1.0 - worst_input),
+    })
+}
+
+/// The pinned attack matrix.
+pub fn attack_matrix() -> Vec<(&'static str, AdversaryMix)> {
+    vec![
+        ("none", AdversaryMix::none()),
+        ("sybil", AdversaryMix::sybil()),
+        ("collusion", AdversaryMix::collusion()),
+        ("slander", AdversaryMix::slander()),
+        ("whitewash", AdversaryMix::whitewash()),
+    ]
+}
+
+fn check(violations: &mut Vec<Violation>, bound: &str, limit: f64, value: f64, ok: bool) {
+    if !ok {
+        violations.push(Violation {
+            bound: bound.to_owned(),
+            limit,
+            value,
+        });
+    }
+}
+
+/// Run one attack through the lifecycle (open + defended) and the
+/// byzantine distributed check, and gate it against the thresholds.
+/// `reference` supplies the no-attack runs deviations are measured
+/// against.
+pub fn run_attack(
+    attack: &str,
+    mix: AdversaryMix,
+    seed: u64,
+    thresholds: &ClaimThresholds,
+    reference: &Reference,
+) -> Result<AttackReport, Box<dyn std::error::Error>> {
+    let config = scenario_config(seed, mix);
+    // The `none` row IS the reference — reuse its runs instead of
+    // repeating the identical 250-node lifecycles.
+    let attack_runs = if mix.is_none() {
+        None
+    } else {
+        Some((
+            run_lifecycle(config, DefensePolicy::none())?,
+            run_lifecycle(config, DefensePolicy::defended())?,
+        ))
+    };
+    let (open_run, defended_run) = match &attack_runs {
+        Some((open, defended)) => (open, defended),
+        None => (&reference.open, &reference.defended),
+    };
+    let (open_dev, defended_dev) = if mix.is_none() {
+        (None, None)
+    } else {
+        (
+            open_run.deviation_from(&reference.open),
+            defended_run.deviation_from(&reference.defended),
+        )
+    };
+    let open = open_run.metrics(open_dev);
+    let defended = defended_run.metrics(defended_dev);
+    let byzantine = byzantine_check(seed, mix)?;
+
+    // The zero-adversary bit-identity pin: a mix with all fractions at
+    // zero but non-default structural knobs must replay the honest
+    // baseline exactly.
+    let zero_mix_bit_identical = if mix.is_none() {
+        let knobbed = AdversaryMix {
+            sybil_ring: 3,
+            sybil_spawn_rate: 0.5,
+            collusion_clique: 7,
+            slander_factor: 0.9,
+            wash_threshold: 0.8,
+            ..AdversaryMix::none()
+        };
+        let replay = run_lifecycle(scenario_config(seed, knobbed), DefensePolicy::none())?;
+        Some(replay.stats == open_run.stats && replay.means == open_run.means)
+    } else {
+        None
+    };
+
+    let t = thresholds;
+    let mut violations = Vec::new();
+    check(
+        &mut violations,
+        "honest_service_min",
+        t.honest_service_min,
+        defended.honest_service_rate,
+        defended.honest_service_rate >= t.honest_service_min,
+    );
+    if let Some(deviation) = defended.honest_deviation {
+        check(
+            &mut violations,
+            "deviation_max",
+            t.deviation_max,
+            deviation,
+            deviation <= t.deviation_max,
+        );
+    }
+    check(
+        &mut violations,
+        "mass_tolerance",
+        t.mass_tolerance,
+        byzantine.mass_error,
+        byzantine.mass_error <= t.mass_tolerance,
+    );
+    check(
+        &mut violations,
+        "byzantine_bias_slack",
+        byzantine.bias_bound + t.byzantine_bias_slack,
+        byzantine.measured_bias,
+        byzantine.measured_bias <= byzantine.bias_bound + t.byzantine_bias_slack,
+    );
+    match attack {
+        "none" => {
+            check(
+                &mut violations,
+                "free_rider_service_max",
+                t.free_rider_service_max,
+                open.free_rider_service_rate,
+                open.free_rider_service_rate <= t.free_rider_service_max,
+            );
+            check(
+                &mut violations,
+                "zero_mix_bit_identical",
+                1.0,
+                if zero_mix_bit_identical == Some(true) {
+                    1.0
+                } else {
+                    0.0
+                },
+                zero_mix_bit_identical == Some(true),
+            );
+        }
+        "sybil" => {
+            // A self-vouching ring can reach ordinary membership; the
+            // bound is that it gains nothing *beyond* it, in service or
+            // in rank.
+            check(
+                &mut violations,
+                "preferential_service_slack",
+                defended.honest_service_rate + t.preferential_service_slack,
+                defended.adversary_service_rate,
+                defended.adversary_service_rate
+                    <= defended.honest_service_rate + t.preferential_service_slack,
+            );
+            let inflation = defended.mean_rep_adversaries - defended.mean_rep_honest;
+            check(
+                &mut violations,
+                "inflation_max",
+                t.inflation_max,
+                inflation,
+                inflation <= t.inflation_max,
+            );
+        }
+        "whitewash" => {
+            check(
+                &mut violations,
+                "adversary_service_max",
+                t.adversary_service_max,
+                defended.adversary_service_rate,
+                defended.adversary_service_rate <= t.adversary_service_max,
+            );
+            // The attack must actually have been exercised.
+            check(
+                &mut violations,
+                "washes_exercised",
+                1.0,
+                open.washes as f64,
+                open.washes >= 1,
+            );
+        }
+        "collusion" => {
+            let inflation = defended.mean_rep_adversaries - defended.mean_rep_honest;
+            check(
+                &mut violations,
+                "inflation_max",
+                t.inflation_max,
+                inflation,
+                inflation <= t.inflation_max,
+            );
+        }
+        _ => {}
+    }
+
+    Ok(AttackReport {
+        attack: attack.to_owned(),
+        seed,
+        nodes: MATRIX_NODES,
+        rounds: MATRIX_ROUNDS,
+        mix,
+        open,
+        defended,
+        byzantine,
+        zero_mix_bit_identical,
+        violations,
+    })
+}
+
+/// Run the whole matrix; returns every report (pass and fail alike).
+pub fn run_matrix(
+    seed: u64,
+    thresholds: &ClaimThresholds,
+) -> Result<Vec<AttackReport>, Box<dyn std::error::Error>> {
+    let reference = reference(seed)?;
+    attack_matrix()
+        .into_iter()
+        .map(|(attack, mix)| run_attack(attack, mix, seed, thresholds, &reference))
+        .collect()
+}
+
+/// The `claims` binary's entry point.
+pub fn claims_main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut seed = 42u64;
+    let mut json = false;
+    let mut out_dir = String::from(".");
+    let mut thresholds = ClaimThresholds::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seed" => {
+                seed = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--seed needs a u64 value")?;
+            }
+            "--json" => json = true,
+            "--out-dir" => {
+                out_dir = args.next().ok_or("--out-dir needs a path")?;
+            }
+            "--bound" => {
+                let spec = args.next().ok_or("--bound needs key=value")?;
+                thresholds.apply(&spec)?;
+            }
+            other => {
+                return Err(format!(
+                    "unknown flag {other}\nusage: claims [--seed <u64>] [--json] \
+                     [--out-dir <path>] [--bound <key>=<value>]..."
+                )
+                .into())
+            }
+        }
+    }
+
+    eprintln!(
+        "claims: attack matrix at N={MATRIX_NODES}, {MATRIX_ROUNDS} rounds, seed {seed} \
+         (byzantine check at N={BYZANTINE_NODES} over the lossy transport)"
+    );
+    let reports = run_matrix(seed, &thresholds)?;
+    let mut failed = false;
+    eprintln!(
+        "  {:<10} {:>8} {:>8} {:>8} {:>9} {:>7} {:>9}  bounds",
+        "attack", "honest", "adv", "advDEF", "devDEF", "washes", "byzBias"
+    );
+    for report in &reports {
+        let deviation = report
+            .defended
+            .honest_deviation
+            .map(|d| format!("{d:.4}"))
+            .unwrap_or_else(|| "-".into());
+        let verdict = if report.violations.is_empty() {
+            "ok".to_owned()
+        } else {
+            failed = true;
+            format!(
+                "VIOLATED: {}",
+                report
+                    .violations
+                    .iter()
+                    .map(|v| format!("{} ({:.4} vs {:.4})", v.bound, v.value, v.limit))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )
+        };
+        eprintln!(
+            "  {:<10} {:>8.3} {:>8.3} {:>8.3} {:>9} {:>7} {:>9.4}  {}",
+            report.attack,
+            report.defended.honest_service_rate,
+            report.open.adversary_service_rate,
+            report.defended.adversary_service_rate,
+            deviation,
+            report.open.washes,
+            report.byzantine.measured_bias,
+            verdict,
+        );
+        let path = format!("{out_dir}/CLAIMS_{}.json", report.attack);
+        std::fs::write(&path, serde_json::to_string_pretty(report)?)?;
+        if json {
+            println!("{}", serde_json::to_string(report)?);
+        }
+    }
+    if failed {
+        return Err("claims gate: documented bounds violated (see table above)".into());
+    }
+    eprintln!("claims gate: all documented bounds hold");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threshold_overrides_parse() {
+        let mut t = ClaimThresholds::default();
+        t.apply("honest_service_min=0.5").unwrap();
+        assert_eq!(t.honest_service_min, 0.5);
+        t.apply(" deviation_max = 0.25 ").unwrap(); // whitespace is trimmed
+        assert_eq!(t.deviation_max, 0.25);
+        t.apply("mass_tolerance=1e-6").unwrap();
+        assert_eq!(t.mass_tolerance, 1e-6);
+    }
+
+    #[test]
+    fn threshold_parsing_rejects_garbage() {
+        let mut t = ClaimThresholds::default();
+        assert!(t.apply("no_equals_sign").is_err());
+        assert!(t.apply("unknown_bound=1.0").is_err());
+        assert!(t.apply("deviation_max=abc").is_err());
+        assert!(t.apply("deviation_max=-1.0").is_err());
+        assert!(t.apply("deviation_max=inf").is_err());
+        // Errors leave the thresholds untouched.
+        assert_eq!(t, ClaimThresholds::default());
+    }
+
+    #[test]
+    fn matrix_covers_every_preset_once() {
+        let matrix = attack_matrix();
+        let labels: Vec<&str> = matrix.iter().map(|(l, _)| *l).collect();
+        assert_eq!(
+            labels,
+            vec!["none", "sybil", "collusion", "slander", "whitewash"]
+        );
+        for (label, mix) in &matrix {
+            assert_eq!(mix.label(), if *label == "none" { "none" } else { label });
+            assert!(mix.validated().is_ok());
+        }
+    }
+}

@@ -15,12 +15,19 @@
 //! * `--profile <lossless|lossy|partitioned|churning>` — network fault
 //!   profile for profile-aware binaries (`perf_suite` emits
 //!   `BENCH_<profile>.json`, `degradation` sweeps them),
+//! * `--adversary <none|sybil|collusion|slander|whitewash>` — adversary
+//!   preset for round-loop driving binaries (`perf_suite` composes it
+//!   with `--engine` and `--profile`, so attacks run under either
+//!   engine over any transport profile; the gossip-layer figure/table
+//!   binaries accept and ignore it),
 //! * `--out <path>` — where report-writing binaries put their JSON.
 
-use dg_gossip::{EngineKind, NetworkProfile};
+use dg_gossip::{AdversaryMix, EngineKind, NetworkProfile};
 
+pub mod claims;
 pub mod linkcheck;
 pub mod perf;
+pub mod trend;
 
 /// Parsed common CLI options.
 #[derive(Debug, Clone, PartialEq)]
@@ -36,6 +43,8 @@ pub struct Cli {
     pub engine: Option<EngineKind>,
     /// Network fault profile (default lossless).
     pub profile: NetworkProfile,
+    /// Adversary preset (default none).
+    pub adversary: AdversaryMix,
     /// Output path for report files (binaries define their default).
     pub out: Option<String>,
 }
@@ -48,6 +57,7 @@ impl Default for Cli {
             json: false,
             engine: None,
             profile: NetworkProfile::lossless(),
+            adversary: AdversaryMix::none(),
             out: None,
         }
     }
@@ -89,6 +99,19 @@ impl Cli {
                         });
                     cli.profile = v;
                 }
+                "--adversary" => {
+                    let v = args
+                        .next()
+                        .as_deref()
+                        .and_then(AdversaryMix::parse)
+                        .unwrap_or_else(|| {
+                            usage(
+                                "--adversary needs one of: none, sybil, collusion, slander, \
+                                 whitewash",
+                            )
+                        });
+                    cli.adversary = v;
+                }
                 "--out" => {
                     let v = args
                         .next()
@@ -110,7 +133,8 @@ fn usage(msg: &str) -> ! {
     eprintln!(
         "{msg}\nusage: <bin> [--full] [--seed <u64>] [--json] \
          [--engine <sequential|parallel>] \
-         [--profile <lossless|lossy|partitioned|churning>] [--out <path>]"
+         [--profile <lossless|lossy|partitioned|churning>] \
+         [--adversary <none|sybil|collusion|slander|whitewash>] [--out <path>]"
     );
     std::process::exit(2)
 }

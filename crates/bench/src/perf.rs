@@ -8,7 +8,7 @@
 //! configs without breaking older baselines (unknown engines in either
 //! file are ignored by the comparison).
 
-use dg_gossip::{EngineKind, NetworkProfile, ScalarGossip};
+use dg_gossip::{AdversaryMix, EngineKind, NetworkProfile, ScalarGossip};
 use dg_sim::rounds::{AggregationScope, RoundsConfig, RoundsSimulator};
 use dg_sim::scenario::{Scenario, ScenarioConfig};
 use serde::{Deserialize, Serialize};
@@ -17,6 +17,11 @@ use std::time::Instant;
 /// Throughput may drop to this fraction of the baseline before the gate
 /// fails (the ISSUE's ">2× regression" bar).
 pub const MAX_REGRESSION: f64 = 2.0;
+
+/// Residual errors below this floor are considered noise by the quality
+/// gate (faulty profiles leave small non-zero residuals whose exact
+/// value is seed-sensitive; only order-of-magnitude growth matters).
+pub const RESIDUAL_FLOOR: f64 = 0.01;
 
 /// One engine's measurement within a report.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -62,6 +67,10 @@ pub struct PerfReport {
     /// faulty profiles.
     #[serde(default)]
     pub residual_error: f64,
+    /// Adversary preset the lifecycle measurement ran under (empty in
+    /// pre-adversary reports, which were all honest).
+    #[serde(default)]
+    pub adversary: String,
     /// Per-engine measurements.
     pub engines: Vec<EngineResult>,
     /// `parallel` throughput over `sequential` throughput; `None` when
@@ -111,6 +120,7 @@ fn scenario_config(
     seed: u64,
     engine: EngineKind,
     profile: NetworkProfile,
+    adversary: AdversaryMix,
 ) -> ScenarioConfig {
     ScenarioConfig {
         nodes: perf.nodes,
@@ -119,6 +129,7 @@ fn scenario_config(
         quality_range: (0.4, 1.0),
         engine,
         profile,
+        adversary,
         ..ScenarioConfig::default()
     }
 }
@@ -127,6 +138,7 @@ fn measure_engine(
     perf: &PerfConfig,
     seed: u64,
     engine: EngineKind,
+    adversary: AdversaryMix,
 ) -> Result<EngineResult, Box<dyn std::error::Error>> {
     // The lifecycle loop aggregates in closed form, so engine throughput
     // is profile-independent — always measured lossless for
@@ -136,6 +148,7 @@ fn measure_engine(
         seed,
         engine,
         NetworkProfile::lossless(),
+        adversary,
     ))?;
     let config = RoundsConfig {
         rounds: perf.rounds,
@@ -169,10 +182,34 @@ pub fn run_suite(
     only: Option<EngineKind>,
     profile: NetworkProfile,
 ) -> Result<PerfReport, Box<dyn std::error::Error>> {
+    run_suite_with_adversary(perf, seed, only, profile, AdversaryMix::none())
+}
+
+/// [`run_suite`] with an adversarial mix composed into the lifecycle
+/// measurement (engine throughput under attack). The scalar convergence
+/// metric is built without the mix so it stays comparable against
+/// honest baselines; byzantine gossip numbers come from the `claims`
+/// harness.
+pub fn run_suite_with_adversary(
+    perf: &PerfConfig,
+    seed: u64,
+    only: Option<EngineKind>,
+    profile: NetworkProfile,
+    adversary: AdversaryMix,
+) -> Result<PerfReport, Box<dyn std::error::Error>> {
     // Convergence metric: scalar differential-gossip averaging on the
     // same overlay, steps to protocol quiescence, under the requested
-    // network profile.
-    let scenario = Scenario::build(scenario_config(perf, seed, EngineKind::Sequential, profile))?;
+    // network profile. Built WITHOUT the adversary mix — the mix
+    // rewrites leech-role latent qualities, and this metric must stay
+    // comparable against honest baselines (byzantine gossip numbers
+    // come from the `claims` harness).
+    let scenario = Scenario::build(scenario_config(
+        perf,
+        seed,
+        EngineKind::Sequential,
+        profile,
+        AdversaryMix::none(),
+    ))?;
     let values = scenario.population.latent_qualities();
     let mean = values.iter().sum::<f64>() / values.len().max(1) as f64;
     let gossip = scenario.gossip_config(1e-4)?.with_sticky_announcements();
@@ -184,7 +221,7 @@ pub fn run_suite(
     let mut engines = Vec::new();
     for engine in [EngineKind::Sequential, EngineKind::Parallel] {
         if only.is_none() || only == Some(engine) {
-            engines.push(measure_engine(perf, seed, engine)?);
+            engines.push(measure_engine(perf, seed, engine, adversary)?);
         }
     }
     let speedup = match (&engines[..], only) {
@@ -202,6 +239,7 @@ pub fn run_suite(
         profile: profile.label().to_owned(),
         rounds_to_convergence: out.steps,
         residual_error,
+        adversary: adversary.label().to_owned(),
         engines,
         speedup_parallel_over_sequential: speedup,
     })
@@ -214,13 +252,14 @@ pub fn suite_main() -> Result<(), Box<dyn std::error::Error>> {
     let cli = crate::Cli::parse();
     let config = if cli.full { FULL } else { SMOKE };
     eprintln!(
-        "perf_suite: {} ({} nodes, {} rounds, {} req/edge, seed {}, profile {})",
+        "perf_suite: {} ({} nodes, {} rounds, {} req/edge, seed {}, profile {}, adversary {})",
         config.name,
         config.nodes,
         config.rounds,
         config.requests_per_edge,
         cli.seed,
         cli.profile.label(),
+        cli.adversary.label(),
     );
     if cli.profile.has_transport_only_faults() {
         eprintln!(
@@ -232,7 +271,8 @@ pub fn suite_main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    let report = run_suite(&config, cli.seed, cli.engine, cli.profile)?;
+    let report =
+        run_suite_with_adversary(&config, cli.seed, cli.engine, cli.profile, cli.adversary)?;
     for engine in &report.engines {
         eprintln!(
             "  {:<10} {:>10.1} ms  {:>12.0} node-rounds/s  (final free-rider service {:.3})",
@@ -251,8 +291,17 @@ pub fn suite_main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Lossless keeps the historical BENCH_<config>.json name (the
-    // committed baseline); faulty profiles get their own report file.
-    let default_name = if cli.profile.is_reliable() {
+    // committed baseline); faulty profiles and adversarial runs get
+    // their own report files.
+    let default_name = if !cli.adversary.is_none() {
+        // Keep the profile in the name so lossless and faulty
+        // adversarial reports don't clobber each other.
+        if cli.profile.is_reliable() {
+            format!("BENCH_adv_{}.json", report.adversary)
+        } else {
+            format!("BENCH_adv_{}_{}.json", report.adversary, report.profile)
+        }
+    } else if cli.profile.is_reliable() {
         format!("BENCH_{}.json", report.name)
     } else {
         format!("BENCH_{}.json", report.profile)
@@ -305,6 +354,39 @@ pub fn find_regressions(
     out
 }
 
+/// Convergence-quality regressions between two reports of the same
+/// profile: the candidate must not need more than `max_regression`
+/// times the baseline's gossip rounds to converge, and its residual
+/// error must not grow past `max_regression ×` the baseline (ignoring
+/// residuals under [`RESIDUAL_FLOOR`], which are noise). Returns
+/// human-readable violations (empty = pass).
+pub fn find_quality_regressions(
+    baseline: &PerfReport,
+    candidate: &PerfReport,
+    max_regression: f64,
+) -> Vec<String> {
+    let mut out = Vec::new();
+    let rounds_budget = (baseline.rounds_to_convergence as f64 * max_regression).ceil() as usize;
+    if baseline.rounds_to_convergence > 0 && candidate.rounds_to_convergence > rounds_budget {
+        out.push(format!(
+            "rounds_to_convergence grew {} -> {} (budget {} at {:.1}x) under profile `{}`",
+            baseline.rounds_to_convergence,
+            candidate.rounds_to_convergence,
+            rounds_budget,
+            max_regression,
+            candidate.profile,
+        ));
+    }
+    let residual_budget = (baseline.residual_error * max_regression).max(RESIDUAL_FLOOR);
+    if candidate.residual_error > residual_budget {
+        out.push(format!(
+            "residual_error grew {:.2e} -> {:.2e} (budget {:.2e}) under profile `{}`",
+            baseline.residual_error, candidate.residual_error, residual_budget, candidate.profile,
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -319,6 +401,7 @@ mod tests {
             profile: "lossless".into(),
             rounds_to_convergence: 10,
             residual_error: 0.0,
+            adversary: "none".into(),
             engines: vec![
                 EngineResult {
                     engine: "sequential".into(),
@@ -443,5 +526,34 @@ mod tests {
         let report: PerfReport = serde_json::from_str(legacy).unwrap();
         assert_eq!(report.profile, "");
         assert_eq!(report.residual_error, 0.0);
+        assert_eq!(report.adversary, "");
+    }
+
+    #[test]
+    fn quality_gate_fires_on_convergence_and_residual_growth() {
+        let baseline = report(1000.0, 2000.0);
+        // Identical: clean.
+        assert!(find_quality_regressions(&baseline, &report(1.0, 1.0), 2.0).is_empty());
+        // Convergence within budget (10 -> 20 at 2x): clean.
+        let mut cand = report(1.0, 1.0);
+        cand.rounds_to_convergence = 20;
+        assert!(find_quality_regressions(&baseline, &cand, 2.0).is_empty());
+        // Convergence beyond budget: violation.
+        cand.rounds_to_convergence = 21;
+        let v = find_quality_regressions(&baseline, &cand, 2.0);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("rounds_to_convergence"));
+        // Residual under the floor: noise, clean.
+        let mut cand = report(1.0, 1.0);
+        cand.residual_error = 0.009;
+        assert!(find_quality_regressions(&baseline, &cand, 2.0).is_empty());
+        // Residual past both floor and 2x budget: violation.
+        let mut lossy_base = report(1.0, 1.0);
+        lossy_base.residual_error = 0.02;
+        let mut cand = report(1.0, 1.0);
+        cand.residual_error = 0.05;
+        let v = find_quality_regressions(&lossy_base, &cand, 2.0);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("residual_error"));
     }
 }

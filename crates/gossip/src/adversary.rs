@@ -1,0 +1,311 @@
+//! Adversarial population mixes.
+//!
+//! The paper's robustness claims are only credible when stress-tested
+//! against peers that actively lie, not merely fail. [`AdversaryMix`]
+//! describes *which fraction of the population runs which attack* plus
+//! the per-attack knobs, in one serializable config that travels the
+//! same road as [`NetworkProfile`](crate::NetworkProfile):
+//!
+//! * `ScenarioConfig::adversary` (dg-sim) compiles the mix into per-node
+//!   roles and the round engines apply each role's gossip-channel
+//!   distortion (the `Strategy` trait lives there);
+//! * [`GossipConfig::adversary`](crate::GossipConfig) carries the mix so
+//!   round-driving layers configured through a gossip config inherit it;
+//! * `DistributedConfig::adversary` (dg-p2p) maps the *total* adversary
+//!   fraction onto byzantine peers that falsify their gossip inputs over
+//!   the real transports, reliable or faulty.
+//!
+//! Every stochastic attack decision draws from a per-adversary ChaCha8
+//! stream derived from the scenario seed, so attack runs are
+//! bit-reproducible per `(config, seed)` — and a mix with all fractions
+//! at zero consumes no randomness at all, keeping zero-adversary runs
+//! bit-identical to honest baselines.
+
+use crate::config::node_stream_seed;
+use crate::error::GossipError;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Salt folded into the seed of the byzantine-selection stream so it is
+/// decoupled from topology, population and workload streams.
+const BYZANTINE_SALT: u64 = 0xB12A_171E_5EED_0001;
+
+/// Population mix of adversarial strategies.
+///
+/// Fractions are of the whole population and must sum to at most 1; the
+/// remaining knobs parameterise the individual attacks. The default mix
+/// is [`AdversaryMix::none`] — all fractions zero, structural knobs at
+/// their preset values.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdversaryMix {
+    /// Fraction of nodes that are sybil-ring identities (leeches that
+    /// vouch maximally for ring-mates and bad-mouth rated outsiders).
+    pub sybil_fraction: f64,
+    /// Identities per sybil ring.
+    pub sybil_ring: usize,
+    /// Expected identity activations per round per ring: rings grow over
+    /// time instead of appearing fully formed (dormant identities
+    /// neither transact nor report).
+    pub sybil_spawn_rate: f64,
+    /// Fraction of nodes in collusion cliques: peers that serve honestly
+    /// but mutually inflate each other's trust reports to 1.
+    pub collusion_fraction: f64,
+    /// Members per collusion clique.
+    pub collusion_clique: usize,
+    /// Fraction of slanderers: peers that serve honestly but deflate
+    /// every report they gossip about others.
+    pub slander_fraction: f64,
+    /// Surviving fraction of a slanderer's honest report (0 = full
+    /// bad-mouthing, 1 = no distortion).
+    pub slander_factor: f64,
+    /// Fraction of whitewashers: leeches that discard their identity and
+    /// rejoin fresh whenever their network-wide reputation collapses.
+    pub whitewash_fraction: f64,
+    /// Base reputation threshold below which a whitewasher washes (each
+    /// washer jitters its personal threshold from its own stream).
+    pub wash_threshold: f64,
+}
+
+impl Default for AdversaryMix {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+impl AdversaryMix {
+    /// No adversaries at all (all fractions zero).
+    pub const fn none() -> Self {
+        Self {
+            sybil_fraction: 0.0,
+            sybil_ring: 8,
+            sybil_spawn_rate: 2.0,
+            collusion_fraction: 0.0,
+            collusion_clique: 4,
+            slander_fraction: 0.0,
+            slander_factor: 0.0,
+            whitewash_fraction: 0.0,
+            wash_threshold: 0.25,
+        }
+    }
+
+    /// Preset: 20 % sybil identities in rings of 8, two activations per
+    /// round per ring.
+    pub const fn sybil() -> Self {
+        Self {
+            sybil_fraction: 0.2,
+            ..Self::none()
+        }
+    }
+
+    /// Preset: 20 % colluders in cliques of 4.
+    pub const fn collusion() -> Self {
+        Self {
+            collusion_fraction: 0.2,
+            ..Self::none()
+        }
+    }
+
+    /// Preset: 20 % slanderers, full bad-mouthing.
+    pub const fn slander() -> Self {
+        Self {
+            slander_fraction: 0.2,
+            ..Self::none()
+        }
+    }
+
+    /// Preset: 20 % whitewashers washing below reputation 0.25.
+    pub const fn whitewash() -> Self {
+        Self {
+            whitewash_fraction: 0.2,
+            ..Self::none()
+        }
+    }
+
+    /// Parse a CLI label.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "none" | "honest" => Some(Self::none()),
+            "sybil" => Some(Self::sybil()),
+            "collusion" => Some(Self::collusion()),
+            "slander" => Some(Self::slander()),
+            "whitewash" => Some(Self::whitewash()),
+            _ => None,
+        }
+    }
+
+    /// Stable label: the preset name when the mix equals a preset,
+    /// `custom` otherwise.
+    pub fn label(&self) -> &'static str {
+        if *self == Self::none() {
+            "none"
+        } else if *self == Self::sybil() {
+            "sybil"
+        } else if *self == Self::collusion() {
+            "collusion"
+        } else if *self == Self::slander() {
+            "slander"
+        } else if *self == Self::whitewash() {
+            "whitewash"
+        } else {
+            "custom"
+        }
+    }
+
+    /// Total adversarial fraction of the population.
+    pub fn adversary_fraction(&self) -> f64 {
+        self.sybil_fraction
+            + self.collusion_fraction
+            + self.slander_fraction
+            + self.whitewash_fraction
+    }
+
+    /// Whether the mix contains no adversaries.
+    pub fn is_none(&self) -> bool {
+        self.adversary_fraction() == 0.0
+    }
+
+    /// Validate every knob.
+    pub fn validated(self) -> Result<Self, GossipError> {
+        let fractions = [
+            self.sybil_fraction,
+            self.collusion_fraction,
+            self.slander_fraction,
+            self.whitewash_fraction,
+        ];
+        if fractions.iter().any(|f| !(0.0..=1.0).contains(f)) {
+            return Err(GossipError::InvalidAdversaryMix(
+                "every fraction must lie in [0, 1]",
+            ));
+        }
+        if self.adversary_fraction() > 1.0 {
+            return Err(GossipError::InvalidAdversaryMix(
+                "adversary fractions sum beyond 1",
+            ));
+        }
+        if self.sybil_ring == 0 || self.collusion_clique == 0 {
+            return Err(GossipError::InvalidAdversaryMix(
+                "ring / clique sizes must be at least 1",
+            ));
+        }
+        if self.sybil_fraction > 0.0
+            && !(self.sybil_spawn_rate.is_finite() && self.sybil_spawn_rate > 0.0)
+        {
+            return Err(GossipError::InvalidAdversaryMix(
+                "sybil spawn rate must be positive and finite",
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.slander_factor) {
+            return Err(GossipError::InvalidAdversaryMix(
+                "slander factor must lie in [0, 1]",
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.wash_threshold) {
+            return Err(GossipError::InvalidAdversaryMix(
+                "wash threshold must lie in [0, 1]",
+            ));
+        }
+        Ok(self)
+    }
+
+    /// The deterministic byzantine peer set of a distributed deployment:
+    /// `⌊adversary_fraction · n⌋` node ids drawn from a dedicated ChaCha8
+    /// stream of `seed`, returned ascending. Gossip-input falsification
+    /// does not distinguish strategies — every adversarial identity lies
+    /// in the channel — so the total fraction is what matters here.
+    pub fn byzantine_peers(&self, n: usize, seed: u64) -> Vec<u32> {
+        let count = (self.adversary_fraction() * n as f64).floor() as usize;
+        let count = count.min(n);
+        if count == 0 {
+            return Vec::new();
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(node_stream_seed(seed ^ BYZANTINE_SALT, 0));
+        let mut ids: Vec<u32> = (0..n as u32).collect();
+        ids.shuffle(&mut rng);
+        ids.truncate(count);
+        ids.sort_unstable();
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate_and_roundtrip_labels() {
+        for label in ["none", "sybil", "collusion", "slander", "whitewash"] {
+            let mix = AdversaryMix::parse(label).unwrap();
+            assert!(mix.validated().is_ok());
+            assert_eq!(mix.label(), label);
+        }
+        assert_eq!(AdversaryMix::parse("nope"), None);
+        let custom = AdversaryMix {
+            sybil_fraction: 0.1,
+            slander_fraction: 0.1,
+            ..AdversaryMix::none()
+        };
+        assert_eq!(custom.label(), "custom");
+    }
+
+    #[test]
+    fn validation_rejects_bad_knobs() {
+        assert!(AdversaryMix {
+            sybil_fraction: -0.1,
+            ..AdversaryMix::none()
+        }
+        .validated()
+        .is_err());
+        assert!(AdversaryMix {
+            sybil_fraction: 0.6,
+            collusion_fraction: 0.6,
+            ..AdversaryMix::none()
+        }
+        .validated()
+        .is_err());
+        assert!(AdversaryMix {
+            sybil_fraction: 0.2,
+            sybil_spawn_rate: 0.0,
+            ..AdversaryMix::none()
+        }
+        .validated()
+        .is_err());
+        assert!(AdversaryMix {
+            slander_factor: 1.5,
+            ..AdversaryMix::none()
+        }
+        .validated()
+        .is_err());
+        assert!(AdversaryMix {
+            collusion_clique: 0,
+            ..AdversaryMix::none()
+        }
+        .validated()
+        .is_err());
+    }
+
+    #[test]
+    fn zero_mix_is_none_and_selects_nobody() {
+        let mix = AdversaryMix::none();
+        assert!(mix.is_none());
+        assert_eq!(mix.adversary_fraction(), 0.0);
+        assert!(mix.byzantine_peers(100, 42).is_empty());
+    }
+
+    #[test]
+    fn byzantine_selection_is_deterministic_and_sized() {
+        let mix = AdversaryMix {
+            sybil_fraction: 0.1,
+            whitewash_fraction: 0.1,
+            ..AdversaryMix::none()
+        };
+        let a = mix.byzantine_peers(200, 7);
+        let b = mix.byzantine_peers(200, 7);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 40);
+        assert!(a.windows(2).all(|w| w[0] < w[1]), "sorted unique");
+        let c = mix.byzantine_peers(200, 8);
+        assert_ne!(a, c, "different seed, different set");
+    }
+}

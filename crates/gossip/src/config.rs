@@ -83,6 +83,19 @@ pub struct GossipConfig {
     /// node whose ratio is disturbed by more than `ξ` revokes and
     /// resumes (see the `scalar` module docs).
     pub sticky_announcements: bool,
+    /// Adversarial population mix this config's experiment assumes (see
+    /// [`AdversaryMix`](crate::AdversaryMix)). **Descriptive metadata,
+    /// like [`EngineKind`] for the protocol itself**: the gossip engines
+    /// are adversary-agnostic and never read it — the distortion is
+    /// applied where the mix is *compiled*, by the simulator's scenario
+    /// build (`ScenarioConfig::adversary` → per-node strategies in the
+    /// round engines) and by the `dg-p2p` deployment
+    /// (`DistributedConfig::adversary` → byzantine input falsification).
+    /// It is carried and validated here so a config derived from a
+    /// scenario serializes the full experiment description. Defaults to
+    /// [`AdversaryMix::none`](crate::AdversaryMix::none).
+    #[serde(default)]
+    pub adversary: crate::adversary::AdversaryMix,
 }
 
 impl Default for GossipConfig {
@@ -95,6 +108,7 @@ impl Default for GossipConfig {
             max_steps: 100_000,
             engine: EngineKind::default(),
             sticky_announcements: false,
+            adversary: crate::adversary::AdversaryMix::none(),
         }
     }
 }
@@ -171,11 +185,18 @@ impl GossipConfig {
         self
     }
 
-    /// Validate the tolerance.
+    /// Builder-style: set the adversarial population mix.
+    pub fn with_adversary(mut self, adversary: crate::adversary::AdversaryMix) -> Self {
+        self.adversary = adversary;
+        self
+    }
+
+    /// Validate the tolerance and the adversary mix.
     pub fn validated(self) -> Result<Self, GossipError> {
         if !self.xi.is_finite() || self.xi <= 0.0 {
             return Err(GossipError::InvalidTolerance(self.xi));
         }
+        self.adversary.validated()?;
         Ok(self)
     }
 }

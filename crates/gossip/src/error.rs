@@ -33,4 +33,8 @@ pub enum GossipError {
     /// A network fault profile failed validation.
     #[error("invalid network profile: {0}")]
     InvalidProfile(&'static str),
+
+    /// An adversary mix failed validation.
+    #[error("invalid adversary mix: {0}")]
+    InvalidAdversaryMix(&'static str),
 }

@@ -40,6 +40,7 @@
 //! from — and surfaces the exact deficit through a per-run mass ledger
 //! instead of hiding it.)
 
+pub mod adversary;
 pub mod config;
 pub mod error;
 pub mod fanout;
@@ -52,6 +53,7 @@ pub mod scalar;
 pub mod spread;
 pub mod vector;
 
+pub use adversary::AdversaryMix;
 pub use config::{node_stream_seed, EngineKind, GossipConfig};
 pub use error::GossipError;
 pub use fanout::FanoutPolicy;

@@ -82,7 +82,7 @@ pub fn random_regular<R: Rng + ?Sized>(
     if d >= n {
         return Err(GraphError::DegreeTooLarge { degree: d, n });
     }
-    if !(n * d).is_multiple_of(2) {
+    if (n * d) % 2 != 0 {
         return Err(GraphError::InvalidParameters(
             "n * d must be even for a d-regular graph".into(),
         ));
@@ -94,7 +94,7 @@ pub fn random_regular<R: Rng + ?Sized>(
     // self loop or parallel edge. For d << n a handful of restarts suffice.
     'attempt: for _ in 0..1000 {
         let mut stubs: Vec<u32> = (0..n as u32)
-            .flat_map(|v| std::iter::repeat_n(v, d))
+            .flat_map(|v| std::iter::repeat(v).take(d))
             .collect();
         stubs.shuffle(rng);
         let mut b = GraphBuilder::new(n);

@@ -4,7 +4,7 @@ use crate::peer::{run_peer, Ctrl, PeerSetup, Status};
 use crate::transport::{FaultyNetwork, MassLedger, Network, Transport};
 use dg_gossip::pair::GossipPair;
 use dg_gossip::profile::NetworkProfile;
-use dg_gossip::{node_stream_seed, FanoutPolicy, GossipError};
+use dg_gossip::{node_stream_seed, AdversaryMix, FanoutPolicy, GossipError};
 use dg_graph::{Graph, NodeId};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -30,6 +30,14 @@ pub struct DistributedConfig {
     /// deploys over the reliable [`Network`]; anything else deploys over
     /// the [`FaultyNetwork`] runtime.
     pub profile: NetworkProfile,
+    /// Adversarial mix: the total adversary fraction maps onto
+    /// *byzantine* peers — selected deterministically from `seed` via
+    /// [`AdversaryMix::byzantine_peers`] — that falsify their gossip
+    /// input to the maximal lie (ratio 1) before the run starts.
+    /// Composes with any transport, reliable or faulty; the
+    /// [`MassLedger`] invariant is checked against the *falsified*
+    /// initial total ([`DistributedOutcome::initial_total`]).
+    pub adversary: AdversaryMix,
 }
 
 impl Default for DistributedConfig {
@@ -40,7 +48,16 @@ impl Default for DistributedConfig {
             max_rounds: 10_000,
             seed: 0,
             profile: NetworkProfile::lossless(),
+            adversary: AdversaryMix::none(),
         }
+    }
+}
+
+impl DistributedConfig {
+    /// The byzantine peer ids of this config at network size `n`
+    /// (ascending; empty for a zero mix).
+    pub fn byzantine_peers(&self, n: usize) -> Vec<u32> {
+        self.adversary.byzantine_peers(n, self.seed)
     }
 }
 
@@ -62,6 +79,10 @@ pub struct DistributedOutcome {
     /// faults is `Σ pairs = Σ initial − lost + duplicated`; use
     /// [`DistributedOutcome::total_pair`] to check it.
     pub ledger: MassLedger,
+    /// The summed initial pair the run actually started from — *after*
+    /// byzantine falsification, so the mass invariant stays checkable
+    /// under attack: `total_pair ≈ ledger.expected_total(initial_total)`.
+    pub initial_total: GossipPair,
 }
 
 impl DistributedOutcome {
@@ -125,6 +146,19 @@ pub async fn run_with_transport<T: Transport>(
         }
         .into());
     }
+    config.adversary.validated()?;
+    // Byzantine input falsification: an adversarial peer reports the
+    // maximal lie — value := weight, i.e. ratio 1 — instead of its true
+    // input. The protocol below runs unmodified (byzantine peers follow
+    // push-sum faithfully; their attack is the falsified *input*), so
+    // mass stays conserved relative to the falsified totals and the
+    // achievable bias is bounded by the adversary fraction.
+    let mut initial = initial;
+    for id in config.byzantine_peers(n) {
+        let pair = &mut initial[id as usize];
+        pair.value = pair.weight;
+    }
+    let initial_total: GossipPair = initial.iter().copied().sum();
     let fanouts = config.fanout.resolve(graph)?;
 
     let receivers = transport.take_receivers();
@@ -222,6 +256,7 @@ pub async fn run_with_transport<T: Transport>(
         pairs,
         active_rounds: active,
         ledger,
+        initial_total,
     })
 }
 
@@ -344,6 +379,65 @@ mod tests {
         .unwrap();
         assert!(out.converged);
         assert!(out.active_rounds.iter().all(|&a| a < 20));
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn byzantine_peers_bias_the_average_within_the_fraction_bound() {
+        let g = generators::complete(20);
+        let values = vec![0.5; 20];
+        let honest_mean = 0.5;
+        let config = DistributedConfig {
+            seed: 4,
+            adversary: AdversaryMix {
+                slander_fraction: 0.2,
+                ..AdversaryMix::none()
+            },
+            ..DistributedConfig::default()
+        };
+        let byzantine = config.byzantine_peers(20);
+        assert_eq!(byzantine.len(), 4);
+        let out = run_distributed(&g, config, averaging_initial(&values))
+            .await
+            .unwrap();
+        assert!(out.converged);
+        // The run conserves the *falsified* mass exactly...
+        assert!((out.initial_total.value - (16.0 * 0.5 + 4.0)).abs() < 1e-12);
+        let total = out.total_pair();
+        assert!((total.value - out.initial_total.value).abs() < 1e-9);
+        // ...and the achieved bias is positive but bounded by
+        // fraction × (1 − honest mean).
+        let distorted = out.initial_total.value / out.initial_total.weight;
+        let bias = distorted - honest_mean;
+        assert!(bias > 0.05, "attack had no effect: {bias}");
+        assert!(bias <= 0.2 * (1.0 - honest_mean) + 1e-12, "bias {bias}");
+        for e in &out.estimates {
+            assert!((e - distorted).abs() < 1e-3);
+        }
+    }
+
+    #[tokio::test]
+    async fn zero_adversary_mix_is_bit_identical() {
+        let g = generators::complete(12);
+        let values: Vec<f64> = (0..12).map(|i| i as f64 / 11.0).collect();
+        let honest = run_distributed(&g, DistributedConfig::default(), averaging_initial(&values))
+            .await
+            .unwrap();
+        let with_zero_mix = run_distributed(
+            &g,
+            DistributedConfig {
+                adversary: AdversaryMix {
+                    sybil_fraction: 0.0,
+                    sybil_ring: 3,
+                    wash_threshold: 0.9,
+                    ..AdversaryMix::none()
+                },
+                ..DistributedConfig::default()
+            },
+            averaging_initial(&values),
+        )
+        .await
+        .unwrap();
+        assert_eq!(honest, with_zero_mix);
     }
 
     #[tokio::test(flavor = "multi_thread", worker_threads = 4)]

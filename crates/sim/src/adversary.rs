@@ -1,0 +1,665 @@
+//! Adversarial strategies and their per-node assignment.
+//!
+//! [`AdversaryMix`] says *how much* of the
+//! population attacks; this module says *what each attacker does*. At
+//! [`Scenario::build`](crate::Scenario::build) time the mix is compiled
+//! into an [`AdversaryAssignment`]: a per-node [`Role`] plus the
+//! concrete [`Strategy`] instances (sybil rings with their spawn
+//! schedules, collusion cliques, the slander and whitewash parameters).
+//! The round engines then consult the assignment at three points:
+//!
+//! 1. **transact** — dormant sybil identities neither request nor serve
+//!    ([`AdversaryAssignment::participates`]); adversarial requesters are
+//!    counted in their own service-statistics class;
+//! 2. **report** — each node's estimated trust row passes through its
+//!    strategy's [`Strategy::distort_row`] before entering the gossip
+//!    channel ([`AdversaryAssignment::distort_row`]);
+//! 3. **wash** — after aggregation, whitewashers whose network-wide mean
+//!    reputation fell below their personal threshold discard their
+//!    identity ([`AdversaryAssignment::washes`]); the engines then purge
+//!    every estimator, table entry and aggregated opinion involving the
+//!    old identity.
+//!
+//! Determinism: every stochastic attack parameter (sybil activation
+//! rounds, personal wash thresholds) is drawn from a *per-adversary*
+//! ChaCha8 stream derived from the scenario seed with
+//! [`adversary_stream_seed`] / [`node_stream_seed`], and runtime
+//! distortion gets a per-adversary per-round stream. Honest nodes
+//! consume no adversary randomness at all, so a zero-fraction mix is
+//! bit-identical to an honest run (pinned by `tests/adversaries.rs`).
+
+use dg_core::behavior::{Behavior, Population};
+use dg_gossip::{node_stream_seed, AdversaryMix, GossipError};
+use dg_graph::NodeId;
+use dg_trust::TrustValue;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Salt for the role-assignment shuffle stream (decoupled from the
+/// topology / population / workload streams of the same seed).
+const ASSIGN_SALT: u64 = 0xAD5E_11AE_5EED_0001;
+/// Salt for per-adversary build-time parameter streams.
+const PARAM_SALT: u64 = 0xAD5E_11AE_5EED_0002;
+/// Salt for per-adversary per-round runtime streams.
+const ROUND_SALT: u64 = 0xAD5E_11AE_5EED_0003;
+
+/// The per-adversary ChaCha8 stream seed for runtime decisions in
+/// `round` — distinct per (seed, round, node), so adversary randomness
+/// never perturbs honest streams and attack runs replay bit-for-bit.
+pub fn adversary_stream_seed(seed: u64, round: u64, node: u32) -> u64 {
+    node_stream_seed(seed ^ ROUND_SALT.wrapping_mul(round.wrapping_add(1)), node)
+}
+
+/// The role a node plays in the adversarial population.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum Role {
+    /// Follows the protocol.
+    #[default]
+    Honest,
+    /// Identity in the sybil ring with this index.
+    Sybil {
+        /// Ring index into the assignment.
+        ring: u32,
+    },
+    /// Member of the collusion clique with this index.
+    Colluder {
+        /// Clique index into the assignment.
+        clique: u32,
+    },
+    /// Deflates every report it gossips about others.
+    Slanderer,
+    /// Discards its identity whenever its reputation collapses.
+    Whitewasher,
+}
+
+/// One adversarial strategy: how a node lies in the gossip channel and
+/// when it participates. Implementations carry their own parameters;
+/// the assignment dispatches per node.
+pub trait Strategy {
+    /// Stable label for reports and tables.
+    fn label(&self) -> &'static str;
+
+    /// Whether the node transacts and reports in `round` (dormant sybil
+    /// identities do neither).
+    fn participates(&self, node: NodeId, round: u64) -> bool {
+        let _ = (node, round);
+        true
+    }
+
+    /// Distort the node's honest trust row (ascending by subject) into
+    /// what it reports into the gossip channel. `rng` is the node's
+    /// private per-round ChaCha8 stream.
+    fn distort_row(
+        &self,
+        node: NodeId,
+        round: u64,
+        row: &mut Vec<(NodeId, TrustValue)>,
+        rng: &mut ChaCha8Rng,
+    );
+}
+
+/// The honest "strategy": report exactly what was estimated.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HonestStrategy;
+
+impl Strategy for HonestStrategy {
+    fn label(&self) -> &'static str {
+        "honest"
+    }
+
+    fn distort_row(
+        &self,
+        _node: NodeId,
+        _round: u64,
+        _row: &mut Vec<(NodeId, TrustValue)>,
+        _rng: &mut ChaCha8Rng,
+    ) {
+    }
+}
+
+/// A sybil ring: leech identities that endorse every active ring-mate
+/// at 1, bad-mouth every rated outsider at 0, and spawn over time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SybilRing {
+    /// Ring members, ascending.
+    pub members: Vec<NodeId>,
+    /// Round at which each member (aligned with `members`) activates.
+    pub activation: Vec<u64>,
+}
+
+impl SybilRing {
+    fn member_index(&self, node: NodeId) -> Option<usize> {
+        self.members.binary_search(&node).ok()
+    }
+
+    /// Whether `node` has activated by `round`.
+    pub fn active(&self, node: NodeId, round: u64) -> bool {
+        self.member_index(node)
+            .map(|i| self.activation[i] <= round)
+            .unwrap_or(false)
+    }
+}
+
+impl Strategy for SybilRing {
+    fn label(&self) -> &'static str {
+        "sybil"
+    }
+
+    fn participates(&self, node: NodeId, round: u64) -> bool {
+        self.active(node, round)
+    }
+
+    fn distort_row(
+        &self,
+        node: NodeId,
+        round: u64,
+        row: &mut Vec<(NodeId, TrustValue)>,
+        _rng: &mut ChaCha8Rng,
+    ) {
+        if !self.active(node, round) {
+            // A dormant identity does not exist yet: it reports nothing.
+            row.clear();
+            return;
+        }
+        // Bad-mouth every rated outsider, endorse every active mate.
+        let mut reports: BTreeMap<NodeId, TrustValue> = row
+            .drain(..)
+            .map(|(subject, _)| (subject, TrustValue::ZERO))
+            .collect();
+        for (idx, &mate) in self.members.iter().enumerate() {
+            if mate != node && self.activation[idx] <= round {
+                reports.insert(mate, TrustValue::ONE);
+            }
+        }
+        row.extend(reports);
+    }
+}
+
+/// A collusion clique: members serve honestly but report each other at 1
+/// (replacing any honest opinion and injecting endorsements they never
+/// earned), leaving reports about outsiders intact.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CollusionClique {
+    /// Clique members, ascending.
+    pub members: Vec<NodeId>,
+}
+
+impl Strategy for CollusionClique {
+    fn label(&self) -> &'static str {
+        "collusion"
+    }
+
+    fn distort_row(
+        &self,
+        node: NodeId,
+        _round: u64,
+        row: &mut Vec<(NodeId, TrustValue)>,
+        _rng: &mut ChaCha8Rng,
+    ) {
+        let mut reports: BTreeMap<NodeId, TrustValue> = row.drain(..).collect();
+        for &mate in &self.members {
+            if mate != node {
+                reports.insert(mate, TrustValue::ONE);
+            }
+        }
+        row.extend(reports);
+    }
+}
+
+/// A slanderer: serves honestly but multiplies every report it gossips
+/// by `factor` (0 = full bad-mouthing).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Slanderer {
+    /// Surviving fraction of the honest report.
+    pub factor: f64,
+}
+
+impl Strategy for Slanderer {
+    fn label(&self) -> &'static str {
+        "slander"
+    }
+
+    fn distort_row(
+        &self,
+        _node: NodeId,
+        _round: u64,
+        row: &mut Vec<(NodeId, TrustValue)>,
+        _rng: &mut ChaCha8Rng,
+    ) {
+        for (_, report) in row.iter_mut() {
+            *report = TrustValue::saturating(report.get() * self.factor);
+        }
+    }
+}
+
+/// A whitewasher: leeches, and discards its identity when its mean
+/// network-wide reputation falls below its personal threshold. The wash
+/// itself is an engine-side state purge; in the gossip channel the
+/// whitewasher reports honestly (its lie is identity churn, not
+/// slander).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Whitewasher {
+    /// Personal wash threshold (jittered per washer at build time).
+    pub threshold: f64,
+}
+
+impl Strategy for Whitewasher {
+    fn label(&self) -> &'static str {
+        "whitewash"
+    }
+
+    fn distort_row(
+        &self,
+        _node: NodeId,
+        _round: u64,
+        _row: &mut Vec<(NodeId, TrustValue)>,
+        _rng: &mut ChaCha8Rng,
+    ) {
+    }
+}
+
+/// The compiled per-node adversary assignment of one scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdversaryAssignment {
+    roles: Vec<Role>,
+    rings: Vec<SybilRing>,
+    cliques: Vec<CollusionClique>,
+    slander: Slanderer,
+    washers: Vec<Whitewasher>,
+    /// Whitewasher ids, ascending, aligned with `washers`.
+    washer_ids: Vec<NodeId>,
+    adversary_count: usize,
+}
+
+impl AdversaryAssignment {
+    /// No adversaries (every node honest); consumes no randomness.
+    pub fn none(n: usize) -> Self {
+        Self {
+            roles: vec![Role::Honest; n],
+            rings: Vec::new(),
+            cliques: Vec::new(),
+            slander: Slanderer { factor: 0.0 },
+            washers: Vec::new(),
+            washer_ids: Vec::new(),
+            adversary_count: 0,
+        }
+    }
+
+    /// Compile a mix into per-node roles, drawn from a dedicated ChaCha8
+    /// stream of `seed` so the honest substrate (topology, population,
+    /// workload) is untouched by the choice of mix. Class sizes use
+    /// cumulative rounding — class `k` gets
+    /// `round(Σ₀..k fᵢ · n) − round(Σ₀..k−1 fᵢ · n)` nodes — so
+    /// per-class rounding never accumulates and starves a later class
+    /// (each class is within one node of `fraction · n`).
+    pub fn assign(n: usize, mix: AdversaryMix, seed: u64) -> Result<Self, GossipError> {
+        let mix = mix.validated()?;
+        if mix.is_none() {
+            return Ok(Self::none(n));
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(node_stream_seed(seed ^ ASSIGN_SALT, 0));
+        let mut ids: Vec<u32> = (0..n as u32).collect();
+        ids.shuffle(&mut rng);
+
+        let mut cursor = 0usize;
+        let mut cumulative = 0.0f64;
+        let mut take = |fraction: f64| {
+            cumulative += fraction;
+            let end = ((cumulative * n as f64).round() as usize).clamp(cursor, n);
+            let slice = ids[cursor..end].to_vec();
+            cursor = end;
+            slice
+        };
+
+        let mut assignment = Self::none(n);
+        let param_stream =
+            |node: u32| ChaCha8Rng::seed_from_u64(node_stream_seed(seed ^ PARAM_SALT, node));
+
+        for chunk in take(mix.sybil_fraction).chunks(mix.sybil_ring) {
+            let ring = assignment.rings.len() as u32;
+            let mut members: Vec<NodeId> = chunk.iter().map(|&i| NodeId(i)).collect();
+            members.sort_unstable();
+            // Member k activates around round k / spawn_rate, jittered
+            // from its own stream: rings grow instead of materialising.
+            let activation = members
+                .iter()
+                .enumerate()
+                .map(|(k, &m)| {
+                    let jitter: f64 = param_stream(m.0).random();
+                    ((k as f64 + jitter) / mix.sybil_spawn_rate).floor() as u64
+                })
+                .collect();
+            for &m in &members {
+                assignment.roles[m.index()] = Role::Sybil { ring };
+            }
+            assignment.rings.push(SybilRing {
+                members,
+                activation,
+            });
+        }
+
+        for chunk in take(mix.collusion_fraction).chunks(mix.collusion_clique) {
+            let clique = assignment.cliques.len() as u32;
+            let mut members: Vec<NodeId> = chunk.iter().map(|&i| NodeId(i)).collect();
+            members.sort_unstable();
+            for &m in &members {
+                assignment.roles[m.index()] = Role::Colluder { clique };
+            }
+            assignment.cliques.push(CollusionClique { members });
+        }
+
+        assignment.slander = Slanderer {
+            factor: mix.slander_factor,
+        };
+        for id in take(mix.slander_fraction) {
+            assignment.roles[id as usize] = Role::Slanderer;
+        }
+
+        let mut washer_ids: Vec<NodeId> = take(mix.whitewash_fraction)
+            .iter()
+            .map(|&i| NodeId(i))
+            .collect();
+        washer_ids.sort_unstable();
+        for &w in &washer_ids {
+            assignment.roles[w.index()] = Role::Whitewasher;
+            // Personal threshold jittered ±20 % from the washer's own
+            // stream, so washes don't synchronise network-wide.
+            let jitter: f64 = param_stream(w.0).random();
+            assignment.washers.push(Whitewasher {
+                threshold: (mix.wash_threshold * (0.8 + 0.4 * jitter)).clamp(0.0, 1.0),
+            });
+        }
+        assignment.washer_ids = washer_ids;
+        assignment.adversary_count = cursor;
+        Ok(assignment)
+    }
+
+    /// Role of one node.
+    pub fn role(&self, node: NodeId) -> Role {
+        self.roles[node.index()]
+    }
+
+    /// Whether `node` runs any attack.
+    pub fn is_adversary(&self, node: NodeId) -> bool {
+        self.roles[node.index()] != Role::Honest
+    }
+
+    /// Total adversarial nodes.
+    pub fn adversary_count(&self) -> usize {
+        self.adversary_count
+    }
+
+    /// Whether the assignment contains no adversaries at all.
+    pub fn is_none(&self) -> bool {
+        self.adversary_count == 0
+    }
+
+    /// All adversarial node ids, ascending.
+    pub fn adversaries(&self) -> Vec<NodeId> {
+        self.roles
+            .iter()
+            .enumerate()
+            .filter(|(_, &r)| r != Role::Honest)
+            .map(|(i, _)| NodeId(i as u32))
+            .collect()
+    }
+
+    /// The strategy instance driving one node.
+    pub fn strategy(&self, node: NodeId) -> &dyn Strategy {
+        const HONEST: HonestStrategy = HonestStrategy;
+        match self.roles[node.index()] {
+            Role::Honest => &HONEST,
+            Role::Sybil { ring } => &self.rings[ring as usize],
+            Role::Colluder { clique } => &self.cliques[clique as usize],
+            Role::Slanderer => &self.slander,
+            Role::Whitewasher => {
+                let idx = self
+                    .washer_ids
+                    .binary_search(&node)
+                    .expect("whitewasher role implies washer entry");
+                &self.washers[idx]
+            }
+        }
+    }
+
+    /// Whether `node` transacts and reports in `round`.
+    pub fn participates(&self, node: NodeId, round: u64) -> bool {
+        match self.roles[node.index()] {
+            Role::Honest => true,
+            _ => self.strategy(node).participates(node, round),
+        }
+    }
+
+    /// Distort one node's trust row in place (no-op, and no RNG
+    /// consumption, for honest nodes).
+    pub fn distort_row(
+        &self,
+        node: NodeId,
+        round: u64,
+        seed: u64,
+        row: &mut Vec<(NodeId, TrustValue)>,
+    ) {
+        if self.roles[node.index()] == Role::Honest {
+            return;
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(adversary_stream_seed(seed, round, node.0));
+        self.strategy(node).distort_row(node, round, row, &mut rng);
+    }
+
+    /// The whitewashers discarding their identity given the round's
+    /// per-subject mean reputations (ascending node order).
+    pub fn washes(&self, subject_mean: &[Option<f64>]) -> Vec<NodeId> {
+        self.washer_ids
+            .iter()
+            .zip(&self.washers)
+            .filter(|(w, washer)| {
+                subject_mean[w.index()].is_some_and(|mean| mean < washer.threshold)
+            })
+            .map(|(&w, _)| w)
+            .collect()
+    }
+
+    /// Rewrite service behaviours to match the roles: sybil identities
+    /// and whitewashers are leeches, colluders keep their service
+    /// quality but join a collusion group; slanderers serve honestly.
+    pub fn apply_to_population(&self, population: &mut Population) {
+        for (i, &role) in self.roles.iter().enumerate() {
+            let node = NodeId(i as u32);
+            match role {
+                Role::Honest | Role::Slanderer => {}
+                Role::Sybil { .. } | Role::Whitewasher => {
+                    *population.behavior_mut(node) = Behavior::FreeRider {
+                        serve_probability: 0.0,
+                    };
+                }
+                Role::Colluder { clique } => {
+                    let quality = population.behavior(node).latent_quality();
+                    *population.behavior_mut(node) = Behavior::Colluder {
+                        quality,
+                        group: clique as usize,
+                    };
+                }
+            }
+        }
+    }
+
+    /// The sybil rings.
+    pub fn rings(&self) -> &[SybilRing] {
+        &self.rings
+    }
+
+    /// The collusion cliques.
+    pub fn cliques(&self) -> &[CollusionClique] {
+        &self.cliques
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tv(v: f64) -> TrustValue {
+        TrustValue::new(v).unwrap()
+    }
+
+    #[test]
+    fn none_assignment_is_all_honest() {
+        let a = AdversaryAssignment::none(10);
+        assert!(a.is_none());
+        assert_eq!(a.adversary_count(), 0);
+        assert!(a.adversaries().is_empty());
+        assert!(a.participates(NodeId(3), 0));
+        let mut row = vec![(NodeId(1), tv(0.5))];
+        a.distort_row(NodeId(0), 0, 42, &mut row);
+        assert_eq!(row, vec![(NodeId(1), tv(0.5))]);
+    }
+
+    #[test]
+    fn assignment_respects_fractions_and_is_deterministic() {
+        let mix = AdversaryMix {
+            sybil_fraction: 0.2,
+            collusion_fraction: 0.1,
+            slander_fraction: 0.1,
+            whitewash_fraction: 0.1,
+            ..AdversaryMix::none()
+        };
+        let a = AdversaryAssignment::assign(200, mix, 7).unwrap();
+        let b = AdversaryAssignment::assign(200, mix, 7).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.adversary_count(), 100);
+        let sybils = (0..200u32)
+            .filter(|&i| matches!(a.role(NodeId(i)), Role::Sybil { .. }))
+            .count();
+        assert_eq!(sybils, 40);
+        assert_eq!(a.rings().len(), 5); // 40 sybils in rings of 8
+        let c = AdversaryAssignment::assign(200, mix, 8).unwrap();
+        assert_ne!(a.adversaries(), c.adversaries());
+    }
+
+    #[test]
+    fn sybil_ring_spawns_and_distorts() {
+        let mix = AdversaryMix {
+            sybil_fraction: 0.5,
+            sybil_ring: 5,
+            sybil_spawn_rate: 1.0,
+            ..AdversaryMix::none()
+        };
+        let a = AdversaryAssignment::assign(10, mix, 3).unwrap();
+        let ring = &a.rings()[0];
+        assert_eq!(ring.members.len(), 5);
+        // With spawn rate 1 and jitter < 1, member k activates at round k.
+        assert_eq!(ring.activation, vec![0, 1, 2, 3, 4]);
+        let first = ring.members[0];
+        let last = *ring.members.last().unwrap();
+        assert!(a.participates(first, 0));
+        assert!(!a.participates(last, 0));
+        assert!(a.participates(last, 4));
+
+        // Distortion: outsider ratings zeroed, active mates endorsed.
+        let outsider = NodeId((0..10).find(|&i| !a.is_adversary(NodeId(i))).unwrap());
+        let mut row = vec![(outsider, tv(0.9))];
+        a.distort_row(first, 4, 3, &mut row);
+        let expect: Vec<(NodeId, TrustValue)> = {
+            let mut m: BTreeMap<NodeId, TrustValue> = ring.members[1..]
+                .iter()
+                .map(|&mate| (mate, TrustValue::ONE))
+                .collect();
+            m.insert(outsider, TrustValue::ZERO);
+            m.into_iter().collect()
+        };
+        assert_eq!(row, expect);
+
+        // Dormant member reports nothing.
+        let mut row = vec![(outsider, tv(0.9))];
+        a.distort_row(last, 0, 3, &mut row);
+        assert!(row.is_empty());
+    }
+
+    #[test]
+    fn clique_inflates_mates_and_keeps_outsiders() {
+        let mix = AdversaryMix {
+            collusion_fraction: 0.4,
+            collusion_clique: 4,
+            ..AdversaryMix::none()
+        };
+        let a = AdversaryAssignment::assign(10, mix, 5).unwrap();
+        let clique = &a.cliques()[0];
+        let member = clique.members[0];
+        let outsider = NodeId((0..10).find(|&i| !a.is_adversary(NodeId(i))).unwrap());
+        let mut row = vec![(outsider, tv(0.7))];
+        a.distort_row(member, 0, 5, &mut row);
+        assert!(row.contains(&(outsider, tv(0.7))), "outsider report kept");
+        for &mate in &clique.members[1..] {
+            assert!(row.contains(&(mate, TrustValue::ONE)), "mate endorsed");
+        }
+    }
+
+    #[test]
+    fn slanderer_deflates_reports() {
+        let mix = AdversaryMix {
+            slander_fraction: 0.5,
+            slander_factor: 0.25,
+            ..AdversaryMix::none()
+        };
+        let a = AdversaryAssignment::assign(4, mix, 1).unwrap();
+        let s = NodeId((0..4).find(|&i| a.is_adversary(NodeId(i))).unwrap());
+        let mut row = vec![(NodeId(0), tv(0.8)), (NodeId(1), tv(0.4))];
+        a.distort_row(s, 2, 1, &mut row);
+        assert!((row[0].1.get() - 0.2).abs() < 1e-12);
+        assert!((row[1].1.get() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn washes_fire_below_personal_threshold_only() {
+        let mix = AdversaryMix {
+            whitewash_fraction: 0.5,
+            wash_threshold: 0.4,
+            ..AdversaryMix::none()
+        };
+        let a = AdversaryAssignment::assign(8, mix, 9).unwrap();
+        let washers = a.adversaries();
+        assert_eq!(washers.len(), 4);
+        // Nobody has a view yet: nobody washes.
+        assert!(a.washes(&[None; 8]).is_empty());
+        // Collapsed reputation: every washer washes (thresholds are in
+        // [0.32, 0.48], all above 0.01).
+        let mut means = vec![Some(0.9); 8];
+        for &w in &washers {
+            means[w.index()] = Some(0.01);
+        }
+        assert_eq!(a.washes(&means), washers);
+        // High reputation: nobody washes.
+        assert!(a.washes(&[Some(0.9); 8]).is_empty());
+    }
+
+    #[test]
+    fn population_overrides_follow_roles() {
+        let mix = AdversaryMix {
+            sybil_fraction: 0.25,
+            collusion_fraction: 0.25,
+            whitewash_fraction: 0.25,
+            ..AdversaryMix::none()
+        };
+        let a = AdversaryAssignment::assign(8, mix, 11).unwrap();
+        let mut population = Population::new(vec![Behavior::Honest { quality: 0.8 }; 8]);
+        a.apply_to_population(&mut population);
+        for i in 0..8u32 {
+            let node = NodeId(i);
+            match a.role(node) {
+                Role::Sybil { .. } | Role::Whitewasher => assert!(matches!(
+                    population.behavior(node),
+                    Behavior::FreeRider { serve_probability } if serve_probability == 0.0
+                )),
+                Role::Colluder { clique } => assert_eq!(
+                    population.behavior(node).collusion_group(),
+                    Some(clique as usize)
+                ),
+                _ => assert_eq!(population.behavior(node), Behavior::Honest { quality: 0.8 }),
+            }
+        }
+    }
+}

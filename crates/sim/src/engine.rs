@@ -24,7 +24,7 @@
 //! bulk-built into the CSR backend and aggregated reputations live in
 //! sorted per-observer runs instead of per-cell maps.
 
-use crate::rounds::{AggregationMode, AggregationScope, RoundStats, RoundsConfig};
+use crate::rounds::{AggregationMode, AggregationScope, NewcomerPolicy, RoundStats, RoundsConfig};
 use crate::scenario::Scenario;
 use dg_core::algorithms::alg4;
 use dg_core::behavior::Behavior;
@@ -33,7 +33,7 @@ use dg_core::CoreError;
 use dg_gossip::node_stream_seed;
 use dg_graph::NodeId;
 use dg_trust::prelude::{EwmaEstimator, ReputationTable, TransactionOutcome, TrustEstimator};
-use dg_trust::{TrustMatrix, TrustValue};
+use dg_trust::{RobustAggregation, TrustMatrix, TrustValue};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use rayon::prelude::*;
@@ -60,6 +60,20 @@ pub struct ServiceDelta {
     pub served_free_riders: u64,
     /// Requests refused to free riders.
     pub refused_free_riders: u64,
+    /// Requests served to adversarial requesters (any attack role).
+    pub served_adversaries: u64,
+    /// Requests refused to adversarial requesters.
+    pub refused_adversaries: u64,
+}
+
+/// Service-statistics class of a requester: adversaries are counted in
+/// their own bucket regardless of their service behaviour, so attack
+/// extraction is visible separately from plain free riding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RequesterClass {
+    Honest,
+    FreeRider,
+    Adversary,
 }
 
 impl ServiceDelta {
@@ -68,6 +82,20 @@ impl ServiceDelta {
         self.refused_honest += other.refused_honest;
         self.served_free_riders += other.served_free_riders;
         self.refused_free_riders += other.refused_free_riders;
+        self.served_adversaries += other.served_adversaries;
+        self.refused_adversaries += other.refused_adversaries;
+    }
+
+    fn count(&mut self, class: RequesterClass, served: bool) {
+        let slot = match (class, served) {
+            (RequesterClass::Honest, true) => &mut self.served_honest,
+            (RequesterClass::Honest, false) => &mut self.refused_honest,
+            (RequesterClass::FreeRider, true) => &mut self.served_free_riders,
+            (RequesterClass::FreeRider, false) => &mut self.refused_free_riders,
+            (RequesterClass::Adversary, true) => &mut self.served_adversaries,
+            (RequesterClass::Adversary, false) => &mut self.refused_adversaries,
+        };
+        *slot += 1;
     }
 }
 
@@ -83,34 +111,49 @@ pub(crate) fn transact_requester(
     scenario: &Scenario,
     config: &RoundsConfig,
     requester: NodeId,
+    round: u64,
     round_seed: u64,
     lookup_rep: &impl Fn(NodeId, NodeId) -> Option<f64>,
     observer_mean: &[Option<f64>],
 ) -> (Vec<TransactionRecord>, ServiceDelta) {
-    let population = &scenario.population;
-    let is_free_rider = matches!(population.behavior(requester), Behavior::FreeRider { .. });
-    let mut rng = ChaCha8Rng::seed_from_u64(node_stream_seed(round_seed, requester.0));
     let mut records = Vec::new();
     let mut delta = ServiceDelta::default();
+    // Dormant sybil identities have not joined the network yet: they
+    // neither request nor serve.
+    if !scenario.adversaries.participates(requester, round) {
+        return (records, delta);
+    }
+    let population = &scenario.population;
+    let class = if scenario.adversaries.is_adversary(requester) {
+        RequesterClass::Adversary
+    } else if matches!(population.behavior(requester), Behavior::FreeRider { .. }) {
+        RequesterClass::FreeRider
+    } else {
+        RequesterClass::Honest
+    };
+    let mut rng = ChaCha8Rng::seed_from_u64(node_stream_seed(round_seed, requester.0));
 
     for &provider in scenario.graph.neighbours(requester) {
         let provider = NodeId(provider);
+        if !scenario.adversaries.participates(provider, round) {
+            continue;
+        }
         for _ in 0..config.requests_per_edge {
             // Admission control at the provider, against last round's
             // aggregated view.
             let rep = lookup_rep(provider, requester);
             let admitted = match (rep, observer_mean[provider.index()]) {
                 (Some(r), Some(mean)) => r >= config.admission_threshold * mean,
-                // No aggregation yet (or nothing aggregated at this
-                // provider): serve everyone.
+                // The provider aggregates opinions but holds none about
+                // this requester: a stranger. The paper's anti-whitewash
+                // zero prior refuses strangers; the optimistic default
+                // serves them (the honeymoon whitewashers farm).
+                (None, Some(_)) => config.defense.newcomer == NewcomerPolicy::Optimistic,
+                // No aggregation yet at this provider: serve everyone.
                 _ => true,
             };
+            delta.count(class, admitted);
             if admitted {
-                if is_free_rider {
-                    delta.served_free_riders += 1;
-                } else {
-                    delta.served_honest += 1;
-                }
                 // Requester observes the provider's behaviour.
                 let quality = population.behavior(provider).sample_quality(&mut rng);
                 let outcome = if quality == 0.0 {
@@ -119,10 +162,6 @@ pub(crate) fn transact_requester(
                     TransactionOutcome::Served { quality }
                 };
                 records.push(TransactionRecord { provider, outcome });
-            } else if is_free_rider {
-                delta.refused_free_riders += 1;
-            } else {
-                delta.refused_honest += 1;
             }
         }
     }
@@ -140,8 +179,11 @@ pub(crate) struct SubjectAggregates {
 }
 
 impl SubjectAggregates {
-    pub(crate) fn compute(trust: &TrustMatrix) -> Self {
-        let (sums, counts) = trust.subject_sums_and_counts();
+    /// Per-subject aggregates under a robust-aggregation policy
+    /// ([`RobustAggregation::none`] reproduces the paper's plain sums
+    /// bit-for-bit).
+    pub(crate) fn compute(trust: &TrustMatrix, robust: &RobustAggregation) -> Self {
+        let (sums, counts) = trust.robust_subject_sums_and_counts(robust);
         let subjects = counts
             .iter()
             .enumerate()
@@ -192,31 +234,64 @@ pub(crate) fn closed_form_row(
     }
 }
 
-/// Population-level reputation summary over the stored aggregated rows:
-/// per-subject mean over the observers holding a view, then the mean of
-/// those means per behaviour class. Row-major accumulation keeps the
-/// f64 addition order fixed (ascending observer, then subject), so the
-/// result is engine- and thread-count-independent.
-pub(crate) fn class_reputation_means<'a>(
-    scenario: &Scenario,
-    rows: impl Iterator<Item = (usize, &'a [(NodeId, f64)])>,
-) -> (f64, f64) {
-    let n = scenario.graph.node_count();
+/// Per-subject `(Σ rep, #observers)` over the stored aggregated rows.
+/// Row-major accumulation keeps the f64 addition order fixed (ascending
+/// observer, then subject), so the result is engine- and
+/// thread-count-independent.
+pub(crate) fn subject_totals(
+    n: usize,
+    rows: impl Iterator<Item = impl Iterator<Item = (NodeId, f64)>>,
+) -> (Vec<f64>, Vec<usize>) {
     let mut sums = vec![0.0f64; n];
     let mut cnts = vec![0usize; n];
-    for (_, row) in rows {
-        for &(subject, rep) in row {
+    for row in rows {
+        for (subject, rep) in row {
             sums[subject.index()] += rep;
             cnts[subject.index()] += 1;
         }
     }
-    let (mut rep_h, mut cnt_h, mut rep_f, mut cnt_f) = (0.0, 0usize, 0.0, 0usize);
+    (sums, cnts)
+}
+
+/// Per-subject mean reputation (over the observers holding a view) from
+/// accumulated totals.
+pub(crate) fn subject_means(sums: &[f64], cnts: &[usize]) -> Vec<Option<f64>> {
+    sums.iter()
+        .zip(cnts)
+        .map(|(&s, &c)| (c > 0).then(|| s / c as f64))
+        .collect()
+}
+
+/// Mean of the per-subject means, per behaviour class.
+pub(crate) struct ClassMeans {
+    /// Honest (non-adversarial, non-free-riding) subjects.
+    pub honest: f64,
+    /// Plain free riders.
+    pub free_riders: f64,
+    /// Adversarial subjects (any attack role).
+    pub adversaries: f64,
+}
+
+/// Population-level reputation summary from per-subject totals: the mean
+/// of the per-subject means per class. Adversaries form their own class
+/// regardless of service behaviour.
+pub(crate) fn class_reputation_means(
+    scenario: &Scenario,
+    sums: &[f64],
+    cnts: &[usize],
+) -> ClassMeans {
+    let (mut rep_h, mut cnt_h) = (0.0, 0usize);
+    let (mut rep_f, mut cnt_f) = (0.0, 0usize);
+    let (mut rep_a, mut cnt_a) = (0.0, 0usize);
     for subject in scenario.graph.nodes() {
         if cnts[subject.index()] == 0 {
             continue;
         }
         let mean = sums[subject.index()] / cnts[subject.index()] as f64;
-        if matches!(
+        if scenario.adversaries.is_adversary(subject) {
+            rep_a += mean;
+            cnt_a += 1;
+        } else if matches!(
             scenario.population.behavior(subject),
             Behavior::FreeRider { .. }
         ) {
@@ -227,10 +302,39 @@ pub(crate) fn class_reputation_means<'a>(
             cnt_h += 1;
         }
     }
-    (
-        if cnt_h > 0 { rep_h / cnt_h as f64 } else { 0.0 },
-        if cnt_f > 0 { rep_f / cnt_f as f64 } else { 0.0 },
-    )
+    let mean = |rep: f64, cnt: usize| if cnt > 0 { rep / cnt as f64 } else { 0.0 };
+    ClassMeans {
+        honest: mean(rep_h, cnt_h),
+        free_riders: mean(rep_f, cnt_f),
+        adversaries: mean(rep_a, cnt_a),
+    }
+}
+
+/// Mean absolute error between honest subjects' network-wide mean
+/// reputation and their latent quality — the residual the attack matrix
+/// gates on (`None` until any honest subject has been aggregated).
+pub(crate) fn honest_residual_error(
+    scenario: &Scenario,
+    sums: &[f64],
+    cnts: &[usize],
+) -> Option<f64> {
+    let qualities = scenario.population.latent_qualities();
+    let (mut err, mut count) = (0.0, 0usize);
+    for subject in scenario.graph.nodes() {
+        if cnts[subject.index()] == 0
+            || scenario.adversaries.is_adversary(subject)
+            || !matches!(
+                scenario.population.behavior(subject),
+                Behavior::Honest { .. }
+            )
+        {
+            continue;
+        }
+        let mean = sums[subject.index()] / cnts[subject.index()] as f64;
+        err += (mean - qualities[subject.index()]).abs();
+        count += 1;
+    }
+    (count > 0).then(|| err / count as f64)
 }
 
 /// Mean of one observer's aggregated row (its admission scale), `None`
@@ -325,6 +429,7 @@ impl<'s> BatchedRoundEngine<'s> {
                 .ok()
                 .map(|idx| run[idx].1)
         };
+        let round = self.round as u64;
         let transact: Vec<(Vec<TransactionRecord>, ServiceDelta)> = (0..n as u32)
             .into_par_iter()
             .map(|i| {
@@ -332,6 +437,7 @@ impl<'s> BatchedRoundEngine<'s> {
                     scenario,
                     config,
                     NodeId(i),
+                    round,
                     round_seed,
                     &lookup,
                     observer_mean,
@@ -347,16 +453,19 @@ impl<'s> BatchedRoundEngine<'s> {
         }
 
         // Phase 2: estimate — fan-out over nodes, each folding its own
-        // records and emitting its (sorted) trust row.
-        let round = self.round as u64;
+        // records and emitting its (sorted) trust row, distorted by the
+        // node's adversarial strategy where reports enter the channel.
         let ewma_rate = self.config.ewma_rate;
-        let batch: Vec<(NodeState, Vec<TransactionRecord>)> = std::mem::take(&mut self.nodes)
+        let seed = scenario.config.seed;
+        let batch: Vec<(u32, NodeState, Vec<TransactionRecord>)> = std::mem::take(&mut self.nodes)
             .into_iter()
             .zip(record_batches)
+            .enumerate()
+            .map(|(i, (state, records))| (i as u32, state, records))
             .collect();
         let estimated: Vec<(NodeState, Vec<(NodeId, TrustValue)>)> = batch
             .into_par_iter()
-            .map(|(mut state, records)| {
+            .map(|(i, mut state, records)| {
                 for rec in records {
                     let est = state
                         .estimators
@@ -366,11 +475,14 @@ impl<'s> BatchedRoundEngine<'s> {
                         .table
                         .record_transaction(rec.provider, est, rec.outcome, round);
                 }
-                let row: Vec<(NodeId, TrustValue)> = state
+                let mut row: Vec<(NodeId, TrustValue)> = state
                     .estimators
                     .iter()
                     .map(|(&j, est)| (j, est.estimate()))
                     .collect();
+                scenario
+                    .adversaries
+                    .distort_row(NodeId(i), round, seed, &mut row);
                 (state, row)
             })
             .collect();
@@ -390,7 +502,7 @@ impl<'s> BatchedRoundEngine<'s> {
         // Phase 3: aggregate.
         match self.config.aggregation {
             AggregationMode::ClosedForm => {
-                let agg = SubjectAggregates::compute(system.trust());
+                let agg = SubjectAggregates::compute(system.trust(), &self.config.defense.robust);
                 let scope = self.config.scope;
                 let sys = &system;
                 let agg_ref = &agg;
@@ -411,15 +523,45 @@ impl<'s> BatchedRoundEngine<'s> {
             }
         }
 
-        // Refresh the observers' admission scales.
+        // Round summary, then the whitewash phase: washers whose mean
+        // reputation collapsed discard their identity, purging every
+        // opinion involving it.
+        let (sums, cnts) = subject_totals(
+            n,
+            self.aggregated
+                .iter()
+                .map(|run| run.iter().map(|&(j, r)| (j, r))),
+        );
+        let means = class_reputation_means(self.scenario, &sums, &cnts);
+        let washed = self
+            .scenario
+            .adversaries
+            .washes(&subject_means(&sums, &cnts));
+        for state in self.nodes.iter_mut() {
+            for &w in &washed {
+                state.estimators.remove(&w);
+                state.table.remove(w);
+            }
+        }
+        for &w in &washed {
+            let state = &mut self.nodes[w.index()];
+            state.estimators.clear();
+            state.table = ReputationTable::new();
+        }
+        if !washed.is_empty() {
+            for run in self.aggregated.iter_mut() {
+                run.retain(|(j, _)| !washed.contains(j));
+            }
+            for &w in &washed {
+                self.aggregated[w.index()].clear();
+            }
+        }
+
+        // Refresh the observers' admission scales (post-purge, so the
+        // next round treats a fresh identity as a stranger).
         for (i, run) in self.aggregated.iter().enumerate() {
             self.observer_mean[i] = row_mean(run.iter().map(|&(_, r)| r));
         }
-
-        let (mean_rep_honest, mean_rep_free_riders) = class_reputation_means(
-            self.scenario,
-            self.aggregated.iter().enumerate().map(|(i, r)| (i, &r[..])),
-        );
 
         let stats = RoundStats {
             round: self.round,
@@ -427,10 +569,31 @@ impl<'s> BatchedRoundEngine<'s> {
             refused_honest: delta.refused_honest,
             served_free_riders: delta.served_free_riders,
             refused_free_riders: delta.refused_free_riders,
-            mean_rep_honest,
-            mean_rep_free_riders,
+            served_adversaries: delta.served_adversaries,
+            refused_adversaries: delta.refused_adversaries,
+            mean_rep_honest: means.honest,
+            mean_rep_free_riders: means.free_riders,
+            mean_rep_adversaries: means.adversaries,
+            washes: washed.len() as u64,
         };
         self.round += 1;
         Ok(stats)
+    }
+
+    /// Mean absolute error between honest subjects' network-wide mean
+    /// reputation and their latent quality (see
+    /// `honest_residual_error` in this module).
+    pub fn honest_residual(&self) -> Option<f64> {
+        let (sums, cnts) = self.totals();
+        honest_residual_error(self.scenario, &sums, &cnts)
+    }
+
+    pub(crate) fn totals(&self) -> (Vec<f64>, Vec<usize>) {
+        subject_totals(
+            self.scenario.graph.node_count(),
+            self.aggregated
+                .iter()
+                .map(|run| run.iter().map(|&(j, r)| (j, r))),
+        )
     }
 }

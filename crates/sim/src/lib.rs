@@ -20,12 +20,17 @@
 //! * [`engine`] — the batched parallel round engine: explicit
 //!   transact/estimate/aggregate phases fanned out over nodes with
 //!   rayon on per-node ChaCha8 streams, over flat CSR trust storage;
+//! * [`adversary`] — the attack layer: per-node adversarial strategies
+//!   (sybil rings, collusion cliques, slanderers, whitewashers) compiled
+//!   from an [`AdversaryMix`](dg_gossip::AdversaryMix) and applied by
+//!   the round engines where reports enter the gossip channel;
 //! * [`baselines`] — normal push gossip (GossipTrust-style) comes free
 //!   via [`FanoutPolicy::Uniform`](dg_gossip::FanoutPolicy); this module
 //!   adds an EigenTrust-style power-iteration comparator;
 //! * [`report`] — fixed-width table rendering and JSON-lines output for
 //!   the harness binaries.
 
+pub mod adversary;
 pub mod baselines;
 pub mod engine;
 pub mod experiments;
@@ -34,4 +39,5 @@ pub mod rounds;
 pub mod scenario;
 pub mod workload;
 
+pub use adversary::{AdversaryAssignment, Role, Strategy};
 pub use scenario::{Scenario, ScenarioConfig};

@@ -27,8 +27,9 @@
 //! thread count** (pinned by `tests/engine_equivalence.rs`).
 
 use crate::engine::{
-    aggregation_rng, class_reputation_means, closed_form_row, row_mean, transact_requester,
-    BatchedRoundEngine, ServiceDelta, SubjectAggregates, TransactionRecord,
+    aggregation_rng, class_reputation_means, closed_form_row, honest_residual_error, row_mean,
+    subject_means, subject_totals, transact_requester, BatchedRoundEngine, ServiceDelta,
+    SubjectAggregates, TransactionRecord,
 };
 use crate::scenario::Scenario;
 use dg_core::algorithms::alg4;
@@ -37,7 +38,7 @@ use dg_core::CoreError;
 use dg_gossip::{EngineKind, GossipConfig};
 use dg_graph::NodeId;
 use dg_trust::prelude::{EwmaEstimator, ReputationTable, TrustEstimator};
-use dg_trust::TrustMatrix;
+use dg_trust::{RobustAggregation, TrustMatrix, TrustValue};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -68,6 +69,61 @@ pub enum AggregationScope {
     Neighbourhood,
 }
 
+/// How a provider treats a requester it aggregates no opinion about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum NewcomerPolicy {
+    /// Serve strangers — the open-network default, and the honeymoon a
+    /// whitewasher farms by discarding exposed identities.
+    #[default]
+    Optimistic,
+    /// The paper's anti-whitewash rule: an unknown requester is worth
+    /// its zero prior, so it is refused until it earns reputation by
+    /// serving (providers with no aggregated view at all still serve
+    /// everyone — there is nothing to gate on yet).
+    ZeroPrior,
+}
+
+/// Trust-side countermeasure knobs the attack experiments sweep.
+///
+/// Applies to [`AggregationMode::ClosedForm`]; real distributed gossip
+/// ([`AggregationMode::Gossip`]) cannot trim per-subject report sets (no
+/// node ever holds them), which is exactly why the claims harness
+/// measures the closed-form aggregation point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct DefensePolicy {
+    /// Report clamping / per-subject trimmed aggregation.
+    #[serde(default)]
+    pub robust: RobustAggregation,
+    /// Stranger admission rule.
+    #[serde(default)]
+    pub newcomer: NewcomerPolicy,
+}
+
+impl DefensePolicy {
+    /// The paper's plain behaviour: no clamping, no trimming, optimistic
+    /// stranger admission.
+    pub const fn none() -> Self {
+        Self {
+            robust: RobustAggregation::none(),
+            newcomer: NewcomerPolicy::Optimistic,
+        }
+    }
+
+    /// The defended setting the claims harness gates on: clamped and
+    /// trimmed aggregation plus the zero-prior stranger rule.
+    pub const fn defended() -> Self {
+        Self {
+            robust: RobustAggregation::defended(),
+            newcomer: NewcomerPolicy::ZeroPrior,
+        }
+    }
+
+    /// Whether this policy changes anything over the paper's behaviour.
+    pub fn is_none(&self) -> bool {
+        self.robust.is_none() && self.newcomer == NewcomerPolicy::Optimistic
+    }
+}
+
 /// Round-loop configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct RoundsConfig {
@@ -94,6 +150,10 @@ pub struct RoundsConfig {
     /// [`AggregationMode::Gossip`] and the execution engine
     /// ([`GossipConfig::engine`]) driving the round loop.
     pub gossip: GossipConfig,
+    /// Trust-side countermeasures against adversarial reports. Defaults
+    /// to [`DefensePolicy::none`] — the paper's plain behaviour.
+    #[serde(default)]
+    pub defense: DefensePolicy,
 }
 
 impl Default for RoundsConfig {
@@ -106,6 +166,7 @@ impl Default for RoundsConfig {
             aggregation: AggregationMode::ClosedForm,
             scope: AggregationScope::Full,
             gossip: GossipConfig::default(),
+            defense: DefensePolicy::none(),
         }
     }
 }
@@ -114,6 +175,12 @@ impl RoundsConfig {
     /// Builder-style: select the execution engine.
     pub fn with_engine(mut self, engine: EngineKind) -> Self {
         self.gossip.engine = engine;
+        self
+    }
+
+    /// Builder-style: set the defense policy.
+    pub fn with_defense(mut self, defense: DefensePolicy) -> Self {
+        self.defense = defense;
         self
     }
 
@@ -142,10 +209,23 @@ pub struct RoundStats {
     pub served_free_riders: u64,
     /// Requests refused, free-riding requesters.
     pub refused_free_riders: u64,
+    /// Requests served, adversarial requesters (any attack role; absent
+    /// — zero — in reports written before the adversary layer existed).
+    #[serde(default)]
+    pub served_adversaries: u64,
+    /// Requests refused, adversarial requesters.
+    #[serde(default)]
+    pub refused_adversaries: u64,
     /// Mean aggregated reputation of honest nodes (as seen network-wide).
     pub mean_rep_honest: f64,
     /// Mean aggregated reputation of free riders.
     pub mean_rep_free_riders: f64,
+    /// Mean aggregated reputation of adversarial nodes.
+    #[serde(default)]
+    pub mean_rep_adversaries: f64,
+    /// Whitewash identity resets performed at the end of this round.
+    #[serde(default)]
+    pub washes: u64,
 }
 
 impl RoundStats {
@@ -157,6 +237,11 @@ impl RoundStats {
     /// Service rate for free-riding requesters.
     pub fn free_rider_service_rate(&self) -> f64 {
         rate(self.served_free_riders, self.refused_free_riders)
+    }
+
+    /// Service rate for adversarial requesters.
+    pub fn adversary_service_rate(&self) -> f64 {
+        rate(self.served_adversaries, self.refused_adversaries)
     }
 }
 
@@ -200,6 +285,7 @@ impl<'s> SequentialRounds<'s> {
     fn run_round(&mut self, round_seed: u64) -> Result<RoundStats, CoreError> {
         let graph = &self.scenario.graph;
         let n = graph.node_count();
+        let round = self.round as u64;
 
         // Phase 1 + 2: transact, then fold each requester's records into
         // its estimators and table — inline, one node at a time, but on
@@ -214,6 +300,7 @@ impl<'s> SequentialRounds<'s> {
                 self.scenario,
                 &self.config,
                 requester,
+                round,
                 round_seed,
                 &lookup,
                 &self.observer_mean,
@@ -224,30 +311,37 @@ impl<'s> SequentialRounds<'s> {
                     .estimators
                     .entry((requester, provider))
                     .or_insert_with(|| EwmaEstimator::new(self.config.ewma_rate));
-                self.tables[requester.index()].record_transaction(
-                    provider,
-                    est,
-                    outcome,
-                    self.round as u64,
-                );
+                self.tables[requester.index()].record_transaction(provider, est, outcome, round);
             }
         }
         self.aggregated = aggregated;
 
         // Collect the trust matrix from the estimators (dynamic backend,
-        // one point insertion per entry).
-        let mut trust = TrustMatrix::new(n);
+        // one point insertion per entry), passing each node's row
+        // through its adversarial strategy first.
+        let mut rows: Vec<Vec<(NodeId, TrustValue)>> = vec![Vec::new(); n];
         for (&(i, j), est) in &self.estimators {
-            trust
-                .set(i, j, est.estimate())
-                .expect("estimator keys are in range");
+            rows[i.index()].push((j, est.estimate()));
+        }
+        let mut trust = TrustMatrix::new(n);
+        let seed = self.scenario.config.seed;
+        for (i, mut row) in rows.into_iter().enumerate() {
+            let i = NodeId(i as u32);
+            self.scenario
+                .adversaries
+                .distort_row(i, round, seed, &mut row);
+            for (j, report) in row {
+                trust
+                    .set(i, j, report)
+                    .expect("estimator keys are in range");
+            }
         }
         let system = ReputationSystem::new(graph, trust, self.scenario.weights)?;
 
         // Phase 3: aggregate.
         match self.config.aggregation {
             AggregationMode::ClosedForm => {
-                let agg = SubjectAggregates::compute(system.trust());
+                let agg = SubjectAggregates::compute(system.trust(), &self.config.defense.robust);
                 for i in 0..n {
                     self.aggregated[i] =
                         closed_form_row(&system, NodeId(i as u32), self.config.scope, &agg)
@@ -267,21 +361,44 @@ impl<'s> SequentialRounds<'s> {
             }
         }
 
-        // Refresh the observers' admission scales.
+        // Round summary, then the whitewash phase (mirrors the batched
+        // engine): washers whose mean reputation collapsed discard their
+        // identity, purging every opinion involving it.
+        let (sums, cnts) = subject_totals(
+            n,
+            self.aggregated
+                .iter()
+                .map(|row| row.iter().map(|(&j, &r)| (j, r))),
+        );
+        let means = class_reputation_means(self.scenario, &sums, &cnts);
+        let washed = self
+            .scenario
+            .adversaries
+            .washes(&subject_means(&sums, &cnts));
+        if !washed.is_empty() {
+            self.estimators
+                .retain(|&(i, j), _| !washed.contains(&i) && !washed.contains(&j));
+            for table in self.tables.iter_mut() {
+                for &w in &washed {
+                    table.remove(w);
+                }
+            }
+            for &w in &washed {
+                self.tables[w.index()] = ReputationTable::new();
+                self.aggregated[w.index()].clear();
+            }
+            for row in self.aggregated.iter_mut() {
+                for &w in &washed {
+                    row.remove(&w);
+                }
+            }
+        }
+
+        // Refresh the observers' admission scales (post-purge, so the
+        // next round treats a fresh identity as a stranger).
         for (i, row) in self.aggregated.iter().enumerate() {
             self.observer_mean[i] = row_mean(row.values().copied());
         }
-
-        // Population-level reputation summary.
-        let rows: Vec<Vec<(NodeId, f64)>> = self
-            .aggregated
-            .iter()
-            .map(|row| row.iter().map(|(&j, &r)| (j, r)).collect())
-            .collect();
-        let (mean_rep_honest, mean_rep_free_riders) = class_reputation_means(
-            self.scenario,
-            rows.iter().enumerate().map(|(i, r)| (i, &r[..])),
-        );
 
         let stats = RoundStats {
             round: self.round,
@@ -289,11 +406,29 @@ impl<'s> SequentialRounds<'s> {
             refused_honest: delta.refused_honest,
             served_free_riders: delta.served_free_riders,
             refused_free_riders: delta.refused_free_riders,
-            mean_rep_honest,
-            mean_rep_free_riders,
+            served_adversaries: delta.served_adversaries,
+            refused_adversaries: delta.refused_adversaries,
+            mean_rep_honest: means.honest,
+            mean_rep_free_riders: means.free_riders,
+            mean_rep_adversaries: means.adversaries,
+            washes: washed.len() as u64,
         };
         self.round += 1;
         Ok(stats)
+    }
+
+    fn honest_residual(&self) -> Option<f64> {
+        let (sums, cnts) = self.totals();
+        honest_residual_error(self.scenario, &sums, &cnts)
+    }
+
+    fn totals(&self) -> (Vec<f64>, Vec<usize>) {
+        subject_totals(
+            self.scenario.graph.node_count(),
+            self.aggregated
+                .iter()
+                .map(|row| row.iter().map(|(&j, &r)| (j, r))),
+        )
     }
 }
 
@@ -343,6 +478,30 @@ impl<'s> RoundsSimulator<'s> {
             Backend::Sequential(s) => s.aggregated[observer.index()].get(&subject).copied(),
             Backend::Parallel(p) => p.aggregated(observer, subject),
         }
+    }
+
+    /// Mean absolute error between honest subjects' network-wide mean
+    /// aggregated reputation and their latent quality. A *diagnostic*
+    /// residual: Eq. (6) deflates estimates observer-dependently, so
+    /// even honest runs keep a systematic offset — compare runs against
+    /// each other ([`Self::subject_mean_reputations`]) to isolate what
+    /// an attack moved. `None` before the first aggregation round.
+    pub fn honest_residual_error(&self) -> Option<f64> {
+        match &self.backend {
+            Backend::Sequential(s) => s.honest_residual(),
+            Backend::Parallel(p) => p.honest_residual(),
+        }
+    }
+
+    /// Each subject's mean aggregated reputation over the observers
+    /// currently holding a view (`None` for unaggregated subjects) —
+    /// the per-node quantity attack/reference comparisons difference.
+    pub fn subject_mean_reputations(&self) -> Vec<Option<f64>> {
+        let (sums, cnts) = match &self.backend {
+            Backend::Sequential(s) => s.totals(),
+            Backend::Parallel(p) => p.totals(),
+        };
+        subject_means(&sums, &cnts)
     }
 
     /// Run one full round, drawing the round seed from `rng`; returns

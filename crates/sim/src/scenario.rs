@@ -6,11 +6,12 @@
 //! (either the exact latent qualities or estimates from a simulated
 //! transaction workload).
 
+use crate::adversary::AdversaryAssignment;
 use dg_core::behavior::{Behavior, Population};
 use dg_core::reputation::{trust_from_qualities, ReputationSystem};
 use dg_core::CoreError;
 use dg_gossip::profile::NetworkProfile;
-use dg_gossip::{EngineKind, GossipConfig, GossipError};
+use dg_gossip::{AdversaryMix, EngineKind, GossipConfig, GossipError};
 use dg_graph::{pa, Graph};
 use dg_trust::{TrustMatrix, WeightParams};
 use rand::Rng;
@@ -82,6 +83,15 @@ pub struct ScenarioConfig {
     /// knob. Defaults to [`NetworkProfile::lossless`].
     #[serde(default)]
     pub profile: NetworkProfile,
+    /// Adversarial population mix (see [`AdversaryMix`]). Compiled into
+    /// per-node attack strategies at build time
+    /// ([`Scenario::adversaries`]); leech roles (sybil identities,
+    /// whitewashers) also override the service behaviour, so the trust
+    /// substrate reflects the attack. The honest substrate streams are
+    /// untouched: a zero-fraction mix builds a bit-identical scenario.
+    /// Defaults to [`AdversaryMix::none`].
+    #[serde(default)]
+    pub adversary: AdversaryMix,
 }
 
 impl Default for ScenarioConfig {
@@ -99,6 +109,7 @@ impl Default for ScenarioConfig {
             far_partners: 0,
             engine: EngineKind::Sequential,
             profile: NetworkProfile::lossless(),
+            adversary: AdversaryMix::none(),
         }
     }
 }
@@ -129,6 +140,12 @@ impl ScenarioConfig {
         self.profile = profile;
         self
     }
+
+    /// Builder-style adversary-mix override.
+    pub fn with_adversary(mut self, adversary: AdversaryMix) -> Self {
+        self.adversary = adversary;
+        self
+    }
 }
 
 /// A fully built scenario.
@@ -142,6 +159,9 @@ pub struct Scenario {
     pub trust: TrustMatrix,
     /// Weight law.
     pub weights: WeightParams,
+    /// Per-node adversarial strategies compiled from
+    /// [`ScenarioConfig::adversary`].
+    pub adversaries: AdversaryAssignment,
     /// The config that produced everything.
     pub config: ScenarioConfig,
 }
@@ -175,7 +195,17 @@ impl Scenario {
                 }
             })
             .collect();
-        let population = Population::new(behaviors);
+        let mut population = Population::new(behaviors);
+
+        // Compile the adversary mix into per-node strategies before the
+        // trust substrate is built, so leech roles (sybils,
+        // whitewashers) are reflected in the latent qualities and the
+        // workload. The assignment draws from its own seed stream: a
+        // zero-fraction mix consumes nothing and leaves the build
+        // bit-identical to an honest run.
+        let adversaries = AdversaryAssignment::assign(config.nodes, config.adversary, config.seed)
+            .map_err(dg_core::CoreError::from)?;
+        adversaries.apply_to_population(&mut population);
 
         let mut trust = match config.trust_source {
             TrustSource::Exact => trust_from_qualities(&graph, &population.latent_qualities()),
@@ -209,6 +239,7 @@ impl Scenario {
             population,
             trust,
             weights,
+            adversaries,
             config,
         })
     }
@@ -232,6 +263,7 @@ impl Scenario {
         GossipConfig {
             xi,
             engine: self.config.engine,
+            adversary: self.config.adversary,
             ..GossipConfig::default()
         }
         .with_profile(&self.config.profile, self.config.nodes / 4)

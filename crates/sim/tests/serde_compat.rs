@@ -27,3 +27,58 @@ fn scenario_config_roundtrips_with_profile() {
     assert_eq!(config, back);
     assert_eq!(back.profile.label(), "churning");
 }
+
+#[test]
+fn scenario_config_roundtrips_with_adversary_mix() {
+    let config =
+        ScenarioConfig::with_nodes(64).with_adversary(dg_gossip::AdversaryMix::whitewash());
+    let s = serde_json::to_string(&config).unwrap();
+    let back: ScenarioConfig = serde_json::from_str(&s).unwrap();
+    assert_eq!(config, back);
+    assert_eq!(back.adversary.label(), "whitewash");
+}
+
+#[test]
+fn pre_adversary_rounds_config_still_deserializes() {
+    // RoundsConfig serialized before the defense policy existed: the
+    // new fields must default to the paper's plain behaviour.
+    let config = dg_sim::rounds::RoundsConfig::default();
+    let json = serde_json::to_string(&config).unwrap();
+    let legacy = strip_object_field(&strip_object_field(&json, "defense"), "adversary");
+    assert!(!legacy.contains("defense") && !legacy.contains("adversary"));
+    let back: dg_sim::rounds::RoundsConfig = serde_json::from_str(&legacy).unwrap();
+    assert!(back.defense.is_none());
+    assert!(back.gossip.adversary.is_none());
+    assert_eq!(back, config);
+}
+
+/// Remove `"field":{...}` (brace-matched) plus one adjoining comma from
+/// a JSON string — simulates configs written before the field existed.
+fn strip_object_field(json: &str, field: &str) -> String {
+    let key = format!("\"{field}\":");
+    let start = json.find(&key).expect("field present");
+    let mut depth = 0usize;
+    let mut end = json.len();
+    for (i, c) in json[start..].char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    end = start + i + 1;
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    let mut out = String::new();
+    if json[end..].starts_with(',') {
+        out.push_str(&json[..start]);
+        out.push_str(&json[end + 1..]);
+    } else {
+        out.push_str(json[..start].trim_end_matches(','));
+        out.push_str(&json[end..]);
+    }
+    out
+}

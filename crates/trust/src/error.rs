@@ -17,6 +17,10 @@ pub enum TrustError {
     #[error("invalid weight parameters: {0}")]
     InvalidWeightParams(String),
 
+    /// A robust-aggregation policy failed validation.
+    #[error("invalid robust aggregation policy: {0}")]
+    InvalidRobustPolicy(String),
+
     /// A node id exceeded the matrix dimension.
     #[error("node id {id} out of range for {n} nodes")]
     NodeOutOfRange {

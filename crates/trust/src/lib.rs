@@ -18,13 +18,16 @@
 //! * [`weights`] — the neighbour-opinion weight law `w_Ii = a^(b·t_Ii)`
 //!   of Eq. (2), with the paper's `w ≥ 1` invariant,
 //! * [`table`] — the per-node reputation table of the system model
-//!   (local trust + last-heard bookkeeping for dropping silent peers).
+//!   (local trust + last-heard bookkeeping for dropping silent peers),
+//! * [`robust`] — robust-aggregation countermeasures (report clamping,
+//!   per-subject trimmed aggregation) for adversarial gossip channels.
 
 pub mod aimd;
 pub mod csr;
 pub mod error;
 pub mod estimator;
 pub mod matrix;
+pub mod robust;
 pub mod table;
 pub mod value;
 pub mod weights;
@@ -32,6 +35,7 @@ pub mod weights;
 pub use csr::{CsrBuilder, CsrStorage};
 pub use error::TrustError;
 pub use matrix::TrustMatrix;
+pub use robust::RobustAggregation;
 pub use value::TrustValue;
 pub use weights::WeightParams;
 
@@ -40,6 +44,7 @@ pub mod prelude {
     pub use crate::aimd::{AimdEstimator, AimdParams};
     pub use crate::estimator::{BetaEstimator, EwmaEstimator, TransactionOutcome, TrustEstimator};
     pub use crate::matrix::TrustMatrix;
+    pub use crate::robust::RobustAggregation;
     pub use crate::table::ReputationTable;
     pub use crate::value::TrustValue;
     pub use crate::weights::WeightParams;

@@ -256,6 +256,41 @@ impl TrustMatrix {
         }
         (sums, counts)
     }
+
+    /// [`Self::subject_sums_and_counts`] under a
+    /// [`RobustAggregation`](crate::RobustAggregation) policy: every
+    /// report is clamped into the policy window and the most extreme
+    /// `trim_fraction` of each subject's reports is dropped from each
+    /// tail before summing. With [`RobustAggregation::none`](crate::RobustAggregation::none)
+    /// this is bit-for-bit the plain computation. Deterministic: values
+    /// are collected row-major, per-subject ordering is by total order
+    /// of the clamped values, and the trimmed sum accumulates in that
+    /// sorted order.
+    pub fn robust_subject_sums_and_counts(
+        &self,
+        policy: &crate::robust::RobustAggregation,
+    ) -> (Vec<f64>, Vec<usize>) {
+        if policy.is_none() {
+            return self.subject_sums_and_counts();
+        }
+        let mut reports: Vec<Vec<f64>> = vec![Vec::new(); self.n];
+        for (_, j, t) in self.entries() {
+            reports[j.index()].push(policy.clamp(t.get()));
+        }
+        let mut sums = vec![0.0; self.n];
+        let mut counts = vec![0usize; self.n];
+        for (j, mut values) in reports.into_iter().enumerate() {
+            if values.is_empty() {
+                continue;
+            }
+            values.sort_by(f64::total_cmp);
+            let k = policy.trim_per_tail(values.len());
+            let kept = &values[k..values.len() - k];
+            sums[j] = kept.iter().sum();
+            counts[j] = kept.len();
+        }
+        (sums, counts)
+    }
 }
 
 /// Logical equality over entries, independent of backend.

@@ -82,6 +82,13 @@ impl ReputationTable {
         entry.last_heard_round = round;
     }
 
+    /// Forget a peer entirely — the whitewash case: the peer discarded
+    /// its identity, so every opinion held about the old identity dies
+    /// with it. Returns the dropped entry, if the peer was known.
+    pub fn remove(&mut self, peer: NodeId) -> Option<TableEntry> {
+        self.entries.remove(&peer)
+    }
+
     /// Mark that `peer` was heard from (any protocol traffic) at `round`.
     pub fn touch(&mut self, peer: NodeId, round: u64) {
         if let Some(e) = self.entries.get_mut(&peer) {

@@ -1,0 +1,198 @@
+//! Adversary-subsystem invariants.
+//!
+//! 1. **Determinism** — the same `(seed, mix, defense)` triple replays
+//!    the attack bit-for-bit (per-adversary ChaCha8 streams).
+//! 2. **Zero-adversary neutrality** — a mix with all fractions at zero
+//!    (whatever its structural knobs say) is bit-identical to the plain
+//!    honest run: the adversary plumbing costs nothing when unused.
+//! 3. **Engine equivalence** — attacks produce identical results under
+//!    the sequential reference driver and the batched parallel engine.
+//! 4. **Defenses act** — the robust-aggregation / zero-prior knobs
+//!    measurably reduce what attacks extract or distort.
+
+use differential_gossip::gossip::{AdversaryMix, EngineKind};
+use differential_gossip::sim::rounds::{DefensePolicy, RoundStats, RoundsConfig, RoundsSimulator};
+use differential_gossip::sim::scenario::{Scenario, ScenarioConfig};
+use proptest::prelude::*;
+
+fn scenario_config(seed: u64, mix: AdversaryMix) -> ScenarioConfig {
+    ScenarioConfig {
+        nodes: 120,
+        seed,
+        free_rider_fraction: 0.1,
+        quality_range: (0.4, 1.0),
+        ..ScenarioConfig::default()
+    }
+    .with_adversary(mix)
+}
+
+fn run(
+    config: ScenarioConfig,
+    rounds: usize,
+    defense: DefensePolicy,
+) -> (Vec<RoundStats>, Option<f64>) {
+    let scenario = Scenario::build(config).expect("scenario builds");
+    let mut sim = RoundsSimulator::new(
+        &scenario,
+        RoundsConfig {
+            rounds,
+            ..RoundsConfig::default()
+        }
+        .with_engine(config.engine)
+        .with_defense(defense),
+    );
+    let mut rng = scenario.gossip_rng(2);
+    let stats = sim.run(&mut rng).expect("rounds run");
+    let residual = sim.honest_residual_error();
+    (stats, residual)
+}
+
+/// Attack mix number `kind` (a preset with jittered fraction, or the
+/// all-zero mix).
+fn mix_for(kind: u8, strength: u8) -> AdversaryMix {
+    let fraction = 0.1 * strength as f64;
+    match kind {
+        0 => AdversaryMix::none(),
+        1 => AdversaryMix {
+            sybil_fraction: fraction,
+            ..AdversaryMix::sybil()
+        },
+        2 => AdversaryMix {
+            collusion_fraction: fraction,
+            ..AdversaryMix::collusion()
+        },
+        3 => AdversaryMix {
+            slander_fraction: fraction,
+            ..AdversaryMix::slander()
+        },
+        _ => AdversaryMix {
+            whitewash_fraction: fraction,
+            ..AdversaryMix::whitewash()
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn same_seed_and_mix_replays_bit_for_bit(seed in 0u64..1000, pick in (0u8..5, 1u8..=3)) {
+        let (kind, strength) = pick;
+        let config = scenario_config(seed, mix_for(kind, strength));
+        let a = run(config, 4, DefensePolicy::none());
+        let b = run(config, 4, DefensePolicy::none());
+        prop_assert_eq!(a, b);
+    }
+}
+
+#[test]
+fn zero_fraction_mix_is_bit_identical_to_honest_run() {
+    // Non-default structural knobs, but all fractions zero: the run must
+    // be indistinguishable from one with no adversary config at all.
+    let zero_mix = AdversaryMix {
+        sybil_ring: 3,
+        sybil_spawn_rate: 0.5,
+        collusion_clique: 9,
+        slander_factor: 0.7,
+        wash_threshold: 0.9,
+        ..AdversaryMix::none()
+    };
+    for engine in [EngineKind::Sequential, EngineKind::Parallel] {
+        let honest = scenario_config(11, AdversaryMix::none()).with_engine(engine);
+        let zeroed = scenario_config(11, zero_mix).with_engine(engine);
+
+        let a = Scenario::build(honest).unwrap();
+        let b = Scenario::build(zeroed).unwrap();
+        assert_eq!(a.graph, b.graph);
+        assert_eq!(a.population, b.population);
+        assert_eq!(a.trust, b.trust);
+        assert!(b.adversaries.is_none());
+
+        assert_eq!(
+            run(honest, 5, DefensePolicy::none()),
+            run(zeroed, 5, DefensePolicy::none()),
+            "engine {engine:?}"
+        );
+    }
+}
+
+#[test]
+fn engines_agree_bit_for_bit_under_attack() {
+    // The most stateful attack paths — spawning sybils and whitewash
+    // purges — must not break sequential/parallel equivalence.
+    let mix = AdversaryMix {
+        sybil_fraction: 0.15,
+        whitewash_fraction: 0.1,
+        slander_fraction: 0.1,
+        ..AdversaryMix::none()
+    };
+    for defense in [DefensePolicy::none(), DefensePolicy::defended()] {
+        let seq = run(
+            scenario_config(23, mix).with_engine(EngineKind::Sequential),
+            6,
+            defense,
+        );
+        let par = run(
+            scenario_config(23, mix).with_engine(EngineKind::Parallel),
+            6,
+            defense,
+        );
+        assert_eq!(seq, par, "defense {defense:?}");
+    }
+}
+
+#[test]
+fn whitewashers_wash_and_zero_prior_starves_them() {
+    let mix = AdversaryMix::whitewash();
+    let (open, _) = run(scenario_config(5, mix), 8, DefensePolicy::none());
+    let (defended, _) = run(scenario_config(5, mix), 8, DefensePolicy::defended());
+
+    // The attack actually exercises identity churn.
+    assert!(
+        open.iter().map(|s| s.washes).sum::<u64>() > 0,
+        "no washes happened"
+    );
+    // Under the optimistic default every fresh identity gets a
+    // honeymoon; the zero-prior rule removes it.
+    let open_rate = open.last().unwrap().adversary_service_rate();
+    let defended_rate = defended.last().unwrap().adversary_service_rate();
+    assert!(
+        defended_rate < open_rate,
+        "zero prior should starve washers: open {open_rate} vs defended {defended_rate}"
+    );
+    assert!(defended_rate < 0.25, "defended rate {defended_rate}");
+    // Honest nodes keep their service under the defense.
+    assert!(defended.last().unwrap().honest_service_rate() > 0.75);
+}
+
+#[test]
+fn slander_residual_shrinks_under_robust_aggregation() {
+    let mix = AdversaryMix {
+        slander_fraction: 0.3,
+        ..AdversaryMix::slander()
+    };
+    let (_, open) = run(scenario_config(7, mix), 6, DefensePolicy::none());
+    let (_, defended) = run(scenario_config(7, mix), 6, DefensePolicy::defended());
+    let (open, defended) = (open.unwrap(), defended.unwrap());
+    assert!(
+        defended < open,
+        "robust aggregation should shrink the slander residual: open {open} vs defended {defended}"
+    );
+}
+
+#[test]
+fn sybil_ring_extraction_is_curbed_by_the_defense() {
+    let mix = AdversaryMix::sybil();
+    let (open, _) = run(scenario_config(9, mix), 8, DefensePolicy::none());
+    let (defended, _) = run(scenario_config(9, mix), 8, DefensePolicy::defended());
+    let open_rate = open.last().unwrap().adversary_service_rate();
+    let defended_rate = defended.last().unwrap().adversary_service_rate();
+    assert!(
+        defended_rate <= open_rate,
+        "defense must not increase sybil service: open {open_rate} vs defended {defended_rate}"
+    );
+    assert!(
+        defended.last().unwrap().honest_service_rate() > 0.75,
+        "honest service survived the defense"
+    );
+}
