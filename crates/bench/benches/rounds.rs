@@ -24,7 +24,11 @@ fn scenario(nodes: usize, engine: EngineKind) -> Scenario {
 fn bench_round_engines(c: &mut Criterion) {
     let mut group = c.benchmark_group("rounds/engine");
     group.sample_size(3);
-    for engine in [EngineKind::Sequential, EngineKind::Parallel] {
+    for engine in [
+        EngineKind::Sequential,
+        EngineKind::Parallel,
+        EngineKind::Sharded,
+    ] {
         let s = scenario(1000, engine);
         group.bench_with_input(
             BenchmarkId::new("lifecycle_1000x3", engine.label()),
@@ -39,7 +43,10 @@ fn bench_round_engines(c: &mut Criterion) {
                             scope: AggregationScope::Neighbourhood,
                             ..RoundsConfig::default()
                         }
-                        .with_engine(engine),
+                        .with_engine(engine)
+                        // Real cross-shard assembly, not the degenerate
+                        // single-shard path auto would pick at 1000 nodes.
+                        .with_shards(4),
                     );
                     let mut rng = s.gossip_rng(1);
                     sim.run(&mut rng).expect("rounds")

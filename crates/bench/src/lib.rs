@@ -4,14 +4,23 @@
 //!
 //! * `--full` — run the paper's full parameter grid (N up to 50 000);
 //!   the default grid is scaled to finish in minutes on a laptop,
+//! * `--scale` — run `perf_suite` on the pinned-seed N = 1 000 000
+//!   sparse-graph scale config (`BENCH_scale.json`, with peak-RSS
+//!   sampling); typically combined with `--engine sharded`,
+//! * `--nodes <usize>` — override the node count of the selected
+//!   `perf_suite` config (the `SCALING.md` table sweeps 10k/100k/1M
+//!   this way),
 //! * `--seed <u64>` — override the scenario seed (default 42),
 //! * `--json` — emit JSON lines instead of a formatted table,
-//! * `--engine <sequential|parallel>` — restrict a *round-loop driving*
-//!   binary (`perf_suite`, which otherwise measures both engines) to one
-//!   execution engine. The figure/table binaries measure the gossip
-//!   layer itself, which is engine-independent — they accept and ignore
-//!   the flag. Results never depend on it
+//! * `--engine <sequential|parallel|sharded>` — restrict a *round-loop
+//!   driving* binary (`perf_suite`, which otherwise measures all
+//!   engines) to one execution engine. The figure/table binaries
+//!   measure the gossip layer itself, which is engine-independent —
+//!   they accept and ignore the flag. Results never depend on it
 //!   (see `tests/engine_equivalence.rs`),
+//! * `--shards <usize>` — shard count for the sharded engine (0 = the
+//!   deterministic auto partition; results are bit-identical either
+//!   way),
 //! * `--profile <lossless|lossy|partitioned|churning>` — network fault
 //!   profile for profile-aware binaries (`perf_suite` emits
 //!   `BENCH_<profile>.json`, `degradation` sweeps them),
@@ -34,13 +43,21 @@ pub mod trend;
 pub struct Cli {
     /// Full-scale (paper-grid) mode.
     pub full: bool,
+    /// Million-node scale mode (`perf_suite`).
+    pub scale: bool,
+    /// Node-count override for the selected config.
+    pub nodes: Option<usize>,
     /// Scenario seed.
     pub seed: u64,
     /// Emit JSON lines.
     pub json: bool,
     /// Engine restriction for round-loop driving binaries
-    /// (`None` = the binary's default, e.g. `perf_suite` measures both).
+    /// (`None` = the binary's default, e.g. `perf_suite` measures all).
     pub engine: Option<EngineKind>,
+    /// Shard count for the sharded engine: `None` when the flag was
+    /// not passed (keep the binary's config default), `Some(0)` for an
+    /// explicit auto partition, `Some(n)` for a fixed count.
+    pub shards: Option<usize>,
     /// Network fault profile (default lossless).
     pub profile: NetworkProfile,
     /// Adversary preset (default none).
@@ -53,9 +70,12 @@ impl Default for Cli {
     fn default() -> Self {
         Self {
             full: false,
+            scale: false,
+            nodes: None,
             seed: 42,
             json: false,
             engine: None,
+            shards: None,
             profile: NetworkProfile::lossless(),
             adversary: AdversaryMix::none(),
             out: None,
@@ -73,7 +93,16 @@ impl Cli {
         while let Some(arg) = args.next() {
             match arg.as_str() {
                 "--full" => cli.full = true,
+                "--scale" => cli.scale = true,
                 "--json" => cli.json = true,
+                "--nodes" => {
+                    let v = args
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&n: &usize| n > 0)
+                        .unwrap_or_else(|| usage("--nodes needs a positive node count"));
+                    cli.nodes = Some(v);
+                }
                 "--seed" => {
                     let v = args
                         .next()
@@ -86,8 +115,17 @@ impl Cli {
                         .next()
                         .as_deref()
                         .and_then(EngineKind::parse)
-                        .unwrap_or_else(|| usage("--engine needs `sequential` or `parallel`"));
+                        .unwrap_or_else(|| {
+                            usage("--engine needs `sequential`, `parallel` or `sharded`")
+                        });
                     cli.engine = Some(v);
+                }
+                "--shards" => {
+                    let v = args
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage("--shards needs a usize value (0 = auto)"));
+                    cli.shards = Some(v);
                 }
                 "--profile" => {
                     let v = args
@@ -131,8 +169,8 @@ impl Cli {
 
 fn usage(msg: &str) -> ! {
     eprintln!(
-        "{msg}\nusage: <bin> [--full] [--seed <u64>] [--json] \
-         [--engine <sequential|parallel>] \
+        "{msg}\nusage: <bin> [--full] [--scale] [--nodes <usize>] [--seed <u64>] [--json] \
+         [--engine <sequential|parallel|sharded>] [--shards <usize>] \
          [--profile <lossless|lossy|partitioned|churning>] \
          [--adversary <none|sybil|collusion|slander|whitewash>] [--out <path>]"
     );

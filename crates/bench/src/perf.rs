@@ -1,7 +1,7 @@
 //! The perf-regression harness behind `perf_suite` / `perf_compare`.
 //!
 //! `perf_suite` runs the round-loop lifecycle on a pinned-seed scenario
-//! under both engines and emits a machine-readable `BENCH_<name>.json`
+//! under every engine and emits a machine-readable `BENCH_<name>.json`
 //! report; `perf_compare` gates CI by comparing a fresh report against
 //! the committed `BENCH_baseline.json` and failing on a > [`MAX_REGRESSION`]
 //! throughput drop. Reports are additive: future PRs append engines or
@@ -26,7 +26,7 @@ pub const RESIDUAL_FLOOR: f64 = 0.01;
 /// One engine's measurement within a report.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EngineResult {
-    /// Engine label (`sequential` / `parallel`).
+    /// Engine label (`sequential` / `parallel` / `sharded`).
     pub engine: String,
     /// Wall time of the whole round loop, milliseconds.
     pub wall_ms: f64,
@@ -36,6 +36,17 @@ pub struct EngineResult {
     /// Free-rider service rate after the last round (sanity check that
     /// the lifecycle actually separated the classes).
     pub final_free_rider_service_rate: f64,
+    /// Process peak RSS (`VmHWM`) sampled right after this engine's
+    /// lifecycle run, bytes. A process-wide high-water mark, so it is
+    /// only recorded when **this** engine's run raised it — in a
+    /// multi-engine suite run a later, smaller engine reports 0
+    /// (inherited peak, not attributable) rather than a misleading
+    /// copy of an earlier engine's footprint. Restrict with `--engine`
+    /// (as the scale workflow does) for a guaranteed-clean per-engine
+    /// number. Also 0 where the platform exposes no reading, and
+    /// absent — zero — in reports written before the scale config.
+    #[serde(default)]
+    pub peak_rss_bytes: u64,
 }
 
 /// A `BENCH_<name>.json` report.
@@ -96,6 +107,8 @@ pub struct PerfConfig {
     pub rounds: usize,
     /// Requests per directed edge per round.
     pub requests_per_edge: u32,
+    /// Shard count for the sharded engine (0 = auto).
+    pub shards: usize,
 }
 
 /// The CI smoke config: 5 000 nodes, heavy per-edge request load,
@@ -105,6 +118,10 @@ pub const SMOKE: PerfConfig = PerfConfig {
     nodes: 5_000,
     rounds: 5,
     requests_per_edge: 50,
+    // Explicitly multi-shard: the auto partition would use one shard at
+    // 5k nodes, and the per-PR gate must exercise real cross-shard
+    // assembly, not the degenerate fused-but-serial path.
+    shards: 4,
 };
 
 /// The `--full` config.
@@ -113,7 +130,47 @@ pub const FULL: PerfConfig = PerfConfig {
     nodes: 20_000,
     rounds: 5,
     requests_per_edge: 50,
+    shards: 4,
 };
+
+/// The `--scale` config: one million nodes on the sparse PA overlay
+/// (`m = 2` → ~4M directed trust edges), light per-edge load, the
+/// sharded engine's target configuration. Run restricted
+/// (`--engine sharded`) so the recorded peak RSS is the sharded
+/// engine's own footprint.
+pub const SCALE: PerfConfig = PerfConfig {
+    name: "scale",
+    nodes: 1_000_000,
+    rounds: 3,
+    requests_per_edge: 1,
+    shards: 0,
+};
+
+/// Process peak RSS in bytes (`VmHWM` from `/proc/self/status`), or 0
+/// where the platform exposes no reading.
+pub fn peak_rss_bytes() -> u64 {
+    #[cfg(target_os = "linux")]
+    {
+        if let Ok(status) = std::fs::read_to_string("/proc/self/status") {
+            for line in status.lines() {
+                if let Some(rest) = line.strip_prefix("VmHWM:") {
+                    let kb: u64 = rest
+                        .trim()
+                        .trim_end_matches("kB")
+                        .trim()
+                        .parse()
+                        .unwrap_or(0);
+                    return kb * 1024;
+                }
+            }
+        }
+        0
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        0
+    }
+}
 
 fn scenario_config(
     perf: &PerfConfig,
@@ -143,6 +200,7 @@ fn measure_engine(
     // The lifecycle loop aggregates in closed form, so engine throughput
     // is profile-independent — always measured lossless for
     // baseline-comparability.
+    let rss_before = peak_rss_bytes();
     let scenario = Scenario::build(scenario_config(
         perf,
         seed,
@@ -156,7 +214,8 @@ fn measure_engine(
         scope: AggregationScope::Neighbourhood,
         ..RoundsConfig::default()
     }
-    .with_engine(engine);
+    .with_engine(engine)
+    .with_shards(perf.shards);
     let mut sim = RoundsSimulator::new(&scenario, config);
     let mut rng = scenario.gossip_rng(1);
     let start = Instant::now();
@@ -164,16 +223,20 @@ fn measure_engine(
     let wall = start.elapsed();
     let wall_s = wall.as_secs_f64().max(1e-9);
     let last = stats.last().expect("at least one round");
+    // Attribute the high-water mark to this engine only if its run
+    // raised it (see the field doc).
+    let rss_after = peak_rss_bytes();
     Ok(EngineResult {
         engine: engine.label().to_owned(),
         wall_ms: wall_s * 1e3,
         node_rounds_per_sec: (perf.nodes * perf.rounds) as f64 / wall_s,
         final_free_rider_service_rate: last.free_rider_service_rate(),
+        peak_rss_bytes: if rss_after > rss_before { rss_after } else { 0 },
     })
 }
 
 /// Run the suite on the pinned config and assemble the report. With
-/// `only = None` both engines are measured (the CI setting); passing an
+/// `only = None` every engine is measured (the CI setting); passing an
 /// engine restricts the run to it. The convergence measurement runs
 /// under `profile` (engine throughput stays profile-independent).
 pub fn run_suite(
@@ -197,6 +260,27 @@ pub fn run_suite_with_adversary(
     profile: NetworkProfile,
     adversary: AdversaryMix,
 ) -> Result<PerfReport, Box<dyn std::error::Error>> {
+    // Engines are measured FIRST so each result's `peak_rss_bytes`
+    // (a process-wide high-water mark) reflects scenario build + that
+    // engine's round loop only, not the convergence measurement below.
+    let mut engines = Vec::new();
+    for engine in [
+        EngineKind::Sequential,
+        EngineKind::Parallel,
+        EngineKind::Sharded,
+    ] {
+        if only.is_none() || only == Some(engine) {
+            engines.push(measure_engine(perf, seed, engine, adversary)?);
+        }
+    }
+    let find = |label: &str| engines.iter().find(|e| e.engine == label);
+    let speedup = match (only, find("sequential"), find("parallel")) {
+        (None, Some(sequential), Some(parallel)) => {
+            Some(parallel.node_rounds_per_sec / sequential.node_rounds_per_sec.max(1e-9))
+        }
+        _ => None,
+    };
+
     // Convergence metric: scalar differential-gossip averaging on the
     // same overlay, steps to protocol quiescence, under the requested
     // network profile. Built WITHOUT the adversary mix — the mix
@@ -218,18 +302,6 @@ pub fn run_suite_with_adversary(
     let residual_error = out.max_error(mean);
     drop(scenario);
 
-    let mut engines = Vec::new();
-    for engine in [EngineKind::Sequential, EngineKind::Parallel] {
-        if only.is_none() || only == Some(engine) {
-            engines.push(measure_engine(perf, seed, engine, adversary)?);
-        }
-    }
-    let speedup = match (&engines[..], only) {
-        ([sequential, parallel], None) => {
-            Some(parallel.node_rounds_per_sec / sequential.node_rounds_per_sec.max(1e-9))
-        }
-        _ => None,
-    };
     Ok(PerfReport {
         name: perf.name.to_owned(),
         nodes: perf.nodes,
@@ -250,7 +322,19 @@ pub fn run_suite_with_adversary(
 /// workspace root).
 pub fn suite_main() -> Result<(), Box<dyn std::error::Error>> {
     let cli = crate::Cli::parse();
-    let config = if cli.full { FULL } else { SMOKE };
+    let mut config = if cli.scale {
+        SCALE
+    } else if cli.full {
+        FULL
+    } else {
+        SMOKE
+    };
+    if let Some(nodes) = cli.nodes {
+        config.nodes = nodes;
+    }
+    if let Some(shards) = cli.shards {
+        config.shards = shards;
+    }
     eprintln!(
         "perf_suite: {} ({} nodes, {} rounds, {} req/edge, seed {}, profile {}, adversary {})",
         config.name,
@@ -275,11 +359,13 @@ pub fn suite_main() -> Result<(), Box<dyn std::error::Error>> {
         run_suite_with_adversary(&config, cli.seed, cli.engine, cli.profile, cli.adversary)?;
     for engine in &report.engines {
         eprintln!(
-            "  {:<10} {:>10.1} ms  {:>12.0} node-rounds/s  (final free-rider service {:.3})",
+            "  {:<10} {:>10.1} ms  {:>12.0} node-rounds/s  (final free-rider service {:.3}, \
+             peak RSS {:.0} MiB)",
             engine.engine,
             engine.wall_ms,
             engine.node_rounds_per_sec,
             engine.final_free_rider_service_rate,
+            engine.peak_rss_bytes as f64 / (1024.0 * 1024.0),
         );
     }
     if let Some(speedup) = report.speedup_parallel_over_sequential {
@@ -292,19 +378,25 @@ pub fn suite_main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Lossless keeps the historical BENCH_<config>.json name (the
     // committed baseline); faulty profiles and adversarial runs get
-    // their own report files.
+    // their own report files, and a `--nodes` override stamps the
+    // overridden count into the name so an off-scale report can never
+    // shadow the pinned config's file (and trivially pass its gate).
+    let nodes_suffix = cli.nodes.map(|n| format!("_{n}")).unwrap_or_default();
     let default_name = if !cli.adversary.is_none() {
         // Keep the profile in the name so lossless and faulty
         // adversarial reports don't clobber each other.
         if cli.profile.is_reliable() {
-            format!("BENCH_adv_{}.json", report.adversary)
+            format!("BENCH_adv_{}{nodes_suffix}.json", report.adversary)
         } else {
-            format!("BENCH_adv_{}_{}.json", report.adversary, report.profile)
+            format!(
+                "BENCH_adv_{}_{}{nodes_suffix}.json",
+                report.adversary, report.profile
+            )
         }
     } else if cli.profile.is_reliable() {
-        format!("BENCH_{}.json", report.name)
+        format!("BENCH_{}{nodes_suffix}.json", report.name)
     } else {
-        format!("BENCH_{}.json", report.profile)
+        format!("BENCH_{}{nodes_suffix}.json", report.profile)
     };
     let path = cli.out.clone().unwrap_or(default_name);
     std::fs::write(&path, serde_json::to_string_pretty(&report)?)?;
@@ -408,12 +500,14 @@ mod tests {
                     wall_ms: 1.0,
                     node_rounds_per_sec: seq,
                     final_free_rider_service_rate: 0.1,
+                    peak_rss_bytes: 0,
                 },
                 EngineResult {
                     engine: "parallel".into(),
                     wall_ms: 1.0,
                     node_rounds_per_sec: par,
                     final_free_rider_service_rate: 0.1,
+                    peak_rss_bytes: 0,
                 },
             ],
             speedup_parallel_over_sequential: Some(par / seq),
@@ -451,25 +545,44 @@ mod tests {
     }
 
     #[test]
-    fn tiny_suite_runs_end_to_end_and_parallel_matches_sequential() {
+    fn tiny_suite_runs_end_to_end_and_all_engines_match() {
         let tiny = PerfConfig {
             name: "tiny",
             nodes: 120,
             rounds: 2,
             requests_per_edge: 3,
+            shards: 4,
         };
         let r = run_suite(&tiny, 7, None, NetworkProfile::lossless()).unwrap();
-        assert_eq!(r.engines.len(), 2);
+        assert_eq!(r.engines.len(), 3);
         assert!(r.rounds_to_convergence > 0);
         assert_eq!(r.profile, "lossless");
-        // Identical lifecycle outcomes under both engines.
+        // Identical lifecycle outcomes under every engine.
         let seq = r.engine("sequential").unwrap();
         let par = r.engine("parallel").unwrap();
+        let shd = r.engine("sharded").unwrap();
         assert_eq!(
             seq.final_free_rider_service_rate,
             par.final_free_rider_service_rate
         );
+        assert_eq!(
+            seq.final_free_rider_service_rate,
+            shd.final_free_rider_service_rate
+        );
         assert!(r.speedup_parallel_over_sequential.unwrap() > 0.0);
+        // peak_rss_bytes attribution is probed separately
+        // (`peak_rss_sampling_works`): asserting on per-engine values
+        // here would race other tests in this process raising the
+        // process-wide high-water mark first.
+    }
+
+    #[test]
+    fn peak_rss_sampling_works() {
+        // Linux exposes VmHWM; other platforms report 0 by contract.
+        #[cfg(target_os = "linux")]
+        assert!(peak_rss_bytes() > 0);
+        #[cfg(not(target_os = "linux"))]
+        assert_eq!(peak_rss_bytes(), 0);
     }
 
     #[test]
@@ -479,17 +592,14 @@ mod tests {
             nodes: 60,
             rounds: 1,
             requests_per_edge: 2,
+            shards: 0,
         };
-        let r = run_suite(
-            &tiny,
-            7,
-            Some(EngineKind::Parallel),
-            NetworkProfile::lossless(),
-        )
-        .unwrap();
-        assert_eq!(r.engines.len(), 1);
-        assert_eq!(r.engines[0].engine, "parallel");
-        assert_eq!(r.speedup_parallel_over_sequential, None);
+        for engine in [EngineKind::Parallel, EngineKind::Sharded] {
+            let r = run_suite(&tiny, 7, Some(engine), NetworkProfile::lossless()).unwrap();
+            assert_eq!(r.engines.len(), 1);
+            assert_eq!(r.engines[0].engine, engine.label());
+            assert_eq!(r.speedup_parallel_over_sequential, None);
+        }
     }
 
     #[test]
@@ -499,6 +609,7 @@ mod tests {
             nodes: 120,
             rounds: 1,
             requests_per_edge: 2,
+            shards: 0,
         };
         let r = run_suite(
             &tiny,

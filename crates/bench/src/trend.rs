@@ -16,6 +16,7 @@ pub const TINY: PerfConfig = PerfConfig {
     nodes: 150,
     rounds: 2,
     requests_per_edge: 3,
+    shards: 2,
 };
 
 /// One appended history row.
@@ -29,6 +30,8 @@ pub struct TrendRow {
     pub sequential: f64,
     /// Parallel engine throughput, node-rounds/s.
     pub parallel: f64,
+    /// Sharded engine throughput, node-rounds/s.
+    pub sharded: f64,
     /// parallel / sequential.
     pub speedup: f64,
     /// Gossip rounds to convergence per profile, in lossless / lossy /
@@ -42,11 +45,12 @@ impl TrendRow {
     /// The markdown table row.
     pub fn markdown(&self) -> String {
         format!(
-            "| {} | {} | {:.0} | {:.0} | {:.2}x | {} | {} | {} | {} | {:.2e} |",
+            "| {} | {} | {:.0} | {:.0} | {:.0} | {:.2}x | {} | {} | {} | {} | {:.2e} |",
             self.date,
             self.sha,
             self.sequential,
             self.parallel,
+            self.sharded,
             self.speedup,
             self.convergence[0],
             self.convergence[1],
@@ -68,8 +72,8 @@ profile. Throughput is engine node-rounds/s measured lossless;
 profile; the residual is the estimate error left under the churning
 profile. Hardware varies between runners — read trends, not absolutes.
 
-| date | commit | seq n-r/s | par n-r/s | speedup | conv lossless | conv lossy | conv partitioned | conv churning | churn residual |
-|------|--------|-----------|-----------|---------|---------------|------------|------------------|---------------|----------------|
+| date | commit | seq n-r/s | par n-r/s | shd n-r/s | speedup | conv lossless | conv lossy | conv partitioned | conv churning | churn residual |
+|------|--------|-----------|-----------|-----------|---------|---------------|------------|------------------|---------------|----------------|
 ";
 
 /// Run the suite across all profiles and assemble the row.
@@ -79,7 +83,7 @@ pub fn run_trend(
     date: String,
     sha: String,
 ) -> Result<TrendRow, Box<dyn std::error::Error>> {
-    // Engine throughput: one lossless run measuring both engines.
+    // Engine throughput: one lossless run measuring every engine.
     let lossless = run_suite(config, seed, None, NetworkProfile::lossless())?;
     let sequential = lossless
         .engine("sequential")
@@ -88,6 +92,10 @@ pub fn run_trend(
     let parallel = lossless
         .engine("parallel")
         .ok_or("missing parallel result")?
+        .node_rounds_per_sec;
+    let sharded = lossless
+        .engine("sharded")
+        .ok_or("missing sharded result")?
         .node_rounds_per_sec;
 
     // Convergence + residual: one sequential run per faulty profile.
@@ -111,6 +119,7 @@ pub fn run_trend(
         sha,
         sequential,
         parallel,
+        sharded,
         speedup: parallel / sequential.max(1e-9),
         convergence,
         churning_residual,
@@ -180,10 +189,10 @@ mod tests {
     #[test]
     fn tiny_trend_runs_and_rows_are_well_formed() {
         let row = run_trend(&TINY, 7, "2026-01-01".into(), "abc1234".into()).unwrap();
-        assert!(row.sequential > 0.0 && row.parallel > 0.0);
+        assert!(row.sequential > 0.0 && row.parallel > 0.0 && row.sharded > 0.0);
         assert!(row.convergence.iter().all(|&c| c > 0));
         let md = row.markdown();
-        assert_eq!(md.matches('|').count(), 11, "10 cells: {md}");
+        assert_eq!(md.matches('|').count(), 12, "11 cells: {md}");
         assert!(md.contains("abc1234"));
     }
 
@@ -199,6 +208,7 @@ mod tests {
             sha: "deadbee".into(),
             sequential: 1000.0,
             parallel: 2000.0,
+            sharded: 1500.0,
             speedup: 2.0,
             convergence: [10, 20, 30, 40],
             churning_residual: 1e-3,

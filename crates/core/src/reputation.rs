@@ -91,6 +91,23 @@ impl<'g> ReputationSystem<'g> {
             .sum()
     }
 
+    /// The per-neighbour excess weights `(w_Ik − 1)` of `observer`, in
+    /// neighbour order — the amortisable half of every [`y_hat`](Self::y_hat)
+    /// evaluation. Batch aggregation computes this once per observer
+    /// (instead of re-reading the observer's trust row for every
+    /// (subject, neighbour) pair) and feeds it to
+    /// [`gclr_from_parts_weighted`](Self::gclr_from_parts_weighted);
+    /// summing the returned vector reproduces
+    /// [`neighbour_excess_sum`](Self::neighbour_excess_sum) bit-for-bit
+    /// (same iteration order, same additions).
+    pub fn neighbour_excess_weights(&self, observer: NodeId) -> Vec<f64> {
+        self.graph
+            .neighbours(observer)
+            .iter()
+            .map(|&k| self.weight_of(observer, NodeId(k)) - 1.0)
+            .collect()
+    }
+
     /// `ŷ_Ij = Σ_{k ∈ NS_I} (w_Ik − 1) · t_kj` — the weighted excess of
     /// the neighbours' direct reports about `j` (Algorithm 2). Neighbours
     /// without an opinion report the anti-whitewash default 0.
@@ -128,13 +145,28 @@ impl<'g> ReputationSystem<'g> {
         )
     }
 
+    /// The Eq. (6) tail shared by every entry point: `(ŷ + Σt) /
+    /// (excess + N_d)`, clamped into the trust range, `None` on a
+    /// non-positive denominator. The **single home of the formula** —
+    /// [`gclr_from_parts`](Self::gclr_from_parts) and
+    /// [`gclr_from_parts_weighted`](Self::gclr_from_parts_weighted)
+    /// differ only in how they evaluate `ŷ` and both delegate here, so
+    /// they cannot drift apart.
+    fn eq6(y_hat: f64, opinion_sum: f64, opinion_count: f64, excess: f64) -> Option<f64> {
+        let denom = excess + opinion_count;
+        if denom <= 0.0 {
+            return None;
+        }
+        Some(((y_hat + opinion_sum) / denom).clamp(0.0, 1.0))
+    }
+
     /// Eq. (6) from precomputed pieces: the caller supplies the
     /// subject's opinion sum `Σᵢ t_ij` and count `N_d` plus the
-    /// observer's neighbourhood excess `Σ (w − 1)`. This is the single
-    /// home of the formula — [`gclr`](Self::gclr), [`gclr_matrix`](Self::gclr_matrix)
-    /// and the round engines' aggregation phase all delegate here, so
-    /// they cannot drift apart. Batch callers amortise the inputs over a
-    /// whole sweep (see
+    /// observer's neighbourhood excess `Σ (w − 1)`.
+    /// [`gclr`](Self::gclr), [`gclr_matrix`](Self::gclr_matrix) and the
+    /// round engines' aggregation phase all evaluate the formula through
+    /// the shared `eq6` tail, so they cannot drift apart. Batch callers
+    /// amortise the inputs over a whole sweep (see
     /// [`TrustMatrix::subject_sums_and_counts`]).
     pub fn gclr_from_parts(
         &self,
@@ -144,12 +176,49 @@ impl<'g> ReputationSystem<'g> {
         opinion_count: f64,
         excess: f64,
     ) -> Option<f64> {
-        let denom = excess + opinion_count;
-        if denom <= 0.0 {
+        if excess + opinion_count <= 0.0 {
             return None;
         }
-        let num = self.y_hat(observer, subject) + opinion_sum;
-        Some((num / denom).clamp(0.0, 1.0))
+        Self::eq6(
+            self.y_hat(observer, subject),
+            opinion_sum,
+            opinion_count,
+            excess,
+        )
+    }
+
+    /// [`gclr_from_parts`](Self::gclr_from_parts) with the observer's
+    /// excess weights precomputed
+    /// ([`neighbour_excess_weights`](Self::neighbour_excess_weights)).
+    /// Bit-identical to the plain form — the `ŷ` sum runs over the
+    /// same neighbours in the same order with the same factors — while
+    /// skipping the redundant observer-row lookups, which halves the
+    /// point-lookup count of a full aggregation sweep.
+    pub fn gclr_from_parts_weighted(
+        &self,
+        observer: NodeId,
+        excess_weights: &[f64],
+        subject: NodeId,
+        opinion_sum: f64,
+        opinion_count: f64,
+        excess: f64,
+    ) -> Option<f64> {
+        debug_assert_eq!(
+            excess_weights.len(),
+            self.graph.neighbours(observer).len(),
+            "excess_weights must be neighbour_excess_weights({observer})"
+        );
+        if excess + opinion_count <= 0.0 {
+            return None;
+        }
+        let y_hat: f64 = self
+            .graph
+            .neighbours(observer)
+            .iter()
+            .zip(excess_weights)
+            .map(|(&k, &w1)| w1 * self.trust.get_or_zero(NodeId(k), subject).get())
+            .sum();
+        Self::eq6(y_hat, opinion_sum, opinion_count, excess)
     }
 
     /// Full GCLR matrix by closed form: `result[I]` maps subject → Rep_Ij

@@ -8,11 +8,15 @@ use serde::{Deserialize, Serialize};
 /// Execution engine for round-driving layers (the simulator's lifecycle
 /// loop and, on multi-core hosts, batched gossip sweeps).
 ///
-/// The gossip *protocol* semantics are identical under both engines —
+/// The gossip *protocol* semantics are identical under every engine —
 /// per-node RNG streams derived with [`node_stream_seed`] make results
-/// bit-for-bit equal regardless of thread count. `Parallel` selects the
-/// batched data path (flat CSR trust storage, phase fan-out over nodes
-/// with rayon); `Sequential` keeps the reference map-based driver.
+/// bit-for-bit equal regardless of thread count (and, for `Sharded`,
+/// regardless of shard count). `Parallel` selects the batched data path
+/// (flat CSR trust storage, phase fan-out over nodes with rayon);
+/// `Sharded` partitions nodes into contiguous shards, each with its own
+/// CSR and bounded scratch, fanning *shards* out over the pool — the
+/// million-node configuration; `Sequential` keeps the reference
+/// map-based driver.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum EngineKind {
     /// Reference single-stream driver over map-based state.
@@ -20,6 +24,9 @@ pub enum EngineKind {
     Sequential,
     /// Batched phase engine: CSR state, rayon fan-out over nodes.
     Parallel,
+    /// Sharded phase engine: per-shard CSR state and bounded scratch,
+    /// rayon fan-out over shards (shard count on the round config).
+    Sharded,
 }
 
 impl EngineKind {
@@ -28,6 +35,7 @@ impl EngineKind {
         match self {
             EngineKind::Sequential => "sequential",
             EngineKind::Parallel => "parallel",
+            EngineKind::Sharded => "sharded",
         }
     }
 
@@ -36,6 +44,7 @@ impl EngineKind {
         match s {
             "sequential" | "seq" => Some(EngineKind::Sequential),
             "parallel" | "par" => Some(EngineKind::Parallel),
+            "sharded" | "shard" => Some(EngineKind::Sharded),
             _ => None,
         }
     }
@@ -226,10 +235,15 @@ mod tests {
 
     #[test]
     fn engine_kind_labels_roundtrip() {
-        for kind in [EngineKind::Sequential, EngineKind::Parallel] {
+        for kind in [
+            EngineKind::Sequential,
+            EngineKind::Parallel,
+            EngineKind::Sharded,
+        ] {
             assert_eq!(EngineKind::parse(kind.label()), Some(kind));
         }
         assert_eq!(EngineKind::parse("par"), Some(EngineKind::Parallel));
+        assert_eq!(EngineKind::parse("shard"), Some(EngineKind::Sharded));
         assert_eq!(EngineKind::parse("nope"), None);
         assert_eq!(EngineKind::default(), EngineKind::Sequential);
     }

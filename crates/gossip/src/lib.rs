@@ -40,6 +40,8 @@
 //! from — and surfaces the exact deficit through a per-run mass ledger
 //! instead of hiding it.)
 
+#![warn(missing_docs)]
+
 pub mod adversary;
 pub mod config;
 pub mod error;

@@ -207,7 +207,13 @@ pub(crate) fn closed_form_row(
     scope: AggregationScope,
     agg: &SubjectAggregates,
 ) -> Vec<(NodeId, f64)> {
-    let excess = system.neighbour_excess_sum(observer);
+    // The observer's excess weights are the same for every subject:
+    // compute them once (their sum IS `neighbour_excess_sum`, same
+    // addition order) and use the weighted Eq. (6) form, halving the
+    // trust-matrix lookups of the sweep. Bit-identical to the plain
+    // per-subject evaluation.
+    let weights = system.neighbour_excess_weights(observer);
+    let excess: f64 = weights.iter().sum();
     // Subjects nobody rated are out of scope (the matrix lists rated
     // subjects only); the formula itself lives in dg-core.
     let subject_rep = |j: NodeId| -> Option<(NodeId, f64)> {
@@ -216,7 +222,14 @@ pub(crate) fn closed_form_row(
             return None;
         }
         system
-            .gclr_from_parts(observer, j, agg.sums[j.index()], count as f64, excess)
+            .gclr_from_parts_weighted(
+                observer,
+                &weights,
+                j,
+                agg.sums[j.index()],
+                count as f64,
+                excess,
+            )
             .map(|rep| (j, rep))
     };
     match scope {
@@ -347,18 +360,125 @@ pub(crate) fn row_mean(values: impl ExactSizeIterator<Item = f64>) -> Option<f64
     Some(values.sum::<f64>() / len as f64)
 }
 
+/// Binary-search lookup in sorted per-observer aggregated runs — the
+/// admission-control read both run engines serve during transact, and
+/// the body of their public `aggregated()` accessors. `None` for
+/// out-of-range observers and unaggregated pairs alike.
+pub(crate) fn lookup_run(
+    runs: &[Vec<(NodeId, f64)>],
+    observer: NodeId,
+    subject: NodeId,
+) -> Option<f64> {
+    let run = runs.get(observer.index())?;
+    run.binary_search_by_key(&subject, |&(j, _)| j)
+        .ok()
+        .map(|idx| run[idx].1)
+}
+
+/// [`subject_totals`] over sorted per-observer runs.
+pub(crate) fn runs_totals(n: usize, runs: &[Vec<(NodeId, f64)>]) -> (Vec<f64>, Vec<usize>) {
+    subject_totals(n, runs.iter().map(|run| run.iter().map(|&(j, r)| (j, r))))
+}
+
+/// The shared round epilogue of the batched and sharded engines:
+/// summarise the round, run the whitewash phase (washers whose mean
+/// reputation collapsed discard their identity — `purge` clears the
+/// engine's per-node estimator/table state for them; the aggregated
+/// runs are scrubbed here), refresh the observers' admission scales
+/// (post-purge, so the next round treats a fresh identity as a
+/// stranger), and assemble the [`RoundStats`]. One implementation so
+/// the engines cannot drift apart — like the phase kernels above, this
+/// keeps them identical by construction.
+pub(crate) fn finish_round(
+    scenario: &Scenario,
+    round: usize,
+    delta: ServiceDelta,
+    aggregated: &mut [Vec<(NodeId, f64)>],
+    observer_mean: &mut [Option<f64>],
+    purge: impl FnOnce(&[NodeId]),
+) -> RoundStats {
+    let n = aggregated.len();
+    let (sums, cnts) = runs_totals(n, aggregated);
+    let means = class_reputation_means(scenario, &sums, &cnts);
+    // Sorted, so every membership test below (and in the engines'
+    // purge closures) is a binary search — the purge stays
+    // `O(entries × log washed)` when a large mix washes thousands of
+    // identities at million-node scale. Removals are set operations,
+    // so ordering cannot change the result.
+    let mut washed = scenario.adversaries.washes(&subject_means(&sums, &cnts));
+    washed.sort_unstable();
+    if !washed.is_empty() {
+        purge(&washed);
+        for run in aggregated.iter_mut() {
+            run.retain(|(j, _)| washed.binary_search(j).is_err());
+        }
+        for &w in &washed {
+            aggregated[w.index()].clear();
+        }
+    }
+    for (i, run) in aggregated.iter().enumerate() {
+        observer_mean[i] = row_mean(run.iter().map(|&(_, r)| r));
+    }
+    RoundStats {
+        round,
+        served_honest: delta.served_honest,
+        refused_honest: delta.refused_honest,
+        served_free_riders: delta.served_free_riders,
+        refused_free_riders: delta.refused_free_riders,
+        served_adversaries: delta.served_adversaries,
+        refused_adversaries: delta.refused_adversaries,
+        mean_rep_honest: means.honest,
+        mean_rep_free_riders: means.free_riders,
+        mean_rep_adversaries: means.adversaries,
+        washes: washed.len() as u64,
+    }
+}
+
 /// The RNG stream of the aggregation phase (distinct from every node
 /// stream: node ids are `< N ≤ u32::MAX`).
 pub(crate) fn aggregation_rng(round_seed: u64) -> ChaCha8Rng {
     ChaCha8Rng::seed_from_u64(node_stream_seed(round_seed, u32::MAX))
 }
 
-/// Per-node mutable state of the batched engine.
-struct NodeState {
+/// Per-node mutable state of the batched and sharded engines.
+pub(crate) struct NodeState {
     /// Per-provider estimators (the requester's view of each provider).
-    estimators: BTreeMap<NodeId, EwmaEstimator>,
+    pub(crate) estimators: BTreeMap<NodeId, EwmaEstimator>,
     /// The node's reputation table.
-    table: ReputationTable,
+    pub(crate) table: ReputationTable,
+}
+
+impl NodeState {
+    pub(crate) fn new() -> Self {
+        Self {
+            estimators: BTreeMap::new(),
+            table: ReputationTable::new(),
+        }
+    }
+
+    /// Fold one round's transaction records into the estimators and
+    /// table, then emit the node's trust row (ascending by provider) —
+    /// the estimate-phase kernel shared by the batched and sharded
+    /// engines so their math is identical by construction.
+    pub(crate) fn fold_records(
+        &mut self,
+        records: Vec<TransactionRecord>,
+        ewma_rate: f64,
+        round: u64,
+    ) -> Vec<(NodeId, TrustValue)> {
+        for rec in records {
+            let est = self
+                .estimators
+                .entry(rec.provider)
+                .or_insert_with(|| EwmaEstimator::new(ewma_rate));
+            self.table
+                .record_transaction(rec.provider, est, rec.outcome, round);
+        }
+        self.estimators
+            .iter()
+            .map(|(&j, est)| (j, est.estimate()))
+            .collect()
+    }
 }
 
 /// The batched parallel round engine.
@@ -383,12 +503,7 @@ impl<'s> BatchedRoundEngine<'s> {
         Self {
             scenario,
             config,
-            nodes: (0..n)
-                .map(|_| NodeState {
-                    estimators: BTreeMap::new(),
-                    table: ReputationTable::new(),
-                })
-                .collect(),
+            nodes: (0..n).map(|_| NodeState::new()).collect(),
             aggregated: vec![Vec::new(); n],
             observer_mean: vec![None; n],
             round: 0,
@@ -408,10 +523,7 @@ impl<'s> BatchedRoundEngine<'s> {
     /// The aggregated reputation of `subject` at `observer`, if any
     /// aggregation round has run (and the subject is in scope).
     pub fn aggregated(&self, observer: NodeId, subject: NodeId) -> Option<f64> {
-        let run = self.aggregated.get(observer.index())?;
-        run.binary_search_by_key(&subject, |&(j, _)| j)
-            .ok()
-            .map(|idx| run[idx].1)
+        lookup_run(&self.aggregated, observer, subject)
     }
 
     /// Run one full round from the given seed; returns its statistics.
@@ -423,12 +535,8 @@ impl<'s> BatchedRoundEngine<'s> {
         let observer_mean = &self.observer_mean;
         let scenario = self.scenario;
         let config = &self.config;
-        let lookup = |provider: NodeId, requester: NodeId| {
-            let run = &aggregated[provider.index()];
-            run.binary_search_by_key(&requester, |&(j, _)| j)
-                .ok()
-                .map(|idx| run[idx].1)
-        };
+        let lookup =
+            |provider: NodeId, requester: NodeId| lookup_run(aggregated, provider, requester);
         let round = self.round as u64;
         let transact: Vec<(Vec<TransactionRecord>, ServiceDelta)> = (0..n as u32)
             .into_par_iter()
@@ -466,20 +574,7 @@ impl<'s> BatchedRoundEngine<'s> {
         let estimated: Vec<(NodeState, Vec<(NodeId, TrustValue)>)> = batch
             .into_par_iter()
             .map(|(i, mut state, records)| {
-                for rec in records {
-                    let est = state
-                        .estimators
-                        .entry(rec.provider)
-                        .or_insert_with(|| EwmaEstimator::new(ewma_rate));
-                    state
-                        .table
-                        .record_transaction(rec.provider, est, rec.outcome, round);
-                }
-                let mut row: Vec<(NodeId, TrustValue)> = state
-                    .estimators
-                    .iter()
-                    .map(|(&j, est)| (j, est.estimate()))
-                    .collect();
+                let mut row = state.fold_records(records, ewma_rate, round);
                 scenario
                     .adversaries
                     .distort_row(NodeId(i), round, seed, &mut row);
@@ -523,59 +618,31 @@ impl<'s> BatchedRoundEngine<'s> {
             }
         }
 
-        // Round summary, then the whitewash phase: washers whose mean
-        // reputation collapsed discard their identity, purging every
-        // opinion involving it.
-        let (sums, cnts) = subject_totals(
-            n,
-            self.aggregated
-                .iter()
-                .map(|run| run.iter().map(|&(j, r)| (j, r))),
+        // Shared round epilogue: summary, whitewash purge, admission
+        // scales, stats.
+        let nodes = &mut self.nodes;
+        let stats = finish_round(
+            self.scenario,
+            self.round,
+            delta,
+            &mut self.aggregated,
+            &mut self.observer_mean,
+            |washed| {
+                // `washed` arrives sorted: membership is a binary
+                // search, and each state is swept once.
+                for state in nodes.iter_mut() {
+                    state
+                        .estimators
+                        .retain(|j, _| washed.binary_search(j).is_err());
+                    state.table.retain(|j| washed.binary_search(&j).is_err());
+                }
+                for &w in washed {
+                    let state = &mut nodes[w.index()];
+                    state.estimators.clear();
+                    state.table = ReputationTable::new();
+                }
+            },
         );
-        let means = class_reputation_means(self.scenario, &sums, &cnts);
-        let washed = self
-            .scenario
-            .adversaries
-            .washes(&subject_means(&sums, &cnts));
-        for state in self.nodes.iter_mut() {
-            for &w in &washed {
-                state.estimators.remove(&w);
-                state.table.remove(w);
-            }
-        }
-        for &w in &washed {
-            let state = &mut self.nodes[w.index()];
-            state.estimators.clear();
-            state.table = ReputationTable::new();
-        }
-        if !washed.is_empty() {
-            for run in self.aggregated.iter_mut() {
-                run.retain(|(j, _)| !washed.contains(j));
-            }
-            for &w in &washed {
-                self.aggregated[w.index()].clear();
-            }
-        }
-
-        // Refresh the observers' admission scales (post-purge, so the
-        // next round treats a fresh identity as a stranger).
-        for (i, run) in self.aggregated.iter().enumerate() {
-            self.observer_mean[i] = row_mean(run.iter().map(|&(_, r)| r));
-        }
-
-        let stats = RoundStats {
-            round: self.round,
-            served_honest: delta.served_honest,
-            refused_honest: delta.refused_honest,
-            served_free_riders: delta.served_free_riders,
-            refused_free_riders: delta.refused_free_riders,
-            served_adversaries: delta.served_adversaries,
-            refused_adversaries: delta.refused_adversaries,
-            mean_rep_honest: means.honest,
-            mean_rep_free_riders: means.free_riders,
-            mean_rep_adversaries: means.adversaries,
-            washes: washed.len() as u64,
-        };
         self.round += 1;
         Ok(stats)
     }
@@ -589,11 +656,6 @@ impl<'s> BatchedRoundEngine<'s> {
     }
 
     pub(crate) fn totals(&self) -> (Vec<f64>, Vec<usize>) {
-        subject_totals(
-            self.scenario.graph.node_count(),
-            self.aggregated
-                .iter()
-                .map(|run| run.iter().map(|&(j, r)| (j, r))),
-        )
+        runs_totals(self.scenario.graph.node_count(), &self.aggregated)
     }
 }

@@ -20,6 +20,10 @@
 //! * [`engine`] — the batched parallel round engine: explicit
 //!   transact/estimate/aggregate phases fanned out over nodes with
 //!   rayon on per-node ChaCha8 streams, over flat CSR trust storage;
+//! * [`sharded`] — the sharded round engine: the same phases fanned
+//!   out over contiguous *node shards*, each building its own CSR
+//!   block with bounded scratch — the million-node configuration,
+//!   bit-identical to the other engines at any shard count;
 //! * [`adversary`] — the attack layer: per-node adversarial strategies
 //!   (sybil rings, collusion cliques, slanderers, whitewashers) compiled
 //!   from an [`AdversaryMix`](dg_gossip::AdversaryMix) and applied by
@@ -30,6 +34,8 @@
 //! * [`report`] — fixed-width table rendering and JSON-lines output for
 //!   the harness binaries.
 
+#![warn(missing_docs)]
+
 pub mod adversary;
 pub mod baselines;
 pub mod engine;
@@ -37,6 +43,7 @@ pub mod experiments;
 pub mod report;
 pub mod rounds;
 pub mod scenario;
+pub mod sharded;
 pub mod workload;
 
 pub use adversary::{AdversaryAssignment, Role, Strategy};

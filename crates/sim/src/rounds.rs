@@ -14,17 +14,23 @@
 //! **aggregate** (Variation-4 differential gossip, in closed form or by
 //! real gossip).
 //!
-//! Two execution engines are available through
+//! Three execution engines are available through
 //! [`GossipConfig::engine`](dg_gossip::GossipConfig):
 //!
 //! * [`EngineKind::Sequential`] — the reference driver in this module:
 //!   one inline pass over nodes, map-based state;
 //! * [`EngineKind::Parallel`] — [`BatchedRoundEngine`]: CSR trust
-//!   storage, sorted aggregated runs, rayon fan-out over nodes.
+//!   storage, sorted aggregated runs, rayon fan-out over nodes;
+//! * [`EngineKind::Sharded`] —
+//!   [`ShardedRoundEngine`](crate::sharded::ShardedRoundEngine): nodes
+//!   partitioned into contiguous shards ([`RoundsConfig::shard_count`]),
+//!   each with its own CSR block and bounded scratch, rayon fan-out
+//!   over shards — the million-node configuration.
 //!
 //! Every node consumes a private ChaCha8 stream derived from the round
-//! seed, so **both engines produce bit-for-bit identical results at any
-//! thread count** (pinned by `tests/engine_equivalence.rs`).
+//! seed, so **all engines produce bit-for-bit identical results at any
+//! thread count and any shard count** (pinned by
+//! `tests/engine_equivalence.rs`).
 
 use crate::engine::{
     aggregation_rng, class_reputation_means, closed_form_row, honest_residual_error, row_mean,
@@ -154,6 +160,14 @@ pub struct RoundsConfig {
     /// to [`DefensePolicy::none`] — the paper's plain behaviour.
     #[serde(default)]
     pub defense: DefensePolicy,
+    /// Shard count for [`EngineKind::Sharded`] (ignored by the other
+    /// engines). `0` — the default — selects the deterministic auto
+    /// partition, one shard per
+    /// [`ShardSpec::AUTO_CHUNK`](dg_trust::ShardSpec::AUTO_CHUNK) nodes.
+    /// Results are bit-identical for **every** value; this is purely a
+    /// memory/parallelism knob.
+    #[serde(default)]
+    pub shard_count: usize,
 }
 
 impl Default for RoundsConfig {
@@ -167,6 +181,7 @@ impl Default for RoundsConfig {
             scope: AggregationScope::Full,
             gossip: GossipConfig::default(),
             defense: DefensePolicy::none(),
+            shard_count: 0,
         }
     }
 }
@@ -175,6 +190,13 @@ impl RoundsConfig {
     /// Builder-style: select the execution engine.
     pub fn with_engine(mut self, engine: EngineKind) -> Self {
         self.gossip.engine = engine;
+        self
+    }
+
+    /// Builder-style: fix the shard count of [`EngineKind::Sharded`]
+    /// (0 = auto).
+    pub fn with_shards(mut self, shard_count: usize) -> Self {
+        self.shard_count = shard_count;
         self
     }
 
@@ -371,26 +393,26 @@ impl<'s> SequentialRounds<'s> {
                 .map(|row| row.iter().map(|(&j, &r)| (j, r))),
         );
         let means = class_reputation_means(self.scenario, &sums, &cnts);
-        let washed = self
+        // Sorted for binary-search membership, mirroring the batched
+        // and sharded engines' shared epilogue (removals are set
+        // operations; ordering cannot change the result).
+        let mut washed = self
             .scenario
             .adversaries
             .washes(&subject_means(&sums, &cnts));
+        washed.sort_unstable();
         if !washed.is_empty() {
-            self.estimators
-                .retain(|&(i, j), _| !washed.contains(&i) && !washed.contains(&j));
+            let kept = |j: &NodeId| washed.binary_search(j).is_err();
+            self.estimators.retain(|&(i, j), _| kept(&i) && kept(&j));
             for table in self.tables.iter_mut() {
-                for &w in &washed {
-                    table.remove(w);
-                }
+                table.retain(|j| kept(&j));
             }
             for &w in &washed {
                 self.tables[w.index()] = ReputationTable::new();
                 self.aggregated[w.index()].clear();
             }
             for row in self.aggregated.iter_mut() {
-                for &w in &washed {
-                    row.remove(&w);
-                }
+                row.retain(|j, _| kept(j));
             }
         }
 
@@ -435,6 +457,7 @@ impl<'s> SequentialRounds<'s> {
 enum Backend<'s> {
     Sequential(Box<SequentialRounds<'s>>),
     Parallel(Box<BatchedRoundEngine<'s>>),
+    Sharded(Box<crate::sharded::ShardedRoundEngine<'s>>),
 }
 
 /// The round-loop simulator, dispatching to the configured engine.
@@ -454,6 +477,9 @@ impl<'s> RoundsSimulator<'s> {
             EngineKind::Parallel => {
                 Backend::Parallel(Box::new(BatchedRoundEngine::new(scenario, config)))
             }
+            EngineKind::Sharded => Backend::Sharded(Box::new(
+                crate::sharded::ShardedRoundEngine::new(scenario, config),
+            )),
         };
         Self { config, backend }
     }
@@ -468,6 +494,7 @@ impl<'s> RoundsSimulator<'s> {
         match &self.backend {
             Backend::Sequential(s) => &s.tables[node.index()],
             Backend::Parallel(p) => p.table(node),
+            Backend::Sharded(s) => s.table(node),
         }
     }
 
@@ -477,6 +504,7 @@ impl<'s> RoundsSimulator<'s> {
         match &self.backend {
             Backend::Sequential(s) => s.aggregated[observer.index()].get(&subject).copied(),
             Backend::Parallel(p) => p.aggregated(observer, subject),
+            Backend::Sharded(s) => s.aggregated(observer, subject),
         }
     }
 
@@ -490,6 +518,7 @@ impl<'s> RoundsSimulator<'s> {
         match &self.backend {
             Backend::Sequential(s) => s.honest_residual(),
             Backend::Parallel(p) => p.honest_residual(),
+            Backend::Sharded(s) => s.honest_residual(),
         }
     }
 
@@ -500,6 +529,7 @@ impl<'s> RoundsSimulator<'s> {
         let (sums, cnts) = match &self.backend {
             Backend::Sequential(s) => s.totals(),
             Backend::Parallel(p) => p.totals(),
+            Backend::Sharded(s) => s.totals(),
         };
         subject_means(&sums, &cnts)
     }
@@ -511,6 +541,7 @@ impl<'s> RoundsSimulator<'s> {
         match &mut self.backend {
             Backend::Sequential(s) => s.run_round(round_seed),
             Backend::Parallel(p) => p.run_round(round_seed),
+            Backend::Sharded(s) => s.run_round(round_seed),
         }
     }
 

@@ -72,8 +72,11 @@ pub struct ScenarioConfig {
     pub far_partners: usize,
     /// Execution engine for round loops driven over this scenario (see
     /// [`EngineKind`]). With [`EngineKind::Parallel`] the built trust
-    /// matrix is frozen into the flat CSR backend. Does **not** affect
-    /// the generated topology, population or trust values.
+    /// matrix is frozen into the flat CSR backend; with
+    /// [`EngineKind::Sharded`] it is partitioned into the sharded
+    /// backend ([`ShardSpec::auto`](dg_trust::ShardSpec::auto)), so no
+    /// monolithic arena survives scenario construction. Does **not**
+    /// affect the generated topology, population or trust values.
     pub engine: EngineKind,
     /// Network fault profile gossip runs over this scenario assume (see
     /// [`NetworkProfile`]). Does **not** affect the generated topology,
@@ -229,8 +232,14 @@ impl Scenario {
             );
         }
 
-        if config.engine == EngineKind::Parallel {
-            trust.freeze();
+        match config.engine {
+            // Compact the substrate for the flat batched engine.
+            EngineKind::Parallel => trust.freeze(),
+            // The sharded engine partitions everything it owns; the
+            // substrate follows the same partition so no monolithic
+            // arena exists anywhere in a sharded run.
+            EngineKind::Sharded => trust.shard(dg_trust::ShardSpec::auto(config.nodes)),
+            EngineKind::Sequential => {}
         }
 
         let weights = WeightParams::new(config.weight_a, config.weight_b)?;

@@ -1,0 +1,252 @@
+//! The sharded round engine — the million-node configuration.
+//!
+//! [`crate::engine::BatchedRoundEngine`] fans the transact and estimate
+//! phases out over *nodes* and rebuilds one monolithic CSR trust matrix
+//! per round. That is the right shape up to a few hundred thousand
+//! nodes; beyond it the per-round scratch hurts: the estimate phase
+//! materialises every node's records and trust row before the single
+//! big builder freezes them, so transient memory tracks the **whole**
+//! matrix (`O(total nnz + N)`) on top of the persistent state.
+//!
+//! [`ShardedRoundEngine`] partitions `NodeId`s into the contiguous
+//! ranges of a [`ShardSpec`] and makes the *shard* the unit of work:
+//!
+//! * each shard owns its nodes' estimators and reputation tables;
+//! * transact + estimate run **fused** per shard — a node's records are
+//!   folded into its estimators immediately and its trust row goes
+//!   straight into the shard's rectangular `CsrBuilder`, so no record
+//!   batch or row batch ever exists for more than the in-flight shards
+//!   (`O(max-shard edges × threads)` scratch instead of `O(total nnz)`);
+//! * the per-shard CSRs assemble zero-copy into a
+//!   [`ShardedCsr`]-backed [`TrustMatrix`], whose
+//!   cross-shard subject-sum merge streams shards in ascending row
+//!   order — the exact global row-major accumulation order of the flat
+//!   backends;
+//! * the closed-form aggregation phase fans the same shards out again,
+//!   writing each observer's run into the shard's slice of the
+//!   aggregated state. ([`AggregationMode::Gossip`] works on the
+//!   sharded backend too, but runs the whole Variation-4 gossip in one
+//!   piece — correctness-preserving, **not** bounded-memory; the
+//!   million-node configuration is closed form, see `docs/SCALING.md`.)
+//!
+//! Nodes keep drawing from the same per-node ChaCha8 streams
+//! ([`dg_gossip::node_stream_seed`]) as the other engines, and every
+//! cross-node reduction happens in a fixed order, so results are
+//! **bit-for-bit identical to the batched and sequential engines at any
+//! shard count and any thread count** — pinned by
+//! `tests/engine_equivalence.rs` for shards 1/4/16 × threads 1/2/8,
+//! with and without an adversarial mix.
+
+use crate::engine::{
+    aggregation_rng, closed_form_row, finish_round, honest_residual_error, lookup_run, runs_totals,
+    transact_requester, NodeState, ServiceDelta, SubjectAggregates,
+};
+use crate::rounds::{AggregationMode, RoundStats, RoundsConfig};
+use crate::scenario::Scenario;
+use dg_core::algorithms::alg4;
+use dg_core::reputation::ReputationSystem;
+use dg_core::CoreError;
+use dg_graph::NodeId;
+use dg_trust::{CsrBuilder, CsrStorage, ShardSpec, ShardedCsr, TrustMatrix};
+use rayon::prelude::*;
+
+/// The sharded round engine (see the module docs).
+pub struct ShardedRoundEngine<'s> {
+    scenario: &'s Scenario,
+    config: RoundsConfig,
+    spec: ShardSpec,
+    /// `shards[s][local]` is node `spec.range(s).start + local`.
+    shards: Vec<Vec<NodeState>>,
+    /// `aggregated[observer]` — sorted `(subject, reputation)` run.
+    aggregated: Vec<Vec<(NodeId, f64)>>,
+    observer_mean: Vec<Option<f64>>,
+    round: usize,
+}
+
+impl<'s> ShardedRoundEngine<'s> {
+    /// Fresh engine over a scenario. `config.shard_count == 0` selects
+    /// the deterministic auto partition ([`ShardSpec::auto`]).
+    pub fn new(scenario: &'s Scenario, config: RoundsConfig) -> Self {
+        let n = scenario.graph.node_count();
+        let spec = if config.shard_count == 0 {
+            ShardSpec::auto(n)
+        } else {
+            ShardSpec::new(n, config.shard_count)
+        };
+        Self {
+            scenario,
+            config,
+            spec,
+            shards: (0..spec.shard_count())
+                .map(|s| (0..spec.rows_in(s)).map(|_| NodeState::new()).collect())
+                .collect(),
+            aggregated: vec![Vec::new(); n],
+            observer_mean: vec![None; n],
+            round: 0,
+        }
+    }
+
+    /// The partition driving this engine.
+    pub fn shard_spec(&self) -> ShardSpec {
+        self.spec
+    }
+
+    /// Rounds completed so far.
+    pub fn round(&self) -> usize {
+        self.round
+    }
+
+    fn state(&self, node: NodeId) -> &NodeState {
+        let (shard, local) = self.spec.locate(node);
+        &self.shards[shard][local]
+    }
+
+    /// The reputation table of one node.
+    pub fn table(&self, node: NodeId) -> &dg_trust::prelude::ReputationTable {
+        &self.state(node).table
+    }
+
+    /// The aggregated reputation of `subject` at `observer`, if any
+    /// aggregation round has run (and the subject is in scope).
+    pub fn aggregated(&self, observer: NodeId, subject: NodeId) -> Option<f64> {
+        lookup_run(&self.aggregated, observer, subject)
+    }
+
+    /// Run one full round from the given seed; returns its statistics.
+    pub fn run_round(&mut self, round_seed: u64) -> Result<RoundStats, CoreError> {
+        let n = self.scenario.graph.node_count();
+        let spec = self.spec;
+        let round = self.round as u64;
+        let scenario = self.scenario;
+        let config = self.config;
+        let seed = scenario.config.seed;
+
+        // Phases 1 + 2 fused, shard-granular: each shard transacts and
+        // estimates its own nodes and freezes its rectangular CSR block
+        // in one pass — per-node records never outlive the node.
+        let aggregated = &self.aggregated;
+        let observer_mean = &self.observer_mean;
+        let lookup =
+            |provider: NodeId, requester: NodeId| lookup_run(aggregated, provider, requester);
+        let work: Vec<(usize, Vec<NodeState>)> = std::mem::take(&mut self.shards)
+            .into_iter()
+            .enumerate()
+            .collect();
+        let estimated: Vec<(Vec<NodeState>, CsrStorage, ServiceDelta)> = work
+            .into_par_iter()
+            .map(|(s, mut shard)| {
+                let range = spec.range(s);
+                let mut delta = ServiceDelta::default();
+                let mut builder = CsrBuilder::rectangular(spec.rows_in(s), n);
+                for (local, i) in range.enumerate() {
+                    let requester = NodeId(i);
+                    let (records, d) = transact_requester(
+                        scenario,
+                        &config,
+                        requester,
+                        round,
+                        round_seed,
+                        &lookup,
+                        observer_mean,
+                    );
+                    delta.merge(d);
+                    let state = &mut shard[local];
+                    let mut row = state.fold_records(records, config.ewma_rate, round);
+                    scenario
+                        .adversaries
+                        .distort_row(requester, round, seed, &mut row);
+                    builder
+                        .extend_row(NodeId(local as u32), row)
+                        .expect("estimator keys are in range");
+                }
+                (shard, builder.build(), delta)
+            })
+            .collect();
+
+        let mut delta = ServiceDelta::default();
+        let mut shards = Vec::with_capacity(spec.shard_count());
+        let mut parts = Vec::with_capacity(spec.shard_count());
+        for (shard, csr, d) in estimated {
+            delta.merge(d);
+            shards.push(shard);
+            parts.push(csr);
+        }
+        self.shards = shards;
+        let sharded = ShardedCsr::from_parts(spec, parts).expect("shards built to spec");
+        let trust = TrustMatrix::from_sharded(sharded);
+        let system = ReputationSystem::new(&self.scenario.graph, trust, self.scenario.weights)?;
+
+        // Phase 3: aggregate — shard-granular fan-out again; each shard
+        // materialises only its observers' runs at a time.
+        match self.config.aggregation {
+            AggregationMode::ClosedForm => {
+                let agg = SubjectAggregates::compute(system.trust(), &self.config.defense.robust);
+                let scope = self.config.scope;
+                let sys = &system;
+                let agg_ref = &agg;
+                let shard_runs: Vec<Vec<Vec<(NodeId, f64)>>> = (0..spec.shard_count())
+                    .into_par_iter()
+                    .map(|s| {
+                        spec.range(s)
+                            .map(|i| closed_form_row(sys, NodeId(i), scope, agg_ref))
+                            .collect()
+                    })
+                    .collect();
+                self.aggregated = shard_runs.into_iter().flatten().collect();
+            }
+            AggregationMode::Gossip => {
+                let out = alg4::run(&system, self.config.gossip.validated()?, &mut {
+                    aggregation_rng(round_seed)
+                })?;
+                self.aggregated = out
+                    .estimates
+                    .into_iter()
+                    .map(|row| row.into_iter().map(|(j, r)| (NodeId(j), r)).collect())
+                    .collect();
+            }
+        }
+
+        // Shared round epilogue (one implementation with the batched
+        // engine): summary, whitewash purge, admission scales, stats.
+        let shards = &mut self.shards;
+        let stats = finish_round(
+            self.scenario,
+            self.round,
+            delta,
+            &mut self.aggregated,
+            &mut self.observer_mean,
+            |washed| {
+                // `washed` arrives sorted: membership is a binary
+                // search, and each state is swept once.
+                for shard in shards.iter_mut() {
+                    for state in shard.iter_mut() {
+                        state
+                            .estimators
+                            .retain(|j, _| washed.binary_search(j).is_err());
+                        state.table.retain(|j| washed.binary_search(&j).is_err());
+                    }
+                }
+                for &w in washed {
+                    let (s, local) = spec.locate(w);
+                    let state = &mut shards[s][local];
+                    state.estimators.clear();
+                    state.table = dg_trust::prelude::ReputationTable::new();
+                }
+            },
+        );
+        self.round += 1;
+        Ok(stats)
+    }
+
+    /// Mean absolute error between honest subjects' network-wide mean
+    /// reputation and their latent quality (see
+    /// `honest_residual_error` in [`crate::engine`]).
+    pub fn honest_residual(&self) -> Option<f64> {
+        let (sums, cnts) = self.totals();
+        honest_residual_error(self.scenario, &sums, &cnts)
+    }
+
+    pub(crate) fn totals(&self) -> (Vec<f64>, Vec<usize>) {
+        runs_totals(self.scenario.graph.node_count(), &self.aggregated)
+    }
+}

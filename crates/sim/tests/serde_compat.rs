@@ -39,6 +39,19 @@ fn scenario_config_roundtrips_with_adversary_mix() {
 }
 
 #[test]
+fn pre_sharding_rounds_config_still_deserializes() {
+    // RoundsConfig serialized before the sharded engine existed has no
+    // `shard_count`; it must default to 0 (the auto partition).
+    let config = dg_sim::rounds::RoundsConfig::default();
+    let json = serde_json::to_string(&config).unwrap();
+    let legacy = json.replace(",\"shard_count\":0", "");
+    assert!(!legacy.contains("shard_count"), "{legacy}");
+    let back: dg_sim::rounds::RoundsConfig = serde_json::from_str(&legacy).unwrap();
+    assert_eq!(back.shard_count, 0);
+    assert_eq!(back, config);
+}
+
+#[test]
 fn pre_adversary_rounds_config_still_deserializes() {
     // RoundsConfig serialized before the defense policy existed: the
     // new fields must default to the paper's plain behaviour.

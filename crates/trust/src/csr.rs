@@ -74,18 +74,25 @@ impl CsrStorage {
                 return Err(TrustError::NodeOutOfRange { id: id.0, n });
             }
         }
-        let start = self.row_ptr[i.index()];
-        let end = self.row_ptr[i.index() + 1];
+        self.splice_set(i.index(), j, t);
+        Ok(())
+    }
+
+    /// Splice-insert into a row *without bounds checks* — the sharded
+    /// container routes global ids onto local rows and does its own
+    /// (global) validation first.
+    pub(crate) fn splice_set(&mut self, row: usize, j: NodeId, t: TrustValue) {
+        let start = self.row_ptr[row];
+        let end = self.row_ptr[row + 1];
         match self.cells[start..end].binary_search_by_key(&j, |&(col, _)| col) {
             Ok(idx) => self.cells[start + idx].1 = t,
             Err(idx) => {
                 self.cells.insert(start + idx, (j, t));
-                for ptr in &mut self.row_ptr[i.index() + 1..] {
+                for ptr in &mut self.row_ptr[row + 1..] {
                     *ptr += 1;
                 }
             }
         }
-        Ok(())
     }
 
     /// Remove an entry, splicing the arena; returns the old value.
@@ -93,13 +100,35 @@ impl CsrStorage {
         if i.index() >= self.node_count() {
             return None;
         }
-        let start = self.row_ptr[i.index()];
-        let end = self.row_ptr[i.index() + 1];
+        self.splice_remove(i.index(), j)
+    }
+
+    /// Concatenate row-partitioned storages into one flat storage: the
+    /// arenas append in order and the row pointers shift by the running
+    /// cell offset. Because each part's rows are already sorted runs,
+    /// the result is exactly the arena one big builder over all rows
+    /// would have produced — `O(nnz)` memcpy, no re-sort.
+    pub(crate) fn concat(parts: impl IntoIterator<Item = CsrStorage>) -> CsrStorage {
+        let mut row_ptr = vec![0usize];
+        let mut cells = Vec::new();
+        for part in parts {
+            let base = cells.len();
+            cells.extend(part.cells);
+            row_ptr.extend(part.row_ptr.into_iter().skip(1).map(|p| p + base));
+        }
+        CsrStorage { row_ptr, cells }
+    }
+
+    /// Splice-remove from a row by local index (see
+    /// [`splice_set`](Self::splice_set)).
+    pub(crate) fn splice_remove(&mut self, row: usize, j: NodeId) -> Option<TrustValue> {
+        let start = self.row_ptr[row];
+        let end = self.row_ptr[row + 1];
         let idx = self.cells[start..end]
             .binary_search_by_key(&j, |&(col, _)| col)
             .ok()?;
         let (_, old) = self.cells.remove(start + idx);
-        for ptr in &mut self.row_ptr[i.index() + 1..] {
+        for ptr in &mut self.row_ptr[row + 1..] {
             *ptr -= 1;
         }
         Some(old)
@@ -128,33 +157,44 @@ impl CsrStorage {
 /// ```
 #[derive(Debug, Clone)]
 pub struct CsrBuilder {
-    n: usize,
+    cols: usize,
     rows: Vec<Vec<(NodeId, TrustValue)>>,
 }
 
 impl CsrBuilder {
     /// Builder for an `n × n` matrix.
     pub fn new(n: usize) -> Self {
+        Self::rectangular(n, n)
+    }
+
+    /// Builder for a `rows × cols` *rectangular* block — a shard of a
+    /// square matrix whose row indices are shard-local while column ids
+    /// stay global (see [`crate::sharded`]).
+    pub fn rectangular(rows: usize, cols: usize) -> Self {
         Self {
-            n,
-            rows: vec![Vec::new(); n],
+            cols,
+            rows: vec![Vec::new(); rows],
         }
     }
 
-    /// Dimension `N`.
+    /// Number of rows this builder accepts.
     pub fn node_count(&self) -> usize {
-        self.n
+        self.rows.len()
     }
 
     /// Record `t_ij`. Later writes to the same cell win.
     pub fn set(&mut self, i: NodeId, j: NodeId, t: TrustValue) -> Result<(), TrustError> {
-        for id in [i, j] {
-            if id.index() >= self.n {
-                return Err(TrustError::NodeOutOfRange {
-                    id: id.0,
-                    n: self.n,
-                });
-            }
+        if i.index() >= self.rows.len() {
+            return Err(TrustError::NodeOutOfRange {
+                id: i.0,
+                n: self.rows.len(),
+            });
+        }
+        if j.index() >= self.cols {
+            return Err(TrustError::NodeOutOfRange {
+                id: j.0,
+                n: self.cols,
+            });
         }
         self.rows[i.index()].push((j, t));
         Ok(())
@@ -167,12 +207,18 @@ impl CsrBuilder {
         i: NodeId,
         entries: impl IntoIterator<Item = (NodeId, TrustValue)>,
     ) -> Result<(), TrustError> {
-        if i.index() >= self.n {
-            return Err(TrustError::NodeOutOfRange { id: i.0, n: self.n });
+        if i.index() >= self.rows.len() {
+            return Err(TrustError::NodeOutOfRange {
+                id: i.0,
+                n: self.rows.len(),
+            });
         }
         for (j, t) in entries {
-            if j.index() >= self.n {
-                return Err(TrustError::NodeOutOfRange { id: j.0, n: self.n });
+            if j.index() >= self.cols {
+                return Err(TrustError::NodeOutOfRange {
+                    id: j.0,
+                    n: self.cols,
+                });
             }
             self.rows[i.index()].push((j, t));
         }
@@ -181,7 +227,7 @@ impl CsrBuilder {
 
     /// Freeze into CSR: per-row stable sort by column, last write wins.
     pub fn build(self) -> CsrStorage {
-        let mut row_ptr = Vec::with_capacity(self.n + 1);
+        let mut row_ptr = Vec::with_capacity(self.rows.len() + 1);
         let mut cells: Vec<(NodeId, TrustValue)> =
             Vec::with_capacity(self.rows.iter().map(Vec::len).sum());
         row_ptr.push(0);

@@ -29,4 +29,15 @@ pub enum TrustError {
         /// Matrix dimension.
         n: usize,
     },
+
+    /// Shard parts did not match the partition they were assembled
+    /// under (wrong shard count, or a shard covering the wrong number
+    /// of rows).
+    #[error("shard shape mismatch: expected {expected}, got {got}")]
+    ShardMismatch {
+        /// What the `ShardSpec` requires.
+        expected: usize,
+        /// What was supplied.
+        got: usize,
+    },
 }

@@ -17,10 +17,16 @@
 //!   authors' companion estimation paper (the paper's reference \[20\]),
 //! * [`weights`] — the neighbour-opinion weight law `w_Ii = a^(b·t_Ii)`
 //!   of Eq. (2), with the paper's `w ≥ 1` invariant,
+//! * [`sharded`] — the sharded CSR container behind the million-node
+//!   round engine: contiguous row ranges, one shard-local CSR each,
+//!   with a cross-shard subject-sum merge that is bit-identical to the
+//!   flat backends for any shard count,
 //! * [`table`] — the per-node reputation table of the system model
 //!   (local trust + last-heard bookkeeping for dropping silent peers),
 //! * [`robust`] — robust-aggregation countermeasures (report clamping,
 //!   per-subject trimmed aggregation) for adversarial gossip channels.
+
+#![warn(missing_docs)]
 
 pub mod aimd;
 pub mod csr;
@@ -28,6 +34,7 @@ pub mod error;
 pub mod estimator;
 pub mod matrix;
 pub mod robust;
+pub mod sharded;
 pub mod table;
 pub mod value;
 pub mod weights;
@@ -36,6 +43,7 @@ pub use csr::{CsrBuilder, CsrStorage};
 pub use error::TrustError;
 pub use matrix::TrustMatrix;
 pub use robust::RobustAggregation;
+pub use sharded::{ShardSpec, ShardedCsr, ShardedCsrBuilder};
 pub use value::TrustValue;
 pub use weights::WeightParams;
 

@@ -6,20 +6,26 @@
 //! node only transacts with a handful of neighbours. Rows are the
 //! *observer* (opining node) `i`, columns the *subject* `j`.
 //!
-//! Two storage backends share this API:
+//! Three storage backends share this API:
 //!
 //! * **Dynamic** — one ordered map per row; cheap point mutation, the
 //!   default for interactive construction;
 //! * **CSR** — sorted `(column, value)` runs over a single arena `Vec`
 //!   (see [`crate::csr`]); contiguous row scans and binary-search point
 //!   lookups for the aggregation hot path. Freeze a built matrix with
-//!   [`TrustMatrix::freeze`] or bulk-build one via [`TrustMatrix::builder`].
+//!   [`TrustMatrix::freeze`] or bulk-build one via [`TrustMatrix::builder`];
+//! * **Sharded** — contiguous row ranges, one shard-local CSR each (see
+//!   [`crate::sharded`]); the million-node backend whose shards build
+//!   independently on a thread pool. Bulk-build via
+//!   [`TrustMatrix::sharded_builder`] or wrap with
+//!   [`TrustMatrix::from_sharded`].
 //!
 //! Rows *and* columns are addressed by [`NodeId`] throughout — raw `u32`
 //! indices never cross the API boundary.
 
 use crate::csr::{CsrBuilder, CsrStorage};
 use crate::error::TrustError;
+use crate::sharded::{ShardSpec, ShardedCsr, ShardedCsrBuilder};
 use crate::value::TrustValue;
 use dg_graph::NodeId;
 use serde::{Deserialize, Serialize};
@@ -29,6 +35,7 @@ use std::collections::BTreeMap;
 enum Storage {
     Dynamic(Vec<BTreeMap<NodeId, TrustValue>>),
     Csr(CsrStorage),
+    Sharded(ShardedCsr),
 }
 
 /// Sparse `N × N` matrix of direct-interaction trust values.
@@ -85,31 +92,112 @@ impl TrustMatrix {
         }
     }
 
+    /// Wrap frozen sharded storage.
+    pub fn from_sharded(sharded: ShardedCsr) -> Self {
+        Self {
+            n: sharded.node_count(),
+            storage: Storage::Sharded(sharded),
+        }
+    }
+
+    /// Bulk builder routing rows onto per-shard rectangular CSR
+    /// builders; [`ShardedCsrBuilder::build`] plus
+    /// [`TrustMatrix::from_sharded`] produce a sharded matrix directly.
+    pub fn sharded_builder(spec: ShardSpec) -> ShardedCsrBuilder {
+        ShardedCsrBuilder::new(spec)
+    }
+
     /// Whether the matrix currently uses the flat CSR backend.
     pub fn is_csr(&self) -> bool {
         matches!(self.storage, Storage::Csr(_))
     }
 
-    /// Compact into the CSR backend (no-op when already frozen).
-    pub fn freeze(&mut self) {
-        if let Storage::Dynamic(rows) = &mut self.storage {
-            let mut builder = CsrBuilder::new(self.n);
-            for (i, row) in std::mem::take(rows).into_iter().enumerate() {
-                builder
-                    .extend_row(NodeId(i as u32), row)
-                    .expect("dynamic rows are in range");
-            }
-            self.storage = Storage::Csr(builder.build());
+    /// Whether the matrix currently uses the sharded CSR backend.
+    pub fn is_sharded(&self) -> bool {
+        matches!(self.storage, Storage::Sharded(_))
+    }
+
+    /// The sharded backend's partition (`None` on flat backends).
+    pub fn shard_spec(&self) -> Option<ShardSpec> {
+        match &self.storage {
+            Storage::Sharded(sharded) => Some(sharded.spec()),
+            _ => None,
         }
+    }
+
+    /// Compact into the flat CSR backend (no-op when already frozen).
+    /// Merging a sharded matrix concatenates the shard arenas in row
+    /// order — the result is exactly the arena one big builder would
+    /// have produced.
+    pub fn freeze(&mut self) {
+        match &mut self.storage {
+            Storage::Dynamic(rows) => {
+                let mut builder = CsrBuilder::new(self.n);
+                for (i, row) in std::mem::take(rows).into_iter().enumerate() {
+                    builder
+                        .extend_row(NodeId(i as u32), row)
+                        .expect("dynamic rows are in range");
+                }
+                self.storage = Storage::Csr(builder.build());
+            }
+            Storage::Sharded(sharded) => {
+                let sharded = std::mem::replace(sharded, ShardedCsr::new(ShardSpec::new(0, 1)));
+                self.storage = Storage::Csr(sharded.into_flat());
+            }
+            Storage::Csr(_) => {}
+        }
+    }
+
+    /// Re-partition into the sharded backend (from any backend).
+    ///
+    /// # Panics
+    /// Panics when `spec` does not cover exactly this matrix's
+    /// dimension — a shard partition is meaningless for any other `N`.
+    pub fn shard(&mut self, spec: ShardSpec) {
+        assert_eq!(
+            spec.node_count(),
+            self.n,
+            "shard spec covers {} rows but the matrix has {}",
+            spec.node_count(),
+            self.n
+        );
+        let mut builder = ShardedCsrBuilder::new(spec);
+        if let Storage::Dynamic(rows) = &mut self.storage {
+            // Consume dynamic rows as they are routed so the source
+            // and the sharded copy never fully coexist (the substrate
+            // of a million-node scenario would otherwise transiently
+            // double).
+            for (i, row) in rows.iter_mut().enumerate() {
+                builder
+                    .extend_row(NodeId(i as u32), std::mem::take(row))
+                    .expect("existing rows are in range");
+            }
+        } else {
+            for i in 0..self.n as u32 {
+                builder
+                    .extend_row(NodeId(i), self.row(NodeId(i)))
+                    .expect("existing rows are in range");
+            }
+        }
+        self.storage = Storage::Sharded(builder.build());
     }
 
     /// Convert back to the dynamic backend (no-op when already dynamic).
     pub fn thaw(&mut self) {
-        if let Storage::Csr(csr) = &self.storage {
-            let rows = (0..self.n)
-                .map(|i| csr.row(NodeId(i as u32)).iter().copied().collect())
-                .collect();
-            self.storage = Storage::Dynamic(rows);
+        match &self.storage {
+            Storage::Csr(csr) => {
+                let rows = (0..self.n)
+                    .map(|i| csr.row(NodeId(i as u32)).iter().copied().collect())
+                    .collect();
+                self.storage = Storage::Dynamic(rows);
+            }
+            Storage::Sharded(sharded) => {
+                let rows = (0..self.n)
+                    .map(|i| sharded.row(NodeId(i as u32)).iter().copied().collect())
+                    .collect();
+                self.storage = Storage::Dynamic(rows);
+            }
+            Storage::Dynamic(_) => {}
         }
     }
 
@@ -142,6 +230,7 @@ impl TrustMatrix {
                 Ok(())
             }
             Storage::Csr(csr) => csr.set(i, j, t),
+            Storage::Sharded(sharded) => sharded.set(i, j, t),
         }
     }
 
@@ -152,6 +241,7 @@ impl TrustMatrix {
         match &mut self.storage {
             Storage::Dynamic(rows) => rows.get_mut(i.index())?.remove(&j),
             Storage::Csr(csr) => csr.remove(i, j),
+            Storage::Sharded(sharded) => sharded.remove(i, j),
         }
     }
 
@@ -160,6 +250,7 @@ impl TrustMatrix {
         match &self.storage {
             Storage::Dynamic(rows) => rows.get(i.index())?.get(&j).copied(),
             Storage::Csr(csr) => csr.get(i, j),
+            Storage::Sharded(sharded) => sharded.get(i, j),
         }
     }
 
@@ -182,6 +273,7 @@ impl TrustMatrix {
                 None => RowIter::Empty,
             },
             Storage::Csr(csr) => RowIter::Csr(csr.row(i).iter()),
+            Storage::Sharded(sharded) => RowIter::Csr(sharded.row(i).iter()),
         }
     }
 
@@ -190,6 +282,7 @@ impl TrustMatrix {
         match &self.storage {
             Storage::Dynamic(rows) => rows.get(i.index()).map_or(0, BTreeMap::len),
             Storage::Csr(csr) => csr.row(i).len(),
+            Storage::Sharded(sharded) => sharded.row(i).len(),
         }
     }
 
@@ -213,6 +306,7 @@ impl TrustMatrix {
         match &self.storage {
             Storage::Dynamic(rows) => rows.iter().map(BTreeMap::len).sum(),
             Storage::Csr(csr) => csr.entry_count(),
+            Storage::Sharded(sharded) => sharded.entry_count(),
         }
     }
 
@@ -455,6 +549,41 @@ mod tests {
         frozen.thaw();
         assert!(!frozen.is_csr());
         assert_eq!(frozen, dynamic);
+    }
+
+    #[test]
+    fn sharded_backend_is_logically_equal_and_serde_roundtrips() {
+        let mut dynamic = TrustMatrix::new(10);
+        dynamic.set(NodeId(9), NodeId(0), tv(0.9)).unwrap();
+        dynamic.set(NodeId(0), NodeId(9), tv(0.3)).unwrap();
+        dynamic.set(NodeId(4), NodeId(5), tv(0.7)).unwrap();
+
+        let mut sharded = dynamic.clone();
+        sharded.shard(ShardSpec::new(10, 4));
+        assert!(sharded.is_sharded());
+        assert_eq!(sharded.shard_spec().unwrap().shard_count(), 4);
+        assert_eq!(sharded, dynamic);
+        let (ds, dc) = dynamic.subject_sums_and_counts();
+        let (ss, sc) = sharded.subject_sums_and_counts();
+        assert_eq!(dc, sc);
+        assert_eq!(
+            ds.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            ss.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+
+        let s = serde_json::to_string(&sharded).unwrap();
+        let back: TrustMatrix = serde_json::from_str(&s).unwrap();
+        assert!(back.is_sharded());
+        assert_eq!(back, dynamic);
+
+        // freeze() merges into the flat arena; thaw() goes dynamic.
+        let mut frozen = sharded.clone();
+        frozen.freeze();
+        assert!(frozen.is_csr());
+        assert_eq!(frozen, dynamic);
+        sharded.thaw();
+        assert!(!sharded.is_sharded() && !sharded.is_csr());
+        assert_eq!(sharded, dynamic);
     }
 
     #[test]

@@ -89,6 +89,14 @@ impl ReputationTable {
         self.entries.remove(&peer)
     }
 
+    /// Keep only the peers `keep` approves — the bulk form of
+    /// [`remove`](Self::remove) the round engines' whitewash purge
+    /// uses: one `O(len)` sweep instead of a lookup per discarded
+    /// identity.
+    pub fn retain(&mut self, mut keep: impl FnMut(NodeId) -> bool) {
+        self.entries.retain(|&id, _| keep(id));
+    }
+
     /// Mark that `peer` was heard from (any protocol traffic) at `round`.
     pub fn touch(&mut self, peer: NodeId, round: u64) {
         if let Some(e) = self.entries.get_mut(&peer) {

@@ -6,7 +6,9 @@
 //!    (whatever its structural knobs say) is bit-identical to the plain
 //!    honest run: the adversary plumbing costs nothing when unused.
 //! 3. **Engine equivalence** — attacks produce identical results under
-//!    the sequential reference driver and the batched parallel engine.
+//!    the sequential reference driver, the batched parallel engine and
+//!    the sharded engine (several shard counts), with and without the
+//!    defense policy.
 //! 4. **Defenses act** — the robust-aggregation / zero-prior knobs
 //!    measurably reduce what attacks extract or distort.
 
@@ -31,6 +33,15 @@ fn run(
     rounds: usize,
     defense: DefensePolicy,
 ) -> (Vec<RoundStats>, Option<f64>) {
+    run_sharded(config, rounds, defense, 0)
+}
+
+fn run_sharded(
+    config: ScenarioConfig,
+    rounds: usize,
+    defense: DefensePolicy,
+    shard_count: usize,
+) -> (Vec<RoundStats>, Option<f64>) {
     let scenario = Scenario::build(config).expect("scenario builds");
     let mut sim = RoundsSimulator::new(
         &scenario,
@@ -39,7 +50,8 @@ fn run(
             ..RoundsConfig::default()
         }
         .with_engine(config.engine)
-        .with_defense(defense),
+        .with_defense(defense)
+        .with_shards(shard_count),
     );
     let mut rng = scenario.gossip_rng(2);
     let stats = sim.run(&mut rng).expect("rounds run");
@@ -76,9 +88,18 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 
     #[test]
-    fn same_seed_and_mix_replays_bit_for_bit(seed in 0u64..1000, pick in (0u8..5, 1u8..=3)) {
+    fn same_seed_and_mix_replays_bit_for_bit(
+        seed in 0u64..1000,
+        pick in (0u8..5, 1u8..=3),
+        engine_pick in 0u8..3,
+    ) {
         let (kind, strength) = pick;
-        let config = scenario_config(seed, mix_for(kind, strength));
+        let engine = match engine_pick {
+            0 => EngineKind::Sequential,
+            1 => EngineKind::Parallel,
+            _ => EngineKind::Sharded,
+        };
+        let config = scenario_config(seed, mix_for(kind, strength)).with_engine(engine);
         let a = run(config, 4, DefensePolicy::none());
         let b = run(config, 4, DefensePolicy::none());
         prop_assert_eq!(a, b);
@@ -97,7 +118,11 @@ fn zero_fraction_mix_is_bit_identical_to_honest_run() {
         wash_threshold: 0.9,
         ..AdversaryMix::none()
     };
-    for engine in [EngineKind::Sequential, EngineKind::Parallel] {
+    for engine in [
+        EngineKind::Sequential,
+        EngineKind::Parallel,
+        EngineKind::Sharded,
+    ] {
         let honest = scenario_config(11, AdversaryMix::none()).with_engine(engine);
         let zeroed = scenario_config(11, zero_mix).with_engine(engine);
 
@@ -138,6 +163,15 @@ fn engines_agree_bit_for_bit_under_attack() {
             defense,
         );
         assert_eq!(seq, par, "defense {defense:?}");
+        for shards in [1usize, 4, 16] {
+            let shd = run_sharded(
+                scenario_config(23, mix).with_engine(EngineKind::Sharded),
+                6,
+                defense,
+                shards,
+            );
+            assert_eq!(seq, shd, "defense {defense:?}, {shards} shards");
+        }
     }
 }
 

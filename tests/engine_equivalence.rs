@@ -1,16 +1,22 @@
-//! The batched parallel round engine is a pure optimisation: for the
-//! same pinned seeds it must produce **exactly** the sequential
+//! The batched and sharded round engines are pure optimisations: for
+//! the same pinned seeds they must produce **exactly** the sequential
 //! reference driver's results — same service counters, same reputation
 //! means, same per-pair aggregated reputations, same reputation tables —
-//! at every thread count.
+//! at every thread count, and (for the sharded engine) at every shard
+//! count, with and without an adversarial mix.
 
-use differential_gossip::gossip::EngineKind;
+use differential_gossip::gossip::{AdversaryMix, EngineKind};
 use differential_gossip::graph::NodeId;
 use differential_gossip::sim::rounds::{
     AggregationMode, AggregationScope, RoundStats, RoundsConfig, RoundsSimulator,
 };
 use differential_gossip::sim::scenario::{Scenario, ScenarioConfig};
 use rayon::ThreadPoolBuilder;
+
+/// Shard counts the sharded engine is pinned at: one shard (the flat
+/// degenerate case), a handful, and more shards than fit evenly —
+/// 16 shards over 90 nodes leaves trailing shards short.
+const SHARD_COUNTS: [usize; 3] = [1, 4, 16];
 
 fn scenario(seed: u64) -> Scenario {
     Scenario::build(ScenarioConfig {
@@ -30,35 +36,61 @@ fn run(scenario: &Scenario, config: RoundsConfig) -> (Vec<RoundStats>, RoundsSim
     (stats, sim)
 }
 
+fn assert_matches_reference(
+    scenario: &Scenario,
+    seq_stats: &[RoundStats],
+    seq_sim: &RoundsSimulator<'_>,
+    config: RoundsConfig,
+    threads: usize,
+    what: &str,
+) {
+    let pool = ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("pool");
+    let (stats, sim) = pool.install(|| run(scenario, config));
+    // Bit-for-bit: RoundStats contains f64 means and PartialEq is
+    // exact equality.
+    assert_eq!(seq_stats, stats, "stats diverged: {what} at {threads}t");
+    let n = scenario.graph.node_count() as u32;
+    for observer in 0..n {
+        for subject in 0..n {
+            let (observer, subject) = (NodeId(observer), NodeId(subject));
+            assert_eq!(
+                seq_sim.aggregated(observer, subject),
+                sim.aggregated(observer, subject),
+                "aggregated({observer}, {subject}) diverged: {what} at {threads}t"
+            );
+        }
+        let observer = NodeId(observer);
+        assert_eq!(
+            seq_sim.table(observer).iter().collect::<Vec<_>>(),
+            sim.table(observer).iter().collect::<Vec<_>>(),
+            "table of {observer} diverged: {what} at {threads}t"
+        );
+    }
+}
+
 fn assert_equivalent(scenario: &Scenario, config: RoundsConfig) {
-    let sequential = config.with_engine(EngineKind::Sequential);
-    let parallel = config.with_engine(EngineKind::Parallel);
-    let (seq_stats, seq_sim) = run(scenario, sequential);
+    let (seq_stats, seq_sim) = run(scenario, config.with_engine(EngineKind::Sequential));
 
     for threads in [1usize, 2, 8] {
-        let pool = ThreadPoolBuilder::new()
-            .num_threads(threads)
-            .build()
-            .expect("pool");
-        let (par_stats, par_sim) = pool.install(|| run(scenario, parallel));
-        // Bit-for-bit: RoundStats contains f64 means and PartialEq is
-        // exact equality.
-        assert_eq!(seq_stats, par_stats, "stats diverged at {threads} threads");
-        let n = scenario.graph.node_count() as u32;
-        for observer in 0..n {
-            for subject in 0..n {
-                let (observer, subject) = (NodeId(observer), NodeId(subject));
-                assert_eq!(
-                    seq_sim.aggregated(observer, subject),
-                    par_sim.aggregated(observer, subject),
-                    "aggregated({observer}, {subject}) diverged at {threads} threads"
-                );
-            }
-            let observer = NodeId(observer);
-            assert_eq!(
-                seq_sim.table(observer).iter().collect::<Vec<_>>(),
-                par_sim.table(observer).iter().collect::<Vec<_>>(),
-                "table of {observer} diverged at {threads} threads"
+        assert_matches_reference(
+            scenario,
+            &seq_stats,
+            &seq_sim,
+            config.with_engine(EngineKind::Parallel),
+            threads,
+            "parallel",
+        );
+        for shards in SHARD_COUNTS {
+            assert_matches_reference(
+                scenario,
+                &seq_stats,
+                &seq_sim,
+                config.with_engine(EngineKind::Sharded).with_shards(shards),
+                threads,
+                &format!("sharded/{shards}"),
             );
         }
     }
@@ -111,14 +143,75 @@ fn engines_match_bitwise_under_real_gossip_aggregation() {
 }
 
 #[test]
-fn parallel_engine_is_reproducible_across_repeat_runs() {
-    let s = scenario(77);
-    let config = RoundsConfig {
-        rounds: 4,
-        ..RoundsConfig::default()
+fn engines_match_bitwise_under_adversary_mix() {
+    // A nonzero mix exercising every distortion hook: sybil dormancy,
+    // collusion cliques, slander, and the whitewash purge phase.
+    let mix = AdversaryMix {
+        sybil_fraction: 0.08,
+        slander_fraction: 0.06,
+        whitewash_fraction: 0.06,
+        ..AdversaryMix::collusion()
     }
-    .with_engine(EngineKind::Parallel);
-    let (a, _) = run(&s, config);
-    let (b, _) = run(&s, config);
-    assert_eq!(a, b);
+    .validated()
+    .expect("mix is valid");
+    let s = Scenario::build(ScenarioConfig {
+        nodes: 90,
+        seed: 47,
+        free_rider_fraction: 0.15,
+        quality_range: (0.4, 1.0),
+        adversary: mix,
+        ..ScenarioConfig::default()
+    })
+    .expect("scenario builds");
+    assert_equivalent(
+        &s,
+        RoundsConfig {
+            rounds: 6,
+            scope: AggregationScope::Neighbourhood,
+            ..RoundsConfig::default()
+        },
+    );
+}
+
+#[test]
+fn sharded_engine_is_reproducible_across_repeat_runs() {
+    let s = scenario(77);
+    for engine in [EngineKind::Parallel, EngineKind::Sharded] {
+        let config = RoundsConfig {
+            rounds: 4,
+            ..RoundsConfig::default()
+        }
+        .with_engine(engine)
+        .with_shards(4);
+        let (a, _) = run(&s, config);
+        let (b, _) = run(&s, config);
+        assert_eq!(a, b, "{engine:?}");
+    }
+}
+
+#[test]
+fn sharded_engine_handles_shard_count_above_node_count() {
+    // 40 nodes, 64 shards: most shards own a single row, trailing
+    // shards own none. Still bit-equal to the reference.
+    let s = Scenario::build(ScenarioConfig {
+        nodes: 40,
+        seed: 19,
+        free_rider_fraction: 0.2,
+        quality_range: (0.4, 1.0),
+        ..ScenarioConfig::default()
+    })
+    .expect("scenario builds");
+    let config = RoundsConfig {
+        rounds: 3,
+        ..RoundsConfig::default()
+    };
+    let (seq_stats, seq_sim) = run(&s, config.with_engine(EngineKind::Sequential));
+    assert_matches_reference(
+        &s,
+        &seq_stats,
+        &seq_sim,
+        config.with_engine(EngineKind::Sharded).with_shards(64),
+        2,
+        "sharded/64 > n",
+    );
 }
