@@ -7,17 +7,24 @@
 //! * `--scale` — run `perf_suite` on the pinned-seed N = 1 000 000
 //!   sparse-graph scale config (`BENCH_scale.json`, with peak-RSS
 //!   sampling); typically combined with `--engine sharded`,
+//! * `--skewed` — run `perf_suite` on the pinned-seed skewed-traffic
+//!   config (Zipf s = 1 request skew at 1% mean activity,
+//!   `BENCH_skewed.json`) — the incremental engine's target workload,
 //! * `--nodes <usize>` — override the node count of the selected
 //!   `perf_suite` config (the `SCALING.md` table sweeps 10k/100k/1M
 //!   this way),
+//! * `--activity <f64>` / `--zipf <f64>` — override the selected
+//!   config's traffic shape (mean activity fraction / Zipf exponent of
+//!   the per-node request skew); overridden runs get their own report
+//!   file so they cannot shadow a pinned config's gate,
 //! * `--seed <u64>` — override the scenario seed (default 42),
 //! * `--json` — emit JSON lines instead of a formatted table,
-//! * `--engine <sequential|parallel|sharded>` — restrict a *round-loop
-//!   driving* binary (`perf_suite`, which otherwise measures all
-//!   engines) to one execution engine. The figure/table binaries
-//!   measure the gossip layer itself, which is engine-independent —
-//!   they accept and ignore the flag. Results never depend on it
-//!   (see `tests/engine_equivalence.rs`),
+//! * `--engine <sequential|parallel|sharded|incremental>` — restrict a
+//!   *round-loop driving* binary (`perf_suite`, which otherwise
+//!   measures all engines) to one execution engine. The figure/table
+//!   binaries measure the gossip layer itself, which is
+//!   engine-independent — they accept and ignore the flag. Results
+//!   never depend on it (see `tests/engine_equivalence.rs`),
 //! * `--shards <usize>` — shard count for the sharded engine (0 = the
 //!   deterministic auto partition; results are bit-identical either
 //!   way),
@@ -45,8 +52,16 @@ pub struct Cli {
     pub full: bool,
     /// Million-node scale mode (`perf_suite`).
     pub scale: bool,
+    /// Skewed-traffic mode (`perf_suite`): Zipf request skew at 1%
+    /// mean activity, the incremental engine's target workload.
+    pub skewed: bool,
     /// Node-count override for the selected config.
     pub nodes: Option<usize>,
+    /// Mean activity-fraction override for the selected config's
+    /// traffic model.
+    pub activity: Option<f64>,
+    /// Zipf-exponent override for the selected config's traffic model.
+    pub zipf: Option<f64>,
     /// Scenario seed.
     pub seed: u64,
     /// Emit JSON lines.
@@ -71,7 +86,10 @@ impl Default for Cli {
         Self {
             full: false,
             scale: false,
+            skewed: false,
             nodes: None,
+            activity: None,
+            zipf: None,
             seed: 42,
             json: false,
             engine: None,
@@ -94,6 +112,7 @@ impl Cli {
             match arg.as_str() {
                 "--full" => cli.full = true,
                 "--scale" => cli.scale = true,
+                "--skewed" => cli.skewed = true,
                 "--json" => cli.json = true,
                 "--nodes" => {
                     let v = args
@@ -102,6 +121,22 @@ impl Cli {
                         .filter(|&n: &usize| n > 0)
                         .unwrap_or_else(|| usage("--nodes needs a positive node count"));
                     cli.nodes = Some(v);
+                }
+                "--activity" => {
+                    let v = args
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .filter(|f: &f64| f.is_finite() && *f >= 0.0)
+                        .unwrap_or_else(|| usage("--activity needs a fraction in [0, 1]"));
+                    cli.activity = Some(v);
+                }
+                "--zipf" => {
+                    let v = args
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .filter(|f: &f64| f.is_finite() && *f >= 0.0)
+                        .unwrap_or_else(|| usage("--zipf needs a non-negative exponent"));
+                    cli.zipf = Some(v);
                 }
                 "--seed" => {
                     let v = args
@@ -116,7 +151,10 @@ impl Cli {
                         .as_deref()
                         .and_then(EngineKind::parse)
                         .unwrap_or_else(|| {
-                            usage("--engine needs `sequential`, `parallel` or `sharded`")
+                            usage(
+                                "--engine needs `sequential`, `parallel`, `sharded` or \
+                                 `incremental`",
+                            )
                         });
                     cli.engine = Some(v);
                 }
@@ -169,8 +207,9 @@ impl Cli {
 
 fn usage(msg: &str) -> ! {
     eprintln!(
-        "{msg}\nusage: <bin> [--full] [--scale] [--nodes <usize>] [--seed <u64>] [--json] \
-         [--engine <sequential|parallel|sharded>] [--shards <usize>] \
+        "{msg}\nusage: <bin> [--full] [--scale] [--skewed] [--nodes <usize>] \
+         [--activity <f64>] [--zipf <f64>] [--seed <u64>] [--json] \
+         [--engine <sequential|parallel|sharded|incremental>] [--shards <usize>] \
          [--profile <lossless|lossy|partitioned|churning>] \
          [--adversary <none|sybil|collusion|slander|whitewash>] [--out <path>]"
     );

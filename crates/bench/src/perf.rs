@@ -11,6 +11,7 @@
 use dg_gossip::{AdversaryMix, EngineKind, NetworkProfile, ScalarGossip};
 use dg_sim::rounds::{AggregationScope, RoundsConfig, RoundsSimulator};
 use dg_sim::scenario::{Scenario, ScenarioConfig};
+use dg_sim::TrafficModel;
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
@@ -87,6 +88,12 @@ pub struct PerfReport {
     /// `parallel` throughput over `sequential` throughput; `None` when
     /// the suite was restricted to a single engine (`--engine`).
     pub speedup_parallel_over_sequential: Option<f64>,
+    /// `incremental` throughput over `parallel` (batched) throughput —
+    /// the delta-engine's headline gain, ≥ 3x on the skewed config by
+    /// the committed `BENCH_baseline_skewed.json`. `None` when either
+    /// engine was not measured (and absent in pre-incremental reports).
+    #[serde(default)]
+    pub speedup_incremental_over_parallel: Option<f64>,
 }
 
 impl PerfReport {
@@ -109,6 +116,14 @@ pub struct PerfConfig {
     pub requests_per_edge: u32,
     /// Shard count for the sharded engine (0 = auto).
     pub shards: usize,
+    /// Traffic shape of the lifecycle measurement
+    /// ([`TrafficModel::full`] for the legacy every-node-every-round
+    /// workload).
+    pub traffic: TrafficModel,
+    /// Aggregation scope of the lifecycle measurement (every pinned
+    /// config is neighbourhood-scoped — the serving-relevant scope —
+    /// but ad-hoc sweeps can measure network-wide aggregation too).
+    pub scope: AggregationScope,
 }
 
 /// The CI smoke config: 5 000 nodes, heavy per-edge request load,
@@ -122,6 +137,30 @@ pub const SMOKE: PerfConfig = PerfConfig {
     // 5k nodes, and the per-PR gate must exercise real cross-shard
     // assembly, not the degenerate fused-but-serial path.
     shards: 4,
+    traffic: TrafficModel::full(),
+    scope: AggregationScope::Neighbourhood,
+};
+
+/// The `--skewed` config: realistic skewed request traffic — Zipf
+/// (s = 1) per-node request skew at 1% mean activity, so under 1% of
+/// the 100 000 rows fold records in any round (the head of the Zipf is
+/// pinned at p = 1) while every row stays live for serving. The
+/// incremental engine's target configuration and the workload its
+/// ≥ 3x headline throughput bar is recorded on
+/// (`BENCH_baseline_skewed.json`).
+pub const SKEWED: PerfConfig = PerfConfig {
+    name: "skewed",
+    nodes: 100_000,
+    rounds: 32,
+    requests_per_edge: 8,
+    shards: 4,
+    traffic: TrafficModel {
+        activity_fraction: 0.01,
+        zipf_exponent: 1.0,
+        flash_interval: 0,
+        flash_multiplier: 1.0,
+    },
+    scope: AggregationScope::Neighbourhood,
 };
 
 /// The `--full` config.
@@ -131,6 +170,8 @@ pub const FULL: PerfConfig = PerfConfig {
     rounds: 5,
     requests_per_edge: 50,
     shards: 4,
+    traffic: TrafficModel::full(),
+    scope: AggregationScope::Neighbourhood,
 };
 
 /// The `--scale` config: one million nodes on the sparse PA overlay
@@ -144,6 +185,8 @@ pub const SCALE: PerfConfig = PerfConfig {
     rounds: 3,
     requests_per_edge: 1,
     shards: 0,
+    traffic: TrafficModel::full(),
+    scope: AggregationScope::Neighbourhood,
 };
 
 /// Process peak RSS in bytes (`VmHWM` from `/proc/self/status`), or 0
@@ -187,6 +230,7 @@ fn scenario_config(
         engine,
         profile,
         adversary,
+        traffic: perf.traffic,
         ..ScenarioConfig::default()
     }
 }
@@ -211,11 +255,12 @@ fn measure_engine(
     let config = RoundsConfig {
         rounds: perf.rounds,
         requests_per_edge: perf.requests_per_edge,
-        scope: AggregationScope::Neighbourhood,
+        scope: perf.scope,
         ..RoundsConfig::default()
     }
     .with_engine(engine)
-    .with_shards(perf.shards);
+    .with_shards(perf.shards)
+    .with_traffic(perf.traffic);
     let mut sim = RoundsSimulator::new(&scenario, config);
     let mut rng = scenario.gossip_rng(1);
     let start = Instant::now();
@@ -264,11 +309,7 @@ pub fn run_suite_with_adversary(
     // (a process-wide high-water mark) reflects scenario build + that
     // engine's round loop only, not the convergence measurement below.
     let mut engines = Vec::new();
-    for engine in [
-        EngineKind::Sequential,
-        EngineKind::Parallel,
-        EngineKind::Sharded,
-    ] {
+    for engine in EngineKind::ALL {
         if only.is_none() || only == Some(engine) {
             engines.push(measure_engine(perf, seed, engine, adversary)?);
         }
@@ -277,6 +318,12 @@ pub fn run_suite_with_adversary(
     let speedup = match (only, find("sequential"), find("parallel")) {
         (None, Some(sequential), Some(parallel)) => {
             Some(parallel.node_rounds_per_sec / sequential.node_rounds_per_sec.max(1e-9))
+        }
+        _ => None,
+    };
+    let speedup_incremental = match (find("incremental"), find("parallel")) {
+        (Some(incremental), Some(parallel)) => {
+            Some(incremental.node_rounds_per_sec / parallel.node_rounds_per_sec.max(1e-9))
         }
         _ => None,
     };
@@ -314,6 +361,7 @@ pub fn run_suite_with_adversary(
         adversary: adversary.label().to_owned(),
         engines,
         speedup_parallel_over_sequential: speedup,
+        speedup_incremental_over_parallel: speedup_incremental,
     })
 }
 
@@ -326,6 +374,8 @@ pub fn suite_main() -> Result<(), Box<dyn std::error::Error>> {
         SCALE
     } else if cli.full {
         FULL
+    } else if cli.skewed {
+        SKEWED
     } else {
         SMOKE
     };
@@ -335,8 +385,15 @@ pub fn suite_main() -> Result<(), Box<dyn std::error::Error>> {
     if let Some(shards) = cli.shards {
         config.shards = shards;
     }
+    if let Some(activity) = cli.activity {
+        config.traffic = config.traffic.with_activity(activity);
+    }
+    if let Some(zipf) = cli.zipf {
+        config.traffic = config.traffic.with_zipf(zipf);
+    }
     eprintln!(
-        "perf_suite: {} ({} nodes, {} rounds, {} req/edge, seed {}, profile {}, adversary {})",
+        "perf_suite: {} ({} nodes, {} rounds, {} req/edge, seed {}, profile {}, adversary {}, \
+         activity {:.2} zipf {:.2})",
         config.name,
         config.nodes,
         config.rounds,
@@ -344,6 +401,8 @@ pub fn suite_main() -> Result<(), Box<dyn std::error::Error>> {
         cli.seed,
         cli.profile.label(),
         cli.adversary.label(),
+        config.traffic.activity_fraction,
+        config.traffic.zipf_exponent,
     );
     if cli.profile.has_transport_only_faults() {
         eprintln!(
@@ -371,6 +430,9 @@ pub fn suite_main() -> Result<(), Box<dyn std::error::Error>> {
     if let Some(speedup) = report.speedup_parallel_over_sequential {
         eprintln!("  speedup parallel/sequential: {speedup:.2}x");
     }
+    if let Some(speedup) = report.speedup_incremental_over_parallel {
+        eprintln!("  speedup incremental/parallel: {speedup:.2}x");
+    }
     eprintln!(
         "  {} gossip steps to convergence under `{}` (residual error {:.2e})",
         report.rounds_to_convergence, report.profile, report.residual_error
@@ -381,7 +443,16 @@ pub fn suite_main() -> Result<(), Box<dyn std::error::Error>> {
     // their own report files, and a `--nodes` override stamps the
     // overridden count into the name so an off-scale report can never
     // shadow the pinned config's file (and trivially pass its gate).
-    let nodes_suffix = cli.nodes.map(|n| format!("_{n}")).unwrap_or_default();
+    let mut nodes_suffix = cli.nodes.map(|n| format!("_{n}")).unwrap_or_default();
+    if cli.activity.is_some() || cli.zipf.is_some() {
+        // Same shadowing concern as `--nodes`: a thinned-traffic run is
+        // faster by construction and must not overwrite (and trivially
+        // pass) a pinned config's gate file.
+        nodes_suffix.push_str(&format!(
+            "_a{:.2}_z{:.2}",
+            config.traffic.activity_fraction, config.traffic.zipf_exponent
+        ));
+    }
     let default_name = if !cli.adversary.is_none() {
         // Keep the profile in the name so lossless and faulty
         // adversarial reports don't clobber each other.
@@ -511,6 +582,7 @@ mod tests {
                 },
             ],
             speedup_parallel_over_sequential: Some(par / seq),
+            speedup_incremental_over_parallel: None,
         }
     }
 
@@ -552,24 +624,24 @@ mod tests {
             rounds: 2,
             requests_per_edge: 3,
             shards: 4,
+            traffic: TrafficModel::full(),
+            scope: AggregationScope::Neighbourhood,
         };
         let r = run_suite(&tiny, 7, None, NetworkProfile::lossless()).unwrap();
-        assert_eq!(r.engines.len(), 3);
+        assert_eq!(r.engines.len(), 4);
         assert!(r.rounds_to_convergence > 0);
         assert_eq!(r.profile, "lossless");
         // Identical lifecycle outcomes under every engine.
         let seq = r.engine("sequential").unwrap();
-        let par = r.engine("parallel").unwrap();
-        let shd = r.engine("sharded").unwrap();
-        assert_eq!(
-            seq.final_free_rider_service_rate,
-            par.final_free_rider_service_rate
-        );
-        assert_eq!(
-            seq.final_free_rider_service_rate,
-            shd.final_free_rider_service_rate
-        );
+        for label in ["parallel", "sharded", "incremental"] {
+            assert_eq!(
+                seq.final_free_rider_service_rate,
+                r.engine(label).unwrap().final_free_rider_service_rate,
+                "{label}"
+            );
+        }
         assert!(r.speedup_parallel_over_sequential.unwrap() > 0.0);
+        assert!(r.speedup_incremental_over_parallel.unwrap() > 0.0);
         // peak_rss_bytes attribution is probed separately
         // (`peak_rss_sampling_works`): asserting on per-engine values
         // here would race other tests in this process raising the
@@ -593,6 +665,8 @@ mod tests {
             rounds: 1,
             requests_per_edge: 2,
             shards: 0,
+            traffic: TrafficModel::full(),
+            scope: AggregationScope::Neighbourhood,
         };
         for engine in [EngineKind::Parallel, EngineKind::Sharded] {
             let r = run_suite(&tiny, 7, Some(engine), NetworkProfile::lossless()).unwrap();
@@ -610,6 +684,8 @@ mod tests {
             rounds: 1,
             requests_per_edge: 2,
             shards: 0,
+            traffic: TrafficModel::full(),
+            scope: AggregationScope::Neighbourhood,
         };
         let r = run_suite(
             &tiny,
@@ -638,6 +714,33 @@ mod tests {
         assert_eq!(report.profile, "");
         assert_eq!(report.residual_error, 0.0);
         assert_eq!(report.adversary, "");
+        assert_eq!(report.speedup_incremental_over_parallel, None);
+    }
+
+    #[test]
+    fn skewed_tiny_suite_reports_incremental_gain() {
+        // A downscaled SKEWED: the incremental engine must be measured,
+        // agree with the others on the lifecycle outcome, and report
+        // its speedup-over-batched headline. The ≥ 3x bar itself is
+        // pinned by the full-size committed baseline, not here — at
+        // 150 nodes the constant factors dominate.
+        let tiny = PerfConfig {
+            name: "tiny-skewed",
+            nodes: 150,
+            rounds: 3,
+            requests_per_edge: 3,
+            shards: 2,
+            traffic: SKEWED.traffic.with_activity(0.1),
+            scope: SKEWED.scope,
+        };
+        let r = run_suite(&tiny, 7, None, NetworkProfile::lossless()).unwrap();
+        let par = r.engine("parallel").unwrap();
+        let inc = r.engine("incremental").unwrap();
+        assert_eq!(
+            par.final_free_rider_service_rate,
+            inc.final_free_rider_service_rate
+        );
+        assert!(r.speedup_incremental_over_parallel.unwrap() > 0.0);
     }
 
     #[test]

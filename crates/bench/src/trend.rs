@@ -17,6 +17,8 @@ pub const TINY: PerfConfig = PerfConfig {
     rounds: 2,
     requests_per_edge: 3,
     shards: 2,
+    traffic: dg_sim::TrafficModel::full(),
+    scope: dg_sim::rounds::AggregationScope::Neighbourhood,
 };
 
 /// One appended history row.
@@ -32,6 +34,10 @@ pub struct TrendRow {
     pub parallel: f64,
     /// Sharded engine throughput, node-rounds/s.
     pub sharded: f64,
+    /// Incremental engine throughput on the smoke (full-traffic)
+    /// workload, node-rounds/s — its skewed-workload headline lives in
+    /// `BENCH_baseline_skewed.json`.
+    pub incremental: f64,
     /// parallel / sequential.
     pub speedup: f64,
     /// Gossip rounds to convergence per profile, in lossless / lossy /
@@ -45,12 +51,13 @@ impl TrendRow {
     /// The markdown table row.
     pub fn markdown(&self) -> String {
         format!(
-            "| {} | {} | {:.0} | {:.0} | {:.0} | {:.2}x | {} | {} | {} | {} | {:.2e} |",
+            "| {} | {} | {:.0} | {:.0} | {:.0} | {:.0} | {:.2}x | {} | {} | {} | {} | {:.2e} |",
             self.date,
             self.sha,
             self.sequential,
             self.parallel,
             self.sharded,
+            self.incremental,
             self.speedup,
             self.convergence[0],
             self.convergence[1],
@@ -72,8 +79,8 @@ profile. Throughput is engine node-rounds/s measured lossless;
 profile; the residual is the estimate error left under the churning
 profile. Hardware varies between runners — read trends, not absolutes.
 
-| date | commit | seq n-r/s | par n-r/s | shd n-r/s | speedup | conv lossless | conv lossy | conv partitioned | conv churning | churn residual |
-|------|--------|-----------|-----------|-----------|---------|---------------|------------|------------------|---------------|----------------|
+| date | commit | seq n-r/s | par n-r/s | shd n-r/s | inc n-r/s | speedup | conv lossless | conv lossy | conv partitioned | conv churning | churn residual |
+|------|--------|-----------|-----------|-----------|-----------|---------|---------------|------------|------------------|---------------|----------------|
 ";
 
 /// Run the suite across all profiles and assemble the row.
@@ -96,6 +103,10 @@ pub fn run_trend(
     let sharded = lossless
         .engine("sharded")
         .ok_or("missing sharded result")?
+        .node_rounds_per_sec;
+    let incremental = lossless
+        .engine("incremental")
+        .ok_or("missing incremental result")?
         .node_rounds_per_sec;
 
     // Convergence + residual: one sequential run per faulty profile.
@@ -120,6 +131,7 @@ pub fn run_trend(
         sequential,
         parallel,
         sharded,
+        incremental,
         speedup: parallel / sequential.max(1e-9),
         convergence,
         churning_residual,
@@ -190,9 +202,10 @@ mod tests {
     fn tiny_trend_runs_and_rows_are_well_formed() {
         let row = run_trend(&TINY, 7, "2026-01-01".into(), "abc1234".into()).unwrap();
         assert!(row.sequential > 0.0 && row.parallel > 0.0 && row.sharded > 0.0);
+        assert!(row.incremental > 0.0);
         assert!(row.convergence.iter().all(|&c| c > 0));
         let md = row.markdown();
-        assert_eq!(md.matches('|').count(), 12, "11 cells: {md}");
+        assert_eq!(md.matches('|').count(), 13, "12 cells: {md}");
         assert!(md.contains("abc1234"));
     }
 
@@ -209,6 +222,7 @@ mod tests {
             sequential: 1000.0,
             parallel: 2000.0,
             sharded: 1500.0,
+            incremental: 1800.0,
             speedup: 2.0,
             convergence: [10, 20, 30, 40],
             churning_residual: 1e-3,

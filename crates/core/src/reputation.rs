@@ -65,6 +65,14 @@ impl<'g> ReputationSystem<'g> {
         &mut self.trust
     }
 
+    /// Consume the system and hand the trust matrix back. Round engines
+    /// that keep the matrix alive across rounds (the incremental delta
+    /// path) construct a system per aggregation phase and recover their
+    /// persistent storage here instead of cloning it.
+    pub fn into_trust(self) -> TrustMatrix {
+        self.trust
+    }
+
     /// The weight law.
     pub fn weights(&self) -> WeightParams {
         self.weights
@@ -203,21 +211,57 @@ impl<'g> ReputationSystem<'g> {
         opinion_count: f64,
         excess: f64,
     ) -> Option<f64> {
+        if excess + opinion_count <= 0.0 {
+            return None;
+        }
+        Self::eq6(
+            self.y_hat_from_weights(observer, excess_weights, subject),
+            opinion_sum,
+            opinion_count,
+            excess,
+        )
+    }
+
+    /// The weighted `ŷ` partial sum of Eq. (6) alone: `Σ_k (w_k − 1) ·
+    /// t_kj` over the observer's neighbours in adjacency order —
+    /// exactly the sum
+    /// [`gclr_from_parts_weighted`](Self::gclr_from_parts_weighted)
+    /// evaluates internally. Exposed so delta engines can cache it per
+    /// `(observer, subject)` pair and re-enter the formula through
+    /// [`gclr_from_y_hat`](Self::gclr_from_y_hat): `ŷ` depends only on
+    /// the observer's weights and its neighbours' reports about the
+    /// subject, so while those are bitwise unchanged the cached value
+    /// is bitwise equal to a resum.
+    pub fn y_hat_from_weights(
+        &self,
+        observer: NodeId,
+        excess_weights: &[f64],
+        subject: NodeId,
+    ) -> f64 {
         debug_assert_eq!(
             excess_weights.len(),
             self.graph.neighbours(observer).len(),
             "excess_weights must be neighbour_excess_weights({observer})"
         );
-        if excess + opinion_count <= 0.0 {
-            return None;
-        }
-        let y_hat: f64 = self
-            .graph
+        self.graph
             .neighbours(observer)
             .iter()
             .zip(excess_weights)
             .map(|(&k, &w1)| w1 * self.trust.get_or_zero(NodeId(k), subject).get())
-            .sum();
+            .sum()
+    }
+
+    /// Eq. (6) from an externally supplied `ŷ` (cached, or just
+    /// resummed via [`y_hat_from_weights`](Self::y_hat_from_weights)):
+    /// the same shared `eq6` tail as every other entry point, so a
+    /// bitwise-equal `ŷ` yields a bitwise-equal reputation.
+    pub fn gclr_from_y_hat(
+        &self,
+        y_hat: f64,
+        opinion_sum: f64,
+        opinion_count: f64,
+        excess: f64,
+    ) -> Option<f64> {
         Self::eq6(y_hat, opinion_sum, opinion_count, excess)
     }
 

@@ -15,8 +15,10 @@ use serde::{Deserialize, Serialize};
 /// (flat CSR trust storage, phase fan-out over nodes with rayon);
 /// `Sharded` partitions nodes into contiguous shards, each with its own
 /// CSR and bounded scratch, fanning *shards* out over the pool — the
-/// million-node configuration; `Sequential` keeps the reference
-/// map-based driver.
+/// million-node configuration; `Incremental` keeps the sharded substrate
+/// persistent across rounds and re-derives only the rows and aggregates
+/// the round actually touched — the skewed-traffic configuration;
+/// `Sequential` keeps the reference map-based driver.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum EngineKind {
     /// Reference single-stream driver over map-based state.
@@ -27,15 +29,44 @@ pub enum EngineKind {
     /// Sharded phase engine: per-shard CSR state and bounded scratch,
     /// rayon fan-out over shards (shard count on the round config).
     Sharded,
+    /// Incremental delta engine: persistent sharded CSR state, dirty-set
+    /// tracking and cached per-subject aggregates, so rounds cost
+    /// `O(dirty)` instead of `O(N)` under skewed traffic.
+    Incremental,
+}
+
+/// The trust-matrix substrate a round engine runs on. Returned by
+/// [`EngineKind::substrate`] so the scenario layer prepares storage with
+/// one match instead of re-enumerating engines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineSubstrate {
+    /// Map-per-row dynamic storage (the sequential reference driver).
+    Dynamic,
+    /// One flat CSR arena (the batched parallel engine).
+    FlatCsr,
+    /// Contiguous row shards, one CSR each (sharded and incremental
+    /// engines).
+    Sharded,
 }
 
 impl EngineKind {
+    /// Every engine, in the canonical reporting order. Bench suites and
+    /// trend trackers iterate this so a new engine shows up everywhere
+    /// by construction.
+    pub const ALL: [EngineKind; 4] = [
+        EngineKind::Sequential,
+        EngineKind::Parallel,
+        EngineKind::Sharded,
+        EngineKind::Incremental,
+    ];
+
     /// Stable label for CLI flags and JSON reports.
     pub fn label(self) -> &'static str {
         match self {
             EngineKind::Sequential => "sequential",
             EngineKind::Parallel => "parallel",
             EngineKind::Sharded => "sharded",
+            EngineKind::Incremental => "incremental",
         }
     }
 
@@ -45,7 +76,18 @@ impl EngineKind {
             "sequential" | "seq" => Some(EngineKind::Sequential),
             "parallel" | "par" => Some(EngineKind::Parallel),
             "sharded" | "shard" => Some(EngineKind::Sharded),
+            "incremental" | "inc" => Some(EngineKind::Incremental),
             _ => None,
+        }
+    }
+
+    /// The trust-storage substrate this engine expects its scenario to
+    /// prepare.
+    pub fn substrate(self) -> EngineSubstrate {
+        match self {
+            EngineKind::Sequential => EngineSubstrate::Dynamic,
+            EngineKind::Parallel => EngineSubstrate::FlatCsr,
+            EngineKind::Sharded | EngineKind::Incremental => EngineSubstrate::Sharded,
         }
     }
 }
@@ -235,17 +277,25 @@ mod tests {
 
     #[test]
     fn engine_kind_labels_roundtrip() {
-        for kind in [
-            EngineKind::Sequential,
-            EngineKind::Parallel,
-            EngineKind::Sharded,
-        ] {
+        for kind in EngineKind::ALL {
             assert_eq!(EngineKind::parse(kind.label()), Some(kind));
         }
         assert_eq!(EngineKind::parse("par"), Some(EngineKind::Parallel));
         assert_eq!(EngineKind::parse("shard"), Some(EngineKind::Sharded));
+        assert_eq!(EngineKind::parse("inc"), Some(EngineKind::Incremental));
         assert_eq!(EngineKind::parse("nope"), None);
         assert_eq!(EngineKind::default(), EngineKind::Sequential);
+    }
+
+    #[test]
+    fn engine_substrates_cover_all_engines() {
+        assert_eq!(EngineKind::Sequential.substrate(), EngineSubstrate::Dynamic);
+        assert_eq!(EngineKind::Parallel.substrate(), EngineSubstrate::FlatCsr);
+        assert_eq!(EngineKind::Sharded.substrate(), EngineSubstrate::Sharded);
+        assert_eq!(
+            EngineKind::Incremental.substrate(),
+            EngineSubstrate::Sharded
+        );
     }
 
     #[test]

@@ -56,7 +56,7 @@ pub mod spread;
 pub mod vector;
 
 pub use adversary::AdversaryMix;
-pub use config::{node_stream_seed, EngineKind, GossipConfig};
+pub use config::{node_stream_seed, EngineKind, EngineSubstrate, GossipConfig};
 pub use error::GossipError;
 pub use fanout::FanoutPolicy;
 pub use pair::{GossipPair, RATIO_SENTINEL};

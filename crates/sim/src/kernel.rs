@@ -1,0 +1,557 @@
+//! The shared phase kernel every round engine drives.
+//!
+//! The paper's lifecycle loop — transact, estimate, gossip-aggregate,
+//! whitewash — is implemented **once**, here, as engine-agnostic phase
+//! primitives. The engines ([`crate::rounds`]' sequential reference
+//! driver, [`crate::engine::BatchedRoundEngine`],
+//! [`crate::sharded::ShardedRoundEngine`] and
+//! [`crate::incremental::IncrementalRoundEngine`]) are thin drivers:
+//! they choose storage layout, parallel granularity and recompute
+//! strategy, but every observable number flows through the functions in
+//! this module. That is what makes the engines **bit-for-bit identical
+//! by construction** at any thread count, shard count, and traffic
+//! shape (pinned by `tests/engine_equivalence.rs`):
+//!
+//! * `transact_requester` — phase 1 for one requester: the traffic
+//!   activity gate, admission control against the previous round's
+//!   aggregated view, and the per-node ChaCha8 stream
+//!   ([`node_stream_seed`]) its quality draws consume;
+//! * `NodeState::fold_records` — phase 2 for one node: fold the
+//!   round's records into the per-edge estimators and the reputation
+//!   table, emit the node's (sorted) trust row;
+//! * `SubjectAggregates` + `closed_form_row` — phase 3 in closed
+//!   form: per-subject report sums under the robust policy and the
+//!   weighted Eq. (6) row of one observer;
+//! * `finish_round` — the round epilogue: round summary, the
+//!   whitewash purge, admission-scale refresh, and the
+//!   [`RoundStats`] assembly.
+//!
+//! (The phase primitives are crate-private by design — engines are the
+//! only drivers — so the items above are named, not linked.)
+
+use crate::rounds::{AggregationScope, NewcomerPolicy, RoundStats, RoundsConfig};
+use crate::scenario::Scenario;
+use crate::workload::ActivityPlan;
+use dg_core::behavior::Behavior;
+use dg_core::reputation::ReputationSystem;
+use dg_gossip::node_stream_seed;
+use dg_graph::NodeId;
+use dg_trust::prelude::{EwmaEstimator, ReputationTable, TransactionOutcome, TrustEstimator};
+use dg_trust::{RobustAggregation, TrustMatrix, TrustValue};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::BTreeMap;
+
+/// One transaction as seen by the requester: which provider it hit and
+/// what came back.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransactionRecord {
+    /// The provider that was asked.
+    pub provider: NodeId,
+    /// The outcome the requester observed.
+    pub outcome: TransactionOutcome,
+}
+
+/// Service counters produced by one requester's transact phase.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceDelta {
+    /// Requests served to honest requesters.
+    pub served_honest: u64,
+    /// Requests refused to honest requesters.
+    pub refused_honest: u64,
+    /// Requests served to free riders.
+    pub served_free_riders: u64,
+    /// Requests refused to free riders.
+    pub refused_free_riders: u64,
+    /// Requests served to adversarial requesters (any attack role).
+    pub served_adversaries: u64,
+    /// Requests refused to adversarial requesters.
+    pub refused_adversaries: u64,
+    /// Requesters that cleared both the participation and the traffic
+    /// activity gates this round.
+    pub active_requesters: u64,
+    /// Requesters that came away with at least one transaction record —
+    /// the observers whose trust rows actually change this round.
+    pub dirty_rows: u64,
+}
+
+/// Service-statistics class of a requester: adversaries are counted in
+/// their own bucket regardless of their service behaviour, so attack
+/// extraction is visible separately from plain free riding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RequesterClass {
+    Honest,
+    FreeRider,
+    Adversary,
+}
+
+impl ServiceDelta {
+    pub(crate) fn merge(&mut self, other: ServiceDelta) {
+        self.served_honest += other.served_honest;
+        self.refused_honest += other.refused_honest;
+        self.served_free_riders += other.served_free_riders;
+        self.refused_free_riders += other.refused_free_riders;
+        self.served_adversaries += other.served_adversaries;
+        self.refused_adversaries += other.refused_adversaries;
+        self.active_requesters += other.active_requesters;
+        self.dirty_rows += other.dirty_rows;
+    }
+
+    fn count(&mut self, class: RequesterClass, served: bool) {
+        let slot = match (class, served) {
+            (RequesterClass::Honest, true) => &mut self.served_honest,
+            (RequesterClass::Honest, false) => &mut self.refused_honest,
+            (RequesterClass::FreeRider, true) => &mut self.served_free_riders,
+            (RequesterClass::FreeRider, false) => &mut self.refused_free_riders,
+            (RequesterClass::Adversary, true) => &mut self.served_adversaries,
+            (RequesterClass::Adversary, false) => &mut self.refused_adversaries,
+        };
+        *slot += 1;
+    }
+}
+
+/// Phase 1 for a single requester: run its transactions against every
+/// neighbour, consuming the requester's own ChaCha8 stream for the
+/// round. `lookup_rep(provider, requester)` reads the *previous* round's
+/// aggregated reputation at the provider; `observer_mean[provider]` is
+/// the provider's admission scale. `plan` gates whether this requester
+/// is active at all this round (inactive requesters still *serve* —
+/// only their requester side goes quiet).
+///
+/// Shared by every engine so their math and RNG consumption are
+/// identical by construction. The activity draw happens **before** the
+/// requester's transact stream is created, so under the full traffic
+/// model nothing changes, and under a thinned model active nodes still
+/// consume exactly their legacy streams.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn transact_requester(
+    scenario: &Scenario,
+    config: &RoundsConfig,
+    plan: &ActivityPlan,
+    requester: NodeId,
+    round: u64,
+    round_seed: u64,
+    lookup_rep: &impl Fn(NodeId, NodeId) -> Option<f64>,
+    observer_mean: &[Option<f64>],
+) -> (Vec<TransactionRecord>, ServiceDelta) {
+    let mut records = Vec::new();
+    let mut delta = ServiceDelta::default();
+    // Dormant sybil identities have not joined the network yet: they
+    // neither request nor serve.
+    if !scenario.adversaries.participates(requester, round) {
+        return (records, delta);
+    }
+    // Traffic gate: inactive requesters sit the round out.
+    if !plan.is_active(requester, round, round_seed) {
+        return (records, delta);
+    }
+    delta.active_requesters = 1;
+    let population = &scenario.population;
+    let class = if scenario.adversaries.is_adversary(requester) {
+        RequesterClass::Adversary
+    } else if matches!(population.behavior(requester), Behavior::FreeRider { .. }) {
+        RequesterClass::FreeRider
+    } else {
+        RequesterClass::Honest
+    };
+    let mut rng = ChaCha8Rng::seed_from_u64(node_stream_seed(round_seed, requester.0));
+
+    for &provider in scenario.graph.neighbours(requester) {
+        let provider = NodeId(provider);
+        if !scenario.adversaries.participates(provider, round) {
+            continue;
+        }
+        for _ in 0..config.requests_per_edge {
+            // Admission control at the provider, against last round's
+            // aggregated view.
+            let rep = lookup_rep(provider, requester);
+            let admitted = match (rep, observer_mean[provider.index()]) {
+                (Some(r), Some(mean)) => r >= config.admission_threshold * mean,
+                // The provider aggregates opinions but holds none about
+                // this requester: a stranger. The paper's anti-whitewash
+                // zero prior refuses strangers; the optimistic default
+                // serves them (the honeymoon whitewashers farm).
+                (None, Some(_)) => config.defense.newcomer == NewcomerPolicy::Optimistic,
+                // No aggregation yet at this provider: serve everyone.
+                _ => true,
+            };
+            delta.count(class, admitted);
+            if admitted {
+                // Requester observes the provider's behaviour.
+                let quality = population.behavior(provider).sample_quality(&mut rng);
+                let outcome = if quality == 0.0 {
+                    TransactionOutcome::Refused
+                } else {
+                    TransactionOutcome::Served { quality }
+                };
+                records.push(TransactionRecord { provider, outcome });
+            }
+        }
+    }
+    if !records.is_empty() {
+        delta.dirty_rows = 1;
+    }
+    (records, delta)
+}
+
+/// Per-subject `(Σᵢ t_ij, N_d)` plus the ascending list of subjects
+/// anyone holds an opinion about — the closed-form aggregation inputs,
+/// computed once per round in `O(nnz)` (or patched in `O(dirty)` from
+/// the incremental engine's [`dg_trust::SubjectAggregateCache`]).
+pub(crate) struct SubjectAggregates {
+    pub sums: Vec<f64>,
+    pub counts: Vec<usize>,
+    /// Subjects with `N_d > 0`, ascending.
+    pub subjects: Vec<NodeId>,
+}
+
+impl SubjectAggregates {
+    /// Per-subject aggregates under a robust-aggregation policy
+    /// ([`RobustAggregation::none`] reproduces the paper's plain sums
+    /// bit-for-bit).
+    pub(crate) fn compute(trust: &TrustMatrix, robust: &RobustAggregation) -> Self {
+        let (sums, counts) = trust.robust_subject_sums_and_counts(robust);
+        Self::from_parts(sums, counts)
+    }
+
+    /// Wrap precomputed per-subject sums and counts (the incremental
+    /// engine hands in its delta-maintained cache, which is bit-identical
+    /// to [`Self::compute`] by `dg-trust`'s delta proptests).
+    pub(crate) fn from_parts(sums: Vec<f64>, counts: Vec<usize>) -> Self {
+        let subjects = counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(j, _)| NodeId(j as u32))
+            .collect();
+        Self {
+            sums,
+            counts,
+            subjects,
+        }
+    }
+}
+
+/// Closed-form aggregated-reputation row of one observer (Eq. (6) with
+/// the gossiped count), over the scope's subject set in ascending
+/// order. Shared by every engine.
+pub(crate) fn closed_form_row(
+    system: &ReputationSystem<'_>,
+    observer: NodeId,
+    scope: AggregationScope,
+    agg: &SubjectAggregates,
+) -> Vec<(NodeId, f64)> {
+    // The observer's excess weights are the same for every subject:
+    // compute them once (their sum IS `neighbour_excess_sum`, same
+    // addition order) and use the weighted Eq. (6) form, halving the
+    // trust-matrix lookups of the sweep. Bit-identical to the plain
+    // per-subject evaluation.
+    let weights = system.neighbour_excess_weights(observer);
+    let excess: f64 = weights.iter().sum();
+    // Subjects nobody rated are out of scope (the matrix lists rated
+    // subjects only); the formula itself lives in dg-core.
+    let subject_rep = |j: NodeId| -> Option<(NodeId, f64)> {
+        let count = agg.counts[j.index()];
+        if count == 0 {
+            return None;
+        }
+        system
+            .gclr_from_parts_weighted(
+                observer,
+                &weights,
+                j,
+                agg.sums[j.index()],
+                count as f64,
+                excess,
+            )
+            .map(|rep| (j, rep))
+    };
+    match scope {
+        AggregationScope::Full => agg
+            .subjects
+            .iter()
+            .filter_map(|&j| subject_rep(j))
+            .collect(),
+        AggregationScope::Neighbourhood => system
+            .graph()
+            .neighbours(observer)
+            .iter()
+            .filter_map(|&j| subject_rep(NodeId(j)))
+            .collect(),
+    }
+}
+
+/// [`closed_form_row`] for neighbourhood scope, with `ŷ` capture: the
+/// sweep evaluates every `ŷ` term anyway, so each one is handed to the
+/// caller's per-adjacency-position cache instead of being discarded —
+/// a freshly rebuilt observer starts its next delta round warm.
+/// Bit-identical to `closed_form_row` (same weights, same `ŷ` resum
+/// order, same shared Eq. (6) tail); slots the sweep skips
+/// (unrated subjects) are left exactly as the caller primed them.
+pub(crate) fn closed_form_neighbourhood_row_cached(
+    system: &ReputationSystem<'_>,
+    observer: NodeId,
+    agg: &SubjectAggregates,
+    y_row: &mut [f64],
+) -> Vec<(NodeId, f64)> {
+    let weights = system.neighbour_excess_weights(observer);
+    let excess: f64 = weights.iter().sum();
+    system
+        .graph()
+        .neighbours(observer)
+        .iter()
+        .enumerate()
+        .filter_map(|(p, &j)| {
+            let j = NodeId(j);
+            let count = agg.counts[j.index()];
+            if count == 0 {
+                return None;
+            }
+            let y = system.y_hat_from_weights(observer, &weights, j);
+            y_row[p] = y;
+            system
+                .gclr_from_y_hat(y, agg.sums[j.index()], count as f64, excess)
+                .map(|rep| (j, rep))
+        })
+        .collect()
+}
+
+/// Per-subject `(Σ rep, #observers)` over the stored aggregated rows.
+/// Row-major accumulation keeps the f64 addition order fixed (ascending
+/// observer, then subject), so the result is engine- and
+/// thread-count-independent.
+pub(crate) fn subject_totals(
+    n: usize,
+    rows: impl Iterator<Item = impl Iterator<Item = (NodeId, f64)>>,
+) -> (Vec<f64>, Vec<usize>) {
+    let mut sums = vec![0.0f64; n];
+    let mut cnts = vec![0usize; n];
+    for row in rows {
+        for (subject, rep) in row {
+            sums[subject.index()] += rep;
+            cnts[subject.index()] += 1;
+        }
+    }
+    (sums, cnts)
+}
+
+/// Per-subject mean reputation (over the observers holding a view) from
+/// accumulated totals.
+pub(crate) fn subject_means(sums: &[f64], cnts: &[usize]) -> Vec<Option<f64>> {
+    sums.iter()
+        .zip(cnts)
+        .map(|(&s, &c)| (c > 0).then(|| s / c as f64))
+        .collect()
+}
+
+/// Mean of the per-subject means, per behaviour class.
+pub(crate) struct ClassMeans {
+    /// Honest (non-adversarial, non-free-riding) subjects.
+    pub honest: f64,
+    /// Plain free riders.
+    pub free_riders: f64,
+    /// Adversarial subjects (any attack role).
+    pub adversaries: f64,
+}
+
+/// Population-level reputation summary from per-subject totals: the mean
+/// of the per-subject means per class. Adversaries form their own class
+/// regardless of service behaviour.
+pub(crate) fn class_reputation_means(
+    scenario: &Scenario,
+    sums: &[f64],
+    cnts: &[usize],
+) -> ClassMeans {
+    let (mut rep_h, mut cnt_h) = (0.0, 0usize);
+    let (mut rep_f, mut cnt_f) = (0.0, 0usize);
+    let (mut rep_a, mut cnt_a) = (0.0, 0usize);
+    for subject in scenario.graph.nodes() {
+        if cnts[subject.index()] == 0 {
+            continue;
+        }
+        let mean = sums[subject.index()] / cnts[subject.index()] as f64;
+        if scenario.adversaries.is_adversary(subject) {
+            rep_a += mean;
+            cnt_a += 1;
+        } else if matches!(
+            scenario.population.behavior(subject),
+            Behavior::FreeRider { .. }
+        ) {
+            rep_f += mean;
+            cnt_f += 1;
+        } else {
+            rep_h += mean;
+            cnt_h += 1;
+        }
+    }
+    let mean = |rep: f64, cnt: usize| if cnt > 0 { rep / cnt as f64 } else { 0.0 };
+    ClassMeans {
+        honest: mean(rep_h, cnt_h),
+        free_riders: mean(rep_f, cnt_f),
+        adversaries: mean(rep_a, cnt_a),
+    }
+}
+
+/// Mean absolute error between honest subjects' network-wide mean
+/// reputation and their latent quality — the residual the attack matrix
+/// gates on (`None` until any honest subject has been aggregated).
+pub(crate) fn honest_residual_error(
+    scenario: &Scenario,
+    sums: &[f64],
+    cnts: &[usize],
+) -> Option<f64> {
+    let qualities = scenario.population.latent_qualities();
+    let (mut err, mut count) = (0.0, 0usize);
+    for subject in scenario.graph.nodes() {
+        if cnts[subject.index()] == 0
+            || scenario.adversaries.is_adversary(subject)
+            || !matches!(
+                scenario.population.behavior(subject),
+                Behavior::Honest { .. }
+            )
+        {
+            continue;
+        }
+        let mean = sums[subject.index()] / cnts[subject.index()] as f64;
+        err += (mean - qualities[subject.index()]).abs();
+        count += 1;
+    }
+    (count > 0).then(|| err / count as f64)
+}
+
+/// Mean of one observer's aggregated row (its admission scale), `None`
+/// for an empty row.
+pub(crate) fn row_mean(values: impl ExactSizeIterator<Item = f64>) -> Option<f64> {
+    let len = values.len();
+    if len == 0 {
+        return None;
+    }
+    Some(values.sum::<f64>() / len as f64)
+}
+
+/// Binary-search lookup in sorted per-observer aggregated runs — the
+/// admission-control read the run-based engines serve during transact,
+/// and the body of their public `aggregated()` accessors. `None` for
+/// out-of-range observers and unaggregated pairs alike.
+pub(crate) fn lookup_run(
+    runs: &[Vec<(NodeId, f64)>],
+    observer: NodeId,
+    subject: NodeId,
+) -> Option<f64> {
+    let run = runs.get(observer.index())?;
+    run.binary_search_by_key(&subject, |&(j, _)| j)
+        .ok()
+        .map(|idx| run[idx].1)
+}
+
+/// [`subject_totals`] over sorted per-observer runs.
+pub(crate) fn runs_totals(n: usize, runs: &[Vec<(NodeId, f64)>]) -> (Vec<f64>, Vec<usize>) {
+    subject_totals(n, runs.iter().map(|run| run.iter().map(|&(j, r)| (j, r))))
+}
+
+/// The shared round epilogue of every engine: summarise the round, run
+/// the whitewash phase (washers whose mean reputation collapsed discard
+/// their identity — `purge` clears the engine's per-node
+/// estimator/table state for them; the aggregated runs are scrubbed
+/// here), refresh the observers' admission scales (post-purge, so the
+/// next round treats a fresh identity as a stranger), and assemble the
+/// [`RoundStats`]. One implementation so the engines cannot drift apart
+/// — like the phase kernels above, this keeps them identical by
+/// construction.
+pub(crate) fn finish_round(
+    scenario: &Scenario,
+    round: usize,
+    delta: ServiceDelta,
+    aggregated: &mut [Vec<(NodeId, f64)>],
+    observer_mean: &mut [Option<f64>],
+    purge: impl FnOnce(&[NodeId]),
+) -> RoundStats {
+    let n = aggregated.len();
+    let (sums, cnts) = runs_totals(n, aggregated);
+    let means = class_reputation_means(scenario, &sums, &cnts);
+    // Sorted, so every membership test below (and in the engines'
+    // purge closures) is a binary search — the purge stays
+    // `O(entries × log washed)` when a large mix washes thousands of
+    // identities at million-node scale. Removals are set operations,
+    // so ordering cannot change the result.
+    let mut washed = scenario.adversaries.washes(&subject_means(&sums, &cnts));
+    washed.sort_unstable();
+    if !washed.is_empty() {
+        purge(&washed);
+        for run in aggregated.iter_mut() {
+            run.retain(|(j, _)| washed.binary_search(j).is_err());
+        }
+        for &w in &washed {
+            aggregated[w.index()].clear();
+        }
+    }
+    for (i, run) in aggregated.iter().enumerate() {
+        observer_mean[i] = row_mean(run.iter().map(|&(_, r)| r));
+    }
+    RoundStats {
+        round,
+        served_honest: delta.served_honest,
+        refused_honest: delta.refused_honest,
+        served_free_riders: delta.served_free_riders,
+        refused_free_riders: delta.refused_free_riders,
+        served_adversaries: delta.served_adversaries,
+        refused_adversaries: delta.refused_adversaries,
+        mean_rep_honest: means.honest,
+        mean_rep_free_riders: means.free_riders,
+        mean_rep_adversaries: means.adversaries,
+        washes: washed.len() as u64,
+        active_nodes: delta.active_requesters,
+        dirty_fraction: if n == 0 {
+            0.0
+        } else {
+            delta.dirty_rows as f64 / n as f64
+        },
+    }
+}
+
+/// The RNG stream of the aggregation phase (distinct from every node
+/// stream: node ids are `< N ≤ u32::MAX`).
+pub(crate) fn aggregation_rng(round_seed: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(node_stream_seed(round_seed, u32::MAX))
+}
+
+/// Per-node mutable state of the record-folding engines.
+pub(crate) struct NodeState {
+    /// Per-provider estimators (the requester's view of each provider).
+    pub(crate) estimators: BTreeMap<NodeId, EwmaEstimator>,
+    /// The node's reputation table.
+    pub(crate) table: ReputationTable,
+}
+
+impl NodeState {
+    pub(crate) fn new() -> Self {
+        Self {
+            estimators: BTreeMap::new(),
+            table: ReputationTable::new(),
+        }
+    }
+
+    /// Fold one round's transaction records into the estimators and
+    /// table, then emit the node's trust row (ascending by provider) —
+    /// the estimate-phase kernel shared by every engine so their math
+    /// is identical by construction.
+    pub(crate) fn fold_records(
+        &mut self,
+        records: Vec<TransactionRecord>,
+        ewma_rate: f64,
+        round: u64,
+    ) -> Vec<(NodeId, TrustValue)> {
+        for rec in records {
+            let est = self
+                .estimators
+                .entry(rec.provider)
+                .or_insert_with(|| EwmaEstimator::new(ewma_rate));
+            self.table
+                .record_transaction(rec.provider, est, rec.outcome, round);
+        }
+        self.estimators
+            .iter()
+            .map(|(&j, est)| (j, est.estimate()))
+            .collect()
+    }
+}

@@ -15,15 +15,24 @@
 //!   residual error vs loss rate / [`NetworkProfile`](dg_gossip::NetworkProfile) preset);
 //! * [`rounds`] — the full reputation lifecycle loop (transactions →
 //!   estimation → aggregation → admission control) behind the free-riding
-//!   examples, dispatching to a sequential reference driver or the
-//!   batched parallel engine;
-//! * [`engine`] — the batched parallel round engine: explicit
-//!   transact/estimate/aggregate phases fanned out over nodes with
-//!   rayon on per-node ChaCha8 streams, over flat CSR trust storage;
+//!   examples, dispatching through one engine factory to the sequential
+//!   reference driver or any of the parallel engines;
+//! * [`kernel`] — the shared phase kernel: the transact → estimate →
+//!   aggregate → wash contracts every engine drives, so all observable
+//!   math (per-node RNG streams, robust subject sums, Eq. (6) rows, the
+//!   round epilogue) has exactly one implementation;
+//! * [`engine`] — the batched parallel round engine: the kernel phases
+//!   fanned out over nodes with rayon on per-node ChaCha8 streams, over
+//!   flat CSR trust storage;
 //! * [`sharded`] — the sharded round engine: the same phases fanned
 //!   out over contiguous *node shards*, each building its own CSR
 //!   block with bounded scratch — the million-node configuration,
 //!   bit-identical to the other engines at any shard count;
+//! * [`incremental`] — the incremental delta-driven engine: persistent
+//!   sharded trust matrix, dirty-row replacement, delta-maintained
+//!   subject aggregates and patched Eq. (6) rows — the skewed-traffic
+//!   configuration, bit-identical to the others at any activity
+//!   fraction;
 //! * [`adversary`] — the attack layer: per-node adversarial strategies
 //!   (sybil rings, collusion cliques, slanderers, whitewashers) compiled
 //!   from an [`AdversaryMix`](dg_gossip::AdversaryMix) and applied by
@@ -40,6 +49,8 @@ pub mod adversary;
 pub mod baselines;
 pub mod engine;
 pub mod experiments;
+pub mod incremental;
+pub mod kernel;
 pub mod report;
 pub mod rounds;
 pub mod scenario;
@@ -48,3 +59,4 @@ pub mod workload;
 
 pub use adversary::{AdversaryAssignment, Role, Strategy};
 pub use scenario::{Scenario, ScenarioConfig};
+pub use workload::{ActivityPlan, TrafficModel};

@@ -8,46 +8,51 @@
 //! time" — this module drives that loop with a constant inter-round gap,
 //! as the paper assumes for simplicity.
 //!
-//! Each round runs the three phases of [`crate::engine`]: **transact**
-//! (admission-gated chunk requests along overlay edges), **estimate**
-//! (per-edge EWMA updates feeding each node's [`ReputationTable`]) and
-//! **aggregate** (Variation-4 differential gossip, in closed form or by
-//! real gossip).
+//! Each round runs the phases of the shared kernel ([`crate::kernel`]):
+//! **transact** (traffic-gated, admission-controlled chunk requests
+//! along overlay edges), **estimate** (per-edge EWMA updates feeding
+//! each node's [`ReputationTable`]) and **aggregate** (Variation-4
+//! differential gossip, in closed form or by real gossip).
 //!
-//! Three execution engines are available through
+//! Four execution engines are available through
 //! [`GossipConfig::engine`](dg_gossip::GossipConfig):
 //!
 //! * [`EngineKind::Sequential`] — the reference driver in this module:
-//!   one inline pass over nodes, map-based state;
+//!   one inline pass over nodes;
 //! * [`EngineKind::Parallel`] — [`BatchedRoundEngine`]: CSR trust
 //!   storage, sorted aggregated runs, rayon fan-out over nodes;
 //! * [`EngineKind::Sharded`] —
 //!   [`ShardedRoundEngine`](crate::sharded::ShardedRoundEngine): nodes
 //!   partitioned into contiguous shards ([`RoundsConfig::shard_count`]),
 //!   each with its own CSR block and bounded scratch, rayon fan-out
-//!   over shards — the million-node configuration.
+//!   over shards — the million-node configuration;
+//! * [`EngineKind::Incremental`] —
+//!   [`IncrementalRoundEngine`](crate::incremental::IncrementalRoundEngine):
+//!   persistent sharded trust state, dirty-row tracking and
+//!   delta-maintained aggregates, so a round costs `O(dirty)` instead
+//!   of `O(N)` under skewed traffic ([`RoundsConfig::traffic`]).
 //!
 //! Every node consumes a private ChaCha8 stream derived from the round
 //! seed, so **all engines produce bit-for-bit identical results at any
-//! thread count and any shard count** (pinned by
+//! thread count, any shard count, and any traffic shape** (pinned by
 //! `tests/engine_equivalence.rs`).
 
-use crate::engine::{
-    aggregation_rng, class_reputation_means, closed_form_row, honest_residual_error, row_mean,
-    subject_means, subject_totals, transact_requester, BatchedRoundEngine, ServiceDelta,
-    SubjectAggregates, TransactionRecord,
+use crate::engine::BatchedRoundEngine;
+use crate::kernel::{
+    aggregation_rng, closed_form_row, finish_round, honest_residual_error, lookup_run, runs_totals,
+    subject_means, transact_requester, NodeState, ServiceDelta, SubjectAggregates,
 };
 use crate::scenario::Scenario;
+use crate::workload::{ActivityPlan, TrafficModel};
 use dg_core::algorithms::alg4;
 use dg_core::reputation::ReputationSystem;
 use dg_core::CoreError;
 use dg_gossip::{EngineKind, GossipConfig};
 use dg_graph::NodeId;
-use dg_trust::prelude::{EwmaEstimator, ReputationTable, TrustEstimator};
-use dg_trust::{RobustAggregation, TrustMatrix, TrustValue};
+use dg_trust::prelude::ReputationTable;
+use dg_trust::{RobustAggregation, TrustMatrix};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
 
 /// How reputations are refreshed each round.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -160,14 +165,21 @@ pub struct RoundsConfig {
     /// to [`DefensePolicy::none`] — the paper's plain behaviour.
     #[serde(default)]
     pub defense: DefensePolicy,
-    /// Shard count for [`EngineKind::Sharded`] (ignored by the other
-    /// engines). `0` — the default — selects the deterministic auto
-    /// partition, one shard per
-    /// [`ShardSpec::AUTO_CHUNK`](dg_trust::ShardSpec::AUTO_CHUNK) nodes.
-    /// Results are bit-identical for **every** value; this is purely a
-    /// memory/parallelism knob.
+    /// Shard count for [`EngineKind::Sharded`] and
+    /// [`EngineKind::Incremental`] (ignored by the other engines). `0` —
+    /// the default — selects the deterministic auto partition, one shard
+    /// per [`ShardSpec::AUTO_CHUNK`](dg_trust::ShardSpec::AUTO_CHUNK)
+    /// nodes. Results are bit-identical for **every** value; this is
+    /// purely a memory/parallelism knob.
     #[serde(default)]
     pub shard_count: usize,
+    /// Traffic shape: which requesters are active each round (see
+    /// [`TrafficModel`]). Defaults to the legacy full workload — every
+    /// participating node requests every round. Results are
+    /// bit-identical across engines for **every** traffic shape; the
+    /// incremental engine merely converts the idleness into speed.
+    #[serde(default)]
+    pub traffic: TrafficModel,
 }
 
 impl Default for RoundsConfig {
@@ -182,6 +194,7 @@ impl Default for RoundsConfig {
             gossip: GossipConfig::default(),
             defense: DefensePolicy::none(),
             shard_count: 0,
+            traffic: TrafficModel::full(),
         }
     }
 }
@@ -193,8 +206,8 @@ impl RoundsConfig {
         self
     }
 
-    /// Builder-style: fix the shard count of [`EngineKind::Sharded`]
-    /// (0 = auto).
+    /// Builder-style: fix the shard count of the sharded-substrate
+    /// engines (0 = auto).
     pub fn with_shards(mut self, shard_count: usize) -> Self {
         self.shard_count = shard_count;
         self
@@ -209,6 +222,12 @@ impl RoundsConfig {
     /// Builder-style: set the gossip tolerance `ξ`.
     pub fn with_xi(mut self, xi: f64) -> Self {
         self.gossip.xi = xi;
+        self
+    }
+
+    /// Builder-style: set the traffic shape.
+    pub fn with_traffic(mut self, traffic: TrafficModel) -> Self {
+        self.traffic = traffic;
         self
     }
 
@@ -248,6 +267,16 @@ pub struct RoundStats {
     /// Whitewash identity resets performed at the end of this round.
     #[serde(default)]
     pub washes: u64,
+    /// Requesters that cleared both the participation and the traffic
+    /// activity gates this round (absent — zero — in reports written
+    /// before the traffic model existed).
+    #[serde(default)]
+    pub active_nodes: u64,
+    /// Fraction of nodes whose trust row gained fresh transaction
+    /// records this round — the share of the network the incremental
+    /// engine must recompute.
+    #[serde(default)]
+    pub dirty_fraction: f64,
 }
 
 impl RoundStats {
@@ -275,16 +304,52 @@ fn rate(served: u64, refused: u64) -> f64 {
     served as f64 / total as f64
 }
 
+/// The uniform surface a round engine exposes to [`RoundsSimulator`].
+///
+/// Engines implement this by delegating to their inherent methods;
+/// adding an engine is one `impl` plus one arm in [`make_engine`] — the
+/// single dispatch point every layer (simulator, bench CLI, perf suite)
+/// routes through.
+pub(crate) trait RoundEngine {
+    /// Run one full round from the given seed.
+    fn run_round(&mut self, round_seed: u64) -> Result<RoundStats, CoreError>;
+    /// The reputation table of one node.
+    fn table(&self, node: NodeId) -> &ReputationTable;
+    /// The aggregated reputation of `subject` at `observer`.
+    fn aggregated(&self, observer: NodeId, subject: NodeId) -> Option<f64>;
+    /// Per-subject `(Σ rep, #observers)` over the stored aggregated rows.
+    fn totals(&self) -> (Vec<f64>, Vec<usize>);
+    /// Honest-subject residual error (see [`honest_residual_error`]).
+    fn honest_residual(&self) -> Option<f64>;
+}
+
+/// The single engine factory: every layer that turns an [`EngineKind`]
+/// into a running engine goes through here.
+pub(crate) fn make_engine<'s>(
+    scenario: &'s Scenario,
+    config: RoundsConfig,
+) -> Box<dyn RoundEngine + 's> {
+    match config.engine() {
+        EngineKind::Sequential => Box::new(SequentialRounds::new(scenario, config)),
+        EngineKind::Parallel => Box::new(BatchedRoundEngine::new(scenario, config)),
+        EngineKind::Sharded => Box::new(crate::sharded::ShardedRoundEngine::new(scenario, config)),
+        EngineKind::Incremental => Box::new(crate::incremental::IncrementalRoundEngine::new(
+            scenario, config,
+        )),
+    }
+}
+
 /// The sequential reference driver: one inline pass over nodes per
-/// phase, estimators in one global ordered map, aggregated reputations
-/// in per-observer maps.
+/// phase, dynamic map-backed trust storage — deliberately the simplest
+/// possible composition of the kernel phases, the yardstick the
+/// optimised engines are pinned against.
 struct SequentialRounds<'s> {
     scenario: &'s Scenario,
     config: RoundsConfig,
-    estimators: BTreeMap<(NodeId, NodeId), EwmaEstimator>,
-    tables: Vec<ReputationTable>,
-    /// Latest aggregated reputation per (observer, subject).
-    aggregated: Vec<BTreeMap<NodeId, f64>>,
+    plan: ActivityPlan,
+    nodes: Vec<NodeState>,
+    /// `aggregated[observer]` — sorted `(subject, reputation)` run.
+    aggregated: Vec<Vec<(NodeId, f64)>>,
     /// Mean aggregated reputation per observer (admission scale).
     observer_mean: Vec<Option<f64>>,
     round: usize,
@@ -295,10 +360,10 @@ impl<'s> SequentialRounds<'s> {
         let n = scenario.graph.node_count();
         Self {
             scenario,
+            plan: ActivityPlan::new(config.traffic, n),
             config,
-            estimators: BTreeMap::new(),
-            tables: vec![ReputationTable::new(); n],
-            aggregated: vec![BTreeMap::new(); n],
+            nodes: (0..n).map(|_| NodeState::new()).collect(),
+            aggregated: vec![Vec::new(); n],
             observer_mean: vec![None; n],
             round: 0,
         }
@@ -308,19 +373,23 @@ impl<'s> SequentialRounds<'s> {
         let graph = &self.scenario.graph;
         let n = graph.node_count();
         let round = self.round as u64;
+        let seed = self.scenario.config.seed;
 
-        // Phase 1 + 2: transact, then fold each requester's records into
-        // its estimators and table — inline, one node at a time, but on
-        // the same per-node streams as the batched engine.
+        // Phases 1 + 2: transact, then fold each requester's records
+        // into its estimators and table — inline, one node at a time,
+        // but on the same per-node streams and kernel phases as the
+        // parallel engines. Rows go into the dynamic map backend, one
+        // point insertion per entry.
         let mut delta = ServiceDelta::default();
         let aggregated = std::mem::take(&mut self.aggregated);
-        let lookup = |provider: NodeId, requester: NodeId| {
-            aggregated[provider.index()].get(&requester).copied()
-        };
+        let lookup =
+            |provider: NodeId, requester: NodeId| lookup_run(&aggregated, provider, requester);
+        let mut trust = TrustMatrix::new(n);
         for requester in graph.nodes() {
             let (records, d) = transact_requester(
                 self.scenario,
                 &self.config,
+                &self.plan,
                 requester,
                 round,
                 round_seed,
@@ -328,48 +397,27 @@ impl<'s> SequentialRounds<'s> {
                 &self.observer_mean,
             );
             delta.merge(d);
-            for TransactionRecord { provider, outcome } in records {
-                let est = self
-                    .estimators
-                    .entry((requester, provider))
-                    .or_insert_with(|| EwmaEstimator::new(self.config.ewma_rate));
-                self.tables[requester.index()].record_transaction(provider, est, outcome, round);
-            }
-        }
-        self.aggregated = aggregated;
-
-        // Collect the trust matrix from the estimators (dynamic backend,
-        // one point insertion per entry), passing each node's row
-        // through its adversarial strategy first.
-        let mut rows: Vec<Vec<(NodeId, TrustValue)>> = vec![Vec::new(); n];
-        for (&(i, j), est) in &self.estimators {
-            rows[i.index()].push((j, est.estimate()));
-        }
-        let mut trust = TrustMatrix::new(n);
-        let seed = self.scenario.config.seed;
-        for (i, mut row) in rows.into_iter().enumerate() {
-            let i = NodeId(i as u32);
+            let mut row =
+                self.nodes[requester.index()].fold_records(records, self.config.ewma_rate, round);
             self.scenario
                 .adversaries
-                .distort_row(i, round, seed, &mut row);
+                .distort_row(requester, round, seed, &mut row);
             for (j, report) in row {
                 trust
-                    .set(i, j, report)
+                    .set(requester, j, report)
                     .expect("estimator keys are in range");
             }
         }
+        self.aggregated = aggregated;
         let system = ReputationSystem::new(graph, trust, self.scenario.weights)?;
 
         // Phase 3: aggregate.
         match self.config.aggregation {
             AggregationMode::ClosedForm => {
                 let agg = SubjectAggregates::compute(system.trust(), &self.config.defense.robust);
-                for i in 0..n {
-                    self.aggregated[i] =
-                        closed_form_row(&system, NodeId(i as u32), self.config.scope, &agg)
-                            .into_iter()
-                            .collect();
-                }
+                self.aggregated = (0..n as u32)
+                    .map(|i| closed_form_row(&system, NodeId(i), self.config.scope, &agg))
+                    .collect();
             }
             AggregationMode::Gossip => {
                 let out = alg4::run(&system, self.config.gossip.validated()?, &mut {
@@ -383,58 +431,29 @@ impl<'s> SequentialRounds<'s> {
             }
         }
 
-        // Round summary, then the whitewash phase (mirrors the batched
-        // engine): washers whose mean reputation collapsed discard their
-        // identity, purging every opinion involving it.
-        let (sums, cnts) = subject_totals(
-            n,
-            self.aggregated
-                .iter()
-                .map(|row| row.iter().map(|(&j, &r)| (j, r))),
+        // Shared round epilogue: summary, whitewash purge, admission
+        // scales, stats.
+        let nodes = &mut self.nodes;
+        let stats = finish_round(
+            self.scenario,
+            self.round,
+            delta,
+            &mut self.aggregated,
+            &mut self.observer_mean,
+            |washed| {
+                for state in nodes.iter_mut() {
+                    state
+                        .estimators
+                        .retain(|j, _| washed.binary_search(j).is_err());
+                    state.table.retain(|j| washed.binary_search(&j).is_err());
+                }
+                for &w in washed {
+                    let state = &mut nodes[w.index()];
+                    state.estimators.clear();
+                    state.table = ReputationTable::new();
+                }
+            },
         );
-        let means = class_reputation_means(self.scenario, &sums, &cnts);
-        // Sorted for binary-search membership, mirroring the batched
-        // and sharded engines' shared epilogue (removals are set
-        // operations; ordering cannot change the result).
-        let mut washed = self
-            .scenario
-            .adversaries
-            .washes(&subject_means(&sums, &cnts));
-        washed.sort_unstable();
-        if !washed.is_empty() {
-            let kept = |j: &NodeId| washed.binary_search(j).is_err();
-            self.estimators.retain(|&(i, j), _| kept(&i) && kept(&j));
-            for table in self.tables.iter_mut() {
-                table.retain(|j| kept(&j));
-            }
-            for &w in &washed {
-                self.tables[w.index()] = ReputationTable::new();
-                self.aggregated[w.index()].clear();
-            }
-            for row in self.aggregated.iter_mut() {
-                row.retain(|j, _| kept(j));
-            }
-        }
-
-        // Refresh the observers' admission scales (post-purge, so the
-        // next round treats a fresh identity as a stranger).
-        for (i, row) in self.aggregated.iter().enumerate() {
-            self.observer_mean[i] = row_mean(row.values().copied());
-        }
-
-        let stats = RoundStats {
-            round: self.round,
-            served_honest: delta.served_honest,
-            refused_honest: delta.refused_honest,
-            served_free_riders: delta.served_free_riders,
-            refused_free_riders: delta.refused_free_riders,
-            served_adversaries: delta.served_adversaries,
-            refused_adversaries: delta.refused_adversaries,
-            mean_rep_honest: means.honest,
-            mean_rep_free_riders: means.free_riders,
-            mean_rep_adversaries: means.adversaries,
-            washes: washed.len() as u64,
-        };
         self.round += 1;
         Ok(stats)
     }
@@ -445,43 +464,46 @@ impl<'s> SequentialRounds<'s> {
     }
 
     fn totals(&self) -> (Vec<f64>, Vec<usize>) {
-        subject_totals(
-            self.scenario.graph.node_count(),
-            self.aggregated
-                .iter()
-                .map(|row| row.iter().map(|(&j, &r)| (j, r))),
-        )
+        runs_totals(self.scenario.graph.node_count(), &self.aggregated)
     }
 }
 
-enum Backend<'s> {
-    Sequential(Box<SequentialRounds<'s>>),
-    Parallel(Box<BatchedRoundEngine<'s>>),
-    Sharded(Box<crate::sharded::ShardedRoundEngine<'s>>),
+impl RoundEngine for SequentialRounds<'_> {
+    fn run_round(&mut self, round_seed: u64) -> Result<RoundStats, CoreError> {
+        SequentialRounds::run_round(self, round_seed)
+    }
+
+    fn table(&self, node: NodeId) -> &ReputationTable {
+        &self.nodes[node.index()].table
+    }
+
+    fn aggregated(&self, observer: NodeId, subject: NodeId) -> Option<f64> {
+        lookup_run(&self.aggregated, observer, subject)
+    }
+
+    fn totals(&self) -> (Vec<f64>, Vec<usize>) {
+        SequentialRounds::totals(self)
+    }
+
+    fn honest_residual(&self) -> Option<f64> {
+        SequentialRounds::honest_residual(self)
+    }
 }
 
 /// The round-loop simulator, dispatching to the configured engine.
 pub struct RoundsSimulator<'s> {
     config: RoundsConfig,
-    backend: Backend<'s>,
+    backend: Box<dyn RoundEngine + 's>,
 }
 
 impl<'s> RoundsSimulator<'s> {
     /// Create a simulator over a scenario, using the engine selected by
     /// `config.gossip.engine`.
     pub fn new(scenario: &'s Scenario, config: RoundsConfig) -> Self {
-        let backend = match config.engine() {
-            EngineKind::Sequential => {
-                Backend::Sequential(Box::new(SequentialRounds::new(scenario, config)))
-            }
-            EngineKind::Parallel => {
-                Backend::Parallel(Box::new(BatchedRoundEngine::new(scenario, config)))
-            }
-            EngineKind::Sharded => Backend::Sharded(Box::new(
-                crate::sharded::ShardedRoundEngine::new(scenario, config),
-            )),
-        };
-        Self { config, backend }
+        Self {
+            config,
+            backend: make_engine(scenario, config),
+        }
     }
 
     /// The engine driving this simulator.
@@ -491,21 +513,13 @@ impl<'s> RoundsSimulator<'s> {
 
     /// The reputation table of one node.
     pub fn table(&self, node: NodeId) -> &ReputationTable {
-        match &self.backend {
-            Backend::Sequential(s) => &s.tables[node.index()],
-            Backend::Parallel(p) => p.table(node),
-            Backend::Sharded(s) => s.table(node),
-        }
+        self.backend.table(node)
     }
 
     /// The aggregated reputation of `subject` at `observer`, if any
     /// aggregation round has run (and the pair is in scope).
     pub fn aggregated(&self, observer: NodeId, subject: NodeId) -> Option<f64> {
-        match &self.backend {
-            Backend::Sequential(s) => s.aggregated[observer.index()].get(&subject).copied(),
-            Backend::Parallel(p) => p.aggregated(observer, subject),
-            Backend::Sharded(s) => s.aggregated(observer, subject),
-        }
+        self.backend.aggregated(observer, subject)
     }
 
     /// Mean absolute error between honest subjects' network-wide mean
@@ -515,22 +529,14 @@ impl<'s> RoundsSimulator<'s> {
     /// each other ([`Self::subject_mean_reputations`]) to isolate what
     /// an attack moved. `None` before the first aggregation round.
     pub fn honest_residual_error(&self) -> Option<f64> {
-        match &self.backend {
-            Backend::Sequential(s) => s.honest_residual(),
-            Backend::Parallel(p) => p.honest_residual(),
-            Backend::Sharded(s) => s.honest_residual(),
-        }
+        self.backend.honest_residual()
     }
 
     /// Each subject's mean aggregated reputation over the observers
     /// currently holding a view (`None` for unaggregated subjects) —
     /// the per-node quantity attack/reference comparisons difference.
     pub fn subject_mean_reputations(&self) -> Vec<Option<f64>> {
-        let (sums, cnts) = match &self.backend {
-            Backend::Sequential(s) => s.totals(),
-            Backend::Parallel(p) => p.totals(),
-            Backend::Sharded(s) => s.totals(),
-        };
+        let (sums, cnts) = self.backend.totals();
         subject_means(&sums, &cnts)
     }
 
@@ -538,11 +544,7 @@ impl<'s> RoundsSimulator<'s> {
     /// its statistics.
     pub fn run_round<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Result<RoundStats, CoreError> {
         let round_seed = rng.next_u64();
-        match &mut self.backend {
-            Backend::Sequential(s) => s.run_round(round_seed),
-            Backend::Parallel(p) => p.run_round(round_seed),
-            Backend::Sharded(s) => s.run_round(round_seed),
-        }
+        self.backend.run_round(round_seed)
     }
 
     /// Run all configured rounds.
@@ -597,6 +599,10 @@ mod tests {
         );
         // Reputation separation.
         assert!(last.mean_rep_honest > last.mean_rep_free_riders + 0.2);
+        // The full traffic model keeps every node active, and every
+        // served requester's row dirty.
+        assert_eq!(last.active_nodes, 120);
+        assert!(last.dirty_fraction > 0.5);
     }
 
     #[test]
@@ -671,5 +677,39 @@ mod tests {
             "honest service degraded to {}",
             last.honest_service_rate()
         );
+    }
+
+    #[test]
+    fn thinned_traffic_reduces_activity_and_dirt() {
+        let cfg = ScenarioConfig {
+            nodes: 150,
+            seed: 19,
+            ..ScenarioConfig::default()
+        };
+        let scenario = Scenario::build(cfg).unwrap();
+        let mut sim = RoundsSimulator::new(
+            &scenario,
+            RoundsConfig {
+                rounds: 3,
+                ..RoundsConfig::default()
+            }
+            .with_traffic(TrafficModel::full().with_activity(0.1)),
+        );
+        let mut rng = scenario.gossip_rng(2);
+        let stats = sim.run(&mut rng).unwrap();
+        for s in &stats {
+            assert!(
+                s.active_nodes < 50,
+                "round {} has {} active nodes under 10% activity",
+                s.round,
+                s.active_nodes
+            );
+            assert!(s.dirty_fraction < 0.35, "dirty {}", s.dirty_fraction);
+            // Only active requesters can dirty their rows.
+            let dirty_rows = (s.dirty_fraction * 150.0).round() as u64;
+            assert!(dirty_rows <= s.active_nodes);
+        }
+        // Some traffic still flows.
+        assert!(stats.iter().any(|s| s.active_nodes > 0));
     }
 }

@@ -11,7 +11,7 @@ use dg_core::behavior::{Behavior, Population};
 use dg_core::reputation::{trust_from_qualities, ReputationSystem};
 use dg_core::CoreError;
 use dg_gossip::profile::NetworkProfile;
-use dg_gossip::{AdversaryMix, EngineKind, GossipConfig, GossipError};
+use dg_gossip::{AdversaryMix, EngineKind, EngineSubstrate, GossipConfig, GossipError};
 use dg_graph::{pa, Graph};
 use dg_trust::{TrustMatrix, WeightParams};
 use rand::Rng;
@@ -95,6 +95,14 @@ pub struct ScenarioConfig {
     /// Defaults to [`AdversaryMix::none`].
     #[serde(default)]
     pub adversary: AdversaryMix,
+    /// Traffic shape round loops over this scenario assume (see
+    /// [`TrafficModel`](crate::workload::TrafficModel)). Does **not**
+    /// affect the generated topology, population or trust values — it
+    /// parameterises the round loop: [`Scenario::rounds_config`] hands
+    /// it to the engines' shared transact gate. Defaults to the legacy
+    /// full workload.
+    #[serde(default)]
+    pub traffic: crate::workload::TrafficModel,
 }
 
 impl Default for ScenarioConfig {
@@ -113,6 +121,7 @@ impl Default for ScenarioConfig {
             engine: EngineKind::Sequential,
             profile: NetworkProfile::lossless(),
             adversary: AdversaryMix::none(),
+            traffic: crate::workload::TrafficModel::full(),
         }
     }
 }
@@ -147,6 +156,12 @@ impl ScenarioConfig {
     /// Builder-style adversary-mix override.
     pub fn with_adversary(mut self, adversary: AdversaryMix) -> Self {
         self.adversary = adversary;
+        self
+    }
+
+    /// Builder-style traffic-shape override.
+    pub fn with_traffic(mut self, traffic: crate::workload::TrafficModel) -> Self {
+        self.traffic = traffic;
         self
     }
 }
@@ -232,14 +247,18 @@ impl Scenario {
             );
         }
 
-        match config.engine {
+        // Prepare the substrate for the engine's storage backend — the
+        // engine → backend mapping lives in one place
+        // ([`EngineKind::substrate`]), so a new engine is one arm in
+        // dg-gossip, not a fourth copy of this match.
+        match config.engine.substrate() {
             // Compact the substrate for the flat batched engine.
-            EngineKind::Parallel => trust.freeze(),
-            // The sharded engine partitions everything it owns; the
-            // substrate follows the same partition so no monolithic
-            // arena exists anywhere in a sharded run.
-            EngineKind::Sharded => trust.shard(dg_trust::ShardSpec::auto(config.nodes)),
-            EngineKind::Sequential => {}
+            EngineSubstrate::FlatCsr => trust.freeze(),
+            // The sharded-substrate engines partition everything they
+            // own; the substrate follows the same partition so no
+            // monolithic arena exists anywhere in such a run.
+            EngineSubstrate::Sharded => trust.shard(dg_trust::ShardSpec::auto(config.nodes)),
+            EngineSubstrate::Dynamic => {}
         }
 
         let weights = WeightParams::new(config.weight_a, config.weight_b)?;
@@ -259,9 +278,11 @@ impl Scenario {
     }
 
     /// A default round-loop configuration inheriting this scenario's
-    /// engine choice.
+    /// engine choice and traffic shape.
     pub fn rounds_config(&self) -> crate::rounds::RoundsConfig {
-        crate::rounds::RoundsConfig::default().with_engine(self.config.engine)
+        crate::rounds::RoundsConfig::default()
+            .with_engine(self.config.engine)
+            .with_traffic(self.config.traffic)
     }
 
     /// A gossip configuration with tolerance `xi` that inherits this

@@ -37,12 +37,13 @@
 //! `tests/engine_equivalence.rs` for shards 1/4/16 × threads 1/2/8,
 //! with and without an adversarial mix.
 
-use crate::engine::{
+use crate::kernel::{
     aggregation_rng, closed_form_row, finish_round, honest_residual_error, lookup_run, runs_totals,
     transact_requester, NodeState, ServiceDelta, SubjectAggregates,
 };
-use crate::rounds::{AggregationMode, RoundStats, RoundsConfig};
+use crate::rounds::{AggregationMode, RoundEngine, RoundStats, RoundsConfig};
 use crate::scenario::Scenario;
+use crate::workload::ActivityPlan;
 use dg_core::algorithms::alg4;
 use dg_core::reputation::ReputationSystem;
 use dg_core::CoreError;
@@ -54,6 +55,7 @@ use rayon::prelude::*;
 pub struct ShardedRoundEngine<'s> {
     scenario: &'s Scenario,
     config: RoundsConfig,
+    plan: ActivityPlan,
     spec: ShardSpec,
     /// `shards[s][local]` is node `spec.range(s).start + local`.
     shards: Vec<Vec<NodeState>>,
@@ -75,6 +77,7 @@ impl<'s> ShardedRoundEngine<'s> {
         };
         Self {
             scenario,
+            plan: ActivityPlan::new(config.traffic, n),
             config,
             spec,
             shards: (0..spec.shard_count())
@@ -126,6 +129,7 @@ impl<'s> ShardedRoundEngine<'s> {
         // in one pass — per-node records never outlive the node.
         let aggregated = &self.aggregated;
         let observer_mean = &self.observer_mean;
+        let plan = &self.plan;
         let lookup =
             |provider: NodeId, requester: NodeId| lookup_run(aggregated, provider, requester);
         let work: Vec<(usize, Vec<NodeState>)> = std::mem::take(&mut self.shards)
@@ -143,6 +147,7 @@ impl<'s> ShardedRoundEngine<'s> {
                     let (records, d) = transact_requester(
                         scenario,
                         &config,
+                        plan,
                         requester,
                         round,
                         round_seed,
@@ -240,7 +245,7 @@ impl<'s> ShardedRoundEngine<'s> {
 
     /// Mean absolute error between honest subjects' network-wide mean
     /// reputation and their latent quality (see
-    /// `honest_residual_error` in [`crate::engine`]).
+    /// `honest_residual_error` in [`crate::kernel`]).
     pub fn honest_residual(&self) -> Option<f64> {
         let (sums, cnts) = self.totals();
         honest_residual_error(self.scenario, &sums, &cnts)
@@ -248,5 +253,27 @@ impl<'s> ShardedRoundEngine<'s> {
 
     pub(crate) fn totals(&self) -> (Vec<f64>, Vec<usize>) {
         runs_totals(self.scenario.graph.node_count(), &self.aggregated)
+    }
+}
+
+impl RoundEngine for ShardedRoundEngine<'_> {
+    fn run_round(&mut self, round_seed: u64) -> Result<RoundStats, CoreError> {
+        ShardedRoundEngine::run_round(self, round_seed)
+    }
+
+    fn table(&self, node: NodeId) -> &dg_trust::prelude::ReputationTable {
+        ShardedRoundEngine::table(self, node)
+    }
+
+    fn aggregated(&self, observer: NodeId, subject: NodeId) -> Option<f64> {
+        ShardedRoundEngine::aggregated(self, observer, subject)
+    }
+
+    fn totals(&self) -> (Vec<f64>, Vec<usize>) {
+        ShardedRoundEngine::totals(self)
+    }
+
+    fn honest_residual(&self) -> Option<f64> {
+        ShardedRoundEngine::honest_residual(self)
     }
 }

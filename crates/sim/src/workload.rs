@@ -8,12 +8,22 @@
 //! `transactions_per_edge` requests from `i` to `j` are simulated, each
 //! served with a quality drawn from `j`'s behaviour profile, and an EWMA
 //! estimator turns the outcome stream into `t_ij`.
+//!
+//! It also owns the round-loop *traffic shape*: [`TrafficModel`]
+//! describes which requesters are active in a round (uniform or
+//! Zipf-skewed activity, periodic flash crowds) and [`ActivityPlan`]
+//! compiles it into per-node activity draws that every engine consults
+//! through the shared transact kernel — so the skew is engine-independent
+//! by construction, and the default full-traffic model consumes no
+//! randomness at all.
 
 use dg_core::behavior::Population;
+use dg_gossip::node_stream_seed;
 use dg_graph::{Graph, NodeId};
 use dg_trust::prelude::{EwmaEstimator, TransactionOutcome, TrustEstimator};
 use dg_trust::TrustMatrix;
 use rand::Rng;
+use serde::{Deserialize, Serialize};
 
 /// Learning rate of the per-edge EWMA estimators.
 const EWMA_RATE: f64 = 0.3;
@@ -87,6 +97,215 @@ pub fn add_far_interactions<R: Rng + ?Sized>(
                 .expect("sampled id is in range");
             added += 1;
         }
+    }
+}
+
+/// Round-loop traffic shape: which requesters issue requests each round.
+///
+/// Real P2P request traffic is heavily skewed — a small set of peers
+/// generates most downloads, most peers idle for long stretches, and
+/// flash crowds periodically light up a large slice of the network at
+/// once. The default model ([`TrafficModel::full`]) is the legacy
+/// behaviour: every participating peer requests every round.
+///
+/// Nodes that sit a round out still *serve* (provider-side admission is
+/// unaffected); only their requester side goes quiet, so their trust
+/// rows — and everything downstream of them — stay untouched that
+/// round. That is the sparsity the incremental engine converts into
+/// `O(dirty)` round cost.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct TrafficModel {
+    /// Mean fraction of nodes that issue requests in a round, before
+    /// skew. `1.0` — the default — is the legacy every-node-every-round
+    /// workload.
+    pub activity_fraction: f64,
+    /// Zipf exponent `s` of the per-node request skew: the node ranked
+    /// `r` gets activity weight `(r + 1)^-s`, normalised to mean 1
+    /// across the network. Ranks are assigned by a fixed seeded
+    /// permutation of the node ids — request demand is user behaviour,
+    /// not overlay age, and in a PA overlay the earliest ids are the
+    /// biggest hubs, so rank-by-id would weld the head of the request
+    /// distribution onto the densest neighbourhoods of the graph.
+    /// `0.0` — the default — is uniform activity.
+    pub zipf_exponent: f64,
+    /// Flash-crowd period: on every `flash_interval`-th round the
+    /// per-node activity probabilities are multiplied by
+    /// [`flash_multiplier`](Self::flash_multiplier) (clamped to 1).
+    /// `0` — the default — disables flash crowds.
+    pub flash_interval: usize,
+    /// Activity multiplier applied on flash rounds.
+    pub flash_multiplier: f64,
+}
+
+// Manual impl so every absent member falls back to the *legacy* value
+// (`TrafficModel::full()`), not the field type's zero — `{}` and older
+// configs with no traffic block at all round-trip to full traffic.
+impl Deserialize for TrafficModel {
+    fn __from_value(v: &serde::__value::Value) -> Result<Self, serde::__value::DeError> {
+        #[derive(Deserialize)]
+        struct Partial {
+            #[serde(default)]
+            activity_fraction: Option<f64>,
+            #[serde(default)]
+            zipf_exponent: Option<f64>,
+            #[serde(default)]
+            flash_interval: Option<usize>,
+            #[serde(default)]
+            flash_multiplier: Option<f64>,
+        }
+        let p = Partial::__from_value(v)?;
+        let full = TrafficModel::full();
+        Ok(Self {
+            activity_fraction: p.activity_fraction.unwrap_or(full.activity_fraction),
+            zipf_exponent: p.zipf_exponent.unwrap_or(full.zipf_exponent),
+            flash_interval: p.flash_interval.unwrap_or(full.flash_interval),
+            flash_multiplier: p.flash_multiplier.unwrap_or(full.flash_multiplier),
+        })
+    }
+}
+
+impl Default for TrafficModel {
+    fn default() -> Self {
+        Self::full()
+    }
+}
+
+impl TrafficModel {
+    /// The legacy workload: every participating node requests every
+    /// round. Consumes no randomness — round results are bit-identical
+    /// to engines that predate the traffic model.
+    pub const fn full() -> Self {
+        Self {
+            activity_fraction: 1.0,
+            zipf_exponent: 0.0,
+            flash_interval: 0,
+            flash_multiplier: 1.0,
+        }
+    }
+
+    /// Builder-style: set the mean activity fraction.
+    pub fn with_activity(mut self, fraction: f64) -> Self {
+        self.activity_fraction = fraction;
+        self
+    }
+
+    /// Builder-style: set the Zipf skew exponent.
+    pub fn with_zipf(mut self, exponent: f64) -> Self {
+        self.zipf_exponent = exponent;
+        self
+    }
+
+    /// Builder-style: flash crowds every `interval` rounds at
+    /// `multiplier` × the base activity.
+    pub fn with_flash(mut self, interval: usize, multiplier: f64) -> Self {
+        self.flash_interval = interval;
+        self.flash_multiplier = multiplier;
+        self
+    }
+
+    /// Whether this model gates anything at all. A full model skips the
+    /// activity draw entirely (zero overhead, bit-identical legacy
+    /// rounds).
+    pub fn is_full(&self) -> bool {
+        self.activity_fraction >= 1.0
+            && self.zipf_exponent == 0.0
+            && (self.flash_interval == 0 || self.flash_multiplier >= 1.0)
+    }
+}
+
+/// Domain-separation salt for activity draws, so a node's activity coin
+/// is independent of its transact stream ([`node_stream_seed`] on the
+/// raw round seed) and of the adversary streams.
+const ACTIVITY_SALT: u64 = 0x7C15_62E1_9B52_ACE1;
+
+/// Domain-separation salt for the Zipf rank permutation (a property of
+/// the compiled plan, not of any round's randomness).
+const RANK_SALT: u64 = 0x3A1D_77F0_C4B9_5E23;
+
+/// A [`TrafficModel`] compiled against a network size: per-node base
+/// activity probabilities, ready for `O(1)` engine-independent activity
+/// draws.
+///
+/// The draw for `(node, round)` hashes the round seed and node id
+/// through a dedicated salted stream — it depends on nothing an engine
+/// chooses (thread count, shard count, evaluation order), which is what
+/// keeps all engines bit-identical under any traffic shape.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActivityPlan {
+    /// `base[i]` — node `i`'s activity probability before the flash
+    /// multiplier; `None` for the full model (everyone always active).
+    base: Option<Vec<f64>>,
+    model: TrafficModel,
+}
+
+impl ActivityPlan {
+    /// Compile a model for an `n`-node network.
+    pub fn new(model: TrafficModel, n: usize) -> Self {
+        if model.is_full() {
+            return Self { base: None, model };
+        }
+        let fraction = model.activity_fraction.max(0.0);
+        // Request rank per node: identity for uniform activity, a fixed
+        // seeded Fisher–Yates permutation under skew (see the
+        // `zipf_exponent` field docs — rank must not correlate with
+        // overlay age). Deterministic in `n` alone, so every engine
+        // compiles the identical plan.
+        let rank: Vec<usize> = if model.zipf_exponent == 0.0 {
+            (0..n).collect()
+        } else {
+            let mut rank: Vec<usize> = (0..n).collect();
+            for i in (1..n).rev() {
+                let draw = node_stream_seed(RANK_SALT, i as u32);
+                rank.swap(i, (draw % (i as u64 + 1)) as usize);
+            }
+            rank
+        };
+        let weights: Vec<f64> = rank
+            .iter()
+            .map(|&r| ((r + 1) as f64).powf(-model.zipf_exponent))
+            .collect();
+        let total: f64 = weights.iter().sum();
+        let scale = if total > 0.0 { n as f64 / total } else { 0.0 };
+        let base = weights.iter().map(|w| fraction * w * scale).collect();
+        Self {
+            base: Some(base),
+            model,
+        }
+    }
+
+    /// The model this plan was compiled from.
+    pub fn model(&self) -> TrafficModel {
+        self.model
+    }
+
+    /// Whether this round is a flash-crowd round.
+    pub fn is_flash_round(&self, round: u64) -> bool {
+        self.model.flash_interval > 0 && (round + 1) % self.model.flash_interval as u64 == 0
+    }
+
+    /// Whether `node` issues requests this round. Deterministic in
+    /// `(node, round_seed)` alone; the full model answers `true` without
+    /// drawing.
+    pub fn is_active(&self, node: NodeId, round: u64, round_seed: u64) -> bool {
+        let Some(base) = &self.base else {
+            return true;
+        };
+        let flash = if self.is_flash_round(round) {
+            self.model.flash_multiplier
+        } else {
+            1.0
+        };
+        let p = (base[node.index()] * flash).clamp(0.0, 1.0);
+        if p >= 1.0 {
+            return true;
+        }
+        if p <= 0.0 {
+            return false;
+        }
+        // One SplitMix64 output mapped to [0, 1) with 53 uniform bits —
+        // no stream object needed for a single coin.
+        let draw = node_stream_seed(round_seed ^ ACTIVITY_SALT, node.0);
+        ((draw >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
     }
 }
 
@@ -175,6 +394,93 @@ mod tests {
         let trust = estimate_trust(&g, &pop, 10, &mut rng(3));
         assert_eq!(trust.entry_count(), 12); // 6 edges × 2 directions
         assert!(trust.get(NodeId(0), NodeId(3)).is_none());
+    }
+
+    #[test]
+    fn full_traffic_model_is_always_active() {
+        let plan = ActivityPlan::new(TrafficModel::full(), 64);
+        for node in 0..64u32 {
+            for round in 0..8u64 {
+                assert!(plan.is_active(NodeId(node), round, 0xDEAD_BEEF ^ round));
+            }
+        }
+        assert!(TrafficModel::full().is_full());
+        // A flash crowd on top of full traffic gates nothing either.
+        assert!(TrafficModel::full().with_flash(3, 2.0).is_full());
+    }
+
+    #[test]
+    fn activity_fraction_thins_traffic() {
+        let n = 4000usize;
+        let plan = ActivityPlan::new(TrafficModel::full().with_activity(0.1), n);
+        let active = (0..n as u32)
+            .filter(|&i| plan.is_active(NodeId(i), 0, 987654321))
+            .count();
+        let fraction = active as f64 / n as f64;
+        assert!(
+            (fraction - 0.1).abs() < 0.03,
+            "active fraction {fraction} far from 0.1"
+        );
+        // Deterministic in (node, round seed): same seed, same set.
+        let again = (0..n as u32)
+            .filter(|&i| plan.is_active(NodeId(i), 0, 987654321))
+            .count();
+        assert_eq!(active, again);
+    }
+
+    #[test]
+    fn zipf_skew_concentrates_activity_off_the_id_order() {
+        let n = 2000usize;
+        let plan = ActivityPlan::new(TrafficModel::full().with_activity(0.05).with_zipf(1.0), n);
+        // Per-node activation counts over many rounds' worth of seeds.
+        let mut counts = vec![0usize; n];
+        let mut total = 0usize;
+        for seed in 0..40u64 {
+            for i in 0..n as u32 {
+                if plan.is_active(NodeId(i), 0, 11_000 + seed) {
+                    counts[i as usize] += 1;
+                    total += 1;
+                }
+            }
+        }
+        // Zipf s = 1: the head decile of the *rank* order carries most
+        // of the traffic…
+        let mut sorted = counts.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        let head_by_rank: usize = sorted[..n / 10].iter().sum();
+        assert!(
+            head_by_rank * 2 > total,
+            "rank head {head_by_rank} not dominating total {total}"
+        );
+        // …but the permutation decorrelates rank from id: the lowest
+        // ids (a PA overlay's hubs) hold nothing like that share.
+        let head_by_id: usize = counts[..n / 10].iter().sum();
+        assert!(
+            head_by_id * 3 < total,
+            "id head {head_by_id} should be an ordinary slice of {total}"
+        );
+    }
+
+    #[test]
+    fn flash_rounds_multiply_activity() {
+        let n = 4000usize;
+        let plan = ActivityPlan::new(
+            TrafficModel::full().with_activity(0.05).with_flash(4, 8.0),
+            n,
+        );
+        assert!(!plan.is_flash_round(0));
+        assert!(plan.is_flash_round(3)); // rounds are 0-based: 4th round
+        let active_at = |round: u64| {
+            (0..n as u32)
+                .filter(|&i| plan.is_active(NodeId(i), round, 5150))
+                .count()
+        };
+        let quiet = active_at(0);
+        let flash = active_at(3);
+        assert!(
+            flash > 4 * quiet.max(1),
+            "flash round {flash} vs quiet {quiet}"
+        );
     }
 
     #[test]

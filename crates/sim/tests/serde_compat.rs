@@ -65,6 +65,65 @@ fn pre_adversary_rounds_config_still_deserializes() {
     assert_eq!(back, config);
 }
 
+#[test]
+fn pre_traffic_configs_still_deserialize_as_full_traffic() {
+    // RoundsConfig and ScenarioConfig serialized before the traffic
+    // model existed: the new field must default to the legacy
+    // every-node-every-round workload.
+    let config = dg_sim::rounds::RoundsConfig::default();
+    let legacy = strip_object_field(&serde_json::to_string(&config).unwrap(), "traffic");
+    assert!(!legacy.contains("traffic"), "{legacy}");
+    let back: dg_sim::rounds::RoundsConfig = serde_json::from_str(&legacy).unwrap();
+    assert!(back.traffic.is_full());
+    assert_eq!(back, config);
+
+    let config = ScenarioConfig::with_nodes(32);
+    let legacy = strip_object_field(&serde_json::to_string(&config).unwrap(), "traffic");
+    let back: ScenarioConfig = serde_json::from_str(&legacy).unwrap();
+    assert!(back.traffic.is_full());
+    assert_eq!(back, config);
+}
+
+#[test]
+fn partial_traffic_model_members_default_to_legacy_values() {
+    // A config that only names the members it changes: absent members
+    // fall back to full traffic's values (1.0 activity, no skew), not
+    // the field types' zeroes — `activity_fraction: 0.0` would silence
+    // the whole workload.
+    let t: dg_sim::TrafficModel = serde_json::from_str(r#"{"zipf_exponent":1.2}"#).unwrap();
+    assert_eq!(t.activity_fraction, 1.0);
+    assert_eq!(t.zipf_exponent, 1.2);
+    assert_eq!(t.flash_interval, 0);
+    assert_eq!(t.flash_multiplier, 1.0);
+
+    let t: dg_sim::TrafficModel = serde_json::from_str("{}").unwrap();
+    assert!(t.is_full());
+
+    let skewed = dg_sim::TrafficModel::full()
+        .with_activity(0.05)
+        .with_zipf(0.9)
+        .with_flash(10, 5.0);
+    let back: dg_sim::TrafficModel =
+        serde_json::from_str(&serde_json::to_string(&skewed).unwrap()).unwrap();
+    assert_eq!(back, skewed);
+}
+
+#[test]
+fn legacy_round_stats_deserialize_with_zero_traffic_counters() {
+    // RoundStats JSON written before the activity counters existed
+    // (e.g. archived bench reports): the new fields default to zero.
+    let legacy = r#"{"round":3,"served_honest":12,"refused_honest":1,
+        "served_free_riders":0,"refused_free_riders":4,
+        "served_adversaries":0,"refused_adversaries":0,
+        "mean_rep_honest":0.5,"mean_rep_free_riders":0.1,
+        "mean_rep_adversaries":0.0,"washes":2}"#;
+    let stats: dg_sim::rounds::RoundStats = serde_json::from_str(legacy).unwrap();
+    assert_eq!(stats.round, 3);
+    assert_eq!(stats.washes, 2);
+    assert_eq!(stats.active_nodes, 0);
+    assert_eq!(stats.dirty_fraction, 0.0);
+}
+
 /// Remove `"field":{...}` (brace-matched) plus one adjoining comma from
 /// a JSON string — simulates configs written before the field existed.
 fn strip_object_field(json: &str, field: &str) -> String {

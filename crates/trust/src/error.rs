@@ -40,4 +40,13 @@ pub enum TrustError {
         /// What was supplied.
         got: usize,
     },
+
+    /// A bulk row replacement violated its ordering contract: replaced
+    /// rows must be sorted by ascending observer without duplicates,
+    /// and every replacement run sorted by ascending subject.
+    #[error("row replacement around node {id} is not sorted/deduplicated")]
+    UnsortedRowReplacement {
+        /// Observer id at (or after) the violation.
+        id: u32,
+    },
 }

@@ -21,6 +21,11 @@
 //!   round engine: contiguous row ranges, one shard-local CSR each,
 //!   with a cross-shard subject-sum merge that is bit-identical to the
 //!   flat backends for any shard count,
+//! * [`delta`] — the column-postings mirror with delta-maintained
+//!   per-subject aggregates behind the incremental engine: dirty
+//!   subjects recompute through the same kernel as the from-scratch
+//!   sweep, so delta results are bit-identical, clean subjects are
+//!   free,
 //! * [`table`] — the per-node reputation table of the system model
 //!   (local trust + last-heard bookkeeping for dropping silent peers),
 //! * [`robust`] — robust-aggregation countermeasures (report clamping,
@@ -30,6 +35,7 @@
 
 pub mod aimd;
 pub mod csr;
+pub mod delta;
 pub mod error;
 pub mod estimator;
 pub mod matrix;
@@ -40,6 +46,7 @@ pub mod value;
 pub mod weights;
 
 pub use csr::{CsrBuilder, CsrStorage};
+pub use delta::SubjectAggregateCache;
 pub use error::TrustError;
 pub use matrix::TrustMatrix;
 pub use robust::RobustAggregation;

@@ -357,9 +357,11 @@ impl TrustMatrix {
     /// `trim_fraction` of each subject's reports is dropped from each
     /// tail before summing. With [`RobustAggregation::none`](crate::RobustAggregation::none)
     /// this is bit-for-bit the plain computation. Deterministic: values
-    /// are collected row-major, per-subject ordering is by total order
-    /// of the clamped values, and the trimmed sum accumulates in that
-    /// sorted order.
+    /// are collected row-major (so per subject in ascending observer
+    /// order) and handed to the shared per-subject kernel
+    /// [`RobustAggregation::subject_sum`](crate::RobustAggregation::subject_sum),
+    /// the same kernel the delta cache
+    /// ([`SubjectAggregateCache`](crate::SubjectAggregateCache)) uses.
     pub fn robust_subject_sums_and_counts(
         &self,
         policy: &crate::robust::RobustAggregation,
@@ -369,21 +371,53 @@ impl TrustMatrix {
         }
         let mut reports: Vec<Vec<f64>> = vec![Vec::new(); self.n];
         for (_, j, t) in self.entries() {
-            reports[j.index()].push(policy.clamp(t.get()));
+            reports[j.index()].push(t.get());
         }
         let mut sums = vec![0.0; self.n];
         let mut counts = vec![0usize; self.n];
         for (j, mut values) in reports.into_iter().enumerate() {
-            if values.is_empty() {
-                continue;
-            }
-            values.sort_by(f64::total_cmp);
-            let k = policy.trim_per_tail(values.len());
-            let kept = &values[k..values.len() - k];
-            sums[j] = kept.iter().sum();
-            counts[j] = kept.len();
+            let (sum, count) = policy.subject_sum(&mut values);
+            sums[j] = sum;
+            counts[j] = count;
         }
         (sums, counts)
+    }
+
+    /// Replace whole observer rows in one pass — the incremental
+    /// engine's bulk write path. `rows` must be sorted by ascending
+    /// observer id with no duplicates; each replacement run must be
+    /// sorted by ascending subject id (the order every backend stores
+    /// rows in). On the CSR backends this rebuilds only the touched
+    /// arenas (the flat arena, or just the shards owning a replaced
+    /// row) instead of splicing entry by entry.
+    pub fn replace_rows(
+        &mut self,
+        rows: &[(NodeId, Vec<(NodeId, TrustValue)>)],
+    ) -> Result<(), TrustError> {
+        for window in rows.windows(2) {
+            if window[0].0 >= window[1].0 {
+                return Err(TrustError::UnsortedRowReplacement { id: window[1].0 .0 });
+            }
+        }
+        for (i, run) in rows {
+            self.check(*i)?;
+            for &(j, _) in run {
+                self.check(j)?;
+            }
+            if run.windows(2).any(|w| w[0].0 >= w[1].0) {
+                return Err(TrustError::UnsortedRowReplacement { id: i.0 });
+            }
+        }
+        match &mut self.storage {
+            Storage::Dynamic(dyn_rows) => {
+                for (i, run) in rows {
+                    dyn_rows[i.index()] = run.iter().copied().collect();
+                }
+            }
+            Storage::Csr(csr) => csr.replace_rows(rows),
+            Storage::Sharded(sharded) => sharded.replace_rows(rows),
+        }
+        Ok(())
     }
 }
 

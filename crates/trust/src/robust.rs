@@ -110,6 +110,38 @@ impl RobustAggregation {
             k
         }
     }
+
+    /// Aggregate one subject's raw reports into `(sum, kept_count)`
+    /// under this policy. This is *the* per-subject aggregation kernel:
+    /// every materialisation site — the from-scratch row-major sweep
+    /// ([`TrustMatrix::robust_subject_sums_and_counts`](crate::TrustMatrix::robust_subject_sums_and_counts))
+    /// and the delta cache
+    /// ([`SubjectAggregateCache`](crate::SubjectAggregateCache)) —
+    /// funnels through it, which is what makes delta-refreshed
+    /// aggregates bit-identical to from-scratch ones.
+    ///
+    /// `reports` must be in ascending-*observer* order (the row-major
+    /// visit order); under [`RobustAggregation::none`] the sum
+    /// accumulates in exactly that order, reproducing the plain sweep's
+    /// float additions bit-for-bit. Under an active policy the reports
+    /// are clamped, sorted by total order and trimmed per tail before
+    /// summing in sorted order — again matching the from-scratch path.
+    /// The buffer is scratch: the call may reorder and overwrite it.
+    pub fn subject_sum(&self, reports: &mut [f64]) -> (f64, usize) {
+        if reports.is_empty() {
+            return (0.0, 0);
+        }
+        if self.is_none() {
+            return (reports.iter().sum(), reports.len());
+        }
+        for v in reports.iter_mut() {
+            *v = self.clamp(*v);
+        }
+        reports.sort_by(f64::total_cmp);
+        let k = self.trim_per_tail(reports.len());
+        let kept = &reports[k..reports.len() - k];
+        (kept.iter().sum(), kept.len())
+    }
 }
 
 #[cfg(test)]
@@ -146,6 +178,22 @@ mod tests {
         for count in 1..20 {
             assert!(count > 2 * p.trim_per_tail(count), "count {count}");
         }
+    }
+
+    #[test]
+    fn subject_sum_matches_manual_trimmed_mean() {
+        let p = RobustAggregation::defended();
+        // Six reports: clamp pulls 0.0 → 0.1 and 1.0 → 0.9, trim drops
+        // one from each tail, leaving {0.2, 0.5, 0.7, 0.9}.
+        let mut reports = vec![0.5, 1.0, 0.0, 0.9, 0.2, 0.7];
+        let (sum, count) = p.subject_sum(&mut reports);
+        assert_eq!(count, 4);
+        assert!((sum - (0.2 + 0.5 + 0.7 + 0.9)).abs() < 1e-12);
+
+        let none = RobustAggregation::none();
+        let mut reports = vec![0.5, 1.0, 0.0];
+        assert_eq!(none.subject_sum(&mut reports), (1.5, 3));
+        assert_eq!(none.subject_sum(&mut []), (0.0, 0));
     }
 
     #[test]

@@ -278,6 +278,36 @@ impl ShardedCsr {
     pub fn into_flat(self) -> CsrStorage {
         CsrStorage::concat(self.shards)
     }
+
+    /// Replace whole global rows, rebuilding **only the shards that own
+    /// a replaced row** — untouched shard arenas are not visited at
+    /// all. This is the delta write path of the incremental engine:
+    /// with `d` dirty rows the cost is `O(Σ nnz of touched shards)`
+    /// instead of `O(total nnz)`. `rows` must be sorted by ascending
+    /// observer without duplicates and each run sorted by ascending
+    /// subject (validated by
+    /// [`TrustMatrix::replace_rows`](crate::TrustMatrix::replace_rows));
+    /// rows a malformed deserialized spec cannot route are ignored.
+    pub fn replace_rows(&mut self, rows: &[(NodeId, Vec<(NodeId, TrustValue)>)]) {
+        // Sorted global rows land in contiguous runs per shard because
+        // shards own contiguous ascending row ranges.
+        let mut start = 0usize;
+        while start < rows.len() {
+            let shard = self.spec.shard_of(rows[start].0);
+            let mut end = start + 1;
+            while end < rows.len() && self.spec.shard_of(rows[end].0) == shard {
+                end += 1;
+            }
+            if let Some(csr) = self.shards.get_mut(shard) {
+                let local: Vec<(usize, &[(NodeId, TrustValue)])> = rows[start..end]
+                    .iter()
+                    .map(|(i, run)| (self.spec.local_row(*i), run.as_slice()))
+                    .collect();
+                csr.replace_rows_by_local(&local);
+            }
+            start = end;
+        }
+    }
 }
 
 /// Bulk builder for [`ShardedCsr`]: routes out-of-order `(i, j, t)`

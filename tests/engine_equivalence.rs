@@ -1,9 +1,10 @@
-//! The batched and sharded round engines are pure optimisations: for
-//! the same pinned seeds they must produce **exactly** the sequential
-//! reference driver's results — same service counters, same reputation
-//! means, same per-pair aggregated reputations, same reputation tables —
-//! at every thread count, and (for the sharded engine) at every shard
-//! count, with and without an adversarial mix.
+//! The batched, sharded and incremental round engines are pure
+//! optimisations: for the same pinned seeds they must produce
+//! **exactly** the sequential reference driver's results — same service
+//! counters, same reputation means, same per-pair aggregated
+//! reputations, same reputation tables — at every thread count, every
+//! shard count, every traffic activity fraction, with and without an
+//! adversarial mix.
 
 use differential_gossip::gossip::{AdversaryMix, EngineKind};
 use differential_gossip::graph::NodeId;
@@ -11,6 +12,7 @@ use differential_gossip::sim::rounds::{
     AggregationMode, AggregationScope, RoundStats, RoundsConfig, RoundsSimulator,
 };
 use differential_gossip::sim::scenario::{Scenario, ScenarioConfig};
+use differential_gossip::sim::workload::TrafficModel;
 use rayon::ThreadPoolBuilder;
 
 /// Shard counts the sharded engine is pinned at: one shard (the flat
@@ -82,6 +84,14 @@ fn assert_equivalent(scenario: &Scenario, config: RoundsConfig) {
             config.with_engine(EngineKind::Parallel),
             threads,
             "parallel",
+        );
+        assert_matches_reference(
+            scenario,
+            &seq_stats,
+            &seq_sim,
+            config.with_engine(EngineKind::Incremental),
+            threads,
+            "incremental",
         );
         for shards in SHARD_COUNTS {
             assert_matches_reference(
@@ -174,9 +184,88 @@ fn engines_match_bitwise_under_adversary_mix() {
 }
 
 #[test]
+fn engines_match_bitwise_under_skewed_traffic_and_adversaries() {
+    // The incremental engine's reason to exist: most rows clean, hubs
+    // hot, periodic flash crowds, adversaries distorting round-keyed —
+    // and still bit-equal to the rebuild-everything engines at 100%,
+    // 10% and 1% mean activity, at every thread and shard count.
+    let mix = AdversaryMix {
+        sybil_fraction: 0.08,
+        slander_fraction: 0.06,
+        whitewash_fraction: 0.06,
+        ..AdversaryMix::collusion()
+    }
+    .validated()
+    .expect("mix is valid");
+    for fraction in [1.0, 0.1, 0.01] {
+        let traffic = TrafficModel::full()
+            .with_activity(fraction)
+            .with_zipf(0.8)
+            .with_flash(3, 4.0);
+        let s = Scenario::build(ScenarioConfig {
+            nodes: 90,
+            seed: 23,
+            free_rider_fraction: 0.15,
+            quality_range: (0.4, 1.0),
+            adversary: mix,
+            ..ScenarioConfig::default()
+        })
+        .expect("scenario builds");
+        assert_equivalent(
+            &s,
+            RoundsConfig {
+                rounds: 6,
+                ..RoundsConfig::default()
+            }
+            .with_traffic(traffic),
+        );
+    }
+}
+
+#[test]
+fn incremental_engine_matches_under_whitewash_purges() {
+    // Whitewash-heavy mix at thin traffic: purged rows must be
+    // re-emitted from the persistent matrix next round even when their
+    // owners stay inactive, or the incremental engine drifts.
+    let mix = AdversaryMix {
+        whitewash_fraction: 0.12,
+        ..AdversaryMix::none()
+    }
+    .validated()
+    .expect("mix is valid");
+    let s = Scenario::build(ScenarioConfig {
+        nodes: 70,
+        seed: 53,
+        free_rider_fraction: 0.1,
+        quality_range: (0.4, 1.0),
+        adversary: mix,
+        ..ScenarioConfig::default()
+    })
+    .expect("scenario builds");
+    let config = RoundsConfig {
+        rounds: 8,
+        ..RoundsConfig::default()
+    }
+    .with_traffic(TrafficModel::full().with_activity(0.15));
+    let (seq_stats, seq_sim) = run(&s, config.with_engine(EngineKind::Sequential));
+    assert_matches_reference(
+        &s,
+        &seq_stats,
+        &seq_sim,
+        config.with_engine(EngineKind::Incremental),
+        4,
+        "incremental under whitewash",
+    );
+}
+
+#[test]
 fn sharded_engine_is_reproducible_across_repeat_runs() {
     let s = scenario(77);
-    for engine in [EngineKind::Parallel, EngineKind::Sharded] {
+    for engine in [
+        EngineKind::Parallel,
+        EngineKind::Sharded,
+        EngineKind::Incremental,
+    ] {
         let config = RoundsConfig {
             rounds: 4,
             ..RoundsConfig::default()
@@ -213,5 +302,13 @@ fn sharded_engine_handles_shard_count_above_node_count() {
         config.with_engine(EngineKind::Sharded).with_shards(64),
         2,
         "sharded/64 > n",
+    );
+    assert_matches_reference(
+        &s,
+        &seq_stats,
+        &seq_sim,
+        config.with_engine(EngineKind::Incremental).with_shards(64),
+        2,
+        "incremental/64 > n",
     );
 }
