@@ -36,7 +36,19 @@
 //!   with `--engine` and `--profile`, so attacks run under either
 //!   engine over any transport profile; the gossip-layer figure/table
 //!   binaries accept and ignore it),
-//! * `--out <path>` — where report-writing binaries put their JSON.
+//! * `--out <path>` — where report-writing binaries put their JSON,
+//! * `--out-dir <dir>` — directory report-writing binaries
+//!   (`perf_suite`, `claims`, `perf_trend`) resolve their output files
+//!   under (created if missing; composes with `--out`, which then names
+//!   the file inside the directory),
+//! * `--checkpoint-every <rounds>` — `perf_suite` session mode: run the
+//!   smoke config through a `RunSession`, checkpointing every N rounds
+//!   into `--out-dir` (or a temp dir),
+//! * `--resume <dir>` — `perf_suite`: resume a `RunSession` from the
+//!   store at `<dir>` and continue the run,
+//! * `--checkpoint-overhead` — `perf_suite` gate: measure the pinned
+//!   smoke config with and without checkpoint-every-4-rounds and exit
+//!   non-zero if checkpointing costs more than 10% throughput.
 
 use dg_gossip::{AdversaryMix, EngineKind, NetworkProfile};
 
@@ -79,6 +91,16 @@ pub struct Cli {
     pub adversary: AdversaryMix,
     /// Output path for report files (binaries define their default).
     pub out: Option<String>,
+    /// Directory report files are resolved under (default: the current
+    /// directory). Created if missing.
+    pub out_dir: Option<String>,
+    /// `perf_suite` session mode: checkpoint cadence in rounds.
+    pub checkpoint_every: Option<usize>,
+    /// `perf_suite` session mode: resume from this store directory.
+    pub resume: Option<String>,
+    /// `perf_suite`: run the snapshot-overhead gate instead of the
+    /// measurement suite.
+    pub checkpoint_overhead: bool,
 }
 
 impl Default for Cli {
@@ -97,6 +119,10 @@ impl Default for Cli {
             profile: NetworkProfile::lossless(),
             adversary: AdversaryMix::none(),
             out: None,
+            out_dir: None,
+            checkpoint_every: None,
+            resume: None,
+            checkpoint_overhead: false,
         }
     }
 }
@@ -194,6 +220,29 @@ impl Cli {
                         .unwrap_or_else(|| usage("--out needs a file path"));
                     cli.out = Some(v);
                 }
+                "--out-dir" => {
+                    let v = args
+                        .next()
+                        .unwrap_or_else(|| usage("--out-dir needs a directory path"));
+                    cli.out_dir = Some(v);
+                }
+                "--checkpoint-every" => {
+                    let v = args
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&n: &usize| n > 0)
+                        .unwrap_or_else(|| {
+                            usage("--checkpoint-every needs a positive round count")
+                        });
+                    cli.checkpoint_every = Some(v);
+                }
+                "--resume" => {
+                    let v = args
+                        .next()
+                        .unwrap_or_else(|| usage("--resume needs a store directory"));
+                    cli.resume = Some(v);
+                }
+                "--checkpoint-overhead" => cli.checkpoint_overhead = true,
                 "--help" | "-h" => usage(
                     "
 ",
@@ -211,9 +260,30 @@ fn usage(msg: &str) -> ! {
          [--activity <f64>] [--zipf <f64>] [--seed <u64>] [--json] \
          [--engine <sequential|parallel|sharded|incremental>] [--shards <usize>] \
          [--profile <lossless|lossy|partitioned|churning>] \
-         [--adversary <none|sybil|collusion|slander|whitewash>] [--out <path>]"
+         [--adversary <none|sybil|collusion|slander|whitewash>] [--out <path>] \
+         [--out-dir <dir>] [--checkpoint-every <rounds>] [--resume <dir>] \
+         [--checkpoint-overhead]"
     );
     std::process::exit(2)
+}
+
+/// Resolve a report file name under the CLI's `--out-dir` (creating the
+/// directory if needed). `name` is `--out` when given, else the
+/// binary's default; without `--out-dir` it is returned as-is.
+pub fn resolve_out_path(out_dir: Option<&str>, name: &str) -> String {
+    match out_dir {
+        Some(dir) => {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("cannot create --out-dir {dir}: {e}");
+                std::process::exit(2);
+            }
+            std::path::Path::new(dir)
+                .join(name)
+                .to_string_lossy()
+                .into_owned()
+        }
+        None => name.to_string(),
+    }
 }
 
 /// The paper's tolerance grid (Figs. 3/4, Table 2).

@@ -11,7 +11,7 @@
 use dg_gossip::{AdversaryMix, EngineKind, NetworkProfile, ScalarGossip};
 use dg_sim::rounds::{AggregationScope, RoundsConfig, RoundsSimulator};
 use dg_sim::scenario::{Scenario, ScenarioConfig};
-use dg_sim::TrafficModel;
+use dg_sim::{CheckpointKind, RunConfig, RunSession, TrafficModel};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
@@ -370,27 +370,13 @@ pub fn run_suite_with_adversary(
 /// workspace root).
 pub fn suite_main() -> Result<(), Box<dyn std::error::Error>> {
     let cli = crate::Cli::parse();
-    let mut config = if cli.scale {
-        SCALE
-    } else if cli.full {
-        FULL
-    } else if cli.skewed {
-        SKEWED
-    } else {
-        SMOKE
-    };
-    if let Some(nodes) = cli.nodes {
-        config.nodes = nodes;
+    if cli.checkpoint_overhead {
+        return checkpoint_overhead_main(&cli);
     }
-    if let Some(shards) = cli.shards {
-        config.shards = shards;
+    if cli.resume.is_some() || cli.checkpoint_every.is_some() {
+        return session_main(&cli);
     }
-    if let Some(activity) = cli.activity {
-        config.traffic = config.traffic.with_activity(activity);
-    }
-    if let Some(zipf) = cli.zipf {
-        config.traffic = config.traffic.with_zipf(zipf);
-    }
+    let config = select_config(&cli);
     eprintln!(
         "perf_suite: {} ({} nodes, {} rounds, {} req/edge, seed {}, profile {}, adversary {}, \
          activity {:.2} zipf {:.2})",
@@ -469,12 +455,195 @@ pub fn suite_main() -> Result<(), Box<dyn std::error::Error>> {
     } else {
         format!("BENCH_{}{nodes_suffix}.json", report.profile)
     };
-    let path = cli.out.clone().unwrap_or(default_name);
+    let name = cli.out.clone().unwrap_or(default_name);
+    let path = crate::resolve_out_path(cli.out_dir.as_deref(), &name);
     std::fs::write(&path, serde_json::to_string_pretty(&report)?)?;
     eprintln!("wrote {path}");
     if cli.json {
         println!("{}", serde_json::to_string(&report)?);
     }
+    Ok(())
+}
+
+/// The config the CLI mode flags select, with overrides applied.
+fn select_config(cli: &crate::Cli) -> PerfConfig {
+    let mut config = if cli.scale {
+        SCALE
+    } else if cli.full {
+        FULL
+    } else if cli.skewed {
+        SKEWED
+    } else {
+        SMOKE
+    };
+    if let Some(nodes) = cli.nodes {
+        config.nodes = nodes;
+    }
+    if let Some(shards) = cli.shards {
+        config.shards = shards;
+    }
+    if let Some(activity) = cli.activity {
+        config.traffic = config.traffic.with_activity(activity);
+    }
+    if let Some(zipf) = cli.zipf {
+        config.traffic = config.traffic.with_zipf(zipf);
+    }
+    config
+}
+
+/// The consolidated session config a perf config maps onto (same
+/// population and workload knobs as [`scenario_config`]).
+fn session_run_config(perf: &PerfConfig, cli: &crate::Cli) -> RunConfig {
+    RunConfig::with_nodes(perf.nodes)
+        .with_seed(cli.seed)
+        .with_engine(cli.engine.unwrap_or(EngineKind::Parallel))
+        .with_shards(perf.shards)
+        .with_free_riders(0.25)
+        .with_quality_range(0.4, 1.0)
+        .with_profile(cli.profile)
+        .with_adversary(cli.adversary)
+        .with_traffic(perf.traffic)
+        .with_rounds(perf.rounds)
+        .with_requests_per_edge(perf.requests_per_edge)
+        .with_scope(perf.scope)
+}
+
+/// `--checkpoint-every` / `--resume` mode: drive the selected config
+/// through a [`RunSession`], checkpointing into (or resuming from) a
+/// durable store directory.
+fn session_main(cli: &crate::Cli) -> Result<(), Box<dyn std::error::Error>> {
+    let perf = select_config(cli);
+    let store_dir: std::path::PathBuf = match (&cli.resume, &cli.out_dir) {
+        (Some(dir), _) => dir.into(),
+        (None, Some(dir)) => {
+            std::fs::create_dir_all(dir)?;
+            std::path::Path::new(dir).join("session_store")
+        }
+        (None, None) => {
+            std::env::temp_dir().join(format!("dg_perf_session_{}", std::process::id()))
+        }
+    };
+    let mut session = if cli.resume.is_some() {
+        let session = RunSession::resume(&store_dir)?;
+        eprintln!(
+            "perf_suite: resumed {} nodes at round {} from {}",
+            session.config().nodes,
+            session.round(),
+            store_dir.display()
+        );
+        session
+    } else {
+        let config = session_run_config(&perf, cli);
+        eprintln!(
+            "perf_suite: session over {} nodes, {} rounds, checkpoint every {} rounds into {}",
+            config.nodes,
+            config.rounds,
+            cli.checkpoint_every.unwrap_or(config.rounds),
+            store_dir.display()
+        );
+        RunSession::new(config)?
+    };
+    let rounds = session.config().rounds.max(session.round());
+    let done_already = session.round();
+    let start = Instant::now();
+    while session.round() < rounds {
+        let next = match cli.checkpoint_every {
+            Some(every) => (session.round() + every).min(rounds),
+            None => rounds,
+        };
+        session.run_to(next)?;
+        if cli.checkpoint_every.is_some() {
+            let kind = session.checkpoint(&store_dir)?;
+            let tag = match kind {
+                CheckpointKind::Full => "full epoch",
+                CheckpointKind::Delta => "delta",
+            };
+            eprintln!("  round {:>4}: checkpointed ({tag})", session.round());
+        }
+    }
+    let wall_s = start.elapsed().as_secs_f64().max(1e-9);
+    let ran = rounds - done_already;
+    eprintln!(
+        "  {} rounds in {:.1} ms ({:.0} node-rounds/s incl. checkpointing)",
+        ran,
+        wall_s * 1e3,
+        (session.config().nodes * ran) as f64 / wall_s
+    );
+    if let Some(last) = session.stats().last() {
+        eprintln!(
+            "  final free-rider service rate {:.3}",
+            last.free_rider_service_rate()
+        );
+    }
+    Ok(())
+}
+
+/// Throughput of one session run, checkpointing every `cadence` rounds
+/// into `store` when given. Best of `tries`.
+fn best_session_throughput(
+    config: RunConfig,
+    store: Option<(&std::path::Path, usize)>,
+    tries: usize,
+) -> Result<f64, Box<dyn std::error::Error>> {
+    let mut best = 0.0f64;
+    for _ in 0..tries {
+        if let Some((dir, _)) = store {
+            let _ = std::fs::remove_dir_all(dir);
+        }
+        let mut session = RunSession::new(config)?;
+        let start = Instant::now();
+        match store {
+            None => {
+                session.run()?;
+            }
+            Some((dir, cadence)) => {
+                while session.round() < config.rounds {
+                    let next = (session.round() + cadence).min(config.rounds);
+                    session.run_to(next)?;
+                    session.checkpoint(dir)?;
+                }
+            }
+        }
+        let wall_s = start.elapsed().as_secs_f64().max(1e-9);
+        best = best.max((config.nodes * config.rounds) as f64 / wall_s);
+    }
+    Ok(best)
+}
+
+/// `--checkpoint-overhead` gate: on a pinned smoke-scale config, a
+/// session checkpointing every 4 rounds must keep at least 90% of the
+/// no-checkpoint throughput. Exits non-zero on violation — the CI
+/// perf-smoke job runs this so snapshot overhead cannot regress
+/// silently (the paper-claims pipeline depends on checkpointed runs
+/// staying cheap).
+pub fn checkpoint_overhead_main(cli: &crate::Cli) -> Result<(), Box<dyn std::error::Error>> {
+    const CADENCE: usize = 4;
+    const ROUNDS: usize = 8;
+    const MIN_RATIO: f64 = 0.9;
+    const TRIES: usize = 3;
+    let perf = select_config(cli);
+    let config = session_run_config(&perf, cli).with_rounds(ROUNDS);
+    let store_dir = match &cli.out_dir {
+        Some(dir) => std::path::Path::new(dir).join("checkpoint_overhead_store"),
+        None => std::env::temp_dir().join(format!("dg_ckpt_overhead_{}", std::process::id())),
+    };
+    eprintln!(
+        "perf_suite: checkpoint-overhead gate ({} nodes, {} rounds, cadence {}, best of {})",
+        config.nodes, ROUNDS, CADENCE, TRIES
+    );
+    let plain = best_session_throughput(config, None, TRIES)?;
+    let checkpointed = best_session_throughput(config, Some((&store_dir, CADENCE)), TRIES)?;
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let ratio = checkpointed / plain.max(1e-9);
+    eprintln!(
+        "  no-checkpoint {plain:.0} node-rounds/s, checkpoint-every-{CADENCE} \
+         {checkpointed:.0} node-rounds/s, ratio {ratio:.3} (gate ≥ {MIN_RATIO})"
+    );
+    if ratio < MIN_RATIO {
+        eprintln!("  FAIL: checkpointing costs more than 10% throughput");
+        std::process::exit(1);
+    }
+    eprintln!("  ok");
     Ok(())
 }
 

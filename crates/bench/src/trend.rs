@@ -160,6 +160,7 @@ pub fn trend_main() -> Result<(), Box<dyn std::error::Error>> {
     let mut date = String::from("unknown-date");
     let mut sha = String::from("unknown-sha");
     let mut out = String::from("docs/PERF_TREND.md");
+    let mut out_dir: Option<String> = None;
     let mut tiny = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -173,16 +174,18 @@ pub fn trend_main() -> Result<(), Box<dyn std::error::Error>> {
             "--date" => date = args.next().ok_or("--date needs a value")?,
             "--sha" => sha = args.next().ok_or("--sha needs a value")?,
             "--out" => out = args.next().ok_or("--out needs a path")?,
+            "--out-dir" => out_dir = Some(args.next().ok_or("--out-dir needs a directory")?),
             "--tiny" => tiny = true,
             other => {
                 return Err(format!(
                     "unknown flag {other}\nusage: perf_trend [--seed <u64>] [--date <iso>] \
-                     [--sha <commit>] [--out <path>] [--tiny]"
+                     [--sha <commit>] [--out <path>] [--out-dir <dir>] [--tiny]"
                 )
                 .into())
             }
         }
     }
+    let out = crate::resolve_out_path(out_dir.as_deref(), &out);
     let config = if tiny { TINY } else { SMOKE };
     eprintln!(
         "perf_trend: {} config, seed {seed}, all profiles -> {out}",

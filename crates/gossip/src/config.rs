@@ -218,6 +218,13 @@ impl GossipConfig {
         self
     }
 
+    /// Builder-style: set the fanout policy (how many neighbours a node
+    /// pushes shares to per step).
+    pub fn with_fanout(mut self, fanout: FanoutPolicy) -> Self {
+        self.fanout = fanout;
+        self
+    }
+
     /// Builder-style: set the step cap.
     pub fn with_max_steps(mut self, max_steps: usize) -> Self {
         self.max_steps = max_steps;

@@ -1,0 +1,410 @@
+//! Durable checkpoints for the asynchronous deployment.
+//!
+//! A push-sum run's whole cross-round state is its per-peer gossip
+//! pairs — everything else (fanouts, fault streams) is derived from the
+//! config. [`GossipCheckpoint`] freezes that state plus the run's
+//! accounting history (the [`MassLedger`], active-round counters and
+//! the falsified initial total), persists it through the `dg-store`
+//! framed codec ([`dg_store::write_gossip`]), and
+//! [`resume_distributed`] continues the run from it.
+//!
+//! ## Resume semantics
+//!
+//! Unlike the synchronous round engines — whose kill-and-resume runs
+//! are **bit-identical** to straight runs — the asynchronous
+//! continuation is *statistical*: peers draw fresh ChaCha8 streams from
+//! a continuation seed (mixed from the config seed and the rounds
+//! already executed), because mid-run RNG states are deliberately not
+//! part of the snapshot format. What **is** exact, and what the
+//! `crash-recovery` suite pins, is conservation:
+//!
+//! * the resumed run is itself deterministic — resuming the same
+//!   checkpoint twice is bit-identical;
+//! * no falsification is re-applied: byzantine inputs were falsified
+//!   when the run started, and the checkpointed pairs already carry it;
+//! * the mass invariant spans the restart: with the merged ledger `L`
+//!   and the *original* initial total `I`,
+//!   `Σ final pairs ≈ L.expected_total(I)` to 1e-9, faulty transport
+//!   or not.
+
+use crate::runner::{run_segment, DistributedConfig, DistributedError, DistributedOutcome};
+use crate::transport::{FaultyNetwork, MassLedger, Network};
+use dg_gossip::pair::GossipPair;
+use dg_gossip::GossipError;
+use dg_graph::Graph;
+use dg_store::{read_gossip, write_gossip, GossipRecord, LedgerRecord, StoreError};
+use std::path::Path;
+
+/// Frozen state of a distributed run after some number of rounds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GossipCheckpoint {
+    /// Rounds executed before the checkpoint.
+    pub rounds: usize,
+    /// The seed the run started from (informational; the continuation
+    /// stream is derived from the *config's* seed and [`rounds`](Self::rounds)).
+    pub seed: u64,
+    /// The summed initial pair the run started from, after byzantine
+    /// falsification — the fixed point mass conservation is checked
+    /// against across every restart.
+    pub initial_total: GossipPair,
+    /// Per-peer gossip pairs at checkpoint time.
+    pub pairs: Vec<GossipPair>,
+    /// Rounds in which each peer actively pushed, so far.
+    pub active_rounds: Vec<u64>,
+    /// Mass accounting accumulated so far.
+    pub ledger: MassLedger,
+}
+
+impl GossipCheckpoint {
+    /// Persist to a framed, checksummed snapshot file.
+    pub fn save(&self, path: &Path) -> Result<(), StoreError> {
+        write_gossip(path, &self.to_record())
+    }
+
+    /// Load a checkpoint saved by [`save`](Self::save). Truncated or
+    /// garbled files surface as typed [`StoreError`]s, never a panic.
+    pub fn load(path: &Path) -> Result<Self, StoreError> {
+        Ok(Self::from_record(read_gossip(path)?))
+    }
+
+    fn to_record(&self) -> GossipRecord {
+        GossipRecord {
+            rounds: self.rounds as u64,
+            seed: self.seed,
+            initial_total: (self.initial_total.value, self.initial_total.weight),
+            pairs: self.pairs.iter().map(|p| (p.value, p.weight)).collect(),
+            active_rounds: self.active_rounds.clone(),
+            ledger: LedgerRecord {
+                lost: (self.ledger.lost.value, self.ledger.lost.weight),
+                duplicated: (self.ledger.duplicated.value, self.ledger.duplicated.weight),
+                recredited: (self.ledger.recredited.value, self.ledger.recredited.weight),
+                shares_lost: self.ledger.shares_lost,
+                shares_duplicated: self.ledger.shares_duplicated,
+                shares_recredited: self.ledger.shares_recredited,
+                announces_lost: self.ledger.announces_lost,
+            },
+        }
+    }
+
+    fn from_record(record: GossipRecord) -> Self {
+        let pair = |(value, weight): (f64, f64)| GossipPair { value, weight };
+        Self {
+            rounds: record.rounds as usize,
+            seed: record.seed,
+            initial_total: pair(record.initial_total),
+            pairs: record.pairs.into_iter().map(pair).collect(),
+            active_rounds: record.active_rounds,
+            ledger: MassLedger {
+                lost: pair(record.ledger.lost),
+                duplicated: pair(record.ledger.duplicated),
+                recredited: pair(record.ledger.recredited),
+                shares_lost: record.ledger.shares_lost,
+                shares_duplicated: record.ledger.shares_duplicated,
+                shares_recredited: record.ledger.shares_recredited,
+                announces_lost: record.ledger.announces_lost,
+            },
+        }
+    }
+}
+
+impl DistributedOutcome {
+    /// Freeze this outcome as a resumable checkpoint. `seed` is the
+    /// seed the run was configured with (recorded for provenance).
+    pub fn checkpoint(&self, seed: u64) -> GossipCheckpoint {
+        GossipCheckpoint {
+            rounds: self.rounds,
+            seed,
+            initial_total: self.initial_total,
+            pairs: self.pairs.clone(),
+            active_rounds: self.active_rounds.clone(),
+            ledger: self.ledger,
+        }
+    }
+}
+
+/// The continuation stream seed: a SplitMix64 mix of the config seed
+/// and the rounds already executed, so each resume segment gets fresh,
+/// deterministic per-peer and per-link streams that never collide with
+/// the original run's.
+fn continuation_seed(seed: u64, rounds_done: u64) -> u64 {
+    let mut z = seed
+        ^ 0x5851_F42D_4C95_7F2D_u64
+        ^ rounds_done
+            .wrapping_add(1)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Continue a distributed run from a checkpoint.
+///
+/// The outcome reports the run *as a whole*: `rounds`, `active_rounds`
+/// and the `ledger` merge the checkpointed history with the new
+/// segment, and `initial_total` is carried from the original start so
+/// `total_pair ≈ ledger.expected_total(initial_total)` keeps holding
+/// across arbitrarily many restarts. `config.max_rounds` caps the new
+/// segment (not the combined total). Byzantine falsification is **not**
+/// re-applied — the checkpointed pairs already carry it. See the module
+/// docs for what is exact versus statistical about the continuation.
+pub async fn resume_distributed(
+    graph: &Graph,
+    config: DistributedConfig,
+    checkpoint: GossipCheckpoint,
+) -> Result<DistributedOutcome, DistributedError> {
+    let profile = config.profile.validated()?;
+    config.adversary.validated()?;
+    let n = graph.node_count();
+    if checkpoint.pairs.len() != n || checkpoint.active_rounds.len() != n {
+        return Err(GossipError::StateSizeMismatch {
+            given: checkpoint.pairs.len().min(checkpoint.active_rounds.len()),
+            expected: n,
+        }
+        .into());
+    }
+    let stream_seed = continuation_seed(config.seed, checkpoint.rounds as u64);
+    let segment = if profile.is_reliable() {
+        run_segment(
+            graph,
+            config,
+            checkpoint.pairs,
+            Network::new(n),
+            stream_seed,
+            checkpoint.initial_total,
+        )
+        .await?
+    } else {
+        let transport = FaultyNetwork::new(n, profile, stream_seed, config.max_rounds as u64);
+        run_segment(
+            graph,
+            config,
+            checkpoint.pairs,
+            transport,
+            stream_seed,
+            checkpoint.initial_total,
+        )
+        .await?
+    };
+
+    let mut ledger = checkpoint.ledger;
+    ledger.merge(&segment.ledger);
+    Ok(DistributedOutcome {
+        rounds: checkpoint.rounds + segment.rounds,
+        converged: segment.converged,
+        estimates: segment.estimates,
+        pairs: segment.pairs,
+        active_rounds: checkpoint
+            .active_rounds
+            .iter()
+            .zip(&segment.active_rounds)
+            .map(|(a, b)| a + b)
+            .collect(),
+        ledger,
+        initial_total: checkpoint.initial_total,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::run_distributed;
+    use dg_gossip::profile::NetworkProfile;
+    use dg_graph::{generators, pa};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn averaging_initial(values: &[f64]) -> Vec<GossipPair> {
+        values.iter().map(|&v| GossipPair::originator(v)).collect()
+    }
+
+    fn temp_file(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("dg_gossip_ckpt_{tag}_{}.bin", std::process::id()))
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn checkpoint_save_load_round_trips_bit_exact() {
+        let g = generators::complete(10);
+        let values: Vec<f64> = (0..10).map(|i| i as f64 / 9.0).collect();
+        let config = DistributedConfig {
+            max_rounds: 5,
+            xi: 1e-12,
+            ..DistributedConfig::default()
+        };
+        let out = run_distributed(&g, config, averaging_initial(&values))
+            .await
+            .unwrap();
+        let ckpt = out.checkpoint(config.seed);
+        let path = temp_file("roundtrip");
+        ckpt.save(&path).unwrap();
+        let back = GossipCheckpoint::load(&path).unwrap();
+        assert_eq!(back, ckpt);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn resumed_run_converges_to_the_conserved_mean() {
+        let g = generators::complete(16);
+        let values: Vec<f64> = (0..16).map(|i| i as f64 / 15.0).collect();
+        let mean = values.iter().sum::<f64>() / 16.0;
+
+        // Kill after 3 rounds (well before convergence)...
+        let partial = run_distributed(
+            &g,
+            DistributedConfig {
+                max_rounds: 3,
+                xi: 1e-12,
+                ..DistributedConfig::default()
+            },
+            averaging_initial(&values),
+        )
+        .await
+        .unwrap();
+        assert!(!partial.converged);
+        let ckpt = partial.checkpoint(0);
+
+        // ...and resume to completion: push-sum conserves mass, so the
+        // limit is the same mean a straight run reaches.
+        let resumed = resume_distributed(&g, DistributedConfig::default(), ckpt)
+            .await
+            .unwrap();
+        assert!(
+            resumed.converged,
+            "resume hit the cap at {}",
+            resumed.rounds
+        );
+        assert!(resumed.rounds > 3, "rounds must include the first segment");
+        for (i, e) in resumed.estimates.iter().enumerate() {
+            assert!((e - mean).abs() < 1e-3, "peer {i}: {e} vs {mean}");
+        }
+        // Active-round history spans both segments.
+        assert!(resumed
+            .active_rounds
+            .iter()
+            .zip(&partial.active_rounds)
+            .all(|(total, first)| total >= first));
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn resume_is_deterministic() {
+        let g = generators::complete(12);
+        let values: Vec<f64> = (0..12).map(|i| ((i * 5) % 7) as f64 / 7.0).collect();
+        let partial = run_distributed(
+            &g,
+            DistributedConfig {
+                max_rounds: 2,
+                xi: 1e-12,
+                ..DistributedConfig::default()
+            },
+            averaging_initial(&values),
+        )
+        .await
+        .unwrap();
+        let ckpt = partial.checkpoint(0);
+        let a = resume_distributed(&g, DistributedConfig::default(), ckpt.clone())
+            .await
+            .unwrap();
+        let b = resume_distributed(&g, DistributedConfig::default(), ckpt)
+            .await
+            .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn mass_ledger_balances_across_restart_on_lossy_transport() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let g = pa::preferential_attachment(pa::PaConfig { nodes: 50, m: 2 }, &mut rng).unwrap();
+        let values: Vec<f64> = (0..50).map(|i| ((i * 7) % 13) as f64 / 13.0).collect();
+        let config = DistributedConfig {
+            xi: 1e-4,
+            seed: 21,
+            max_rounds: 40,
+            profile: NetworkProfile::lossy(),
+            ..DistributedConfig::default()
+        };
+        let partial = run_distributed(&g, config, averaging_initial(&values))
+            .await
+            .unwrap();
+        let ckpt = partial.checkpoint(config.seed);
+
+        // Persist through the store codec mid-way, like a real restart.
+        let path = temp_file("lossy");
+        ckpt.save(&path).unwrap();
+        let ckpt = GossipCheckpoint::load(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+
+        let resumed = resume_distributed(
+            &g,
+            DistributedConfig {
+                max_rounds: 5_000,
+                ..config
+            },
+            ckpt,
+        )
+        .await
+        .unwrap();
+        assert!(resumed.converged, "lossy resume hit the cap");
+        // The merged ledger balances against the original initial
+        // total: final = initial − lost + duplicated, across both
+        // process lifetimes.
+        let expected = resumed.ledger.expected_total(resumed.initial_total);
+        let actual = resumed.total_pair();
+        assert!(
+            (actual.value - expected.value).abs() < 1e-9,
+            "value {} vs {}",
+            actual.value,
+            expected.value
+        );
+        assert!(
+            (actual.weight - expected.weight).abs() < 1e-9,
+            "weight {} vs {}",
+            actual.weight,
+            expected.weight
+        );
+    }
+
+    #[tokio::test]
+    async fn resume_rejects_mismatched_network_size() {
+        let g = generators::complete(6);
+        let ckpt = GossipCheckpoint {
+            rounds: 1,
+            seed: 0,
+            initial_total: GossipPair::ZERO,
+            pairs: vec![GossipPair::ZERO; 5],
+            active_rounds: vec![0; 5],
+            ledger: MassLedger::default(),
+        };
+        let err = resume_distributed(&g, DistributedConfig::default(), ckpt).await;
+        assert!(matches!(
+            err,
+            Err(DistributedError::Gossip(
+                GossipError::StateSizeMismatch { .. }
+            ))
+        ));
+    }
+
+    #[tokio::test]
+    async fn truncated_checkpoint_file_is_a_typed_error() {
+        let g = generators::complete(8);
+        let values = vec![0.5; 8];
+        let out = run_distributed(
+            &g,
+            DistributedConfig {
+                max_rounds: 2,
+                xi: 1e-12,
+                ..DistributedConfig::default()
+            },
+            averaging_initial(&values),
+        )
+        .await
+        .unwrap();
+        let path = temp_file("trunc");
+        out.checkpoint(0).save(&path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        match GossipCheckpoint::load(&path) {
+            Err(StoreError::Corrupt { .. }) => {}
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -33,9 +33,18 @@
 //! engine; `tests/faulty_transport.rs` pins the faulty runtime's
 //! determinism and mass accounting.
 
+//! A run can be frozen mid-flight and continued after a process
+//! restart: [`checkpoint::GossipCheckpoint`] persists the per-peer
+//! pairs and the mass-accounting history through the `dg-store` framed
+//! codec, and [`checkpoint::resume_distributed`] picks the run back up
+//! with the conservation invariant intact (see that module's docs for
+//! what is exact versus statistical about the continuation).
+
+pub mod checkpoint;
 pub mod peer;
 pub mod runner;
 pub mod transport;
 
+pub use checkpoint::{resume_distributed, GossipCheckpoint};
 pub use runner::{run_distributed, run_with_transport, DistributedConfig, DistributedOutcome};
 pub use transport::{FaultyNetwork, MassLedger, Network, Transport};

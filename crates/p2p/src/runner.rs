@@ -102,6 +102,26 @@ pub enum DistributedError {
     /// A peer task died (channel closed unexpectedly).
     #[error("peer channel closed unexpectedly")]
     PeerDied,
+
+    /// Reading or writing a gossip checkpoint failed.
+    #[error(transparent)]
+    Store(#[from] dg_store::StoreError),
+}
+
+/// Legacy shim: the deployment-layer slice of a consolidated
+/// [`dg_sim::RunConfig`] — `max_steps` maps onto the round cap. New
+/// code should hold the `RunConfig` itself.
+impl From<&dg_sim::RunConfig> for DistributedConfig {
+    fn from(config: &dg_sim::RunConfig) -> Self {
+        Self {
+            xi: config.xi,
+            fanout: config.fanout,
+            max_rounds: config.max_steps,
+            seed: config.seed,
+            profile: config.profile,
+            adversary: config.adversary,
+        }
+    }
 }
 
 /// Run differential push gossip as one tokio task per peer, deploying
@@ -136,7 +156,7 @@ pub async fn run_with_transport<T: Transport>(
     graph: &Graph,
     config: DistributedConfig,
     initial: Vec<GossipPair>,
-    mut transport: T,
+    transport: T,
 ) -> Result<DistributedOutcome, DistributedError> {
     let n = graph.node_count();
     if initial.len() != n {
@@ -159,6 +179,32 @@ pub async fn run_with_transport<T: Transport>(
         pair.value = pair.weight;
     }
     let initial_total: GossipPair = initial.iter().copied().sum();
+    run_segment(
+        graph,
+        config,
+        initial,
+        transport,
+        config.seed,
+        initial_total,
+    )
+    .await
+}
+
+/// The segment core every entry point funnels into: drive the peer
+/// tasks over already-prepared inputs. Fresh runs arrive here with
+/// falsified inputs and `stream_seed == config.seed`; resumed runs
+/// ([`crate::checkpoint::resume_distributed`]) arrive with the
+/// checkpointed pairs, the *original* falsified total (so the mass
+/// invariant spans the restart) and a continuation stream seed.
+pub(crate) async fn run_segment<T: Transport>(
+    graph: &Graph,
+    config: DistributedConfig,
+    initial: Vec<GossipPair>,
+    mut transport: T,
+    stream_seed: u64,
+    initial_total: GossipPair,
+) -> Result<DistributedOutcome, DistributedError> {
+    let n = graph.node_count();
     let fanouts = config.fanout.resolve(graph)?;
 
     let receivers = transport.take_receivers();
@@ -178,7 +224,7 @@ pub async fn run_with_transport<T: Transport>(
             fanout: fanouts[i],
             initial: initial[i],
             xi: config.xi,
-            rng: ChaCha8Rng::seed_from_u64(node_stream_seed(config.seed, i as u32)),
+            rng: ChaCha8Rng::seed_from_u64(node_stream_seed(stream_seed, i as u32)),
             availability: availability.clone(),
         };
         let status = status_tx.clone();

@@ -17,6 +17,7 @@ use crate::kernel::{
 };
 use crate::rounds::{AggregationMode, RoundEngine, RoundStats, RoundsConfig};
 use crate::scenario::Scenario;
+use crate::session::{checkpoint_nodes, restore_nodes, EngineCheckpoint, RestoreError};
 use crate::workload::ActivityPlan;
 use dg_core::algorithms::alg4;
 use dg_core::reputation::ReputationSystem;
@@ -228,5 +229,27 @@ impl RoundEngine for BatchedRoundEngine<'_> {
 
     fn honest_residual(&self) -> Option<f64> {
         BatchedRoundEngine::honest_residual(self)
+    }
+
+    fn round(&self) -> usize {
+        self.round
+    }
+
+    fn checkpoint(&self) -> EngineCheckpoint {
+        EngineCheckpoint {
+            round: self.round,
+            nodes: checkpoint_nodes(&self.nodes),
+            aggregated: self.aggregated.clone(),
+            observer_mean: self.observer_mean.clone(),
+        }
+    }
+
+    fn restore(&mut self, checkpoint: EngineCheckpoint) -> Result<(), RestoreError> {
+        checkpoint.validate(self.scenario.graph.node_count())?;
+        self.nodes = restore_nodes(checkpoint.nodes);
+        self.aggregated = checkpoint.aggregated;
+        self.observer_mean = checkpoint.observer_mean;
+        self.round = checkpoint.round;
+        Ok(())
     }
 }

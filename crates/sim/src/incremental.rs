@@ -54,6 +54,7 @@ use crate::kernel::{
 };
 use crate::rounds::{AggregationMode, AggregationScope, RoundEngine, RoundStats, RoundsConfig};
 use crate::scenario::Scenario;
+use crate::session::{checkpoint_nodes, restore_nodes, EngineCheckpoint, RestoreError};
 use crate::workload::ActivityPlan;
 use dg_core::algorithms::alg4;
 use dg_core::reputation::ReputationSystem;
@@ -752,5 +753,38 @@ impl RoundEngine for IncrementalRoundEngine<'_> {
 
     fn honest_residual(&self) -> Option<f64> {
         IncrementalRoundEngine::honest_residual(self)
+    }
+
+    fn round(&self) -> usize {
+        self.round
+    }
+
+    fn checkpoint(&self) -> EngineCheckpoint {
+        EngineCheckpoint {
+            round: self.round,
+            nodes: checkpoint_nodes(&self.nodes),
+            aggregated: self.aggregated.clone(),
+            observer_mean: self.observer_mean.clone(),
+        }
+    }
+
+    fn restore(&mut self, checkpoint: EngineCheckpoint) -> Result<(), RestoreError> {
+        let n = self.scenario.graph.node_count();
+        checkpoint.validate(n)?;
+        // Rebuild from scratch, then mark *every* node dirty and
+        // *every* node as freshly washed: the persistent trust matrix,
+        // aggregate cache and ŷ cache are derived state that the
+        // checkpoint deliberately omits, so the first resumed round
+        // refolds all rows and recomputes every observer's run from
+        // the restored estimators — after which the incremental paths
+        // take over again.
+        *self = Self::new(self.scenario, self.config);
+        self.nodes = restore_nodes(checkpoint.nodes);
+        self.aggregated = checkpoint.aggregated;
+        self.observer_mean = checkpoint.observer_mean;
+        self.round = checkpoint.round;
+        self.pending_dirty = (0..n as u32).map(NodeId).collect();
+        self.washed_last = (0..n as u32).map(NodeId).collect();
+        Ok(())
     }
 }

@@ -17,6 +17,11 @@
 //!   estimation → aggregation → admission control) behind the free-riding
 //!   examples, dispatching through one engine factory to the sequential
 //!   reference driver or any of the parallel engines;
+//! * [`session`] — the consolidated front door: one serializable
+//!   [`RunConfig`] for every knob, and a
+//!   [`RunSession`] that runs rounds on a
+//!   deterministic seed schedule and checkpoints / resumes through the
+//!   `dg-store` durability layer, bit-for-bit;
 //! * [`kernel`] — the shared phase kernel: the transact → estimate →
 //!   aggregate → wash contracts every engine drives, so all observable
 //!   math (per-node RNG streams, robust subject sums, Eq. (6) rows, the
@@ -54,9 +59,14 @@ pub mod kernel;
 pub mod report;
 pub mod rounds;
 pub mod scenario;
+pub mod session;
 pub mod sharded;
 pub mod workload;
 
 pub use adversary::{AdversaryAssignment, Role, Strategy};
 pub use scenario::{Scenario, ScenarioConfig};
+pub use session::{
+    build_engine, round_seed, CheckpointKind, EngineCheckpoint, NodeCheckpoint, RestoreError,
+    RunConfig, RunSession, SessionError,
+};
 pub use workload::{ActivityPlan, TrafficModel};

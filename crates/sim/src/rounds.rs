@@ -43,6 +43,7 @@ use crate::kernel::{
     subject_means, transact_requester, NodeState, ServiceDelta, SubjectAggregates,
 };
 use crate::scenario::Scenario;
+use crate::session::{checkpoint_nodes, restore_nodes, EngineCheckpoint, RestoreError};
 use crate::workload::{ActivityPlan, TrafficModel};
 use dg_core::algorithms::alg4;
 use dg_core::reputation::ReputationSystem;
@@ -304,23 +305,44 @@ fn rate(served: u64, refused: u64) -> f64 {
     served as f64 / total as f64
 }
 
-/// The uniform surface a round engine exposes to [`RoundsSimulator`].
+/// The uniform surface a round engine exposes to [`RoundsSimulator`]
+/// and [`RunSession`](crate::session::RunSession): step, checkpoint,
+/// restore and stats, against one interface instead of the historical
+/// enum-only dispatch.
 ///
 /// Engines implement this by delegating to their inherent methods;
-/// adding an engine is one `impl` plus one arm in [`make_engine`] — the
-/// single dispatch point every layer (simulator, bench CLI, perf suite)
-/// routes through.
-pub(crate) trait RoundEngine {
+/// adding an engine is one `impl` plus one arm in
+/// [`build_engine`](crate::session::build_engine) — the single dispatch
+/// point every layer (simulator, session, bench CLI, perf suite) routes
+/// through.
+///
+/// `checkpoint` / `restore` speak the engine-agnostic
+/// [`EngineCheckpoint`]: the cross-round state every engine shares
+/// (estimators, tables, aggregated runs, observer means, round index).
+/// Engine-internal acceleration state — CSR matrices, aggregate caches,
+/// cached weights — is deliberately *not* part of a checkpoint: it is
+/// deterministically reconstructible, so any engine can restore any
+/// engine's checkpoint and the resumed trajectory stays bit-identical
+/// (pinned by `tests/crash_recovery.rs`).
+pub trait RoundEngine {
     /// Run one full round from the given seed.
     fn run_round(&mut self, round_seed: u64) -> Result<RoundStats, CoreError>;
+    /// The index of the next round to run (0 before the first round).
+    fn round(&self) -> usize;
     /// The reputation table of one node.
     fn table(&self, node: NodeId) -> &ReputationTable;
     /// The aggregated reputation of `subject` at `observer`.
     fn aggregated(&self, observer: NodeId, subject: NodeId) -> Option<f64>;
     /// Per-subject `(Σ rep, #observers)` over the stored aggregated rows.
     fn totals(&self) -> (Vec<f64>, Vec<usize>);
-    /// Honest-subject residual error (see [`honest_residual_error`]).
+    /// Honest-subject residual error (the claims-gate metric).
     fn honest_residual(&self) -> Option<f64>;
+    /// Freeze the engine's cross-round state.
+    fn checkpoint(&self) -> EngineCheckpoint;
+    /// Replace the engine's cross-round state with a checkpoint (made by
+    /// this engine or any other). Fails if the checkpoint's node count
+    /// does not match the scenario.
+    fn restore(&mut self, checkpoint: EngineCheckpoint) -> Result<(), RestoreError>;
 }
 
 /// The single engine factory: every layer that turns an [`EngineKind`]
@@ -473,6 +495,10 @@ impl RoundEngine for SequentialRounds<'_> {
         SequentialRounds::run_round(self, round_seed)
     }
 
+    fn round(&self) -> usize {
+        self.round
+    }
+
     fn table(&self, node: NodeId) -> &ReputationTable {
         &self.nodes[node.index()].table
     }
@@ -487,6 +513,24 @@ impl RoundEngine for SequentialRounds<'_> {
 
     fn honest_residual(&self) -> Option<f64> {
         SequentialRounds::honest_residual(self)
+    }
+
+    fn checkpoint(&self) -> EngineCheckpoint {
+        EngineCheckpoint {
+            round: self.round,
+            nodes: checkpoint_nodes(&self.nodes),
+            aggregated: self.aggregated.clone(),
+            observer_mean: self.observer_mean.clone(),
+        }
+    }
+
+    fn restore(&mut self, checkpoint: EngineCheckpoint) -> Result<(), RestoreError> {
+        checkpoint.validate(self.scenario.graph.node_count())?;
+        self.nodes = restore_nodes(checkpoint.nodes);
+        self.aggregated = checkpoint.aggregated;
+        self.observer_mean = checkpoint.observer_mean;
+        self.round = checkpoint.round;
+        Ok(())
     }
 }
 

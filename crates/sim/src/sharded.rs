@@ -43,6 +43,7 @@ use crate::kernel::{
 };
 use crate::rounds::{AggregationMode, RoundEngine, RoundStats, RoundsConfig};
 use crate::scenario::Scenario;
+use crate::session::{checkpoint_node, restore_nodes, EngineCheckpoint, RestoreError};
 use crate::workload::ActivityPlan;
 use dg_core::algorithms::alg4;
 use dg_core::reputation::ReputationSystem;
@@ -275,5 +276,36 @@ impl RoundEngine for ShardedRoundEngine<'_> {
 
     fn honest_residual(&self) -> Option<f64> {
         ShardedRoundEngine::honest_residual(self)
+    }
+
+    fn round(&self) -> usize {
+        self.round
+    }
+
+    fn checkpoint(&self) -> EngineCheckpoint {
+        // Shards are contiguous node ranges, so flattening them in
+        // shard order yields the canonical node-ordered state.
+        let flat: Vec<&NodeState> = self.shards.iter().flatten().collect();
+        EngineCheckpoint {
+            round: self.round,
+            nodes: flat.into_iter().map(checkpoint_node).collect(),
+            aggregated: self.aggregated.clone(),
+            observer_mean: self.observer_mean.clone(),
+        }
+    }
+
+    fn restore(&mut self, checkpoint: EngineCheckpoint) -> Result<(), RestoreError> {
+        checkpoint.validate(self.scenario.graph.node_count())?;
+        let mut states = restore_nodes(checkpoint.nodes);
+        let mut shards = Vec::with_capacity(self.spec.shard_count());
+        for shard in 0..self.spec.shard_count() {
+            let rest = states.split_off(self.spec.rows_in(shard).min(states.len()));
+            shards.push(std::mem::replace(&mut states, rest));
+        }
+        self.shards = shards;
+        self.aggregated = checkpoint.aggregated;
+        self.observer_mean = checkpoint.observer_mean;
+        self.round = checkpoint.round;
+        Ok(())
     }
 }

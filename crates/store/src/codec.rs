@@ -1,0 +1,295 @@
+//! Binary framing shared by every `.bin` snapshot file.
+//!
+//! A framed file is `MAGIC (8) ‖ kind (1) ‖ version (4, LE) ‖
+//! payload_len (8, LE) ‖ payload ‖ digest (8, LE)`, where the digest is
+//! FNV-1a-64 over everything before it. The frame makes the three
+//! corruption modes the store must survive cheap to detect: truncation
+//! (length check), garbling (digest check) and cross-wiring a file into
+//! the wrong slot (kind tag). Payload decoding on top of the frame goes
+//! through [`ByteReader`], whose every read is bounds-checked and
+//! returns a reason string the caller wraps into
+//! [`StoreError::Corrupt`](crate::StoreError::Corrupt).
+
+use crate::StoreError;
+use std::path::Path;
+
+/// Current snapshot format version, stamped into every frame and
+/// header. Readers accept any version `<= FORMAT_VERSION`; newer files
+/// are rejected with a typed error rather than misread.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Leading magic of every framed snapshot file.
+pub(crate) const MAGIC: [u8; 8] = *b"DGSNAP01";
+
+/// Payload kind tags (one per file role, so a delta file pasted over a
+/// shard slot is caught by the frame, not the record decoder).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum FrameKind {
+    /// One shard of a full epoch checkpoint.
+    Shard = 1,
+    /// Changed records between two checkpoints.
+    Delta = 2,
+    /// A distributed-gossip continuation record.
+    Gossip = 3,
+}
+
+impl FrameKind {
+    fn label(self) -> &'static str {
+        match self {
+            FrameKind::Shard => "shard",
+            FrameKind::Delta => "delta",
+            FrameKind::Gossip => "gossip",
+        }
+    }
+}
+
+/// FNV-1a 64-bit over `bytes` — tiny, dependency-free, and plenty to
+/// catch torn writes and bit rot (this is an integrity check, not an
+/// adversarial MAC).
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn io_err(path: &Path, source: std::io::Error) -> StoreError {
+    StoreError::Io {
+        path: path.display().to_string(),
+        source,
+    }
+}
+
+fn corrupt(path: &Path, reason: impl Into<String>) -> StoreError {
+    StoreError::Corrupt {
+        path: path.display().to_string(),
+        reason: reason.into(),
+    }
+}
+
+/// Write `payload` as a framed file at `path`, crash-safely: the bytes
+/// land in a `.tmp` sibling first and are renamed into place, so a kill
+/// mid-write leaves either the old file or no file — never a torn one.
+pub(crate) fn write_frame(path: &Path, kind: FrameKind, payload: &[u8]) -> Result<(), StoreError> {
+    let mut frame = Vec::with_capacity(payload.len() + 29);
+    frame.extend_from_slice(&MAGIC);
+    frame.push(kind as u8);
+    frame.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    frame.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    frame.extend_from_slice(payload);
+    let digest = fnv1a64(&frame);
+    frame.extend_from_slice(&digest.to_le_bytes());
+    write_atomic(path, &frame)
+}
+
+/// Write `bytes` to `path` via a temporary sibling + rename.
+pub(crate) fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
+    let tmp = match path.file_name().and_then(|n| n.to_str()) {
+        Some(name) => path.with_file_name(format!("{name}.tmp")),
+        None => {
+            return Err(StoreError::Invalid {
+                reason: format!("{} has no file name", path.display()),
+            })
+        }
+    };
+    std::fs::write(&tmp, bytes).map_err(|e| io_err(&tmp, e))?;
+    std::fs::rename(&tmp, path).map_err(|e| io_err(path, e))
+}
+
+/// Read and verify a framed file, returning its payload. Every way the
+/// bytes can disappoint maps to a typed error: a missing file is
+/// [`StoreError::Missing`], a future version is
+/// [`StoreError::UnsupportedVersion`], and anything truncated or
+/// garbled is [`StoreError::Corrupt`] naming the file and the reason.
+pub(crate) fn read_frame(path: &Path, kind: FrameKind) -> Result<Vec<u8>, StoreError> {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Err(StoreError::Missing {
+                path: path.display().to_string(),
+            })
+        }
+        Err(e) => return Err(io_err(path, e)),
+    };
+    // Fixed prelude: magic(8) + kind(1) + version(4) + len(8); fixed
+    // trailer: digest(8).
+    if bytes.len() < 29 {
+        return Err(corrupt(
+            path,
+            format!(
+                "file is {} bytes, shorter than the 29-byte frame",
+                bytes.len()
+            ),
+        ));
+    }
+    if bytes[..8] != MAGIC {
+        return Err(corrupt(path, "bad magic (not a snapshot file)"));
+    }
+    let found_kind = bytes[8];
+    if found_kind != kind as u8 {
+        return Err(corrupt(
+            path,
+            format!(
+                "payload kind {found_kind} where a {} frame was expected",
+                kind.label()
+            ),
+        ));
+    }
+    let version = u32::from_le_bytes(bytes[9..13].try_into().expect("4 bytes"));
+    if version > FORMAT_VERSION {
+        return Err(StoreError::UnsupportedVersion {
+            path: path.display().to_string(),
+            found: version,
+            supported: FORMAT_VERSION,
+        });
+    }
+    let payload_len = u64::from_le_bytes(bytes[13..21].try_into().expect("8 bytes")) as usize;
+    let expected_total = 21usize
+        .checked_add(payload_len)
+        .and_then(|n| n.checked_add(8));
+    if expected_total != Some(bytes.len()) {
+        return Err(corrupt(
+            path,
+            format!(
+                "declared payload of {payload_len} bytes does not match file size {}",
+                bytes.len()
+            ),
+        ));
+    }
+    let body_end = 21 + payload_len;
+    let stored = u64::from_le_bytes(bytes[body_end..].try_into().expect("8 bytes"));
+    let computed = fnv1a64(&bytes[..body_end]);
+    if stored != computed {
+        return Err(corrupt(
+            path,
+            format!("checksum mismatch (stored {stored:#018x}, computed {computed:#018x})"),
+        ));
+    }
+    Ok(bytes[21..body_end].to_vec())
+}
+
+/// Little-endian payload writer (the encode half of the record codec).
+#[derive(Debug, Default)]
+pub(crate) struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    pub(crate) fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub(crate) fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub(crate) fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// `f64` as raw bits — snapshots must round-trip values bit for bit.
+    pub(crate) fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    pub(crate) fn put_opt_f64(&mut self, v: Option<f64>) {
+        match v {
+            Some(x) => {
+                self.put_u8(1);
+                self.put_f64(x);
+            }
+            None => self.put_u8(0),
+        }
+    }
+}
+
+/// Bounds-checked payload reader; every failure is a reason string the
+/// caller wraps into a `Corrupt` error with the file path attached.
+#[derive(Debug)]
+pub(crate) struct ByteReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    pub(crate) fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.pos >= self.bytes.len()
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], String> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| {
+                format!(
+                    "truncated payload: wanted {n} bytes for {what} at offset {}, have {}",
+                    self.pos,
+                    self.bytes.len().saturating_sub(self.pos)
+                )
+            })?;
+        let out = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    pub(crate) fn get_u8(&mut self, what: &str) -> Result<u8, String> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    pub(crate) fn get_u32(&mut self, what: &str) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(
+            self.take(4, what)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    pub(crate) fn get_u64(&mut self, what: &str) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(
+            self.take(8, what)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    pub(crate) fn get_f64(&mut self, what: &str) -> Result<f64, String> {
+        Ok(f64::from_bits(self.get_u64(what)?))
+    }
+
+    pub(crate) fn get_opt_f64(&mut self, what: &str) -> Result<Option<f64>, String> {
+        match self.get_u8(what)? {
+            0 => Ok(None),
+            1 => Ok(Some(self.get_f64(what)?)),
+            tag => Err(format!("bad option tag {tag} for {what}")),
+        }
+    }
+
+    /// A `u32` length prefix, sanity-bounded so a garbled length cannot
+    /// drive a multi-gigabyte allocation before the truncation check.
+    pub(crate) fn get_len(&mut self, what: &str, elem_size: usize) -> Result<usize, String> {
+        let len = self.get_u32(what)? as usize;
+        let remaining = self.bytes.len() - self.pos;
+        if len.saturating_mul(elem_size.max(1)) > remaining {
+            return Err(format!(
+                "declared {what} length {len} cannot fit in the {remaining} remaining bytes"
+            ));
+        }
+        Ok(len)
+    }
+}
+
+/// Wrap a `ByteReader` reason into a `Corrupt` error for `path`.
+pub(crate) fn corrupt_at(path: &Path, reason: String) -> StoreError {
+    corrupt(path, reason)
+}

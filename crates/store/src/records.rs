@@ -1,0 +1,346 @@
+//! The snapshot data model: versioned JSON headers and binary node
+//! records.
+//!
+//! Headers are JSON because they evolve (new fields ride in under
+//! `#[serde(default)]` and old readers ignore what they don't know);
+//! node records are a fixed little-endian binary layout because they
+//! are bulk data whose `f64`s must round-trip bit for bit.
+
+use crate::codec::{ByteReader, ByteWriter};
+use serde::{Deserialize, Serialize};
+
+/// The JSON header written next to every checkpoint (full epoch or
+/// delta).
+///
+/// Evolution policy: `format_version` gates breaking layout changes;
+/// anything additive lands as a new `#[serde(default)]` field so every
+/// header this crate ever wrote keeps deserializing (the compat tests
+/// in this module pin that).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SnapshotHeader {
+    /// Snapshot format version (see [`crate::FORMAT_VERSION`]).
+    pub format_version: u32,
+    /// Round the checkpointed state is *about to run* (0 = pristine).
+    pub round: u64,
+    /// Node count — every shard range and record list must add up to it.
+    pub nodes: u64,
+    /// Per-shard `[start, end)` node ranges, in shard order. Contiguous
+    /// and covering `0..nodes` by construction.
+    pub shard_ranges: Vec<(u64, u64)>,
+    /// For a delta checkpoint: the round of the checkpoint it extends.
+    /// `None` on full epochs.
+    #[serde(default)]
+    pub base_round: Option<u64>,
+    /// Engine label the run was using (informational; any engine can
+    /// restore any snapshot).
+    #[serde(default)]
+    pub engine: String,
+    /// The run's full `RunConfig`, as an opaque JSON string — the store
+    /// does not depend on the domain crates, so it carries the config
+    /// without knowing its shape.
+    #[serde(default)]
+    pub config_json: String,
+    /// Per-round stats history up to `round`, as an opaque JSON string
+    /// (same reasoning as `config_json`).
+    #[serde(default)]
+    pub stats_json: String,
+    /// Free-form annotation (nothing machine-reads this).
+    #[serde(default)]
+    pub notes: String,
+}
+
+/// One EWMA estimator a node holds about a peer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EstimatorRecord {
+    /// The peer being estimated.
+    pub peer: u32,
+    /// EWMA blend rate.
+    pub rate: f64,
+    /// Current estimate.
+    pub value: f64,
+    /// Transactions folded in so far.
+    pub count: u64,
+}
+
+/// One reputation-table row a node holds about a peer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TableRecord {
+    /// The peer the row describes.
+    pub peer: u32,
+    /// Local (first-hand) trust.
+    pub local_trust: f64,
+    /// Network-aggregated reputation, if one has been gossiped in.
+    pub aggregated: Option<f64>,
+    /// Round the peer was last heard from.
+    pub last_heard_round: u64,
+    /// First-hand transaction count behind `local_trust`.
+    pub transactions: u64,
+}
+
+/// The full persisted state of one node: its estimators, its reputation
+/// table, its row of the aggregated-run matrix and its observer mean.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeRecord {
+    /// The node's id (== its index in the snapshot).
+    pub node: u32,
+    /// First-hand estimators, sorted by peer.
+    pub estimators: Vec<EstimatorRecord>,
+    /// Reputation-table rows, sorted by peer.
+    pub table: Vec<TableRecord>,
+    /// The node's aggregated reputation run `(subject, value)`, sorted
+    /// by subject.
+    pub run: Vec<(u32, f64)>,
+    /// The node's observer-mean cache entry.
+    pub mean: Option<f64>,
+}
+
+impl NodeRecord {
+    /// Bitwise equality: `f64`s compare by `to_bits`, so two records are
+    /// equal exactly when restoring either yields identical engine
+    /// state. This is the predicate delta checkpoints diff with.
+    pub fn bits_eq(&self, other: &NodeRecord) -> bool {
+        self.node == other.node
+            && self.estimators.len() == other.estimators.len()
+            && self.table.len() == other.table.len()
+            && self.run.len() == other.run.len()
+            && opt_bits_eq(self.mean, other.mean)
+            && self.estimators.iter().zip(&other.estimators).all(|(a, b)| {
+                a.peer == b.peer
+                    && a.count == b.count
+                    && a.rate.to_bits() == b.rate.to_bits()
+                    && a.value.to_bits() == b.value.to_bits()
+            })
+            && self.table.iter().zip(&other.table).all(|(a, b)| {
+                a.peer == b.peer
+                    && a.last_heard_round == b.last_heard_round
+                    && a.transactions == b.transactions
+                    && a.local_trust.to_bits() == b.local_trust.to_bits()
+                    && opt_bits_eq(a.aggregated, b.aggregated)
+            })
+            && self
+                .run
+                .iter()
+                .zip(&other.run)
+                .all(|(a, b)| a.0 == b.0 && a.1.to_bits() == b.1.to_bits())
+    }
+
+    pub(crate) fn encode(&self, w: &mut ByteWriter) {
+        w.put_u32(self.node);
+        w.put_u32(self.estimators.len() as u32);
+        for e in &self.estimators {
+            w.put_u32(e.peer);
+            w.put_f64(e.rate);
+            w.put_f64(e.value);
+            w.put_u64(e.count);
+        }
+        w.put_u32(self.table.len() as u32);
+        for t in &self.table {
+            w.put_u32(t.peer);
+            w.put_f64(t.local_trust);
+            w.put_opt_f64(t.aggregated);
+            w.put_u64(t.last_heard_round);
+            w.put_u64(t.transactions);
+        }
+        w.put_u32(self.run.len() as u32);
+        for &(subject, value) in &self.run {
+            w.put_u32(subject);
+            w.put_f64(value);
+        }
+        w.put_opt_f64(self.mean);
+    }
+
+    pub(crate) fn decode(r: &mut ByteReader<'_>) -> Result<NodeRecord, String> {
+        let node = r.get_u32("node id")?;
+        let n_est = r.get_len("estimator list", 28)?;
+        let mut estimators = Vec::with_capacity(n_est);
+        for _ in 0..n_est {
+            estimators.push(EstimatorRecord {
+                peer: r.get_u32("estimator peer")?,
+                rate: r.get_f64("estimator rate")?,
+                value: r.get_f64("estimator value")?,
+                count: r.get_u64("estimator count")?,
+            });
+        }
+        let n_table = r.get_len("table list", 29)?;
+        let mut table = Vec::with_capacity(n_table);
+        for _ in 0..n_table {
+            table.push(TableRecord {
+                peer: r.get_u32("table peer")?,
+                local_trust: r.get_f64("table local trust")?,
+                aggregated: r.get_opt_f64("table aggregated")?,
+                last_heard_round: r.get_u64("table last-heard round")?,
+                transactions: r.get_u64("table transactions")?,
+            });
+        }
+        let n_run = r.get_len("run list", 12)?;
+        let mut run = Vec::with_capacity(n_run);
+        for _ in 0..n_run {
+            let subject = r.get_u32("run subject")?;
+            let value = r.get_f64("run value")?;
+            run.push((subject, value));
+        }
+        let mean = r.get_opt_f64("observer mean")?;
+        Ok(NodeRecord {
+            node,
+            estimators,
+            table,
+            run,
+            mean,
+        })
+    }
+}
+
+fn opt_bits_eq(a: Option<f64>, b: Option<f64>) -> bool {
+    match (a, b) {
+        (None, None) => true,
+        (Some(x), Some(y)) => x.to_bits() == y.to_bits(),
+        _ => false,
+    }
+}
+
+/// The node records in `next` whose bits changed relative to `prev`
+/// (the delta checkpoint's content). Both slices must describe the same
+/// node set in the same order; nodes only present in `next` count as
+/// changed.
+pub fn diff_changed(prev: &[NodeRecord], next: &[NodeRecord]) -> Vec<NodeRecord> {
+    next.iter()
+        .enumerate()
+        .filter(|(i, record)| !matches!(prev.get(*i), Some(old) if old.bits_eq(record)))
+        .map(|(_, record)| record.clone())
+        .collect()
+}
+
+/// Encode a list of records with a count prefix (shard and delta
+/// payload body).
+pub(crate) fn encode_records(w: &mut ByteWriter, records: &[NodeRecord]) {
+    w.put_u32(records.len() as u32);
+    for record in records {
+        record.encode(w);
+    }
+}
+
+/// Decode a count-prefixed record list.
+pub(crate) fn decode_records(r: &mut ByteReader<'_>) -> Result<Vec<NodeRecord>, String> {
+    // A node record is at least 4 + 4 + 4 + 4 + 1 bytes.
+    let count = r.get_len("record list", 17)?;
+    let mut records = Vec::with_capacity(count);
+    for _ in 0..count {
+        records.push(NodeRecord::decode(r)?);
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn sample_record(node: u32) -> NodeRecord {
+        NodeRecord {
+            node,
+            estimators: vec![EstimatorRecord {
+                peer: node + 1,
+                rate: 0.3,
+                value: 0.123_456_789,
+                count: 7,
+            }],
+            table: vec![TableRecord {
+                peer: node + 1,
+                local_trust: 0.5,
+                aggregated: Some(0.25),
+                last_heard_round: 3,
+                transactions: 9,
+            }],
+            run: vec![(node + 1, 0.75), (node + 2, 0.5)],
+            mean: Some(0.625),
+        }
+    }
+
+    #[test]
+    fn record_binary_roundtrip_is_bit_exact() {
+        let mut record = sample_record(5);
+        // Deliberately awkward bit patterns: negative zero and a
+        // subnormal must survive unchanged.
+        record.run.push((9, -0.0));
+        record.estimators[0].value = f64::MIN_POSITIVE / 2.0;
+        let mut w = ByteWriter::new();
+        record.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let back = NodeRecord::decode(&mut r).unwrap();
+        assert!(r.is_empty());
+        assert!(record.bits_eq(&back));
+    }
+
+    #[test]
+    fn bits_eq_distinguishes_negative_zero() {
+        let a = sample_record(1);
+        let mut b = a.clone();
+        b.run[0].1 = -0.0;
+        let mut a0 = a.clone();
+        a0.run[0].1 = 0.0;
+        assert!(!a0.bits_eq(&b), "0.0 and -0.0 differ bitwise");
+        assert!(a.bits_eq(&a.clone()));
+    }
+
+    #[test]
+    fn diff_changed_picks_only_changed_nodes() {
+        let prev: Vec<_> = (0..4).map(sample_record).collect();
+        let mut next = prev.clone();
+        next[2].mean = Some(0.9);
+        let changed = diff_changed(&prev, &next);
+        assert_eq!(changed.len(), 1);
+        assert_eq!(changed[0].node, 2);
+        assert!(diff_changed(&prev, &prev).is_empty());
+    }
+
+    #[test]
+    fn truncated_record_is_a_decode_error_not_a_panic() {
+        let record = sample_record(5);
+        let mut w = ByteWriter::new();
+        record.encode(&mut w);
+        let bytes = w.into_bytes();
+        for cut in 0..bytes.len() {
+            let mut r = ByteReader::new(&bytes[..cut]);
+            assert!(
+                NodeRecord::decode(&mut r).is_err(),
+                "decode of a {cut}-byte prefix must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn header_json_roundtrip() {
+        let header = SnapshotHeader {
+            format_version: 1,
+            round: 12,
+            nodes: 100,
+            shard_ranges: vec![(0, 50), (50, 100)],
+            base_round: Some(8),
+            engine: "incremental".into(),
+            config_json: "{\"nodes\":100}".into(),
+            stats_json: "[]".into(),
+            notes: String::new(),
+        };
+        let json = serde_json::to_string(&header).unwrap();
+        let back: SnapshotHeader = serde_json::from_str(&json).unwrap();
+        assert_eq!(header, back);
+    }
+
+    #[test]
+    fn legacy_header_without_optional_fields_still_parses() {
+        // The evolution policy: a header written before the optional
+        // fields existed (or by a trimmed-down writer) must keep
+        // loading, with the additive fields defaulting.
+        let legacy = r#"{
+            "format_version": 1, "round": 4, "nodes": 10,
+            "shard_ranges": [[0, 10]]
+        }"#;
+        let header: SnapshotHeader = serde_json::from_str(legacy).unwrap();
+        assert_eq!(header.round, 4);
+        assert_eq!(header.base_round, None);
+        assert_eq!(header.engine, "");
+        assert_eq!(header.config_json, "");
+        assert_eq!(header.stats_json, "");
+        assert_eq!(header.notes, "");
+    }
+}

@@ -1,0 +1,620 @@
+//! The checkpoint directory: epoch + delta layout, atomic commit via
+//! `HEAD.json`, parallel shard i/o and chain-validated loading.
+
+use crate::codec::{corrupt_at, read_frame, write_atomic, write_frame, ByteReader, ByteWriter};
+use crate::codec::{FrameKind, FORMAT_VERSION};
+use crate::records::{decode_records, encode_records, NodeRecord, SnapshotHeader};
+use crate::StoreError;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+
+/// The commit point of a checkpoint directory: which epoch is current
+/// and which delta checkpoints extend it, in order. Written last (tmp +
+/// rename), so a crash mid-checkpoint leaves the previous commit
+/// intact and the half-written files unreachable.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Head {
+    /// Format version of the commit record itself.
+    pub format_version: u32,
+    /// Round of the current full epoch (`epoch-<round>/`).
+    pub base_round: u64,
+    /// Rounds of the delta checkpoints applied on top, ascending.
+    #[serde(default)]
+    pub delta_rounds: Vec<u64>,
+}
+
+impl Head {
+    /// The round of the most recent committed checkpoint.
+    pub fn latest_round(&self) -> u64 {
+        self.delta_rounds.last().copied().unwrap_or(self.base_round)
+    }
+}
+
+/// A fully resolved checkpoint: the latest header and one record per
+/// node (base epoch with every committed delta applied).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// Header of the latest checkpoint in the chain.
+    pub header: SnapshotHeader,
+    /// One record per node, in node order.
+    pub records: Vec<NodeRecord>,
+}
+
+/// A checkpoint directory.
+///
+/// ```no_run
+/// use dg_store::{SnapshotHeader, Store, FORMAT_VERSION};
+/// let store = Store::open("/tmp/run-checkpoints");
+/// let header = SnapshotHeader {
+///     format_version: FORMAT_VERSION,
+///     round: 0,
+///     nodes: 0,
+///     shard_ranges: vec![(0, 0)],
+///     base_round: None,
+///     engine: String::new(),
+///     config_json: String::new(),
+///     stats_json: String::new(),
+///     notes: String::new(),
+/// };
+/// store.write_epoch(&header, &[]).unwrap();
+/// let snapshot = store.load_latest().unwrap();
+/// assert_eq!(snapshot.records.len(), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Store {
+    root: PathBuf,
+}
+
+impl Store {
+    /// Wrap a checkpoint directory (created lazily on first write).
+    pub fn open(root: impl Into<PathBuf>) -> Self {
+        Self { root: root.into() }
+    }
+
+    /// The directory this store reads and writes.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn head_path(&self) -> PathBuf {
+        self.root.join("HEAD.json")
+    }
+
+    /// The directory of the full epoch checkpointed at `round`.
+    pub fn epoch_dir(&self, round: u64) -> PathBuf {
+        self.root.join(format!("epoch-{round}"))
+    }
+
+    fn delta_bin_path(&self, round: u64) -> PathBuf {
+        self.root.join(format!("delta-{round}.bin"))
+    }
+
+    fn delta_header_path(&self, round: u64) -> PathBuf {
+        self.root.join(format!("delta-{round}.json"))
+    }
+
+    /// The committed head, or `None` if the directory holds no
+    /// checkpoint yet.
+    pub fn head(&self) -> Result<Option<Head>, StoreError> {
+        let path = self.head_path();
+        let bytes = match std::fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => {
+                return Err(StoreError::Io {
+                    path: path.display().to_string(),
+                    source: e,
+                })
+            }
+        };
+        let head: Head = serde_json::from_str(std::str::from_utf8(&bytes).unwrap_or_default())
+            .map_err(|e| corrupt_at(&path, format!("undecodable HEAD.json: {e}")))?;
+        if head.format_version > FORMAT_VERSION {
+            return Err(StoreError::UnsupportedVersion {
+                path: path.display().to_string(),
+                found: head.format_version,
+                supported: FORMAT_VERSION,
+            });
+        }
+        Ok(Some(head))
+    }
+
+    fn validate_records(header: &SnapshotHeader, records: &[NodeRecord]) -> Result<(), StoreError> {
+        if records.len() as u64 != header.nodes {
+            return Err(StoreError::Invalid {
+                reason: format!(
+                    "header promises {} nodes but {} records were supplied",
+                    header.nodes,
+                    records.len()
+                ),
+            });
+        }
+        if records
+            .iter()
+            .enumerate()
+            .any(|(i, r)| r.node as usize != i)
+        {
+            return Err(StoreError::Invalid {
+                reason: "records must be dense and sorted (record i is node i)".into(),
+            });
+        }
+        let mut expected_start = 0u64;
+        for &(start, end) in &header.shard_ranges {
+            if start != expected_start || end < start {
+                return Err(StoreError::Invalid {
+                    reason: format!(
+                        "shard ranges must be contiguous from 0 (found [{start}, {end}) where \
+                         {expected_start} should start)"
+                    ),
+                });
+            }
+            expected_start = end;
+        }
+        if expected_start != header.nodes || header.shard_ranges.is_empty() {
+            return Err(StoreError::Invalid {
+                reason: format!(
+                    "shard ranges cover 0..{expected_start}, header promises 0..{}",
+                    header.nodes
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    fn write_head(&self, head: &Head) -> Result<(), StoreError> {
+        let bytes = serde_json::to_string_pretty(head).map_err(|e| StoreError::Invalid {
+            reason: format!("HEAD serialization failed: {e}"),
+        })?;
+        write_atomic(&self.head_path(), bytes.as_bytes())
+    }
+
+    fn write_header(&self, path: &Path, header: &SnapshotHeader) -> Result<(), StoreError> {
+        let bytes = serde_json::to_string_pretty(header).map_err(|e| StoreError::Invalid {
+            reason: format!("header serialization failed: {e}"),
+        })?;
+        write_atomic(path, bytes.as_bytes())
+    }
+
+    fn read_header(&self, path: &Path) -> Result<SnapshotHeader, StoreError> {
+        let bytes = match std::fs::read(path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Err(StoreError::Missing {
+                    path: path.display().to_string(),
+                })
+            }
+            Err(e) => {
+                return Err(StoreError::Io {
+                    path: path.display().to_string(),
+                    source: e,
+                })
+            }
+        };
+        let header: SnapshotHeader =
+            serde_json::from_str(std::str::from_utf8(&bytes).unwrap_or_default())
+                .map_err(|e| corrupt_at(path, format!("undecodable header: {e}")))?;
+        if header.format_version > FORMAT_VERSION {
+            return Err(StoreError::UnsupportedVersion {
+                path: path.display().to_string(),
+                found: header.format_version,
+                supported: FORMAT_VERSION,
+            });
+        }
+        Ok(header)
+    }
+
+    /// Write a full epoch checkpoint: one framed file per shard range
+    /// (written in parallel), the header, then the `HEAD.json` commit.
+    /// Resets the delta chain — subsequent deltas extend this epoch.
+    pub fn write_epoch(
+        &self,
+        header: &SnapshotHeader,
+        records: &[NodeRecord],
+    ) -> Result<(), StoreError> {
+        Self::validate_records(header, records)?;
+        let dir = self.epoch_dir(header.round);
+        std::fs::create_dir_all(&dir).map_err(|e| StoreError::Io {
+            path: dir.display().to_string(),
+            source: e,
+        })?;
+        let indexed: Vec<(usize, (u64, u64))> =
+            header.shard_ranges.iter().copied().enumerate().collect();
+        let written: Vec<Result<(), StoreError>> = indexed
+            .into_par_iter()
+            .map(|(i, (start, end))| {
+                let mut w = ByteWriter::new();
+                encode_records(&mut w, &records[start as usize..end as usize]);
+                write_frame(
+                    &dir.join(format!("shard-{i}.bin")),
+                    FrameKind::Shard,
+                    &w.into_bytes(),
+                )
+            })
+            .collect();
+        for result in written {
+            result?;
+        }
+        self.write_header(&dir.join("header.json"), header)?;
+        self.write_head(&Head {
+            format_version: FORMAT_VERSION,
+            base_round: header.round,
+            delta_rounds: Vec::new(),
+        })
+    }
+
+    /// Write a delta checkpoint holding only `changed` records, on top
+    /// of the currently committed chain. `header.base_round` must name
+    /// the committed latest round; the commit appends `header.round` to
+    /// the chain.
+    pub fn write_delta(
+        &self,
+        header: &SnapshotHeader,
+        changed: &[NodeRecord],
+    ) -> Result<(), StoreError> {
+        let mut head = self.head()?.ok_or_else(|| StoreError::NoSnapshot {
+            dir: self.root.display().to_string(),
+        })?;
+        let latest = head.latest_round();
+        if header.base_round != Some(latest) {
+            return Err(StoreError::Invalid {
+                reason: format!(
+                    "delta base round {:?} does not extend the committed latest round {latest}",
+                    header.base_round
+                ),
+            });
+        }
+        if header.round <= latest {
+            return Err(StoreError::Invalid {
+                reason: format!(
+                    "delta round {} must advance past the committed latest round {latest}",
+                    header.round
+                ),
+            });
+        }
+        if changed.iter().any(|r| u64::from(r.node) >= header.nodes) {
+            return Err(StoreError::Invalid {
+                reason: "changed record names a node outside the snapshot".into(),
+            });
+        }
+        let mut w = ByteWriter::new();
+        w.put_u64(latest);
+        w.put_u64(header.round);
+        encode_records(&mut w, changed);
+        write_frame(
+            &self.delta_bin_path(header.round),
+            FrameKind::Delta,
+            &w.into_bytes(),
+        )?;
+        self.write_header(&self.delta_header_path(header.round), header)?;
+        head.delta_rounds.push(header.round);
+        self.write_head(&head)
+    }
+
+    /// Load the latest committed checkpoint: the base epoch's shards
+    /// (read in parallel) with every committed delta applied in order,
+    /// under the chain's final header. Any missing, truncated or
+    /// garbled file along the way surfaces as a typed error.
+    pub fn load_latest(&self) -> Result<Snapshot, StoreError> {
+        let head = self.head()?.ok_or_else(|| StoreError::NoSnapshot {
+            dir: self.root.display().to_string(),
+        })?;
+        let dir = self.epoch_dir(head.base_round);
+        let base_header = self.read_header(&dir.join("header.json"))?;
+        if base_header.round != head.base_round {
+            return Err(StoreError::BrokenChain {
+                dir: self.root.display().to_string(),
+                reason: format!(
+                    "epoch header says round {} where HEAD committed round {}",
+                    base_header.round, head.base_round
+                ),
+            });
+        }
+        let indexed: Vec<(usize, (u64, u64))> = base_header
+            .shard_ranges
+            .iter()
+            .copied()
+            .enumerate()
+            .collect();
+        let shards: Vec<Result<Vec<NodeRecord>, StoreError>> = indexed
+            .into_par_iter()
+            .map(|(i, (start, end))| {
+                let path = dir.join(format!("shard-{i}.bin"));
+                let payload = read_frame(&path, FrameKind::Shard)?;
+                let mut r = ByteReader::new(&payload);
+                let records = decode_records(&mut r).map_err(|e| corrupt_at(&path, e))?;
+                if records.len() as u64 != end - start
+                    || records
+                        .iter()
+                        .enumerate()
+                        .any(|(k, rec)| u64::from(rec.node) != start + k as u64)
+                    || !r.is_empty()
+                {
+                    return Err(corrupt_at(
+                        &path,
+                        format!("shard does not hold exactly nodes {start}..{end}"),
+                    ));
+                }
+                Ok(records)
+            })
+            .collect();
+        let mut records: Vec<NodeRecord> = Vec::with_capacity(base_header.nodes as usize);
+        for shard in shards {
+            records.extend(shard?);
+        }
+        if records.len() as u64 != base_header.nodes {
+            return Err(StoreError::BrokenChain {
+                dir: self.root.display().to_string(),
+                reason: format!(
+                    "shards reassemble to {} nodes, header promises {}",
+                    records.len(),
+                    base_header.nodes
+                ),
+            });
+        }
+
+        let mut header = base_header;
+        let mut latest = head.base_round;
+        for &delta_round in &head.delta_rounds {
+            let path = self.delta_bin_path(delta_round);
+            let payload = read_frame(&path, FrameKind::Delta)?;
+            let mut r = ByteReader::new(&payload);
+            let base = r
+                .get_u64("delta base round")
+                .map_err(|e| corrupt_at(&path, e))?;
+            let round = r.get_u64("delta round").map_err(|e| corrupt_at(&path, e))?;
+            if base != latest || round != delta_round {
+                return Err(StoreError::BrokenChain {
+                    dir: self.root.display().to_string(),
+                    reason: format!(
+                        "delta-{delta_round} claims {base} -> {round}, chain is at {latest}"
+                    ),
+                });
+            }
+            let changed = decode_records(&mut r).map_err(|e| corrupt_at(&path, e))?;
+            if !r.is_empty() {
+                return Err(corrupt_at(&path, "trailing bytes after records".into()));
+            }
+            for record in changed {
+                let slot = record.node as usize;
+                if slot >= records.len() {
+                    return Err(corrupt_at(
+                        &path,
+                        format!(
+                            "delta names node {} outside 0..{}",
+                            record.node,
+                            records.len()
+                        ),
+                    ));
+                }
+                records[slot] = record;
+            }
+            header = self.read_header(&self.delta_header_path(delta_round))?;
+            latest = delta_round;
+        }
+        Ok(Snapshot { header, records })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::records::{EstimatorRecord, TableRecord};
+
+    fn temp_root(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("dg_store_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn record(node: u32, salt: f64) -> NodeRecord {
+        NodeRecord {
+            node,
+            estimators: vec![EstimatorRecord {
+                peer: node ^ 1,
+                rate: 0.3,
+                value: salt,
+                count: u64::from(node) + 1,
+            }],
+            table: vec![TableRecord {
+                peer: node ^ 1,
+                local_trust: salt / 2.0,
+                aggregated: (node % 2 == 0).then_some(salt / 4.0),
+                last_heard_round: 2,
+                transactions: 5,
+            }],
+            run: vec![(node ^ 1, salt / 8.0)],
+            mean: Some(salt / 16.0),
+        }
+    }
+
+    fn header(round: u64, nodes: u64, ranges: Vec<(u64, u64)>) -> SnapshotHeader {
+        SnapshotHeader {
+            format_version: FORMAT_VERSION,
+            round,
+            nodes,
+            shard_ranges: ranges,
+            base_round: None,
+            engine: "sequential".into(),
+            config_json: String::new(),
+            stats_json: String::new(),
+            notes: String::new(),
+        }
+    }
+
+    fn records(n: u32, salt: f64) -> Vec<NodeRecord> {
+        (0..n).map(|i| record(i, salt + f64::from(i))).collect()
+    }
+
+    #[test]
+    fn epoch_roundtrip_across_shards_is_bit_exact() {
+        let root = temp_root("epoch");
+        let store = Store::open(&root);
+        let recs = records(10, 0.125);
+        store
+            .write_epoch(&header(3, 10, vec![(0, 4), (4, 8), (8, 10)]), &recs)
+            .unwrap();
+        let snap = store.load_latest().unwrap();
+        assert_eq!(snap.header.round, 3);
+        assert_eq!(snap.records.len(), 10);
+        for (a, b) in recs.iter().zip(&snap.records) {
+            assert!(a.bits_eq(b));
+        }
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn deltas_apply_in_order_on_top_of_the_epoch() {
+        let root = temp_root("delta");
+        let store = Store::open(&root);
+        let base = records(6, 0.5);
+        store
+            .write_epoch(&header(2, 6, vec![(0, 3), (3, 6)]), &base)
+            .unwrap();
+
+        let mut h = header(4, 6, vec![(0, 3), (3, 6)]);
+        h.base_round = Some(2);
+        store.write_delta(&h, &[record(1, 9.0)]).unwrap();
+
+        let mut h = header(6, 6, vec![(0, 3), (3, 6)]);
+        h.base_round = Some(4);
+        store
+            .write_delta(&h, &[record(1, 11.0), record(5, 12.0)])
+            .unwrap();
+
+        let snap = store.load_latest().unwrap();
+        assert_eq!(snap.header.round, 6);
+        assert!(snap.records[0].bits_eq(&base[0]));
+        assert!(snap.records[1].bits_eq(&record(1, 11.0)));
+        assert!(snap.records[5].bits_eq(&record(5, 12.0)));
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn delta_against_a_stale_base_is_rejected() {
+        let root = temp_root("stale");
+        let store = Store::open(&root);
+        store
+            .write_epoch(&header(2, 3, vec![(0, 3)]), &records(3, 0.5))
+            .unwrap();
+        let mut h = header(5, 3, vec![(0, 3)]);
+        h.base_round = Some(4); // nothing at round 4 is committed
+        let err = store.write_delta(&h, &[]).unwrap_err();
+        assert!(matches!(err, StoreError::Invalid { .. }), "{err}");
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn missing_head_is_no_snapshot() {
+        let root = temp_root("nohead");
+        let store = Store::open(&root);
+        assert!(matches!(
+            store.load_latest().unwrap_err(),
+            StoreError::NoSnapshot { .. }
+        ));
+    }
+
+    #[test]
+    fn missing_shard_file_is_typed_not_a_panic() {
+        let root = temp_root("missing");
+        let store = Store::open(&root);
+        store
+            .write_epoch(&header(1, 4, vec![(0, 2), (2, 4)]), &records(4, 0.5))
+            .unwrap();
+        std::fs::remove_file(store.epoch_dir(1).join("shard-1.bin")).unwrap();
+        assert!(matches!(
+            store.load_latest().unwrap_err(),
+            StoreError::Missing { .. }
+        ));
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn truncating_each_shard_at_every_eighth_is_a_typed_error() {
+        // The ISSUE's corruption drill: cut every shard file at each
+        // 1/8 of its length — every cut must surface as a typed
+        // StoreError (Corrupt or Missing-from-frame), never a panic and
+        // never a silently wrong load.
+        let root = temp_root("truncate");
+        let store = Store::open(&root);
+        store
+            .write_epoch(&header(2, 8, vec![(0, 3), (3, 8)]), &records(8, 0.25))
+            .unwrap();
+        for shard in 0..2 {
+            let path = store.epoch_dir(2).join(format!("shard-{shard}.bin"));
+            let pristine = std::fs::read(&path).unwrap();
+            for eighth in 0..8u32 {
+                let cut = (pristine.len() as u64 * u64::from(eighth) / 8) as usize;
+                std::fs::write(&path, &pristine[..cut]).unwrap();
+                let err = store.load_latest().unwrap_err();
+                assert!(
+                    matches!(err, StoreError::Corrupt { .. }),
+                    "shard {shard} cut at {cut}/{}: {err}",
+                    pristine.len()
+                );
+            }
+            std::fs::write(&path, &pristine).unwrap();
+            store.load_latest().unwrap();
+        }
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn flipping_any_byte_fails_the_checksum() {
+        let root = temp_root("garble");
+        let store = Store::open(&root);
+        store
+            .write_epoch(&header(1, 4, vec![(0, 4)]), &records(4, 0.75))
+            .unwrap();
+        let path = store.epoch_dir(1).join("shard-0.bin");
+        let pristine = std::fs::read(&path).unwrap();
+        // Flip a byte in the middle of the payload region.
+        let mut garbled = pristine.clone();
+        let mid = garbled.len() / 2;
+        garbled[mid] ^= 0x40;
+        std::fs::write(&path, &garbled).unwrap();
+        let err = store.load_latest().unwrap_err();
+        assert!(
+            matches!(
+                err,
+                StoreError::Corrupt { .. } | StoreError::UnsupportedVersion { .. }
+            ),
+            "{err}"
+        );
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn future_format_version_is_rejected_with_the_typed_error() {
+        let root = temp_root("future");
+        let store = Store::open(&root);
+        store
+            .write_epoch(&header(1, 2, vec![(0, 2)]), &records(2, 0.5))
+            .unwrap();
+        let path = store.epoch_dir(1).join("header.json");
+        let mut h: SnapshotHeader =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        h.format_version = FORMAT_VERSION + 1;
+        std::fs::write(&path, serde_json::to_string(&h).unwrap()).unwrap();
+        assert!(matches!(
+            store.load_latest().unwrap_err(),
+            StoreError::UnsupportedVersion { found, .. } if found == FORMAT_VERSION + 1
+        ));
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn mismatched_inputs_are_invalid() {
+        let store = Store::open(temp_root("invalid"));
+        // Wrong record count.
+        let err = store
+            .write_epoch(&header(0, 5, vec![(0, 5)]), &records(3, 0.5))
+            .unwrap_err();
+        assert!(matches!(err, StoreError::Invalid { .. }));
+        // Non-covering shard ranges.
+        let err = store
+            .write_epoch(&header(0, 3, vec![(0, 2)]), &records(3, 0.5))
+            .unwrap_err();
+        assert!(matches!(err, StoreError::Invalid { .. }));
+    }
+}

@@ -95,6 +95,21 @@ impl EwmaEstimator {
         e.value = initial;
         e
     }
+
+    /// The learning rate (needed to checkpoint the estimator).
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Rebuild an estimator from checkpointed parts, bit for bit: the
+    /// `rate` is stored as given (a checkpointed rate was already
+    /// clamped by [`new`](Self::new) when the estimator was first
+    /// built), and `value`/`count` are taken verbatim, so a
+    /// snapshot/restore round-trip reproduces the exact estimator
+    /// state.
+    pub fn from_parts(rate: f64, value: TrustValue, count: u64) -> Self {
+        Self { value, rate, count }
+    }
 }
 
 impl Default for EwmaEstimator {

@@ -48,6 +48,15 @@ impl ReputationTable {
         self.entries.get(&peer)
     }
 
+    /// Insert (or replace) a peer's entry wholesale — the
+    /// checkpoint-restore path, which rebuilds a table row for row from
+    /// persisted [`TableEntry`] values rather than replaying the
+    /// transactions that produced them. Returns the displaced entry, if
+    /// any.
+    pub fn insert(&mut self, peer: NodeId, entry: TableEntry) -> Option<TableEntry> {
+        self.entries.insert(peer, entry)
+    }
+
     /// Record a transaction outcome with `peer` using the supplied
     /// estimator state (the estimator is owned by the caller so different
     /// estimator types can share the table).
