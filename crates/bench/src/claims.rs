@@ -4,10 +4,15 @@
 //! aggregation *bounds* what free riders and manipulators can extract.
 //! The `claims` binary makes that claim executable: for every attack in
 //! the matrix (honest baseline, sybil rings, collusion cliques,
-//! slander, whitewashing) it runs the full reputation lifecycle on a
-//! pinned seed, once with the paper's plain aggregation and once with
-//! the trust-side countermeasures ([`DefensePolicy::defended`]), plus a
-//! byzantine run of the real peer deployment over the faulty transport.
+//! slander, whitewashing, stealth cartels) it runs the full reputation
+//! lifecycle on a pinned seed, once with the paper's plain aggregation
+//! and once with the trust-side countermeasures
+//! ([`DefensePolicy::defended`]), plus a byzantine run of the real peer
+//! deployment over the faulty transport. The stealth row is special:
+//! it first *proves the evasion* — the cartel beats clamp + trim on the
+//! defended run — and then gates the stochastic-audit countermeasure
+//! ([`dg_trust::audit`]) on detection rate, false positives and audit
+//! bandwidth.
 //! Each attack emits a `CLAIMS_<attack>.json` report, and the binary
 //! exits non-zero when any documented bound is violated — the CI gate.
 //!
@@ -18,15 +23,22 @@
 
 use dg_core::behavior::Behavior;
 use dg_gossip::{AdversaryMix, GossipPair, NetworkProfile};
+use dg_graph::NodeId;
 use dg_p2p::{run_distributed, DistributedConfig};
 use dg_sim::rounds::{DefensePolicy, RoundStats, RoundsConfig, RoundsSimulator};
 use dg_sim::scenario::{Scenario, ScenarioConfig};
+use dg_trust::audit::AuditPolicy;
 use serde::{Deserialize, Serialize};
 
 /// Network size of the lifecycle matrix runs.
 pub const MATRIX_NODES: usize = 250;
 /// Lifecycle rounds per matrix run.
 pub const MATRIX_ROUNDS: usize = 8;
+/// Lifecycle rounds of the stealth-cartel arm: long enough for the
+/// stochastic audits (rate × rounds samples per node) to reach the
+/// documented detection rate, and for the post-conviction rounds to
+/// pull honest reputations back inside the deviation bound.
+pub const STEALTH_ROUNDS: usize = 200;
 /// Network size of the byzantine distributed check.
 pub const BYZANTINE_NODES: usize = 120;
 
@@ -65,6 +77,15 @@ pub struct ClaimThresholds {
     /// Slack on the byzantine bias bound
     /// `|distorted mean − honest mean| ≤ fraction × (1 − honest mean)`.
     pub byzantine_bias_slack: f64,
+    /// The audit countermeasure must convict at least this fraction of
+    /// the stealth cartel by the end of the stealth arm.
+    pub detection_min: f64,
+    /// At most this many honest nodes may be convicted by audits
+    /// (structurally zero: honest reports re-verify bit-exactly).
+    pub false_positive_max: f64,
+    /// Audit bandwidth (probe + re-verified entries) over the whole run
+    /// stays within this fraction of the run's total report traffic.
+    pub audit_overhead_max: f64,
 }
 
 impl Default for ClaimThresholds {
@@ -78,6 +99,9 @@ impl Default for ClaimThresholds {
             preferential_service_slack: 0.05,
             mass_tolerance: 1e-9,
             byzantine_bias_slack: 1e-9,
+            detection_min: 0.95,
+            false_positive_max: 0.0,
+            audit_overhead_max: 0.03,
         }
     }
 }
@@ -104,6 +128,9 @@ impl ClaimThresholds {
             "preferential_service_slack" => &mut self.preferential_service_slack,
             "mass_tolerance" => &mut self.mass_tolerance,
             "byzantine_bias_slack" => &mut self.byzantine_bias_slack,
+            "detection_min" => &mut self.detection_min,
+            "false_positive_max" => &mut self.false_positive_max,
+            "audit_overhead_max" => &mut self.audit_overhead_max,
             other => return Err(format!("unknown bound `{other}`")),
         };
         *slot = value;
@@ -142,8 +169,15 @@ pub struct LifecycleRun {
     residual: Option<f64>,
     /// Per-subject mean reputation at the end of the run.
     means: Vec<Option<f64>>,
+    /// Per-subject mean reputation over *honest* observers only (no
+    /// adversary roles, no convicted auditees).
+    honest_means: Vec<Option<f64>>,
     /// Subjects that are honest contributors (and no adversary role).
     honest_mask: Vec<bool>,
+    /// Nodes holding any adversary role.
+    adversary_mask: Vec<bool>,
+    /// Audit convictions: `(node, round convicted)`.
+    convicted: Vec<(NodeId, u64)>,
 }
 
 impl LifecycleRun {
@@ -156,6 +190,28 @@ impl LifecycleRun {
                 continue;
             }
             if let (Some(a), Some(r)) = (self.means[i], reference.means[i]) {
+                acc += (a - r).abs();
+                count += 1;
+            }
+        }
+        (count > 0).then(|| acc / count as f64)
+    }
+
+    /// [`Self::deviation_from`] restricted to honest observers — the
+    /// stealth arm's metric. A 45 % cartel owns nearly half the views in
+    /// the plain mean, and its members rate each *other* 0.4 above
+    /// honest level while slandering outsiders; the two biases partially
+    /// cancel in an all-observer average and mask the damage the honest
+    /// network actually experiences. Reputations only matter to the
+    /// nodes that act on them, so the evasion claim is measured through
+    /// honest eyes.
+    pub fn honest_deviation_from(&self, reference: &LifecycleRun) -> Option<f64> {
+        let (mut acc, mut count) = (0.0, 0usize);
+        for (i, &honest) in self.honest_mask.iter().enumerate() {
+            if !honest {
+                continue;
+            }
+            if let (Some(a), Some(r)) = (self.honest_means[i], reference.honest_means[i]) {
                 acc += (a - r).abs();
                 count += 1;
             }
@@ -203,6 +259,36 @@ pub struct ByzantineCheck {
     pub bias_bound: f64,
 }
 
+/// The stealth arm's audit-countermeasure metrics: what the seeded
+/// stochastic audits ([`dg_trust::audit`]) achieved against a cartel
+/// that provably evades the clamp + trim defense.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StealthAudit {
+    /// Stealth cartel members in the run.
+    pub cartel_members: usize,
+    /// Cartel members convicted (k strikes) by the end of the run.
+    pub detected: usize,
+    /// `detected / cartel_members`.
+    pub detection_rate: f64,
+    /// Honest nodes convicted (must be zero: an honest node's log
+    /// re-verifies bit-exactly, so audits cannot strike it).
+    pub false_positives: usize,
+    /// Mean 1-based round at which detected members were convicted.
+    pub mean_rounds_to_detection: Option<f64>,
+    /// Run-total audit bandwidth as a fraction of run-total report
+    /// traffic — the gated bandwidth claim. Totals, not a worst round:
+    /// convictions purge the cartel's reports, so late rounds carry a
+    /// fraction of the original traffic and a per-round ratio there
+    /// measures the denominator's collapse, not the audits' cost.
+    pub audit_overhead: f64,
+    /// Worst single-round audit bandwidth fraction (diagnostic).
+    pub max_audit_overhead: f64,
+    /// Honest deviation of the defended run *without* audits — the
+    /// evasion proof: this must exceed `deviation_max`, or the cartel
+    /// never beat the defense and the countermeasure claim is vacuous.
+    pub evasion_deviation: Option<f64>,
+}
+
 /// One violated bound.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Violation {
@@ -218,7 +304,7 @@ pub struct Violation {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct AttackReport {
     /// Attack label (`none` / `sybil` / `collusion` / `slander` /
-    /// `whitewash`).
+    /// `whitewash` / `stealth`).
     pub attack: String,
     /// Scenario seed.
     pub seed: u64,
@@ -228,15 +314,21 @@ pub struct AttackReport {
     pub rounds: usize,
     /// The adversary mix that ran.
     pub mix: AdversaryMix,
-    /// Metrics with the paper's plain aggregation.
+    /// Metrics with the paper's plain aggregation. For the `stealth`
+    /// attack this slot holds the *defended-without-audits* run — the
+    /// baseline the cartel evades.
     pub open: LifecycleMetrics,
-    /// Metrics with [`DefensePolicy::defended`].
+    /// Metrics with [`DefensePolicy::defended`]. For the `stealth`
+    /// attack the defense additionally runs [`AuditPolicy::standard`].
     pub defended: LifecycleMetrics,
     /// The distributed byzantine check.
     pub byzantine: ByzantineCheck,
     /// For the honest baseline only: whether a zero-fraction mix with
     /// non-default structural knobs replayed bit-identically.
     pub zero_mix_bit_identical: Option<bool>,
+    /// For the stealth attack only: the audit-countermeasure metrics.
+    #[serde(default)]
+    pub stealth: Option<StealthAudit>,
     /// Violated bounds (empty = this attack's claims hold).
     pub violations: Vec<Violation>,
 }
@@ -255,20 +347,58 @@ fn scenario_config(seed: u64, mix: AdversaryMix) -> ScenarioConfig {
 fn run_lifecycle(
     config: ScenarioConfig,
     defense: DefensePolicy,
+    rounds: usize,
+    audit: AuditPolicy,
 ) -> Result<LifecycleRun, Box<dyn std::error::Error>> {
     let scenario = Scenario::build(config)?;
     let mut sim = RoundsSimulator::new(
         &scenario,
         RoundsConfig {
-            rounds: MATRIX_ROUNDS,
+            rounds,
             ..RoundsConfig::default()
         }
-        .with_defense(defense),
+        .with_defense(defense)
+        .with_audit(audit),
     );
     let mut rng = scenario.gossip_rng(2);
     let stats = sim.run(&mut rng)?;
     let residual = sim.honest_residual_error();
-    let means = sim.subject_mean_reputations();
+    let convicted = sim.convicted();
+    // Subject means over the *operational* observers. Conviction resets
+    // an auditee's identity, leaving it the zero-prior newcomer view of
+    // everyone — counting those husks as observers would read as a
+    // uniform deflation of every honest subject, drowning the signal the
+    // deviation comparison is after. With no convictions this is exactly
+    // [`RoundsSimulator::subject_mean_reputations`].
+    let n = scenario.graph.node_count();
+    let convicted_mask = {
+        let mut mask = vec![false; n];
+        for &(node, _) in &convicted {
+            mask[node.index()] = true;
+        }
+        mask
+    };
+    let subject_means = |excluded: &dyn Fn(usize) -> bool| -> Vec<Option<f64>> {
+        (0..n)
+            .map(|s| {
+                let (mut acc, mut count) = (0.0, 0usize);
+                for o in 0..n {
+                    if excluded(o) {
+                        continue;
+                    }
+                    if let Some(v) = sim.aggregated(NodeId(o as u32), NodeId(s as u32)) {
+                        acc += v;
+                        count += 1;
+                    }
+                }
+                (count > 0).then(|| acc / count as f64)
+            })
+            .collect()
+    };
+    let means = subject_means(&|o| convicted_mask[o]);
+    let honest_means = subject_means(&|o| {
+        convicted_mask[o] || scenario.adversaries.is_adversary(NodeId(o as u32))
+    });
     let honest_mask = scenario
         .graph
         .nodes()
@@ -277,11 +407,19 @@ fn run_lifecycle(
                 && matches!(scenario.population.behavior(v), Behavior::Honest { .. })
         })
         .collect();
+    let adversary_mask = scenario
+        .graph
+        .nodes()
+        .map(|v| scenario.adversaries.is_adversary(v))
+        .collect();
     Ok(LifecycleRun {
         stats,
         residual,
         means,
+        honest_means,
         honest_mask,
+        adversary_mask,
+        convicted,
     })
 }
 
@@ -290,14 +428,33 @@ fn run_lifecycle(
 pub struct Reference {
     open: LifecycleRun,
     defended: LifecycleRun,
+    /// No-attack defended run at [`STEALTH_ROUNDS`]: the stealth arm's
+    /// deviations need a reference of the same length.
+    stealth_defended: LifecycleRun,
 }
 
 /// Build the reference runs for a seed.
 pub fn reference(seed: u64) -> Result<Reference, Box<dyn std::error::Error>> {
     let config = scenario_config(seed, AdversaryMix::none());
     Ok(Reference {
-        open: run_lifecycle(config, DefensePolicy::none())?,
-        defended: run_lifecycle(config, DefensePolicy::defended())?,
+        open: run_lifecycle(
+            config,
+            DefensePolicy::none(),
+            MATRIX_ROUNDS,
+            AuditPolicy::off(),
+        )?,
+        defended: run_lifecycle(
+            config,
+            DefensePolicy::defended(),
+            MATRIX_ROUNDS,
+            AuditPolicy::off(),
+        )?,
+        stealth_defended: run_lifecycle(
+            config,
+            DefensePolicy::defended(),
+            STEALTH_ROUNDS,
+            AuditPolicy::off(),
+        )?,
     })
 }
 
@@ -359,6 +516,7 @@ pub fn attack_matrix() -> Vec<(&'static str, AdversaryMix)> {
         ("collusion", AdversaryMix::collusion()),
         ("slander", AdversaryMix::slander()),
         ("whitewash", AdversaryMix::whitewash()),
+        ("stealth", AdversaryMix::stealth()),
     ]
 }
 
@@ -384,14 +542,42 @@ pub fn run_attack(
     reference: &Reference,
 ) -> Result<AttackReport, Box<dyn std::error::Error>> {
     let config = scenario_config(seed, mix);
+    let is_stealth = attack == "stealth";
     // The `none` row IS the reference — reuse its runs instead of
-    // repeating the identical 250-node lifecycles.
+    // repeating the identical 250-node lifecycles. The stealth row runs
+    // the *defended* lifecycle twice over the long horizon: once without
+    // audits (the evasion proof) and once with them (the countermeasure).
     let attack_runs = if mix.is_none() {
         None
+    } else if is_stealth {
+        Some((
+            run_lifecycle(
+                config,
+                DefensePolicy::defended(),
+                STEALTH_ROUNDS,
+                AuditPolicy::off(),
+            )?,
+            run_lifecycle(
+                config,
+                DefensePolicy::defended(),
+                STEALTH_ROUNDS,
+                AuditPolicy::standard(),
+            )?,
+        ))
     } else {
         Some((
-            run_lifecycle(config, DefensePolicy::none())?,
-            run_lifecycle(config, DefensePolicy::defended())?,
+            run_lifecycle(
+                config,
+                DefensePolicy::none(),
+                MATRIX_ROUNDS,
+                AuditPolicy::off(),
+            )?,
+            run_lifecycle(
+                config,
+                DefensePolicy::defended(),
+                MATRIX_ROUNDS,
+                AuditPolicy::off(),
+            )?,
         ))
     };
     let (open_run, defended_run) = match &attack_runs {
@@ -400,6 +586,11 @@ pub fn run_attack(
     };
     let (open_dev, defended_dev) = if mix.is_none() {
         (None, None)
+    } else if is_stealth {
+        (
+            open_run.honest_deviation_from(&reference.stealth_defended),
+            defended_run.honest_deviation_from(&reference.stealth_defended),
+        )
     } else {
         (
             open_run.deviation_from(&reference.open),
@@ -409,6 +600,48 @@ pub fn run_attack(
     let open = open_run.metrics(open_dev);
     let defended = defended_run.metrics(defended_dev);
     let byzantine = byzantine_check(seed, mix)?;
+
+    let stealth = is_stealth.then(|| {
+        let audit_run = defended_run;
+        let cartel_members = audit_run.adversary_mask.iter().filter(|&&a| a).count();
+        let mut detected = 0usize;
+        let mut false_positives = 0usize;
+        let mut round_sum = 0.0;
+        for &(node, round) in &audit_run.convicted {
+            if audit_run.adversary_mask[node.index()] {
+                detected += 1;
+                round_sum += round as f64 + 1.0;
+            } else {
+                false_positives += 1;
+            }
+        }
+        StealthAudit {
+            cartel_members,
+            detected,
+            detection_rate: if cartel_members == 0 {
+                0.0
+            } else {
+                detected as f64 / cartel_members as f64
+            },
+            false_positives,
+            mean_rounds_to_detection: (detected > 0).then(|| round_sum / detected as f64),
+            audit_overhead: {
+                let audit: u64 = audit_run.stats.iter().map(|s| s.audit_entries).sum();
+                let report: u64 = audit_run.stats.iter().map(|s| s.report_entries).sum();
+                if report == 0 {
+                    0.0
+                } else {
+                    audit as f64 / report as f64
+                }
+            },
+            max_audit_overhead: audit_run
+                .stats
+                .iter()
+                .map(RoundStats::audit_overhead)
+                .fold(0.0, f64::max),
+            evasion_deviation: open_dev,
+        }
+    });
 
     // The zero-adversary bit-identity pin: a mix with all fractions at
     // zero but non-default structural knobs must replay the honest
@@ -422,7 +655,12 @@ pub fn run_attack(
             wash_threshold: 0.8,
             ..AdversaryMix::none()
         };
-        let replay = run_lifecycle(scenario_config(seed, knobbed), DefensePolicy::none())?;
+        let replay = run_lifecycle(
+            scenario_config(seed, knobbed),
+            DefensePolicy::none(),
+            MATRIX_ROUNDS,
+            AuditPolicy::off(),
+        )?;
         Some(replay.stats == open_run.stats && replay.means == open_run.means)
     } else {
         None
@@ -529,6 +767,42 @@ pub fn run_attack(
                 inflation <= t.inflation_max,
             );
         }
+        "stealth" => {
+            let s = stealth.as_ref().expect("stealth arm computes its audit");
+            // The evasion proof: *without* audits the cartel must push
+            // honest reputations past the deviation bound, or the
+            // countermeasure has nothing to counter. Note the inverted
+            // sense — staying under the limit is the violation here.
+            let evasion = s.evasion_deviation.unwrap_or(0.0);
+            check(
+                &mut violations,
+                "stealth_evasion_proven",
+                t.deviation_max,
+                evasion,
+                evasion > t.deviation_max,
+            );
+            check(
+                &mut violations,
+                "detection_min",
+                t.detection_min,
+                s.detection_rate,
+                s.detection_rate >= t.detection_min,
+            );
+            check(
+                &mut violations,
+                "false_positive_max",
+                t.false_positive_max,
+                s.false_positives as f64,
+                (s.false_positives as f64) <= t.false_positive_max,
+            );
+            check(
+                &mut violations,
+                "audit_overhead_max",
+                t.audit_overhead_max,
+                s.audit_overhead,
+                s.audit_overhead <= t.audit_overhead_max,
+            );
+        }
         _ => {}
     }
 
@@ -536,12 +810,17 @@ pub fn run_attack(
         attack: attack.to_owned(),
         seed,
         nodes: MATRIX_NODES,
-        rounds: MATRIX_ROUNDS,
+        rounds: if is_stealth {
+            STEALTH_ROUNDS
+        } else {
+            MATRIX_ROUNDS
+        },
         mix,
         open,
         defended,
         byzantine,
         zero_mix_bit_identical,
+        stealth,
         violations,
     })
 }
@@ -678,7 +957,14 @@ mod tests {
         let labels: Vec<&str> = matrix.iter().map(|(l, _)| *l).collect();
         assert_eq!(
             labels,
-            vec!["none", "sybil", "collusion", "slander", "whitewash"]
+            vec![
+                "none",
+                "sybil",
+                "collusion",
+                "slander",
+                "whitewash",
+                "stealth"
+            ]
         );
         for (label, mix) in &matrix {
             assert_eq!(mix.label(), if *label == "none" { "none" } else { label });

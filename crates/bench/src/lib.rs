@@ -31,8 +31,8 @@
 //! * `--profile <lossless|lossy|partitioned|churning>` — network fault
 //!   profile for profile-aware binaries (`perf_suite` emits
 //!   `BENCH_<profile>.json`, `degradation` sweeps them),
-//! * `--adversary <none|sybil|collusion|slander|whitewash>` — adversary
-//!   preset for round-loop driving binaries (`perf_suite` composes it
+//! * `--adversary <none|sybil|collusion|slander|whitewash|stealth>` —
+//!   adversary preset for round-loop driving binaries (`perf_suite` composes it
 //!   with `--engine` and `--profile`, so attacks run under either
 //!   engine over any transport profile; the gossip-layer figure/table
 //!   binaries accept and ignore it),
@@ -209,7 +209,7 @@ impl Cli {
                         .unwrap_or_else(|| {
                             usage(
                                 "--adversary needs one of: none, sybil, collusion, slander, \
-                                 whitewash",
+                                 whitewash, stealth (with optional key=value overrides)",
                             )
                         });
                     cli.adversary = v;
@@ -260,7 +260,7 @@ fn usage(msg: &str) -> ! {
          [--activity <f64>] [--zipf <f64>] [--seed <u64>] [--json] \
          [--engine <sequential|parallel|sharded|incremental>] [--shards <usize>] \
          [--profile <lossless|lossy|partitioned|churning>] \
-         [--adversary <none|sybil|collusion|slander|whitewash>] [--out <path>] \
+         [--adversary <none|sybil|collusion|slander|whitewash|stealth>] [--out <path>] \
          [--out-dir <dir>] [--checkpoint-every <rounds>] [--resume <dir>] \
          [--checkpoint-overhead]"
     );

@@ -66,6 +66,21 @@ pub struct AdversaryMix {
     /// Base reputation threshold below which a whitewasher washes (each
     /// washer jitters its personal threshold from its own stream).
     pub wash_threshold: f64,
+    /// Fraction of nodes in stealth cartels: peers that serve honestly
+    /// but bias every report *within* the defended clamp bounds —
+    /// deflating outsiders and inflating clique mates — so clamping and
+    /// trimmed aggregation never see an outlier to reject.
+    #[serde(default)]
+    pub stealth_fraction: f64,
+    /// Members per stealth cartel (must be ≥ 1 whenever
+    /// `stealth_fraction > 0`; zero otherwise, so configs serialized
+    /// before the stealth knobs existed keep deserializing unchanged).
+    #[serde(default)]
+    pub stealth_clique: usize,
+    /// Bias magnitude a cartel member applies to each report before the
+    /// result is folded back into the clamp window `[0.1, 0.9]`.
+    #[serde(default)]
+    pub stealth_bias: f64,
 }
 
 impl Default for AdversaryMix {
@@ -87,6 +102,9 @@ impl AdversaryMix {
             slander_factor: 0.0,
             whitewash_fraction: 0.0,
             wash_threshold: 0.25,
+            stealth_fraction: 0.0,
+            stealth_clique: 0,
+            stealth_bias: 0.0,
         }
     }
 
@@ -123,16 +141,76 @@ impl AdversaryMix {
         }
     }
 
-    /// Parse a CLI label.
-    pub fn parse(s: &str) -> Option<Self> {
-        match s {
-            "none" | "honest" => Some(Self::none()),
-            "sybil" => Some(Self::sybil()),
-            "collusion" => Some(Self::collusion()),
-            "slander" => Some(Self::slander()),
-            "whitewash" => Some(Self::whitewash()),
-            _ => None,
+    /// Preset: 45 % stealth-cartel members in cliques of 5 applying the
+    /// maximal within-bounds bias — reports pinned to the clamp
+    /// window's own edges, so the defense still sees nothing to reject.
+    /// The fraction deliberately exceeds the defended trim fraction
+    /// (20 % per tail): a cartel the trim can swallow whole moves
+    /// nothing, so evasion needs the colluding mass to outnumber what
+    /// the robust aggregation can discard.
+    pub const fn stealth() -> Self {
+        Self {
+            stealth_fraction: 0.45,
+            stealth_clique: 5,
+            stealth_bias: 1.0,
+            ..Self::none()
         }
+    }
+
+    /// Parse a CLI spec: a preset label, optionally followed by
+    /// `:key=value,key=value,…` knob overrides (full field names, e.g.
+    /// `stealth:stealth_bias=0.3,stealth_clique=8`). Any unrecognised
+    /// label, key or malformed value returns `None` — a typo in an
+    /// experiment spec must fail loudly, never silently run the wrong
+    /// attack.
+    pub fn parse(s: &str) -> Option<Self> {
+        let (label, overrides) = match s.split_once(':') {
+            Some((label, rest)) => (label, Some(rest)),
+            None => (s, None),
+        };
+        let mut mix = match label {
+            "none" | "honest" => Self::none(),
+            "sybil" => Self::sybil(),
+            "collusion" => Self::collusion(),
+            "slander" => Self::slander(),
+            "whitewash" => Self::whitewash(),
+            "stealth" => Self::stealth(),
+            _ => return None,
+        };
+        if let Some(overrides) = overrides {
+            for pair in overrides.split(',') {
+                let (key, value) = pair.split_once('=')?;
+                mix.apply_override(key.trim(), value.trim())?;
+            }
+        }
+        Some(mix)
+    }
+
+    /// Apply one `key=value` override; `None` on an unknown key or a
+    /// value that fails to parse.
+    fn apply_override(&mut self, key: &str, value: &str) -> Option<()> {
+        fn float(v: &str) -> Option<f64> {
+            v.parse().ok()
+        }
+        fn size(v: &str) -> Option<usize> {
+            v.parse().ok()
+        }
+        match key {
+            "sybil_fraction" => self.sybil_fraction = float(value)?,
+            "sybil_ring" => self.sybil_ring = size(value)?,
+            "sybil_spawn_rate" => self.sybil_spawn_rate = float(value)?,
+            "collusion_fraction" => self.collusion_fraction = float(value)?,
+            "collusion_clique" => self.collusion_clique = size(value)?,
+            "slander_fraction" => self.slander_fraction = float(value)?,
+            "slander_factor" => self.slander_factor = float(value)?,
+            "whitewash_fraction" => self.whitewash_fraction = float(value)?,
+            "wash_threshold" => self.wash_threshold = float(value)?,
+            "stealth_fraction" => self.stealth_fraction = float(value)?,
+            "stealth_clique" => self.stealth_clique = size(value)?,
+            "stealth_bias" => self.stealth_bias = float(value)?,
+            _ => return None,
+        }
+        Some(())
     }
 
     /// Stable label: the preset name when the mix equals a preset,
@@ -148,6 +226,8 @@ impl AdversaryMix {
             "slander"
         } else if *self == Self::whitewash() {
             "whitewash"
+        } else if *self == Self::stealth() {
+            "stealth"
         } else {
             "custom"
         }
@@ -159,6 +239,7 @@ impl AdversaryMix {
             + self.collusion_fraction
             + self.slander_fraction
             + self.whitewash_fraction
+            + self.stealth_fraction
     }
 
     /// Whether the mix contains no adversaries.
@@ -173,6 +254,7 @@ impl AdversaryMix {
             self.collusion_fraction,
             self.slander_fraction,
             self.whitewash_fraction,
+            self.stealth_fraction,
         ];
         if fractions.iter().any(|f| !(0.0..=1.0).contains(f)) {
             return Err(GossipError::InvalidAdversaryMix(
@@ -187,6 +269,11 @@ impl AdversaryMix {
         if self.sybil_ring == 0 || self.collusion_clique == 0 {
             return Err(GossipError::InvalidAdversaryMix(
                 "ring / clique sizes must be at least 1",
+            ));
+        }
+        if self.stealth_fraction > 0.0 && self.stealth_clique == 0 {
+            return Err(GossipError::InvalidAdversaryMix(
+                "stealth clique size must be at least 1",
             ));
         }
         if self.sybil_fraction > 0.0
@@ -204,6 +291,11 @@ impl AdversaryMix {
         if !(0.0..=1.0).contains(&self.wash_threshold) {
             return Err(GossipError::InvalidAdversaryMix(
                 "wash threshold must lie in [0, 1]",
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.stealth_bias) {
+            return Err(GossipError::InvalidAdversaryMix(
+                "stealth bias must lie in [0, 1]",
             ));
         }
         Ok(self)
@@ -235,7 +327,14 @@ mod tests {
 
     #[test]
     fn presets_validate_and_roundtrip_labels() {
-        for label in ["none", "sybil", "collusion", "slander", "whitewash"] {
+        for label in [
+            "none",
+            "sybil",
+            "collusion",
+            "slander",
+            "whitewash",
+            "stealth",
+        ] {
             let mix = AdversaryMix::parse(label).unwrap();
             assert!(mix.validated().is_ok());
             assert_eq!(mix.label(), label);
@@ -247,6 +346,50 @@ mod tests {
             ..AdversaryMix::none()
         };
         assert_eq!(custom.label(), "custom");
+    }
+
+    #[test]
+    fn parse_applies_known_overrides() {
+        let mix = AdversaryMix::parse("stealth:stealth_bias=0.3,stealth_clique=8").unwrap();
+        assert_eq!(
+            mix,
+            AdversaryMix {
+                stealth_bias: 0.3,
+                stealth_clique: 8,
+                ..AdversaryMix::stealth()
+            }
+        );
+        let mix = AdversaryMix::parse("none:sybil_fraction=0.05, sybil_ring=3").unwrap();
+        assert_eq!(mix.sybil_fraction, 0.05);
+        assert_eq!(mix.sybil_ring, 3);
+    }
+
+    #[test]
+    fn parse_rejects_unknown_keys_and_malformed_overrides() {
+        // A typo in a knob name must fail loudly, not silently run the
+        // base preset.
+        assert_eq!(AdversaryMix::parse("stealth:stealth_bais=0.3"), None);
+        assert_eq!(AdversaryMix::parse("sybil:unknown_key=1"), None);
+        // Malformed values and pairs fail too.
+        assert_eq!(AdversaryMix::parse("sybil:sybil_ring=abc"), None);
+        assert_eq!(AdversaryMix::parse("sybil:sybil_ring"), None);
+        assert_eq!(AdversaryMix::parse("sybil:"), None);
+        // Unknown base labels keep failing.
+        assert_eq!(AdversaryMix::parse("stelth"), None);
+    }
+
+    #[test]
+    fn legacy_mix_json_deserializes_with_stealth_defaults() {
+        // A serialized mix from before the stealth knobs existed must
+        // keep parsing (checkpoint headers embed the config as JSON).
+        let legacy = r#"{
+            "sybil_fraction": 0.2, "sybil_ring": 8, "sybil_spawn_rate": 2.0,
+            "collusion_fraction": 0.0, "collusion_clique": 4,
+            "slander_fraction": 0.0, "slander_factor": 0.0,
+            "whitewash_fraction": 0.0, "wash_threshold": 0.25
+        }"#;
+        let mix: AdversaryMix = serde_json::from_str(legacy).unwrap();
+        assert_eq!(mix, AdversaryMix::sybil());
     }
 
     #[test]
@@ -279,6 +422,18 @@ mod tests {
         .is_err());
         assert!(AdversaryMix {
             collusion_clique: 0,
+            ..AdversaryMix::none()
+        }
+        .validated()
+        .is_err());
+        assert!(AdversaryMix {
+            stealth_clique: 0,
+            ..AdversaryMix::stealth()
+        }
+        .validated()
+        .is_err());
+        assert!(AdversaryMix {
+            stealth_bias: 1.5,
             ..AdversaryMix::none()
         }
         .validated()

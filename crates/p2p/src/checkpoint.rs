@@ -199,6 +199,7 @@ pub async fn resume_distributed(
             .zip(&segment.active_rounds)
             .map(|(a, b)| a + b)
             .collect(),
+        audits_answered: segment.audits_answered,
         ledger,
         initial_total: checkpoint.initial_total,
     })

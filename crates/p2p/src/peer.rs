@@ -52,6 +52,8 @@ pub enum Status {
         active_rounds: u64,
         /// Mass this peer's outgoing links destroyed or injected.
         ledger: MassLedger,
+        /// Audit probes this peer answered with an attestation.
+        audits_answered: u64,
     },
 }
 
@@ -117,6 +119,7 @@ pub async fn run_peer(
     let mut seq = 0u64;
     let mut holdback: Vec<Envelope> = Vec::new();
     let mut ledger = MassLedger::default();
+    let mut audits_answered = 0u64;
     // Highest sender seq that updated each neighbour's convergence flag:
     // delays can reorder messages, and a stale flag must never overwrite
     // a fresher one (last-writer-wins by *send* order).
@@ -202,14 +205,40 @@ pub async fn run_peer(
                             PeerMsg::Share { share, converged } => {
                                 pending += share;
                                 heard_other = true;
-                                converged
+                                Some(converged)
                             }
-                            PeerMsg::Announce { converged } => converged,
+                            PeerMsg::Announce { converged } => Some(converged),
+                            PeerMsg::AuditProbe { nonce } => {
+                                // Attest the last committed pair to the
+                                // prober (next-round stamp, like the
+                                // announcements below). Audit traffic is
+                                // massless: answered, lost or unanswered,
+                                // the mass ledger never moves.
+                                if let Some(&slot) = neighbour_slot.get(&env.from.0) {
+                                    seq += 1;
+                                    let _ = links[slot].send(
+                                        id,
+                                        seq,
+                                        round + 1,
+                                        PeerMsg::AuditReply {
+                                            nonce,
+                                            ratio_bits: pair.ratio().to_bits(),
+                                        },
+                                    );
+                                    audits_answered += 1;
+                                }
+                                None
+                            }
+                            // Replies are consumed by whoever probed;
+                            // they carry no convergence information.
+                            PeerMsg::AuditReply { .. } => None,
                         };
-                        if let Some(&slot) = neighbour_slot.get(&env.from.0) {
-                            if env.seq > flag_seq[slot] {
-                                flag_seq[slot] = env.seq;
-                                neighbour_converged[slot] = converged;
+                        if let Some(converged) = converged {
+                            if let Some(&slot) = neighbour_slot.get(&env.from.0) {
+                                if env.seq > flag_seq[slot] {
+                                    flag_seq[slot] = env.seq;
+                                    neighbour_converged[slot] = converged;
+                                }
                             }
                         }
                     }
@@ -295,6 +324,7 @@ pub async fn run_peer(
                     pair,
                     active_rounds,
                     ledger,
+                    audits_answered,
                 });
                 return;
             }

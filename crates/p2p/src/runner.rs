@@ -74,6 +74,9 @@ pub struct DistributedOutcome {
     pub pairs: Vec<GossipPair>,
     /// Rounds in which each peer actively pushed.
     pub active_rounds: Vec<u64>,
+    /// Audit probes each peer answered with an attestation (all-zero
+    /// unless an auditor injected probes into the run).
+    pub audits_answered: Vec<u64>,
     /// Exact accounting of mass destroyed / injected by the transport
     /// (all-zero on the reliable backend). The push-sum invariant under
     /// faults is `Σ pairs = Σ initial − lost + duplicated`; use
@@ -273,6 +276,7 @@ pub(crate) async fn run_segment<T: Transport>(
     }
     let mut pairs = vec![GossipPair::ZERO; n];
     let mut active = vec![0u64; n];
+    let mut audits = vec![0u64; n];
     let mut ledgers = vec![MassLedger::default(); n];
     for _ in 0..n {
         match status_rx.recv().await {
@@ -281,9 +285,11 @@ pub(crate) async fn run_segment<T: Transport>(
                 pair,
                 active_rounds,
                 ledger,
+                audits_answered,
             }) => {
                 pairs[node.index()] = pair;
                 active[node.index()] = active_rounds;
+                audits[node.index()] = audits_answered;
                 ledgers[node.index()] = ledger;
             }
             _ => return Err(DistributedError::PeerDied),
@@ -301,6 +307,7 @@ pub(crate) async fn run_segment<T: Transport>(
         estimates,
         pairs,
         active_rounds: active,
+        audits_answered: audits,
         ledger,
         initial_total,
     })
@@ -309,6 +316,7 @@ pub(crate) async fn run_segment<T: Transport>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::transport::{Envelope, PeerMsg};
     use dg_graph::{generators, pa};
 
     fn averaging_initial(values: &[f64]) -> Vec<GossipPair> {
@@ -484,6 +492,94 @@ mod tests {
         .await
         .unwrap();
         assert_eq!(honest, with_zero_mix);
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn injected_audit_probes_are_answered_and_massless() {
+        let g = generators::complete(8);
+        let values: Vec<f64> = (0..8).map(|i| i as f64 / 7.0).collect();
+        let config = DistributedConfig::default();
+        let base = run_with_transport(&g, config, averaging_initial(&values), Network::new(8))
+            .await
+            .unwrap();
+        assert_eq!(base.audits_answered, vec![0; 8]);
+
+        // Same run, but neighbour 1 spot-checks peer 0 three times before
+        // round 0 commits.
+        let net = Network::new(8);
+        let auditor = net.sender(NodeId(0));
+        for nonce in 0..3u64 {
+            auditor
+                .send(Envelope {
+                    from: NodeId(1),
+                    seq: u64::MAX - nonce,
+                    deliver_at: 0,
+                    msg: PeerMsg::AuditProbe { nonce },
+                })
+                .unwrap();
+        }
+        let out = run_with_transport(&g, config, averaging_initial(&values), net)
+            .await
+            .unwrap();
+        assert_eq!(out.audits_answered[0], 3, "peer 0 attests every probe");
+        assert_eq!(out.audits_answered[1..], base.audits_answered[1..]);
+        // Audit traffic carries no gossip mass: the probed run is
+        // bit-identical to the unprobed one, ledger included.
+        assert_eq!(out.pairs, base.pairs);
+        assert_eq!(out.estimates, base.estimates);
+        assert_eq!(out.ledger, base.ledger);
+        assert_eq!(out.rounds, base.rounds);
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn audit_probes_on_faulty_transport_leave_mass_accounting_exact() {
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let g = pa::preferential_attachment(pa::PaConfig { nodes: 60, m: 2 }, &mut rng).unwrap();
+        let values: Vec<f64> = (0..60).map(|i| ((i * 7) % 13) as f64 / 13.0).collect();
+        let config = DistributedConfig {
+            xi: 1e-4,
+            seed: 21,
+            max_rounds: 5_000,
+            profile: NetworkProfile::lossy(),
+            ..DistributedConfig::default()
+        };
+        let net = FaultyNetwork::new(60, NetworkProfile::lossy(), 21, 5_000);
+        let targets = [0u32, 5, 17];
+        for (i, &target) in targets.iter().enumerate() {
+            let from = NodeId(g.neighbours(NodeId(target))[0]);
+            net.sender(NodeId(target))
+                .send(Envelope {
+                    from,
+                    seq: u64::MAX - i as u64,
+                    deliver_at: 0,
+                    msg: PeerMsg::AuditProbe { nonce: i as u64 },
+                })
+                .unwrap();
+        }
+        let out = run_with_transport(&g, config, averaging_initial(&values), net)
+            .await
+            .unwrap();
+        assert!(out.converged, "probed lossy run hit the cap");
+        for &t in &targets {
+            assert_eq!(out.audits_answered[t as usize], 1, "target {t}");
+        }
+        // Replies ride the faulty links (and may be lost), yet the mass
+        // identity still closes exactly: probe and reply are massless.
+        let initial: GossipPair = values.iter().map(|&v| GossipPair::originator(v)).sum();
+        let expected = out.ledger.expected_total(initial);
+        let actual = out.total_pair();
+        assert!(
+            (actual.value - expected.value).abs() < 1e-9,
+            "value {} vs {}",
+            actual.value,
+            expected.value
+        );
+        assert!(
+            (actual.weight - expected.weight).abs() < 1e-9,
+            "weight {} vs {}",
+            actual.weight,
+            expected.weight
+        );
     }
 
     #[tokio::test(flavor = "multi_thread", worker_threads = 4)]

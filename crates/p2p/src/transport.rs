@@ -64,6 +64,24 @@ pub enum PeerMsg {
         /// Whether the sender currently considers itself converged.
         converged: bool,
     },
+    /// An audit spot-check: the prober challenges the receiver to attest
+    /// its current state. Carries **no gossip mass**, so audit traffic
+    /// never moves the [`MassLedger`] — on either transport — no matter
+    /// how the network treats it (lost probes simply go unanswered).
+    AuditProbe {
+        /// Challenge nonce, echoed in the reply.
+        nonce: u64,
+    },
+    /// The answer to an [`PeerMsg::AuditProbe`]: a bit-exact attestation
+    /// of the responder's current ratio estimate. Massless, like the
+    /// probe.
+    AuditReply {
+        /// The challenge nonce being answered.
+        nonce: u64,
+        /// `f64::to_bits` of the responder's committed ratio (raw bits,
+        /// so the attestation survives transport byte-for-byte).
+        ratio_bits: u64,
+    },
 }
 
 /// One message in flight, stamped with everything the receiver needs to
@@ -439,6 +457,12 @@ impl FaultyNetwork {
     /// The profile this transport injects.
     pub fn profile(&self) -> &NetworkProfile {
         &self.profile
+    }
+
+    /// Raw sender handle for `peer` (tests and auditors inject envelopes
+    /// directly; injected traffic bypasses the link fault model).
+    pub fn sender(&self, peer: NodeId) -> Mailbox {
+        self.senders[peer.index()].clone()
     }
 }
 

@@ -74,6 +74,12 @@ pub enum Role {
     Slanderer,
     /// Discards its identity whenever its reputation collapses.
     Whitewasher,
+    /// Member of the stealth cartel with this index: biases reports
+    /// within the defended clamp bounds, invisible to clamp + trim.
+    Stealth {
+        /// Cartel index into the assignment.
+        cartel: u32,
+    },
 }
 
 /// One adversarial strategy: how a node lies in the gossip channel and
@@ -262,6 +268,50 @@ impl Strategy for Whitewasher {
     }
 }
 
+/// A stealth cartel: members serve honestly but shift every report by
+/// `bias` *inside* the defended clamp window — outsiders down, clique
+/// mates up — so `RobustAggregation::defended()` never sees an outlier
+/// to clamp and (for subjects with fewer than `1 / trim_fraction`
+/// reporters) never trims a single value. The cartel knows the defense
+/// parameters (Kerckhoffs's principle) and stays strictly within them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StealthCartel {
+    /// Cartel members, ascending.
+    pub members: Vec<NodeId>,
+    /// Bias magnitude applied before folding back into the clamp window.
+    pub bias: f64,
+}
+
+/// The defended clamp window of `RobustAggregation::defended()` — the
+/// bounds a stealth report must stay within to survive clamping
+/// untouched.
+const STEALTH_CLAMP: (f64, f64) = (0.1, 0.9);
+
+impl Strategy for StealthCartel {
+    fn label(&self) -> &'static str {
+        "stealth"
+    }
+
+    fn distort_row(
+        &self,
+        node: NodeId,
+        _round: u64,
+        row: &mut Vec<(NodeId, TrustValue)>,
+        _rng: &mut ChaCha8Rng,
+    ) {
+        let (lo, hi) = STEALTH_CLAMP;
+        for (subject, report) in row.iter_mut() {
+            let honest = report.get();
+            let biased = if *subject != node && self.members.binary_search(subject).is_ok() {
+                (honest + self.bias).min(hi)
+            } else {
+                (honest - self.bias).max(lo)
+            };
+            *report = TrustValue::saturating(biased);
+        }
+    }
+}
+
 /// The compiled per-node adversary assignment of one scenario.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct AdversaryAssignment {
@@ -272,6 +322,8 @@ pub struct AdversaryAssignment {
     washers: Vec<Whitewasher>,
     /// Whitewasher ids, ascending, aligned with `washers`.
     washer_ids: Vec<NodeId>,
+    #[serde(default)]
+    cartels: Vec<StealthCartel>,
     adversary_count: usize,
 }
 
@@ -285,6 +337,7 @@ impl AdversaryAssignment {
             slander: Slanderer { factor: 0.0 },
             washers: Vec::new(),
             washer_ids: Vec::new(),
+            cartels: Vec::new(),
             adversary_count: 0,
         }
     }
@@ -374,6 +427,24 @@ impl AdversaryAssignment {
             });
         }
         assignment.washer_ids = washer_ids;
+
+        // `stealth_clique` defaults to 0 when the mix has no cartel (so
+        // legacy serialized mixes keep deserializing); validation
+        // guarantees it is ≥ 1 whenever the fraction is non-zero.
+        let stealth_ids = take(mix.stealth_fraction);
+        for chunk in stealth_ids.chunks(mix.stealth_clique.max(1)) {
+            let cartel = assignment.cartels.len() as u32;
+            let mut members: Vec<NodeId> = chunk.iter().map(|&i| NodeId(i)).collect();
+            members.sort_unstable();
+            for &m in &members {
+                assignment.roles[m.index()] = Role::Stealth { cartel };
+            }
+            assignment.cartels.push(StealthCartel {
+                members,
+                bias: mix.stealth_bias,
+            });
+        }
+
         assignment.adversary_count = cursor;
         Ok(assignment)
     }
@@ -423,6 +494,7 @@ impl AdversaryAssignment {
                     .expect("whitewasher role implies washer entry");
                 &self.washers[idx]
             }
+            Role::Stealth { cartel } => &self.cartels[cartel as usize],
         }
     }
 
@@ -470,7 +542,9 @@ impl AdversaryAssignment {
         for (i, &role) in self.roles.iter().enumerate() {
             let node = NodeId(i as u32);
             match role {
-                Role::Honest | Role::Slanderer => {}
+                // Stealth members serve honestly — their lie is the bias
+                // in the gossip channel, never the service itself.
+                Role::Honest | Role::Slanderer | Role::Stealth { .. } => {}
                 Role::Sybil { .. } | Role::Whitewasher => {
                     *population.behavior_mut(node) = Behavior::FreeRider {
                         serve_probability: 0.0,
@@ -495,6 +569,22 @@ impl AdversaryAssignment {
     /// The collusion cliques.
     pub fn cliques(&self) -> &[CollusionClique] {
         &self.cliques
+    }
+
+    /// The stealth cartels.
+    pub fn cartels(&self) -> &[StealthCartel] {
+        &self.cartels
+    }
+
+    /// All stealth-cartel member ids, ascending.
+    pub fn stealth_members(&self) -> Vec<NodeId> {
+        let mut members: Vec<NodeId> = self
+            .cartels
+            .iter()
+            .flat_map(|c| c.members.iter().copied())
+            .collect();
+        members.sort_unstable();
+        members
     }
 }
 
@@ -634,6 +724,44 @@ mod tests {
         assert_eq!(a.washes(&means), washers);
         // High reputation: nobody washes.
         assert!(a.washes(&[Some(0.9); 8]).is_empty());
+    }
+
+    #[test]
+    fn stealth_cartel_biases_within_clamp_bounds() {
+        let mix = AdversaryMix {
+            stealth_fraction: 0.5,
+            stealth_clique: 4,
+            stealth_bias: 0.5,
+            ..AdversaryMix::none()
+        };
+        let a = AdversaryAssignment::assign(8, mix, 13).unwrap();
+        let cartel = &a.cartels()[0];
+        assert_eq!(cartel.members.len(), 4);
+        let member = cartel.members[0];
+        let mate = cartel.members[1];
+        let outsider = NodeId((0..8).find(|&i| !a.is_adversary(NodeId(i))).unwrap());
+
+        let mut row = vec![(outsider, tv(0.8)), (mate, tv(0.3))];
+        row.sort_by_key(|&(s, _)| s);
+        a.distort_row(member, 0, 13, &mut row);
+        for &(subject, report) in &row {
+            // Every report stays strictly inside the defended clamp
+            // window — nothing for the clamp to reject.
+            assert!((0.1..=0.9).contains(&report.get()));
+            if subject == outsider {
+                assert!((report.get() - 0.3).abs() < 1e-12, "outsider deflated");
+            } else {
+                assert!((report.get() - 0.8).abs() < 1e-12, "mate inflated");
+            }
+        }
+
+        // Members serve honestly: the population behaviour is untouched.
+        let mut population = Population::new(vec![Behavior::Honest { quality: 0.8 }; 8]);
+        a.apply_to_population(&mut population);
+        assert_eq!(
+            population.behavior(member),
+            Behavior::Honest { quality: 0.8 }
+        );
     }
 
     #[test]

@@ -12,8 +12,9 @@
 //! engine, because all observable math lives in the kernel.
 
 use crate::kernel::{
-    aggregation_rng, closed_form_row, finish_round, honest_residual_error, lookup_run, runs_totals,
-    transact_requester, NodeState, ServiceDelta, SubjectAggregates, TransactionRecord,
+    aggregation_rng, closed_form_row, convicted_of, emit_row, finish_round, honest_residual_error,
+    lookup_run, run_audit_phase, runs_totals, transact_requester, NodeState, ServiceDelta,
+    SubjectAggregates, TransactionRecord,
 };
 use crate::rounds::{AggregationMode, RoundEngine, RoundStats, RoundsConfig};
 use crate::scenario::Scenario;
@@ -87,6 +88,12 @@ impl<'s> BatchedRoundEngine<'s> {
         let lookup =
             |provider: NodeId, requester: NodeId| lookup_run(aggregated, provider, requester);
         let round = self.round as u64;
+        let banned: Vec<bool> = self
+            .nodes
+            .iter()
+            .map(|s| s.convicted_at.is_some())
+            .collect();
+        let banned_ref = &banned;
         let transact: Vec<(Vec<TransactionRecord>, ServiceDelta)> = (0..n as u32)
             .into_par_iter()
             .map(|i| {
@@ -99,6 +106,7 @@ impl<'s> BatchedRoundEngine<'s> {
                     round_seed,
                     &lookup,
                     observer_mean,
+                    banned_ref,
                 )
             })
             .collect();
@@ -112,9 +120,8 @@ impl<'s> BatchedRoundEngine<'s> {
 
         // Phase 2: estimate — fan-out over nodes, each folding its own
         // records and emitting its (sorted) trust row, distorted by the
-        // node's adversarial strategy where reports enter the channel.
-        let ewma_rate = self.config.ewma_rate;
-        let seed = scenario.config.seed;
+        // node's adversarial strategy where reports enter the channel
+        // (and logged for later audits when auditing is on).
         let batch: Vec<(u32, NodeState, Vec<TransactionRecord>)> = std::mem::take(&mut self.nodes)
             .into_iter()
             .zip(record_batches)
@@ -124,10 +131,7 @@ impl<'s> BatchedRoundEngine<'s> {
         let estimated: Vec<(NodeState, Vec<(NodeId, TrustValue)>)> = batch
             .into_par_iter()
             .map(|(i, mut state, records)| {
-                let mut row = state.fold_records(records, ewma_rate, round);
-                scenario
-                    .adversaries
-                    .distort_row(NodeId(i), round, seed, &mut row);
+                let row = emit_row(scenario, config, &mut state, NodeId(i), records, round);
                 (state, row)
             })
             .collect();
@@ -142,6 +146,7 @@ impl<'s> BatchedRoundEngine<'s> {
         }
         self.nodes = nodes;
         let trust = TrustMatrix::from_csr(builder.build());
+        let report_entries = trust.entry_count() as u64;
         let system = ReputationSystem::new(&self.scenario.graph, trust, self.scenario.weights)?;
 
         // Phase 3: aggregate.
@@ -168,28 +173,34 @@ impl<'s> BatchedRoundEngine<'s> {
             }
         }
 
-        // Shared round epilogue: summary, whitewash purge, admission
-        // scales, stats.
+        // Audit phase: deterministic seeded spot-checks of the logged
+        // reports, feeding convictions into the purge below.
+        let audit = run_audit_phase(
+            &self.config.audit,
+            self.scenario.config.seed,
+            round,
+            &mut self.nodes,
+        );
+
+        // Shared round epilogue: summary, whitewash + conviction purge,
+        // admission scales, stats.
         let nodes = &mut self.nodes;
         let stats = finish_round(
             self.scenario,
             self.round,
             delta,
+            audit,
+            report_entries,
             &mut self.aggregated,
             &mut self.observer_mean,
-            |washed| {
-                // `washed` arrives sorted: membership is a binary
+            |purged| {
+                // `purged` arrives sorted: membership is a binary
                 // search, and each state is swept once.
                 for state in nodes.iter_mut() {
-                    state
-                        .estimators
-                        .retain(|j, _| washed.binary_search(j).is_err());
-                    state.table.retain(|j| washed.binary_search(&j).is_err());
+                    state.forget(purged);
                 }
-                for &w in washed {
-                    let state = &mut nodes[w.index()];
-                    state.estimators.clear();
-                    state.table = ReputationTable::new();
+                for &w in purged {
+                    nodes[w.index()].reset_identity();
                 }
             },
         );
@@ -233,6 +244,10 @@ impl RoundEngine for BatchedRoundEngine<'_> {
 
     fn round(&self) -> usize {
         self.round
+    }
+
+    fn convicted(&self) -> Vec<(NodeId, u64)> {
+        convicted_of(self.nodes.iter())
     }
 
     fn checkpoint(&self) -> EngineCheckpoint {

@@ -48,9 +48,9 @@
 //! form, like the million-node one (see `docs/SCALING.md`).
 
 use crate::kernel::{
-    aggregation_rng, closed_form_neighbourhood_row_cached, closed_form_row, finish_round,
-    honest_residual_error, lookup_run, runs_totals, transact_requester, NodeState, ServiceDelta,
-    SubjectAggregates, TransactionRecord,
+    aggregation_rng, closed_form_neighbourhood_row_cached, closed_form_row, convicted_of, emit_row,
+    finish_round, honest_residual_error, lookup_run, run_audit_phase, runs_totals,
+    transact_requester, NodeState, ServiceDelta, SubjectAggregates, TransactionRecord,
 };
 use crate::rounds::{AggregationMode, AggregationScope, RoundEngine, RoundStats, RoundsConfig};
 use crate::scenario::Scenario;
@@ -411,6 +411,12 @@ impl<'s> IncrementalRoundEngine<'s> {
         let plan = &self.plan;
         let lookup =
             |provider: NodeId, requester: NodeId| lookup_run(aggregated, provider, requester);
+        let banned: Vec<bool> = self
+            .nodes
+            .iter()
+            .map(|s| s.convicted_at.is_some())
+            .collect();
+        let banned_ref = &banned;
         // Index-block fan-out over the same pure per-requester kernel
         // the batched engines use (identical RNG streams): at skewed
         // activity fractions almost every requester returns an empty
@@ -433,6 +439,7 @@ impl<'s> IncrementalRoundEngine<'s> {
                         round_seed,
                         &lookup,
                         observer_mean,
+                        banned_ref,
                     );
                     delta.merge(d);
                     if !records.is_empty() {
@@ -461,7 +468,6 @@ impl<'s> IncrementalRoundEngine<'s> {
         dirty.sort_unstable();
         dirty.dedup();
 
-        let ewma_rate = self.config.ewma_rate;
         let mut replacements: Vec<(NodeId, Vec<(NodeId, TrustValue)>)> = Vec::new();
         // Every `(subject, reporter)` report that moved bitwise this
         // round — the `ŷ`-cache invalidation set.
@@ -475,8 +481,19 @@ impl<'s> IncrementalRoundEngine<'s> {
             } else {
                 Vec::new()
             };
-            let mut row = self.nodes[i.index()].fold_records(records, ewma_rate, round);
-            scenario.adversaries.distort_row(i, round, seed, &mut row);
+            // Emit (and, with auditing on, log) the row *before* the
+            // identity check: a clean node's re-emitted row re-records
+            // identical content, which `ReportLog::record` makes a
+            // no-op — so skipping clean rows leaves the exact log state
+            // the rebuild-everything engines hold.
+            let row = emit_row(
+                scenario,
+                config,
+                &mut self.nodes[i.index()],
+                i,
+                records,
+                round,
+            );
             let old: Vec<(NodeId, TrustValue)> = self.trust.row(i).collect();
             if rows_identical(&old, &row) {
                 continue;
@@ -682,12 +699,17 @@ impl<'s> IncrementalRoundEngine<'s> {
             }
         }
         self.trust = system.into_trust();
+        let report_entries = self.trust.entry_count() as u64;
 
-        // Shared round epilogue: summary, whitewash purge, admission
-        // scales, stats. Every row the purge touches is recorded so the
-        // next round re-emits it — the persistent matrix still holds
-        // the pre-wash entries until then, exactly like the
-        // rebuild-everything engines' estimator state.
+        // Audit phase: deterministic seeded spot-checks of the logged
+        // reports, feeding convictions into the purge below.
+        let audit = run_audit_phase(&self.config.audit, seed, round, &mut self.nodes);
+
+        // Shared round epilogue: summary, whitewash + conviction purge,
+        // admission scales, stats. Every row the purge touches is
+        // recorded so the next round re-emits it — the persistent
+        // matrix still holds the pre-purge entries until then, exactly
+        // like the rebuild-everything engines' estimator state.
         let nodes = &mut self.nodes;
         let pending = &mut self.pending_dirty;
         let washed_store = &mut self.washed_last;
@@ -695,24 +717,21 @@ impl<'s> IncrementalRoundEngine<'s> {
             self.scenario,
             self.round,
             delta,
+            audit,
+            report_entries,
             &mut self.aggregated,
             &mut self.observer_mean,
-            |washed| {
-                *washed_store = washed.to_vec();
+            |purged| {
+                *washed_store = purged.to_vec();
                 for (i, state) in nodes.iter_mut().enumerate() {
                     let before = state.estimators.len();
-                    state
-                        .estimators
-                        .retain(|j, _| washed.binary_search(j).is_err());
-                    state.table.retain(|j| washed.binary_search(&j).is_err());
+                    state.forget(purged);
                     if state.estimators.len() != before {
                         pending.push(NodeId(i as u32));
                     }
                 }
-                for &w in washed {
-                    let state = &mut nodes[w.index()];
-                    state.estimators.clear();
-                    state.table = ReputationTable::new();
+                for &w in purged {
+                    nodes[w.index()].reset_identity();
                     pending.push(w);
                 }
             },
@@ -757,6 +776,10 @@ impl RoundEngine for IncrementalRoundEngine<'_> {
 
     fn round(&self) -> usize {
         self.round
+    }
+
+    fn convicted(&self) -> Vec<(NodeId, u64)> {
+        convicted_of(self.nodes.iter())
     }
 
     fn checkpoint(&self) -> EngineCheckpoint {

@@ -22,8 +22,15 @@
 //! * `SubjectAggregates` + `closed_form_row` — phase 3 in closed
 //!   form: per-subject report sums under the robust policy and the
 //!   weighted Eq. (6) row of one observer;
+//! * `emit_row` — the report phase for one node: fold, the adversary
+//!   strategy's distortion, and (under auditing) the [`ReportLog`]
+//!   evidence record — one implementation so the engines' rows *and*
+//!   audit evidence are identical by construction;
+//! * `run_audit_phase` / `audit_node` — the wash-phase-adjacent audit
+//!   phase: deterministic seeded target selection, log
+//!   re-verification, k-strikes conviction;
 //! * `finish_round` — the round epilogue: round summary, the
-//!   whitewash purge, admission-scale refresh, and the
+//!   whitewash + conviction purge, admission-scale refresh, and the
 //!   [`RoundStats`] assembly.
 //!
 //! (The phase primitives are crate-private by design — engines are the
@@ -36,6 +43,7 @@ use dg_core::behavior::Behavior;
 use dg_core::reputation::ReputationSystem;
 use dg_gossip::node_stream_seed;
 use dg_graph::NodeId;
+use dg_trust::audit::{audit_targets, AuditPolicy, ReportLog};
 use dg_trust::prelude::{EwmaEstimator, ReputationTable, TransactionOutcome, TrustEstimator};
 use dg_trust::{RobustAggregation, TrustMatrix, TrustValue};
 use rand::SeedableRng;
@@ -133,9 +141,16 @@ pub(crate) fn transact_requester(
     round_seed: u64,
     lookup_rep: &impl Fn(NodeId, NodeId) -> Option<f64>,
     observer_mean: &[Option<f64>],
+    banned: &[bool],
 ) -> (Vec<TransactionRecord>, ServiceDelta) {
     let mut records = Vec::new();
     let mut delta = ServiceDelta::default();
+    // Convicted identities are expelled: they neither request nor
+    // serve (checked before any randomness is consumed, so the ban is
+    // engine- and thread-count-independent).
+    if banned[requester.index()] {
+        return (records, delta);
+    }
     // Dormant sybil identities have not joined the network yet: they
     // neither request nor serve.
     if !scenario.adversaries.participates(requester, round) {
@@ -158,7 +173,7 @@ pub(crate) fn transact_requester(
 
     for &provider in scenario.graph.neighbours(requester) {
         let provider = NodeId(provider);
-        if !scenario.adversaries.participates(provider, round) {
+        if banned[provider.index()] || !scenario.adversaries.participates(provider, round) {
             continue;
         }
         for _ in 0..config.requests_per_edge {
@@ -451,17 +466,25 @@ pub(crate) fn runs_totals(n: usize, runs: &[Vec<(NodeId, f64)>]) -> (Vec<f64>, V
 
 /// The shared round epilogue of every engine: summarise the round, run
 /// the whitewash phase (washers whose mean reputation collapsed discard
-/// their identity — `purge` clears the engine's per-node
-/// estimator/table state for them; the aggregated runs are scrubbed
-/// here), refresh the observers' admission scales (post-purge, so the
-/// next round treats a fresh identity as a stranger), and assemble the
+/// their identity) merged with the audit phase's convictions into one
+/// purge — `purge` clears the engine's per-node estimator/table state
+/// for the listed ids; the aggregated runs are scrubbed here — then
+/// refresh the observers' admission scales (post-purge, so the next
+/// round treats a fresh identity as a stranger), and assemble the
 /// [`RoundStats`]. One implementation so the engines cannot drift apart
 /// — like the phase kernels above, this keeps them identical by
 /// construction.
+///
+/// `report_entries` is the round's report traffic (trust-matrix entry
+/// count after the report phase) — the denominator of the
+/// audit-overhead claim.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn finish_round(
     scenario: &Scenario,
     round: usize,
     delta: ServiceDelta,
+    audit: AuditOutcome,
+    report_entries: u64,
     aggregated: &mut [Vec<(NodeId, f64)>],
     observer_mean: &mut [Option<f64>],
     purge: impl FnOnce(&[NodeId]),
@@ -476,12 +499,18 @@ pub(crate) fn finish_round(
     // so ordering cannot change the result.
     let mut washed = scenario.adversaries.washes(&subject_means(&sums, &cnts));
     washed.sort_unstable();
-    if !washed.is_empty() {
-        purge(&washed);
+    // One purge list: washed identities plus this round's convictions
+    // (disjoint roles in practice, merged defensively).
+    let mut purged = washed.clone();
+    purged.extend(audit.convicted.iter().copied());
+    purged.sort_unstable();
+    purged.dedup();
+    if !purged.is_empty() {
+        purge(&purged);
         for run in aggregated.iter_mut() {
-            run.retain(|(j, _)| washed.binary_search(j).is_err());
+            run.retain(|(j, _)| purged.binary_search(j).is_err());
         }
-        for &w in &washed {
+        for &w in &purged {
             aggregated[w.index()].clear();
         }
     }
@@ -506,6 +535,11 @@ pub(crate) fn finish_round(
         } else {
             delta.dirty_rows as f64 / n as f64
         },
+        audits: audit.audits,
+        audit_strikes: audit.strikes,
+        convictions: audit.convicted.len() as u64,
+        audit_entries: audit.entries,
+        report_entries,
     }
 }
 
@@ -521,6 +555,15 @@ pub(crate) struct NodeState {
     pub(crate) estimators: BTreeMap<NodeId, EwmaEstimator>,
     /// The node's reputation table.
     pub(crate) table: ReputationTable,
+    /// Recorded report evidence for audit re-verification (empty while
+    /// auditing is off — zero-rate runs carry no extra state).
+    pub(crate) log: ReportLog,
+    /// Audit strikes accumulated across rounds.
+    pub(crate) strikes: u32,
+    /// Round this node was convicted in, if any. A conviction is a
+    /// permanent ban: it survives the purge, so the identity cannot
+    /// whitewash its way back in and re-accumulate bias.
+    pub(crate) convicted_at: Option<u64>,
 }
 
 impl NodeState {
@@ -528,7 +571,28 @@ impl NodeState {
         Self {
             estimators: BTreeMap::new(),
             table: ReputationTable::new(),
+            log: ReportLog::default(),
+            strikes: 0,
+            convicted_at: None,
         }
+    }
+
+    /// Drop every trace of the purged identities from this node's view
+    /// (their subjects were washed or convicted).
+    pub(crate) fn forget(&mut self, purged: &[NodeId]) {
+        self.estimators
+            .retain(|j, _| purged.binary_search(j).is_err());
+        self.table.retain(|j| purged.binary_search(&j).is_err());
+    }
+
+    /// Reset this node's own identity state (it washed or was
+    /// convicted). The conviction ban (`convicted_at`) survives — only
+    /// a whitewasher's reset is a fresh start.
+    pub(crate) fn reset_identity(&mut self) {
+        self.estimators.clear();
+        self.table = ReputationTable::new();
+        self.log.clear();
+        self.strikes = 0;
     }
 
     /// Fold one round's transaction records into the estimators and
@@ -554,4 +618,126 @@ impl NodeState {
             .map(|(&j, est)| (j, est.estimate()))
             .collect()
     }
+}
+
+/// The report phase for one node: fold the round's records, pass the
+/// row through the node's adversary strategy, and — when auditing is
+/// enabled — record every emitted report in the node's [`ReportLog`]
+/// alongside the estimator-implied value at emit time (`None` = the
+/// report has no backing estimator, i.e. it was fabricated). Honest
+/// rows come straight from the estimators, so their reported and
+/// implied values are bit-equal — the structural guarantee behind the
+/// zero-false-positive claim.
+///
+/// Convicted nodes are banned: they emit nothing (their stale matrix
+/// row was scrubbed by the conviction purge) and their recorded
+/// evidence stays frozen.
+///
+/// One implementation shared by every engine, so the emitted rows AND
+/// the audit evidence are identical by construction. The log record is
+/// content-conditional ([`ReportLog::record`]), which is what lets the
+/// incremental engine skip bitwise-unchanged rows entirely and still
+/// agree with the engines that re-emit everything each round.
+pub(crate) fn emit_row(
+    scenario: &Scenario,
+    config: &RoundsConfig,
+    state: &mut NodeState,
+    node: NodeId,
+    records: Vec<TransactionRecord>,
+    round: u64,
+) -> Vec<(NodeId, TrustValue)> {
+    if state.convicted_at.is_some() {
+        return Vec::new();
+    }
+    let mut row = state.fold_records(records, config.ewma_rate, round);
+    scenario
+        .adversaries
+        .distort_row(node, round, scenario.config.seed, &mut row);
+    if config.audit.enabled() {
+        for &(subject, reported) in &row {
+            let implied = state
+                .estimators
+                .get(&subject)
+                .map(|est| est.estimate().get());
+            state.log.record(
+                subject,
+                round,
+                reported.get(),
+                implied,
+                config.audit.log_capacity,
+            );
+        }
+    }
+    row
+}
+
+/// Convicted nodes (with their conviction rounds) from an iterator of
+/// node states in ascending node order — the body of every engine's
+/// `RoundEngine::convicted`.
+pub(crate) fn convicted_of<'a>(states: impl Iterator<Item = &'a NodeState>) -> Vec<(NodeId, u64)> {
+    states
+        .enumerate()
+        .filter_map(|(i, s)| s.convicted_at.map(|r| (NodeId(i as u32), r)))
+        .collect()
+}
+
+/// Outcome of one round's audit phase.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub(crate) struct AuditOutcome {
+    /// Audits actually performed (already-convicted targets are skipped
+    /// and cost no bandwidth).
+    pub audits: u64,
+    /// Strikes issued across this round's audits.
+    pub strikes: u64,
+    /// Audit bandwidth in report-entry units: one envelope per audit
+    /// plus one unit per re-verified log entry.
+    pub entries: u64,
+    /// Nodes newly convicted this round, ascending.
+    pub convicted: Vec<NodeId>,
+}
+
+/// Audit one selected target: re-verify its most recent log entries
+/// against their implied values, accumulate strikes, convict at the
+/// policy's k-strikes threshold.
+pub(crate) fn audit_node(
+    policy: &AuditPolicy,
+    state: &mut NodeState,
+    round: u64,
+    target: NodeId,
+    out: &mut AuditOutcome,
+) {
+    if state.convicted_at.is_some() {
+        return;
+    }
+    let checked = state.log.recent(policy.checks_per_audit);
+    out.audits += 1;
+    out.entries += checked.len() as u64 + 1;
+    let strikes = checked.iter().filter(|e| policy.entry_fails(e)).count() as u32;
+    state.strikes += strikes;
+    out.strikes += strikes as u64;
+    if state.strikes >= policy.strikes_to_convict {
+        state.convicted_at = Some(round);
+        out.convicted.push(target);
+    }
+}
+
+/// The audit phase over a flat node-state slice: the deterministic
+/// target set of `(seed, round)` re-verified via [`audit_node`]. The
+/// sharded engine locates its shard-local states itself and calls
+/// `audit_node` per target; the selection function is shared either
+/// way, so every engine audits the identical targets.
+pub(crate) fn run_audit_phase(
+    policy: &AuditPolicy,
+    seed: u64,
+    round: u64,
+    states: &mut [NodeState],
+) -> AuditOutcome {
+    let mut out = AuditOutcome::default();
+    if !policy.enabled() {
+        return out;
+    }
+    for target in audit_targets(seed, round, states.len(), policy.audit_rate) {
+        audit_node(policy, &mut states[target.index()], round, target, &mut out);
+    }
+    out
 }

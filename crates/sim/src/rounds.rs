@@ -39,8 +39,9 @@
 
 use crate::engine::BatchedRoundEngine;
 use crate::kernel::{
-    aggregation_rng, closed_form_row, finish_round, honest_residual_error, lookup_run, runs_totals,
-    subject_means, transact_requester, NodeState, ServiceDelta, SubjectAggregates,
+    aggregation_rng, closed_form_row, convicted_of, emit_row, finish_round, honest_residual_error,
+    lookup_run, run_audit_phase, runs_totals, subject_means, transact_requester, NodeState,
+    ServiceDelta, SubjectAggregates,
 };
 use crate::scenario::Scenario;
 use crate::session::{checkpoint_nodes, restore_nodes, EngineCheckpoint, RestoreError};
@@ -50,6 +51,7 @@ use dg_core::reputation::ReputationSystem;
 use dg_core::CoreError;
 use dg_gossip::{EngineKind, GossipConfig};
 use dg_graph::NodeId;
+use dg_trust::audit::AuditPolicy;
 use dg_trust::prelude::ReputationTable;
 use dg_trust::{RobustAggregation, TrustMatrix};
 use rand::Rng;
@@ -181,6 +183,12 @@ pub struct RoundsConfig {
     /// incremental engine merely converts the idleness into speed.
     #[serde(default)]
     pub traffic: TrafficModel,
+    /// The stochastic-audit countermeasure against within-bounds
+    /// stealth cartels (see [`dg_trust::audit`]). Defaults to
+    /// [`AuditPolicy::off`] — zero audit rate, no report logging, runs
+    /// bit-identical to builds that predate the subsystem.
+    #[serde(default)]
+    pub audit: AuditPolicy,
 }
 
 impl Default for RoundsConfig {
@@ -196,6 +204,7 @@ impl Default for RoundsConfig {
             defense: DefensePolicy::none(),
             shard_count: 0,
             traffic: TrafficModel::full(),
+            audit: AuditPolicy::off(),
         }
     }
 }
@@ -229,6 +238,12 @@ impl RoundsConfig {
     /// Builder-style: set the traffic shape.
     pub fn with_traffic(mut self, traffic: TrafficModel) -> Self {
         self.traffic = traffic;
+        self
+    }
+
+    /// Builder-style: set the audit policy.
+    pub fn with_audit(mut self, audit: AuditPolicy) -> Self {
+        self.audit = audit;
         self
     }
 
@@ -278,6 +293,24 @@ pub struct RoundStats {
     /// engine must recompute.
     #[serde(default)]
     pub dirty_fraction: f64,
+    /// Audits performed this round (absent — zero — in reports written
+    /// before the audit subsystem existed, like every field below).
+    #[serde(default)]
+    pub audits: u64,
+    /// Strikes issued by this round's audits.
+    #[serde(default)]
+    pub audit_strikes: u64,
+    /// Nodes convicted (k strikes reached) and purged this round.
+    #[serde(default)]
+    pub convictions: u64,
+    /// Audit bandwidth in report-entry units: one envelope per audit
+    /// plus one unit per re-verified log entry.
+    #[serde(default)]
+    pub audit_entries: u64,
+    /// Report traffic this round (trust-matrix entries after the report
+    /// phase) — the denominator of the audit-overhead claim.
+    #[serde(default)]
+    pub report_entries: u64,
 }
 
 impl RoundStats {
@@ -294,6 +327,15 @@ impl RoundStats {
     /// Service rate for adversarial requesters.
     pub fn adversary_service_rate(&self) -> f64 {
         rate(self.served_adversaries, self.refused_adversaries)
+    }
+
+    /// Audit bandwidth as a fraction of the round's report traffic
+    /// (zero when no reports flowed).
+    pub fn audit_overhead(&self) -> f64 {
+        if self.report_entries == 0 {
+            return 0.0;
+        }
+        self.audit_entries as f64 / self.report_entries as f64
     }
 }
 
@@ -337,6 +379,10 @@ pub trait RoundEngine {
     fn totals(&self) -> (Vec<f64>, Vec<usize>);
     /// Honest-subject residual error (the claims-gate metric).
     fn honest_residual(&self) -> Option<f64>;
+    /// Nodes convicted by the audit subsystem so far, with their
+    /// conviction rounds, ascending by node (empty while auditing is
+    /// off).
+    fn convicted(&self) -> Vec<(NodeId, u64)>;
     /// Freeze the engine's cross-round state.
     fn checkpoint(&self) -> EngineCheckpoint;
     /// Replace the engine's cross-round state with a checkpoint (made by
@@ -406,6 +452,11 @@ impl<'s> SequentialRounds<'s> {
         let aggregated = std::mem::take(&mut self.aggregated);
         let lookup =
             |provider: NodeId, requester: NodeId| lookup_run(&aggregated, provider, requester);
+        let banned: Vec<bool> = self
+            .nodes
+            .iter()
+            .map(|state| state.convicted_at.is_some())
+            .collect();
         let mut trust = TrustMatrix::new(n);
         for requester in graph.nodes() {
             let (records, d) = transact_requester(
@@ -417,13 +468,17 @@ impl<'s> SequentialRounds<'s> {
                 round_seed,
                 &lookup,
                 &self.observer_mean,
+                &banned,
             );
             delta.merge(d);
-            let mut row =
-                self.nodes[requester.index()].fold_records(records, self.config.ewma_rate, round);
-            self.scenario
-                .adversaries
-                .distort_row(requester, round, seed, &mut row);
+            let row = emit_row(
+                self.scenario,
+                &self.config,
+                &mut self.nodes[requester.index()],
+                requester,
+                records,
+                round,
+            );
             for (j, report) in row {
                 trust
                     .set(requester, j, report)
@@ -431,6 +486,7 @@ impl<'s> SequentialRounds<'s> {
             }
         }
         self.aggregated = aggregated;
+        let report_entries = trust.entry_count() as u64;
         let system = ReputationSystem::new(graph, trust, self.scenario.weights)?;
 
         // Phase 3: aggregate.
@@ -453,26 +509,28 @@ impl<'s> SequentialRounds<'s> {
             }
         }
 
-        // Shared round epilogue: summary, whitewash purge, admission
-        // scales, stats.
+        // Audit phase (wash-adjacent, before the epilogue): the
+        // deterministic target set of (seed, round) re-verified against
+        // each target's recorded evidence.
+        let audit = run_audit_phase(&self.config.audit, seed, round, &mut self.nodes);
+
+        // Shared round epilogue: summary, whitewash + conviction purge,
+        // admission scales, stats.
         let nodes = &mut self.nodes;
         let stats = finish_round(
             self.scenario,
             self.round,
             delta,
+            audit,
+            report_entries,
             &mut self.aggregated,
             &mut self.observer_mean,
-            |washed| {
+            |purged| {
                 for state in nodes.iter_mut() {
-                    state
-                        .estimators
-                        .retain(|j, _| washed.binary_search(j).is_err());
-                    state.table.retain(|j| washed.binary_search(&j).is_err());
+                    state.forget(purged);
                 }
-                for &w in washed {
-                    let state = &mut nodes[w.index()];
-                    state.estimators.clear();
-                    state.table = ReputationTable::new();
+                for &w in purged {
+                    nodes[w.index()].reset_identity();
                 }
             },
         );
@@ -513,6 +571,10 @@ impl RoundEngine for SequentialRounds<'_> {
 
     fn honest_residual(&self) -> Option<f64> {
         SequentialRounds::honest_residual(self)
+    }
+
+    fn convicted(&self) -> Vec<(NodeId, u64)> {
+        convicted_of(self.nodes.iter())
     }
 
     fn checkpoint(&self) -> EngineCheckpoint {
@@ -582,6 +644,12 @@ impl<'s> RoundsSimulator<'s> {
     pub fn subject_mean_reputations(&self) -> Vec<Option<f64>> {
         let (sums, cnts) = self.backend.totals();
         subject_means(&sums, &cnts)
+    }
+
+    /// Nodes convicted by the audit subsystem so far, with their
+    /// conviction rounds, ascending (empty while auditing is off).
+    pub fn convicted(&self) -> Vec<(NodeId, u64)> {
+        self.backend.convicted()
     }
 
     /// Run one full round, drawing the round seed from `rng`; returns

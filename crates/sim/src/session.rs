@@ -53,8 +53,10 @@ use dg_gossip::profile::NetworkProfile;
 use dg_gossip::{AdversaryMix, EngineKind, FanoutPolicy, GossipConfig, GossipError};
 use dg_graph::NodeId;
 use dg_store::{
-    diff_changed, EstimatorRecord, NodeRecord, SnapshotHeader, Store, StoreError, TableRecord,
+    diff_changed, AuditEntryRecord, EstimatorRecord, NodeRecord, SnapshotHeader, Store, StoreError,
+    TableRecord,
 };
+use dg_trust::audit::{AuditPolicy, ReportLog, ReportLogEntry};
 use dg_trust::prelude::{EwmaEstimator, TrustEstimator};
 use dg_trust::table::TableEntry;
 use dg_trust::{ShardSpec, TrustValue};
@@ -113,6 +115,10 @@ pub struct RunConfig {
     pub traffic: TrafficModel,
     /// Trust-side countermeasures against adversarial reports.
     pub defense: DefensePolicy,
+    /// Stochastic re-verification audits (off by default; rides in
+    /// under `serde(default)` so pre-audit snapshot headers resume).
+    #[serde(default)]
+    pub audit: AuditPolicy,
     // --- round-loop knobs ---
     /// Rounds a full [`RunSession::run`] simulates.
     pub rounds: usize,
@@ -162,6 +168,7 @@ impl Default for RunConfig {
             adversary: s.adversary,
             traffic: s.traffic,
             defense: r.defense,
+            audit: r.audit,
             rounds: r.rounds,
             requests_per_edge: r.requests_per_edge,
             admission_threshold: r.admission_threshold,
@@ -208,6 +215,7 @@ impl RunConfig {
             adversary: rounds.gossip.adversary,
             traffic: rounds.traffic,
             defense: rounds.defense,
+            audit: rounds.audit,
             rounds: rounds.rounds,
             requests_per_edge: rounds.requests_per_edge,
             admission_threshold: rounds.admission_threshold,
@@ -260,6 +268,12 @@ impl RunConfig {
     /// Builder-style defense-policy override.
     pub fn with_defense(mut self, defense: DefensePolicy) -> Self {
         self.defense = defense;
+        self
+    }
+
+    /// Builder-style audit-policy override.
+    pub fn with_audit(mut self, audit: AuditPolicy) -> Self {
+        self.audit = audit;
         self
     }
 
@@ -352,6 +366,7 @@ impl RunConfig {
             scope: self.scope,
             gossip: self.gossip_config(),
             defense: self.defense,
+            audit: self.audit,
             shard_count: self.shard_count,
             traffic: self.traffic,
         }
@@ -496,6 +511,12 @@ pub struct NodeCheckpoint {
     pub estimators: Vec<(NodeId, EwmaEstimator)>,
     /// Reputation-table rows, sorted by peer.
     pub table: Vec<(NodeId, TableEntry)>,
+    /// Audit report log entries, sorted by subject.
+    pub log: Vec<ReportLogEntry>,
+    /// Accumulated audit strikes.
+    pub strikes: u32,
+    /// Round the node was convicted, if ever.
+    pub convicted_at: Option<u64>,
 }
 
 /// Freeze one node's kernel state.
@@ -503,6 +524,9 @@ pub(crate) fn checkpoint_node(state: &NodeState) -> NodeCheckpoint {
     NodeCheckpoint {
         estimators: state.estimators.iter().map(|(&id, &e)| (id, e)).collect(),
         table: state.table.iter().map(|(id, &e)| (id, e)).collect(),
+        log: state.log.entries().to_vec(),
+        strikes: state.strikes,
+        convicted_at: state.convicted_at,
     }
 }
 
@@ -521,6 +545,9 @@ pub(crate) fn restore_nodes(nodes: Vec<NodeCheckpoint>) -> Vec<NodeState> {
             for (peer, entry) in node.table {
                 state.table.insert(peer, entry);
             }
+            state.log = ReportLog::from_entries(node.log);
+            state.strikes = node.strikes;
+            state.convicted_at = node.convicted_at;
             state
         })
         .collect()
@@ -621,6 +648,12 @@ impl RunSession {
     /// [`RoundsSimulator::honest_residual_error`](crate::rounds::RoundsSimulator::honest_residual_error)).
     pub fn honest_residual(&self) -> Option<f64> {
         self.engine.honest_residual()
+    }
+
+    /// Nodes convicted by the audit subsystem so far, as
+    /// `(node, round convicted)` sorted by node.
+    pub fn convicted(&self) -> Vec<(NodeId, u64)> {
+        self.engine.convicted()
     }
 
     /// Run rounds until `round` rounds have completed (no-op if already
@@ -783,6 +816,18 @@ pub(crate) fn records_from_checkpoint(checkpoint: &EngineCheckpoint) -> Vec<Node
                 .map(|&(subject, rep)| (subject.0, rep))
                 .collect(),
             mean: checkpoint.observer_mean[i],
+            audit_log: node
+                .log
+                .iter()
+                .map(|e| AuditEntryRecord {
+                    subject: e.subject.0,
+                    round: e.round,
+                    reported: e.reported,
+                    implied: e.implied,
+                })
+                .collect(),
+            strikes: node.strikes,
+            convicted_at: node.convicted_at,
         })
         .collect()
 }
@@ -836,6 +881,18 @@ pub(crate) fn checkpoint_from_records(
                     )
                 })
                 .collect(),
+            log: record
+                .audit_log
+                .iter()
+                .map(|e| ReportLogEntry {
+                    subject: NodeId(e.subject),
+                    round: e.round,
+                    reported: e.reported,
+                    implied: e.implied,
+                })
+                .collect(),
+            strikes: record.strikes,
+            convicted_at: record.convicted_at,
         });
         aggregated.push(
             record

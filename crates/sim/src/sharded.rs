@@ -38,8 +38,9 @@
 //! with and without an adversarial mix.
 
 use crate::kernel::{
-    aggregation_rng, closed_form_row, finish_round, honest_residual_error, lookup_run, runs_totals,
-    transact_requester, NodeState, ServiceDelta, SubjectAggregates,
+    aggregation_rng, audit_node, closed_form_row, convicted_of, emit_row, finish_round,
+    honest_residual_error, lookup_run, runs_totals, transact_requester, AuditOutcome, NodeState,
+    ServiceDelta, SubjectAggregates,
 };
 use crate::rounds::{AggregationMode, RoundEngine, RoundStats, RoundsConfig};
 use crate::scenario::Scenario;
@@ -49,6 +50,7 @@ use dg_core::algorithms::alg4;
 use dg_core::reputation::ReputationSystem;
 use dg_core::CoreError;
 use dg_graph::NodeId;
+use dg_trust::audit::audit_targets;
 use dg_trust::{CsrBuilder, CsrStorage, ShardSpec, ShardedCsr, TrustMatrix};
 use rayon::prelude::*;
 
@@ -133,6 +135,13 @@ impl<'s> ShardedRoundEngine<'s> {
         let plan = &self.plan;
         let lookup =
             |provider: NodeId, requester: NodeId| lookup_run(aggregated, provider, requester);
+        let banned: Vec<bool> = self
+            .shards
+            .iter()
+            .flatten()
+            .map(|s| s.convicted_at.is_some())
+            .collect();
+        let banned_ref = &banned;
         let work: Vec<(usize, Vec<NodeState>)> = std::mem::take(&mut self.shards)
             .into_iter()
             .enumerate()
@@ -154,13 +163,11 @@ impl<'s> ShardedRoundEngine<'s> {
                         round_seed,
                         &lookup,
                         observer_mean,
+                        banned_ref,
                     );
                     delta.merge(d);
                     let state = &mut shard[local];
-                    let mut row = state.fold_records(records, config.ewma_rate, round);
-                    scenario
-                        .adversaries
-                        .distort_row(requester, round, seed, &mut row);
+                    let row = emit_row(scenario, &config, state, requester, records, round);
                     builder
                         .extend_row(NodeId(local as u32), row)
                         .expect("estimator keys are in range");
@@ -180,6 +187,7 @@ impl<'s> ShardedRoundEngine<'s> {
         self.shards = shards;
         let sharded = ShardedCsr::from_parts(spec, parts).expect("shards built to spec");
         let trust = TrustMatrix::from_sharded(sharded);
+        let report_entries = trust.entry_count() as u64;
         let system = ReputationSystem::new(&self.scenario.graph, trust, self.scenario.weights)?;
 
         // Phase 3: aggregate — shard-granular fan-out again; each shard
@@ -212,31 +220,43 @@ impl<'s> ShardedRoundEngine<'s> {
             }
         }
 
+        // Audit phase: same deterministic target schedule as the flat
+        // engines; targets are located into their shards.
+        let mut audit = AuditOutcome::default();
+        for target in audit_targets(seed, round, n, self.config.audit.audit_rate) {
+            let (s, local) = spec.locate(target);
+            audit_node(
+                &self.config.audit,
+                &mut self.shards[s][local],
+                round,
+                target,
+                &mut audit,
+            );
+        }
+
         // Shared round epilogue (one implementation with the batched
-        // engine): summary, whitewash purge, admission scales, stats.
+        // engine): summary, whitewash + conviction purge, admission
+        // scales, stats.
         let shards = &mut self.shards;
         let stats = finish_round(
             self.scenario,
             self.round,
             delta,
+            audit,
+            report_entries,
             &mut self.aggregated,
             &mut self.observer_mean,
-            |washed| {
-                // `washed` arrives sorted: membership is a binary
+            |purged| {
+                // `purged` arrives sorted: membership is a binary
                 // search, and each state is swept once.
                 for shard in shards.iter_mut() {
                     for state in shard.iter_mut() {
-                        state
-                            .estimators
-                            .retain(|j, _| washed.binary_search(j).is_err());
-                        state.table.retain(|j| washed.binary_search(&j).is_err());
+                        state.forget(purged);
                     }
                 }
-                for &w in washed {
+                for &w in purged {
                     let (s, local) = spec.locate(w);
-                    let state = &mut shards[s][local];
-                    state.estimators.clear();
-                    state.table = dg_trust::prelude::ReputationTable::new();
+                    shards[s][local].reset_identity();
                 }
             },
         );
@@ -280,6 +300,12 @@ impl RoundEngine for ShardedRoundEngine<'_> {
 
     fn round(&self) -> usize {
         self.round
+    }
+
+    fn convicted(&self) -> Vec<(NodeId, u64)> {
+        // Shards are contiguous node ranges, so flattening them in
+        // shard order enumerates nodes in id order.
+        convicted_of(self.shards.iter().flatten())
     }
 
     fn checkpoint(&self) -> EngineCheckpoint {

@@ -16,7 +16,13 @@ use std::path::Path;
 /// Current snapshot format version, stamped into every frame and
 /// header. Readers accept any version `<= FORMAT_VERSION`; newer files
 /// are rejected with a typed error rather than misread.
-pub const FORMAT_VERSION: u32 = 1;
+///
+/// Version history:
+/// - 1: estimators + table + aggregated run + observer mean.
+/// - 2: adds per-node audit state (report log, strike count,
+///   conviction round) after the observer mean. Version-1 payloads
+///   decode with the audit fields empty.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Leading magic of every framed snapshot file.
 pub(crate) const MAGIC: [u8; 8] = *b"DGSNAP01";
@@ -98,12 +104,13 @@ pub(crate) fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), StoreError> 
     std::fs::rename(&tmp, path).map_err(|e| io_err(path, e))
 }
 
-/// Read and verify a framed file, returning its payload. Every way the
-/// bytes can disappoint maps to a typed error: a missing file is
-/// [`StoreError::Missing`], a future version is
-/// [`StoreError::UnsupportedVersion`], and anything truncated or
+/// Read and verify a framed file, returning its format version and
+/// payload (the version tells the record decoder which layout the
+/// payload uses). Every way the bytes can disappoint maps to a typed
+/// error: a missing file is [`StoreError::Missing`], a future version
+/// is [`StoreError::UnsupportedVersion`], and anything truncated or
 /// garbled is [`StoreError::Corrupt`] naming the file and the reason.
-pub(crate) fn read_frame(path: &Path, kind: FrameKind) -> Result<Vec<u8>, StoreError> {
+pub(crate) fn read_frame(path: &Path, kind: FrameKind) -> Result<(u32, Vec<u8>), StoreError> {
     let bytes = match std::fs::read(path) {
         Ok(b) => b,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
@@ -167,7 +174,7 @@ pub(crate) fn read_frame(path: &Path, kind: FrameKind) -> Result<Vec<u8>, StoreE
             format!("checksum mismatch (stored {stored:#018x}, computed {computed:#018x})"),
         ));
     }
-    Ok(bytes[21..body_end].to_vec())
+    Ok((version, bytes[21..body_end].to_vec()))
 }
 
 /// Little-endian payload writer (the encode half of the record codec).
@@ -207,6 +214,16 @@ impl ByteWriter {
             Some(x) => {
                 self.put_u8(1);
                 self.put_f64(x);
+            }
+            None => self.put_u8(0),
+        }
+    }
+
+    pub(crate) fn put_opt_u64(&mut self, v: Option<u64>) {
+        match v {
+            Some(x) => {
+                self.put_u8(1);
+                self.put_u64(x);
             }
             None => self.put_u8(0),
         }
@@ -271,6 +288,14 @@ impl<'a> ByteReader<'a> {
         match self.get_u8(what)? {
             0 => Ok(None),
             1 => Ok(Some(self.get_f64(what)?)),
+            tag => Err(format!("bad option tag {tag} for {what}")),
+        }
+    }
+
+    pub(crate) fn get_opt_u64(&mut self, what: &str) -> Result<Option<u64>, String> {
+        match self.get_u8(what)? {
+            0 => Ok(None),
+            1 => Ok(Some(self.get_u64(what)?)),
             tag => Err(format!("bad option tag {tag} for {what}")),
         }
     }

@@ -84,7 +84,7 @@ pub fn write_gossip(path: &Path, record: &GossipRecord) -> Result<(), StoreError
 /// Read a [`GossipRecord`] back, with the frame's full corruption
 /// handling (truncated or garbled file → typed error).
 pub fn read_gossip(path: &Path) -> Result<GossipRecord, StoreError> {
-    let payload = read_frame(path, FrameKind::Gossip)?;
+    let (_version, payload) = read_frame(path, FrameKind::Gossip)?;
     let mut r = ByteReader::new(&payload);
     let parse = |r: &mut ByteReader<'_>| -> Result<GossipRecord, String> {
         let rounds = r.get_u64("rounds")?;

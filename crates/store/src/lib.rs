@@ -52,5 +52,7 @@ mod store;
 pub use codec::FORMAT_VERSION;
 pub use error::StoreError;
 pub use gossip::{read_gossip, write_gossip, GossipRecord, LedgerRecord};
-pub use records::{diff_changed, EstimatorRecord, NodeRecord, SnapshotHeader, TableRecord};
+pub use records::{
+    diff_changed, AuditEntryRecord, EstimatorRecord, NodeRecord, SnapshotHeader, TableRecord,
+};
 pub use store::{Head, Snapshot, Store};

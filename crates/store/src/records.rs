@@ -77,8 +77,24 @@ pub struct TableRecord {
     pub transactions: u64,
 }
 
+/// One entry of a node's audit report log: what the node last reported
+/// about a subject versus what its own estimator implied at that time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AuditEntryRecord {
+    /// The subject the report was about.
+    pub subject: u32,
+    /// Round the report was emitted.
+    pub round: u64,
+    /// The trust value the node reported.
+    pub reported: f64,
+    /// What the node's estimator implied; `None` marks a fabricated
+    /// report about a subject the node never transacted with.
+    pub implied: Option<f64>,
+}
+
 /// The full persisted state of one node: its estimators, its reputation
-/// table, its row of the aggregated-run matrix and its observer mean.
+/// table, its row of the aggregated-run matrix, its observer mean and
+/// (format version ≥ 2) its audit state.
 #[derive(Debug, Clone, PartialEq)]
 pub struct NodeRecord {
     /// The node's id (== its index in the snapshot).
@@ -92,6 +108,13 @@ pub struct NodeRecord {
     pub run: Vec<(u32, f64)>,
     /// The node's observer-mean cache entry.
     pub mean: Option<f64>,
+    /// Audit report log, sorted by subject (empty in v1 snapshots).
+    pub audit_log: Vec<AuditEntryRecord>,
+    /// Accumulated audit strikes (0 in v1 snapshots).
+    pub strikes: u32,
+    /// Round the node was convicted, if it ever was (`None` in v1
+    /// snapshots).
+    pub convicted_at: Option<u64>,
 }
 
 impl NodeRecord {
@@ -104,6 +127,15 @@ impl NodeRecord {
             && self.table.len() == other.table.len()
             && self.run.len() == other.run.len()
             && opt_bits_eq(self.mean, other.mean)
+            && self.audit_log.len() == other.audit_log.len()
+            && self.strikes == other.strikes
+            && self.convicted_at == other.convicted_at
+            && self.audit_log.iter().zip(&other.audit_log).all(|(a, b)| {
+                a.subject == b.subject
+                    && a.round == b.round
+                    && a.reported.to_bits() == b.reported.to_bits()
+                    && opt_bits_eq(a.implied, b.implied)
+            })
             && self.estimators.iter().zip(&other.estimators).all(|(a, b)| {
                 a.peer == b.peer
                     && a.count == b.count
@@ -147,9 +179,19 @@ impl NodeRecord {
             w.put_f64(value);
         }
         w.put_opt_f64(self.mean);
+        // v2 trailer: audit state.
+        w.put_u32(self.audit_log.len() as u32);
+        for e in &self.audit_log {
+            w.put_u32(e.subject);
+            w.put_u64(e.round);
+            w.put_f64(e.reported);
+            w.put_opt_f64(e.implied);
+        }
+        w.put_u32(self.strikes);
+        w.put_opt_u64(self.convicted_at);
     }
 
-    pub(crate) fn decode(r: &mut ByteReader<'_>) -> Result<NodeRecord, String> {
+    pub(crate) fn decode(r: &mut ByteReader<'_>, version: u32) -> Result<NodeRecord, String> {
         let node = r.get_u32("node id")?;
         let n_est = r.get_len("estimator list", 28)?;
         let mut estimators = Vec::with_capacity(n_est);
@@ -180,12 +222,34 @@ impl NodeRecord {
             run.push((subject, value));
         }
         let mean = r.get_opt_f64("observer mean")?;
+        // Version-1 payloads end here; the audit state defaults empty,
+        // which restores the exact pre-audit engine state.
+        let (audit_log, strikes, convicted_at) = if version >= 2 {
+            let n_log = r.get_len("audit log", 21)?;
+            let mut audit_log = Vec::with_capacity(n_log);
+            for _ in 0..n_log {
+                audit_log.push(AuditEntryRecord {
+                    subject: r.get_u32("audit subject")?,
+                    round: r.get_u64("audit round")?,
+                    reported: r.get_f64("audit reported")?,
+                    implied: r.get_opt_f64("audit implied")?,
+                });
+            }
+            let strikes = r.get_u32("audit strikes")?;
+            let convicted_at = r.get_opt_u64("conviction round")?;
+            (audit_log, strikes, convicted_at)
+        } else {
+            (Vec::new(), 0, None)
+        };
         Ok(NodeRecord {
             node,
             estimators,
             table,
             run,
             mean,
+            audit_log,
+            strikes,
+            convicted_at,
         })
     }
 }
@@ -219,13 +283,16 @@ pub(crate) fn encode_records(w: &mut ByteWriter, records: &[NodeRecord]) {
     }
 }
 
-/// Decode a count-prefixed record list.
-pub(crate) fn decode_records(r: &mut ByteReader<'_>) -> Result<Vec<NodeRecord>, String> {
+/// Decode a count-prefixed record list laid out in format `version`.
+pub(crate) fn decode_records(
+    r: &mut ByteReader<'_>,
+    version: u32,
+) -> Result<Vec<NodeRecord>, String> {
     // A node record is at least 4 + 4 + 4 + 4 + 1 bytes.
     let count = r.get_len("record list", 17)?;
     let mut records = Vec::with_capacity(count);
     for _ in 0..count {
-        records.push(NodeRecord::decode(r)?);
+        records.push(NodeRecord::decode(r, version)?);
     }
     Ok(records)
 }
@@ -252,6 +319,14 @@ mod tests {
             }],
             run: vec![(node + 1, 0.75), (node + 2, 0.5)],
             mean: Some(0.625),
+            audit_log: vec![AuditEntryRecord {
+                subject: node + 1,
+                round: 2,
+                reported: 0.75,
+                implied: Some(0.5),
+            }],
+            strikes: 1,
+            convicted_at: None,
         }
     }
 
@@ -266,9 +341,47 @@ mod tests {
         record.encode(&mut w);
         let bytes = w.into_bytes();
         let mut r = ByteReader::new(&bytes);
-        let back = NodeRecord::decode(&mut r).unwrap();
+        let back = NodeRecord::decode(&mut r, crate::FORMAT_VERSION).unwrap();
         assert!(r.is_empty());
         assert!(record.bits_eq(&back));
+    }
+
+    #[test]
+    fn v1_payload_decodes_with_empty_audit_state() {
+        // A record with no audit state encodes to `v1 bytes ‖ v2
+        // trailer` where the trailer is exactly 9 bytes (empty log
+        // count + zero strikes + absent conviction). Stripping it
+        // reconstructs what a version-1 writer produced, which must
+        // keep decoding under the v1 layout.
+        let mut record = sample_record(3);
+        record.audit_log.clear();
+        record.strikes = 0;
+        record.convicted_at = None;
+        let mut w = ByteWriter::new();
+        record.encode(&mut w);
+        let bytes = w.into_bytes();
+        let v1_bytes = &bytes[..bytes.len() - 9];
+        let mut r = ByteReader::new(v1_bytes);
+        let back = NodeRecord::decode(&mut r, 1).unwrap();
+        assert!(r.is_empty());
+        assert!(record.bits_eq(&back));
+        // The same truncated bytes are NOT a valid v2 record.
+        let mut r2 = ByteReader::new(v1_bytes);
+        assert!(NodeRecord::decode(&mut r2, 2).is_err());
+    }
+
+    #[test]
+    fn bits_eq_sees_audit_state() {
+        let a = sample_record(1);
+        let mut b = a.clone();
+        b.strikes += 1;
+        assert!(!a.bits_eq(&b));
+        let mut c = a.clone();
+        c.convicted_at = Some(4);
+        assert!(!a.bits_eq(&c));
+        let mut d = a.clone();
+        d.audit_log[0].implied = None;
+        assert!(!a.bits_eq(&d));
     }
 
     #[test]
@@ -302,7 +415,7 @@ mod tests {
         for cut in 0..bytes.len() {
             let mut r = ByteReader::new(&bytes[..cut]);
             assert!(
-                NodeRecord::decode(&mut r).is_err(),
+                NodeRecord::decode(&mut r, crate::FORMAT_VERSION).is_err(),
                 "decode of a {cut}-byte prefix must fail"
             );
         }

@@ -320,9 +320,9 @@ impl Store {
             .into_par_iter()
             .map(|(i, (start, end))| {
                 let path = dir.join(format!("shard-{i}.bin"));
-                let payload = read_frame(&path, FrameKind::Shard)?;
+                let (version, payload) = read_frame(&path, FrameKind::Shard)?;
                 let mut r = ByteReader::new(&payload);
-                let records = decode_records(&mut r).map_err(|e| corrupt_at(&path, e))?;
+                let records = decode_records(&mut r, version).map_err(|e| corrupt_at(&path, e))?;
                 if records.len() as u64 != end - start
                     || records
                         .iter()
@@ -357,7 +357,7 @@ impl Store {
         let mut latest = head.base_round;
         for &delta_round in &head.delta_rounds {
             let path = self.delta_bin_path(delta_round);
-            let payload = read_frame(&path, FrameKind::Delta)?;
+            let (version, payload) = read_frame(&path, FrameKind::Delta)?;
             let mut r = ByteReader::new(&payload);
             let base = r
                 .get_u64("delta base round")
@@ -371,7 +371,7 @@ impl Store {
                     ),
                 });
             }
-            let changed = decode_records(&mut r).map_err(|e| corrupt_at(&path, e))?;
+            let changed = decode_records(&mut r, version).map_err(|e| corrupt_at(&path, e))?;
             if !r.is_empty() {
                 return Err(corrupt_at(&path, "trailing bytes after records".into()));
             }
@@ -425,6 +425,14 @@ mod tests {
             }],
             run: vec![(node ^ 1, salt / 8.0)],
             mean: Some(salt / 16.0),
+            audit_log: vec![crate::AuditEntryRecord {
+                subject: node ^ 1,
+                round: 1,
+                reported: salt / 8.0,
+                implied: Some(salt / 8.0),
+            }],
+            strikes: node % 3,
+            convicted_at: (node % 4 == 3).then_some(1),
         }
     }
 

@@ -21,6 +21,10 @@ pub enum TrustError {
     #[error("invalid robust aggregation policy: {0}")]
     InvalidRobustPolicy(String),
 
+    /// An audit policy failed validation.
+    #[error("invalid audit policy: {0}")]
+    InvalidAuditPolicy(String),
+
     /// A node id exceeded the matrix dimension.
     #[error("node id {id} out of range for {n} nodes")]
     NodeOutOfRange {

@@ -29,11 +29,16 @@
 //! * [`table`] — the per-node reputation table of the system model
 //!   (local trust + last-heard bookkeeping for dropping silent peers),
 //! * [`robust`] — robust-aggregation countermeasures (report clamping,
-//!   per-subject trimmed aggregation) for adversarial gossip channels.
+//!   per-subject trimmed aggregation) for adversarial gossip channels,
+//! * [`audit`] — the deterministic stochastic-audit layer against
+//!   within-bounds stealth cartels: seeded audit-target selection, the
+//!   bounded per-node [`ReportLog`] re-verification
+//!   buffer, and the k-strikes conviction policy.
 
 #![warn(missing_docs)]
 
 pub mod aimd;
+pub mod audit;
 pub mod csr;
 pub mod delta;
 pub mod error;
@@ -45,6 +50,7 @@ pub mod table;
 pub mod value;
 pub mod weights;
 
+pub use audit::{audit_targets, AuditPolicy, ReportLog, ReportLogEntry};
 pub use csr::{CsrBuilder, CsrStorage};
 pub use delta::SubjectAggregateCache;
 pub use error::TrustError;

@@ -31,7 +31,14 @@ const ENGINES: [EngineKind; 4] = [
     EngineKind::Incremental,
 ];
 
-const ADVERSARIES: [&str; 5] = ["none", "sybil", "collusion", "slander", "whitewash"];
+const ADVERSARIES: [&str; 6] = [
+    "none",
+    "sybil",
+    "collusion",
+    "slander",
+    "whitewash",
+    "stealth",
+];
 
 fn temp_dir(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("dg_crash_{tag}_{}", std::process::id()));
@@ -127,6 +134,60 @@ fn kill_and_resume_is_bit_identical_under_faulty_network_profiles() {
 }
 
 #[test]
+fn kill_and_resume_with_audit_strikes_in_flight() {
+    use differential_gossip::trust::audit::AuditPolicy;
+
+    // The audit subsystem's durable state — per-node report logs,
+    // accumulated strike counters, the convicted set — must survive the
+    // snapshot round-trip mid-conviction: killed after strikes have
+    // accrued but before the cartel is fully convicted, the resumed run
+    // must land every remaining conviction in exactly the round the
+    // straight run does.
+    let audit = AuditPolicy {
+        audit_rate: 0.1,
+        ..AuditPolicy::standard()
+    };
+    for engine in ENGINES {
+        let cfg = config(
+            engine,
+            AdversaryMix::stealth(),
+            NetworkProfile::lossless(),
+            42,
+        )
+        .with_rounds(8)
+        .with_audit(audit);
+        let tag = format!("{engine:?}_audit_inflight");
+
+        let mut straight = RunSession::new(cfg).expect("straight session");
+        straight.run().expect("straight run");
+        let kill_round = 4;
+        let strikes_at_kill: u64 = straight.stats()[..kill_round]
+            .iter()
+            .map(|r| r.audit_strikes)
+            .sum();
+        let convictions_before: u64 = straight.stats()[..kill_round]
+            .iter()
+            .map(|r| r.convictions)
+            .sum();
+        let convictions_after: u64 = straight.stats()[kill_round..]
+            .iter()
+            .map(|r| r.convictions)
+            .sum();
+        assert!(
+            strikes_at_kill > 0,
+            "{tag}: no strikes in flight at the kill round"
+        );
+        assert!(
+            convictions_before > 0 && convictions_after > 0,
+            "{tag}: convictions must straddle the kill round \
+             ({convictions_before} before, {convictions_after} after)"
+        );
+
+        assert_kill_resume_bit_identical(cfg, kill_round, &tag);
+    }
+}
+
+#[test]
 fn resume_restores_aggregates_and_residual_exactly() {
     let cfg = config(
         EngineKind::Parallel,
@@ -173,7 +234,7 @@ proptest! {
     #[test]
     fn kill_resume_property(
         engine_ix in 0usize..4,
-        adversary_ix in 0usize..5,
+        adversary_ix in 0usize..6,
         lossy in 0usize..2,
         kill_round in 1usize..4,
         seed in 0u64..1000,

@@ -13,6 +13,7 @@ use differential_gossip::sim::rounds::{
 };
 use differential_gossip::sim::scenario::{Scenario, ScenarioConfig};
 use differential_gossip::sim::workload::TrafficModel;
+use differential_gossip::trust::audit::AuditPolicy;
 use rayon::ThreadPoolBuilder;
 
 /// Shard counts the sharded engine is pinned at: one shard (the flat
@@ -219,6 +220,50 @@ fn engines_match_bitwise_under_skewed_traffic_and_adversaries() {
             }
             .with_traffic(traffic),
         );
+    }
+}
+
+#[test]
+fn engines_match_bitwise_with_audits_convicting() {
+    // The audit phase live end to end: a stealth cartel striking on
+    // every spot-check, a hot audit rate so convictions (and the purge
+    // they trigger) land inside the run — and every engine still
+    // bit-equal to the sequential reference at full and 1% activity,
+    // at every thread and shard count.
+    let mix = AdversaryMix::stealth().validated().expect("mix is valid");
+    let audit = AuditPolicy {
+        audit_rate: 0.2,
+        ..AuditPolicy::standard()
+    };
+    for fraction in [1.0, 0.01] {
+        let s = Scenario::build(ScenarioConfig {
+            nodes: 90,
+            seed: 31,
+            free_rider_fraction: 0.15,
+            quality_range: (0.4, 1.0),
+            adversary: mix,
+            ..ScenarioConfig::default()
+        })
+        .expect("scenario builds");
+        let config = RoundsConfig {
+            rounds: 8,
+            ..RoundsConfig::default()
+        }
+        .with_audit(audit)
+        .with_traffic(TrafficModel::full().with_activity(fraction));
+        // The row only proves something if the audit machinery actually
+        // fires. At full activity that means convictions (and the purge
+        // they trigger) land mid-run; at 1% activity cartel members
+        // rarely emit a report, so logs stay empty and no strike can
+        // accrue — there the live part is the audit sampling itself.
+        let (seq_stats, _) = run(&s, config.with_engine(EngineKind::Sequential));
+        let audits: u64 = seq_stats.iter().map(|r| r.audits).sum();
+        assert!(audits > 0, "no audits ran at activity {fraction}");
+        if fraction == 1.0 {
+            let convictions: u64 = seq_stats.iter().map(|r| r.convictions).sum();
+            assert!(convictions > 0, "no convictions at full activity");
+        }
+        assert_equivalent(&s, config);
     }
 }
 
