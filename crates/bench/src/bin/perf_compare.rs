@@ -6,16 +6,32 @@
 //!
 //! ```text
 //! perf_compare <baseline.json> <candidate.json> [<b2> <c2> ...] [max_regression]
+//! perf_compare --threads <baseline.json> <candidate.json> [min_efficiency]
 //! ```
 //!
 //! Reports are compared pairwise, so one invocation gates every profile
 //! (e.g. the lossless smoke report *and* the lossy report). Exit code
 //! 0 = within budget, 1 = regression, 2 = usage error.
+//!
+//! `--threads` mode compares [`ThreadScalingReport`]s
+//! (`BENCH_threads.json` curves from `perf_suite --threads`) instead:
+//! per-thread-count throughput is gated pairwise against the baseline
+//! under the default regression budget, and the candidate's own
+//! parallel efficiency must reach `min_efficiency` (default 0.75) at
+//! every multi-thread point within the machine's hardware parallelism —
+//! oversubscribed points are reported but exempt.
 
-use dg_bench::perf::{find_quality_regressions, find_regressions, PerfReport, MAX_REGRESSION};
+use dg_bench::perf::{
+    find_efficiency_violations, find_quality_regressions, find_regressions,
+    find_thread_regressions, PerfReport, ThreadScalingReport, MAX_REGRESSION,
+};
 
-fn load(path: &str) -> PerfReport {
-    let parse = || -> Result<PerfReport, Box<dyn std::error::Error>> {
+/// The default lower bound on 2-thread parallel efficiency — the
+/// work-stealing scheduler's CI bar (≥ 1.5x speedup on two cores).
+const MIN_EFFICIENCY: f64 = 0.75;
+
+fn load<T: serde::Deserialize>(path: &str) -> T {
+    let parse = || -> Result<T, Box<dyn std::error::Error>> {
         Ok(serde_json::from_str(&std::fs::read_to_string(path)?)?)
     };
     parse().unwrap_or_else(|e| {
@@ -24,8 +40,80 @@ fn load(path: &str) -> PerfReport {
     })
 }
 
+/// `--threads` mode: gate two scaling curves. Exits the process.
+fn threads_main(mut args: Vec<String>) -> ! {
+    // Optional trailing efficiency bound.
+    let min_efficiency = match args.last().and_then(|s| s.parse::<f64>().ok()) {
+        Some(f) => {
+            args.pop();
+            if !(f.is_finite() && (0.0..=1.0).contains(&f)) {
+                eprintln!("min_efficiency must be a finite number in [0, 1], got {f}");
+                std::process::exit(2);
+            }
+            f
+        }
+        None => MIN_EFFICIENCY,
+    };
+    if args.len() != 2 {
+        eprintln!(
+            "usage: perf_compare --threads <baseline.json> <candidate.json> [min_efficiency]"
+        );
+        std::process::exit(2);
+    }
+    let baseline: ThreadScalingReport = load(&args[0]);
+    let candidate: ThreadScalingReport = load(&args[1]);
+    println!("comparing scaling curve {} against {}:", args[1], args[0]);
+    if baseline.name != candidate.name || baseline.nodes != candidate.nodes {
+        eprintln!(
+            "  warning: comparing different configs ({} @ {} nodes vs {} @ {} nodes)",
+            baseline.name, baseline.nodes, candidate.name, candidate.nodes
+        );
+    }
+    for cand in &candidate.points {
+        let delta = baseline.point(cand.threads).map_or_else(String::new, |b| {
+            format!(
+                "  ({:+.1}% vs baseline)",
+                100.0 * (cand.node_rounds_per_sec / b.node_rounds_per_sec - 1.0)
+            )
+        });
+        println!(
+            "  {:>3} threads  {:>12.0} node-rounds/s  efficiency {:.3}{delta}",
+            cand.threads, cand.node_rounds_per_sec, cand.parallel_efficiency
+        );
+    }
+    if candidate
+        .points
+        .iter()
+        .any(|p| p.threads > candidate.machine_threads)
+    {
+        println!(
+            "  note: points beyond the machine's {} hardware threads are exempt from the \
+             efficiency gate",
+            candidate.machine_threads
+        );
+    }
+
+    let mut failed = false;
+    for violation in find_thread_regressions(&baseline, &candidate, MAX_REGRESSION) {
+        eprintln!("  REGRESSION: {violation}");
+        failed = true;
+    }
+    for violation in find_efficiency_violations(&candidate, min_efficiency) {
+        eprintln!("  REGRESSION: {violation}");
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("scaling gate passed (min efficiency: {min_efficiency})");
+    std::process::exit(0);
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--threads") {
+        threads_main(args.split_off(1));
+    }
     // Optional trailing budget factor.
     let max_regression = match args.last().and_then(|s| s.parse::<f64>().ok()) {
         Some(f) => {
@@ -51,8 +139,8 @@ fn main() {
     let mut failed = false;
     for pair in args.chunks(2) {
         let (baseline_path, candidate_path) = (&pair[0], &pair[1]);
-        let baseline = load(baseline_path);
-        let candidate = load(candidate_path);
+        let baseline: PerfReport = load(baseline_path);
+        let candidate: PerfReport = load(candidate_path);
         println!("comparing {candidate_path} against {baseline_path}:");
 
         if baseline.name != candidate.name || baseline.nodes != candidate.nodes {

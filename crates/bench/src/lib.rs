@@ -48,7 +48,14 @@
 //!   store at `<dir>` and continue the run,
 //! * `--checkpoint-overhead` — `perf_suite` gate: measure the pinned
 //!   smoke config with and without checkpoint-every-4-rounds and exit
-//!   non-zero if checkpointing costs more than 10% throughput.
+//!   non-zero if checkpointing costs more than 10% throughput,
+//! * `--threads <list>` — `perf_suite` thread-scaling mode: run the
+//!   selected config's round loop once per thread count in the
+//!   comma-separated list (e.g. `1,2,4`) and emit the
+//!   scaling-efficiency curve (node-rounds/s and parallel efficiency
+//!   vs cores) into `BENCH_threads.json`; composes with `--engine`
+//!   (default: the sharded engine, the work-stealing scheduler's
+//!   target configuration).
 
 use dg_gossip::{AdversaryMix, EngineKind, NetworkProfile};
 
@@ -101,6 +108,10 @@ pub struct Cli {
     /// `perf_suite`: run the snapshot-overhead gate instead of the
     /// measurement suite.
     pub checkpoint_overhead: bool,
+    /// `perf_suite` thread-scaling mode: the thread counts to sweep
+    /// (ascending, deduplicated). `None` when `--threads` was not
+    /// passed.
+    pub threads: Option<Vec<usize>>,
 }
 
 impl Default for Cli {
@@ -123,6 +134,7 @@ impl Default for Cli {
             checkpoint_every: None,
             resume: None,
             checkpoint_overhead: false,
+            threads: None,
         }
     }
 }
@@ -243,6 +255,15 @@ impl Cli {
                     cli.resume = Some(v);
                 }
                 "--checkpoint-overhead" => cli.checkpoint_overhead = true,
+                "--threads" => {
+                    let v = args
+                        .next()
+                        .map(|s| parse_thread_list(&s))
+                        .unwrap_or_else(|| {
+                            usage("--threads needs a comma-separated list of positive counts")
+                        });
+                    cli.threads = Some(v);
+                }
                 "--help" | "-h" => usage(
                     "
 ",
@@ -254,6 +275,24 @@ impl Cli {
     }
 }
 
+/// Parse a `--threads` list: comma-separated positive counts, returned
+/// ascending and deduplicated (a scaling curve needs each point once).
+fn parse_thread_list(raw: &str) -> Vec<usize> {
+    let mut counts: Vec<usize> = raw
+        .split(',')
+        .map(|part| match part.trim().parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => usage("--threads needs a comma-separated list of positive counts (e.g. 1,2,4)"),
+        })
+        .collect();
+    if counts.is_empty() {
+        usage("--threads needs at least one thread count");
+    }
+    counts.sort_unstable();
+    counts.dedup();
+    counts
+}
+
 fn usage(msg: &str) -> ! {
     eprintln!(
         "{msg}\nusage: <bin> [--full] [--scale] [--skewed] [--nodes <usize>] \
@@ -262,7 +301,7 @@ fn usage(msg: &str) -> ! {
          [--profile <lossless|lossy|partitioned|churning>] \
          [--adversary <none|sybil|collusion|slander|whitewash|stealth>] [--out <path>] \
          [--out-dir <dir>] [--checkpoint-every <rounds>] [--resume <dir>] \
-         [--checkpoint-overhead]"
+         [--checkpoint-overhead] [--threads <list>]"
     );
     std::process::exit(2)
 }

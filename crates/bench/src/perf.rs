@@ -365,11 +365,228 @@ pub fn run_suite_with_adversary(
     })
 }
 
+/// One point of a thread-scaling curve.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThreadPoint {
+    /// Worker threads this point was measured at.
+    pub threads: usize,
+    /// Wall time of the whole round loop, milliseconds.
+    pub wall_ms: f64,
+    /// Node-rounds per second at this thread count.
+    pub node_rounds_per_sec: f64,
+    /// Parallel efficiency against the curve's first (lowest-thread)
+    /// point: `(tput / base_tput) × (base_threads / threads)` — 1.0 is
+    /// perfect linear scaling, the CI gate bounds it from below.
+    pub parallel_efficiency: f64,
+}
+
+/// A `BENCH_threads.json` report: the scaling-efficiency curve
+/// (node-rounds/s vs cores) of one engine on one pinned config.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThreadScalingReport {
+    /// Config name (`smoke` / `full` / ...).
+    pub name: String,
+    /// Network size.
+    pub nodes: usize,
+    /// Lifecycle rounds executed per point.
+    pub rounds: usize,
+    /// Requests per directed edge per round.
+    pub requests_per_edge: u32,
+    /// Scenario seed.
+    pub seed: u64,
+    /// The engine swept.
+    pub engine: String,
+    /// Shard count (0 = auto).
+    pub shards: usize,
+    /// The measuring machine's available parallelism — points beyond
+    /// it are oversubscribed and exempt from the efficiency gate.
+    pub machine_threads: usize,
+    /// The curve, ascending by thread count.
+    pub points: Vec<ThreadPoint>,
+}
+
+impl ThreadScalingReport {
+    /// The point measured at `threads`, if present.
+    pub fn point(&self, threads: usize) -> Option<&ThreadPoint> {
+        self.points.iter().find(|p| p.threads == threads)
+    }
+}
+
+/// Annotate raw `(threads, wall_ms, node_rounds_per_sec)` measurements
+/// with parallel efficiency against the lowest-thread point.
+fn efficiency_points(mut raw: Vec<(usize, f64, f64)>) -> Vec<ThreadPoint> {
+    raw.sort_by_key(|&(t, _, _)| t);
+    let base = raw.first().copied();
+    raw.into_iter()
+        .map(|(threads, wall_ms, tput)| {
+            let parallel_efficiency = match base {
+                Some((base_threads, _, base_tput)) if base_tput > 0.0 => {
+                    (tput / base_tput) * (base_threads as f64 / threads as f64)
+                }
+                _ => 0.0,
+            };
+            ThreadPoint {
+                threads,
+                wall_ms,
+                node_rounds_per_sec: tput,
+                parallel_efficiency,
+            }
+        })
+        .collect()
+}
+
+/// Measure the scaling-efficiency curve: the full round-loop lifecycle
+/// of `engine` on `perf`, once per thread count (each run inside an
+/// installed pool of that width). Results are bit-identical across the
+/// sweep — only wall-clock changes — so the curve is a pure scheduler
+/// measurement.
+pub fn run_thread_sweep(
+    perf: &PerfConfig,
+    seed: u64,
+    engine: EngineKind,
+    threads: &[usize],
+    adversary: AdversaryMix,
+) -> Result<ThreadScalingReport, Box<dyn std::error::Error>> {
+    let mut raw = Vec::with_capacity(threads.len());
+    for &t in threads {
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(t).build()?;
+        let result = pool.install(|| measure_engine(perf, seed, engine, adversary))?;
+        raw.push((t, result.wall_ms, result.node_rounds_per_sec));
+    }
+    Ok(ThreadScalingReport {
+        name: perf.name.to_owned(),
+        nodes: perf.nodes,
+        rounds: perf.rounds,
+        requests_per_edge: perf.requests_per_edge,
+        seed,
+        engine: engine.label().to_owned(),
+        shards: perf.shards,
+        machine_threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        points: efficiency_points(raw),
+    })
+}
+
+/// `--threads` mode: sweep the selected config over the requested
+/// thread counts and write the curve report.
+fn thread_sweep_main(
+    cli: &crate::Cli,
+    threads: &[usize],
+) -> Result<(), Box<dyn std::error::Error>> {
+    let config = select_config(cli);
+    // The sharded engine is the work-stealing scheduler's target
+    // configuration; `--engine` overrides.
+    let engine = cli.engine.unwrap_or(EngineKind::Sharded);
+    eprintln!(
+        "perf_suite: thread sweep {:?} on {} ({} nodes, {} rounds, {} req/edge, seed {}, \
+         engine {})",
+        threads,
+        config.name,
+        config.nodes,
+        config.rounds,
+        config.requests_per_edge,
+        cli.seed,
+        engine.label(),
+    );
+    let report = run_thread_sweep(&config, cli.seed, engine, threads, cli.adversary)?;
+    for p in &report.points {
+        eprintln!(
+            "  {:>3} threads  {:>10.1} ms  {:>12.0} node-rounds/s  efficiency {:.3}",
+            p.threads, p.wall_ms, p.node_rounds_per_sec, p.parallel_efficiency
+        );
+    }
+    if threads.iter().any(|&t| t > report.machine_threads) {
+        eprintln!(
+            "  note: this machine has {} hardware threads — oversubscribed points are \
+             reported but exempt from the efficiency gate",
+            report.machine_threads
+        );
+    }
+    // The pinned smoke sweep keeps the historical gate file name;
+    // other configs and overridden runs get their own files so they
+    // cannot shadow the committed baseline (same rule as the plain
+    // suite reports).
+    let mut suffix = String::new();
+    if config.name != SMOKE.name {
+        suffix.push_str(&format!("_{}", config.name));
+    }
+    if let Some(n) = cli.nodes {
+        suffix.push_str(&format!("_{n}"));
+    }
+    if cli.activity.is_some() || cli.zipf.is_some() {
+        suffix.push_str(&format!(
+            "_a{:.2}_z{:.2}",
+            config.traffic.activity_fraction, config.traffic.zipf_exponent
+        ));
+    }
+    let default_name = format!("BENCH_threads{suffix}.json");
+    let name = cli.out.clone().unwrap_or(default_name);
+    let path = crate::resolve_out_path(cli.out_dir.as_deref(), &name);
+    std::fs::write(&path, serde_json::to_string_pretty(&report)?)?;
+    eprintln!("wrote {path}");
+    if cli.json {
+        println!("{}", serde_json::to_string(&report)?);
+    }
+    Ok(())
+}
+
+/// Pairwise throughput gate between two scaling curves: every thread
+/// count present in both must keep at least `1 / max_regression` of
+/// the baseline throughput. Returns human-readable violations.
+pub fn find_thread_regressions(
+    baseline: &ThreadScalingReport,
+    candidate: &ThreadScalingReport,
+    max_regression: f64,
+) -> Vec<String> {
+    let mut out = Vec::new();
+    for base in &baseline.points {
+        let Some(cand) = candidate.point(base.threads) else {
+            continue;
+        };
+        let factor = base.node_rounds_per_sec / cand.node_rounds_per_sec.max(1e-9);
+        if factor > max_regression {
+            out.push(format!(
+                "{} threads: throughput fell {:.0} -> {:.0} node-rounds/s ({factor:.2}x, \
+                 budget {max_regression:.1}x)",
+                base.threads, base.node_rounds_per_sec, cand.node_rounds_per_sec,
+            ));
+        }
+    }
+    out
+}
+
+/// Absolute parallel-efficiency gate on a fresh curve: every
+/// non-oversubscribed multi-thread point (1 < threads ≤
+/// `machine_threads`) must reach `min_efficiency`. This bounds the
+/// *candidate measurement itself* — unlike the pairwise throughput
+/// gate it needs no baseline, so a scheduler that stops scaling fails
+/// even if a stale baseline scaled just as badly.
+pub fn find_efficiency_violations(
+    candidate: &ThreadScalingReport,
+    min_efficiency: f64,
+) -> Vec<String> {
+    candidate
+        .points
+        .iter()
+        .filter(|p| p.threads > 1 && p.threads <= candidate.machine_threads)
+        .filter(|p| p.parallel_efficiency < min_efficiency)
+        .map(|p| {
+            format!(
+                "{} threads: parallel efficiency {:.3} below the {min_efficiency:.2} bound \
+                 ({:.0} node-rounds/s)",
+                p.threads, p.parallel_efficiency, p.node_rounds_per_sec,
+            )
+        })
+        .collect()
+}
+
 /// The `perf_suite` binary's entry point (the binary itself lives in the
 /// umbrella package so `cargo run --bin perf_suite` works from the
 /// workspace root).
 pub fn suite_main() -> Result<(), Box<dyn std::error::Error>> {
     let cli = crate::Cli::parse();
+    if let Some(threads) = cli.threads.clone() {
+        return thread_sweep_main(&cli, &threads);
+    }
     if cli.checkpoint_overhead {
         return checkpoint_overhead_main(&cli);
     }
@@ -938,5 +1155,103 @@ mod tests {
         let v = find_quality_regressions(&lossy_base, &cand, 2.0);
         assert_eq!(v.len(), 1, "{v:?}");
         assert!(v[0].contains("residual_error"));
+    }
+
+    fn curve(machine_threads: usize, points: &[(usize, f64)]) -> ThreadScalingReport {
+        ThreadScalingReport {
+            name: "smoke".into(),
+            nodes: 100,
+            rounds: 3,
+            requests_per_edge: 1,
+            seed: 42,
+            engine: "sharded".into(),
+            shards: 4,
+            machine_threads,
+            points: efficiency_points(
+                points
+                    .iter()
+                    .map(|&(t, tput)| (t, 1000.0 / tput, tput))
+                    .collect(),
+            ),
+        }
+    }
+
+    #[test]
+    fn efficiency_is_relative_to_the_lowest_thread_point() {
+        let r = curve(8, &[(4, 3000.0), (1, 1000.0), (2, 1800.0)]);
+        // Points come back sorted ascending regardless of input order.
+        let threads: Vec<usize> = r.points.iter().map(|p| p.threads).collect();
+        assert_eq!(threads, vec![1, 2, 4]);
+        assert!((r.point(1).unwrap().parallel_efficiency - 1.0).abs() < 1e-12);
+        assert!((r.point(2).unwrap().parallel_efficiency - 0.9).abs() < 1e-12);
+        assert!((r.point(4).unwrap().parallel_efficiency - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn thread_regression_gate_fires_only_beyond_factor() {
+        let base = curve(8, &[(1, 1000.0), (2, 1800.0)]);
+        // Half the throughput at 2 threads: within the 2x budget.
+        let ok = curve(8, &[(1, 1000.0), (2, 901.0)]);
+        assert!(find_thread_regressions(&base, &ok, 2.0).is_empty());
+        // Beyond 2x at one point: exactly one violation, naming it.
+        let bad = curve(8, &[(1, 1000.0), (2, 800.0)]);
+        let v = find_thread_regressions(&base, &bad, 2.0);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].starts_with("2 threads"), "{v:?}");
+        // Thread counts absent from the candidate are skipped, not errors.
+        let sparse = curve(8, &[(1, 1000.0)]);
+        assert!(find_thread_regressions(&base, &sparse, 2.0).is_empty());
+    }
+
+    #[test]
+    fn efficiency_gate_skips_base_and_oversubscribed_points() {
+        // 2-thread point at 0.6 efficiency on a 2-core machine: violation.
+        let bad = curve(2, &[(1, 1000.0), (2, 1200.0)]);
+        let v = find_efficiency_violations(&bad, 0.75);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("0.600"), "{v:?}");
+        // Same curve with an 8-thread point on the same 2-core machine:
+        // the oversubscribed point is exempt, so still one violation.
+        let over = curve(2, &[(1, 1000.0), (2, 1200.0), (8, 1300.0)]);
+        assert_eq!(find_efficiency_violations(&over, 0.75).len(), 1);
+        // Healthy scaling passes.
+        let good = curve(2, &[(1, 1000.0), (2, 1800.0)]);
+        assert!(find_efficiency_violations(&good, 0.75).is_empty());
+        // The 1-thread base point is never gated.
+        let solo = curve(2, &[(1, 1000.0)]);
+        assert!(find_efficiency_violations(&solo, 0.75).is_empty());
+    }
+
+    #[test]
+    fn thread_report_roundtrips_through_json() {
+        let r = curve(4, &[(1, 5000.0), (2, 9000.0)]);
+        let text = serde_json::to_string_pretty(&r).unwrap();
+        let back: ThreadScalingReport = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn tiny_thread_sweep_is_bit_identical_across_thread_counts() {
+        let tiny = PerfConfig {
+            name: "tiny",
+            nodes: 60,
+            rounds: 2,
+            requests_per_edge: 1,
+            shards: 4,
+            traffic: SMOKE.traffic,
+            scope: SMOKE.scope,
+        };
+        let r = run_thread_sweep(
+            &tiny,
+            11,
+            EngineKind::Sharded,
+            &[1, 2],
+            AdversaryMix::none(),
+        )
+        .unwrap();
+        assert_eq!(r.points.len(), 2);
+        assert_eq!(r.engine, "sharded");
+        assert!((r.point(1).unwrap().parallel_efficiency - 1.0).abs() < 1e-12);
+        assert!(r.points.iter().all(|p| p.node_rounds_per_sec > 0.0));
     }
 }

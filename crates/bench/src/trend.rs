@@ -7,8 +7,8 @@
 //! commit. The file is committed back by the scheduled workflow, so the
 //! repo carries its own performance history.
 
-use crate::perf::{run_suite, PerfConfig, SMOKE};
-use dg_gossip::{EngineKind, NetworkProfile};
+use crate::perf::{run_suite, run_thread_sweep, PerfConfig, SMOKE};
+use dg_gossip::{AdversaryMix, EngineKind, NetworkProfile};
 
 /// The tiny self-test config (keeps the unit test fast).
 pub const TINY: PerfConfig = PerfConfig {
@@ -40,6 +40,12 @@ pub struct TrendRow {
     pub incremental: f64,
     /// parallel / sequential.
     pub speedup: f64,
+    /// Sharded-engine parallel efficiency at 2 threads (from a
+    /// `--threads 1,2` sweep of the same config). 1.0 is perfect linear
+    /// scaling; on a single-core runner the 2-thread point is
+    /// oversubscribed, so read this column together with the runner's
+    /// core count.
+    pub efficiency_2t: f64,
     /// Gossip rounds to convergence per profile, in lossless / lossy /
     /// partitioned / churning order.
     pub convergence: [usize; 4],
@@ -51,7 +57,8 @@ impl TrendRow {
     /// The markdown table row.
     pub fn markdown(&self) -> String {
         format!(
-            "| {} | {} | {:.0} | {:.0} | {:.0} | {:.0} | {:.2}x | {} | {} | {} | {} | {:.2e} |",
+            "| {} | {} | {:.0} | {:.0} | {:.0} | {:.0} | {:.2}x | {:.2} | {} | {} | {} | {} | \
+             {:.2e} |",
             self.date,
             self.sha,
             self.sequential,
@@ -59,6 +66,7 @@ impl TrendRow {
             self.sharded,
             self.incremental,
             self.speedup,
+            self.efficiency_2t,
             self.convergence[0],
             self.convergence[1],
             self.convergence[2],
@@ -75,12 +83,14 @@ pub const HEADER: &str = "\
 Appended by the scheduled `perf-trend` CI job: one row per run of the
 pinned-seed perf suite (smoke config, seed 42) across every network
 profile. Throughput is engine node-rounds/s measured lossless;
+`eff 2t` is the sharded engine's 2-thread parallel efficiency from a
+`--threads 1,2` sweep of the same config (1.0 = perfect scaling);
 `conv <profile>` is scalar-gossip rounds to convergence under that
 profile; the residual is the estimate error left under the churning
 profile. Hardware varies between runners — read trends, not absolutes.
 
-| date | commit | seq n-r/s | par n-r/s | shd n-r/s | inc n-r/s | speedup | conv lossless | conv lossy | conv partitioned | conv churning | churn residual |
-|------|--------|-----------|-----------|-----------|-----------|---------|---------------|------------|------------------|---------------|----------------|
+| date | commit | seq n-r/s | par n-r/s | shd n-r/s | inc n-r/s | speedup | eff 2t | conv lossless | conv lossy | conv partitioned | conv churning | churn residual |
+|------|--------|-----------|-----------|-----------|-----------|---------|--------|---------------|------------|------------------|---------------|----------------|
 ";
 
 /// Run the suite across all profiles and assemble the row.
@@ -125,6 +135,18 @@ pub fn run_trend(
         churning_residual = report.residual_error;
     }
 
+    // Scaling: a 1,2-thread sweep of the sharded engine on the same
+    // config, tracked alongside raw throughput so scheduler regressions
+    // show up even when absolute numbers drift with runner hardware.
+    let sweep = run_thread_sweep(
+        config,
+        seed,
+        EngineKind::Sharded,
+        &[1, 2],
+        AdversaryMix::none(),
+    )?;
+    let efficiency_2t = sweep.point(2).map_or(0.0, |p| p.parallel_efficiency);
+
     Ok(TrendRow {
         date,
         sha,
@@ -133,6 +155,7 @@ pub fn run_trend(
         sharded,
         incremental,
         speedup: parallel / sequential.max(1e-9),
+        efficiency_2t,
         convergence,
         churning_residual,
     })
@@ -207,8 +230,9 @@ mod tests {
         assert!(row.sequential > 0.0 && row.parallel > 0.0 && row.sharded > 0.0);
         assert!(row.incremental > 0.0);
         assert!(row.convergence.iter().all(|&c| c > 0));
+        assert!(row.efficiency_2t > 0.0);
         let md = row.markdown();
-        assert_eq!(md.matches('|').count(), 13, "12 cells: {md}");
+        assert_eq!(md.matches('|').count(), 14, "13 cells: {md}");
         assert!(md.contains("abc1234"));
     }
 
@@ -227,6 +251,7 @@ mod tests {
             sharded: 1500.0,
             incremental: 1800.0,
             speedup: 2.0,
+            efficiency_2t: 0.9,
             convergence: [10, 20, 30, 40],
             churning_residual: 1e-3,
         };

@@ -438,6 +438,18 @@ impl<'s> SequentialRounds<'s> {
     }
 
     fn run_round(&mut self, round_seed: u64) -> Result<RoundStats, CoreError> {
+        // The tiled subject-sum sweep inside dg-trust fans out on the
+        // ambient pool; pin this driver to one worker so "sequential"
+        // stays an honest single-thread yardstick in every benchmark
+        // (results are bit-identical either way).
+        let single = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .expect("single-thread pool");
+        single.install(|| self.run_round_multiphase(round_seed))
+    }
+
+    fn run_round_multiphase(&mut self, round_seed: u64) -> Result<RoundStats, CoreError> {
         let graph = &self.scenario.graph;
         let n = graph.node_count();
         let round = self.round as u64;

@@ -29,13 +29,23 @@
 //!   piece — correctness-preserving, **not** bounded-memory; the
 //!   million-node configuration is closed form, see `docs/SCALING.md`.)
 //!
+//! Both shard fan-outs are **cost-weighted**: a per-shard
+//! `ShardCosts` estimate — seeded from degree sums, refreshed every
+//! round from the shard's built `nnz` plus its active-node count —
+//! feeds [`rayon::map_weighted`], which seeds the work-stealing
+//! scheduler heaviest-shard-first (LPT) and lets idle workers steal
+//! whatever the estimate got wrong. Under skewed traffic one hot shard
+//! no longer serialises the round behind a static shard→thread
+//! assignment.
+//!
 //! Nodes keep drawing from the same per-node ChaCha8 streams
 //! ([`dg_gossip::node_stream_seed`]) as the other engines, and every
-//! cross-node reduction happens in a fixed order, so results are
-//! **bit-for-bit identical to the batched and sequential engines at any
-//! shard count and any thread count** — pinned by
-//! `tests/engine_equivalence.rs` for shards 1/4/16 × threads 1/2/8,
-//! with and without an adversarial mix.
+//! cross-node reduction happens in a fixed order — the weighted
+//! scheduler commits results in input order, so the costs only steer
+//! wall-clock, never results. Results are **bit-for-bit identical to
+//! the batched and sequential engines at any shard count and any
+//! thread count** — pinned by `tests/engine_equivalence.rs` for shards
+//! 1/16/64 × threads 1/2/8, with and without an adversarial mix.
 
 use crate::kernel::{
     aggregation_rng, audit_node, closed_form_row, convicted_of, emit_row, finish_round,
@@ -52,7 +62,54 @@ use dg_core::CoreError;
 use dg_graph::NodeId;
 use dg_trust::audit::audit_targets;
 use dg_trust::{CsrBuilder, CsrStorage, ShardSpec, ShardedCsr, TrustMatrix};
-use rayon::prelude::*;
+
+/// Per-shard work estimates feeding the work-stealing scheduler's
+/// weighted map ([`rayon::map_weighted`]).
+///
+/// Before the first round no traffic has been seen, so costs seed from
+/// the static topology: `Σ (degree + 1)` over each shard's rows. After
+/// every round [`update`](Self::update) replaces them with the measured
+/// signal — the shard's built trust-row entries (`nnz`, from
+/// [`ShardedCsr::shard_entry_counts`]) plus its active-requester count,
+/// the two direct drivers of next round's transact/estimate and
+/// aggregation cost under skewed traffic.
+///
+/// Costs are a scheduling *hint* only: the weighted map commits
+/// results in input order, so a wrong estimate costs wall-clock, never
+/// bit-identity.
+#[derive(Debug, Clone)]
+pub(crate) struct ShardCosts {
+    costs: Vec<u64>,
+}
+
+impl ShardCosts {
+    /// Topology seed: `Σ (degree + 1)` per shard.
+    pub(crate) fn seed(scenario: &Scenario, spec: ShardSpec) -> Self {
+        let costs = (0..spec.shard_count())
+            .map(|s| {
+                spec.range(s)
+                    .map(|i| scenario.graph.degree(NodeId(i)) as u64 + 1)
+                    .sum()
+            })
+            .collect();
+        Self { costs }
+    }
+
+    /// Refresh from a finished round's per-shard built entries and
+    /// active-requester counts (`+ 1` keeps empty shards schedulable).
+    pub(crate) fn update(&mut self, nnz: &[usize], active: &[usize]) {
+        debug_assert_eq!(nnz.len(), self.costs.len());
+        debug_assert_eq!(active.len(), self.costs.len());
+        for (s, cost) in self.costs.iter_mut().enumerate() {
+            *cost = nnz[s] as u64 + active[s] as u64 + 1;
+        }
+    }
+
+    /// The weights, in shard order.
+    pub(crate) fn weights(&self) -> &[u64] {
+        &self.costs
+    }
+}
 
 /// The sharded round engine (see the module docs).
 pub struct ShardedRoundEngine<'s> {
@@ -62,6 +119,8 @@ pub struct ShardedRoundEngine<'s> {
     spec: ShardSpec,
     /// `shards[s][local]` is node `spec.range(s).start + local`.
     shards: Vec<Vec<NodeState>>,
+    /// Per-shard work estimates for the next round's fan-outs.
+    costs: ShardCosts,
     /// `aggregated[observer]` — sorted `(subject, reputation)` run.
     aggregated: Vec<Vec<(NodeId, f64)>>,
     observer_mean: Vec<Option<f64>>,
@@ -86,6 +145,7 @@ impl<'s> ShardedRoundEngine<'s> {
             shards: (0..spec.shard_count())
                 .map(|s| (0..spec.rows_in(s)).map(|_| NodeState::new()).collect())
                 .collect(),
+            costs: ShardCosts::seed(scenario, spec),
             aggregated: vec![Vec::new(); n],
             observer_mean: vec![None; n],
             round: 0,
@@ -146,11 +206,14 @@ impl<'s> ShardedRoundEngine<'s> {
             .into_iter()
             .enumerate()
             .collect();
-        let estimated: Vec<(Vec<NodeState>, CsrStorage, ServiceDelta)> = work
-            .into_par_iter()
-            .map(|(s, mut shard)| {
+        // Weighted fan-out: last round's cost estimates seed the
+        // stealing scheduler heaviest-shard-first; the weights steer
+        // only wall-clock (results commit in shard order).
+        let estimated: Vec<(Vec<NodeState>, CsrStorage, ServiceDelta, usize)> =
+            rayon::map_weighted(work, self.costs.weights(), |(s, mut shard)| {
                 let range = spec.range(s);
                 let mut delta = ServiceDelta::default();
+                let mut active = 0usize;
                 let mut builder = CsrBuilder::rectangular(spec.rows_in(s), n);
                 for (local, i) in range.enumerate() {
                     let requester = NodeId(i);
@@ -165,6 +228,7 @@ impl<'s> ShardedRoundEngine<'s> {
                         observer_mean,
                         banned_ref,
                     );
+                    active += usize::from(!records.is_empty());
                     delta.merge(d);
                     let state = &mut shard[local];
                     let row = emit_row(scenario, &config, state, requester, records, round);
@@ -172,20 +236,26 @@ impl<'s> ShardedRoundEngine<'s> {
                         .extend_row(NodeId(local as u32), row)
                         .expect("estimator keys are in range");
                 }
-                (shard, builder.build(), delta)
-            })
-            .collect();
+                (shard, builder.build(), delta, active)
+            });
 
         let mut delta = ServiceDelta::default();
         let mut shards = Vec::with_capacity(spec.shard_count());
         let mut parts = Vec::with_capacity(spec.shard_count());
-        for (shard, csr, d) in estimated {
+        let mut active_counts = Vec::with_capacity(spec.shard_count());
+        for (shard, csr, d, active) in estimated {
             delta.merge(d);
             shards.push(shard);
             parts.push(csr);
+            active_counts.push(active);
         }
         self.shards = shards;
         let sharded = ShardedCsr::from_parts(spec, parts).expect("shards built to spec");
+        // Refresh the estimates with this round's measured signal; the
+        // aggregation fan-out below and next round's transact both
+        // schedule on them.
+        self.costs
+            .update(&sharded.shard_entry_counts(), &active_counts);
         let trust = TrustMatrix::from_sharded(sharded);
         let report_entries = trust.entry_count() as u64;
         let system = ReputationSystem::new(&self.scenario.graph, trust, self.scenario.weights)?;
@@ -198,14 +268,15 @@ impl<'s> ShardedRoundEngine<'s> {
                 let scope = self.config.scope;
                 let sys = &system;
                 let agg_ref = &agg;
-                let shard_runs: Vec<Vec<Vec<(NodeId, f64)>>> = (0..spec.shard_count())
-                    .into_par_iter()
-                    .map(|s| {
+                let shard_runs: Vec<Vec<Vec<(NodeId, f64)>>> = rayon::map_weighted(
+                    (0..spec.shard_count()).collect(),
+                    self.costs.weights(),
+                    |s| {
                         spec.range(s)
                             .map(|i| closed_form_row(sys, NodeId(i), scope, agg_ref))
                             .collect()
-                    })
-                    .collect();
+                    },
+                );
                 self.aggregated = shard_runs.into_iter().flatten().collect();
             }
             AggregationMode::Gossip => {
@@ -333,5 +404,64 @@ impl RoundEngine for ShardedRoundEngine<'_> {
         self.observer_mean = checkpoint.observer_mean;
         self.round = checkpoint.round;
         Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::ScenarioConfig;
+
+    fn tiny_scenario() -> Scenario {
+        Scenario::build(ScenarioConfig {
+            nodes: 24,
+            seed: 7,
+            ..ScenarioConfig::default()
+        })
+        .expect("tiny scenario builds")
+    }
+
+    #[test]
+    fn costs_seed_from_degree_sums() {
+        let scenario = tiny_scenario();
+        let spec = ShardSpec::new(scenario.graph.node_count(), 4);
+        let costs = ShardCosts::seed(&scenario, spec);
+        assert_eq!(costs.weights().len(), 4);
+        for s in 0..spec.shard_count() {
+            let expect: u64 = spec
+                .range(s)
+                .map(|i| scenario.graph.degree(NodeId(i)) as u64 + 1)
+                .sum();
+            assert_eq!(costs.weights()[s], expect, "shard {s}");
+        }
+        // Every shard is schedulable: the +1 per row keeps weights
+        // positive wherever a shard owns any rows.
+        assert!(costs.weights().iter().all(|&c| c > 0));
+    }
+
+    #[test]
+    fn costs_update_replaces_seed_with_measured_signal() {
+        let scenario = tiny_scenario();
+        let spec = ShardSpec::new(scenario.graph.node_count(), 3);
+        let mut costs = ShardCosts::seed(&scenario, spec);
+        costs.update(&[10, 0, 3], &[4, 0, 1]);
+        assert_eq!(costs.weights(), &[15, 1, 5]);
+        // Empty shards stay schedulable (non-zero weight).
+        assert!(costs.weights().iter().all(|&c| c > 0));
+    }
+
+    #[test]
+    fn engine_refreshes_costs_each_round() {
+        let scenario = tiny_scenario();
+        let mut engine = ShardedRoundEngine::new(&scenario, RoundsConfig::default());
+        let seeded = engine.costs.clone();
+        engine.run_round(41).expect("round runs");
+        // After a round the estimates reflect traffic, not topology:
+        // nnz + active + 1 is far below the degree-sum seed only by
+        // coincidence, so just pin that they were replaced and stay
+        // positive.
+        assert_eq!(engine.costs.weights().len(), seeded.weights().len());
+        assert!(engine.costs.weights().iter().all(|&c| c > 0));
+        assert_ne!(engine.costs.weights(), seeded.weights());
     }
 }

@@ -30,6 +30,11 @@
 //!   (local trust + last-heard bookkeeping for dropping silent peers),
 //! * [`robust`] — robust-aggregation countermeasures (report clamping,
 //!   per-subject trimmed aggregation) for adversarial gossip channels,
+//! * `tiled` (internal) — the cache-aware tiled subject-sum sweeps
+//!   behind [`TrustMatrix::subject_sums_and_counts`]: entries bucketed
+//!   by L2-sized subject tile, SoA accumulators per tile, tiles
+//!   executed on the work-stealing pool — bit-identical to the naive
+//!   scatter at any thread count,
 //! * [`audit`] — the deterministic stochastic-audit layer against
 //!   within-bounds stealth cartels: seeded audit-target selection, the
 //!   bounded per-node [`ReportLog`] re-verification
@@ -47,6 +52,7 @@ pub mod matrix;
 pub mod robust;
 pub mod sharded;
 pub mod table;
+mod tiled;
 pub mod value;
 pub mod weights;
 

@@ -341,14 +341,15 @@ impl TrustMatrix {
     /// Per-subject `(Σᵢ t_ij, N_d)` for every subject in one row-major
     /// pass — `O(nnz)` instead of `N` column scans. Feeds the closed-form
     /// aggregation phase.
+    ///
+    /// Beyond one L2 tile of subjects the sweep runs cache-aware and
+    /// parallel (see `crate::tiled`): entries are bucketed by subject
+    /// tile and each tile reduces into SoA accumulators on the
+    /// work-stealing pool. Bit-identical to the naive scatter at any
+    /// thread count — bucketing preserves each subject's row-major
+    /// report order and tiles own disjoint output ranges.
     pub fn subject_sums_and_counts(&self) -> (Vec<f64>, Vec<usize>) {
-        let mut sums = vec![0.0; self.n];
-        let mut counts = vec![0usize; self.n];
-        for (_, j, t) in self.entries() {
-            sums[j.index()] += t.get();
-            counts[j.index()] += 1;
-        }
-        (sums, counts)
+        crate::tiled::plain_sums(self.n, crate::tiled::SUBJECT_TILE, self.entries())
     }
 
     /// [`Self::subject_sums_and_counts`] under a
@@ -357,8 +358,9 @@ impl TrustMatrix {
     /// `trim_fraction` of each subject's reports is dropped from each
     /// tail before summing. With [`RobustAggregation::none`](crate::RobustAggregation::none)
     /// this is bit-for-bit the plain computation. Deterministic: values
-    /// are collected row-major (so per subject in ascending observer
-    /// order) and handed to the shared per-subject kernel
+    /// are gathered row-major (so per subject in ascending observer
+    /// order — the tiled sweep's stable counting sort preserves it; see
+    /// `crate::tiled`) and handed to the shared per-subject kernel
     /// [`RobustAggregation::subject_sum`](crate::RobustAggregation::subject_sum),
     /// the same kernel the delta cache
     /// ([`SubjectAggregateCache`](crate::SubjectAggregateCache)) uses.
@@ -369,18 +371,7 @@ impl TrustMatrix {
         if policy.is_none() {
             return self.subject_sums_and_counts();
         }
-        let mut reports: Vec<Vec<f64>> = vec![Vec::new(); self.n];
-        for (_, j, t) in self.entries() {
-            reports[j.index()].push(t.get());
-        }
-        let mut sums = vec![0.0; self.n];
-        let mut counts = vec![0usize; self.n];
-        for (j, mut values) in reports.into_iter().enumerate() {
-            let (sum, count) = policy.subject_sum(&mut values);
-            sums[j] = sum;
-            counts[j] = count;
-        }
-        (sums, counts)
+        crate::tiled::robust_sums(self.n, crate::tiled::SUBJECT_TILE, policy, self.entries())
     }
 
     /// Replace whole observer rows in one pass — the incremental

@@ -17,9 +17,11 @@ use differential_gossip::trust::audit::AuditPolicy;
 use rayon::ThreadPoolBuilder;
 
 /// Shard counts the sharded engine is pinned at: one shard (the flat
-/// degenerate case), a handful, and more shards than fit evenly —
-/// 16 shards over 90 nodes leaves trailing shards short.
-const SHARD_COUNTS: [usize; 3] = [1, 4, 16];
+/// degenerate case), more shards than fit evenly — 16 shards over 90
+/// nodes leaves trailing shards short — and 64, where most shards own
+/// a row or two and the work-stealing scheduler gets real block
+/// migration at every tested thread count.
+const SHARD_COUNTS: [usize; 3] = [1, 16, 64];
 
 fn scenario(seed: u64) -> Scenario {
     Scenario::build(ScenarioConfig {
@@ -268,6 +270,29 @@ fn engines_match_bitwise_with_audits_convicting() {
 }
 
 #[test]
+fn engines_match_bitwise_with_one_hot_shard() {
+    // Skew stress for the cost-weighted scheduler: Zipf s = 1.5 over a
+    // thin activity fraction concentrates almost all traffic on the
+    // lowest node ids — with 16 shards that is ONE hot shard while the
+    // rest idle, the exact shape that serialised the old static
+    // shard→thread assignment. The weighted stealing schedule must not
+    // change a bit of the output.
+    let s = scenario(61);
+    let traffic = TrafficModel::full()
+        .with_activity(0.1)
+        .with_zipf(1.5)
+        .with_flash(3, 4.0);
+    assert_equivalent(
+        &s,
+        RoundsConfig {
+            rounds: 6,
+            ..RoundsConfig::default()
+        }
+        .with_traffic(traffic),
+    );
+}
+
+#[test]
 fn incremental_engine_matches_under_whitewash_purges() {
     // Whitewash-heavy mix at thin traffic: purged rows must be
     // re-emitted from the persistent matrix next round even when their
@@ -320,6 +345,56 @@ fn sharded_engine_is_reproducible_across_repeat_runs() {
         let (a, _) = run(&s, config);
         let (b, _) = run(&s, config);
         assert_eq!(a, b, "{engine:?}");
+    }
+}
+
+mod steal_order {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        // Each engine run is a fresh, timing-dependent steal schedule;
+        // a handful of randomized scenarios × the full thread × shard
+        // grid re-rolls hundreds of schedules per test run.
+        #![proptest_config(ProptestConfig::with_cases(4))]
+
+        /// Any steal order at threads {1, 2, 8} × shards {1, 16, 64}
+        /// stays bit-identical to the sequential reference, over
+        /// randomized seeds, activity fractions and traffic skews
+        /// (including past the Zipf s = 1 hot-shard knee).
+        #[test]
+        fn any_steal_order_is_bit_identical(
+            seed in 0u64..1000,
+            activity in 0.02f64..1.0,
+            zipf in 0.0f64..1.6,
+        ) {
+            let s = Scenario::build(ScenarioConfig {
+                nodes: 48,
+                seed,
+                free_rider_fraction: 0.2,
+                quality_range: (0.4, 1.0),
+                ..ScenarioConfig::default()
+            })
+            .expect("scenario builds");
+            let config = RoundsConfig {
+                rounds: 3,
+                ..RoundsConfig::default()
+            }
+            .with_traffic(TrafficModel::full().with_activity(activity).with_zipf(zipf));
+            let (seq_stats, seq_sim) = run(&s, config.with_engine(EngineKind::Sequential));
+            for threads in [1usize, 2, 8] {
+                for shards in SHARD_COUNTS {
+                    assert_matches_reference(
+                        &s,
+                        &seq_stats,
+                        &seq_sim,
+                        config.with_engine(EngineKind::Sharded).with_shards(shards),
+                        threads,
+                        &format!("steal-order sharded/{shards}"),
+                    );
+                }
+            }
+        }
     }
 }
 

@@ -2,32 +2,78 @@
 //!
 //! Provides the surface this workspace uses — `par_iter` /
 //! `into_par_iter` with `map` / `filter` / `for_each` / `sum` /
-//! `collect`, plus `ThreadPoolBuilder` → `ThreadPool::install` — backed
-//! by `std::thread::scope` instead of a work-stealing deque. Each
-//! adaptor stage materialises its input, splits it into one contiguous
-//! chunk per worker, maps the chunks on scoped threads and concatenates
-//! the results in order, so **output order always matches input order**
-//! regardless of thread count. Every experiment additionally seeds
-//! per-item RNG streams, so results are bit-for-bit reproducible either
-//! way; only wall-clock changes.
+//! `collect`, plus `ThreadPoolBuilder` → `ThreadPool::install` and the
+//! cost-aware [`map_weighted`] — backed by a **work-stealing block
+//! scheduler** over `std::thread::scope` workers.
 //!
-//! With one worker (or one-element inputs) everything runs inline on the
-//! calling thread — zero spawn overhead — which keeps the `Sequential`
-//! engine honest when benchmarked against the fan-out path on small
-//! machines.
+//! # Scheduling model
+//!
+//! Input items are split into contiguous *blocks*, each tagged with its
+//! global start index. Every worker owns a mutex-guarded deque seeded
+//! with a contiguous run of blocks; it pops from the **front** of its
+//! own deque (lowest indices first, preserving the cache-friendly sweep
+//! order of the old chunked scheduler) and, when its deque runs dry,
+//! **steals from the back** of a victim's deque (the work the victim
+//! would reach last). Blocks never re-enter a deque, so once every
+//! deque is empty a worker can retire.
+//!
+//! Two seeding policies share that executor:
+//!
+//! * the unweighted adaptors ([`ParallelIterator::map`] etc.) split the
+//!   input into `OVERPARTITION` blocks per worker — enough
+//!   granularity for stealing to even out moderate imbalance without
+//!   giving up contiguous sweeps;
+//! * [`map_weighted`] makes every item its own block and seeds the
+//!   deques greedily by **descending caller-estimated cost** (classic
+//!   LPT assignment, ties broken by ascending index so the seeding is
+//!   deterministic). This is the shard scheduler of the round engines:
+//!   per-shard cost estimates place the heavy shards first and stealing
+//!   mops up the estimation error.
+//!
+//! # Determinism
+//!
+//! Every block carries its global start index and workers commit
+//! results *by index*: whatever order blocks execute or migrate in, the
+//! output vector is assembled in input order. **Output order and
+//! content are therefore independent of thread count, steal order and
+//! timing.** Every experiment additionally seeds per-item RNG streams,
+//! so results are bit-for-bit reproducible either way; only wall-clock
+//! changes (pinned by `tests/engine_equivalence.rs` at the workspace
+//! level and the order tests below).
+//!
+//! With one worker (or one-element inputs) everything runs inline on
+//! the calling thread — zero spawn overhead — which keeps the
+//! `Sequential` engine honest when benchmarked against the fan-out path
+//! on small machines.
+//!
+//! # Pool-width propagation (nested regions)
+//!
+//! The effective width is a thread-local override installed by
+//! [`ThreadPool::install`]. Workers **inherit the spawning region's
+//! effective width**, so a parallel region nested inside a worker
+//! honours the innermost `install` instead of silently falling back to
+//! the machine width (the historical bug: the override lived only on
+//! the calling thread, so nested regions ignored the pool; pinned by
+//! `workers_inherit_the_installed_width`). An `install` *inside* a
+//! worker still takes precedence for the code it wraps — innermost
+//! wins.
 
 use std::cell::Cell;
+use std::collections::VecDeque;
 use std::fmt;
 use std::num::NonZeroUsize;
+use std::sync::Mutex;
 
 thread_local! {
-    /// Thread-count override installed by [`ThreadPool::install`].
+    /// Thread-count override: installed by [`ThreadPool::install`] on
+    /// the calling thread and *inherited* by spawned workers, so nested
+    /// parallel regions honour the innermost pool.
     static POOL_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
 }
 
 /// Number of worker threads parallel iterators fan out over: the
-/// innermost [`ThreadPool::install`] override, else the machine's
-/// available parallelism.
+/// innermost [`ThreadPool::install`] override (inherited across worker
+/// spawns), else the machine's available parallelism.
 pub fn current_num_threads() -> usize {
     POOL_THREADS.with(|t| match t.get() {
         Some(n) => n,
@@ -86,9 +132,11 @@ pub struct ThreadPool {
 
 impl ThreadPool {
     /// Run `op` with this pool's thread count governing every parallel
-    /// iterator it executes. Nested installs restore the outer setting,
-    /// and the restore also happens on unwind (a caught panic inside
-    /// `op` must not leave the width pinned for unrelated later work).
+    /// iterator it executes — including regions nested inside workers,
+    /// which inherit the width. Nested installs restore the outer
+    /// setting, and the restore also happens on unwind (a caught panic
+    /// inside `op` must not leave the width pinned for unrelated later
+    /// work).
     pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
         struct Restore(Option<usize>);
         impl Drop for Restore {
@@ -110,35 +158,178 @@ impl ThreadPool {
     }
 }
 
-/// Apply `f` to every item, fanning out over the current thread count;
-/// the output preserves input order exactly.
-fn parallel_map_vec<T: Send, R: Send>(items: Vec<T>, f: &(impl Fn(T) -> R + Sync)) -> Vec<R> {
-    let threads = current_num_threads().max(1);
-    if threads == 1 || items.len() <= 1 {
-        return items.into_iter().map(f).collect();
-    }
-    let chunk_len = items.len().div_ceil(threads);
-    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
-    let mut items = items;
-    while !items.is_empty() {
-        let rest = items.split_off(items.len().min(chunk_len));
-        chunks.push(std::mem::replace(&mut items, rest));
-    }
-    let mut out: Vec<Vec<R>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+/// Blocks seeded per worker by the unweighted adaptors: enough
+/// granularity for stealing to even out moderate per-item imbalance
+/// without giving up contiguous sweeps.
+const OVERPARTITION: usize = 4;
+
+/// One schedulable unit: a contiguous run of items plus the global
+/// index of its first item (the result commit offset).
+struct Block<T> {
+    start: usize,
+    items: Vec<T>,
+}
+
+/// Execute seeded deques on `threads` scoped workers, stealing between
+/// them, and commit the results in global input order.
+fn execute_blocks<T: Send, R: Send>(
+    deques: Vec<VecDeque<Block<T>>>,
+    total: usize,
+    f: &(impl Fn(T) -> R + Sync),
+) -> Vec<R> {
+    let threads = deques.len();
+    let deques: Vec<Mutex<VecDeque<Block<T>>>> = deques.into_iter().map(Mutex::new).collect();
+    let deques = &deques;
+    // Workers inherit the *effective* width so nested parallel regions
+    // honour the innermost installed pool instead of the machine width.
+    let inherited = current_num_threads();
+    let mut done: Vec<Vec<(usize, Vec<R>)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|me| {
+                scope.spawn(move || {
+                    POOL_THREADS.with(|t| t.set(Some(inherited)));
+                    let mut out: Vec<(usize, Vec<R>)> = Vec::new();
+                    loop {
+                        // Own work first: pop the lowest-index block
+                        // (front) to keep the sweep contiguous.
+                        let block = deques[me].lock().expect("deque poisoned").pop_front();
+                        let block = match block {
+                            Some(b) => Some(b),
+                            // Steal from the back of the first
+                            // non-empty victim: the work its owner
+                            // would reach last.
+                            None => (1..threads).find_map(|d| {
+                                deques[(me + d) % threads]
+                                    .lock()
+                                    .expect("deque poisoned")
+                                    .pop_back()
+                            }),
+                        };
+                        match block {
+                            Some(b) => {
+                                out.push((b.start, b.items.into_iter().map(f).collect()));
+                            }
+                            // Blocks never re-enter a deque, so one
+                            // empty sweep means no work is left.
+                            None => break,
+                        }
+                    }
+                    out
+                })
+            })
             .collect();
         handles
             .into_iter()
             .map(|h| h.join().expect("parallel worker panicked"))
             .collect()
     });
-    let mut flat = Vec::with_capacity(out.iter().map(Vec::len).sum());
-    for chunk in &mut out {
-        flat.append(chunk);
+    // Deterministic commit: every block lands at its start index,
+    // regardless of which worker ran it or in what order.
+    let mut chunks: Vec<(usize, Vec<R>)> = done.iter_mut().flat_map(std::mem::take).collect();
+    chunks.sort_unstable_by_key(|&(start, _)| start);
+    let mut flat = Vec::with_capacity(total);
+    for (start, mut chunk) in chunks {
+        debug_assert_eq!(start, flat.len(), "blocks must tile the input");
+        flat.append(&mut chunk);
     }
     flat
+}
+
+/// Apply `f` to every item, fanning out over the current thread count
+/// with block stealing; the output preserves input order exactly.
+fn parallel_map_vec<T: Send, R: Send>(items: Vec<T>, f: &(impl Fn(T) -> R + Sync)) -> Vec<R> {
+    let threads = current_num_threads().max(1);
+    if threads == 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let total = items.len();
+    // OVERPARTITION blocks per worker, seeded as one contiguous run per
+    // worker deque (worker w starts where the old chunked scheduler
+    // would have started it; stealing replaces the old hard boundary).
+    let blocks = (threads * OVERPARTITION).min(total);
+    let block_len = total.div_ceil(blocks);
+    let per_worker = blocks.div_ceil(threads);
+    let mut deques: Vec<VecDeque<Block<T>>> = (0..threads).map(|_| VecDeque::new()).collect();
+    let mut items = items;
+    let mut start = total;
+    // Split from the back so each split_off is O(moved suffix).
+    let mut rev_blocks: Vec<Block<T>> = Vec::with_capacity(blocks);
+    while !items.is_empty() {
+        let at = items.len().saturating_sub(block_len);
+        let chunk = items.split_off(at);
+        start -= chunk.len();
+        rev_blocks.push(Block {
+            start,
+            items: chunk,
+        });
+    }
+    for (b, block) in rev_blocks.into_iter().rev().enumerate() {
+        deques[(b / per_worker).min(threads - 1)].push_back(block);
+    }
+    execute_blocks(deques, total, f)
+}
+
+/// Map `items` through `f` on the current thread count, scheduling by
+/// caller-estimated per-item `costs`: every item is its own block,
+/// blocks are assigned to worker deques greedily by descending cost
+/// (LPT; ties broken by ascending index, so seeding is deterministic)
+/// and work-stealing absorbs whatever the estimates got wrong. The
+/// output preserves input order exactly — like every adaptor here, the
+/// result is independent of thread count and steal order.
+///
+/// This is the shard scheduler of the round engines: they pass per-shard
+/// cost estimates (previous-round nnz + active-node counts) so one hot
+/// shard no longer serialises the round.
+///
+/// # Panics
+///
+/// Panics if `costs.len() != items.len()`.
+pub fn map_weighted<T: Send, R: Send>(
+    items: Vec<T>,
+    costs: &[u64],
+    f: impl Fn(T) -> R + Sync,
+) -> Vec<R> {
+    assert_eq!(
+        costs.len(),
+        items.len(),
+        "map_weighted: every item needs a cost"
+    );
+    let threads = current_num_threads().max(1);
+    if threads == 1 || items.len() <= 1 {
+        return items.into_iter().map(&f).collect();
+    }
+    let total = items.len();
+    // LPT seeding: place items descending by cost onto the currently
+    // lightest deque. Deterministic: sort is total (cost desc, index
+    // asc) and the lightest-bin scan always takes the first minimum.
+    let mut order: Vec<usize> = (0..total).collect();
+    order.sort_unstable_by(|&a, &b| costs[b].cmp(&costs[a]).then(a.cmp(&b)));
+    let mut assignment: Vec<Vec<usize>> = vec![Vec::new(); threads];
+    let mut load = vec![0u64; threads];
+    for idx in order {
+        let w = (0..threads)
+            .min_by_key(|&w| load[w])
+            .expect("at least one worker");
+        load[w] += costs[idx].max(1);
+        assignment[w].push(idx);
+    }
+    // Each deque executes its items in ascending index order (front
+    // pop), heavy-first only across deques, which keeps per-worker
+    // sweeps roughly contiguous.
+    let mut slots: Vec<Option<T>> = items.into_iter().map(Some).collect();
+    let mut deques: Vec<VecDeque<Block<T>>> = Vec::with_capacity(threads);
+    for mut bin in assignment {
+        bin.sort_unstable();
+        deques.push(
+            bin.into_iter()
+                .map(|idx| Block {
+                    start: idx,
+                    items: vec![slots[idx].take().expect("each index assigned once")],
+                })
+                .collect(),
+        );
+    }
+    execute_blocks(deques, total, &f)
 }
 
 /// A parallel iterator: an ordered batch of items plus a deferred
@@ -339,6 +530,32 @@ mod tests {
     }
 
     #[test]
+    fn order_survives_forced_stealing() {
+        // One pathological head item keeps worker 0 busy while the
+        // others drain the rest of its deque by stealing; the output
+        // must still be in input order.
+        for threads in [2, 4, 8] {
+            let pool = ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let expect: Vec<u64> = (0..500u64).collect();
+            let got: Vec<u64> = pool.install(|| {
+                (0..500u64)
+                    .into_par_iter()
+                    .map(|x| {
+                        if x == 0 {
+                            std::thread::sleep(std::time::Duration::from_millis(20));
+                        }
+                        x
+                    })
+                    .collect()
+            });
+            assert_eq!(got, expect, "threads = {threads}");
+        }
+    }
+
+    #[test]
     fn work_actually_fans_out_over_threads() {
         let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
         let ids = Mutex::new(HashSet::new());
@@ -349,6 +566,35 @@ mod tests {
             });
         });
         assert!(ids.into_inner().unwrap().len() > 1, "never left one thread");
+    }
+
+    #[test]
+    fn stealing_spreads_a_hot_deque() {
+        // All the heavy work is seeded into ONE worker's deque region
+        // (the first chunk); with stealing, other threads must end up
+        // executing some of it.
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let ids = Mutex::new(HashSet::new());
+        pool.install(|| {
+            (0..64u64)
+                .into_par_iter()
+                .map(|x| {
+                    // Heavy head: the first quarter (worker 0's seed) is
+                    // 20x the work of the rest.
+                    let spins = if x < 16 { 200_000 } else { 10_000 };
+                    let mut acc = x;
+                    for i in 0..spins {
+                        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+                    }
+                    ids.lock().unwrap().insert(std::thread::current().id());
+                    acc
+                })
+                .for_each(drop);
+        });
+        assert!(
+            ids.into_inner().unwrap().len() > 1,
+            "hot deque never got stolen from"
+        );
     }
 
     #[test]
@@ -375,6 +621,50 @@ mod tests {
     }
 
     #[test]
+    fn map_weighted_preserves_order_for_any_cost_shape() {
+        let cost_shapes: [fn(usize) -> u64; 4] = [
+            |_| 1,                              // uniform
+            |i| 100 - i as u64 % 100,           // descending
+            |i| i as u64,                       // ascending
+            |i| if i == 7 { 1_000 } else { 1 }, // one hot item
+        ];
+        for shape in cost_shapes {
+            let costs: Vec<u64> = (0..200).map(shape).collect();
+            for threads in [1, 2, 3, 8] {
+                let pool = ThreadPoolBuilder::new()
+                    .num_threads(threads)
+                    .build()
+                    .unwrap();
+                let got: Vec<usize> =
+                    pool.install(|| map_weighted((0..200usize).collect(), &costs, |x| x * 3));
+                let expect: Vec<usize> = (0..200).map(|x| x * 3).collect();
+                assert_eq!(got, expect, "threads = {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn map_weighted_runs_on_multiple_threads() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let ids = Mutex::new(HashSet::new());
+        let costs: Vec<u64> = (0..64).map(|i| 1 + i % 7).collect();
+        pool.install(|| {
+            map_weighted((0..64u64).collect(), &costs, |x| {
+                ids.lock().unwrap().insert(std::thread::current().id());
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                x
+            })
+        });
+        assert!(ids.into_inner().unwrap().len() > 1, "never left one thread");
+    }
+
+    #[test]
+    #[should_panic(expected = "every item needs a cost")]
+    fn map_weighted_rejects_mismatched_costs() {
+        map_weighted(vec![1, 2, 3], &[1, 2], |x| x);
+    }
+
+    #[test]
     fn install_override_nests_and_restores() {
         let outer = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
         let inner = ThreadPoolBuilder::new().num_threads(5).build().unwrap();
@@ -383,6 +673,47 @@ mod tests {
             inner.install(|| assert_eq!(current_num_threads(), 5));
             assert_eq!(current_num_threads(), 2);
         });
+    }
+
+    #[test]
+    fn workers_inherit_the_installed_width() {
+        // Regression: the width override used to live only on the
+        // calling thread, so a parallel region nested inside a worker
+        // silently ignored the pool and used the machine width.
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let widths: Vec<usize> = pool.install(|| {
+            (0..8)
+                .into_par_iter()
+                .map(|_| current_num_threads())
+                .collect()
+        });
+        assert!(
+            widths.iter().all(|&w| w == 3),
+            "workers saw widths {widths:?}, expected all 3"
+        );
+    }
+
+    #[test]
+    fn nested_install_inside_a_worker_wins() {
+        // Innermost pool takes precedence even when the install happens
+        // on a worker thread of an outer region.
+        let outer = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let widths: Vec<(usize, usize)> = outer.install(|| {
+            (0..4)
+                .into_par_iter()
+                .map(|_| {
+                    let before = current_num_threads();
+                    let inner = ThreadPoolBuilder::new().num_threads(5).build().unwrap();
+                    let inside = inner.install(current_num_threads);
+                    assert_eq!(current_num_threads(), before, "restore after install");
+                    (before, inside)
+                })
+                .collect()
+        });
+        for (before, inside) in widths {
+            assert_eq!(before, 2);
+            assert_eq!(inside, 5);
+        }
     }
 
     #[test]
