@@ -7,6 +7,7 @@
 //! ```text
 //! perf_compare <baseline.json> <candidate.json> [<b2> <c2> ...] [max_regression]
 //! perf_compare --threads <baseline.json> <candidate.json> [min_efficiency]
+//! perf_compare --serve <baseline.json> <candidate.json> [min_queries_per_sec]
 //! ```
 //!
 //! Reports are compared pairwise, so one invocation gates every profile
@@ -20,11 +21,19 @@
 //! parallel efficiency must reach `min_efficiency` (default 0.75) at
 //! every multi-thread point within the machine's hardware parallelism —
 //! oversubscribed points are reported but exempt.
+//!
+//! `--serve` mode compares [`ServeReport`]s (`BENCH_serve*.json` from
+//! `perf_suite --serve`): sustained queries/s is gated against the
+//! baseline under the default regression budget, the candidate's
+//! engine must have completed rounds inside the window, and an
+//! optional trailing `min_queries_per_sec` enforces an absolute floor
+//! (the million-node acceptance bar is 100 000).
 
 use dg_bench::perf::{
     find_efficiency_violations, find_quality_regressions, find_regressions,
     find_thread_regressions, PerfReport, ThreadScalingReport, MAX_REGRESSION,
 };
+use dg_bench::serve::{find_serve_regressions, ServeReport};
 
 /// The default lower bound on 2-thread parallel efficiency — the
 /// work-stealing scheduler's CI bar (≥ 1.5x speedup on two cores).
@@ -109,10 +118,71 @@ fn threads_main(mut args: Vec<String>) -> ! {
     std::process::exit(0);
 }
 
+/// `--serve` mode: gate two serving-throughput reports. Exits the
+/// process.
+fn serve_main(mut args: Vec<String>) -> ! {
+    // Optional trailing absolute queries/s floor.
+    let min_qps = match args.last().and_then(|s| s.parse::<f64>().ok()) {
+        Some(f) => {
+            args.pop();
+            if !(f.is_finite() && f >= 0.0) {
+                eprintln!("min_queries_per_sec must be a finite number >= 0, got {f}");
+                std::process::exit(2);
+            }
+            Some(f)
+        }
+        None => None,
+    };
+    if args.len() != 2 {
+        eprintln!(
+            "usage: perf_compare --serve <baseline.json> <candidate.json> [min_queries_per_sec]"
+        );
+        std::process::exit(2);
+    }
+    let baseline: ServeReport = load(&args[0]);
+    let candidate: ServeReport = load(&args[1]);
+    println!(
+        "comparing serving throughput {} against {}:",
+        args[1], args[0]
+    );
+    if baseline.name != candidate.name || baseline.nodes != candidate.nodes {
+        eprintln!(
+            "  warning: comparing different configs ({} @ {} nodes vs {} @ {} nodes)",
+            baseline.name, baseline.nodes, candidate.name, candidate.nodes
+        );
+    }
+    println!(
+        "  baseline {:>12.0} queries/s  candidate {:>12.0} queries/s  ({:+.1}%, {} rounds \
+         completed, ingest {}/{} accepted, {} shed)",
+        baseline.queries_per_sec,
+        candidate.queries_per_sec,
+        100.0 * (candidate.queries_per_sec / baseline.queries_per_sec.max(1e-9) - 1.0),
+        candidate.rounds_completed,
+        candidate.ingest_accepted,
+        candidate.ingest_attempted,
+        candidate.ingest_shed,
+    );
+    let violations = find_serve_regressions(&baseline, &candidate, MAX_REGRESSION, min_qps);
+    for violation in &violations {
+        eprintln!("  REGRESSION: {violation}");
+    }
+    if !violations.is_empty() {
+        std::process::exit(1);
+    }
+    match min_qps {
+        Some(min) => println!("serve gate passed (absolute floor: {min:.0} queries/s)"),
+        None => println!("serve gate passed (allowed regression: {MAX_REGRESSION}x)"),
+    }
+    std::process::exit(0);
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("--threads") {
         threads_main(args.split_off(1));
+    }
+    if args.first().map(String::as_str) == Some("--serve") {
+        serve_main(args.split_off(1));
     }
     // Optional trailing budget factor.
     let max_regression = match args.last().and_then(|s| s.parse::<f64>().ok()) {

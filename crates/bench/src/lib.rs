@@ -10,6 +10,11 @@
 //! * `--skewed` — run `perf_suite` on the pinned-seed skewed-traffic
 //!   config (Zipf s = 1 request skew at 1% mean activity,
 //!   `BENCH_skewed.json`) — the incremental engine's target workload,
+//! * `--serve` — run `perf_suite`'s serving-throughput measurement
+//!   instead of the round-loop suite: concurrent pipelined clients
+//!   hammer a live `dg-serve` server while the engine keeps completing
+//!   rounds (`BENCH_serve.json`, gated by `perf_compare --serve`);
+//!   composes with `--scale` for the million-node serving floor,
 //! * `--nodes <usize>` — override the node count of the selected
 //!   `perf_suite` config (the `SCALING.md` table sweeps 10k/100k/1M
 //!   this way),
@@ -62,6 +67,7 @@ use dg_gossip::{AdversaryMix, EngineKind, NetworkProfile};
 pub mod claims;
 pub mod linkcheck;
 pub mod perf;
+pub mod serve;
 pub mod trend;
 
 /// Parsed common CLI options.
@@ -112,6 +118,9 @@ pub struct Cli {
     /// (ascending, deduplicated). `None` when `--threads` was not
     /// passed.
     pub threads: Option<Vec<usize>>,
+    /// `perf_suite` serving mode: measure sustained queries/s against a
+    /// live `dg-serve` server instead of the round-loop suite.
+    pub serve: bool,
 }
 
 impl Default for Cli {
@@ -135,6 +144,7 @@ impl Default for Cli {
             resume: None,
             checkpoint_overhead: false,
             threads: None,
+            serve: false,
         }
     }
 }
@@ -255,6 +265,7 @@ impl Cli {
                     cli.resume = Some(v);
                 }
                 "--checkpoint-overhead" => cli.checkpoint_overhead = true,
+                "--serve" => cli.serve = true,
                 "--threads" => {
                     let v = args
                         .next()
@@ -301,7 +312,7 @@ fn usage(msg: &str) -> ! {
          [--profile <lossless|lossy|partitioned|churning>] \
          [--adversary <none|sybil|collusion|slander|whitewash|stealth>] [--out <path>] \
          [--out-dir <dir>] [--checkpoint-every <rounds>] [--resume <dir>] \
-         [--checkpoint-overhead] [--threads <list>]"
+         [--checkpoint-overhead] [--threads <list>] [--serve]"
     );
     std::process::exit(2)
 }

@@ -584,6 +584,9 @@ pub fn find_efficiency_violations(
 /// workspace root).
 pub fn suite_main() -> Result<(), Box<dyn std::error::Error>> {
     let cli = crate::Cli::parse();
+    if cli.serve {
+        return crate::serve::serve_main(&cli);
+    }
     if let Some(threads) = cli.threads.clone() {
         return thread_sweep_main(&cli, &threads);
     }
@@ -683,7 +686,7 @@ pub fn suite_main() -> Result<(), Box<dyn std::error::Error>> {
 }
 
 /// The config the CLI mode flags select, with overrides applied.
-fn select_config(cli: &crate::Cli) -> PerfConfig {
+pub(crate) fn select_config(cli: &crate::Cli) -> PerfConfig {
     let mut config = if cli.scale {
         SCALE
     } else if cli.full {

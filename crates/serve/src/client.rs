@@ -1,0 +1,95 @@
+//! A small blocking client: the test suites' and the bench harness's
+//! view of the service.
+//!
+//! Requests are written into a buffer; [`Client::call`] flushes per
+//! request, while [`Client::send`] + [`Client::recv`] let callers
+//! pipeline — queue a batch, [`flush`](Client::flush) once, then read
+//! the batch of responses in order (the server answers in request
+//! order per connection).
+
+use crate::proto::{read_response, write_request, Request, Response};
+use dg_store::wire::WireError;
+use dg_trust::prelude::TransactionOutcome;
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A blocking connection to a [`Server`](crate::Server).
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    /// This connection's ingest source id (the `from` half of the
+    /// replay tag).
+    source: u64,
+    /// Next ingest sequence number.
+    seq: u64,
+}
+
+impl Client {
+    /// Connect, identifying ingest submissions as `source`.
+    pub fn connect(addr: impl ToSocketAddrs, source: u64) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+            source,
+            seq: 0,
+        })
+    }
+
+    /// Queue one request (buffered; flush before waiting on replies).
+    pub fn send(&mut self, request: &Request) -> Result<(), WireError> {
+        write_request(&mut self.writer, request)
+    }
+
+    /// Push every queued request onto the wire.
+    pub fn flush(&mut self) -> std::io::Result<()> {
+        self.writer.flush()
+    }
+
+    /// Read the next response.
+    pub fn recv(&mut self) -> Result<Response, WireError> {
+        read_response(&mut self.reader)
+    }
+
+    /// Send one request and wait for its response.
+    pub fn call(&mut self, request: &Request) -> Result<Response, WireError> {
+        self.send(request)?;
+        self.flush()?;
+        self.recv()
+    }
+
+    /// Query one subject's reputation.
+    pub fn reputation(&mut self, subject: u32) -> Result<Response, WireError> {
+        self.call(&Request::Reputation { subject })
+    }
+
+    /// Query the `k` highest-reputation subjects.
+    pub fn top_k(&mut self, k: u32) -> Result<Response, WireError> {
+        self.call(&Request::TopK { k })
+    }
+
+    /// Query a nearest-rank percentile.
+    pub fn percentile(&mut self, p: f64) -> Result<Response, WireError> {
+        self.call(&Request::Percentile { p })
+    }
+
+    /// Submit one transaction report, stamped with this connection's
+    /// `(source, seq)` replay tag (`seq` auto-increments).
+    pub fn ingest(
+        &mut self,
+        requester: u32,
+        provider: u32,
+        outcome: TransactionOutcome,
+    ) -> Result<Response, WireError> {
+        let seq = self.seq;
+        self.seq += 1;
+        self.call(&Request::Ingest {
+            source: self.source,
+            seq,
+            requester,
+            provider,
+            outcome,
+        })
+    }
+}

@@ -1,0 +1,337 @@
+//! The TCP server: snapshot-backed query handlers, bounded-channel
+//! ingest, an explicitly-driven round engine.
+//!
+//! Division of labour (see `docs/SERVING.md`):
+//!
+//! * **Connection handlers** (one [`tokio::task::spawn_blocking`]
+//!   thread each) answer queries straight from the shared
+//!   [`SnapshotCell`] — they clone an `Arc` per request and never
+//!   touch the engine, so readers cannot block a round and a round
+//!   cannot tear a read. Ingest submissions go into the bounded
+//!   [`tokio::sync::mpsc`] channel via `try_send`: a full channel
+//!   answers [`Response::Busy`] — typed shedding, never blocking the
+//!   handler, never dropping silently (every shed is counted into the
+//!   next round's [`RoundStats::ingest_shed`]).
+//! * **The round engine** stays on the caller's thread:
+//!   [`Server::run_round`] drains the ingest channel into the
+//!   [`ServeSession`] (which sorts by `(source, seq, ...)` — arrival
+//!   order cannot affect the run), advances one round, and publishes
+//!   the round's snapshot. The `dg_serve` binary calls it in a loop;
+//!   tests call it while readers hammer the query endpoints.
+
+use crate::proto::{read_request, write_response, Request, Response};
+use dg_graph::NodeId;
+use dg_sim::rounds::RoundStats;
+use dg_sim::session::SessionError;
+use dg_sim::{IngestReport, RunConfig, ServeSession};
+use dg_store::wire::WireError;
+use dg_trust::SnapshotCell;
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use tokio::sync::mpsc;
+use tokio::sync::mpsc::error::TrySendError;
+
+/// How the server listens and sheds.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Bind address (`127.0.0.1:0` picks a free port).
+    pub addr: String,
+    /// Ingest channel capacity: submissions beyond this between two
+    /// rounds are answered [`Response::Busy`].
+    pub ingest_capacity: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".into(),
+            ingest_capacity: 1024,
+        }
+    }
+}
+
+/// Starting or driving the server failed.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Socket setup failed.
+    Io(std::io::Error),
+    /// The underlying session rejected the config or a round failed.
+    Session(SessionError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "socket error: {e}"),
+            ServeError::Session(e) => write!(f, "session error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+impl From<SessionError> for ServeError {
+    fn from(e: SessionError) -> Self {
+        ServeError::Session(e)
+    }
+}
+
+/// A running reputation service (see the module docs).
+pub struct Server {
+    session: ServeSession,
+    ingest_rx: mpsc::Receiver<IngestReport>,
+    /// Kept so the channel never reports "all senders dropped" while
+    /// the server lives; handlers clone it.
+    _ingest_tx: mpsc::Sender<IngestReport>,
+    shed: Arc<AtomicU64>,
+    shutdown: Arc<AtomicBool>,
+    addr: SocketAddr,
+    acceptor: Option<tokio::task::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Build the session, bind the listener and start accepting
+    /// connections. The engine does **not** free-run: drive it with
+    /// [`run_round`](Self::run_round).
+    pub fn start(config: RunConfig, opts: ServeOptions) -> Result<Self, ServeError> {
+        let session = ServeSession::new(config)?;
+        let nodes = session.session().config().nodes;
+        let listener = TcpListener::bind(&opts.addr)?;
+        // Non-blocking accept so shutdown is a flag check away.
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let (ingest_tx, ingest_rx) = mpsc::channel(opts.ingest_capacity.max(1));
+        let shed = Arc::new(AtomicU64::new(0));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let cell = session.snapshots();
+
+        let acceptor = {
+            let tx = ingest_tx.clone();
+            let shed = Arc::clone(&shed);
+            let shutdown = Arc::clone(&shutdown);
+            tokio::task::spawn_blocking(move || {
+                accept_loop(listener, cell, tx, shed, shutdown, nodes)
+            })
+        };
+
+        Ok(Self {
+            session,
+            ingest_rx,
+            _ingest_tx: ingest_tx,
+            shed,
+            shutdown,
+            addr,
+            acceptor: Some(acceptor),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The wrapped session (stats, config, round).
+    pub fn session(&self) -> &ServeSession {
+        &self.session
+    }
+
+    /// The snapshot cell the query handlers answer from.
+    pub fn snapshots(&self) -> Arc<SnapshotCell> {
+        self.session.snapshots()
+    }
+
+    /// Drain the ingest channel into the session and run one round
+    /// (sorting and folding the drained reports, stamping the ingest
+    /// counters, publishing the round's snapshot).
+    pub fn run_round(&mut self) -> Result<&RoundStats, ServeError> {
+        while let Ok(report) = self.ingest_rx.try_recv() {
+            // Handlers validated ids before sending; a failure here
+            // would mean they and the session disagree.
+            self.session
+                .ingest(report)
+                .expect("handler-validated report");
+        }
+        self.session.note_shed(self.shed.swap(0, Ordering::AcqRel));
+        Ok(self.session.run_round()?)
+    }
+
+    /// Run rounds until `round` rounds have completed.
+    pub fn run_to(&mut self, round: usize) -> Result<(), ServeError> {
+        while self.session.round() < round {
+            self.run_round()?;
+        }
+        Ok(())
+    }
+
+    /// Stop accepting connections and join the acceptor. Open
+    /// connections finish on their own threads when their clients
+    /// disconnect.
+    pub fn shutdown(&mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join_blocking();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    cell: Arc<SnapshotCell>,
+    tx: mpsc::Sender<IngestReport>,
+    shed: Arc<AtomicU64>,
+    shutdown: Arc<AtomicBool>,
+    nodes: usize,
+) {
+    while !shutdown.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let cell = Arc::clone(&cell);
+                let tx = tx.clone();
+                let shed = Arc::clone(&shed);
+                tokio::task::spawn_blocking(move || {
+                    let _ = handle_connection(stream, cell, tx, shed, nodes);
+                });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Serve one connection until EOF or a framing error. Responses are
+/// written through a buffer that flushes only when no further request
+/// is already buffered, so pipelined clients pay one syscall per
+/// batch, not per query.
+fn handle_connection(
+    stream: TcpStream,
+    cell: Arc<SnapshotCell>,
+    tx: mpsc::Sender<IngestReport>,
+    shed: Arc<AtomicU64>,
+    nodes: usize,
+) -> std::io::Result<()> {
+    // The listener was non-blocking; the handler wants blocking io.
+    stream.set_nonblocking(false)?;
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    loop {
+        let response = match read_request(&mut reader) {
+            Ok(request) => respond(&request, &cell, &tx, &shed, nodes),
+            Err(WireError::Io(_)) => break, // EOF / reset: client left.
+            Err(e) => {
+                // Malformed frame: answer once, then drop the
+                // connection — framing is unrecoverable.
+                let _ = write_response(
+                    &mut writer,
+                    &Response::Error {
+                        message: e.to_string(),
+                    },
+                );
+                let _ = writer.flush();
+                break;
+            }
+        };
+        if write_response(&mut writer, &response).is_err() {
+            break;
+        }
+        if reader.buffer().is_empty() {
+            writer.flush()?;
+        }
+    }
+    Ok(())
+}
+
+fn respond(
+    request: &Request,
+    cell: &SnapshotCell,
+    tx: &mpsc::Sender<IngestReport>,
+    shed: &AtomicU64,
+    nodes: usize,
+) -> Response {
+    match *request {
+        Request::Reputation { subject } => {
+            let snap = cell.load();
+            if subject as usize >= nodes {
+                return Response::Error {
+                    message: format!("unknown node {subject}"),
+                };
+            }
+            Response::Reputation {
+                round: snap.round(),
+                reputation: snap.reputation(NodeId(subject)),
+            }
+        }
+        Request::TopK { k } => {
+            let snap = cell.load();
+            Response::TopK {
+                round: snap.round(),
+                entries: snap
+                    .top_k(k as usize)
+                    .into_iter()
+                    .map(|(id, rep)| (id.0, rep))
+                    .collect(),
+            }
+        }
+        Request::Percentile { p } => {
+            let snap = cell.load();
+            Response::Percentile {
+                round: snap.round(),
+                value: snap.percentile(p),
+            }
+        }
+        Request::Ingest {
+            source,
+            seq,
+            requester,
+            provider,
+            outcome,
+        } => {
+            if requester as usize >= nodes || provider as usize >= nodes {
+                return Response::Error {
+                    message: format!("unknown node {}", requester.max(provider)),
+                };
+            }
+            if requester == provider {
+                return Response::Error {
+                    message: format!("node {requester} reporting about itself"),
+                };
+            }
+            let report = IngestReport {
+                from: source,
+                seq,
+                requester: NodeId(requester),
+                provider: NodeId(provider),
+                outcome,
+            };
+            match tx.try_send(report) {
+                Ok(()) => Response::IngestAccepted {
+                    round: cell.load().round(),
+                },
+                Err(TrySendError::Full(_)) => {
+                    shed.fetch_add(1, Ordering::AcqRel);
+                    Response::Busy
+                }
+                Err(TrySendError::Closed(_)) => Response::Error {
+                    message: "server shutting down".into(),
+                },
+            }
+        }
+    }
+}

@@ -13,8 +13,8 @@
 
 use crate::kernel::{
     aggregation_rng, closed_form_row, convicted_of, emit_row, finish_round, honest_residual_error,
-    lookup_run, run_audit_phase, runs_totals, transact_requester, NodeState, ServiceDelta,
-    SubjectAggregates, TransactionRecord,
+    lookup_run, merge_pending, run_audit_phase, runs_totals, transact_requester, NodeState,
+    ServiceDelta, SubjectAggregates, TransactionRecord,
 };
 use crate::rounds::{AggregationMode, RoundEngine, RoundStats, RoundsConfig};
 use crate::scenario::Scenario;
@@ -41,6 +41,9 @@ pub struct BatchedRoundEngine<'s> {
     /// `aggregated[observer]` — sorted `(subject, reputation)` run.
     aggregated: Vec<Vec<(NodeId, f64)>>,
     observer_mean: Vec<Option<f64>>,
+    /// Ingested report batches for the next round (see
+    /// [`RoundEngine::queue_reports`]): ascending by requester.
+    pending_ingest: Vec<(NodeId, Vec<TransactionRecord>)>,
     round: usize,
 }
 
@@ -55,6 +58,7 @@ impl<'s> BatchedRoundEngine<'s> {
             nodes: (0..n).map(|_| NodeState::new()).collect(),
             aggregated: vec![Vec::new(); n],
             observer_mean: vec![None; n],
+            pending_ingest: Vec::new(),
             round: 0,
         }
     }
@@ -116,6 +120,11 @@ impl<'s> BatchedRoundEngine<'s> {
         for (records, d) in transact {
             delta.merge(d);
             record_batches.push(records);
+        }
+        // Ingested records fold after the generated ones — same order
+        // as the sequential reference, so the round stays bit-identical.
+        for (requester, extra) in std::mem::take(&mut self.pending_ingest) {
+            record_batches[requester.index()].extend(extra);
         }
 
         // Phase 2: estimate — fan-out over nodes, each folding its own
@@ -224,6 +233,10 @@ impl<'s> BatchedRoundEngine<'s> {
 impl RoundEngine for BatchedRoundEngine<'_> {
     fn run_round(&mut self, round_seed: u64) -> Result<RoundStats, CoreError> {
         BatchedRoundEngine::run_round(self, round_seed)
+    }
+
+    fn queue_reports(&mut self, batches: Vec<(NodeId, Vec<TransactionRecord>)>) {
+        merge_pending(&mut self.pending_ingest, batches);
     }
 
     fn table(&self, node: NodeId) -> &ReputationTable {

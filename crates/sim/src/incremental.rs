@@ -49,7 +49,7 @@
 
 use crate::kernel::{
     aggregation_rng, closed_form_neighbourhood_row_cached, closed_form_row, convicted_of, emit_row,
-    finish_round, honest_residual_error, lookup_run, run_audit_phase, runs_totals,
+    finish_round, honest_residual_error, lookup_run, merge_pending, run_audit_phase, runs_totals,
     transact_requester, NodeState, ServiceDelta, SubjectAggregates, TransactionRecord,
 };
 use crate::rounds::{AggregationMode, AggregationScope, RoundEngine, RoundStats, RoundsConfig};
@@ -106,6 +106,9 @@ pub struct IncrementalRoundEngine<'s> {
     /// `aggregated[observer]` — sorted `(subject, reputation)` run.
     aggregated: Vec<Vec<(NodeId, f64)>>,
     observer_mean: Vec<Option<f64>>,
+    /// Ingested report batches for the next round (see
+    /// [`RoundEngine::queue_reports`]): ascending by requester.
+    pending_ingest: Vec<RecordBatch>,
     /// Rows the end-of-round whitewash purge invalidated: they must be
     /// re-emitted next round even if their owner folds no records.
     pending_dirty: Vec<NodeId>,
@@ -374,6 +377,7 @@ impl<'s> IncrementalRoundEngine<'s> {
             upd,
             aggregated: vec![Vec::new(); n],
             observer_mean: vec![None; n],
+            pending_ingest: Vec::new(),
             pending_dirty: Vec::new(),
             washed_last: Vec::new(),
             round: 0,
@@ -457,6 +461,13 @@ impl<'s> IncrementalRoundEngine<'s> {
             delta.merge(d);
             record_batches.extend(batches);
         }
+        // Ingested records fold after the generated ones (the order
+        // every engine reproduces). A requester with only ingested
+        // records becomes a new batch — and thereby a dirty row.
+        merge_pending(
+            &mut record_batches,
+            std::mem::take(&mut self.pending_ingest),
+        );
 
         // Phase 2: estimate — only dirty rows. A row is dirty when its
         // owner folded records, is an adversary (distortions are
@@ -758,6 +769,10 @@ impl RoundEngine for IncrementalRoundEngine<'_> {
         IncrementalRoundEngine::run_round(self, round_seed)
     }
 
+    fn queue_reports(&mut self, batches: Vec<(NodeId, Vec<TransactionRecord>)>) {
+        merge_pending(&mut self.pending_ingest, batches);
+    }
+
     fn table(&self, node: NodeId) -> &ReputationTable {
         IncrementalRoundEngine::table(self, node)
     }
@@ -800,8 +815,11 @@ impl RoundEngine for IncrementalRoundEngine<'_> {
         // checkpoint deliberately omits, so the first resumed round
         // refolds all rows and recomputes every observer's run from
         // the restored estimators — after which the incremental paths
-        // take over again.
+        // take over again. Queued ingest batches survive the restore,
+        // like the other engines' pending lists do.
+        let pending_ingest = std::mem::take(&mut self.pending_ingest);
         *self = Self::new(self.scenario, self.config);
+        self.pending_ingest = pending_ingest;
         self.nodes = restore_nodes(checkpoint.nodes);
         self.aggregated = checkpoint.aggregated;
         self.observer_mean = checkpoint.observer_mean;

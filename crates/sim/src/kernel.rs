@@ -540,6 +540,10 @@ pub(crate) fn finish_round(
         convictions: audit.convicted.len() as u64,
         audit_entries: audit.entries,
         report_entries,
+        // Stamped by the serve layer (`ServeSession`) after the round;
+        // the engines themselves only fold the ingested records.
+        ingested_reports: 0,
+        ingest_shed: 0,
     }
 }
 
@@ -547,6 +551,45 @@ pub(crate) fn finish_round(
 /// stream: node ids are `< N ≤ u32::MAX`).
 pub(crate) fn aggregation_rng(round_seed: u64) -> ChaCha8Rng {
     ChaCha8Rng::seed_from_u64(node_stream_seed(round_seed, u32::MAX))
+}
+
+/// Merge newly-queued ingest batches into an engine's pending list —
+/// the shared half of [`RoundEngine::queue_reports`](crate::rounds::RoundEngine::queue_reports).
+/// Both sides are ascending by requester with no empty batches; records
+/// for an already-pending requester append after the earlier ones, so
+/// two `queue_reports` calls before a round equal one concatenated
+/// call.
+pub(crate) fn merge_pending(
+    pending: &mut Vec<(NodeId, Vec<TransactionRecord>)>,
+    batches: Vec<(NodeId, Vec<TransactionRecord>)>,
+) {
+    debug_assert!(batches.windows(2).all(|w| w[0].0 < w[1].0));
+    debug_assert!(batches.iter().all(|(_, recs)| !recs.is_empty()));
+    if pending.is_empty() {
+        *pending = batches;
+        return;
+    }
+    let old = std::mem::take(pending);
+    let mut out = Vec::with_capacity(old.len() + batches.len());
+    let mut a = old.into_iter().peekable();
+    let mut b = batches.into_iter().peekable();
+    loop {
+        match (a.peek(), b.peek()) {
+            (Some((ra, _)), Some((rb, _))) => match ra.cmp(rb) {
+                std::cmp::Ordering::Less => out.push(a.next().expect("peeked")),
+                std::cmp::Ordering::Greater => out.push(b.next().expect("peeked")),
+                std::cmp::Ordering::Equal => {
+                    let mut batch = a.next().expect("peeked");
+                    batch.1.extend(b.next().expect("peeked").1);
+                    out.push(batch);
+                }
+            },
+            (Some(_), None) => out.push(a.next().expect("peeked")),
+            (None, Some(_)) => out.push(b.next().expect("peeked")),
+            (None, None) => break,
+        }
+    }
+    *pending = out;
 }
 
 /// Per-node mutable state of the record-folding engines.

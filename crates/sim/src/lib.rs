@@ -46,7 +46,11 @@
 //!   via [`FanoutPolicy::Uniform`](dg_gossip::FanoutPolicy); this module
 //!   adds an EigenTrust-style power-iteration comparator;
 //! * [`report`] — fixed-width table rendering and JSON-lines output for
-//!   the harness binaries.
+//!   the harness binaries;
+//! * [`serve`] — the serve layer's session: deterministic interleaving
+//!   of externally-ingested reports into the next round, and per-round
+//!   publication of immutable reputation snapshots for concurrent
+//!   readers (`dg-serve` builds its network endpoints on this).
 
 #![warn(missing_docs)]
 
@@ -59,12 +63,14 @@ pub mod kernel;
 pub mod report;
 pub mod rounds;
 pub mod scenario;
+pub mod serve;
 pub mod session;
 pub mod sharded;
 pub mod workload;
 
 pub use adversary::{AdversaryAssignment, Role, Strategy};
 pub use scenario::{Scenario, ScenarioConfig};
+pub use serve::{IngestError, IngestReport, ServeSession};
 pub use session::{
     build_engine, round_seed, CheckpointKind, EngineCheckpoint, NodeCheckpoint, RestoreError,
     RunConfig, RunSession, SessionError,

@@ -40,8 +40,8 @@
 use crate::engine::BatchedRoundEngine;
 use crate::kernel::{
     aggregation_rng, closed_form_row, convicted_of, emit_row, finish_round, honest_residual_error,
-    lookup_run, run_audit_phase, runs_totals, subject_means, transact_requester, NodeState,
-    ServiceDelta, SubjectAggregates,
+    lookup_run, merge_pending, run_audit_phase, runs_totals, subject_means, transact_requester,
+    NodeState, ServiceDelta, SubjectAggregates, TransactionRecord,
 };
 use crate::scenario::Scenario;
 use crate::session::{checkpoint_nodes, restore_nodes, EngineCheckpoint, RestoreError};
@@ -311,6 +311,16 @@ pub struct RoundStats {
     /// phase) — the denominator of the audit-overhead claim.
     #[serde(default)]
     pub report_entries: u64,
+    /// Externally-ingested reports interleaved into this round by the
+    /// serve layer (absent — zero — in reports written before the
+    /// serve layer existed, like the shed counter below).
+    #[serde(default)]
+    pub ingested_reports: u64,
+    /// Ingest submissions shed with a typed `Busy` reply since the
+    /// previous round (bounded-channel backpressure — shed load is
+    /// counted here, never dropped silently).
+    #[serde(default)]
+    pub ingest_shed: u64,
 }
 
 impl RoundStats {
@@ -369,6 +379,18 @@ fn rate(served: u64, refused: u64) -> f64 {
 pub trait RoundEngine {
     /// Run one full round from the given seed.
     fn run_round(&mut self, round_seed: u64) -> Result<RoundStats, CoreError>;
+    /// Queue externally-ingested transaction reports for the *next*
+    /// round: `batches` maps each reporting requester to the records it
+    /// submitted, sorted ascending by requester with no empty batches
+    /// (the serve layer normalises submissions into this shape). During
+    /// the next `run_round`, each batch is appended after the
+    /// requester's generated records — in exactly this order on every
+    /// engine, so ingest-carrying rounds stay bit-identical across
+    /// engines and across replays of the same log. Ingested records
+    /// fold into estimators and reports; the service-delta stats
+    /// (served/refused counts, active nodes, dirty fraction) remain
+    /// transact-phase-only.
+    fn queue_reports(&mut self, batches: Vec<(NodeId, Vec<TransactionRecord>)>);
     /// The index of the next round to run (0 before the first round).
     fn round(&self) -> usize;
     /// The reputation table of one node.
@@ -420,6 +442,9 @@ struct SequentialRounds<'s> {
     aggregated: Vec<Vec<(NodeId, f64)>>,
     /// Mean aggregated reputation per observer (admission scale).
     observer_mean: Vec<Option<f64>>,
+    /// Ingested report batches for the next round (see
+    /// [`RoundEngine::queue_reports`]): ascending by requester.
+    pending_ingest: Vec<(NodeId, Vec<TransactionRecord>)>,
     round: usize,
 }
 
@@ -433,6 +458,7 @@ impl<'s> SequentialRounds<'s> {
             nodes: (0..n).map(|_| NodeState::new()).collect(),
             aggregated: vec![Vec::new(); n],
             observer_mean: vec![None; n],
+            pending_ingest: Vec::new(),
             round: 0,
         }
     }
@@ -470,8 +496,11 @@ impl<'s> SequentialRounds<'s> {
             .map(|state| state.convicted_at.is_some())
             .collect();
         let mut trust = TrustMatrix::new(n);
+        let mut pending = std::mem::take(&mut self.pending_ingest)
+            .into_iter()
+            .peekable();
         for requester in graph.nodes() {
-            let (records, d) = transact_requester(
+            let (mut records, d) = transact_requester(
                 self.scenario,
                 &self.config,
                 &self.plan,
@@ -483,6 +512,11 @@ impl<'s> SequentialRounds<'s> {
                 &banned,
             );
             delta.merge(d);
+            // Ingested records fold after the generated ones — the one
+            // ordering every engine reproduces.
+            if pending.peek().is_some_and(|(r, _)| *r == requester) {
+                records.extend(pending.next().expect("peeked").1);
+            }
             let row = emit_row(
                 self.scenario,
                 &self.config,
@@ -563,6 +597,10 @@ impl<'s> SequentialRounds<'s> {
 impl RoundEngine for SequentialRounds<'_> {
     fn run_round(&mut self, round_seed: u64) -> Result<RoundStats, CoreError> {
         SequentialRounds::run_round(self, round_seed)
+    }
+
+    fn queue_reports(&mut self, batches: Vec<(NodeId, Vec<TransactionRecord>)>) {
+        merge_pending(&mut self.pending_ingest, batches);
     }
 
     fn round(&self) -> usize {

@@ -656,6 +656,30 @@ impl RunSession {
         self.engine.convicted()
     }
 
+    /// Queue externally-ingested transaction reports for the *next*
+    /// round (see
+    /// [`RoundEngine::queue_reports`]):
+    /// ascending by requester, no empty batches. The serve layer's
+    /// [`ServeSession`](crate::serve::ServeSession) normalises raw
+    /// submissions into this shape.
+    pub fn queue_reports(&mut self, batches: Vec<(NodeId, Vec<crate::kernel::TransactionRecord>)>) {
+        self.engine.queue_reports(batches);
+    }
+
+    /// Per-subject network-wide mean aggregated reputation (`None`
+    /// while no observer scores the subject) — what the serve layer
+    /// snapshots after each round.
+    pub fn subject_mean_reputations(&self) -> Vec<Option<f64>> {
+        let (sums, cnts) = self.engine.totals();
+        crate::kernel::subject_means(&sums, &cnts)
+    }
+
+    /// Mutable stats access for the serve layer (same crate): it stamps
+    /// the ingest counters onto the round it just drove.
+    pub(crate) fn stats_mut(&mut self) -> &mut [RoundStats] {
+        &mut self.stats
+    }
+
     /// Run rounds until `round` rounds have completed (no-op if already
     /// there); returns the full stats history.
     pub fn run_to(&mut self, round: usize) -> Result<&[RoundStats], SessionError> {

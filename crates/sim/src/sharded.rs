@@ -49,8 +49,8 @@
 
 use crate::kernel::{
     aggregation_rng, audit_node, closed_form_row, convicted_of, emit_row, finish_round,
-    honest_residual_error, lookup_run, runs_totals, transact_requester, AuditOutcome, NodeState,
-    ServiceDelta, SubjectAggregates,
+    honest_residual_error, lookup_run, merge_pending, runs_totals, transact_requester,
+    AuditOutcome, NodeState, ServiceDelta, SubjectAggregates, TransactionRecord,
 };
 use crate::rounds::{AggregationMode, RoundEngine, RoundStats, RoundsConfig};
 use crate::scenario::Scenario;
@@ -62,6 +62,9 @@ use dg_core::CoreError;
 use dg_graph::NodeId;
 use dg_trust::audit::audit_targets;
 use dg_trust::{CsrBuilder, CsrStorage, ShardSpec, ShardedCsr, TrustMatrix};
+
+/// One requester's pending ingest batch, keyed by requester id.
+type RecordBatch = (NodeId, Vec<TransactionRecord>);
 
 /// Per-shard work estimates feeding the work-stealing scheduler's
 /// weighted map ([`rayon::map_weighted`]).
@@ -124,6 +127,9 @@ pub struct ShardedRoundEngine<'s> {
     /// `aggregated[observer]` — sorted `(subject, reputation)` run.
     aggregated: Vec<Vec<(NodeId, f64)>>,
     observer_mean: Vec<Option<f64>>,
+    /// Ingested report batches for the next round (see
+    /// [`RoundEngine::queue_reports`]): ascending by requester.
+    pending_ingest: Vec<(NodeId, Vec<TransactionRecord>)>,
     round: usize,
 }
 
@@ -148,6 +154,7 @@ impl<'s> ShardedRoundEngine<'s> {
             costs: ShardCosts::seed(scenario, spec),
             aggregated: vec![Vec::new(); n],
             observer_mean: vec![None; n],
+            pending_ingest: Vec::new(),
             round: 0,
         }
     }
@@ -202,22 +209,34 @@ impl<'s> ShardedRoundEngine<'s> {
             .map(|s| s.convicted_at.is_some())
             .collect();
         let banned_ref = &banned;
-        let work: Vec<(usize, Vec<NodeState>)> = std::mem::take(&mut self.shards)
+        // Route pending ingest batches to their owning shard; each
+        // shard's list stays ascending by requester (the global list
+        // is, and shards are contiguous id ranges).
+        let mut pending_by_shard: Vec<Vec<RecordBatch>> =
+            (0..spec.shard_count()).map(|_| Vec::new()).collect();
+        for batch in std::mem::take(&mut self.pending_ingest) {
+            let (s, _) = spec.locate(batch.0);
+            pending_by_shard[s].push(batch);
+        }
+        let work: Vec<(usize, Vec<NodeState>, Vec<RecordBatch>)> = std::mem::take(&mut self.shards)
             .into_iter()
+            .zip(pending_by_shard)
             .enumerate()
+            .map(|(s, (shard, pending))| (s, shard, pending))
             .collect();
         // Weighted fan-out: last round's cost estimates seed the
         // stealing scheduler heaviest-shard-first; the weights steer
         // only wall-clock (results commit in shard order).
         let estimated: Vec<(Vec<NodeState>, CsrStorage, ServiceDelta, usize)> =
-            rayon::map_weighted(work, self.costs.weights(), |(s, mut shard)| {
+            rayon::map_weighted(work, self.costs.weights(), |(s, mut shard, pending)| {
                 let range = spec.range(s);
                 let mut delta = ServiceDelta::default();
                 let mut active = 0usize;
                 let mut builder = CsrBuilder::rectangular(spec.rows_in(s), n);
+                let mut pending = pending.into_iter().peekable();
                 for (local, i) in range.enumerate() {
                     let requester = NodeId(i);
-                    let (records, d) = transact_requester(
+                    let (mut records, d) = transact_requester(
                         scenario,
                         &config,
                         plan,
@@ -228,8 +247,14 @@ impl<'s> ShardedRoundEngine<'s> {
                         observer_mean,
                         banned_ref,
                     );
+                    // Active counts (a scheduling signal) stay
+                    // transact-only; ingested records fold after the
+                    // generated ones, same as every other engine.
                     active += usize::from(!records.is_empty());
                     delta.merge(d);
+                    if pending.peek().is_some_and(|(r, _)| *r == requester) {
+                        records.extend(pending.next().expect("peeked").1);
+                    }
                     let state = &mut shard[local];
                     let row = emit_row(scenario, &config, state, requester, records, round);
                     builder
@@ -351,6 +376,10 @@ impl<'s> ShardedRoundEngine<'s> {
 impl RoundEngine for ShardedRoundEngine<'_> {
     fn run_round(&mut self, round_seed: u64) -> Result<RoundStats, CoreError> {
         ShardedRoundEngine::run_round(self, round_seed)
+    }
+
+    fn queue_reports(&mut self, batches: Vec<(NodeId, Vec<TransactionRecord>)>) {
+        merge_pending(&mut self.pending_ingest, batches);
     }
 
     fn table(&self, node: NodeId) -> &dg_trust::prelude::ReputationTable {

@@ -177,39 +177,46 @@ pub(crate) fn read_frame(path: &Path, kind: FrameKind) -> Result<(u32, Vec<u8>),
     Ok((version, bytes[21..body_end].to_vec()))
 }
 
-/// Little-endian payload writer (the encode half of the record codec).
+/// Little-endian payload writer (the encode half of the record codec,
+/// shared with wire-protocol payloads — see [`crate::wire`]).
 #[derive(Debug, Default)]
-pub(crate) struct ByteWriter {
+pub struct ByteWriter {
     buf: Vec<u8>,
 }
 
 impl ByteWriter {
-    pub(crate) fn new() -> Self {
+    /// Fresh empty writer.
+    pub fn new() -> Self {
         Self::default()
     }
 
-    pub(crate) fn into_bytes(self) -> Vec<u8> {
+    /// The encoded payload.
+    pub fn into_bytes(self) -> Vec<u8> {
         self.buf
     }
 
-    pub(crate) fn put_u8(&mut self, v: u8) {
+    /// Append one byte.
+    pub fn put_u8(&mut self, v: u8) {
         self.buf.push(v);
     }
 
-    pub(crate) fn put_u32(&mut self, v: u32) {
+    /// Append a `u32`, little endian.
+    pub fn put_u32(&mut self, v: u32) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
-    pub(crate) fn put_u64(&mut self, v: u64) {
+    /// Append a `u64`, little endian.
+    pub fn put_u64(&mut self, v: u64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
     /// `f64` as raw bits — snapshots must round-trip values bit for bit.
-    pub(crate) fn put_f64(&mut self, v: f64) {
+    pub fn put_f64(&mut self, v: f64) {
         self.put_u64(v.to_bits());
     }
 
-    pub(crate) fn put_opt_f64(&mut self, v: Option<f64>) {
+    /// Append an optional `f64` (presence byte + bits).
+    pub fn put_opt_f64(&mut self, v: Option<f64>) {
         match v {
             Some(x) => {
                 self.put_u8(1);
@@ -219,7 +226,8 @@ impl ByteWriter {
         }
     }
 
-    pub(crate) fn put_opt_u64(&mut self, v: Option<u64>) {
+    /// Append an optional `u64` (presence byte + value).
+    pub fn put_opt_u64(&mut self, v: Option<u64>) {
         match v {
             Some(x) => {
                 self.put_u8(1);
@@ -231,19 +239,22 @@ impl ByteWriter {
 }
 
 /// Bounds-checked payload reader; every failure is a reason string the
-/// caller wraps into a `Corrupt` error with the file path attached.
+/// caller wraps into a `Corrupt` error with the file path (or wire
+/// context) attached.
 #[derive(Debug)]
-pub(crate) struct ByteReader<'a> {
+pub struct ByteReader<'a> {
     bytes: &'a [u8],
     pos: usize,
 }
 
 impl<'a> ByteReader<'a> {
-    pub(crate) fn new(bytes: &'a [u8]) -> Self {
+    /// Reader over an encoded payload.
+    pub fn new(bytes: &'a [u8]) -> Self {
         Self { bytes, pos: 0 }
     }
 
-    pub(crate) fn is_empty(&self) -> bool {
+    /// Every byte consumed?
+    pub fn is_empty(&self) -> bool {
         self.pos >= self.bytes.len()
     }
 
@@ -264,27 +275,32 @@ impl<'a> ByteReader<'a> {
         Ok(out)
     }
 
-    pub(crate) fn get_u8(&mut self, what: &str) -> Result<u8, String> {
+    /// Read one byte.
+    pub fn get_u8(&mut self, what: &str) -> Result<u8, String> {
         Ok(self.take(1, what)?[0])
     }
 
-    pub(crate) fn get_u32(&mut self, what: &str) -> Result<u32, String> {
+    /// Read a `u32`, little endian.
+    pub fn get_u32(&mut self, what: &str) -> Result<u32, String> {
         Ok(u32::from_le_bytes(
             self.take(4, what)?.try_into().expect("4 bytes"),
         ))
     }
 
-    pub(crate) fn get_u64(&mut self, what: &str) -> Result<u64, String> {
+    /// Read a `u64`, little endian.
+    pub fn get_u64(&mut self, what: &str) -> Result<u64, String> {
         Ok(u64::from_le_bytes(
             self.take(8, what)?.try_into().expect("8 bytes"),
         ))
     }
 
-    pub(crate) fn get_f64(&mut self, what: &str) -> Result<f64, String> {
+    /// Read an `f64` from raw bits.
+    pub fn get_f64(&mut self, what: &str) -> Result<f64, String> {
         Ok(f64::from_bits(self.get_u64(what)?))
     }
 
-    pub(crate) fn get_opt_f64(&mut self, what: &str) -> Result<Option<f64>, String> {
+    /// Read an optional `f64` (presence byte + bits).
+    pub fn get_opt_f64(&mut self, what: &str) -> Result<Option<f64>, String> {
         match self.get_u8(what)? {
             0 => Ok(None),
             1 => Ok(Some(self.get_f64(what)?)),
@@ -292,7 +308,8 @@ impl<'a> ByteReader<'a> {
         }
     }
 
-    pub(crate) fn get_opt_u64(&mut self, what: &str) -> Result<Option<u64>, String> {
+    /// Read an optional `u64` (presence byte + value).
+    pub fn get_opt_u64(&mut self, what: &str) -> Result<Option<u64>, String> {
         match self.get_u8(what)? {
             0 => Ok(None),
             1 => Ok(Some(self.get_u64(what)?)),
@@ -302,7 +319,7 @@ impl<'a> ByteReader<'a> {
 
     /// A `u32` length prefix, sanity-bounded so a garbled length cannot
     /// drive a multi-gigabyte allocation before the truncation check.
-    pub(crate) fn get_len(&mut self, what: &str, elem_size: usize) -> Result<usize, String> {
+    pub fn get_len(&mut self, what: &str, elem_size: usize) -> Result<usize, String> {
         let len = self.get_u32(what)? as usize;
         let remaining = self.bytes.len() - self.pos;
         if len.saturating_mul(elem_size.max(1)) > remaining {

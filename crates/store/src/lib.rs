@@ -48,8 +48,9 @@ mod error;
 mod gossip;
 mod records;
 mod store;
+pub mod wire;
 
-pub use codec::FORMAT_VERSION;
+pub use codec::{ByteReader, ByteWriter, FORMAT_VERSION};
 pub use error::StoreError;
 pub use gossip::{read_gossip, write_gossip, GossipRecord, LedgerRecord};
 pub use records::{

@@ -38,7 +38,12 @@
 //! * [`audit`] — the deterministic stochastic-audit layer against
 //!   within-bounds stealth cartels: seeded audit-target selection, the
 //!   bounded per-node [`ReportLog`] re-verification
-//!   buffer, and the k-strikes conviction policy.
+//!   buffer, and the k-strikes conviction policy,
+//! * [`snapshot`] — the serve layer's read side: immutable per-round
+//!   [`ReputationSnapshot`]s with an incrementally-maintained rank
+//!   index (`top_k` / `percentile`), published through the
+//!   double-buffered [`SnapshotCell`] so readers never block the
+//!   round engine.
 
 #![warn(missing_docs)]
 
@@ -51,6 +56,7 @@ pub mod estimator;
 pub mod matrix;
 pub mod robust;
 pub mod sharded;
+pub mod snapshot;
 pub mod table;
 mod tiled;
 pub mod value;
@@ -63,6 +69,7 @@ pub use error::TrustError;
 pub use matrix::TrustMatrix;
 pub use robust::RobustAggregation;
 pub use sharded::{ShardSpec, ShardedCsr, ShardedCsrBuilder};
+pub use snapshot::{RankIndex, ReputationSnapshot, SnapshotCell};
 pub use value::TrustValue;
 pub use weights::WeightParams;
 

@@ -18,12 +18,15 @@
 //! * [`core`] — the paper's four aggregation algorithms and collusion model,
 //! * [`sim`] — scenario runner, workloads, metrics, baselines,
 //! * [`p2p`] — tokio-based asynchronous peer deployment,
-//! * [`store`] — durable epoch/delta snapshots behind crash recovery.
+//! * [`store`] — durable epoch/delta snapshots behind crash recovery,
+//! * [`serve`] — reputation-as-a-service: TCP query/ingest endpoints
+//!   over round-atomic snapshots.
 
 pub use dg_core as core;
 pub use dg_gossip as gossip;
 pub use dg_graph as graph;
 pub use dg_p2p as p2p;
+pub use dg_serve as serve;
 pub use dg_sim as sim;
 pub use dg_store as store;
 pub use dg_trust as trust;

@@ -1,371 +1,29 @@
 //! Vendored minimal `tokio` subset.
 //!
-//! Implements exactly what the workspace's p2p layer needs: unbounded mpsc
-//! channels with async `recv`, [`spawn`] (one OS thread per task — the peer
-//! counts here are in the hundreds, well within thread limits), a
-//! [`runtime`] with `block_on`, and the `#[tokio::test]` attribute.
+//! A real multi-threaded reactor (offline build — see README.md): a
+//! fixed worker pool polls tasks from a shared run queue, channel
+//! receive futures register wakers instead of blocking their polling
+//! thread, and `spawn` enqueues onto the ambient runtime's pool (the
+//! runtime entered via [`runtime::Runtime::block_on`], a worker of that
+//! runtime, or a lazily-started global fallback pool).
 //!
-//! Channel receive futures resolve by blocking the calling thread on a
-//! condvar; combined with thread-per-task spawning, every future completes
-//! in a single `poll`, so the executor never needs a reactor.
+//! Implemented surface, driven by what the workspace needs:
+//!
+//! * [`sync::mpsc`] — unbounded channels (the p2p control plane) and
+//!   **bounded** channels whose [`try_send`](sync::mpsc::Sender::try_send)
+//!   fails fast with [`TrySendError::Full`](sync::mpsc::error::TrySendError)
+//!   (the serve layer's ingest backpressure primitive);
+//! * [`spawn`] — tasks multiplexed over the pool, with waker-based
+//!   [`JoinHandle`]s (await or [`JoinHandle::join_blocking`]);
+//! * [`task::spawn_blocking`] — blocking work on a dedicated OS thread
+//!   so connection I/O never stalls the cooperative workers;
+//! * [`runtime`] — `Runtime::block_on`, `Builder` with an honoured
+//!   `worker_threads`, and the `#[tokio::test]` attribute.
 
 pub use tokio_macros::test;
 
-pub mod sync {
-    //! Synchronization primitives.
+pub mod runtime;
+pub mod sync;
+pub mod task;
 
-    pub mod mpsc {
-        //! Multi-producer, single-consumer channels.
-
-        use std::collections::VecDeque;
-        use std::fmt;
-        use std::future::Future;
-        use std::pin::Pin;
-        use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-        use std::sync::{Arc, Condvar, Mutex};
-        use std::task::{Context, Poll};
-
-        struct Shared<T> {
-            queue: Mutex<VecDeque<T>>,
-            senders: AtomicUsize,
-            receiver_alive: AtomicBool,
-            condvar: Condvar,
-        }
-
-        /// Sending half of an unbounded channel.
-        pub struct UnboundedSender<T> {
-            shared: Arc<Shared<T>>,
-        }
-
-        /// Receiving half of an unbounded channel.
-        pub struct UnboundedReceiver<T> {
-            shared: Arc<Shared<T>>,
-        }
-
-        /// Error returned by [`UnboundedSender::send`] when the receiver is
-        /// gone.
-        pub struct SendError<T>(pub T);
-
-        impl<T> fmt::Debug for SendError<T> {
-            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-                f.write_str("SendError(..)")
-            }
-        }
-
-        impl<T> fmt::Display for SendError<T> {
-            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-                f.write_str("channel closed")
-            }
-        }
-
-        /// Error returned by [`UnboundedReceiver::try_recv`].
-        #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-        pub enum TryRecvError {
-            /// No message available right now.
-            Empty,
-            /// All senders dropped and the queue is drained.
-            Disconnected,
-        }
-
-        /// Create an unbounded channel.
-        pub fn unbounded_channel<T>() -> (UnboundedSender<T>, UnboundedReceiver<T>) {
-            let shared = Arc::new(Shared {
-                queue: Mutex::new(VecDeque::new()),
-                senders: AtomicUsize::new(1),
-                receiver_alive: AtomicBool::new(true),
-                condvar: Condvar::new(),
-            });
-            (
-                UnboundedSender {
-                    shared: Arc::clone(&shared),
-                },
-                UnboundedReceiver { shared },
-            )
-        }
-
-        impl<T> UnboundedSender<T> {
-            /// Queue a message. Fails only if the receiver was dropped.
-            pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-                // Check under the queue lock so a concurrent receiver drop
-                // cannot race the push (the receiver takes the same lock
-                // before marking itself dead).
-                let mut queue = self.shared.queue.lock().unwrap();
-                if !self.shared.receiver_alive.load(Ordering::Acquire) {
-                    return Err(SendError(value));
-                }
-                queue.push_back(value);
-                drop(queue);
-                self.shared.condvar.notify_one();
-                Ok(())
-            }
-        }
-
-        impl<T> Clone for UnboundedSender<T> {
-            fn clone(&self) -> Self {
-                self.shared.senders.fetch_add(1, Ordering::AcqRel);
-                Self {
-                    shared: Arc::clone(&self.shared),
-                }
-            }
-        }
-
-        impl<T> Drop for UnboundedSender<T> {
-            fn drop(&mut self) {
-                self.shared.senders.fetch_sub(1, Ordering::AcqRel);
-                self.shared.condvar.notify_all();
-            }
-        }
-
-        impl<T> fmt::Debug for UnboundedSender<T> {
-            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-                f.write_str("UnboundedSender")
-            }
-        }
-
-        impl<T> fmt::Debug for UnboundedReceiver<T> {
-            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-                f.write_str("UnboundedReceiver")
-            }
-        }
-
-        impl<T> UnboundedReceiver<T> {
-            /// Receive the next message, waiting until one arrives or all
-            /// senders are dropped.
-            pub fn recv(&mut self) -> Recv<'_, T> {
-                Recv { receiver: self }
-            }
-
-            /// Non-blocking receive.
-            pub fn try_recv(&mut self) -> Result<T, TryRecvError> {
-                let mut queue = self.shared.queue.lock().unwrap();
-                match queue.pop_front() {
-                    Some(v) => Ok(v),
-                    None => {
-                        if self.shared.senders.load(Ordering::Acquire) == 0 {
-                            Err(TryRecvError::Disconnected)
-                        } else {
-                            Err(TryRecvError::Empty)
-                        }
-                    }
-                }
-            }
-
-            fn recv_blocking(&mut self) -> Option<T> {
-                let mut queue = self.shared.queue.lock().unwrap();
-                loop {
-                    if let Some(v) = queue.pop_front() {
-                        return Some(v);
-                    }
-                    if self.shared.senders.load(Ordering::Acquire) == 0 {
-                        return None;
-                    }
-                    queue = self.shared.condvar.wait(queue).unwrap();
-                }
-            }
-        }
-
-        impl<T> Drop for UnboundedReceiver<T> {
-            fn drop(&mut self) {
-                let _queue = self.shared.queue.lock().unwrap();
-                self.shared.receiver_alive.store(false, Ordering::Release);
-            }
-        }
-
-        /// Future returned by [`UnboundedReceiver::recv`]. Resolves by
-        /// blocking the polling thread (thread-per-task executor).
-        pub struct Recv<'a, T> {
-            receiver: &'a mut UnboundedReceiver<T>,
-        }
-
-        impl<T> Future for Recv<'_, T> {
-            type Output = Option<T>;
-
-            fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<Self::Output> {
-                let this = self.get_mut();
-                Poll::Ready(this.receiver.recv_blocking())
-            }
-        }
-    }
-}
-
-pub mod runtime {
-    //! A trivial executor: futures are polled on the calling thread; any
-    //! `Pending` parks until the waker fires.
-
-    use std::future::Future;
-    use std::pin::pin;
-    use std::sync::Arc;
-    use std::task::{Context, Poll, Wake, Waker};
-
-    struct ThreadWaker {
-        thread: std::thread::Thread,
-    }
-
-    impl Wake for ThreadWaker {
-        fn wake(self: Arc<Self>) {
-            self.thread.unpark();
-        }
-    }
-
-    /// Drive a future to completion on the current thread.
-    pub(crate) fn block_on_impl<F: Future>(future: F) -> F::Output {
-        let mut future = pin!(future);
-        let waker = Waker::from(Arc::new(ThreadWaker {
-            thread: std::thread::current(),
-        }));
-        let mut cx = Context::from_waker(&waker);
-        loop {
-            match future.as_mut().poll(&mut cx) {
-                Poll::Ready(out) => return out,
-                Poll::Pending => std::thread::park(),
-            }
-        }
-    }
-
-    /// Handle to the (trivial) runtime.
-    #[derive(Debug)]
-    pub struct Runtime {
-        _private: (),
-    }
-
-    impl Runtime {
-        /// Create a runtime.
-        pub fn new() -> std::io::Result<Runtime> {
-            Ok(Runtime { _private: () })
-        }
-
-        /// Run `future` to completion.
-        pub fn block_on<F: Future>(&self, future: F) -> F::Output {
-            block_on_impl(future)
-        }
-    }
-
-    /// Builder mirroring tokio's runtime configuration surface.
-    #[derive(Debug, Default)]
-    pub struct Builder {
-        _private: (),
-    }
-
-    impl Builder {
-        /// Multi-thread flavor (tasks each get an OS thread regardless).
-        pub fn new_multi_thread() -> Builder {
-            Builder::default()
-        }
-
-        /// Current-thread flavor.
-        pub fn new_current_thread() -> Builder {
-            Builder::default()
-        }
-
-        /// Accepted for API compatibility; tasks are thread-per-task.
-        pub fn worker_threads(&mut self, _n: usize) -> &mut Builder {
-            self
-        }
-
-        /// Accepted for API compatibility.
-        pub fn enable_all(&mut self) -> &mut Builder {
-            self
-        }
-
-        /// Build the runtime.
-        pub fn build(&mut self) -> std::io::Result<Runtime> {
-            Runtime::new()
-        }
-    }
-}
-
-/// Handle to a spawned task.
-#[derive(Debug)]
-pub struct JoinHandle<T> {
-    inner: Option<std::thread::JoinHandle<T>>,
-}
-
-/// Error produced when a spawned task panicked.
-#[derive(Debug)]
-pub struct JoinError {
-    _private: (),
-}
-
-impl std::fmt::Display for JoinError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str("task panicked")
-    }
-}
-
-impl std::error::Error for JoinError {}
-
-impl<T> JoinHandle<T> {
-    /// Block until the task finishes.
-    pub fn join_blocking(mut self) -> Result<T, JoinError> {
-        self.inner
-            .take()
-            .expect("already joined")
-            .join()
-            .map_err(|_| JoinError { _private: () })
-    }
-}
-
-impl<T> std::future::Future for JoinHandle<T> {
-    type Output = Result<T, JoinError>;
-
-    fn poll(
-        self: std::pin::Pin<&mut Self>,
-        _cx: &mut std::task::Context<'_>,
-    ) -> std::task::Poll<Self::Output> {
-        let this = self.get_mut();
-        let handle = this.inner.take().expect("polled after completion");
-        std::task::Poll::Ready(handle.join().map_err(|_| JoinError { _private: () }))
-    }
-}
-
-/// Spawn a future on its own OS thread.
-pub fn spawn<F>(future: F) -> JoinHandle<F::Output>
-where
-    F: std::future::Future + Send + 'static,
-    F::Output: Send + 'static,
-{
-    let inner = std::thread::spawn(move || runtime::block_on_impl(future));
-    JoinHandle { inner: Some(inner) }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::sync::mpsc;
-
-    #[test]
-    fn send_recv_in_order() {
-        let (tx, mut rx) = mpsc::unbounded_channel();
-        tx.send(1).unwrap();
-        tx.send(2).unwrap();
-        assert_eq!(rx.try_recv(), Ok(1));
-        assert_eq!(rx.try_recv(), Ok(2));
-        assert_eq!(rx.try_recv(), Err(mpsc::TryRecvError::Empty));
-    }
-
-    #[test]
-    fn recv_returns_none_after_senders_drop() {
-        let (tx, mut rx) = mpsc::unbounded_channel::<u8>();
-        drop(tx);
-        let out = crate::runtime::Runtime::new().unwrap().block_on(rx.recv());
-        assert_eq!(out, None);
-    }
-
-    #[test]
-    fn send_fails_after_receiver_drop() {
-        let (tx, rx) = mpsc::unbounded_channel::<u8>();
-        drop(rx);
-        assert!(tx.send(1).is_err());
-    }
-
-    #[test]
-    fn spawn_runs_concurrently() {
-        let (tx, mut rx) = mpsc::unbounded_channel();
-        let handle = crate::spawn(async move {
-            tx.send(41).unwrap();
-            41
-        });
-        let got = crate::runtime::Runtime::new().unwrap().block_on(rx.recv());
-        assert_eq!(got, Some(41));
-        assert_eq!(handle.join_blocking().unwrap(), 41);
-    }
-}
+pub use task::{spawn, JoinError, JoinHandle};

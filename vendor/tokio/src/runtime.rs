@@ -1,0 +1,255 @@
+//! The multi-threaded reactor: a fixed pool of workers polling a
+//! shared run queue.
+//!
+//! Every [`crate::spawn`]ed future becomes a `Task` on a `Pool`'s
+//! injector queue. Workers pop tasks and poll them with a waker that
+//! re-enqueues the task on wake, so a `Pending` future costs nothing
+//! until whatever it waits on (a channel send, a join completion)
+//! wakes it — no thread is parked per task, and hundreds of idle peer
+//! tasks share a handful of OS threads.
+//!
+//! [`Runtime::block_on`] drives the outer future on the calling thread
+//! with a park/unpark waker while entering the runtime's context, so
+//! `tokio::spawn` from inside (or from the workers themselves) lands
+//! on the same pool. Code that spawns without any runtime entered
+//! falls back to a lazily-started global pool.
+
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::pin;
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::task::{Context, Poll, Wake, Waker};
+
+use crate::task::Task;
+
+/// Shared scheduler state: the injector run queue plus worker parking.
+pub(crate) struct Pool {
+    inner: Mutex<PoolInner>,
+    condvar: Condvar,
+}
+
+struct PoolInner {
+    queue: VecDeque<Arc<Task>>,
+    shutdown: bool,
+}
+
+impl Pool {
+    fn new() -> Self {
+        Self {
+            inner: Mutex::new(PoolInner {
+                queue: VecDeque::new(),
+                shutdown: false,
+            }),
+            condvar: Condvar::new(),
+        }
+    }
+
+    /// Enqueue a runnable task and wake one parked worker. Tasks
+    /// scheduled after shutdown are dropped, like tokio's.
+    pub(crate) fn schedule(&self, task: Arc<Task>) {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.shutdown {
+            return;
+        }
+        inner.queue.push_back(task);
+        drop(inner);
+        self.condvar.notify_one();
+    }
+
+    fn shut_down(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.shutdown = true;
+        // Queued-but-unpolled tasks are dropped, like tokio's runtime
+        // drop; their JoinHandles resolve to a join error.
+        inner.queue.clear();
+        drop(inner);
+        self.condvar.notify_all();
+    }
+}
+
+/// One worker: pop, poll, repeat; park on the condvar when idle.
+fn worker_loop(pool: Arc<Pool>) {
+    let _ctx = context_enter(Arc::clone(&pool));
+    loop {
+        let task = {
+            let mut inner = pool.inner.lock().unwrap();
+            loop {
+                if let Some(task) = inner.queue.pop_front() {
+                    break task;
+                }
+                if inner.shutdown {
+                    return;
+                }
+                inner = pool.condvar.wait(inner).unwrap();
+            }
+        };
+        task.run();
+    }
+}
+
+fn start_workers(pool: &Arc<Pool>, workers: usize) -> Vec<std::thread::JoinHandle<()>> {
+    (0..workers)
+        .map(|i| {
+            let pool = Arc::clone(pool);
+            std::thread::Builder::new()
+                .name(format!("tokio-worker-{i}"))
+                .spawn(move || worker_loop(pool))
+                .expect("spawn runtime worker")
+        })
+        .collect()
+}
+
+fn default_worker_count() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .max(2)
+}
+
+// ---------------------------------------------------------------------
+// Ambient runtime context.
+
+thread_local! {
+    static CONTEXT: std::cell::RefCell<Option<Arc<Pool>>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+struct ContextGuard {
+    prev: Option<Arc<Pool>>,
+}
+
+impl Drop for ContextGuard {
+    fn drop(&mut self) {
+        CONTEXT.with(|slot| *slot.borrow_mut() = self.prev.take());
+    }
+}
+
+fn context_enter(pool: Arc<Pool>) -> ContextGuard {
+    CONTEXT.with(|slot| ContextGuard {
+        prev: slot.borrow_mut().replace(pool),
+    })
+}
+
+/// The pool `spawn` should target from this thread: the entered
+/// runtime's when inside `block_on` or a worker, else the global
+/// fallback pool.
+pub(crate) fn current_pool() -> Arc<Pool> {
+    CONTEXT
+        .with(|slot| slot.borrow().clone())
+        .unwrap_or_else(global_pool)
+}
+
+/// The lazily-started process-wide fallback pool (never shut down).
+fn global_pool() -> Arc<Pool> {
+    static GLOBAL: OnceLock<Arc<Pool>> = OnceLock::new();
+    Arc::clone(GLOBAL.get_or_init(|| {
+        let pool = Arc::new(Pool::new());
+        // Detached: the global pool lives for the process.
+        drop(start_workers(&pool, default_worker_count()));
+        pool
+    }))
+}
+
+// ---------------------------------------------------------------------
+// block_on.
+
+struct ThreadWaker {
+    thread: std::thread::Thread,
+}
+
+impl Wake for ThreadWaker {
+    fn wake(self: Arc<Self>) {
+        self.thread.unpark();
+    }
+}
+
+/// Drive a future to completion on the current thread, parking between
+/// polls.
+pub(crate) fn block_on_impl<F: Future>(future: F) -> F::Output {
+    let mut future = pin!(future);
+    let waker = Waker::from(Arc::new(ThreadWaker {
+        thread: std::thread::current(),
+    }));
+    let mut cx = Context::from_waker(&waker);
+    loop {
+        match future.as_mut().poll(&mut cx) {
+            Poll::Ready(out) => return out,
+            Poll::Pending => std::thread::park(),
+        }
+    }
+}
+
+/// A worker pool plus the right to shut it down.
+#[derive(Debug)]
+pub struct Runtime {
+    pool: Arc<Pool>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Runtime {
+    /// Create a multi-threaded runtime with the default worker count.
+    pub fn new() -> std::io::Result<Runtime> {
+        Builder::new_multi_thread().build()
+    }
+
+    /// Run `future` to completion on the calling thread, with this
+    /// runtime's pool entered so `tokio::spawn` targets it.
+    pub fn block_on<F: Future>(&self, future: F) -> F::Output {
+        let _ctx = context_enter(Arc::clone(&self.pool));
+        block_on_impl(future)
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        self.pool.shut_down();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Builder mirroring tokio's runtime configuration surface.
+#[derive(Debug)]
+pub struct Builder {
+    workers: usize,
+}
+
+impl Builder {
+    /// Multi-thread flavor.
+    pub fn new_multi_thread() -> Builder {
+        Builder {
+            workers: default_worker_count(),
+        }
+    }
+
+    /// Current-thread flavor (approximated with one worker; the
+    /// workspace's futures never require thread affinity).
+    pub fn new_current_thread() -> Builder {
+        Builder { workers: 1 }
+    }
+
+    /// Number of pool workers.
+    pub fn worker_threads(&mut self, n: usize) -> &mut Builder {
+        self.workers = n.max(1);
+        self
+    }
+
+    /// Accepted for API compatibility (no optional drivers to enable).
+    pub fn enable_all(&mut self) -> &mut Builder {
+        self
+    }
+
+    /// Build the runtime: start the workers.
+    pub fn build(&mut self) -> std::io::Result<Runtime> {
+        let pool = Arc::new(Pool::new());
+        let workers = start_workers(&pool, self.workers);
+        Ok(Runtime { pool, workers })
+    }
+}
+
+impl std::fmt::Debug for Pool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Pool")
+    }
+}

@@ -1,0 +1,489 @@
+//! Synchronization primitives.
+
+pub mod mpsc {
+    //! Multi-producer, single-consumer channels.
+    //!
+    //! Two flavors, both with **waker-based** receive futures (a
+    //! pending `recv().await` parks the *task*, not the worker
+    //! thread — the sender wakes it through the registered waker):
+    //!
+    //! * [`unbounded_channel`] — sends never fail for capacity;
+    //! * [`channel`] — bounded; [`Sender::try_send`] fails fast with
+    //!   [`error::TrySendError::Full`] instead of blocking, which is
+    //!   the backpressure primitive the serve layer sheds load with.
+
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::future::Future;
+    use std::pin::Pin;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Mutex};
+    use std::task::{Context, Poll, Waker};
+
+    pub use self::error::{SendError, TryRecvError, TrySendError};
+
+    pub mod error {
+        //! Channel error types.
+
+        use std::fmt;
+
+        /// Error returned by sends when the receiver is gone.
+        pub struct SendError<T>(pub T);
+
+        impl<T> fmt::Debug for SendError<T> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("SendError(..)")
+            }
+        }
+
+        impl<T> fmt::Display for SendError<T> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("channel closed")
+            }
+        }
+
+        /// Error returned by [`try_send`](super::Sender::try_send).
+        pub enum TrySendError<T> {
+            /// The bounded channel is at capacity; the value is
+            /// returned to the caller, which must shed or retry.
+            Full(T),
+            /// The receiver was dropped.
+            Closed(T),
+        }
+
+        impl<T> TrySendError<T> {
+            /// The value that could not be sent.
+            pub fn into_inner(self) -> T {
+                match self {
+                    TrySendError::Full(v) | TrySendError::Closed(v) => v,
+                }
+            }
+        }
+
+        impl<T> fmt::Debug for TrySendError<T> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                match self {
+                    TrySendError::Full(_) => f.write_str("Full(..)"),
+                    TrySendError::Closed(_) => f.write_str("Closed(..)"),
+                }
+            }
+        }
+
+        impl<T> fmt::Display for TrySendError<T> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                match self {
+                    TrySendError::Full(_) => f.write_str("no available capacity"),
+                    TrySendError::Closed(_) => f.write_str("channel closed"),
+                }
+            }
+        }
+
+        /// Error returned by `try_recv`.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+        pub enum TryRecvError {
+            /// No message available right now.
+            Empty,
+            /// All senders dropped and the queue is drained.
+            Disconnected,
+        }
+    }
+
+    /// Queue plus receiver waker, guarded by one lock so a send can
+    /// never slip between a receiver's emptiness check and its waker
+    /// registration (no lost wakeups).
+    struct Inner<T> {
+        queue: VecDeque<T>,
+        recv_waker: Option<Waker>,
+        receiver_alive: bool,
+        /// Bounded flavor only: `usize::MAX` means unbounded.
+        capacity: usize,
+    }
+
+    struct Shared<T> {
+        inner: Mutex<Inner<T>>,
+        senders: AtomicUsize,
+    }
+
+    impl<T> Shared<T> {
+        fn new(capacity: usize) -> Arc<Self> {
+            Arc::new(Shared {
+                inner: Mutex::new(Inner {
+                    queue: VecDeque::new(),
+                    recv_waker: None,
+                    receiver_alive: true,
+                    capacity,
+                }),
+                senders: AtomicUsize::new(1),
+            })
+        }
+
+        /// Push unconditionally (unbounded path).
+        fn push(&self, value: T) -> Result<(), error::SendError<T>> {
+            let mut inner = self.inner.lock().unwrap();
+            if !inner.receiver_alive {
+                return Err(error::SendError(value));
+            }
+            inner.queue.push_back(value);
+            let waker = inner.recv_waker.take();
+            drop(inner);
+            if let Some(waker) = waker {
+                waker.wake();
+            }
+            Ok(())
+        }
+
+        /// Push if below capacity (bounded path).
+        fn try_push(&self, value: T) -> Result<(), error::TrySendError<T>> {
+            let mut inner = self.inner.lock().unwrap();
+            if !inner.receiver_alive {
+                return Err(error::TrySendError::Closed(value));
+            }
+            if inner.queue.len() >= inner.capacity {
+                return Err(error::TrySendError::Full(value));
+            }
+            inner.queue.push_back(value);
+            let waker = inner.recv_waker.take();
+            drop(inner);
+            if let Some(waker) = waker {
+                waker.wake();
+            }
+            Ok(())
+        }
+
+        fn pop(&self) -> Result<T, error::TryRecvError> {
+            let mut inner = self.inner.lock().unwrap();
+            match inner.queue.pop_front() {
+                Some(v) => Ok(v),
+                None => {
+                    if self.senders.load(Ordering::Acquire) == 0 {
+                        Err(error::TryRecvError::Disconnected)
+                    } else {
+                        Err(error::TryRecvError::Empty)
+                    }
+                }
+            }
+        }
+
+        /// One `Recv` poll: pop, detect disconnect, or register the
+        /// waker — all under the queue lock.
+        fn poll_pop(&self, cx: &mut Context<'_>) -> Poll<Option<T>> {
+            let mut inner = self.inner.lock().unwrap();
+            if let Some(v) = inner.queue.pop_front() {
+                return Poll::Ready(Some(v));
+            }
+            if self.senders.load(Ordering::Acquire) == 0 {
+                return Poll::Ready(None);
+            }
+            inner.recv_waker = Some(cx.waker().clone());
+            Poll::Pending
+        }
+
+        fn sender_dropped(&self) {
+            if self.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
+                // Last sender gone: a pending receiver must resolve to
+                // `None`.
+                let waker = self.inner.lock().unwrap().recv_waker.take();
+                if let Some(waker) = waker {
+                    waker.wake();
+                }
+            }
+        }
+
+        fn receiver_dropped(&self) {
+            self.inner.lock().unwrap().receiver_alive = false;
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Unbounded flavor.
+
+    /// Sending half of an unbounded channel.
+    pub struct UnboundedSender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Receiving half of an unbounded channel.
+    pub struct UnboundedReceiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Create an unbounded channel.
+    pub fn unbounded_channel<T>() -> (UnboundedSender<T>, UnboundedReceiver<T>) {
+        let shared = Shared::new(usize::MAX);
+        (
+            UnboundedSender {
+                shared: Arc::clone(&shared),
+            },
+            UnboundedReceiver { shared },
+        )
+    }
+
+    impl<T> UnboundedSender<T> {
+        /// Queue a message. Fails only if the receiver was dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.shared.push(value)
+        }
+    }
+
+    impl<T> Clone for UnboundedSender<T> {
+        fn clone(&self) -> Self {
+            self.shared.senders.fetch_add(1, Ordering::AcqRel);
+            Self {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for UnboundedSender<T> {
+        fn drop(&mut self) {
+            self.shared.sender_dropped();
+        }
+    }
+
+    impl<T> fmt::Debug for UnboundedSender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("UnboundedSender")
+        }
+    }
+
+    impl<T> fmt::Debug for UnboundedReceiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("UnboundedReceiver")
+        }
+    }
+
+    impl<T> UnboundedReceiver<T> {
+        /// Receive the next message, resolving when one arrives or all
+        /// senders are dropped.
+        pub fn recv(&mut self) -> Recv<'_, T> {
+            Recv {
+                shared: &self.shared,
+            }
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&mut self) -> Result<T, TryRecvError> {
+            self.shared.pop()
+        }
+    }
+
+    impl<T> Drop for UnboundedReceiver<T> {
+        fn drop(&mut self) {
+            self.shared.receiver_dropped();
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Bounded flavor.
+
+    /// Sending half of a bounded channel.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Receiving half of a bounded channel.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Create a bounded channel holding at most `capacity` queued
+    /// messages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn channel<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+        assert!(capacity > 0, "mpsc bounded channel requires capacity > 0");
+        let shared = Shared::new(capacity);
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Queue a message if there is capacity, failing fast with
+        /// [`TrySendError::Full`] otherwise — never blocks, never
+        /// drops silently.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            self.shared.try_push(value)
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.senders.fetch_add(1, Ordering::AcqRel);
+            Self {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            self.shared.sender_dropped();
+        }
+    }
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Sender")
+        }
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Receiver")
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Receive the next message, resolving when one arrives or all
+        /// senders are dropped.
+        pub fn recv(&mut self) -> Recv<'_, T> {
+            Recv {
+                shared: &self.shared,
+            }
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&mut self) -> Result<T, TryRecvError> {
+            self.shared.pop()
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.shared.receiver_dropped();
+        }
+    }
+
+    /// Future returned by `recv`: registers the receiver's waker under
+    /// the queue lock, so a concurrent send always finds it.
+    pub struct Recv<'a, T> {
+        shared: &'a Arc<Shared<T>>,
+    }
+
+    impl<T> Future for Recv<'_, T> {
+        type Output = Option<T>;
+
+        fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+            self.shared.poll_pop(cx)
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn send_recv_in_order() {
+            let (tx, mut rx) = unbounded_channel();
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            assert_eq!(rx.try_recv(), Ok(1));
+            assert_eq!(rx.try_recv(), Ok(2));
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        }
+
+        #[test]
+        fn recv_returns_none_after_senders_drop() {
+            let (tx, mut rx) = unbounded_channel::<u8>();
+            drop(tx);
+            let out = crate::runtime::Runtime::new().unwrap().block_on(rx.recv());
+            assert_eq!(out, None);
+        }
+
+        #[test]
+        fn send_fails_after_receiver_drop() {
+            let (tx, rx) = unbounded_channel::<u8>();
+            drop(rx);
+            assert!(tx.send(1).is_err());
+        }
+
+        #[test]
+        fn spawn_runs_concurrently() {
+            let (tx, mut rx) = unbounded_channel();
+            let handle = crate::spawn(async move {
+                tx.send(41).unwrap();
+                41
+            });
+            let got = crate::runtime::Runtime::new().unwrap().block_on(rx.recv());
+            assert_eq!(got, Some(41));
+            assert_eq!(handle.join_blocking().unwrap(), 41);
+        }
+
+        #[test]
+        fn pending_recv_wakes_on_send() {
+            let rt = crate::runtime::Runtime::new().unwrap();
+            let (tx, mut rx) = unbounded_channel();
+            let got = rt.block_on(async move {
+                let handle = crate::spawn(async move { rx.recv().await });
+                // The receiver task is almost certainly parked Pending
+                // by the time this send lands; the registered waker
+                // must resurrect it.
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                tx.send(9u32).unwrap();
+                handle.await.unwrap()
+            });
+            assert_eq!(got, Some(9));
+        }
+
+        #[test]
+        fn bounded_sheds_at_capacity() {
+            let (tx, mut rx) = channel::<u8>(2);
+            tx.try_send(1).unwrap();
+            tx.try_send(2).unwrap();
+            assert!(matches!(tx.try_send(3), Err(TrySendError::Full(3))));
+            assert_eq!(rx.try_recv(), Ok(1));
+            // Draining one slot restores capacity for exactly one.
+            tx.try_send(4).unwrap();
+            assert!(matches!(tx.try_send(5), Err(TrySendError::Full(5))));
+        }
+
+        #[test]
+        fn bounded_closed_after_receiver_drop() {
+            let (tx, rx) = channel::<u8>(1);
+            drop(rx);
+            assert!(matches!(tx.try_send(1), Err(TrySendError::Closed(1))));
+        }
+
+        #[test]
+        fn bounded_recv_drains_then_disconnects() {
+            let (tx, mut rx) = channel::<u8>(4);
+            tx.try_send(7).unwrap();
+            drop(tx);
+            let rt = crate::runtime::Runtime::new().unwrap();
+            assert_eq!(rt.block_on(rx.recv()), Some(7));
+            assert_eq!(rt.block_on(rx.recv()), None);
+        }
+
+        #[test]
+        fn many_tasks_multiplex_over_few_workers() {
+            // 64 ping-pong pairs on 2 workers: only a waker-based
+            // scheduler can run this without 64 parked threads.
+            let rt = crate::runtime::Builder::new_multi_thread()
+                .worker_threads(2)
+                .build()
+                .unwrap();
+            let total: u64 = rt.block_on(async {
+                let mut handles = Vec::new();
+                for i in 0..64u64 {
+                    let (tx, mut rx) = unbounded_channel();
+                    handles.push(crate::spawn(async move { rx.recv().await.unwrap() }));
+                    crate::spawn(async move {
+                        tx.send(i).unwrap();
+                    });
+                }
+                let mut sum = 0;
+                for handle in handles {
+                    sum += handle.await.unwrap();
+                }
+                sum
+            });
+            assert_eq!(total, (0..64).sum());
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! Tasks: pool-scheduled futures, waker-based join handles, and
+//! dedicated threads for blocking work.
+
+use std::future::Future;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::pin::Pin;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::task::{Context, Poll, Wake, Waker};
+
+use crate::runtime::current_pool;
+
+/// One spawned future on a pool's run queue.
+///
+/// `queued` deduplicates wakes: a task is enqueued at most once at a
+/// time, and a wake that lands *during* a poll re-enqueues it (the
+/// flag is cleared before polling), so no wakeup is ever lost.
+pub(crate) struct Task {
+    future: Mutex<Option<Pin<Box<dyn Future<Output = ()> + Send>>>>,
+    queued: AtomicBool,
+    pool: std::sync::Weak<crate::runtime::Pool>,
+}
+
+impl Task {
+    /// Poll the task once on the calling worker.
+    pub(crate) fn run(self: &Arc<Self>) {
+        // Clear the queued flag *before* polling: a wake arriving
+        // mid-poll must re-enqueue, because this poll may already have
+        // inspected (and missed) the state that wake signals.
+        self.queued.store(false, Ordering::Release);
+        let waker = Waker::from(Arc::clone(self));
+        let mut cx = Context::from_waker(&waker);
+        let mut slot = self.future.lock().unwrap();
+        let Some(future) = slot.as_mut() else {
+            return; // already completed; a late wake raced us
+        };
+        match catch_unwind(AssertUnwindSafe(|| future.as_mut().poll(&mut cx))) {
+            Ok(Poll::Pending) => {}
+            // Completed or panicked (join handles observe panics via
+            // the CatchUnwind wrapper inside the future itself; this
+            // outer catch just keeps the worker alive).
+            Ok(Poll::Ready(())) | Err(_) => *slot = None,
+        }
+    }
+}
+
+impl Wake for Task {
+    fn wake(self: Arc<Self>) {
+        if !self.queued.swap(true, Ordering::AcqRel) {
+            if let Some(pool) = self.pool.upgrade() {
+                pool.schedule(self);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Join handles.
+
+struct JoinInner<T> {
+    result: Option<Result<T, JoinError>>,
+    waker: Option<Waker>,
+}
+
+struct JoinState<T> {
+    inner: Mutex<JoinInner<T>>,
+    condvar: Condvar,
+}
+
+impl<T> JoinState<T> {
+    fn new() -> Self {
+        Self {
+            inner: Mutex::new(JoinInner {
+                result: None,
+                waker: None,
+            }),
+            condvar: Condvar::new(),
+        }
+    }
+
+    fn complete(&self, result: Result<T, JoinError>) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.result = Some(result);
+        let waker = inner.waker.take();
+        drop(inner);
+        self.condvar.notify_all();
+        if let Some(waker) = waker {
+            waker.wake();
+        }
+    }
+}
+
+/// Handle to a spawned task. Await it, or [`join_blocking`] it from
+/// synchronous code. Dropping the handle detaches the task.
+///
+/// [`join_blocking`]: JoinHandle::join_blocking
+pub struct JoinHandle<T> {
+    state: Arc<JoinState<T>>,
+}
+
+impl<T> std::fmt::Debug for JoinHandle<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("JoinHandle")
+    }
+}
+
+/// Error produced when a spawned task panicked (or its runtime was
+/// dropped before the task ran).
+#[derive(Debug)]
+pub struct JoinError {
+    _private: (),
+}
+
+impl JoinError {
+    fn panicked() -> Self {
+        JoinError { _private: () }
+    }
+}
+
+impl std::fmt::Display for JoinError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("task panicked")
+    }
+}
+
+impl std::error::Error for JoinError {}
+
+impl<T> JoinHandle<T> {
+    /// Block the calling thread until the task finishes.
+    pub fn join_blocking(self) -> Result<T, JoinError> {
+        let mut inner = self.state.inner.lock().unwrap();
+        loop {
+            if let Some(result) = inner.result.take() {
+                return result;
+            }
+            inner = self.state.condvar.wait(inner).unwrap();
+        }
+    }
+}
+
+impl<T> Future for JoinHandle<T> {
+    type Output = Result<T, JoinError>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let mut inner = self.state.inner.lock().unwrap();
+        if let Some(result) = inner.result.take() {
+            return Poll::Ready(result);
+        }
+        inner.waker = Some(cx.waker().clone());
+        Poll::Pending
+    }
+}
+
+/// Per-poll `catch_unwind` wrapper so a panicking future resolves its
+/// join handle instead of killing a worker silently.
+struct CatchUnwind<F: Future> {
+    inner: Pin<Box<F>>,
+}
+
+impl<F: Future> Future for CatchUnwind<F> {
+    type Output = Result<F::Output, ()>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        match catch_unwind(AssertUnwindSafe(|| this.inner.as_mut().poll(cx))) {
+            Ok(Poll::Ready(out)) => Poll::Ready(Ok(out)),
+            Ok(Poll::Pending) => Poll::Pending,
+            Err(_) => Poll::Ready(Err(())),
+        }
+    }
+}
+
+/// Spawn a future onto the ambient runtime's worker pool (the runtime
+/// entered via `block_on`, the worker's own, or the global fallback).
+pub fn spawn<F>(future: F) -> JoinHandle<F::Output>
+where
+    F: Future + Send + 'static,
+    F::Output: Send + 'static,
+{
+    let pool = current_pool();
+    let state = Arc::new(JoinState::new());
+    let completion = Arc::clone(&state);
+    let wrapped = async move {
+        let result = CatchUnwind {
+            inner: Box::pin(future),
+        }
+        .await;
+        completion.complete(result.map_err(|()| JoinError::panicked()));
+    };
+    let task = Arc::new(Task {
+        future: Mutex::new(Some(Box::pin(wrapped))),
+        queued: AtomicBool::new(true),
+        pool: Arc::downgrade(&pool),
+    });
+    pool.schedule(task);
+    JoinHandle { state }
+}
+
+/// Run a blocking closure on a dedicated OS thread, off the worker
+/// pool, returning a handle to await (or block on) its result.
+pub fn spawn_blocking<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let state = Arc::new(JoinState::new());
+    let completion = Arc::clone(&state);
+    std::thread::Builder::new()
+        .name("tokio-blocking".to_string())
+        .spawn(move || {
+            let result = catch_unwind(AssertUnwindSafe(f));
+            completion.complete(result.map_err(|_| JoinError::panicked()));
+        })
+        .expect("spawn blocking thread");
+    JoinHandle { state }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn spawn_completes_and_joins() {
+        let handle = crate::spawn(async { 41 });
+        assert_eq!(handle.join_blocking().unwrap(), 41);
+    }
+
+    #[test]
+    fn join_handle_awaits() {
+        let rt = crate::runtime::Runtime::new().unwrap();
+        let out = rt.block_on(async {
+            let handle = crate::spawn(async { 7u32 });
+            handle.await.unwrap()
+        });
+        assert_eq!(out, 7);
+    }
+
+    #[test]
+    fn panicking_task_reports_join_error() {
+        let handle = crate::spawn(async { panic!("boom") });
+        assert!(handle.join_blocking().is_err());
+    }
+
+    #[test]
+    fn spawn_blocking_runs_off_pool() {
+        let handle = crate::task::spawn_blocking(|| 13u8);
+        assert_eq!(handle.join_blocking().unwrap(), 13);
+    }
+}
